@@ -1,0 +1,107 @@
+//! **A3 (ablation)** — trigger indexing in the rule execution module.
+//!
+//! The engine maps each sensor key / place / event channel to the rules
+//! that mention it, so one sensor event re-evaluates a handful of rules
+//! instead of the whole database. This ablation sweeps the rule count and
+//! compares a step with the index against the index-less full scan.
+
+use cadel_engine::Engine;
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_simplex::RelOp;
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value};
+use cadel_upnp::{ControlPoint, EventBus, Registry};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Builds an engine with `n` rules, each watching its own sensor, plus one
+/// rule watching the "hot" sensor that the benchmark's event touches.
+fn engine_with_rules(n: u64, use_index: bool) -> Engine {
+    let registry = Registry::new();
+    let mut engine = Engine::new(ControlPoint::new(registry));
+    engine.set_use_trigger_index(use_index);
+    for i in 0..n {
+        let sensor = SensorKey::new(DeviceId::new(format!("sensor-{i}")), "reading");
+        let rule = Rule::builder(PersonId::new("bench"))
+            .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+                sensor,
+                RelOp::Gt,
+                Quantity::from_integer(50, Unit::Celsius),
+            ))))
+            .action(ActionSpec::new(
+                DeviceId::new(format!("device-{i}")),
+                Verb::TurnOn,
+            ))
+            .build(RuleId::new(i))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+    }
+    // Settle the initial evaluation pass so steady-state steps are
+    // measured.
+    engine.step(SimTime::from_millis(1));
+    engine
+}
+
+fn publish_reading(bus: &EventBus, seq: u64, value: i64) {
+    bus.publish_change(
+        DeviceId::new("sensor-0"),
+        "reading".to_owned(),
+        Value::Number(Quantity::from_integer(value, Unit::Celsius)),
+        SimTime::from_millis(seq),
+    );
+}
+
+fn bench_step_after_one_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_step_after_one_sensor_event");
+    group.sample_size(20);
+    for n in [100u64, 1_000, 10_000] {
+        for (label, use_index) in [("indexed", true), ("full-scan", false)] {
+            let mut engine = engine_with_rules(n, use_index);
+            let bus = engine.control().registry().event_bus().clone();
+            let mut seq = 2u64;
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        // Alternate below/above threshold so the watched
+                        // rule keeps toggling (worst case for the index:
+                        // the rule stays live).
+                        seq += 1;
+                        let value = if seq % 2 == 0 { 30 } else { 70 };
+                        publish_reading(&bus, seq, value);
+                        let report = engine.step(SimTime::from_millis(seq));
+                        black_box(report.firings.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_idle_step(c: &mut Criterion) {
+    // No events at all: the index makes an idle tick nearly free.
+    let mut group = c.benchmark_group("a3_idle_step");
+    group.sample_size(20);
+    for n in [1_000u64, 10_000] {
+        for (label, use_index) in [("indexed", true), ("full-scan", false)] {
+            let mut engine = engine_with_rules(n, use_index);
+            let mut seq = 2u64;
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    seq += 1;
+                    let report = engine.step(SimTime::from_millis(seq));
+                    black_box(report.is_empty())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_step_after_one_event, bench_idle_step
+}
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! **A2 (ablation)** — rule-object compilation vs interpretation.
+//!
+//! The paper stresses that CADEL descriptions are compiled once into rule
+//! objects instead of being re-interpreted at runtime (§4.1/§4.3). This
+//! ablation measures the front-end costs that compilation pays once:
+//! tokenization, parsing, and full compilation to rule objects — versus
+//! the per-evaluation cost of an already-compiled rule (what the engine
+//! pays on every event).
+
+use cadel_bench::cadel_sentences;
+use cadel_engine::{ContextStore, Evaluator, HeldTracker};
+use cadel_lang::ast::Command;
+use cadel_lang::{parse_command, Compiler, Dictionary, Lexicon, MapResolver};
+use cadel_types::{
+    DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn resolver() -> MapResolver {
+    let mut r = MapResolver::new();
+    r.add_person("tom")
+        .add_person("alan")
+        .add_place("living room")
+        .add_place("hall")
+        .add_device("air conditioner", "aircon-lr", None)
+        .add_device("tv", "tv-lr", None)
+        .add_device("stereo", "stereo-lr", None)
+        .add_device("video recorder", "vcr-lr", None)
+        .add_device("fan", "fan-1", None)
+        .add_device("alarm", "alarm-1", None)
+        .add_device("entrance door", "door-1", None)
+        .add_device("light", "light-hall", Some("hall"))
+        .add_sensor(
+            "temperature",
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            None,
+            Unit::Celsius,
+        )
+        .add_sensor(
+            "humidity",
+            SensorKey::new(DeviceId::new("hygro-lr"), "humidity"),
+            None,
+            Unit::Percent,
+        )
+        .add_ambient(
+            "hall",
+            "illuminance",
+            SensorKey::new(DeviceId::new("lux-hall"), "illuminance"),
+            Unit::Lux,
+        );
+    r
+}
+
+fn bench_tokenize_and_parse(c: &mut Criterion) {
+    let lexicon = Lexicon::english();
+    let dictionary = Dictionary::new();
+    let corpus = cadel_sentences(256);
+    let bytes: usize = corpus.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("a2_front_end");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("tokenize_corpus", |b| {
+        b.iter(|| {
+            for s in &corpus {
+                black_box(cadel_lang::token::tokenize(s).unwrap());
+            }
+        })
+    });
+    group.bench_function("parse_corpus", |b| {
+        b.iter(|| {
+            for s in &corpus {
+                black_box(parse_command(s, &lexicon, &dictionary).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let lexicon = Lexicon::english();
+    let dictionary = Dictionary::new();
+    let resolver = resolver();
+    let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
+    // Pre-parse so the measurement isolates compilation.
+    let parsed: Vec<Command> = cadel_sentences(256)
+        .iter()
+        .map(|s| parse_command(s, &lexicon, &dictionary).unwrap())
+        .collect();
+
+    c.bench_function("a2_compile_corpus_to_rule_objects", |b| {
+        b.iter(|| {
+            let mut id = 0u64;
+            for cmd in &parsed {
+                if let Command::Rule(sentence) = cmd {
+                    let rule = compiler
+                        .compile_rule(black_box(sentence))
+                        .unwrap()
+                        .build(RuleId::new(id))
+                        .unwrap();
+                    black_box(rule);
+                    id += 1;
+                }
+            }
+        })
+    });
+}
+
+fn bench_compiled_rule_evaluation(c: &mut Criterion) {
+    // The payoff of compilation: evaluating a compiled rule object against
+    // the live context, the cost paid on every sensor event.
+    let lexicon = Lexicon::english();
+    let dictionary = Dictionary::new();
+    let resolver = resolver();
+    let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
+    let cmd = parse_command(
+        "If humidity is higher than 60 percent and temperature is higher than \
+         26 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
+        &lexicon,
+        &dictionary,
+    )
+    .unwrap();
+    let Command::Rule(sentence) = cmd else {
+        panic!("expected a rule")
+    };
+    let rule = compiler
+        .compile_rule(&sentence)
+        .unwrap()
+        .build(RuleId::new(1))
+        .unwrap();
+
+    let mut ctx = ContextStore::default();
+    ctx.set_now(SimTime::from_millis(1));
+    ctx.set_value(
+        SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+        Value::Number(Quantity::from_integer(28, Unit::Celsius)),
+    );
+    ctx.set_value(
+        SensorKey::new(DeviceId::new("hygro-lr"), "humidity"),
+        Value::Number(Quantity::from_integer(70, Unit::Percent)),
+    );
+    let mut held = HeldTracker::new();
+
+    c.bench_function("a2_evaluate_compiled_rule", |b| {
+        b.iter(|| {
+            let mut ev = Evaluator::new(&ctx, &mut held);
+            assert!(ev.condition_holds(black_box(rule.condition())));
+        })
+    });
+
+    // The "interpretation" alternative the paper rejects: re-parsing and
+    // re-compiling the sentence on every evaluation.
+    c.bench_function("a2_interpret_sentence_per_evaluation", |b| {
+        b.iter(|| {
+            let cmd = parse_command(
+                black_box(
+                    "If humidity is higher than 60 percent and temperature is higher than \
+                     26 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
+                ),
+                &lexicon,
+                &dictionary,
+            )
+            .unwrap();
+            let Command::Rule(sentence) = cmd else {
+                panic!("expected a rule")
+            };
+            let rule = compiler
+                .compile_rule(&sentence)
+                .unwrap()
+                .build(RuleId::new(1))
+                .unwrap();
+            let mut ev = Evaluator::new(&ctx, &mut held);
+            assert!(ev.condition_holds(rule.condition()));
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_tokenize_and_parse, bench_compile, bench_compiled_rule_evaluation
+}
+criterion_main!(benches);

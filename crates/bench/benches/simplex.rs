@@ -1,0 +1,122 @@
+//! **A1 (ablation)** — solver strategy: interval fast path vs full
+//! simplex.
+//!
+//! The paper used a general Simplex library even though home-automation
+//! conditions are almost always univariate. This ablation quantifies the
+//! design choice DESIGN.md calls out: `cadel-simplex` routes univariate
+//! systems to exact interval intersection and keeps the tableau for the
+//! general case. Series: feasibility time vs constraint count for both
+//! strategies on the same univariate systems, plus multi-variable tableau
+//! scaling and the infeasible (early-exit) case.
+
+use cadel_simplex::{
+    solve_intervals, solve_simplex, Constraint, LinExpr, RelOp, VarId,
+};
+use cadel_types::Rational;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A feasible univariate system: interleaved lower/upper bounds on `vars`
+/// variables, `k` constraints total.
+fn univariate_system(k: usize, vars: u32) -> Vec<Constraint> {
+    (0..k)
+        .map(|i| {
+            let var = VarId::new((i as u32) % vars);
+            if i % 2 == 0 {
+                Constraint::new(
+                    LinExpr::var(var),
+                    RelOp::Gt,
+                    Rational::from_integer((i as i64) % 20),
+                )
+            } else {
+                Constraint::new(
+                    LinExpr::var(var),
+                    RelOp::Lt,
+                    Rational::from_integer(100 + (i as i64) % 20),
+                )
+            }
+        })
+        .collect()
+}
+
+/// A feasible dense system: chained sums `x_i + x_{i+1} <= c` plus bounds.
+fn multivariate_system(vars: u32) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for i in 0..vars.saturating_sub(1) {
+        let expr = LinExpr::var(VarId::new(i)) + LinExpr::var(VarId::new(i + 1));
+        out.push(Constraint::new(
+            expr,
+            RelOp::Le,
+            Rational::from_integer(10 + i as i64),
+        ));
+    }
+    for i in 0..vars {
+        out.push(Constraint::new(
+            LinExpr::var(VarId::new(i)),
+            RelOp::Ge,
+            Rational::from_integer(0),
+        ));
+    }
+    out
+}
+
+fn bench_interval_vs_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_univariate_feasibility");
+    for k in [2usize, 4, 8, 16, 32] {
+        let system = univariate_system(k, 2);
+        group.bench_with_input(BenchmarkId::new("interval", k), &k, |b, _| {
+            b.iter(|| {
+                assert!(solve_intervals(black_box(&system)).unwrap().is_feasible())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simplex", k), &k, |b, _| {
+            b.iter(|| {
+                assert!(solve_simplex(black_box(&system)).unwrap().is_feasible())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_simplex_multivariate");
+    for vars in [2u32, 4, 8, 16] {
+        let system = multivariate_system(vars);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| {
+                assert!(solve_simplex(black_box(&system)).unwrap().is_feasible())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_infeasible_early_exit(c: &mut Criterion) {
+    // x > 50 ∧ x < 40 plus padding constraints.
+    let mut system = univariate_system(16, 2);
+    system.push(Constraint::new(
+        LinExpr::var(VarId::new(0)),
+        RelOp::Gt,
+        Rational::from_integer(50),
+    ));
+    system.push(Constraint::new(
+        LinExpr::var(VarId::new(0)),
+        RelOp::Lt,
+        Rational::from_integer(40),
+    ));
+    let mut group = c.benchmark_group("a1_infeasible_univariate");
+    group.bench_function("interval", |b| {
+        b.iter(|| assert!(!solve_intervals(black_box(&system)).unwrap().is_feasible()))
+    });
+    group.bench_function("simplex", |b| {
+        b.iter(|| assert!(!solve_simplex(black_box(&system)).unwrap().is_feasible()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_interval_vs_simplex, bench_simplex_scaling, bench_infeasible_early_exit
+}
+criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! Shared workload generators for the benchmark harness.
+//!
+//! Each generator is deterministic (seeded or arithmetic), so benchmark
+//! runs are reproducible. The shapes mirror the paper's evaluation:
+//!
+//! * [`e2_database`] — the E2 rule database: N rules, M of them on one
+//!   shared device, each condition a conjunction of two inequalities.
+//! * [`e2_probe`] — the rule "being registered" in E2.
+//! * [`cadel_sentences`] — a CADEL corpus cycling over the grammar's
+//!   constructs for the parser throughput ablation (A2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, RuleDb, Verb};
+use cadel_simplex::RelOp;
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, Unit};
+
+/// The UDN of the E2 shared device.
+pub const SHARED_DEVICE: &str = "aircon-shared";
+
+/// A two-inequality condition `temperature > t ∧ humidity > h` — the
+/// condition shape the paper's E2 experiment stipulates.
+pub fn two_inequality_condition(temp_above: i64, humid_above: i64) -> Condition {
+    let temp = Atom::Constraint(ConstraintAtom::new(
+        SensorKey::new(DeviceId::new("thermo"), "temperature"),
+        RelOp::Gt,
+        Quantity::from_integer(temp_above, Unit::Celsius),
+    ));
+    let humid = Atom::Constraint(ConstraintAtom::new(
+        SensorKey::new(DeviceId::new("hygro"), "humidity"),
+        RelOp::Gt,
+        Quantity::from_integer(humid_above, Unit::Percent),
+    ));
+    Condition::Atom(temp).and(Condition::Atom(humid))
+}
+
+/// Builds the E2 database: `total` rules, `same_device` of them targeting
+/// [`SHARED_DEVICE`], the rest spread over unique devices.
+///
+/// # Panics
+///
+/// Panics if `same_device` is zero or exceeds `total`.
+pub fn e2_database(total: u64, same_device: u64) -> RuleDb {
+    assert!(same_device > 0 && same_device <= total);
+    let stride = total / same_device;
+    let mut db = RuleDb::new();
+    for i in 0..total {
+        let on_shared = i % stride == 0 && i / stride < same_device;
+        let device = if on_shared {
+            DeviceId::new(SHARED_DEVICE)
+        } else {
+            DeviceId::new(format!("device-{i}"))
+        };
+        let band = if (i / stride) % 2 == 0 { 5 } else { 25 };
+        let temp = band + (i % 10) as i64;
+        let humid = 40 + (i % 40) as i64;
+        let rule = Rule::builder(PersonId::new(format!("user-{}", i % 7)))
+            .condition(two_inequality_condition(temp, humid))
+            .action(
+                ActionSpec::new(device, Verb::TurnOn).with_setting(
+                    "temperature",
+                    Quantity::from_integer(18 + ((i / stride.max(1)) % 10) as i64, Unit::Celsius),
+                ),
+            )
+            .build(RuleId::new(i))
+            .expect("generated rule is valid");
+        db.insert(rule).expect("generated ids are unique");
+    }
+    db
+}
+
+/// The probe rule registered against the E2 database: conflicts with every
+/// co-satisfiable shared-device rule (different set-point).
+pub fn e2_probe() -> Rule {
+    Rule::builder(PersonId::new("probe"))
+        .condition(two_inequality_condition(30, 70))
+        .action(
+            ActionSpec::new(DeviceId::new(SHARED_DEVICE), Verb::TurnOn)
+                .with_setting("temperature", Quantity::from_integer(17, Unit::Celsius)),
+        )
+        .build(RuleId::new(999_999))
+        .expect("probe is valid")
+}
+
+/// A corpus of `n` CADEL sentences cycling through the grammar: numeric
+/// comparisons, conjunctions, time specs, durations, presence, events,
+/// configurations.
+pub fn cadel_sentences(n: usize) -> Vec<String> {
+    let templates: [fn(usize) -> String; 8] = [
+        |i| {
+            format!(
+                "If humidity is higher than {} percent and temperature is higher than \
+                 {} degrees, turn on the air conditioner with {} degrees of temperature setting.",
+                50 + i % 40,
+                20 + i % 10,
+                20 + i % 8
+            )
+        },
+        |i| {
+            format!(
+                "After evening, if someone returns home and the hall is dark, \
+                 turn on the light at the hall until {} pm.",
+                8 + i % 4
+            )
+        },
+        |i| {
+            format!(
+                "At night, if entrance door is unlocked for {} minutes, turn on the alarm.",
+                10 + i % 50
+            )
+        },
+        |_| "When I'm in the living room in evening, play jazz music on the stereo.".to_owned(),
+        |i| {
+            format!(
+                "When a baseball game is on air, record the baseball game with the \
+                 video recorder if temperature is lower than {} degrees.",
+                30 + i % 5
+            )
+        },
+        |i| {
+            format!(
+                "Every monday at {}:30, turn on the TV with {} of channel setting.",
+                9 + i % 8,
+                1 + i % 9
+            )
+        },
+        |i| {
+            format!(
+                "If temperature is higher than {} degrees or humidity is over {} percent, \
+                 turn on the fan.",
+                25 + i % 10,
+                60 + i % 30
+            )
+        },
+        |_| {
+            "Let's call the condition that humidity is higher than 60 percent and \
+             temperature is higher than 28 degrees hot and stuffy"
+                .to_owned()
+        },
+    ];
+    (0..n).map(|i| templates[i % templates.len()](i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_database_shape() {
+        let db = e2_database(1000, 10);
+        assert_eq!(db.len(), 1000);
+        assert_eq!(db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(), 10);
+        let db = e2_database(10_000, 100);
+        assert_eq!(db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(), 100);
+    }
+
+    #[test]
+    fn probe_conflicts_with_all_shared_rules() {
+        let db = e2_database(1000, 10);
+        let conflicts = cadel_conflict::find_conflicts(&db, &e2_probe()).unwrap();
+        assert_eq!(conflicts.len(), 10);
+    }
+
+    #[test]
+    fn sentences_parse() {
+        let lexicon = cadel_lang::Lexicon::english();
+        let dictionary = cadel_lang::Dictionary::new();
+        for s in cadel_sentences(64) {
+            cadel_lang::parse_command(&s, &lexicon, &dictionary)
+                .unwrap_or_else(|e| panic!("{s:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_round_trips_through_the_pretty_printer() {
+        let lexicon = cadel_lang::Lexicon::english();
+        let dictionary = cadel_lang::Dictionary::new();
+        for s in cadel_sentences(64) {
+            let first = cadel_lang::parse_command(&s, &lexicon, &dictionary)
+                .unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            let rendered = cadel_lang::render_command(&first);
+            let second = cadel_lang::parse_command(&rendered, &lexicon, &dictionary)
+                .unwrap_or_else(|e| panic!("rendered {rendered:?}: {e}"));
+            assert_eq!(first, second, "round trip changed {s:?} via {rendered:?}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Compatibility of the discrete (non-numeric) atoms of a conjunct.
+//!
+//! The Simplex solver covers linear inequalities; the remaining atom
+//! classes have their own small decision procedures:
+//!
+//! * **Presence** — a person is in at most one place at a time, and
+//!   "nobody at P" excludes both named people and "someone" at P.
+//! * **Device state** — one state variable holds one value at a time.
+//! * **Time** — all time windows must share a minute of the day; weekday
+//!   and date guards must agree (including `date.weekday()`).
+//! * **Events** — independent; any set of events may co-occur.
+//!
+//! These checks make conflict detection *complete enough* for CADEL's atom
+//! vocabulary while staying conservative: whenever we are unsure, we
+//! answer "compatible", which can only over-report conflicts (the safe
+//! direction — the user is asked for a priority that may never be needed).
+
+use cadel_rule::{Atom, Subject};
+use cadel_types::{Date, TimeWindow, Value, Weekday};
+use std::collections::HashMap;
+
+/// Decides whether the discrete atoms of one or more conjuncts can all
+/// hold at the same instant.
+///
+/// Numeric [`Atom::Constraint`]s are ignored here — callers pair this with
+/// a `cadel-simplex` feasibility check over the same atoms.
+pub fn discrete_compatible<'a>(atoms: impl IntoIterator<Item = &'a Atom>) -> bool {
+    let mut presence: HashMap<String, &str> = HashMap::new(); // person -> place
+    let mut nobody_places: Vec<&str> = Vec::new();
+    let mut somebody_places: Vec<&str> = Vec::new();
+    let mut states: HashMap<(String, String), &Value> = HashMap::new();
+    let mut window: Option<TimeWindow> = None;
+    let mut weekday: Option<Weekday> = None;
+    let mut date: Option<Date> = None;
+
+    for atom in atoms {
+        match atom.instantaneous() {
+            Atom::Presence(p) => match p.subject() {
+                Subject::Person(person) => {
+                    let place = p.place().as_str();
+                    match presence.insert(person.as_str().to_owned(), place) {
+                        Some(prev) if prev != place => return false,
+                        _ => {}
+                    }
+                }
+                Subject::Nobody => nobody_places.push(p.place().as_str()),
+                Subject::Somebody => somebody_places.push(p.place().as_str()),
+            },
+            Atom::State(s) => {
+                let key = (s.device().as_str().to_owned(), s.variable().to_owned());
+                match states.insert(key, s.value()) {
+                    Some(prev) if !values_agree(prev, s.value()) => return false,
+                    _ => {}
+                }
+            }
+            Atom::Time(w) => {
+                window = Some(match window {
+                    None => *w,
+                    Some(existing) => {
+                        if !existing.intersects(*w) {
+                            return false;
+                        }
+                        // Keep both by remembering the tighter check is
+                        // pairwise; windows are re-tested against each new
+                        // one via the running intersection proxy below.
+                        intersect_proxy(existing, *w)
+                    }
+                });
+            }
+            Atom::Weekday(w) => match weekday {
+                None => weekday = Some(*w),
+                Some(existing) if existing != *w => return false,
+                Some(_) => {}
+            },
+            Atom::Date(d) => match date {
+                None => date = Some(*d),
+                Some(existing) if existing != *d => return false,
+                Some(_) => {}
+            },
+            Atom::Constraint(_) | Atom::Event(_) => {}
+            Atom::HeldFor { .. } => unreachable!("instantaneous() strips HeldFor"),
+            #[allow(unreachable_patterns)]
+            _ => {}
+        }
+    }
+
+    // nobody(P) excludes any named person or "someone" at P.
+    for nobody in &nobody_places {
+        if presence.values().any(|place| place == nobody) {
+            return false;
+        }
+        if somebody_places.iter().any(|p| p == nobody) {
+            return false;
+        }
+    }
+
+    // A pinned date must fall on any required weekday.
+    if let (Some(w), Some(d)) = (weekday, date) {
+        if d.weekday() != w {
+            return false;
+        }
+    }
+
+    true
+}
+
+/// Two demanded state values agree when equal; text compares
+/// case-insensitively.
+fn values_agree(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Text(x), b) => b.text_matches(x),
+        _ => a == b,
+    }
+}
+
+/// A conservative running intersection of two overlapping windows.
+///
+/// For non-wrapping overlapping windows this is the exact intersection.
+/// For wrapping windows the exact intersection may be two disjoint arcs,
+/// which `TimeWindow` cannot represent; we keep the *later-starting*
+/// window, which preserves soundness of the pairwise `intersects` test in
+/// the common cases CADEL rules produce (day-part guards).
+fn intersect_proxy(a: TimeWindow, b: TimeWindow) -> TimeWindow {
+    if !a.wraps() && !b.wraps() {
+        let start = a.start().max(b.start());
+        let end = a.end().min(b.end());
+        return TimeWindow::new(start, end);
+    }
+    if a.start() >= b.start() {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_rule::{EventAtom, PresenceAtom, StateAtom};
+    use cadel_types::{DayPart, DeviceId, PlaceId, SimDuration, TimeOfDay};
+
+    fn at(person: &str, place: &str) -> Atom {
+        Atom::Presence(PresenceAtom::person_at(person, place))
+    }
+
+    fn nobody(place: &str) -> Atom {
+        Atom::Presence(PresenceAtom::new(Subject::Nobody, PlaceId::new(place)))
+    }
+
+    fn somebody(place: &str) -> Atom {
+        Atom::Presence(PresenceAtom::new(Subject::Somebody, PlaceId::new(place)))
+    }
+
+    fn state(device: &str, var: &str, value: Value) -> Atom {
+        Atom::State(StateAtom::new(DeviceId::new(device), var, value))
+    }
+
+    fn compatible(atoms: &[Atom]) -> bool {
+        discrete_compatible(atoms.iter())
+    }
+
+    #[test]
+    fn empty_set_is_compatible() {
+        assert!(compatible(&[]));
+    }
+
+    #[test]
+    fn person_cannot_be_in_two_places() {
+        assert!(!compatible(&[at("tom", "living room"), at("tom", "kitchen")]));
+        assert!(compatible(&[at("tom", "living room"), at("alan", "kitchen")]));
+        // Same place twice is fine.
+        assert!(compatible(&[at("tom", "living room"), at("tom", "living room")]));
+    }
+
+    #[test]
+    fn nobody_excludes_everyone() {
+        assert!(!compatible(&[nobody("hall"), at("tom", "hall")]));
+        assert!(!compatible(&[nobody("hall"), somebody("hall")]));
+        assert!(compatible(&[nobody("hall"), at("tom", "living room")]));
+        assert!(compatible(&[nobody("hall"), somebody("living room")]));
+    }
+
+    #[test]
+    fn state_variables_hold_one_value() {
+        assert!(!compatible(&[
+            state("tv", "power", Value::Bool(true)),
+            state("tv", "power", Value::Bool(false)),
+        ]));
+        assert!(compatible(&[
+            state("tv", "power", Value::Bool(true)),
+            state("tv", "power", Value::Bool(true)),
+        ]));
+        // Different variables on the same device are independent.
+        assert!(compatible(&[
+            state("tv", "power", Value::Bool(true)),
+            state("tv", "channel", Value::from("4")),
+        ]));
+    }
+
+    #[test]
+    fn text_states_match_case_insensitively() {
+        assert!(compatible(&[
+            state("tv", "program", Value::from("Baseball Game")),
+            state("tv", "program", Value::from("baseball game")),
+        ]));
+        assert!(!compatible(&[
+            state("tv", "program", Value::from("baseball game")),
+            state("tv", "program", Value::from("movie")),
+        ]));
+    }
+
+    #[test]
+    fn disjoint_time_windows_are_incompatible() {
+        let evening = Atom::Time(DayPart::Evening.window());
+        let morning = Atom::Time(DayPart::Morning.window());
+        assert!(!compatible(&[evening.clone(), morning]));
+        assert!(compatible(&[evening.clone(), evening]));
+    }
+
+    #[test]
+    fn overlapping_windows_chain() {
+        let a = Atom::Time(TimeWindow::new(
+            TimeOfDay::hm(10, 0).unwrap(),
+            TimeOfDay::hm(14, 0).unwrap(),
+        ));
+        let b = Atom::Time(TimeWindow::new(
+            TimeOfDay::hm(12, 0).unwrap(),
+            TimeOfDay::hm(16, 0).unwrap(),
+        ));
+        let c = Atom::Time(TimeWindow::new(
+            TimeOfDay::hm(13, 0).unwrap(),
+            TimeOfDay::hm(18, 0).unwrap(),
+        ));
+        assert!(compatible(&[a.clone(), b.clone(), c]));
+        // a ∩ b = [12,14) which misses [15,16).
+        let late = Atom::Time(TimeWindow::new(
+            TimeOfDay::hm(15, 0).unwrap(),
+            TimeOfDay::hm(16, 0).unwrap(),
+        ));
+        assert!(!compatible(&[a, b, late]));
+    }
+
+    #[test]
+    fn weekday_and_date_guards() {
+        let monday = Atom::Weekday(Weekday::Monday);
+        let tuesday = Atom::Weekday(Weekday::Tuesday);
+        assert!(!compatible(&[monday.clone(), tuesday]));
+        // 2005-06-06 was a Monday.
+        let date = Atom::Date(Date::new(2005, 6, 6).unwrap());
+        assert!(compatible(&[monday.clone(), date.clone()]));
+        let sunday = Atom::Weekday(Weekday::Sunday);
+        assert!(!compatible(&[sunday, date.clone()]));
+        let other_date = Atom::Date(Date::new(2005, 6, 7).unwrap());
+        assert!(!compatible(&[date, other_date]));
+    }
+
+    #[test]
+    fn events_never_clash() {
+        let a = Atom::Event(EventAtom::new("tv-guide", "baseball game"));
+        let b = Atom::Event(EventAtom::new("tv-guide", "movie"));
+        assert!(compatible(&[a, b]));
+    }
+
+    #[test]
+    fn held_for_uses_inner_atom() {
+        let h1 = Atom::held_for(at("tom", "living room"), SimDuration::from_minutes(5));
+        let h2 = Atom::held_for(at("tom", "kitchen"), SimDuration::from_minutes(5));
+        assert!(!compatible(&[h1.clone(), h2]));
+        assert!(compatible(&[h1]));
+    }
+}

@@ -1,0 +1,82 @@
+//! Errors of the consistency/conflict layer.
+
+use cadel_rule::RuleError;
+use cadel_simplex::SolveError;
+use cadel_types::RuleId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while checking rules or managing priorities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConflictError {
+    /// The rule layer reported a problem (dimension mismatch, DNF blowup).
+    Rule(RuleError),
+    /// The satisfiability solver failed (overflow, pivot limit).
+    Solve(SolveError),
+    /// Registering a pairwise preference would create a cycle, so no
+    /// consistent priority order exists.
+    PriorityCycle {
+        /// A rule on the cycle.
+        a: RuleId,
+        /// The other endpoint of the closing edge.
+        b: RuleId,
+    },
+}
+
+impl fmt::Display for ConflictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConflictError::Rule(e) => write!(f, "rule error: {e}"),
+            ConflictError::Solve(e) => write!(f, "solver error: {e}"),
+            ConflictError::PriorityCycle { a, b } => {
+                write!(f, "priority preference {a} over {b} would create a cycle")
+            }
+        }
+    }
+}
+
+impl Error for ConflictError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConflictError::Rule(e) => Some(e),
+            ConflictError::Solve(e) => Some(e),
+            ConflictError::PriorityCycle { .. } => None,
+        }
+    }
+}
+
+impl From<RuleError> for ConflictError {
+    fn from(e: RuleError) -> Self {
+        ConflictError::Rule(e)
+    }
+}
+
+impl From<SolveError> for ConflictError {
+    fn from(e: SolveError) -> Self {
+        ConflictError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ConflictError>();
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = ConflictError::from(SolveError::Overflow);
+        assert!(e.source().is_some());
+        let e = ConflictError::PriorityCycle {
+            a: RuleId::new(1),
+            b: RuleId::new(2),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Consistency checking, conflict detection and priority management —
+//! the paper's §4.4 "Consistency and Conflict Check Module".
+//!
+//! Three responsibilities:
+//!
+//! 1. **Inconsistency check** ([`check_consistency`]): when a rule is
+//!    registered, decide whether its condition can hold at all. A condition
+//!    whose every disjunct is unsatisfiable (numerically, via
+//!    `cadel-simplex`, or discretely — e.g. the same person demanded in two
+//!    rooms at once) is rejected so the user can fix it.
+//! 2. **Conflict detection** ([`check_conflict`], [`find_conflicts`]): a
+//!    new rule conflicts with an existing one when (a) both target the same
+//!    device with *different* actions and (b) their conditions can hold
+//!    *simultaneously*. Detection extracts same-device rules through the
+//!    [`RuleDb`](cadel_rule::RuleDb) index and solves the concatenated
+//!    constraint systems — exactly the procedure timed in experiment E2.
+//! 3. **Priority management** ([`PriorityStore`], [`PriorityGraph`]): when
+//!    a conflict is confirmed, users rank the conflicting rules; rankings
+//!    may be *context-scoped* ("Alan outranks Tom **when Alan got home from
+//!    work**; Tom outranks Alan **when today is Tom's birthday**" — §3.2).
+//!    The engine consults the store at runtime to arbitrate simultaneous
+//!    firings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod discrete;
+pub mod error;
+pub mod priority;
+
+pub use check::{check_conflict, check_consistency, find_conflicts, Conflict, ConsistencyReport};
+pub use discrete::discrete_compatible;
+pub use error::ConflictError;
+pub use priority::{PriorityGraph, PriorityOrder, PriorityStore, Resolution};

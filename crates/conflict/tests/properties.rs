@@ -1,0 +1,147 @@
+//! Property tests over the conflict checker's core guarantees.
+
+use cadel_conflict::{check_conflict, check_consistency};
+use cadel_rule::{
+    ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Rule, Verb,
+};
+use cadel_simplex::RelOp;
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, Unit};
+use proptest::prelude::*;
+
+fn arb_relop() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge),
+        Just(RelOp::Eq),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        // Numeric constraints over 3 shared sensors.
+        (0u32..3, arb_relop(), -10i64..40).prop_map(|(s, op, t)| {
+            Atom::Constraint(ConstraintAtom::new(
+                SensorKey::new(DeviceId::new(format!("sensor-{s}")), "reading"),
+                op,
+                Quantity::from_integer(t, Unit::Celsius),
+            ))
+        }),
+        // Presence of 2 people over 2 places.
+        (0u32..2, 0u32..2).prop_map(|(p, r)| {
+            Atom::Presence(PresenceAtom::person_at(
+                format!("person-{p}"),
+                format!("room-{r}"),
+            ))
+        }),
+        // Events on a shared channel.
+        (0u32..3).prop_map(|e| Atom::Event(EventAtom::new("chan", format!("event-{e}")))),
+    ]
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    proptest::collection::vec(arb_atom(), 1..4).prop_flat_map(|atoms| {
+        (Just(atoms), proptest::bool::ANY).prop_map(|(atoms, use_or)| {
+            let mut iter = atoms.into_iter().map(Condition::Atom);
+            let first = iter.next().expect("at least one atom");
+            iter.fold(first, |acc, c| if use_or { acc.or(c) } else { acc.and(c) })
+        })
+    })
+}
+
+fn arb_rule(id: u64) -> impl Strategy<Value = Rule> {
+    (arb_condition(), 0u32..2, 0i64..3).prop_map(move |(condition, verb, setpoint)| {
+        let verb = if verb == 0 { Verb::TurnOn } else { Verb::TurnOff };
+        Rule::builder(PersonId::new(format!("user-{id}")))
+            .condition(condition)
+            .action(
+                ActionSpec::new(DeviceId::new("shared-device"), verb).with_setting(
+                    "temperature",
+                    Quantity::from_integer(20 + setpoint, Unit::Celsius),
+                ),
+            )
+            .build(RuleId::new(id))
+            .expect("generated rules are simple enough to build")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The conflict verdict is symmetric: whether two rules can collide
+    /// does not depend on which one is "being registered".
+    #[test]
+    fn conflict_verdict_is_symmetric(a in arb_rule(1), b in arb_rule(2)) {
+        let ab = check_conflict(&a, &b).unwrap().is_some();
+        let ba = check_conflict(&b, &a).unwrap().is_some();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// A rule never conflicts with an exact copy of itself under a new id
+    /// and owner (identical actions are compatible by §4.4).
+    #[test]
+    fn rule_never_conflicts_with_its_clone(a in arb_rule(1)) {
+        let clone = a.clone().reassigned(RuleId::new(99), PersonId::new("other"));
+        prop_assert!(check_conflict(&a, &clone).unwrap().is_none());
+    }
+
+    /// Conflicting rules are individually consistent: a conflict requires
+    /// both conditions to hold somewhere, so each must be satisfiable.
+    #[test]
+    fn conflicts_imply_consistency(a in arb_rule(1), b in arb_rule(2)) {
+        if check_conflict(&a, &b).unwrap().is_some() {
+            prop_assert!(check_consistency(&a).unwrap().is_satisfiable());
+            prop_assert!(check_consistency(&b).unwrap().is_satisfiable());
+        }
+    }
+
+    /// An inconsistent rule conflicts with nothing.
+    #[test]
+    fn inconsistent_rules_conflict_with_nothing(b in arb_rule(2)) {
+        let impossible = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("sensor-0"), "reading"),
+            RelOp::Gt,
+            Quantity::from_integer(50, Unit::Celsius),
+        )))
+        .and(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("sensor-0"), "reading"),
+            RelOp::Lt,
+            Quantity::from_integer(-50, Unit::Celsius),
+        ))));
+        let a = Rule::builder(PersonId::new("x"))
+            .condition(impossible)
+            .action(ActionSpec::new(DeviceId::new("shared-device"), Verb::TurnOn))
+            .build(RuleId::new(1))
+            .unwrap();
+        prop_assert!(!check_consistency(&a).unwrap().is_satisfiable());
+        prop_assert!(check_conflict(&a, &b).unwrap().is_none());
+    }
+
+    /// Widening a threshold can only preserve or create conflicts, never
+    /// remove them (monotonicity of satisfiability in the bound).
+    #[test]
+    fn loosening_a_lower_bound_preserves_conflicts(
+        b in arb_rule(2),
+        tight in 0i64..30,
+        slack in 1i64..10,
+    ) {
+        let make = |threshold: i64| {
+            Rule::builder(PersonId::new("x"))
+                .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+                    SensorKey::new(DeviceId::new("sensor-0"), "reading"),
+                    RelOp::Gt,
+                    Quantity::from_integer(threshold, Unit::Celsius),
+                ))))
+                .action(ActionSpec::new(DeviceId::new("shared-device"), Verb::TurnOn)
+                    .with_setting("temperature", Quantity::from_integer(99, Unit::Celsius)))
+                .build(RuleId::new(1))
+                .unwrap()
+        };
+        let tight_rule = make(tight);
+        let loose_rule = make(tight - slack);
+        if check_conflict(&tight_rule, &b).unwrap().is_some() {
+            prop_assert!(check_conflict(&loose_rule, &b).unwrap().is_some());
+        }
+    }
+}

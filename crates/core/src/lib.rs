@@ -1,0 +1,63 @@
+//! # CADEL — Context-Aware rule DEfinition Language and framework
+//!
+//! A Rust reproduction of *"Framework and Rule-based Language for
+//! Facilitating Context-aware Computing using Information Appliances"*
+//! (Nishigaki, Yasumoto, Shibata, Ito, Higashino — ICDCS 2005).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`types`] | `cadel-types` | quantities, units, time, topology, identifiers |
+//! | [`simplex`] | `cadel-simplex` | exact rational Simplex feasibility (conflict checking) |
+//! | [`rule`] | `cadel-rule` | rule objects, conditions, actions, rule database |
+//! | [`lang`] | `cadel-lang` | the CADEL language: lexer, parser, lexicon, compiler |
+//! | [`upnp`] | `cadel-upnp` | simulated UPnP: descriptions, SSDP, control point, eventing |
+//! | [`devices`] | `cadel-devices` | virtual appliances and sensors (the living-room home) |
+//! | [`conflict`] | `cadel-conflict` | consistency checks, conflict detection, priorities |
+//! | [`engine`] | `cadel-engine` | the rule execution module |
+//! | [`server`] | `cadel-server` | the home server: registration workflow, guidance, users |
+//! | [`sim`] | `cadel-sim` | discrete-event simulation and the Fig. 1 scenario |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cadel::server::{HomeServer, SubmitOutcome};
+//! use cadel::devices::LivingRoomHome;
+//! use cadel::upnp::{ControlPoint, Registry};
+//! use cadel::types::{PersonId, SimTime, Topology};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let registry = Registry::new();
+//! let home = LivingRoomHome::install(&registry);
+//! let mut topology = Topology::new("home");
+//! topology.add_floor("first floor")?;
+//! topology.add_room("living room", "first floor")?;
+//! topology.add_room("hall", "first floor")?;
+//!
+//! let mut server = HomeServer::new(ControlPoint::new(registry), topology);
+//! let tom = server.add_user("tom")?;
+//! let outcome = server.submit(
+//!     &tom,
+//!     "If humidity is higher than 80 percent, turn on the air conditioner \
+//!      with 25 degrees of temperature setting.",
+//! )?;
+//! assert!(matches!(outcome, SubmitOutcome::Registered { .. }));
+//! # let _ = home;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cadel_conflict as conflict;
+pub use cadel_devices as devices;
+pub use cadel_engine as engine;
+pub use cadel_lang as lang;
+pub use cadel_rule as rule;
+pub use cadel_server as server;
+pub use cadel_sim as sim;
+pub use cadel_simplex as simplex;
+pub use cadel_types as types;
+pub use cadel_upnp as upnp;

@@ -1,0 +1,568 @@
+//! Audio/visual appliances: TV, stereo, video recorder, and the TV guide
+//! (EPG) event source.
+
+use crate::core::DeviceCore;
+use cadel_types::{Quantity, Rational, SimTime, Unit, Value, ValueKind};
+use cadel_upnp::{
+    ActionSignature, ArgSpec, DeviceDescription, EventPublisher, ServiceDescription,
+    StateVariableSpec, UpnpError, VirtualDevice,
+};
+use std::sync::Arc;
+
+/// Device type URN of televisions.
+pub const TV_DEVICE_TYPE: &str = "urn:cadel:device:tv:1";
+/// Service type URN of AV playback control.
+pub const AV_SERVICE_TYPE: &str = "urn:cadel:service:av:1";
+/// Device type URN of stereos.
+pub const STEREO_DEVICE_TYPE: &str = "urn:cadel:device:stereo:1";
+/// Device type URN of video recorders.
+pub const RECORDER_DEVICE_TYPE: &str = "urn:cadel:device:recorder:1";
+/// Device type URN of the TV guide.
+pub const TV_GUIDE_DEVICE_TYPE: &str = "urn:cadel:device:tvguide:1";
+/// Service type URN of program announcements.
+pub const EPG_SERVICE_TYPE: &str = "urn:cadel:service:epg:1";
+
+fn percent_var(name: &str, default: i64) -> StateVariableSpec {
+    StateVariableSpec::new(name, ValueKind::Number)
+        .with_unit(Unit::Percent)
+        .with_range(Rational::ZERO, Rational::from_integer(100))
+        .with_default(Value::Number(Quantity::from_integer(default, Unit::Percent)))
+}
+
+/// A virtual television: power, channel, volume, message overlay and the
+/// currently displayed content.
+#[derive(Debug)]
+pub struct Television {
+    core: DeviceCore,
+}
+
+impl Television {
+    /// Creates a TV.
+    pub fn new(udn: &str, friendly_name: &str, place: &str) -> Arc<Television> {
+        let description = DeviceDescription::new(udn, friendly_name, TV_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["video", "program", "entertainment", "screen"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:av"), AV_SERVICE_TYPE)
+                    .with_action(
+                        ActionSignature::new("TurnOn")
+                            .with_arg(ArgSpec::input("channel", ValueKind::Number))
+                            .with_arg(ArgSpec::input("volume", ValueKind::Number))
+                            .with_arg(ArgSpec::input("content", ValueKind::Text)),
+                    )
+                    .with_action(ActionSignature::new("TurnOff"))
+                    .with_action(
+                        ActionSignature::new("SetChannel")
+                            .with_arg(ArgSpec::input("channel", ValueKind::Number)),
+                    )
+                    .with_action(
+                        ActionSignature::new("SetVolume")
+                            .with_arg(ArgSpec::input("volume", ValueKind::Number)),
+                    )
+                    .with_action(
+                        ActionSignature::new("Show")
+                            .with_arg(ArgSpec::input("content", ValueKind::Text)),
+                    )
+                    .with_action(
+                        ActionSignature::new("Notify")
+                            .with_arg(ArgSpec::input("content", ValueKind::Text)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("power", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("channel", ValueKind::Number)
+                            .with_range(Rational::ONE, Rational::from_integer(999))
+                            .with_default(Value::Number(Quantity::from_integer(1, Unit::Count))),
+                    )
+                    .with_variable(percent_var("volume", 40))
+                    .with_variable(
+                        StateVariableSpec::new("content", ValueKind::Text)
+                            .with_default(Value::from("")),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("message", ValueKind::Text)
+                            .with_default(Value::from("")),
+                    ),
+            );
+        Arc::new(Television {
+            core: DeviceCore::new(description),
+        })
+    }
+}
+
+impl VirtualDevice for Television {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        match action.to_ascii_lowercase().as_str() {
+            "turnon" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                if let Some(v) = DeviceCore::arg(args, "channel") {
+                    self.core.set("channel", v.clone(), at)?;
+                }
+                if let Some(v) = DeviceCore::arg(args, "volume") {
+                    self.core.set("volume", v.clone(), at)?;
+                }
+                if let Some(v) = DeviceCore::arg(args, "content") {
+                    self.core.set("content", v.clone(), at)?;
+                }
+                Ok(vec![])
+            }
+            "turnoff" => {
+                self.core.set("power", Value::Bool(false), at)?;
+                self.core.set("content", Value::from(""), at)?;
+                Ok(vec![])
+            }
+            "setchannel" => {
+                let v = DeviceCore::arg(args, "channel").ok_or_else(|| {
+                    UpnpError::DeviceFault("SetChannel requires 'channel'".into())
+                })?;
+                self.core.set("channel", v.clone(), at)?;
+                Ok(vec![])
+            }
+            "setvolume" => {
+                let v = DeviceCore::arg(args, "volume").ok_or_else(|| {
+                    UpnpError::DeviceFault("SetVolume requires 'volume'".into())
+                })?;
+                self.core.set("volume", v.clone(), at)?;
+                Ok(vec![])
+            }
+            "show" => {
+                if self.core.get("power")? != Value::Bool(true) {
+                    self.core.set("power", Value::Bool(true), at)?;
+                }
+                let v = DeviceCore::arg(args, "content")
+                    .ok_or_else(|| UpnpError::DeviceFault("Show requires 'content'".into()))?;
+                self.core.set("content", v.clone(), at)?;
+                Ok(vec![])
+            }
+            "notify" => {
+                let v = DeviceCore::arg(args, "content")
+                    .ok_or_else(|| UpnpError::DeviceFault("Notify requires 'content'".into()))?;
+                self.core.set("message", v.clone(), at)?;
+                Ok(vec![])
+            }
+            _ => Err(self.core.unknown_action(action)),
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+/// A virtual stereo system: power, volume, playing flag and current
+/// content (e.g. "jazz music" or a movie soundtrack).
+#[derive(Debug)]
+pub struct Stereo {
+    core: DeviceCore,
+}
+
+impl Stereo {
+    /// Creates a stereo.
+    pub fn new(udn: &str, friendly_name: &str, place: &str) -> Arc<Stereo> {
+        let description = DeviceDescription::new(udn, friendly_name, STEREO_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["music", "audio", "entertainment"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:av"), AV_SERVICE_TYPE)
+                    .with_action(
+                        ActionSignature::new("TurnOn")
+                            .with_arg(ArgSpec::input("volume", ValueKind::Number))
+                            .with_arg(ArgSpec::input("content", ValueKind::Text)),
+                    )
+                    .with_action(ActionSignature::new("TurnOff"))
+                    .with_action(
+                        ActionSignature::new("Play")
+                            .with_arg(ArgSpec::input("content", ValueKind::Text)),
+                    )
+                    .with_action(ActionSignature::new("Stop"))
+                    .with_action(
+                        ActionSignature::new("SetVolume")
+                            .with_arg(ArgSpec::input("volume", ValueKind::Number)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("power", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("playing", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    )
+                    .with_variable(percent_var("volume", 30))
+                    .with_variable(
+                        StateVariableSpec::new("content", ValueKind::Text)
+                            .with_default(Value::from("")),
+                    ),
+            );
+        Arc::new(Stereo {
+            core: DeviceCore::new(description),
+        })
+    }
+}
+
+impl VirtualDevice for Stereo {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        match action.to_ascii_lowercase().as_str() {
+            "turnon" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                if let Some(v) = DeviceCore::arg(args, "volume") {
+                    self.core.set("volume", v.clone(), at)?;
+                }
+                if let Some(v) = DeviceCore::arg(args, "content") {
+                    self.core.set("content", v.clone(), at)?;
+                    self.core.set("playing", Value::Bool(true), at)?;
+                }
+                Ok(vec![])
+            }
+            "turnoff" => {
+                self.core.set("playing", Value::Bool(false), at)?;
+                self.core.set("power", Value::Bool(false), at)?;
+                Ok(vec![])
+            }
+            "play" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                if let Some(v) = DeviceCore::arg(args, "content") {
+                    self.core.set("content", v.clone(), at)?;
+                }
+                self.core.set("playing", Value::Bool(true), at)?;
+                Ok(vec![])
+            }
+            "stop" => {
+                self.core.set("playing", Value::Bool(false), at)?;
+                Ok(vec![])
+            }
+            "setvolume" => {
+                let v = DeviceCore::arg(args, "volume").ok_or_else(|| {
+                    UpnpError::DeviceFault("SetVolume requires 'volume'".into())
+                })?;
+                self.core.set("volume", v.clone(), at)?;
+                Ok(vec![])
+            }
+            _ => Err(self.core.unknown_action(action)),
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+/// A virtual video recorder: records a named program.
+#[derive(Debug)]
+pub struct VideoRecorder {
+    core: DeviceCore,
+}
+
+impl VideoRecorder {
+    /// Creates a video recorder.
+    pub fn new(udn: &str, friendly_name: &str, place: &str) -> Arc<VideoRecorder> {
+        let description = DeviceDescription::new(udn, friendly_name, RECORDER_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["video", "recording", "program"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:av"), AV_SERVICE_TYPE)
+                    .with_action(ActionSignature::new("TurnOn"))
+                    .with_action(ActionSignature::new("TurnOff"))
+                    .with_action(
+                        ActionSignature::new("Record")
+                            .with_arg(ArgSpec::input("content", ValueKind::Text)),
+                    )
+                    .with_action(ActionSignature::new("Stop"))
+                    .with_variable(
+                        StateVariableSpec::new("power", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("recording", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("content", ValueKind::Text)
+                            .with_default(Value::from("")),
+                    ),
+            );
+        Arc::new(VideoRecorder {
+            core: DeviceCore::new(description),
+        })
+    }
+}
+
+impl VirtualDevice for VideoRecorder {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        match action.to_ascii_lowercase().as_str() {
+            "turnon" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                Ok(vec![])
+            }
+            "turnoff" => {
+                self.core.set("recording", Value::Bool(false), at)?;
+                self.core.set("power", Value::Bool(false), at)?;
+                Ok(vec![])
+            }
+            "record" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                if let Some(v) = DeviceCore::arg(args, "content") {
+                    self.core.set("content", v.clone(), at)?;
+                }
+                self.core.set("recording", Value::Bool(true), at)?;
+                Ok(vec![])
+            }
+            "stop" => {
+                self.core.set("recording", Value::Bool(false), at)?;
+                Ok(vec![])
+            }
+            _ => Err(self.core.unknown_action(action)),
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+/// The TV guide (EPG): announces which program is currently on air.
+///
+/// The engine listens for changes of the `on-air` variable and turns them
+/// into broadcast event facts (`tv-guide:<program>`), which is what
+/// conditions like "when a baseball game is on air" test.
+#[derive(Debug)]
+pub struct TvGuide {
+    core: DeviceCore,
+    programs: parking_lot::Mutex<std::collections::BTreeSet<String>>,
+}
+
+impl TvGuide {
+    /// Creates the TV guide source.
+    pub fn new(udn: &str) -> Arc<TvGuide> {
+        let description = DeviceDescription::new(udn, "TV Guide", TV_GUIDE_DEVICE_TYPE)
+            .with_keywords(["program", "broadcast", "epg"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:epg"), EPG_SERVICE_TYPE).with_variable(
+                    StateVariableSpec::new("on-air", ValueKind::Text)
+                        .with_default(Value::from("")),
+                ),
+            );
+        Arc::new(TvGuide {
+            core: DeviceCore::new(description),
+            programs: parking_lot::Mutex::new(std::collections::BTreeSet::new()),
+        })
+    }
+
+    fn publish(&self, at: SimTime) {
+        let list = self
+            .programs
+            .lock()
+            .iter()
+            .cloned()
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = self.core.set("on-air", Value::from(list), at);
+    }
+
+    /// Announces that `program` is now the *only* thing on air (empty
+    /// string = nothing). Replaces any running programs.
+    pub fn announce(&self, program: &str, at: SimTime) {
+        {
+            let mut programs = self.programs.lock();
+            programs.clear();
+            if !program.is_empty() {
+                programs.insert(program.to_ascii_lowercase());
+            }
+        }
+        self.publish(at);
+    }
+
+    /// Starts an additional program (several channels can be on air at
+    /// once).
+    pub fn start_program(&self, program: &str, at: SimTime) {
+        self.programs.lock().insert(program.to_ascii_lowercase());
+        self.publish(at);
+    }
+
+    /// Ends a running program.
+    pub fn end_program(&self, program: &str, at: SimTime) {
+        self.programs.lock().remove(&program.to_ascii_lowercase());
+        self.publish(at);
+    }
+
+    /// The first program currently on air, if any (convenience for the
+    /// single-program case).
+    pub fn on_air(&self) -> Option<String> {
+        self.programs.lock().iter().next().cloned()
+    }
+
+    /// All programs currently on air.
+    pub fn programs_on_air(&self) -> Vec<String> {
+        self.programs.lock().iter().cloned().collect()
+    }
+}
+
+impl VirtualDevice for TvGuide {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        _args: &[(String, Value)],
+        _at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        Err(self.core.unknown_action(action))
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_upnp::Registry;
+
+    #[test]
+    fn tv_state_machine() {
+        let tv = Television::new("tv-1", "TV", "living room");
+        let t = SimTime::EPOCH;
+        tv.invoke(
+            "TurnOn",
+            &[(
+                "channel".into(),
+                Value::Number(Quantity::from_integer(4, Unit::Count)),
+            )],
+            t,
+        )
+        .unwrap();
+        assert_eq!(tv.query("power").unwrap(), Value::Bool(true));
+        assert_eq!(
+            tv.query("channel").unwrap(),
+            Value::Number(Quantity::from_integer(4, Unit::Count))
+        );
+        tv.invoke(
+            "Show",
+            &[("content".into(), Value::from("baseball game"))],
+            t,
+        )
+        .unwrap();
+        assert_eq!(tv.query("content").unwrap(), Value::from("baseball game"));
+        tv.invoke("TurnOff", &[], t).unwrap();
+        assert_eq!(tv.query("power").unwrap(), Value::Bool(false));
+        assert_eq!(tv.query("content").unwrap(), Value::from(""));
+    }
+
+    #[test]
+    fn tv_show_powers_on_automatically() {
+        let tv = Television::new("tv-1", "TV", "x");
+        tv.invoke("Show", &[("content".into(), Value::from("movie"))], SimTime::EPOCH)
+            .unwrap();
+        assert_eq!(tv.query("power").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn tv_channel_range() {
+        let tv = Television::new("tv-1", "TV", "x");
+        assert!(tv
+            .invoke(
+                "SetChannel",
+                &[(
+                    "channel".into(),
+                    Value::Number(Quantity::from_integer(0, Unit::Count)),
+                )],
+                SimTime::EPOCH,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn stereo_play_stop() {
+        let stereo = Stereo::new("st-1", "Stereo", "living room");
+        let t = SimTime::EPOCH;
+        stereo
+            .invoke("Play", &[("content".into(), Value::from("jazz music"))], t)
+            .unwrap();
+        assert_eq!(stereo.query("playing").unwrap(), Value::Bool(true));
+        assert_eq!(stereo.query("power").unwrap(), Value::Bool(true));
+        assert_eq!(stereo.query("content").unwrap(), Value::from("jazz music"));
+        stereo.invoke("Stop", &[], t).unwrap();
+        assert_eq!(stereo.query("playing").unwrap(), Value::Bool(false));
+        assert_eq!(stereo.query("power").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn recorder_records_named_program() {
+        let vcr = VideoRecorder::new("vcr-1", "Video Recorder", "living room");
+        let t = SimTime::EPOCH;
+        vcr.invoke(
+            "Record",
+            &[("content".into(), Value::from("baseball game"))],
+            t,
+        )
+        .unwrap();
+        assert_eq!(vcr.query("recording").unwrap(), Value::Bool(true));
+        assert_eq!(vcr.query("power").unwrap(), Value::Bool(true));
+        assert_eq!(vcr.query("content").unwrap(), Value::from("baseball game"));
+        vcr.invoke("Stop", &[], t).unwrap();
+        assert_eq!(vcr.query("recording").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn tv_guide_announces_programs() {
+        let registry = Registry::new();
+        let guide = TvGuide::new("epg-1");
+        registry.register(guide.clone()).unwrap();
+        let sub = registry.event_bus().subscribe(None);
+        assert_eq!(guide.on_air(), None);
+        guide.announce("baseball game", SimTime::EPOCH);
+        assert_eq!(guide.on_air(), Some("baseball game".to_owned()));
+        let changes = sub.drain();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].variable, "on-air");
+        guide.announce("", SimTime::EPOCH);
+        assert_eq!(guide.on_air(), None);
+    }
+}

@@ -1,0 +1,465 @@
+//! Climate devices: air conditioner, thermometer, hygrometer.
+
+use crate::core::DeviceCore;
+use cadel_types::{Quantity, Rational, SimTime, Unit, Value, ValueKind};
+use cadel_upnp::{
+    ActionSignature, ArgSpec, DeviceDescription, EventPublisher, ServiceDescription,
+    StateVariableSpec, UpnpError, VirtualDevice,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Device type URN of air conditioners.
+pub const AIRCON_DEVICE_TYPE: &str = "urn:cadel:device:aircon:1";
+/// Service type URN of thermostat control.
+pub const THERMOSTAT_SERVICE_TYPE: &str = "urn:cadel:service:thermostat:1";
+/// Device type URN of temperature sensors.
+pub const THERMOMETER_DEVICE_TYPE: &str = "urn:cadel:device:thermometer:1";
+/// Service type URN of temperature sensing.
+pub const TEMPERATURE_SERVICE_TYPE: &str = "urn:cadel:service:temperature:1";
+/// Device type URN of humidity sensors.
+pub const HYGROMETER_DEVICE_TYPE: &str = "urn:cadel:device:hygrometer:1";
+/// Service type URN of humidity sensing.
+pub const HUMIDITY_SERVICE_TYPE: &str = "urn:cadel:service:humidity:1";
+
+/// A virtual air conditioner: power, temperature set-point (16–32 °C),
+/// humidity target (30–90 %), mode (cool / heat / dehumidify).
+#[derive(Debug)]
+pub struct AirConditioner {
+    core: DeviceCore,
+}
+
+impl AirConditioner {
+    /// Creates an air conditioner with the given UDN, friendly name and
+    /// location.
+    pub fn new(udn: &str, friendly_name: &str, place: &str) -> Arc<AirConditioner> {
+        let description = DeviceDescription::new(udn, friendly_name, AIRCON_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["temperature", "humidity", "cooling", "climate"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:thermostat"), THERMOSTAT_SERVICE_TYPE)
+                    .with_action(
+                        ActionSignature::new("TurnOn")
+                            .with_arg(ArgSpec::input("temperature", ValueKind::Number))
+                            .with_arg(ArgSpec::input("humidity", ValueKind::Number))
+                            .with_arg(ArgSpec::input("mode", ValueKind::Text)),
+                    )
+                    .with_action(ActionSignature::new("TurnOff"))
+                    .with_action(
+                        ActionSignature::new("SetTemperature")
+                            .with_arg(ArgSpec::input("temperature", ValueKind::Number)),
+                    )
+                    .with_action(
+                        ActionSignature::new("SetHumidity")
+                            .with_arg(ArgSpec::input("humidity", ValueKind::Number)),
+                    )
+                    .with_action(
+                        ActionSignature::new("SetMode")
+                            .with_arg(ArgSpec::input("mode", ValueKind::Text)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("power", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("setpoint", ValueKind::Number)
+                            .with_unit(Unit::Celsius)
+                            .with_range(Rational::from_integer(16), Rational::from_integer(32))
+                            .with_default(Value::Number(Quantity::from_integer(
+                                24,
+                                Unit::Celsius,
+                            ))),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("humidity-target", ValueKind::Number)
+                            .with_unit(Unit::Percent)
+                            .with_range(Rational::from_integer(30), Rational::from_integer(90))
+                            .with_default(Value::Number(Quantity::from_integer(
+                                60,
+                                Unit::Percent,
+                            ))),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("mode", ValueKind::Text)
+                            .with_allowed_values(["cool", "heat", "dehumidify"])
+                            .with_default(Value::from("cool")),
+                    ),
+            );
+        Arc::new(AirConditioner {
+            core: DeviceCore::new(description),
+        })
+    }
+}
+
+impl VirtualDevice for AirConditioner {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        match action.to_ascii_lowercase().as_str() {
+            "turnon" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                // Optional settings piggybacked on TurnOn.
+                if let Some(v) = DeviceCore::arg(args, "temperature") {
+                    self.core.set("setpoint", v.clone(), at)?;
+                }
+                if let Some(v) = DeviceCore::arg(args, "humidity") {
+                    self.core.set("humidity-target", v.clone(), at)?;
+                }
+                if let Some(v) = DeviceCore::arg(args, "mode") {
+                    self.core.set("mode", v.clone(), at)?;
+                }
+                Ok(vec![])
+            }
+            "turnoff" => {
+                self.core.set("power", Value::Bool(false), at)?;
+                Ok(vec![])
+            }
+            "settemperature" => {
+                let v = DeviceCore::arg(args, "temperature").ok_or_else(|| {
+                    UpnpError::DeviceFault("SetTemperature requires 'temperature'".into())
+                })?;
+                self.core.set("setpoint", v.clone(), at)?;
+                Ok(vec![])
+            }
+            "sethumidity" => {
+                let v = DeviceCore::arg(args, "humidity").ok_or_else(|| {
+                    UpnpError::DeviceFault("SetHumidity requires 'humidity'".into())
+                })?;
+                self.core.set("humidity-target", v.clone(), at)?;
+                Ok(vec![])
+            }
+            "setmode" => {
+                let v = DeviceCore::arg(args, "mode").ok_or_else(|| {
+                    UpnpError::DeviceFault("SetMode requires 'mode'".into())
+                })?;
+                self.core.set("mode", v.clone(), at)?;
+                Ok(vec![])
+            }
+            _ => Err(self.core.unknown_action(action)),
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+#[derive(Debug)]
+struct SensorModel {
+    /// Value the reading drifts toward (e.g. room conditions).
+    target: Rational,
+    /// Change per simulated minute while drifting.
+    rate_per_minute: Rational,
+    /// Last time `tick` updated the reading.
+    last_tick: SimTime,
+}
+
+/// A numeric environmental sensor with a drift model, generic over its
+/// measured quantity. [`Thermometer`] and [`Hygrometer`] are thin
+/// wrappers.
+#[derive(Debug)]
+pub struct EnvironmentSensor {
+    core: DeviceCore,
+    variable: &'static str,
+    unit: Unit,
+    model: Mutex<SensorModel>,
+}
+
+impl EnvironmentSensor {
+    fn new(
+        udn: &str,
+        friendly_name: &str,
+        place: &str,
+        device_type: &str,
+        service_type: &str,
+        variable: &'static str,
+        unit: Unit,
+        initial: i64,
+        min: i64,
+        max: i64,
+        keywords: &[&str],
+    ) -> Arc<EnvironmentSensor> {
+        let description = DeviceDescription::new(udn, friendly_name, device_type)
+            .at(place)
+            .with_keywords(keywords.iter().copied())
+            .with_service(
+                ServiceDescription::new(format!("{udn}:sense"), service_type).with_variable(
+                    StateVariableSpec::new(variable, ValueKind::Number)
+                        .with_unit(unit)
+                        .with_range(Rational::from_integer(min), Rational::from_integer(max))
+                        .with_default(Value::Number(Quantity::from_integer(initial, unit))),
+                ),
+            );
+        Arc::new(EnvironmentSensor {
+            core: DeviceCore::new(description),
+            variable,
+            unit,
+            model: Mutex::new(SensorModel {
+                target: Rational::from_integer(initial),
+                rate_per_minute: Rational::new(1, 2),
+                last_tick: SimTime::EPOCH,
+            }),
+        })
+    }
+
+    /// Forces the reading to an exact value (scenario scripting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::RangeViolation`] outside the declared range.
+    pub fn set_reading(&self, value: Rational, at: SimTime) -> Result<(), UpnpError> {
+        self.model.lock().last_tick = at;
+        self.core
+            .set(self.variable, Value::Number(Quantity::new(value, self.unit)), at)?;
+        Ok(())
+    }
+
+    /// Sets the drift target: the reading moves toward it on `tick`.
+    pub fn set_target(&self, target: Rational, rate_per_minute: Rational) {
+        let mut model = self.model.lock();
+        model.target = target;
+        model.rate_per_minute = rate_per_minute;
+    }
+
+    /// The current reading.
+    pub fn reading(&self) -> Quantity {
+        match self.core.get(self.variable) {
+            Ok(Value::Number(q)) => q,
+            _ => Quantity::new(Rational::ZERO, self.unit),
+        }
+    }
+}
+
+impl VirtualDevice for EnvironmentSensor {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        _args: &[(String, Value)],
+        _at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        Err(self.core.unknown_action(action))
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+
+    fn tick(&self, now: SimTime) {
+        let (target, step) = {
+            let mut model = self.model.lock();
+            let elapsed_min = now.since(model.last_tick).as_minutes();
+            if elapsed_min == 0 {
+                return;
+            }
+            model.last_tick = now;
+            let step = model
+                .rate_per_minute
+                .checked_mul(Rational::from_integer(elapsed_min as i64))
+                .unwrap_or(Rational::ZERO);
+            (model.target, step)
+        };
+        let current = self.reading().value();
+        let next = if current < target {
+            (current + step).min(target)
+        } else if current > target {
+            (current - step).max(target)
+        } else {
+            return;
+        };
+        let _ = self.set_reading(next, now);
+    }
+}
+
+/// A virtual thermometer (temperature in °C, −20…60).
+pub struct Thermometer;
+
+impl Thermometer {
+    /// Creates a thermometer reading `initial` °C.
+    pub fn new(udn: &str, friendly_name: &str, place: &str, initial: i64) -> Arc<EnvironmentSensor> {
+        EnvironmentSensor::new(
+            udn,
+            friendly_name,
+            place,
+            THERMOMETER_DEVICE_TYPE,
+            TEMPERATURE_SERVICE_TYPE,
+            "temperature",
+            Unit::Celsius,
+            initial,
+            -20,
+            60,
+            &["temperature", "climate"],
+        )
+    }
+}
+
+/// A virtual hygrometer (relative humidity in %, 0…100).
+pub struct Hygrometer;
+
+impl Hygrometer {
+    /// Creates a hygrometer reading `initial` %.
+    pub fn new(udn: &str, friendly_name: &str, place: &str, initial: i64) -> Arc<EnvironmentSensor> {
+        EnvironmentSensor::new(
+            udn,
+            friendly_name,
+            place,
+            HYGROMETER_DEVICE_TYPE,
+            HUMIDITY_SERVICE_TYPE,
+            "humidity",
+            Unit::Percent,
+            initial,
+            0,
+            100,
+            &["humidity", "climate"],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::SimDuration;
+    use cadel_upnp::Registry;
+
+    #[test]
+    fn aircon_turn_on_with_settings() {
+        let registry = Registry::new();
+        let aircon = AirConditioner::new("ac-1", "Air Conditioner", "living room");
+        registry.register(aircon.clone()).unwrap();
+        let t = SimTime::EPOCH;
+        aircon
+            .invoke(
+                "TurnOn",
+                &[
+                    (
+                        "temperature".into(),
+                        Value::Number(Quantity::from_integer(25, Unit::Celsius)),
+                    ),
+                    (
+                        "humidity".into(),
+                        Value::Number(Quantity::from_integer(60, Unit::Percent)),
+                    ),
+                ],
+                t,
+            )
+            .unwrap();
+        assert_eq!(aircon.query("power").unwrap(), Value::Bool(true));
+        assert_eq!(
+            aircon.query("setpoint").unwrap(),
+            Value::Number(Quantity::from_integer(25, Unit::Celsius))
+        );
+        assert_eq!(
+            aircon.query("humidity-target").unwrap(),
+            Value::Number(Quantity::from_integer(60, Unit::Percent))
+        );
+    }
+
+    #[test]
+    fn aircon_rejects_out_of_range_setpoint() {
+        let aircon = AirConditioner::new("ac-1", "AC", "x");
+        let err = aircon
+            .invoke(
+                "SetTemperature",
+                &[(
+                    "temperature".into(),
+                    Value::Number(Quantity::from_integer(50, Unit::Celsius)),
+                )],
+                SimTime::EPOCH,
+            )
+            .unwrap_err();
+        assert!(matches!(err, UpnpError::RangeViolation { .. }));
+    }
+
+    #[test]
+    fn aircon_mode_validation() {
+        let aircon = AirConditioner::new("ac-1", "AC", "x");
+        aircon
+            .invoke(
+                "SetMode",
+                &[("mode".into(), Value::from("dehumidify"))],
+                SimTime::EPOCH,
+            )
+            .unwrap();
+        assert!(aircon
+            .invoke(
+                "SetMode",
+                &[("mode".into(), Value::from("party"))],
+                SimTime::EPOCH,
+            )
+            .is_err());
+        assert!(aircon.invoke("Fly", &[], SimTime::EPOCH).is_err());
+    }
+
+    #[test]
+    fn thermometer_reading_and_events() {
+        let registry = Registry::new();
+        let thermo = Thermometer::new("th-1", "Thermometer", "living room", 22);
+        registry.register(thermo.clone()).unwrap();
+        let sub = registry.event_bus().subscribe(None);
+        thermo
+            .set_reading(Rational::from_integer(27), SimTime::EPOCH)
+            .unwrap();
+        assert_eq!(
+            thermo.reading(),
+            Quantity::from_integer(27, Unit::Celsius)
+        );
+        let changes = sub.drain();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].variable, "temperature");
+    }
+
+    #[test]
+    fn sensor_drift_moves_toward_target() {
+        let thermo = Thermometer::new("th-1", "T", "x", 20);
+        thermo.set_target(Rational::from_integer(30), Rational::ONE);
+        // After 4 minutes at 1°/min: 24°.
+        thermo.tick(SimTime::EPOCH + SimDuration::from_minutes(4));
+        assert_eq!(thermo.reading().value(), Rational::from_integer(24));
+        // Long tick saturates at the target, not beyond.
+        thermo.tick(SimTime::EPOCH + SimDuration::from_minutes(60));
+        assert_eq!(thermo.reading().value(), Rational::from_integer(30));
+    }
+
+    #[test]
+    fn sensor_drift_downward() {
+        let hygro = Hygrometer::new("hy-1", "H", "x", 80);
+        hygro.set_target(Rational::from_integer(60), Rational::from_integer(5));
+        hygro.tick(SimTime::EPOCH + SimDuration::from_minutes(2));
+        assert_eq!(hygro.reading().value(), Rational::from_integer(70));
+    }
+
+    #[test]
+    fn sensor_rejects_out_of_range_reading() {
+        let hygro = Hygrometer::new("hy-1", "H", "x", 50);
+        assert!(hygro
+            .set_reading(Rational::from_integer(150), SimTime::EPOCH)
+            .is_err());
+    }
+
+    #[test]
+    fn sensors_have_no_actions() {
+        let thermo = Thermometer::new("th-1", "T", "x", 20);
+        assert!(matches!(
+            thermo.invoke("Calibrate", &[], SimTime::EPOCH),
+            Err(UpnpError::UnknownAction { .. })
+        ));
+    }
+}

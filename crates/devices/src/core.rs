@@ -1,0 +1,222 @@
+//! Shared state-machine plumbing for virtual devices.
+
+use cadel_types::{SimTime, Value};
+use cadel_upnp::{DeviceDescription, EventPublisher, UpnpError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The state core embedded in every virtual appliance: a validated
+/// key/value store of state variables plus the event publisher wiring.
+///
+/// * `set` validates values against the device description (kind, range,
+///   allowed values) and publishes a property change when the value
+///   actually changed and the variable is evented.
+/// * `get` answers `query` calls.
+#[derive(Debug)]
+pub struct DeviceCore {
+    description: DeviceDescription,
+    state: Mutex<HashMap<String, Value>>,
+    publisher: Mutex<Option<EventPublisher>>,
+}
+
+impl DeviceCore {
+    /// Creates a core from a description, initializing every state
+    /// variable to its declared default (variables without defaults start
+    /// absent and `query` errors until first set).
+    pub fn new(description: DeviceDescription) -> DeviceCore {
+        let mut state = HashMap::new();
+        for service in description.services() {
+            for var in service.state_variables() {
+                if let Some(default) = var.default() {
+                    state.insert(var.name().to_owned(), default.clone());
+                }
+            }
+        }
+        DeviceCore {
+            description,
+            state: Mutex::new(state),
+            publisher: Mutex::new(None),
+        }
+    }
+
+    /// The description document.
+    pub fn description(&self) -> &DeviceDescription {
+        &self.description
+    }
+
+    /// Stores the event publisher (called from `VirtualDevice::attach`).
+    pub fn attach(&self, publisher: EventPublisher) {
+        *self.publisher.lock() = Some(publisher);
+    }
+
+    /// Reads a state variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownVariable`] when the variable is not
+    /// declared or has no value yet.
+    pub fn get(&self, variable: &str) -> Result<Value, UpnpError> {
+        let canonical = self
+            .description
+            .find_variable(variable)
+            .map(|(_, v)| v.name().to_owned())
+            .ok_or_else(|| UpnpError::UnknownVariable {
+                device: self.description.udn().clone(),
+                variable: variable.to_owned(),
+            })?;
+        self.state
+            .lock()
+            .get(&canonical)
+            .cloned()
+            .ok_or_else(|| UpnpError::UnknownVariable {
+                device: self.description.udn().clone(),
+                variable: canonical,
+            })
+    }
+
+    /// Validates and stores a state variable, publishing the change.
+    ///
+    /// Returns `true` when the stored value actually changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownVariable`] for undeclared variables and
+    /// [`UpnpError::RangeViolation`] when validation fails.
+    pub fn set(&self, variable: &str, value: Value, at: SimTime) -> Result<bool, UpnpError> {
+        let (_, spec) = self
+            .description
+            .find_variable(variable)
+            .ok_or_else(|| UpnpError::UnknownVariable {
+                device: self.description.udn().clone(),
+                variable: variable.to_owned(),
+            })?;
+        spec.validate(&value).map_err(|detail| UpnpError::RangeViolation {
+            variable: spec.name().to_owned(),
+            detail,
+        })?;
+        let name = spec.name().to_owned();
+        let evented = spec.is_evented();
+        let changed = {
+            let mut state = self.state.lock();
+            match state.get(&name) {
+                Some(existing) if *existing == value => false,
+                _ => {
+                    state.insert(name.clone(), value.clone());
+                    true
+                }
+            }
+        };
+        if changed && evented {
+            if let Some(p) = self.publisher.lock().as_ref() {
+                p.publish(name, value, at);
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Convenience: the error for an action this device does not offer.
+    pub fn unknown_action(&self, action: &str) -> UpnpError {
+        UpnpError::UnknownAction {
+            device: self.description.udn().clone(),
+            action: action.to_owned(),
+        }
+    }
+
+    /// Extracts a named argument from an invocation argument list
+    /// (case-insensitive).
+    pub fn arg<'v>(args: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+        args.iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::{DeviceId, Quantity, Rational, Unit, ValueKind};
+    use cadel_upnp::{EventBus, ServiceDescription, StateVariableSpec};
+
+    fn sample_core() -> DeviceCore {
+        let description = DeviceDescription::new("d1", "Sample", "urn:cadel:device:sample:1")
+            .with_service(
+                ServiceDescription::new("svc", "urn:cadel:service:sample:1")
+                    .with_variable(
+                        StateVariableSpec::new("power", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("setpoint", ValueKind::Number)
+                            .with_unit(Unit::Celsius)
+                            .with_range(
+                                Rational::from_integer(16),
+                                Rational::from_integer(32),
+                            ),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("silent", ValueKind::Bool).non_evented(),
+                    ),
+            );
+        DeviceCore::new(description)
+    }
+
+    #[test]
+    fn defaults_initialize_state() {
+        let core = sample_core();
+        assert_eq!(core.get("power").unwrap(), Value::Bool(false));
+        // setpoint has no default: absent until first set.
+        assert!(core.get("setpoint").is_err());
+        assert!(core.get("nonsense").is_err());
+    }
+
+    #[test]
+    fn set_validates_and_reports_change() {
+        let core = sample_core();
+        let t = SimTime::EPOCH;
+        assert!(core.set("power", Value::Bool(true), t).unwrap());
+        assert!(!core.set("power", Value::Bool(true), t).unwrap()); // no-op
+        let err = core
+            .set(
+                "setpoint",
+                Value::Number(Quantity::from_integer(99, Unit::Celsius)),
+                t,
+            )
+            .unwrap_err();
+        assert!(matches!(err, UpnpError::RangeViolation { .. }));
+        core.set(
+            "setpoint",
+            Value::Number(Quantity::from_integer(25, Unit::Celsius)),
+            t,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn changes_publish_only_when_evented_and_changed() {
+        let core = sample_core();
+        let bus = EventBus::new();
+        let sub = bus.subscribe(None);
+        core.attach(bus.publisher(DeviceId::new("d1")));
+        let t = SimTime::EPOCH;
+        core.set("power", Value::Bool(true), t).unwrap();
+        core.set("power", Value::Bool(true), t).unwrap(); // unchanged
+        core.set("silent", Value::Bool(true), t).unwrap(); // non-evented
+        let changes = sub.drain();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].variable, "power");
+    }
+
+    #[test]
+    fn variable_names_are_case_insensitive() {
+        let core = sample_core();
+        core.set("POWER", Value::Bool(true), SimTime::EPOCH).unwrap();
+        assert_eq!(core.get("Power").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arg_lookup() {
+        let args = vec![("Temperature".to_owned(), Value::Bool(true))];
+        assert!(DeviceCore::arg(&args, "temperature").is_some());
+        assert!(DeviceCore::arg(&args, "humidity").is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Ready-made device fleets: the paper's living-room home (Fig. 1
+//! scenario) and the generic virtual fleets used by the E1 retrieval
+//! experiment.
+
+use crate::av::{Stereo, Television, TvGuide, VideoRecorder};
+use crate::climate::{AirConditioner, EnvironmentSensor, Hygrometer, Thermometer};
+use crate::lighting::{Light, LightKind, LuxMeter};
+use crate::security::{Alarm, DoorLock, PresenceReader};
+use cadel_types::{DeviceId, SimTime, Value, ValueKind};
+use cadel_upnp::{
+    ActionSignature, DeviceDescription, EventPublisher, Registry, ServiceDescription,
+    StateVariableSpec, UpnpError, VirtualDevice,
+};
+use std::sync::Arc;
+
+/// Concrete handles to every device of the paper's living-room home.
+///
+/// §3.1: "there are a stereo system, a flat-panel TV, a video recorder, a
+/// fluorescent light, floor lamps, and an air conditioner in the living
+/// room" — plus the sensors needed to identify the context (temperature,
+/// humidity, presence/RFID, TV guide) and the hall devices of the paper's
+/// rule examples (hall light, lux meter, entrance door, alarm).
+pub struct LivingRoomHome {
+    /// The air conditioner in the living room.
+    pub aircon: Arc<AirConditioner>,
+    /// The flat-panel TV.
+    pub tv: Arc<Television>,
+    /// The stereo system.
+    pub stereo: Arc<Stereo>,
+    /// The video recorder.
+    pub recorder: Arc<VideoRecorder>,
+    /// The ceiling fluorescent light.
+    pub fluorescent: Arc<Light>,
+    /// The floor lamp.
+    pub floor_lamp: Arc<Light>,
+    /// The hall light.
+    pub hall_light: Arc<Light>,
+    /// Living-room thermometer.
+    pub thermometer: Arc<EnvironmentSensor>,
+    /// Living-room hygrometer.
+    pub hygrometer: Arc<EnvironmentSensor>,
+    /// Hall lux meter.
+    pub hall_lux: Arc<LuxMeter>,
+    /// Living-room presence reader.
+    pub living_presence: Arc<PresenceReader>,
+    /// Hall presence reader (the entrance).
+    pub hall_presence: Arc<PresenceReader>,
+    /// The entrance door lock.
+    pub entrance_door: Arc<DoorLock>,
+    /// The alarm.
+    pub alarm: Arc<Alarm>,
+    /// The TV guide (EPG).
+    pub tv_guide: Arc<TvGuide>,
+}
+
+impl LivingRoomHome {
+    /// Builds the home and registers every device in `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry already contains devices with the fixed
+    /// UDNs used here (fresh registries never do).
+    pub fn install(registry: &Registry) -> LivingRoomHome {
+        let home = LivingRoomHome {
+            aircon: AirConditioner::new("aircon-lr", "Air Conditioner", "living room"),
+            tv: Television::new("tv-lr", "TV", "living room"),
+            stereo: Stereo::new("stereo-lr", "Stereo", "living room"),
+            recorder: VideoRecorder::new("vcr-lr", "Video Recorder", "living room"),
+            fluorescent: Light::new(
+                "light-lr",
+                "Fluorescent Light",
+                "living room",
+                LightKind::Fluorescent,
+            ),
+            floor_lamp: Light::new("lamp-lr", "Floor Lamp", "living room", LightKind::FloorLamp),
+            hall_light: Light::new("light-hall", "Light", "hall", LightKind::Fluorescent),
+            thermometer: Thermometer::new("thermo-lr", "Thermometer", "living room", 24),
+            hygrometer: Hygrometer::new("hygro-lr", "Hygrometer", "living room", 55),
+            hall_lux: LuxMeter::new("lux-hall", "Lux Meter", "hall", 400),
+            living_presence: PresenceReader::new("rfid-lr", "Presence Reader", "living room"),
+            hall_presence: PresenceReader::new("rfid-hall", "Entrance Reader", "hall"),
+            entrance_door: DoorLock::new("door-hall", "Entrance Door", "hall"),
+            alarm: Alarm::new("alarm-hall", "Alarm", "hall"),
+            tv_guide: TvGuide::new("epg"),
+        };
+        let devices: Vec<Arc<dyn VirtualDevice>> = vec![
+            home.aircon.clone(),
+            home.tv.clone(),
+            home.stereo.clone(),
+            home.recorder.clone(),
+            home.fluorescent.clone(),
+            home.floor_lamp.clone(),
+            home.hall_light.clone(),
+            home.thermometer.clone(),
+            home.hygrometer.clone(),
+            home.hall_lux.clone(),
+            home.living_presence.clone(),
+            home.hall_presence.clone(),
+            home.entrance_door.clone(),
+            home.alarm.clone(),
+            home.tv_guide.clone(),
+        ];
+        for device in devices {
+            registry
+                .register(device)
+                .expect("fresh registry has no UDN collisions");
+        }
+        home
+    }
+}
+
+/// A minimal generic device used to populate large fleets for the E1
+/// retrieval benchmark — the analogue of the paper's "50 instances of
+/// virtual UPnP devices".
+#[derive(Debug)]
+pub struct GenericDevice {
+    description: DeviceDescription,
+}
+
+impl GenericDevice {
+    /// Creates a generic device with one service. `kind` selects the
+    /// device/service type URNs so type-indexed searches have something
+    /// to distinguish.
+    pub fn new(udn: &str, friendly_name: &str, kind: &str) -> Arc<GenericDevice> {
+        let description = DeviceDescription::new(
+            udn,
+            friendly_name,
+            format!("urn:cadel:device:{kind}:1"),
+        )
+        .with_service(
+            ServiceDescription::new(
+                format!("{udn}:svc"),
+                format!("urn:cadel:service:{kind}:1"),
+            )
+            .with_action(ActionSignature::new("Ping"))
+            .with_variable(
+                StateVariableSpec::new("online", ValueKind::Bool)
+                    .with_default(Value::Bool(true)),
+            ),
+        );
+        Arc::new(GenericDevice { description })
+    }
+}
+
+impl VirtualDevice for GenericDevice {
+    fn description(&self) -> DeviceDescription {
+        self.description.clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        _args: &[(String, Value)],
+        _at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        if action.eq_ignore_ascii_case("ping") {
+            Ok(vec![("online".to_owned(), Value::Bool(true))])
+        } else {
+            Err(UpnpError::UnknownAction {
+                device: self.description.udn().clone(),
+                action: action.to_owned(),
+            })
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        if variable.eq_ignore_ascii_case("online") {
+            Ok(Value::Bool(true))
+        } else {
+            Err(UpnpError::UnknownVariable {
+                device: self.description.udn().clone(),
+                variable: variable.to_owned(),
+            })
+        }
+    }
+
+    fn attach(&self, _publisher: EventPublisher) {}
+}
+
+/// The device kinds cycled through by [`install_virtual_fleet`].
+pub const FLEET_KINDS: [&str; 5] = ["lamp", "sensor", "player", "appliance", "gadget"];
+
+/// Registers `n` generic virtual devices (`virtual-0` … `virtual-{n-1}`)
+/// cycling through [`FLEET_KINDS`]; returns their UDNs.
+///
+/// # Panics
+///
+/// Panics on UDN collision with already-registered devices.
+pub fn install_virtual_fleet(registry: &Registry, n: usize) -> Vec<DeviceId> {
+    (0..n)
+        .map(|i| {
+            let kind = FLEET_KINDS[i % FLEET_KINDS.len()];
+            let device = GenericDevice::new(
+                &format!("virtual-{i}"),
+                &format!("Virtual Device {i}"),
+                kind,
+            );
+            registry
+                .register(device)
+                .expect("virtual fleet UDNs are unique")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::PlaceId;
+
+    #[test]
+    fn living_room_home_registers_everything() {
+        let registry = Registry::new();
+        let home = LivingRoomHome::install(&registry);
+        assert_eq!(registry.len(), 15);
+        assert_eq!(
+            registry.find_by_name("air conditioner"),
+            vec![DeviceId::new("aircon-lr")]
+        );
+        assert_eq!(
+            registry
+                .find_by_location(&PlaceId::new("living room"))
+                .len(),
+            9
+        );
+        assert_eq!(registry.find_by_location(&PlaceId::new("hall")).len(), 5);
+        // Devices are live: the TV answers queries through the registry.
+        let tv = registry.device(&DeviceId::new("tv-lr")).unwrap();
+        assert_eq!(tv.query("power").unwrap(), Value::Bool(false));
+        let _ = home;
+    }
+
+    #[test]
+    fn virtual_fleet_scales_and_indexes() {
+        let registry = Registry::new();
+        let udns = install_virtual_fleet(&registry, 50);
+        assert_eq!(udns.len(), 50);
+        assert_eq!(registry.len(), 50);
+        assert_eq!(
+            registry.find_by_name("virtual device 17"),
+            vec![DeviceId::new("virtual-17")]
+        );
+        assert_eq!(
+            registry
+                .find_by_service_type("urn:cadel:service:lamp:1")
+                .len(),
+            10
+        );
+    }
+
+    #[test]
+    fn generic_device_ping() {
+        let d = GenericDevice::new("g1", "G", "gadget");
+        let out = d.invoke("Ping", &[], SimTime::EPOCH).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(d.invoke("Pong", &[], SimTime::EPOCH).is_err());
+        assert_eq!(d.query("online").unwrap(), Value::Bool(true));
+        assert!(d.query("offline").is_err());
+    }
+}

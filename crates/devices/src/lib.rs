@@ -1,0 +1,34 @@
+//! Virtual information appliances and sensors for the CADEL framework.
+//!
+//! The paper's target environment (§3.1) is an ordinary living room with
+//! "a stereo system, a flat-panel TV, a video recorder, a fluorescent
+//! light, floor lamps, and an air conditioner", plus the sensors that make
+//! its context observable. This crate implements each of those as a
+//! [`cadel_upnp::VirtualDevice`] with a validated state machine, and
+//! ships fixtures:
+//!
+//! * [`LivingRoomHome`] — the complete Fig.-1 environment, pre-registered.
+//! * [`install_virtual_fleet`] — N generic devices for the E1 retrieval
+//!   experiment ("50 instances of virtual UPnP devices").
+//!
+//! Sensors are *simulated*: scenario code drives them with `set_reading` /
+//! `person_entered` / `announce`, and a drift model (`tick`) can move
+//! readings gradually, which exercises the same property-change event path
+//! a real sensor would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod av;
+pub mod climate;
+pub mod core;
+pub mod fleet;
+pub mod lighting;
+pub mod security;
+
+pub use av::{Stereo, Television, TvGuide, VideoRecorder};
+pub use climate::{AirConditioner, EnvironmentSensor, Hygrometer, Thermometer};
+pub use core::DeviceCore;
+pub use fleet::{install_virtual_fleet, GenericDevice, LivingRoomHome, FLEET_KINDS};
+pub use lighting::{Light, LightKind, LuxMeter};
+pub use security::{Alarm, DoorLock, PresenceReader};

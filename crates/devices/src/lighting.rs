@@ -1,0 +1,273 @@
+//! Lighting devices: dimmable lights and the lux meter.
+
+use crate::core::DeviceCore;
+use cadel_types::{Quantity, Rational, SimTime, Unit, Value, ValueKind};
+use cadel_upnp::{
+    ActionSignature, ArgSpec, DeviceDescription, EventPublisher, ServiceDescription,
+    StateVariableSpec, UpnpError, VirtualDevice,
+};
+use std::sync::Arc;
+
+/// Device type URN of lights.
+pub const LIGHT_DEVICE_TYPE: &str = "urn:cadel:device:light:1";
+/// Service type URN of dimmable lighting.
+pub const LIGHTING_SERVICE_TYPE: &str = "urn:cadel:service:lighting:1";
+/// Device type URN of lux meters.
+pub const LUXMETER_DEVICE_TYPE: &str = "urn:cadel:device:luxmeter:1";
+/// Service type URN of illuminance sensing.
+pub const ILLUMINANCE_SERVICE_TYPE: &str = "urn:cadel:service:illuminance:1";
+
+/// What kind of luminaire a [`Light`] is — affects only its keywords and
+/// default brightness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LightKind {
+    /// A ceiling fluorescent light (defaults bright).
+    Fluorescent,
+    /// A floor lamp (defaults to soft indirect light).
+    FloorLamp,
+}
+
+/// A dimmable light.
+#[derive(Debug)]
+pub struct Light {
+    core: DeviceCore,
+}
+
+impl Light {
+    /// Creates a light of the given kind.
+    pub fn new(udn: &str, friendly_name: &str, place: &str, kind: LightKind) -> Arc<Light> {
+        let (keyword, default_brightness) = match kind {
+            LightKind::Fluorescent => ("fluorescent", 100),
+            LightKind::FloorLamp => ("lamp", 50),
+        };
+        let description = DeviceDescription::new(udn, friendly_name, LIGHT_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["light", "lighting", "illuminance", keyword])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:light"), LIGHTING_SERVICE_TYPE)
+                    .with_action(
+                        ActionSignature::new("TurnOn")
+                            .with_arg(ArgSpec::input("brightness", ValueKind::Number)),
+                    )
+                    .with_action(ActionSignature::new("TurnOff"))
+                    .with_action(ActionSignature::new("Dim"))
+                    .with_action(ActionSignature::new("Brighten"))
+                    .with_action(
+                        ActionSignature::new("SetBrightness")
+                            .with_arg(ArgSpec::input("brightness", ValueKind::Number)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("power", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("brightness", ValueKind::Number)
+                            .with_unit(Unit::Percent)
+                            .with_range(Rational::ZERO, Rational::from_integer(100))
+                            .with_default(Value::Number(Quantity::from_integer(
+                                default_brightness,
+                                Unit::Percent,
+                            ))),
+                    ),
+            );
+        Arc::new(Light {
+            core: DeviceCore::new(description),
+        })
+    }
+}
+
+impl VirtualDevice for Light {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        match action.to_ascii_lowercase().as_str() {
+            "turnon" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                if let Some(v) = DeviceCore::arg(args, "brightness") {
+                    self.core.set("brightness", v.clone(), at)?;
+                }
+                Ok(vec![])
+            }
+            "turnoff" => {
+                self.core.set("power", Value::Bool(false), at)?;
+                Ok(vec![])
+            }
+            "dim" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                self.core.set(
+                    "brightness",
+                    Value::Number(Quantity::from_integer(30, Unit::Percent)),
+                    at,
+                )?;
+                Ok(vec![])
+            }
+            "brighten" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                self.core.set(
+                    "brightness",
+                    Value::Number(Quantity::from_integer(100, Unit::Percent)),
+                    at,
+                )?;
+                Ok(vec![])
+            }
+            "setbrightness" => {
+                let v = DeviceCore::arg(args, "brightness").ok_or_else(|| {
+                    UpnpError::DeviceFault("SetBrightness requires 'brightness'".into())
+                })?;
+                self.core.set("brightness", v.clone(), at)?;
+                Ok(vec![])
+            }
+            _ => Err(self.core.unknown_action(action)),
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+/// An illuminance sensor (lux meter) — provides the ambient reading
+/// behind "the hall is dark".
+#[derive(Debug)]
+pub struct LuxMeter {
+    core: DeviceCore,
+}
+
+impl LuxMeter {
+    /// Creates a lux meter reading `initial` lx.
+    pub fn new(udn: &str, friendly_name: &str, place: &str, initial: i64) -> Arc<LuxMeter> {
+        let description = DeviceDescription::new(udn, friendly_name, LUXMETER_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["illuminance", "light", "brightness"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:sense"), ILLUMINANCE_SERVICE_TYPE)
+                    .with_variable(
+                        StateVariableSpec::new("illuminance", ValueKind::Number)
+                            .with_unit(Unit::Lux)
+                            .with_range(Rational::ZERO, Rational::from_integer(100_000))
+                            .with_default(Value::Number(Quantity::from_integer(
+                                initial,
+                                Unit::Lux,
+                            ))),
+                    ),
+            );
+        Arc::new(LuxMeter {
+            core: DeviceCore::new(description),
+        })
+    }
+
+    /// Forces the illuminance reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::RangeViolation`] outside 0–100,000 lx.
+    pub fn set_reading(&self, lux: Rational, at: SimTime) -> Result<(), UpnpError> {
+        self.core
+            .set("illuminance", Value::Number(Quantity::new(lux, Unit::Lux)), at)?;
+        Ok(())
+    }
+}
+
+impl VirtualDevice for LuxMeter {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        _args: &[(String, Value)],
+        _at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        Err(self.core.unknown_action(action))
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_and_brighten_presets() {
+        let light = Light::new("l1", "Floor Lamp", "living room", LightKind::FloorLamp);
+        let t = SimTime::EPOCH;
+        light.invoke("Dim", &[], t).unwrap();
+        assert_eq!(light.query("power").unwrap(), Value::Bool(true));
+        assert_eq!(
+            light.query("brightness").unwrap(),
+            Value::Number(Quantity::from_integer(30, Unit::Percent))
+        );
+        light.invoke("Brighten", &[], t).unwrap();
+        assert_eq!(
+            light.query("brightness").unwrap(),
+            Value::Number(Quantity::from_integer(100, Unit::Percent))
+        );
+    }
+
+    #[test]
+    fn turn_on_with_brightness() {
+        let light = Light::new("l1", "Light", "hall", LightKind::Fluorescent);
+        light
+            .invoke(
+                "TurnOn",
+                &[(
+                    "brightness".into(),
+                    Value::Number(Quantity::from_integer(50, Unit::Percent)),
+                )],
+                SimTime::EPOCH,
+            )
+            .unwrap();
+        assert_eq!(
+            light.query("brightness").unwrap(),
+            Value::Number(Quantity::from_integer(50, Unit::Percent))
+        );
+    }
+
+    #[test]
+    fn brightness_range_enforced() {
+        let light = Light::new("l1", "Light", "hall", LightKind::Fluorescent);
+        assert!(light
+            .invoke(
+                "SetBrightness",
+                &[(
+                    "brightness".into(),
+                    Value::Number(Quantity::from_integer(150, Unit::Percent)),
+                )],
+                SimTime::EPOCH,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn lux_meter_reading() {
+        let lux = LuxMeter::new("lx-1", "Hall Lux", "hall", 400);
+        lux.set_reading(Rational::from_integer(50), SimTime::EPOCH)
+            .unwrap();
+        assert_eq!(
+            lux.query("illuminance").unwrap(),
+            Value::Number(Quantity::from_integer(50, Unit::Lux))
+        );
+        assert!(lux
+            .set_reading(Rational::from_integer(-5), SimTime::EPOCH)
+            .is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! Security devices: door lock, alarm, and the RFID entrance reader that
+//! produces presence/arrival facts.
+
+use crate::core::DeviceCore;
+use cadel_types::{PersonId, PlaceId, SimTime, Value, ValueKind};
+use cadel_upnp::{
+    ActionSignature, DeviceDescription, EventPublisher, ServiceDescription, StateVariableSpec,
+    UpnpError, VirtualDevice,
+};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Device type URN of door locks.
+pub const DOOR_DEVICE_TYPE: &str = "urn:cadel:device:door:1";
+/// Service type URN of lock control.
+pub const LOCK_SERVICE_TYPE: &str = "urn:cadel:service:lock:1";
+/// Device type URN of alarms.
+pub const ALARM_DEVICE_TYPE: &str = "urn:cadel:device:alarm:1";
+/// Service type URN of alarm control.
+pub const ALARM_SERVICE_TYPE: &str = "urn:cadel:service:alarm:1";
+/// Device type URN of RFID presence readers.
+pub const RFID_DEVICE_TYPE: &str = "urn:cadel:device:rfid:1";
+/// Service type URN of presence sensing.
+pub const PRESENCE_SERVICE_TYPE: &str = "urn:cadel:service:presence:1";
+
+/// A door with a lock: `locked` and `open` state variables.
+#[derive(Debug)]
+pub struct DoorLock {
+    core: DeviceCore,
+}
+
+impl DoorLock {
+    /// Creates a door lock.
+    pub fn new(udn: &str, friendly_name: &str, place: &str) -> Arc<DoorLock> {
+        let description = DeviceDescription::new(udn, friendly_name, DOOR_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["door", "lock", "security"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:lock"), LOCK_SERVICE_TYPE)
+                    .with_action(ActionSignature::new("Lock"))
+                    .with_action(ActionSignature::new("Unlock"))
+                    .with_variable(
+                        StateVariableSpec::new("locked", ValueKind::Bool)
+                            .with_default(Value::Bool(true)),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("open", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    ),
+            );
+        Arc::new(DoorLock {
+            core: DeviceCore::new(description),
+        })
+    }
+
+    /// Simulates the door being physically opened or closed (a door
+    /// sensor reading, not an action).
+    pub fn set_open(&self, open: bool, at: SimTime) {
+        let _ = self.core.set("open", Value::Bool(open), at);
+    }
+
+    /// Simulates a manual lock/unlock at the door itself.
+    pub fn set_locked(&self, locked: bool, at: SimTime) {
+        let _ = self.core.set("locked", Value::Bool(locked), at);
+    }
+}
+
+impl VirtualDevice for DoorLock {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        _args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        match action.to_ascii_lowercase().as_str() {
+            "lock" => {
+                if self.core.get("open")? == Value::Bool(true) {
+                    return Err(UpnpError::DeviceFault(
+                        "cannot lock while the door is open".into(),
+                    ));
+                }
+                self.core.set("locked", Value::Bool(true), at)?;
+                Ok(vec![])
+            }
+            "unlock" => {
+                self.core.set("locked", Value::Bool(false), at)?;
+                Ok(vec![])
+            }
+            _ => Err(self.core.unknown_action(action)),
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+/// An alarm siren.
+#[derive(Debug)]
+pub struct Alarm {
+    core: DeviceCore,
+}
+
+impl Alarm {
+    /// Creates an alarm.
+    pub fn new(udn: &str, friendly_name: &str, place: &str) -> Arc<Alarm> {
+        let description = DeviceDescription::new(udn, friendly_name, ALARM_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["alarm", "security", "siren"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:alarm"), ALARM_SERVICE_TYPE)
+                    .with_action(ActionSignature::new("TurnOn"))
+                    .with_action(ActionSignature::new("TurnOff"))
+                    .with_variable(
+                        StateVariableSpec::new("power", ValueKind::Bool)
+                            .with_default(Value::Bool(false)),
+                    ),
+            );
+        Arc::new(Alarm {
+            core: DeviceCore::new(description),
+        })
+    }
+}
+
+impl VirtualDevice for Alarm {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        _args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        match action.to_ascii_lowercase().as_str() {
+            "turnon" => {
+                self.core.set("power", Value::Bool(true), at)?;
+                Ok(vec![])
+            }
+            "turnoff" => {
+                self.core.set("power", Value::Bool(false), at)?;
+                Ok(vec![])
+            }
+            _ => Err(self.core.unknown_action(action)),
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+/// The RFID presence reader of one place: tracks who is present and
+/// announces arrivals/departures.
+///
+/// Two conventions the engine understands (documented in
+/// `cadel-engine::context`):
+///
+/// * the `occupants` variable holds the comma-separated sorted list of
+///   people currently at this reader's place — changes update presence
+///   facts;
+/// * the `arrival` variable transiently carries `"<channel>|<event>"`
+///   (e.g. `"person:alan|got home from work"`) — changes raise event
+///   facts.
+#[derive(Debug)]
+pub struct PresenceReader {
+    core: DeviceCore,
+    place: PlaceId,
+    occupants: Mutex<BTreeSet<PersonId>>,
+}
+
+impl PresenceReader {
+    /// Creates a presence reader for a place.
+    pub fn new(udn: &str, friendly_name: &str, place: &str) -> Arc<PresenceReader> {
+        let description = DeviceDescription::new(udn, friendly_name, RFID_DEVICE_TYPE)
+            .at(place)
+            .with_keywords(["presence", "rfid", "person"])
+            .with_service(
+                ServiceDescription::new(format!("{udn}:presence"), PRESENCE_SERVICE_TYPE)
+                    .with_variable(
+                        StateVariableSpec::new("occupants", ValueKind::Text)
+                            .with_default(Value::from("")),
+                    )
+                    .with_variable(
+                        StateVariableSpec::new("arrival", ValueKind::Text)
+                            .with_default(Value::from("")),
+                    ),
+            );
+        Arc::new(PresenceReader {
+            core: DeviceCore::new(description),
+            place: PlaceId::new(place),
+            occupants: Mutex::new(BTreeSet::new()),
+        })
+    }
+
+    /// The place this reader watches.
+    pub fn place(&self) -> &PlaceId {
+        &self.place
+    }
+
+    fn publish_occupants(&self, at: SimTime) {
+        let list = self
+            .occupants
+            .lock()
+            .iter()
+            .map(|p| p.as_str().to_owned())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = self.core.set("occupants", Value::from(list), at);
+    }
+
+    /// Registers that `person` entered the place.
+    pub fn person_entered(&self, person: &PersonId, at: SimTime) {
+        self.occupants.lock().insert(person.clone());
+        self.publish_occupants(at);
+    }
+
+    /// Registers that `person` left the place.
+    pub fn person_left(&self, person: &PersonId, at: SimTime) {
+        self.occupants.lock().remove(person);
+        self.publish_occupants(at);
+    }
+
+    /// Announces an arrival event such as "got home from work". Raises
+    /// both the person-specific channel (`person:<id>`) and the generic
+    /// `person` channel (for "someone returns home").
+    pub fn announce_arrival(&self, person: &PersonId, event: &str, at: SimTime) {
+        let payload = format!("person:{person}|{event}");
+        let _ = self.core.set("arrival", Value::from(payload), at);
+        // Reset so the same event can fire again later.
+        let _ = self.core.set("arrival", Value::from(""), at);
+    }
+
+    /// Who is currently at the place.
+    pub fn occupants(&self) -> Vec<PersonId> {
+        self.occupants.lock().iter().cloned().collect()
+    }
+}
+
+impl VirtualDevice for PresenceReader {
+    fn description(&self) -> DeviceDescription {
+        self.core.description().clone()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        _args: &[(String, Value)],
+        _at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        Err(self.core.unknown_action(action))
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.core.get(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        self.core.attach(publisher);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_upnp::Registry;
+
+    #[test]
+    fn door_lock_state_machine() {
+        let door = DoorLock::new("door-1", "Entrance Door", "hall");
+        let t = SimTime::EPOCH;
+        assert_eq!(door.query("locked").unwrap(), Value::Bool(true));
+        door.invoke("Unlock", &[], t).unwrap();
+        assert_eq!(door.query("locked").unwrap(), Value::Bool(false));
+        door.set_open(true, t);
+        let err = door.invoke("Lock", &[], t).unwrap_err();
+        assert!(matches!(err, UpnpError::DeviceFault(_)));
+        door.set_open(false, t);
+        door.invoke("Lock", &[], t).unwrap();
+        assert_eq!(door.query("locked").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn alarm_on_off() {
+        let alarm = Alarm::new("al-1", "Alarm", "hall");
+        alarm.invoke("TurnOn", &[], SimTime::EPOCH).unwrap();
+        assert_eq!(alarm.query("power").unwrap(), Value::Bool(true));
+        alarm.invoke("TurnOff", &[], SimTime::EPOCH).unwrap();
+        assert_eq!(alarm.query("power").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn presence_reader_tracks_occupants() {
+        let registry = Registry::new();
+        let reader = PresenceReader::new("rfid-1", "Living Room Reader", "living room");
+        registry.register(reader.clone()).unwrap();
+        let sub = registry.event_bus().subscribe(None);
+        let tom = PersonId::new("tom");
+        let alan = PersonId::new("alan");
+        let t = SimTime::EPOCH;
+
+        reader.person_entered(&tom, t);
+        reader.person_entered(&alan, t);
+        assert_eq!(reader.occupants().len(), 2);
+        reader.person_left(&tom, t);
+        assert_eq!(reader.occupants(), vec![alan.clone()]);
+
+        let changes = sub.drain();
+        let lists: Vec<String> = changes
+            .iter()
+            .filter(|c| c.variable == "occupants")
+            .filter_map(|c| c.value.as_text().map(str::to_owned))
+            .collect();
+        assert_eq!(lists, ["tom", "alan,tom", "alan"]);
+    }
+
+    #[test]
+    fn arrival_announcement_raises_and_clears() {
+        let registry = Registry::new();
+        let reader = PresenceReader::new("rfid-1", "Hall Reader", "hall");
+        registry.register(reader.clone()).unwrap();
+        let sub = registry.event_bus().subscribe(None);
+        reader.announce_arrival(&PersonId::new("alan"), "got home from work", SimTime::EPOCH);
+        let changes = sub.drain();
+        let arrivals: Vec<String> = changes
+            .iter()
+            .filter(|c| c.variable == "arrival")
+            .filter_map(|c| c.value.as_text().map(str::to_owned))
+            .collect();
+        assert_eq!(arrivals, ["person:alan|got home from work", ""]);
+    }
+}

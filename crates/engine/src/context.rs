@@ -1,0 +1,391 @@
+//! The context store: the engine's live picture of the home.
+//!
+//! Everything a rule condition can test is mirrored here, fed by UPnP
+//! property-change events:
+//!
+//! * **Sensor/state values** — any property change is stored under its
+//!   `(device, variable)` [`SensorKey`].
+//! * **Presence** — changes of a presence reader's `occupants` variable
+//!   (comma-separated person list) update who is at the reader's place.
+//! * **Events** — changes of an `arrival` variable (`"<channel>|<name>"`)
+//!   raise a *transient* event fact that stays active for a configurable
+//!   window; changes of the TV guide's `on-air` variable maintain a
+//!   *persistent* broadcast fact that lasts until the program ends.
+//! * **Clock/calendar** — the current [`SimTime`] plus the weekday/date of
+//!   day zero, so time-window, weekday and date atoms can be decided.
+
+use cadel_types::{
+    Date, DeviceId, PersonId, PlaceId, SensorKey, SimDuration, SimTime, Value, Weekday,
+};
+use cadel_upnp::PropertyChange;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Default lifetime of transient events ("Alan got home from work").
+pub const DEFAULT_EVENT_WINDOW: SimDuration = SimDuration::from_minutes(10);
+
+/// The variable name presence readers publish occupant lists on.
+pub const OCCUPANTS_VARIABLE: &str = "occupants";
+/// The variable name arrival announcements are published on.
+pub const ARRIVAL_VARIABLE: &str = "arrival";
+/// The variable name the TV guide publishes the current program on.
+pub const ON_AIR_VARIABLE: &str = "on-air";
+/// The event channel of broadcast programs.
+pub const TV_GUIDE_CHANNEL: &str = "tv-guide";
+/// The generic person-event channel ("someone returns home").
+pub const ANY_PERSON_CHANNEL: &str = "person";
+
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EventFact {
+    channel: String,
+    name: String,
+}
+
+/// The engine's view of current context.
+#[derive(Clone, Debug)]
+pub struct ContextStore {
+    now: SimTime,
+    epoch_date: Date,
+    sensor_values: HashMap<SensorKey, Value>,
+    presence: HashMap<PersonId, PlaceId>,
+    place_occupants: HashMap<PlaceId, BTreeSet<PersonId>>,
+    device_places: HashMap<DeviceId, PlaceId>,
+    transient_events: BTreeMap<EventFact, SimTime>,
+    persistent_events: BTreeSet<EventFact>,
+    event_window: SimDuration,
+}
+
+impl ContextStore {
+    /// Creates a store whose simulation epoch (day 0) falls on
+    /// `epoch_date`.
+    pub fn new(epoch_date: Date) -> ContextStore {
+        ContextStore {
+            now: SimTime::EPOCH,
+            epoch_date,
+            sensor_values: HashMap::new(),
+            presence: HashMap::new(),
+            place_occupants: HashMap::new(),
+            device_places: HashMap::new(),
+            transient_events: BTreeMap::new(),
+            persistent_events: BTreeSet::new(),
+            event_window: DEFAULT_EVENT_WINDOW,
+        }
+    }
+
+    /// Overrides the transient-event lifetime.
+    pub fn set_event_window(&mut self, window: SimDuration) {
+        self.event_window = window;
+    }
+
+    /// Registers where a device is installed (needed to map `occupants`
+    /// updates to a place).
+    pub fn set_device_place(&mut self, device: DeviceId, place: PlaceId) {
+        self.device_places.insert(device, place);
+    }
+
+    /// Where a device is installed, when registered via
+    /// [`ContextStore::set_device_place`].
+    pub fn device_place(&self, device: &DeviceId) -> Option<&PlaceId> {
+        self.device_places.get(device)
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock and expires transient events.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+        self.transient_events.retain(|_, expiry| *expiry > now);
+    }
+
+    /// The weekday at the current instant.
+    pub fn weekday(&self) -> Weekday {
+        self.epoch_date.weekday().advance(self.now.day_index())
+    }
+
+    /// The calendar date at the current instant.
+    pub fn date(&self) -> Date {
+        self.epoch_date.advance(self.now.day_index())
+    }
+
+    /// The latest value of a sensor/state variable.
+    pub fn value(&self, key: &SensorKey) -> Option<&Value> {
+        self.sensor_values.get(key)
+    }
+
+    /// Directly stores a sensor/state value (scenario scripting and
+    /// initial state snapshots).
+    pub fn set_value(&mut self, key: SensorKey, value: Value) {
+        self.sensor_values.insert(key, value);
+    }
+
+    /// Where a person currently is, if known.
+    pub fn person_place(&self, person: &PersonId) -> Option<&PlaceId> {
+        self.presence.get(person)
+    }
+
+    /// Who is currently at a place.
+    pub fn occupants(&self, place: &PlaceId) -> Vec<&PersonId> {
+        self.place_occupants
+            .get(place)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Directly sets a person's location (`None` removes them).
+    pub fn set_presence(&mut self, person: PersonId, place: Option<PlaceId>) {
+        if let Some(previous) = self.presence.get(&person) {
+            if let Some(set) = self.place_occupants.get_mut(previous) {
+                set.remove(&person);
+            }
+        }
+        match place {
+            Some(p) => {
+                self.place_occupants
+                    .entry(p.clone())
+                    .or_default()
+                    .insert(person.clone());
+                self.presence.insert(person, p);
+            }
+            None => {
+                self.presence.remove(&person);
+            }
+        }
+    }
+
+    /// Raises a transient event, active until the event window elapses.
+    pub fn raise_event(&mut self, channel: &str, name: &str) {
+        let fact = EventFact {
+            channel: channel.trim().to_ascii_lowercase(),
+            name: name.trim().to_ascii_lowercase(),
+        };
+        self.transient_events
+            .insert(fact, self.now + self.event_window);
+    }
+
+    /// Sets a persistent event fact (active until cleared).
+    pub fn set_persistent_event(&mut self, channel: &str, name: &str) {
+        self.persistent_events.insert(EventFact {
+            channel: channel.trim().to_ascii_lowercase(),
+            name: name.trim().to_ascii_lowercase(),
+        });
+    }
+
+    /// Clears every persistent event on a channel.
+    pub fn clear_persistent_channel(&mut self, channel: &str) {
+        let channel = channel.trim().to_ascii_lowercase();
+        self.persistent_events.retain(|f| f.channel != channel);
+    }
+
+    /// Whether an event is currently active (case-insensitive).
+    pub fn event_active(&self, channel: &str, name: &str) -> bool {
+        let fact = EventFact {
+            channel: channel.trim().to_ascii_lowercase(),
+            name: name.trim().to_ascii_lowercase(),
+        };
+        self.persistent_events.contains(&fact)
+            || self
+                .transient_events
+                .get(&fact)
+                .map(|expiry| *expiry > self.now)
+                .unwrap_or(false)
+    }
+
+    /// Ingests a UPnP property change, applying the conventions described
+    /// at the module level.
+    pub fn apply_property_change(&mut self, change: &PropertyChange) {
+        match change.variable.as_str() {
+            OCCUPANTS_VARIABLE => {
+                if let (Some(place), Some(list)) = (
+                    self.device_places.get(&change.device).cloned(),
+                    change.value.as_text(),
+                ) {
+                    let new_set: BTreeSet<PersonId> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(PersonId::new)
+                        .collect();
+                    let old_set = self
+                        .place_occupants
+                        .get(&place)
+                        .cloned()
+                        .unwrap_or_default();
+                    for gone in old_set.difference(&new_set) {
+                        if self.presence.get(gone) == Some(&place) {
+                            self.presence.remove(gone);
+                        }
+                    }
+                    for person in &new_set {
+                        self.set_presence(person.clone(), Some(place.clone()));
+                    }
+                    self.place_occupants.insert(place, new_set);
+                }
+            }
+            ARRIVAL_VARIABLE => {
+                if let Some(payload) = change.value.as_text() {
+                    if let Some((channel, name)) = payload.split_once('|') {
+                        self.raise_event(channel, name);
+                        // "someone returns home" listens on the generic
+                        // person channel.
+                        if channel.starts_with("person:") {
+                            self.raise_event(ANY_PERSON_CHANNEL, name);
+                        }
+                    }
+                }
+            }
+            ON_AIR_VARIABLE => {
+                if let Some(listing) = change.value.as_text() {
+                    self.clear_persistent_channel(TV_GUIDE_CHANNEL);
+                    for program in listing.split(';') {
+                        let program = program.trim();
+                        if !program.is_empty() {
+                            self.set_persistent_event(TV_GUIDE_CHANNEL, program);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Every change, including the special ones, is visible as a state
+        // value (so "the TV is turned on" reads power(tv)).
+        self.sensor_values.insert(
+            SensorKey::new(change.device.clone(), change.variable.clone()),
+            change.value.clone(),
+        );
+    }
+}
+
+impl Default for ContextStore {
+    fn default() -> Self {
+        // 2005-06-06, a Monday — the week of ICDCS 2005.
+        ContextStore::new(Date::new(2005, 6, 6).expect("static date is valid"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::{Quantity, Unit};
+
+    fn change(device: &str, variable: &str, value: Value) -> PropertyChange {
+        PropertyChange {
+            device: DeviceId::new(device),
+            variable: variable.to_owned(),
+            value,
+            seq: 0,
+            at: SimTime::EPOCH,
+        }
+    }
+
+    #[test]
+    fn sensor_values_are_stored() {
+        let mut ctx = ContextStore::default();
+        ctx.apply_property_change(&change(
+            "thermo",
+            "temperature",
+            Value::Number(Quantity::from_integer(27, Unit::Celsius)),
+        ));
+        let key = SensorKey::new(DeviceId::new("thermo"), "temperature");
+        assert_eq!(
+            ctx.value(&key),
+            Some(&Value::Number(Quantity::from_integer(27, Unit::Celsius)))
+        );
+        assert!(ctx.value(&SensorKey::new(DeviceId::new("x"), "y")).is_none());
+    }
+
+    #[test]
+    fn occupants_update_presence() {
+        let mut ctx = ContextStore::default();
+        ctx.set_device_place(DeviceId::new("rfid-lr"), PlaceId::new("living room"));
+        ctx.apply_property_change(&change("rfid-lr", "occupants", Value::from("tom")));
+        assert_eq!(
+            ctx.person_place(&PersonId::new("tom")),
+            Some(&PlaceId::new("living room"))
+        );
+        ctx.apply_property_change(&change("rfid-lr", "occupants", Value::from("alan,tom")));
+        assert_eq!(ctx.occupants(&PlaceId::new("living room")).len(), 2);
+        // Tom leaves.
+        ctx.apply_property_change(&change("rfid-lr", "occupants", Value::from("alan")));
+        assert_eq!(ctx.person_place(&PersonId::new("tom")), None);
+        assert_eq!(
+            ctx.person_place(&PersonId::new("alan")),
+            Some(&PlaceId::new("living room"))
+        );
+    }
+
+    #[test]
+    fn moving_between_places_updates_both() {
+        let mut ctx = ContextStore::default();
+        ctx.set_device_place(DeviceId::new("rfid-hall"), PlaceId::new("hall"));
+        ctx.set_device_place(DeviceId::new("rfid-lr"), PlaceId::new("living room"));
+        ctx.apply_property_change(&change("rfid-hall", "occupants", Value::from("emily")));
+        ctx.apply_property_change(&change("rfid-lr", "occupants", Value::from("emily")));
+        // The living-room reader saw her last.
+        assert_eq!(
+            ctx.person_place(&PersonId::new("emily")),
+            Some(&PlaceId::new("living room"))
+        );
+        // Hall reader reports empty.
+        ctx.apply_property_change(&change("rfid-hall", "occupants", Value::from("")));
+        assert_eq!(
+            ctx.person_place(&PersonId::new("emily")),
+            Some(&PlaceId::new("living room"))
+        );
+        assert!(ctx.occupants(&PlaceId::new("hall")).is_empty());
+    }
+
+    #[test]
+    fn arrival_raises_transient_events_that_expire() {
+        let mut ctx = ContextStore::default();
+        ctx.apply_property_change(&change(
+            "rfid-hall",
+            "arrival",
+            Value::from("person:alan|got home from work"),
+        ));
+        assert!(ctx.event_active("person:alan", "got home from work"));
+        assert!(ctx.event_active("person", "got home from work")); // generic
+        assert!(!ctx.event_active("person:emily", "got home from work"));
+        // The empty reset publish does not clear the fact...
+        ctx.apply_property_change(&change("rfid-hall", "arrival", Value::from("")));
+        assert!(ctx.event_active("person:alan", "got home from work"));
+        // ...but the window elapsing does.
+        ctx.set_now(SimTime::EPOCH + DEFAULT_EVENT_WINDOW + SimDuration::from_secs(1));
+        assert!(!ctx.event_active("person:alan", "got home from work"));
+    }
+
+    #[test]
+    fn on_air_is_persistent_until_replaced() {
+        let mut ctx = ContextStore::default();
+        ctx.apply_property_change(&change("epg", "on-air", Value::from("Baseball Game")));
+        assert!(ctx.event_active("tv-guide", "baseball game"));
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_hours(3));
+        assert!(ctx.event_active("tv-guide", "baseball game")); // still on
+        ctx.apply_property_change(&change("epg", "on-air", Value::from("News")));
+        assert!(!ctx.event_active("tv-guide", "baseball game"));
+        assert!(ctx.event_active("tv-guide", "news"));
+        ctx.apply_property_change(&change("epg", "on-air", Value::from("")));
+        assert!(!ctx.event_active("tv-guide", "news"));
+    }
+
+    #[test]
+    fn calendar_advances_with_days() {
+        let mut ctx = ContextStore::default(); // epoch = Monday 2005-06-06
+        assert_eq!(ctx.weekday(), Weekday::Monday);
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_hours(49));
+        assert_eq!(ctx.weekday(), Weekday::Wednesday);
+        assert_eq!(ctx.date(), Date::new(2005, 6, 8).unwrap());
+    }
+
+    #[test]
+    fn custom_event_window() {
+        let mut ctx = ContextStore::default();
+        ctx.set_event_window(SimDuration::from_secs(30));
+        ctx.raise_event("person", "arrives");
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_secs(29));
+        assert!(ctx.event_active("person", "arrives"));
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_secs(31));
+        assert!(!ctx.event_active("person", "arrives"));
+    }
+}

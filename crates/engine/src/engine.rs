@@ -1,0 +1,852 @@
+//! The rule execution module (paper §4.1): event ingestion, condition
+//! evaluation, runtime conflict arbitration and device dispatch.
+
+use crate::context::ContextStore;
+use crate::error::EngineError;
+use crate::eval::{Evaluator, HeldTracker};
+use crate::index::TriggerIndex;
+use cadel_conflict::{PriorityOrder, PriorityStore, Resolution};
+use cadel_rule::{ActionSpec, Rule, RuleDb, Verb};
+use cadel_types::{DeviceId, RuleId, SimTime, Value};
+use cadel_upnp::{ControlPoint, Subscription, UpnpError};
+use std::collections::{BTreeSet, HashMap};
+
+/// The event channel on which the engine announces suppressed firings, so
+/// fallback rules ("if I cannot use the TV, record the game instead") can
+/// react. Event name format: `"<device-udn>:<loser-owner>"`.
+pub const CONFLICT_CHANNEL: &str = "conflict";
+
+/// What happened to one rule firing during a step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FiringOutcome {
+    /// The action was sent to the device.
+    Dispatched,
+    /// A higher-priority rule holds the device; this firing was dropped
+    /// and a [`CONFLICT_CHANNEL`] event was raised.
+    SuppressedBy(RuleId),
+    /// The action was sent, displacing the previous holder.
+    Replaced(RuleId),
+    /// Dispatch failed at the device.
+    Failed(UpnpError),
+}
+
+/// A rule firing recorded in a step report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Firing {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// The device it targeted.
+    pub device: DeviceId,
+    /// What happened.
+    pub outcome: FiringOutcome,
+}
+
+/// The observable result of one engine step.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepReport {
+    /// Firings attempted this step, in device order.
+    pub firings: Vec<Firing>,
+    /// Rules whose `until` condition released their action, with the
+    /// device they released.
+    pub releases: Vec<(RuleId, DeviceId)>,
+}
+
+impl StepReport {
+    /// Whether nothing happened.
+    pub fn is_empty(&self) -> bool {
+        self.firings.is_empty() && self.releases.is_empty()
+    }
+
+    /// The firings that actually reached a device.
+    pub fn dispatched(&self) -> Vec<&Firing> {
+        self.firings
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.outcome,
+                    FiringOutcome::Dispatched | FiringOutcome::Replaced(_)
+                )
+            })
+            .collect()
+    }
+}
+
+struct ActiveHolder {
+    rule: RuleId,
+}
+
+/// The rule execution engine.
+///
+/// Owns the rule database, the priority store, the context store and the
+/// UPnP control point. The driver (home server or simulator) advances it
+/// by calling [`Engine::step`] with the current simulated time; each step
+/// drains pending UPnP events, re-evaluates the affected rules, arbitrates
+/// simultaneous firings per device by priority, and dispatches winning
+/// actions.
+pub struct Engine {
+    control: ControlPoint,
+    subscription: Subscription,
+    rules: RuleDb,
+    priorities: PriorityStore,
+    ctx: ContextStore,
+    held: HeldTracker,
+    index: TriggerIndex,
+    use_trigger_index: bool,
+    last_state: HashMap<RuleId, bool>,
+    holders: HashMap<DeviceId, ActiveHolder>,
+    /// Rules whose condition currently holds, per target device. Losers
+    /// stay in here and re-contend whenever arbitration runs again — so a
+    /// context change (Alan arrives) can promote a previously suppressed
+    /// rule without a fresh condition edge.
+    contenders: HashMap<DeviceId, BTreeSet<RuleId>>,
+    /// Rules released by their `until` clause; excluded from contention
+    /// until their condition goes false (prevents release/re-fire flap).
+    latched: BTreeSet<RuleId>,
+    /// Rules whose current suppression was already announced on the
+    /// conflict channel (avoids re-raising every step).
+    suppress_noted: BTreeSet<RuleId>,
+}
+
+impl Engine {
+    /// Creates an engine over a control point. Device locations are read
+    /// from the registry so presence readers map to their places.
+    pub fn new(control: ControlPoint) -> Engine {
+        let subscription = control.subscribe_all();
+        let mut ctx = ContextStore::default();
+        for description in control.registry().descriptions() {
+            if let Some(place) = description.location() {
+                ctx.set_device_place(description.udn().clone(), place.clone());
+            }
+        }
+        Engine {
+            control,
+            subscription,
+            rules: RuleDb::new(),
+            priorities: PriorityStore::new(),
+            ctx,
+            held: HeldTracker::new(),
+            index: TriggerIndex::new(),
+            use_trigger_index: true,
+            last_state: HashMap::new(),
+            holders: HashMap::new(),
+            contenders: HashMap::new(),
+            latched: BTreeSet::new(),
+            suppress_noted: BTreeSet::new(),
+        }
+    }
+
+    /// Disables the sensor-trigger index: every step re-evaluates every
+    /// rule. Exists for the A3 ablation benchmark.
+    pub fn set_use_trigger_index(&mut self, enabled: bool) {
+        self.use_trigger_index = enabled;
+    }
+
+    /// The control point.
+    pub fn control(&self) -> &ControlPoint {
+        &self.control
+    }
+
+    /// The rule database (shared with the registration workflow).
+    pub fn rules(&self) -> &RuleDb {
+        &self.rules
+    }
+
+    /// Mutable access to the rule database. Prefer [`Engine::add_rule`] /
+    /// [`Engine::remove_rule`], which maintain the trigger index.
+    pub fn rules_mut(&mut self) -> &mut RuleDb {
+        &mut self.rules
+    }
+
+    /// The priority store.
+    pub fn priorities(&self) -> &PriorityStore {
+        &self.priorities
+    }
+
+    /// Registers a priority order.
+    pub fn add_priority(&mut self, order: PriorityOrder) -> usize {
+        self.priorities.add_order(order)
+    }
+
+    /// The context store.
+    pub fn context(&self) -> &ContextStore {
+        &self.ctx
+    }
+
+    /// Mutable context access (scenario scripting: direct presence or
+    /// event injection).
+    pub fn context_mut(&mut self) -> &mut ContextStore {
+        &mut self.ctx
+    }
+
+    /// Adds a compiled rule and indexes its triggers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Rule`] on id collisions.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<RuleId, EngineError> {
+        let id = rule.id();
+        self.index.add_rule(&rule);
+        self.rules.insert(rule)?;
+        Ok(id)
+    }
+
+    /// Removes a rule and de-indexes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Rule`] for unknown ids.
+    pub fn remove_rule(&mut self, id: RuleId) -> Result<(), EngineError> {
+        let rule = self.rules.remove(id)?;
+        self.index.remove_rule(&rule);
+        self.last_state.remove(&id);
+        self.holders.retain(|_, h| h.rule != id);
+        self.latched.remove(&id);
+        self.suppress_noted.remove(&id);
+        for set in self.contenders.values_mut() {
+            set.remove(&id);
+        }
+        Ok(())
+    }
+
+    /// Drains device events, advances the clock, re-evaluates rules,
+    /// arbitrates conflicts and dispatches actions.
+    pub fn step(&mut self, now: SimTime) -> StepReport {
+        // 1. Ingest events.
+        let changes = self.subscription.drain();
+        self.ctx.set_now(now);
+        let mut affected: BTreeSet<RuleId> = BTreeSet::new();
+        for change in &changes {
+            self.ctx.apply_property_change(change);
+            if self.use_trigger_index {
+                self.index.affected_by_change(change, &self.ctx, &mut affected);
+            }
+        }
+
+        // 2. Candidate set.
+        let candidates: Vec<RuleId> = if self.use_trigger_index {
+            // Affected rules + time-sensitive rules + everything currently
+            // true (for falling edges / until releases) + unevaluated.
+            let mut set = affected;
+            set.extend(self.index.temporal_rules());
+            for (id, state) in &self.last_state {
+                if *state {
+                    set.insert(*id);
+                }
+            }
+            for rule in self.rules.iter() {
+                if !self.last_state.contains_key(&rule.id()) {
+                    set.insert(rule.id());
+                }
+            }
+            set.into_iter().collect()
+        } else {
+            self.rules.iter().map(|r| r.id()).collect()
+        };
+
+        // 3. Evaluate candidates: refresh last_state, the per-device
+        //    contender sets, and collect fresh edges plus until-releases.
+        let mut newly_true: BTreeSet<RuleId> = BTreeSet::new();
+        let mut releases: Vec<(RuleId, DeviceId)> = Vec::new();
+        // Devices whose current holder's condition just lapsed: suppressed
+        // contenders must get a chance to take over.
+        let mut holder_lapsed: BTreeSet<DeviceId> = BTreeSet::new();
+        for id in candidates {
+            let Some(rule) = self.rules.get(id) else {
+                continue;
+            };
+            if !rule.is_enabled() {
+                continue;
+            }
+            let rule = rule.clone();
+            let device = rule.action().device().clone();
+            let now_true = {
+                let mut ev = Evaluator::new(&self.ctx, &mut self.held);
+                ev.condition_holds(rule.condition())
+            };
+            let prev = self.last_state.insert(id, now_true).unwrap_or(false);
+
+            // `until` releases apply to the active holder even after its
+            // trigger condition has passed ("turn on … until 10 pm" turns
+            // the light off at 10 pm however long ago the arrival was).
+            if let Some(until) = rule.until() {
+                let holder_here = self
+                    .holders
+                    .get(&device)
+                    .map(|h| h.rule == id)
+                    .unwrap_or(false);
+                if holder_here {
+                    let until_true = {
+                        let mut ev = Evaluator::new(&self.ctx, &mut self.held);
+                        ev.condition_holds(until)
+                    };
+                    if until_true {
+                        self.release(&rule);
+                        releases.push((id, device.clone()));
+                        // Latch until the condition goes false so the rule
+                        // does not immediately re-acquire the device.
+                        if now_true {
+                            self.latched.insert(id);
+                        }
+                        if let Some(set) = self.contenders.get_mut(&device) {
+                            set.remove(&id);
+                        }
+                    }
+                }
+            }
+
+            if !now_true {
+                // A false condition clears the latch and any suppression
+                // note, and leaves the contender pool.
+                self.latched.remove(&id);
+                self.suppress_noted.remove(&id);
+                if let Some(set) = self.contenders.get_mut(&device) {
+                    set.remove(&id);
+                }
+                if self.holders.get(&device).map(|h| h.rule) == Some(id) {
+                    holder_lapsed.insert(device.clone());
+                }
+                continue;
+            }
+            if !prev {
+                newly_true.insert(id);
+            }
+            if !self.latched.contains(&id) {
+                self.contenders.entry(device.clone()).or_default().insert(id);
+            }
+        }
+
+        // 4. Re-arbitrate every device whose outcome could have changed:
+        //    any device with a fresh edge, and any device with several
+        //    live contenders (a context change alone can flip priorities).
+        let mut devices: BTreeSet<DeviceId> = BTreeSet::new();
+        for id in &newly_true {
+            if let Some(rule) = self.rules.get(*id) {
+                devices.insert(rule.action().device().clone());
+            }
+        }
+        for (device, set) in &self.contenders {
+            if set.len() >= 2 {
+                devices.insert(device.clone());
+            }
+        }
+        devices.extend(holder_lapsed);
+
+        let mut firings = Vec::new();
+        for device in devices {
+            let contenders: Vec<RuleId> = self
+                .contenders
+                .get(&device)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            if contenders.is_empty() {
+                continue;
+            }
+            // Put the current live holder first for the unresolved
+            // fallback (prefer the status quo).
+            let holder = self
+                .holders
+                .get(&device)
+                .map(|h| h.rule)
+                .filter(|id| contenders.contains(id));
+            let mut ordered = contenders.clone();
+            if let Some(h) = holder {
+                ordered.retain(|id| *id != h);
+                ordered.insert(0, h);
+            }
+
+            let winner = self.arbitrate(&device, &ordered);
+
+            // Dispatch when the winner is not already holding the device —
+            // or re-assert on a fresh edge of the holder itself. A holder
+            // whose condition has lapsed is not "displaced": only live
+            // holders count as previous for the Replaced outcome and its
+            // conflict-channel announcement.
+            if holder != Some(winner) || newly_true.contains(&winner) {
+                let outcome = self.dispatch(winner, holder);
+                if matches!(outcome, FiringOutcome::Failed(_)) {
+                    // Do not retry every step; wait for a fresh edge.
+                    if let Some(set) = self.contenders.get_mut(&device) {
+                        set.remove(&winner);
+                    }
+                    self.last_state.insert(winner, false);
+                } else {
+                    self.suppress_noted.remove(&winner);
+                    // Announce the displaced holder's defeat so fallback
+                    // rules ("record it instead") can react.
+                    if let FiringOutcome::Replaced(old) = outcome {
+                        self.note_suppression(&device, old);
+                    }
+                }
+                firings.push(Firing {
+                    rule: winner,
+                    device: device.clone(),
+                    outcome,
+                });
+            }
+
+            // Report fresh losers (and announce each continuous
+            // suppression once).
+            for id in contenders {
+                if id == winner {
+                    continue;
+                }
+                let fresh = newly_true.contains(&id);
+                let unannounced = !self.suppress_noted.contains(&id);
+                if fresh || unannounced {
+                    self.note_suppression(&device, id);
+                }
+                if fresh {
+                    firings.push(Firing {
+                        rule: id,
+                        device: device.clone(),
+                        outcome: FiringOutcome::SuppressedBy(winner),
+                    });
+                }
+            }
+        }
+
+        StepReport { firings, releases }
+    }
+
+    /// Raises the conflict-channel event for a suppressed/displaced rule
+    /// (once per continuous suppression).
+    fn note_suppression(&mut self, device: &DeviceId, loser: RuleId) {
+        if self.suppress_noted.insert(loser) {
+            if let Some(rule) = self.rules.get(loser) {
+                let owner = rule.owner().clone();
+                self.ctx
+                    .raise_event(CONFLICT_CHANNEL, &format!("{device}:{owner}"));
+            }
+        }
+    }
+
+    /// Picks the winning rule among simultaneous contenders on a device,
+    /// consulting the context-scoped priority store; ties fall back to the
+    /// current holder, then to the earliest-registered rule.
+    fn arbitrate(&mut self, device: &DeviceId, contenders: &[RuleId]) -> RuleId {
+        debug_assert!(!contenders.is_empty());
+        let ctx = &self.ctx;
+        let held = &mut self.held;
+        let resolution = self.priorities.resolve(device, contenders, |condition| {
+            Evaluator::new(ctx, held).condition_holds(condition)
+        });
+        match resolution {
+            Resolution::Winner(id) => id,
+            Resolution::Unresolved(mut ids) => {
+                ids.sort();
+                // Holder first (it is placed at the front by the caller),
+                // else the earliest rule.
+                self.holders
+                    .get(device)
+                    .map(|h| h.rule)
+                    .filter(|id| contenders.contains(id))
+                    .unwrap_or_else(|| ids[0])
+            }
+        }
+    }
+
+    fn dispatch(&mut self, id: RuleId, previous_holder: Option<RuleId>) -> FiringOutcome {
+        let Some(rule) = self.rules.get(id) else {
+            return FiringOutcome::Failed(UpnpError::DeviceFault("rule vanished".into()));
+        };
+        let action = rule.action().clone();
+        match self.invoke_action(&action) {
+            Ok(()) => {
+                self.holders
+                    .insert(action.device().clone(), ActiveHolder { rule: id });
+                match previous_holder {
+                    Some(old) if old != id => FiringOutcome::Replaced(old),
+                    _ => FiringOutcome::Dispatched,
+                }
+            }
+            Err(e) => FiringOutcome::Failed(e),
+        }
+    }
+
+    fn release(&mut self, rule: &Rule) {
+        let device = rule.action().device().clone();
+        if let Some(inverse) = rule.action().verb().inverse() {
+            let inverse_action = ActionSpec::new(device.clone(), inverse);
+            let _ = self.invoke_action(&inverse_action);
+        }
+        self.holders.remove(&device);
+    }
+
+    /// Translates an [`ActionSpec`] into UPnP invocations.
+    fn invoke_action(&self, action: &ActionSpec) -> Result<(), UpnpError> {
+        let device = action.device();
+        let at = self.ctx.now();
+        match action.verb() {
+            Verb::Set => {
+                // "Set" applies each setting through its own SetX action.
+                for setting in action.settings() {
+                    let name = format!("Set{}", capitalize(setting.parameter()));
+                    let args = vec![(setting.parameter().to_owned(), setting.value().clone())];
+                    self.control.invoke(device, &name, &args, at)?;
+                }
+                Ok(())
+            }
+            verb => {
+                let name = verb_action_name(verb);
+                let args: Vec<(String, Value)> = action
+                    .settings()
+                    .iter()
+                    .map(|s| (s.parameter().to_owned(), s.value().clone()))
+                    .collect();
+                self.control.invoke(device, &name, &args, at)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// The rule currently holding a device, if any.
+    pub fn holder(&self, device: &DeviceId) -> Option<RuleId> {
+        self.holders.get(device).map(|h| h.rule)
+    }
+}
+
+fn capitalize(word: &str) -> String {
+    let mut out = String::with_capacity(word.len());
+    for part in word.split_whitespace() {
+        let mut chars = part.chars();
+        if let Some(first) = chars.next() {
+            out.extend(first.to_uppercase());
+            out.extend(chars);
+        }
+    }
+    out
+}
+
+fn verb_action_name(verb: &Verb) -> String {
+    match verb {
+        Verb::TurnOn => "TurnOn".to_owned(),
+        Verb::TurnOff => "TurnOff".to_owned(),
+        Verb::Record => "Record".to_owned(),
+        Verb::Play => "Play".to_owned(),
+        Verb::Stop => "Stop".to_owned(),
+        Verb::Lock => "Lock".to_owned(),
+        Verb::Unlock => "Unlock".to_owned(),
+        Verb::Dim => "Dim".to_owned(),
+        Verb::Brighten => "Brighten".to_owned(),
+        Verb::Show => "Show".to_owned(),
+        Verb::Notify => "Notify".to_owned(),
+        Verb::Set => "Set".to_owned(),
+        Verb::Custom(s) => capitalize(s),
+        // `Verb` is non-exhaustive: fall back to the display phrase.
+        other => capitalize(other.phrase()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_devices::LivingRoomHome;
+    use cadel_rule::{Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom};
+    use cadel_simplex::RelOp;
+    use cadel_types::{PersonId, Quantity, Rational, SensorKey, SimDuration, Unit};
+    use cadel_upnp::{Registry, VirtualDevice};
+
+    fn setup() -> (Engine, LivingRoomHome) {
+        let registry = Registry::new();
+        let home = LivingRoomHome::install(&registry);
+        let engine = Engine::new(ControlPoint::new(registry));
+        (engine, home)
+    }
+
+    fn hot_rule(owner: &str, id: u64, threshold: i64, setpoint: i64) -> Rule {
+        let cond = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            RelOp::Gt,
+            Quantity::from_integer(threshold, Unit::Celsius),
+        )));
+        Rule::builder(PersonId::new(owner))
+            .condition(cond)
+            .action(
+                ActionSpec::new(DeviceId::new("aircon-lr"), Verb::TurnOn).with_setting(
+                    "temperature",
+                    Quantity::from_integer(setpoint, Unit::Celsius),
+                ),
+            )
+            .build(RuleId::new(id))
+            .unwrap()
+    }
+
+    #[test]
+    fn sensor_event_triggers_rule_and_dispatches() {
+        let (mut engine, home) = setup();
+        engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+
+        // Nothing yet.
+        let report = engine.step(SimTime::EPOCH);
+        assert!(report.firings.is_empty());
+
+        // Temperature rises past the threshold.
+        home.thermometer
+            .set_reading(Rational::from_integer(28), SimTime::from_millis(1000))
+            .unwrap();
+        let report = engine.step(SimTime::from_millis(1000));
+        assert_eq!(report.firings.len(), 1);
+        assert_eq!(report.firings[0].outcome, FiringOutcome::Dispatched);
+        // The aircon actually turned on with Tom's setpoint.
+        assert_eq!(home.aircon.query("power").unwrap(), Value::Bool(true));
+        assert_eq!(
+            home.aircon.query("setpoint").unwrap(),
+            Value::Number(Quantity::from_integer(25, Unit::Celsius))
+        );
+        assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), Some(RuleId::new(1)));
+    }
+
+    #[test]
+    fn edge_triggering_fires_once() {
+        let (mut engine, home) = setup();
+        engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+        home.thermometer
+            .set_reading(Rational::from_integer(28), SimTime::EPOCH)
+            .unwrap();
+        let r1 = engine.step(SimTime::from_millis(1));
+        assert_eq!(r1.firings.len(), 1);
+        // Still hot: no re-firing.
+        let r2 = engine.step(SimTime::from_millis(2));
+        assert!(r2.firings.is_empty());
+        // Cools below, then heats again: fires again.
+        home.thermometer
+            .set_reading(Rational::from_integer(24), SimTime::from_millis(3))
+            .unwrap();
+        engine.step(SimTime::from_millis(3));
+        home.thermometer
+            .set_reading(Rational::from_integer(29), SimTime::from_millis(4))
+            .unwrap();
+        let r3 = engine.step(SimTime::from_millis(4));
+        assert_eq!(r3.firings.len(), 1);
+    }
+
+    #[test]
+    fn priority_arbitrates_simultaneous_firings() {
+        let (mut engine, home) = setup();
+        // Tom (rule 1, 25°) and Alan (rule 2, 24°) both trigger above 26°.
+        engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+        engine.add_rule(hot_rule("alan", 2, 25, 24)).unwrap();
+        engine.add_priority(PriorityOrder::new(
+            DeviceId::new("aircon-lr"),
+            vec![RuleId::new(2), RuleId::new(1)],
+        ));
+        home.thermometer
+            .set_reading(Rational::from_integer(28), SimTime::EPOCH)
+            .unwrap();
+        let report = engine.step(SimTime::from_millis(1));
+        assert_eq!(report.firings.len(), 2);
+        let alan = report.firings.iter().find(|f| f.rule == RuleId::new(2)).unwrap();
+        let tom = report.firings.iter().find(|f| f.rule == RuleId::new(1)).unwrap();
+        assert!(matches!(alan.outcome, FiringOutcome::Dispatched));
+        assert_eq!(tom.outcome, FiringOutcome::SuppressedBy(RuleId::new(2)));
+        // Alan's setpoint won.
+        assert_eq!(
+            home.aircon.query("setpoint").unwrap(),
+            Value::Number(Quantity::from_integer(24, Unit::Celsius))
+        );
+        // The conflict event was raised for Tom's suppression.
+        assert!(engine.context().event_active("conflict", "aircon-lr:tom"));
+    }
+
+    #[test]
+    fn later_higher_priority_rule_replaces_holder() {
+        let (mut engine, home) = setup();
+        engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+        engine.add_rule(hot_rule("alan", 2, 29, 24)).unwrap();
+        engine.add_priority(PriorityOrder::new(
+            DeviceId::new("aircon-lr"),
+            vec![RuleId::new(2), RuleId::new(1)],
+        ));
+        // 27°: only Tom triggers.
+        home.thermometer
+            .set_reading(Rational::from_integer(27), SimTime::EPOCH)
+            .unwrap();
+        engine.step(SimTime::from_millis(1));
+        assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), Some(RuleId::new(1)));
+        // 30°: Alan triggers and outranks the holder.
+        home.thermometer
+            .set_reading(Rational::from_integer(30), SimTime::from_millis(2))
+            .unwrap();
+        let report = engine.step(SimTime::from_millis(2));
+        let alan = report.firings.iter().find(|f| f.rule == RuleId::new(2)).unwrap();
+        assert_eq!(alan.outcome, FiringOutcome::Replaced(RuleId::new(1)));
+        assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), Some(RuleId::new(2)));
+    }
+
+    #[test]
+    fn holder_with_priority_suppresses_newcomer() {
+        let (mut engine, home) = setup();
+        engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+        engine.add_rule(hot_rule("alan", 2, 29, 24)).unwrap();
+        // Tom outranks Alan here.
+        engine.add_priority(PriorityOrder::new(
+            DeviceId::new("aircon-lr"),
+            vec![RuleId::new(1), RuleId::new(2)],
+        ));
+        home.thermometer
+            .set_reading(Rational::from_integer(27), SimTime::EPOCH)
+            .unwrap();
+        engine.step(SimTime::from_millis(1));
+        home.thermometer
+            .set_reading(Rational::from_integer(30), SimTime::from_millis(2))
+            .unwrap();
+        let report = engine.step(SimTime::from_millis(2));
+        let alan = report.firings.iter().find(|f| f.rule == RuleId::new(2)).unwrap();
+        assert_eq!(alan.outcome, FiringOutcome::SuppressedBy(RuleId::new(1)));
+        assert_eq!(
+            home.aircon.query("setpoint").unwrap(),
+            Value::Number(Quantity::from_integer(25, Unit::Celsius))
+        );
+    }
+
+    #[test]
+    fn presence_event_rule_via_upnp_path() {
+        let (mut engine, home) = setup();
+        let cond = Condition::Atom(Atom::Presence(PresenceAtom::person_at(
+            "tom",
+            "living room",
+        )));
+        let rule = Rule::builder(PersonId::new("tom"))
+            .condition(cond)
+            .action(
+                ActionSpec::new(DeviceId::new("stereo-lr"), Verb::Play)
+                    .with_setting("content", Value::from("jazz music")),
+            )
+            .build(RuleId::new(1))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+
+        home.living_presence
+            .person_entered(&PersonId::new("tom"), SimTime::EPOCH);
+        let report = engine.step(SimTime::from_millis(1));
+        assert_eq!(report.dispatched().len(), 1);
+        assert_eq!(home.stereo.query("playing").unwrap(), Value::Bool(true));
+        assert_eq!(
+            home.stereo.query("content").unwrap(),
+            Value::from("jazz music")
+        );
+    }
+
+    #[test]
+    fn broadcast_event_rule() {
+        let (mut engine, home) = setup();
+        let cond = Condition::Atom(Atom::Event(EventAtom::new("tv-guide", "baseball game")));
+        let rule = Rule::builder(PersonId::new("alan"))
+            .condition(cond)
+            .action(ActionSpec::new(DeviceId::new("tv-lr"), Verb::TurnOn))
+            .build(RuleId::new(1))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+        home.tv_guide.announce("Baseball Game", SimTime::EPOCH);
+        let report = engine.step(SimTime::from_millis(1));
+        assert_eq!(report.dispatched().len(), 1);
+        assert_eq!(home.tv.query("power").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn until_clause_releases_with_inverse_action() {
+        let (mut engine, home) = setup();
+        // Turn on the hall light when someone arrives, until 22:00.
+        let cond = Condition::Atom(Atom::Event(EventAtom::new("person", "returns home")));
+        let until = Condition::Atom(Atom::Time(cadel_types::TimeWindow::new(
+            cadel_types::TimeOfDay::hm(22, 0).unwrap(),
+            cadel_types::TimeOfDay::MIDNIGHT,
+        )));
+        let rule = Rule::builder(PersonId::new("tom"))
+            .condition(cond)
+            .action(ActionSpec::new(DeviceId::new("light-hall"), Verb::TurnOn))
+            .until(until)
+            .build(RuleId::new(1))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+
+        // Arrive at 21:00.
+        let t_arrive = SimTime::EPOCH + SimDuration::from_hours(21);
+        home.hall_presence.announce_arrival(
+            &PersonId::new("tom"),
+            "returns home",
+            t_arrive,
+        );
+        let report = engine.step(t_arrive);
+        assert_eq!(report.dispatched().len(), 1);
+        assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(true));
+
+        // At 22:05 the until window opens: the light is released (turned
+        // off via the inverse verb).
+        let t_release = SimTime::EPOCH + SimDuration::from_hours(22) + SimDuration::from_minutes(5);
+        let report = engine.step(t_release);
+        assert_eq!(report.releases, vec![(RuleId::new(1), DeviceId::new("light-hall"))]);
+        assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(false));
+        assert_eq!(engine.holder(&DeviceId::new("light-hall")), None);
+    }
+
+    #[test]
+    fn trigger_index_and_full_scan_agree() {
+        let (mut engine_a, home_a) = setup();
+        let (mut engine_b, home_b) = setup();
+        engine_b.set_use_trigger_index(false);
+        for engine in [&mut engine_a, &mut engine_b] {
+            engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+            engine
+                .add_rule(hot_rule("alan", 2, 25, 24))
+                .unwrap();
+            engine.add_priority(PriorityOrder::new(
+                DeviceId::new("aircon-lr"),
+                vec![RuleId::new(2), RuleId::new(1)],
+            ));
+        }
+        for (home, t) in [(&home_a, 1u64), (&home_b, 1u64)] {
+            home.thermometer
+                .set_reading(Rational::from_integer(28), SimTime::from_millis(t))
+                .unwrap();
+        }
+        let ra = engine_a.step(SimTime::from_millis(2));
+        let rb = engine_b.step(SimTime::from_millis(2));
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn disabled_rules_do_not_fire() {
+        let (mut engine, home) = setup();
+        let rule = hot_rule("tom", 1, 26, 25).with_enabled(false);
+        engine.add_rule(rule).unwrap();
+        home.thermometer
+            .set_reading(Rational::from_integer(30), SimTime::EPOCH)
+            .unwrap();
+        let report = engine.step(SimTime::from_millis(1));
+        assert!(report.firings.is_empty());
+    }
+
+    #[test]
+    fn remove_rule_stops_it() {
+        let (mut engine, home) = setup();
+        engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+        engine.remove_rule(RuleId::new(1)).unwrap();
+        home.thermometer
+            .set_reading(Rational::from_integer(30), SimTime::EPOCH)
+            .unwrap();
+        assert!(engine.step(SimTime::from_millis(1)).firings.is_empty());
+        assert!(engine.remove_rule(RuleId::new(1)).is_err());
+    }
+
+    #[test]
+    fn failed_dispatch_is_reported() {
+        let (mut engine, home) = setup();
+        // A rule whose action the device rejects (out-of-range setpoint).
+        let rule = Rule::builder(PersonId::new("tom"))
+            .condition(Condition::Atom(Atom::Event(EventAtom::new("tv-guide", "x"))))
+            .action(
+                ActionSpec::new(DeviceId::new("aircon-lr"), Verb::TurnOn).with_setting(
+                    "temperature",
+                    Quantity::from_integer(99, Unit::Celsius),
+                ),
+            )
+            .build(RuleId::new(1))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+        home.tv_guide.announce("x", SimTime::EPOCH);
+        let report = engine.step(SimTime::from_millis(1));
+        assert!(matches!(report.firings[0].outcome, FiringOutcome::Failed(_)));
+        assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), None);
+    }
+}

@@ -1,0 +1,72 @@
+//! Engine errors.
+
+use cadel_conflict::ConflictError;
+use cadel_rule::RuleError;
+use cadel_upnp::UpnpError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the rule execution module.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A device interaction failed.
+    Upnp(UpnpError),
+    /// The rule layer reported a problem.
+    Rule(RuleError),
+    /// Conflict checking failed.
+    Conflict(ConflictError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Upnp(e) => write!(f, "device error: {e}"),
+            EngineError::Rule(e) => write!(f, "rule error: {e}"),
+            EngineError::Conflict(e) => write!(f, "conflict error: {e}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Upnp(e) => Some(e),
+            EngineError::Rule(e) => Some(e),
+            EngineError::Conflict(e) => Some(e),
+        }
+    }
+}
+
+impl From<UpnpError> for EngineError {
+    fn from(e: UpnpError) -> Self {
+        EngineError::Upnp(e)
+    }
+}
+
+impl From<RuleError> for EngineError {
+    fn from(e: RuleError) -> Self {
+        EngineError::Rule(e)
+    }
+}
+
+impl From<ConflictError> for EngineError {
+    fn from(e: ConflictError) -> Self {
+        EngineError::Conflict(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::DeviceId;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<EngineError>();
+        let e = EngineError::from(UpnpError::UnknownDevice(DeviceId::new("x")));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("device error"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Condition evaluation against the live context, including the temporal
+//! state needed for "held for" atoms.
+
+use crate::context::ContextStore;
+use cadel_rule::{Atom, Condition, PresenceAtom, Subject};
+use cadel_types::{SimTime, Value};
+use std::collections::HashMap;
+
+/// Tracks since when each duration-qualified atom's inner fact has been
+/// continuously true, so `door unlocked for 1 hour` can be decided.
+///
+/// Observed through the [`Evaluator`] on every engine evaluation — the
+/// tracker records false→true transitions and resets on true→false.
+#[derive(Clone, Debug, Default)]
+pub struct HeldTracker {
+    since: HashMap<String, SimTime>,
+}
+
+impl HeldTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> HeldTracker {
+        HeldTracker::default()
+    }
+
+    fn observe(&mut self, fingerprint: String, inner_true: bool, now: SimTime) -> Option<SimTime> {
+        if inner_true {
+            Some(*self.since.entry(fingerprint).or_insert(now))
+        } else {
+            self.since.remove(&fingerprint);
+            None
+        }
+    }
+
+    /// Number of atoms currently being tracked as true.
+    pub fn tracked(&self) -> usize {
+        self.since.len()
+    }
+}
+
+/// Evaluates conditions against a [`ContextStore`].
+pub struct Evaluator<'a> {
+    ctx: &'a ContextStore,
+    held: &'a mut HeldTracker,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator borrowing the context and the held-for state.
+    pub fn new(ctx: &'a ContextStore, held: &'a mut HeldTracker) -> Evaluator<'a> {
+        Evaluator { ctx, held }
+    }
+
+    /// Whether a condition holds right now.
+    pub fn condition_holds(&mut self, condition: &Condition) -> bool {
+        match condition {
+            Condition::True => true,
+            Condition::Atom(atom) => self.atom_holds(atom),
+            Condition::And(cs) => cs.iter().all(|c| self.condition_holds(c)),
+            Condition::Or(cs) => cs.iter().any(|c| self.condition_holds(c)),
+        }
+    }
+
+    /// Whether an atom holds right now.
+    pub fn atom_holds(&mut self, atom: &Atom) -> bool {
+        match atom {
+            Atom::Constraint(c) => match self.ctx.value(c.sensor()) {
+                Some(Value::Number(q)) => c.holds_for(q),
+                _ => false,
+            },
+            Atom::State(s) => self
+                .ctx
+                .value(&s.sensor_key())
+                .map(|v| s.holds_for(v))
+                .unwrap_or(false),
+            Atom::Presence(p) => self.presence_holds(p),
+            Atom::Event(e) => self.ctx.event_active(e.channel(), e.name()),
+            Atom::Time(w) => w.contains(self.ctx.now().time_of_day()),
+            Atom::Weekday(w) => self.ctx.weekday() == *w,
+            Atom::Date(d) => self.ctx.date() == *d,
+            Atom::HeldFor { inner, duration } => {
+                let inner_true = self.atom_holds(inner);
+                let fingerprint = format!("{inner}~{}", duration.as_millis());
+                match self.held.observe(fingerprint, inner_true, self.ctx.now()) {
+                    Some(since) => self.ctx.now().since(since) >= *duration,
+                    None => false,
+                }
+            }
+            // `Atom` is non-exhaustive: future atom kinds default to false
+            // (fail closed) until evaluation support is added.
+            _ => false,
+        }
+    }
+
+    fn presence_holds(&self, p: &PresenceAtom) -> bool {
+        match p.subject() {
+            Subject::Person(person) => self.ctx.person_place(person) == Some(p.place()),
+            Subject::Somebody => !self.ctx.occupants(p.place()).is_empty(),
+            Subject::Nobody => self.ctx.occupants(p.place()).is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_rule::{ConstraintAtom, EventAtom, StateAtom};
+    use cadel_simplex::RelOp;
+    use cadel_types::{
+        DayPart, DeviceId, PersonId, PlaceId, Quantity, SensorKey, SimDuration, Unit,
+    };
+
+    fn ctx_at(now: SimTime) -> ContextStore {
+        let mut ctx = ContextStore::default();
+        ctx.set_now(now);
+        ctx
+    }
+
+    fn eval(ctx: &ContextStore, held: &mut HeldTracker, atom: &Atom) -> bool {
+        Evaluator::new(ctx, held).atom_holds(atom)
+    }
+
+    #[test]
+    fn constraint_atoms_need_a_reading() {
+        let mut ctx = ctx_at(SimTime::EPOCH);
+        let mut held = HeldTracker::new();
+        let key = SensorKey::new(DeviceId::new("thermo"), "temperature");
+        let atom = Atom::Constraint(ConstraintAtom::new(
+            key.clone(),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        ));
+        assert!(!eval(&ctx, &mut held, &atom)); // no reading yet
+        ctx.set_value(key.clone(), Value::Number(Quantity::from_integer(28, Unit::Celsius)));
+        assert!(eval(&ctx, &mut held, &atom));
+        ctx.set_value(key, Value::Number(Quantity::from_integer(25, Unit::Celsius)));
+        assert!(!eval(&ctx, &mut held, &atom));
+    }
+
+    #[test]
+    fn state_atom_evaluation() {
+        let mut ctx = ctx_at(SimTime::EPOCH);
+        let mut held = HeldTracker::new();
+        let atom = Atom::State(StateAtom::new(DeviceId::new("tv"), "power", Value::Bool(true)));
+        assert!(!eval(&ctx, &mut held, &atom));
+        ctx.set_value(SensorKey::new(DeviceId::new("tv"), "power"), Value::Bool(true));
+        assert!(eval(&ctx, &mut held, &atom));
+    }
+
+    #[test]
+    fn presence_subjects() {
+        let mut ctx = ctx_at(SimTime::EPOCH);
+        let mut held = HeldTracker::new();
+        let lr = PlaceId::new("living room");
+        let tom_at = Atom::Presence(PresenceAtom::person_at("tom", "living room"));
+        let somebody = Atom::Presence(PresenceAtom::new(Subject::Somebody, lr.clone()));
+        let nobody = Atom::Presence(PresenceAtom::new(Subject::Nobody, lr.clone()));
+
+        assert!(!eval(&ctx, &mut held, &tom_at));
+        assert!(!eval(&ctx, &mut held, &somebody));
+        assert!(eval(&ctx, &mut held, &nobody));
+
+        ctx.set_presence(PersonId::new("tom"), Some(lr));
+        assert!(eval(&ctx, &mut held, &tom_at));
+        assert!(eval(&ctx, &mut held, &somebody));
+        assert!(!eval(&ctx, &mut held, &nobody));
+    }
+
+    #[test]
+    fn time_window_evaluation() {
+        let mut held = HeldTracker::new();
+        let evening = Atom::Time(DayPart::Evening.window());
+        // 18:00 is evening; 10:00 is not.
+        let ctx = ctx_at(SimTime::EPOCH + SimDuration::from_hours(18));
+        assert!(eval(&ctx, &mut held, &evening));
+        let ctx = ctx_at(SimTime::EPOCH + SimDuration::from_hours(10));
+        assert!(!eval(&ctx, &mut held, &evening));
+    }
+
+    #[test]
+    fn held_for_requires_continuous_truth() {
+        let mut ctx = ctx_at(SimTime::EPOCH);
+        let mut held = HeldTracker::new();
+        let key = SensorKey::new(DeviceId::new("door"), "locked");
+        let unlocked = Atom::State(StateAtom::new(
+            DeviceId::new("door"),
+            "locked",
+            Value::Bool(false),
+        ));
+        let for_an_hour = Atom::held_for(unlocked, SimDuration::from_hours(1));
+
+        // Unlocked at t=0.
+        ctx.set_value(key.clone(), Value::Bool(false));
+        assert!(!eval(&ctx, &mut held, &for_an_hour)); // just started
+        assert_eq!(held.tracked(), 1);
+
+        // 30 minutes later: still not an hour.
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_minutes(30));
+        assert!(!eval(&ctx, &mut held, &for_an_hour));
+
+        // 61 minutes: fires.
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_minutes(61));
+        assert!(eval(&ctx, &mut held, &for_an_hour));
+
+        // Door relocked: resets the tracker.
+        ctx.set_value(key.clone(), Value::Bool(true));
+        assert!(!eval(&ctx, &mut held, &for_an_hour));
+        assert_eq!(held.tracked(), 0);
+
+        // Unlocked again: the hour starts over.
+        ctx.set_value(key, Value::Bool(false));
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_minutes(90));
+        assert!(!eval(&ctx, &mut held, &for_an_hour));
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_minutes(151));
+        assert!(eval(&ctx, &mut held, &for_an_hour));
+    }
+
+    #[test]
+    fn condition_tree_evaluation() {
+        let mut ctx = ctx_at(SimTime::EPOCH);
+        let mut held = HeldTracker::new();
+        ctx.raise_event("tv-guide", "baseball game");
+        let baseball = Condition::Atom(Atom::Event(EventAtom::new("tv-guide", "baseball game")));
+        let movie = Condition::Atom(Atom::Event(EventAtom::new("tv-guide", "movie")));
+
+        let mut ev = Evaluator::new(&ctx, &mut held);
+        assert!(ev.condition_holds(&Condition::True));
+        assert!(ev.condition_holds(&baseball));
+        assert!(!ev.condition_holds(&movie));
+        assert!(ev.condition_holds(&baseball.clone().or(movie.clone())));
+        assert!(!ev.condition_holds(&baseball.and(movie)));
+    }
+}

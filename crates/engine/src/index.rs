@@ -1,0 +1,338 @@
+//! The trigger index: which rules can be affected by which changes.
+//!
+//! Re-evaluating all 10,000 registered rules on every thermometer tick
+//! would waste the home server's CPU; the index maps each sensor key,
+//! place and event channel to the rules whose conditions mention them, so
+//! a step only touches the relevant rules. Rules with time-of-day,
+//! weekday, date or duration atoms are *temporal* and re-evaluated every
+//! step (the clock always advances). The A3 ablation benchmark compares
+//! this against the index-less full scan.
+
+use crate::context::{
+    ContextStore, ARRIVAL_VARIABLE, OCCUPANTS_VARIABLE, ON_AIR_VARIABLE, TV_GUIDE_CHANNEL,
+};
+use cadel_rule::{Atom, Condition, Rule};
+use cadel_types::{PlaceId, RuleId, SensorKey};
+use cadel_upnp::PropertyChange;
+use std::collections::{BTreeSet, HashMap};
+
+/// Channels whose events are raised internally by the engine (not through
+/// UPnP changes); rules listening on them are treated as temporal.
+const INTERNAL_CHANNELS: &[&str] = &["conflict"];
+
+/// Maps context changes to potentially affected rules.
+#[derive(Clone, Debug, Default)]
+pub struct TriggerIndex {
+    by_sensor: HashMap<SensorKey, BTreeSet<RuleId>>,
+    by_place: HashMap<PlaceId, BTreeSet<RuleId>>,
+    by_event_channel: HashMap<String, BTreeSet<RuleId>>,
+    temporal: BTreeSet<RuleId>,
+}
+
+impl TriggerIndex {
+    /// Creates an empty index.
+    pub fn new() -> TriggerIndex {
+        TriggerIndex::default()
+    }
+
+    /// Indexes a rule's condition and `until` clause.
+    pub fn add_rule(&mut self, rule: &Rule) {
+        self.walk(rule.id(), rule.condition(), true);
+        if let Some(until) = rule.until() {
+            self.walk(rule.id(), until, true);
+        }
+    }
+
+    /// Removes a rule from the index.
+    pub fn remove_rule(&mut self, rule: &Rule) {
+        self.walk(rule.id(), rule.condition(), false);
+        if let Some(until) = rule.until() {
+            self.walk(rule.id(), until, false);
+        }
+        self.temporal.remove(&rule.id());
+    }
+
+    fn walk(&mut self, id: RuleId, condition: &Condition, add: bool) {
+        match condition {
+            Condition::True => {}
+            Condition::Atom(atom) => self.index_atom(id, atom, add),
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    self.walk(id, c, add);
+                }
+            }
+        }
+    }
+
+    fn index_atom(&mut self, id: RuleId, atom: &Atom, add: bool) {
+        fn toggle<K: std::hash::Hash + Eq + Clone>(
+            map: &mut HashMap<K, BTreeSet<RuleId>>,
+            key: &K,
+            id: RuleId,
+            add: bool,
+        ) {
+            if add {
+                map.entry(key.clone()).or_default().insert(id);
+            } else if let Some(set) = map.get_mut(key) {
+                set.remove(&id);
+                if set.is_empty() {
+                    map.remove(key);
+                }
+            }
+        }
+        match atom {
+            Atom::Constraint(c) => toggle(&mut self.by_sensor, c.sensor(), id, add),
+            Atom::State(s) => toggle(&mut self.by_sensor, &s.sensor_key(), id, add),
+            Atom::Presence(p) => toggle(&mut self.by_place, p.place(), id, add),
+            Atom::Event(e) => {
+                if INTERNAL_CHANNELS.contains(&e.channel()) {
+                    if add {
+                        self.temporal.insert(id);
+                    }
+                } else {
+                    toggle(
+                        &mut self.by_event_channel,
+                        &e.channel().to_owned(),
+                        id,
+                        add,
+                    );
+                }
+            }
+            Atom::Time(_) | Atom::Weekday(_) | Atom::Date(_) => {
+                if add {
+                    self.temporal.insert(id);
+                }
+            }
+            Atom::HeldFor { inner, .. } => {
+                // Duration atoms are both event- and time-driven.
+                if add {
+                    self.temporal.insert(id);
+                }
+                self.index_atom(id, inner, add);
+            }
+            // Unknown future atom kinds: evaluate every step (safe).
+            _ => {
+                if add {
+                    self.temporal.insert(id);
+                }
+            }
+        }
+    }
+
+    /// Rules that must be re-evaluated every step.
+    pub fn temporal_rules(&self) -> impl Iterator<Item = RuleId> + '_ {
+        self.temporal.iter().copied()
+    }
+
+    /// Adds to `out` every rule potentially affected by a property change.
+    pub fn affected_by_change(
+        &self,
+        change: &PropertyChange,
+        ctx: &ContextStore,
+        out: &mut BTreeSet<RuleId>,
+    ) {
+        let key = SensorKey::new(change.device.clone(), change.variable.clone());
+        if let Some(rules) = self.by_sensor.get(&key) {
+            out.extend(rules.iter().copied());
+        }
+        match change.variable.as_str() {
+            OCCUPANTS_VARIABLE => {
+                if let Some(place) = ctx.device_place(&change.device) {
+                    if let Some(rules) = self.by_place.get(place) {
+                        out.extend(rules.iter().copied());
+                    }
+                }
+            }
+            ARRIVAL_VARIABLE => {
+                if let Some(payload) = change.value.as_text() {
+                    if let Some((channel, _)) = payload.split_once('|') {
+                        let channel = channel.trim().to_ascii_lowercase();
+                        if let Some(rules) = self.by_event_channel.get(&channel) {
+                            out.extend(rules.iter().copied());
+                        }
+                        if channel.starts_with("person:") {
+                            if let Some(rules) = self.by_event_channel.get("person") {
+                                out.extend(rules.iter().copied());
+                            }
+                        }
+                    }
+                }
+            }
+            ON_AIR_VARIABLE => {
+                if let Some(rules) = self.by_event_channel.get(TV_GUIDE_CHANNEL) {
+                    out.extend(rules.iter().copied());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_rule::{
+        ActionSpec, ConstraintAtom, EventAtom, PresenceAtom, Rule, StateAtom, Verb,
+    };
+    use cadel_simplex::RelOp;
+    use cadel_types::{DeviceId, PersonId, Quantity, SimDuration, SimTime, Unit, Value};
+
+    fn rule_with(id: u64, condition: Condition) -> Rule {
+        Rule::builder(PersonId::new("x"))
+            .condition(condition)
+            .action(ActionSpec::new(DeviceId::new("dev"), Verb::TurnOn))
+            .build(RuleId::new(id))
+            .unwrap()
+    }
+
+    fn change(device: &str, variable: &str, value: Value) -> PropertyChange {
+        PropertyChange {
+            device: DeviceId::new(device),
+            variable: variable.to_owned(),
+            value,
+            seq: 0,
+            at: SimTime::EPOCH,
+        }
+    }
+
+    fn affected(index: &TriggerIndex, ctx: &ContextStore, c: &PropertyChange) -> Vec<u64> {
+        let mut out = BTreeSet::new();
+        index.affected_by_change(c, ctx, &mut out);
+        out.into_iter().map(|r| r.raw()).collect()
+    }
+
+    #[test]
+    fn sensor_changes_map_to_constraint_rules() {
+        let mut index = TriggerIndex::new();
+        let ctx = ContextStore::default();
+        let cond = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo"), "temperature"),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        )));
+        index.add_rule(&rule_with(1, cond));
+        let c = change(
+            "thermo",
+            "temperature",
+            Value::Number(Quantity::from_integer(30, Unit::Celsius)),
+        );
+        assert_eq!(affected(&index, &ctx, &c), vec![1]);
+        // Unrelated change touches nothing.
+        let c = change("hygro", "humidity", Value::Bool(true));
+        assert!(affected(&index, &ctx, &c).is_empty());
+    }
+
+    #[test]
+    fn state_atoms_index_their_sensor_key() {
+        let mut index = TriggerIndex::new();
+        let ctx = ContextStore::default();
+        let cond = Condition::Atom(Atom::State(StateAtom::new(
+            DeviceId::new("tv"),
+            "power",
+            Value::Bool(true),
+        )));
+        index.add_rule(&rule_with(2, cond));
+        let c = change("tv", "power", Value::Bool(true));
+        assert_eq!(affected(&index, &ctx, &c), vec![2]);
+    }
+
+    #[test]
+    fn occupant_changes_map_through_device_place() {
+        let mut index = TriggerIndex::new();
+        let mut ctx = ContextStore::default();
+        ctx.set_device_place(DeviceId::new("rfid-lr"), PlaceId::new("living room"));
+        let cond = Condition::Atom(Atom::Presence(PresenceAtom::person_at(
+            "tom",
+            "living room",
+        )));
+        index.add_rule(&rule_with(3, cond));
+        let c = change("rfid-lr", "occupants", Value::from("tom"));
+        // Both the raw sensor key (none indexed) and the place rules.
+        assert_eq!(affected(&index, &ctx, &c), vec![3]);
+        // Unknown reader: no mapping.
+        let c = change("rfid-x", "occupants", Value::from("tom"));
+        assert!(affected(&index, &ctx, &c).is_empty());
+    }
+
+    #[test]
+    fn arrival_changes_map_to_event_channels() {
+        let mut index = TriggerIndex::new();
+        let ctx = ContextStore::default();
+        let named = Condition::Atom(Atom::Event(EventAtom::new(
+            "person:alan",
+            "got home from work",
+        )));
+        let generic = Condition::Atom(Atom::Event(EventAtom::new("person", "returns home")));
+        index.add_rule(&rule_with(4, named));
+        index.add_rule(&rule_with(5, generic));
+        let c = change(
+            "rfid-hall",
+            "arrival",
+            Value::from("person:alan|got home from work"),
+        );
+        assert_eq!(affected(&index, &ctx, &c), vec![4, 5]);
+    }
+
+    #[test]
+    fn on_air_changes_map_to_tv_guide_rules() {
+        let mut index = TriggerIndex::new();
+        let ctx = ContextStore::default();
+        let cond = Condition::Atom(Atom::Event(EventAtom::new("tv-guide", "baseball game")));
+        index.add_rule(&rule_with(6, cond));
+        let c = change("epg", "on-air", Value::from("baseball game"));
+        assert_eq!(affected(&index, &ctx, &c), vec![6]);
+    }
+
+    #[test]
+    fn temporal_rules_cover_time_and_heldfor_and_internal_channels() {
+        let mut index = TriggerIndex::new();
+        let time_rule = rule_with(
+            7,
+            Condition::Atom(Atom::Time(cadel_types::DayPart::Night.window())),
+        );
+        let held_rule = rule_with(
+            8,
+            Condition::Atom(Atom::held_for(
+                Atom::State(StateAtom::new(
+                    DeviceId::new("door"),
+                    "locked",
+                    Value::Bool(false),
+                )),
+                SimDuration::from_hours(1),
+            )),
+        );
+        let conflict_rule = rule_with(
+            9,
+            Condition::Atom(Atom::Event(EventAtom::new("conflict", "tv:alan"))),
+        );
+        index.add_rule(&time_rule);
+        index.add_rule(&held_rule);
+        index.add_rule(&conflict_rule);
+        let temporal: Vec<u64> = index.temporal_rules().map(|r| r.raw()).collect();
+        assert_eq!(temporal, vec![7, 8, 9]);
+        // The held-for rule is *also* indexed on its inner sensor.
+        let ctx = ContextStore::default();
+        let c = change("door", "locked", Value::Bool(false));
+        assert_eq!(affected(&index, &ctx, &c), vec![8]);
+    }
+
+    #[test]
+    fn remove_rule_deindexes() {
+        let mut index = TriggerIndex::new();
+        let ctx = ContextStore::default();
+        let cond = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo"), "temperature"),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        )));
+        let rule = rule_with(1, cond);
+        index.add_rule(&rule);
+        index.remove_rule(&rule);
+        let c = change(
+            "thermo",
+            "temperature",
+            Value::Number(Quantity::from_integer(30, Unit::Celsius)),
+        );
+        assert!(affected(&index, &ctx, &c).is_empty());
+    }
+}

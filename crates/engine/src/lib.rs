@@ -1,0 +1,36 @@
+//! The CADEL rule execution module (paper §4.1).
+//!
+//! "The rule execution module does not execute rules by interpreting
+//! CADEL descriptions; a CADEL description is expressed as an equivalent
+//! *rule object* … It receives events from external components and issues
+//! commands to devices through the communication interface module."
+//!
+//! The pieces:
+//!
+//! * [`ContextStore`] — the live picture of the home (sensor values,
+//!   presence, active events, clock/calendar), fed by UPnP
+//!   property-change events.
+//! * [`Evaluator`] / [`HeldTracker`] — condition evaluation, including the
+//!   temporal bookkeeping behind "door unlocked **for 1 hour**".
+//! * [`TriggerIndex`] — maps changes to affected rules so a step touches
+//!   only what matters (ablation A3 measures the win).
+//! * [`Engine`] — the step loop: drain events → evaluate → arbitrate
+//!   simultaneous firings per device via the context-scoped
+//!   [`PriorityStore`](cadel_conflict::PriorityStore) → dispatch actions
+//!   through the UPnP control point, honouring `until` releases and
+//!   raising [`CONFLICT_CHANNEL`] events for suppressed rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod index;
+
+pub use context::ContextStore;
+pub use engine::{Engine, Firing, FiringOutcome, StepReport, CONFLICT_CHANNEL};
+pub use error::EngineError;
+pub use eval::{Evaluator, HeldTracker};
+pub use index::TriggerIndex;

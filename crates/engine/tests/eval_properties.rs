@@ -1,0 +1,143 @@
+//! Property tests tying the runtime evaluator to the conflict checker's
+//! normal form: a condition holds iff its DNF holds, and firings respect
+//! the constraint semantics of `cadel-simplex`.
+
+use cadel_engine::{ContextStore, Evaluator, HeldTracker};
+use cadel_rule::{Atom, Condition, Conjunct, ConstraintAtom, EventAtom};
+use cadel_simplex::RelOp;
+use cadel_types::{DeviceId, Quantity, SensorKey, SimTime, Unit, Value};
+use proptest::prelude::*;
+
+fn arb_relop() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge),
+        Just(RelOp::Eq),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (0u32..3, arb_relop(), -5i64..15).prop_map(|(s, op, t)| {
+            Atom::Constraint(ConstraintAtom::new(
+                SensorKey::new(DeviceId::new(format!("sensor-{s}")), "reading"),
+                op,
+                Quantity::from_integer(t, Unit::Celsius),
+            ))
+        }),
+        (0u32..3).prop_map(|e| Atom::Event(EventAtom::new("chan", format!("event-{e}")))),
+    ]
+}
+
+fn arb_condition(depth: u32) -> BoxedStrategy<Condition> {
+    if depth == 0 {
+        arb_atom().prop_map(Condition::Atom).boxed()
+    } else {
+        prop_oneof![
+            arb_atom().prop_map(Condition::Atom),
+            proptest::collection::vec(arb_condition(depth - 1), 1..3)
+                .prop_map(Condition::And),
+            proptest::collection::vec(arb_condition(depth - 1), 1..3)
+                .prop_map(Condition::Or),
+        ]
+        .boxed()
+    }
+}
+
+/// A random context: readings for the 3 sensors and a subset of events.
+fn arb_context() -> impl Strategy<Value = ContextStore> {
+    (
+        proptest::collection::vec(-5i64..15, 3),
+        proptest::collection::vec(proptest::bool::ANY, 3),
+    )
+        .prop_map(|(readings, events)| {
+            let mut ctx = ContextStore::default();
+            ctx.set_now(SimTime::from_millis(1));
+            for (i, r) in readings.iter().enumerate() {
+                ctx.set_value(
+                    SensorKey::new(DeviceId::new(format!("sensor-{i}")), "reading"),
+                    Value::Number(Quantity::from_integer(*r, Unit::Celsius)),
+                );
+            }
+            for (i, on) in events.iter().enumerate() {
+                if *on {
+                    ctx.raise_event("chan", &format!("event-{i}"));
+                }
+            }
+            ctx
+        })
+}
+
+fn conjunct_holds(ctx: &ContextStore, conjunct: &Conjunct) -> bool {
+    let mut held = HeldTracker::new();
+    conjunct
+        .atoms()
+        .iter()
+        .all(|a| Evaluator::new(ctx, &mut held).atom_holds(a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tree evaluation and DNF evaluation agree — the property that makes
+    /// the conflict checker (which reasons over the DNF) sound with
+    /// respect to the runtime (which evaluates the tree).
+    #[test]
+    fn condition_tree_and_dnf_agree(cond in arb_condition(2), ctx in arb_context()) {
+        let tree = {
+            let mut held = HeldTracker::new();
+            Evaluator::new(&ctx, &mut held).condition_holds(&cond)
+        };
+        let dnf = cond.to_dnf().unwrap();
+        let via_dnf = dnf.conjuncts().iter().any(|c| conjunct_holds(&ctx, c));
+        prop_assert_eq!(tree, via_dnf, "condition {} disagreed with its DNF {}", cond, dnf);
+    }
+
+    /// De Morgan-ish sanity: AND is no weaker than its conjuncts, OR no
+    /// stronger than its disjuncts.
+    #[test]
+    fn and_or_bounds(a in arb_atom(), b in arb_atom(), ctx in arb_context()) {
+        let mut held = HeldTracker::new();
+        let ca = Condition::Atom(a);
+        let cb = Condition::Atom(b);
+        let holds = |c: &Condition, held: &mut HeldTracker| {
+            Evaluator::new(&ctx, held).condition_holds(c)
+        };
+        let va = holds(&ca, &mut held);
+        let vb = holds(&cb, &mut held);
+        let vand = holds(&ca.clone().and(cb.clone()), &mut held);
+        let vor = holds(&ca.or(cb), &mut held);
+        prop_assert_eq!(vand, va && vb);
+        prop_assert_eq!(vor, va || vb);
+    }
+
+    /// A constraint atom evaluates exactly like the solver's `RelOp`
+    /// semantics on the stored reading.
+    #[test]
+    fn constraint_atoms_match_relop_semantics(
+        reading in -5i64..15,
+        threshold in -5i64..15,
+        op in arb_relop(),
+    ) {
+        let key = SensorKey::new(DeviceId::new("sensor-0"), "reading");
+        let mut ctx = ContextStore::default();
+        ctx.set_value(
+            key.clone(),
+            Value::Number(Quantity::from_integer(reading, Unit::Celsius)),
+        );
+        let atom = Atom::Constraint(ConstraintAtom::new(
+            key,
+            op,
+            Quantity::from_integer(threshold, Unit::Celsius),
+        ));
+        let mut held = HeldTracker::new();
+        let holds = Evaluator::new(&ctx, &mut held).atom_holds(&atom);
+        let expected = op.holds(
+            cadel_types::Rational::from_integer(reading),
+            cadel_types::Rational::from_integer(threshold),
+        );
+        prop_assert_eq!(holds, expected);
+    }
+}

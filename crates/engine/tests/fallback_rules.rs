@@ -1,0 +1,105 @@
+//! The conflict-notification channel: when arbitration suppresses or
+//! displaces a rule, the engine raises an event that *fallback rules* can
+//! react to — the mechanism behind the paper's "if it is impossible to
+//! use the TV, I want to record the game with the video recorder".
+
+use cadel_conflict::PriorityOrder;
+use cadel_devices::LivingRoomHome;
+use cadel_engine::{Engine, CONFLICT_CHANNEL};
+use cadel_rule::{ActionSpec, Atom, Condition, EventAtom, Rule, Verb};
+use cadel_types::{DeviceId, PersonId, RuleId, SimTime, Value};
+use cadel_upnp::{ControlPoint, Registry, VirtualDevice};
+
+fn tv_rule(owner: &str, id: u64, program: &str) -> Rule {
+    Rule::builder(PersonId::new(owner))
+        .condition(Condition::Atom(Atom::Event(EventAtom::new(
+            "tv-guide", program,
+        ))))
+        .action(
+            ActionSpec::new(DeviceId::new("tv-lr"), Verb::Show)
+                .with_setting("content", Value::from(program)),
+        )
+        .build(RuleId::new(id))
+        .unwrap()
+}
+
+#[test]
+fn displaced_holder_triggers_fallback_recording() {
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+    let mut engine = Engine::new(ControlPoint::new(registry));
+
+    // Alan watches baseball (rule 1); Emily's movie outranks him (rule 2).
+    engine.add_rule(tv_rule("alan", 1, "baseball game")).unwrap();
+    engine.add_rule(tv_rule("emily", 2, "movie")).unwrap();
+    engine.add_priority(PriorityOrder::new(
+        DeviceId::new("tv-lr"),
+        vec![RuleId::new(2), RuleId::new(1)],
+    ));
+    // Alan's fallback: when his TV use is suppressed while the game is
+    // still on, record it.
+    let fallback = Rule::builder(PersonId::new("alan"))
+        .condition(
+            Condition::Atom(Atom::Event(EventAtom::new(CONFLICT_CHANNEL, "tv-lr:alan")))
+                .and(Condition::Atom(Atom::Event(EventAtom::new(
+                    "tv-guide",
+                    "baseball game",
+                )))),
+        )
+        .action(
+            ActionSpec::new(DeviceId::new("vcr-lr"), Verb::Record)
+                .with_setting("content", Value::from("baseball game")),
+        )
+        .build(RuleId::new(3))
+        .unwrap();
+    engine.add_rule(fallback).unwrap();
+
+    // Baseball starts: Alan holds the TV, no recording.
+    home.tv_guide.start_program("baseball game", SimTime::from_millis(1));
+    engine.step(SimTime::from_millis(2));
+    assert_eq!(home.tv.query("content").unwrap(), Value::from("baseball game"));
+    assert_eq!(home.recorder.query("recording").unwrap(), Value::Bool(false));
+
+    // The movie starts: Emily displaces Alan…
+    home.tv_guide.start_program("movie", SimTime::from_millis(3));
+    engine.step(SimTime::from_millis(4));
+    assert_eq!(home.tv.query("content").unwrap(), Value::from("movie"));
+    assert!(engine.context().event_active(CONFLICT_CHANNEL, "tv-lr:alan"));
+
+    // …and the fallback fires on the next step.
+    engine.step(SimTime::from_millis(5));
+    assert_eq!(home.recorder.query("recording").unwrap(), Value::Bool(true));
+    assert_eq!(
+        home.recorder.query("content").unwrap(),
+        Value::from("baseball game")
+    );
+}
+
+#[test]
+fn suppression_event_is_raised_once_per_episode() {
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+    let mut engine = Engine::new(ControlPoint::new(registry));
+    engine.add_rule(tv_rule("alan", 1, "baseball game")).unwrap();
+    engine.add_rule(tv_rule("emily", 2, "movie")).unwrap();
+    engine.add_priority(PriorityOrder::new(
+        DeviceId::new("tv-lr"),
+        vec![RuleId::new(2), RuleId::new(1)],
+    ));
+
+    // Both programs start simultaneously: Emily wins, Alan suppressed.
+    home.tv_guide.start_program("baseball game", SimTime::from_millis(1));
+    home.tv_guide.start_program("movie", SimTime::from_millis(1));
+    let report = engine.step(SimTime::from_millis(2));
+    assert_eq!(report.firings.len(), 2);
+    // Re-stepping does not produce repeated suppression firings while
+    // nothing changes.
+    let report = engine.step(SimTime::from_millis(3));
+    assert!(report.firings.is_empty());
+    // The suppressed rule is promoted the moment the blocker's condition
+    // ends.
+    home.tv_guide.end_program("movie", SimTime::from_millis(4));
+    let report = engine.step(SimTime::from_millis(5));
+    assert_eq!(report.dispatched().len(), 1);
+    assert_eq!(home.tv.query("content").unwrap(), Value::from("baseball game"));
+}

@@ -1,0 +1,293 @@
+//! The CADEL abstract syntax tree.
+//!
+//! The parser is purely syntactic: noun phrases ("the air conditioner at
+//! the living room", "entrance door") are kept as word lists and resolved
+//! against the device/sensor environment later, by the compiler. This
+//! mirrors the paper's split between the rule description support module
+//! (which knows the grammar) and the lookup service (which knows what
+//! exists in the home).
+
+use crate::lexicon::StatePhrase;
+use cadel_rule::Verb;
+use cadel_simplex::RelOp;
+use cadel_types::{Date, DayPart, Rational, SimDuration, TimeOfDay, Unit, Weekday};
+use std::fmt;
+
+/// A sequence of words forming a noun phrase, lower-cased,
+/// article-stripped.
+pub type Phrase = Vec<String>;
+
+/// Joins a phrase back into display text.
+pub fn phrase_text(phrase: &[String]) -> String {
+    phrase.join(" ")
+}
+
+/// A complete CADEL command (`<Command>` in Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// A rule definition.
+    Rule(RuleSentence),
+    /// "Let's call the condition that … *word*" (`<CondDef>`).
+    CondDef(CondDef),
+    /// "Let's call the configuration that … *word*" (`<ConfDef>`).
+    ConfDef(ConfDef),
+}
+
+/// A parsed rule sentence
+/// (`[<PreCondition>] <Verb> <Object> [<Configuration>] [<PostCondition>]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleSentence {
+    /// The leading condition clause, if any.
+    pub pre: Option<CondClause>,
+    /// The action verb.
+    pub verb: Verb,
+    /// Content operand for verbs like "play *jazz music* on the stereo" or
+    /// "show *a pop-up menu* on the TV".
+    pub content: Option<Phrase>,
+    /// The target device phrase.
+    pub object: ObjectPhrase,
+    /// Configuration settings (`with … of … setting`), possibly referring
+    /// to user-defined configuration words.
+    pub config: Vec<SettingAst>,
+    /// The trailing condition clause, if any.
+    pub post: Option<CondClause>,
+    /// An `until …` bound on the action.
+    pub until: Option<CondClause>,
+}
+
+/// A device phrase with an optional location modifier
+/// ("the light **at the hall**").
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ObjectPhrase {
+    /// The device name words.
+    pub name: Phrase,
+    /// The location words, when a modifier was present.
+    pub location: Option<Phrase>,
+}
+
+impl fmt::Display for ObjectPhrase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&phrase_text(&self.name))?;
+        if let Some(loc) = &self.location {
+            write!(f, " at the {}", phrase_text(loc))?;
+        }
+        Ok(())
+    }
+}
+
+/// A condition clause: time specs and/or a condition expression
+/// (`<PreCondition>` / `<PostCondition>`).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct CondClause {
+    /// Leading/trailing time specifications ("after evening", "at night").
+    pub time: Vec<TimeSpecAst>,
+    /// The boolean condition expression, when present.
+    pub expr: Option<CondExprAst>,
+}
+
+impl CondClause {
+    /// Whether the clause is entirely empty.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty() && self.expr.is_none()
+    }
+}
+
+/// A condition expression (`<CondExpr>`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CondExprAst {
+    /// Disjunction.
+    Or(Vec<CondExprAst>),
+    /// Conjunction.
+    And(Vec<CondExprAst>),
+    /// A single condition.
+    Leaf(CondAst),
+}
+
+/// One condition (`<Cond>` plus optional `<PeriodSpec>`/`<TimeSpec>`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CondAst {
+    /// The condition kind.
+    pub kind: CondKind,
+    /// "for 1 hour" continuous-duration qualifier.
+    pub period: Option<SimDuration>,
+    /// An attached time spec ("… in evening").
+    pub time: Option<TimeSpecAst>,
+}
+
+/// The kinds of primitive condition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CondKind {
+    /// `subject <op> quantity` — "humidity is higher than 80 percent".
+    Compare {
+        /// The sensor-ish subject phrase.
+        subject: SubjectPhrase,
+        /// Comparison operator.
+        op: RelOp,
+        /// Right-hand quantity.
+        quantity: QuantityAst,
+    },
+    /// `subject <state>` — "the TV is turned on", "the hall is dark".
+    State {
+        /// The device/place subject phrase.
+        subject: SubjectPhrase,
+        /// What the state phrase means.
+        state: StatePhrase,
+    },
+    /// `who is at place` — "I'm in the living room".
+    Presence {
+        /// Who.
+        who: PresenceSubject,
+        /// The place phrase.
+        place: Phrase,
+    },
+    /// `who <event>` — "someone returns home", "Alan got home from work".
+    PersonEvent {
+        /// Who.
+        who: PresenceSubject,
+        /// Canonical event name from the lexicon.
+        event: String,
+    },
+    /// `program is on air` — "a baseball game is on air".
+    Broadcast {
+        /// The program/keyword phrase.
+        program: Phrase,
+    },
+    /// A user-defined condition word ("hot and stuffy").
+    UserWord(String),
+}
+
+/// The subject of a comparison or state condition, with optional location
+/// ("temperature **at the second floor**").
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SubjectPhrase {
+    /// The subject words.
+    pub name: Phrase,
+    /// The location modifier words.
+    pub location: Option<Phrase>,
+}
+
+/// Who a presence/person-event condition is about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PresenceSubject {
+    /// The speaker ("I") — resolved to the rule's author at compile time.
+    Me,
+    /// A named person.
+    Named(Phrase),
+    /// Any person.
+    Somebody,
+    /// No person.
+    Nobody,
+}
+
+/// A numeric literal with its parsed unit (`None` = unitless).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantityAst {
+    /// The exact value.
+    pub value: Rational,
+    /// The unit, when one was written.
+    pub unit: Option<Unit>,
+}
+
+/// A time specification (`<TimeSpec>` / `<DateSpec>`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TimeSpecAst {
+    /// "after X" — from X (inclusive) to midnight.
+    After(TimePointAst),
+    /// "at X" — a narrow window starting at X (clock) or the whole day
+    /// part (e.g. "at night").
+    At(TimePointAst),
+    /// "before X" / "until X" inside a condition — midnight to X.
+    Before(TimePointAst),
+    /// "from X to Y".
+    Between(TimePointAst, TimePointAst),
+    /// "in (the) evening" — the day-part window.
+    During(DayPart),
+    /// "every Monday".
+    Every(Weekday),
+    /// "on June 6 2005".
+    On(Date),
+}
+
+/// A point in the day.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TimePointAst {
+    /// A clock time ("18:30", "6 pm", "noon").
+    Clock(TimeOfDay),
+    /// A named day part ("evening") — its start or window depending on the
+    /// surrounding spec.
+    DayPart(DayPart),
+}
+
+/// One configuration setting
+/// (`<Setting> "of" <Parameter> "setting"` or a user-defined configuration
+/// word).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SettingAst {
+    /// "25 degrees of temperature setting".
+    Explicit {
+        /// Parameter phrase ("temperature", "channel").
+        parameter: Phrase,
+        /// The configured value.
+        value: SettingValueAst,
+    },
+    /// A user-defined configuration word ("half-lighting").
+    UserWord(String),
+}
+
+/// The value of an explicit setting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SettingValueAst {
+    /// A numeric value with unit.
+    Quantity(QuantityAst),
+    /// A word value ("jazz of genre setting", "4 of channel setting"
+    /// parses as quantity; "bbc of channel setting" as word).
+    Word(Phrase),
+}
+
+/// A user condition-word definition (`<CondDef>`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CondDef {
+    /// The defining expression.
+    pub expr: CondExprAst,
+    /// The new word (may be multi-word: "hot and stuffy").
+    pub word: String,
+}
+
+/// A user configuration-word definition (`<ConfDef>`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfDef {
+    /// The defining settings.
+    pub settings: Vec<SettingAst>,
+    /// The new word.
+    pub word: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phrase_text_joins() {
+        let p: Phrase = vec!["air".into(), "conditioner".into()];
+        assert_eq!(phrase_text(&p), "air conditioner");
+    }
+
+    #[test]
+    fn object_phrase_display() {
+        let obj = ObjectPhrase {
+            name: vec!["light".into()],
+            location: Some(vec!["hall".into()]),
+        };
+        assert_eq!(obj.to_string(), "light at the hall");
+    }
+
+    #[test]
+    fn cond_clause_emptiness() {
+        assert!(CondClause::default().is_empty());
+        let clause = CondClause {
+            time: vec![TimeSpecAst::During(DayPart::Night)],
+            expr: None,
+        };
+        assert!(!clause.is_empty());
+    }
+}

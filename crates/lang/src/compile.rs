@@ -1,0 +1,882 @@
+//! Compilation of parsed CADEL sentences into rule objects.
+//!
+//! The compiler resolves the string-level AST against a [`Resolver`] — the
+//! abstraction over "what exists in this home": people, places, devices
+//! and sensors. In the full framework the home server implements
+//! `Resolver` on top of the UPnP registry; [`MapResolver`] is a
+//! self-contained implementation for tests, examples and benchmarks.
+
+use crate::ast::*;
+use crate::dictionary::Dictionary;
+use crate::error::CompileError;
+use crate::lexicon::StatePhrase;
+use cadel_rule::{
+    ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Rule, RuleBuilder,
+    StateAtom, Subject,
+};
+use cadel_types::{
+    DeviceId, PersonId, PlaceId, Quantity, SensorKey, TimeOfDay, TimeWindow, Unit, Value,
+};
+use std::collections::HashMap;
+
+/// Maximum depth of user-defined words referencing other user-defined
+/// words, guarding against definition cycles.
+const MAX_WORD_DEPTH: usize = 8;
+
+/// Width of the firing window for "at 18:30"-style point time specs.
+const AT_WINDOW_MINUTES: u32 = 15;
+
+/// The environment the compiler resolves names against.
+///
+/// Implementations should match case-insensitively; all phrases arrive
+/// lower-cased from the parser.
+pub trait Resolver {
+    /// A person by name ("alan").
+    fn resolve_person(&self, name: &str) -> Option<PersonId>;
+    /// A place by name ("living room").
+    fn resolve_place(&self, name: &str) -> Option<PlaceId>;
+    /// A device by its (friendly) name, optionally restricted to a place.
+    fn resolve_device(&self, name: &str, location: Option<&PlaceId>) -> Option<DeviceId>;
+    /// A sensor variable by category or name ("temperature", "humidity"),
+    /// optionally restricted to a place.
+    fn resolve_sensor(&self, name: &str, location: Option<&PlaceId>) -> Option<SensorKey>;
+    /// The ambient sensor of a place for a quantity kind
+    /// ("illuminance" of the hall, for "the hall is dark").
+    fn ambient_sensor(&self, place: &PlaceId, kind: &str) -> Option<SensorKey>;
+    /// The native unit of a sensor, used to default unit-less thresholds.
+    fn sensor_unit(&self, _sensor: &SensorKey) -> Option<Unit> {
+        None
+    }
+}
+
+/// A map-backed [`Resolver`] for tests, examples and benchmarks.
+#[derive(Clone, Debug, Default)]
+pub struct MapResolver {
+    people: HashMap<String, PersonId>,
+    places: HashMap<String, PlaceId>,
+    devices: HashMap<String, Vec<(Option<PlaceId>, DeviceId)>>,
+    sensors: HashMap<String, Vec<(Option<PlaceId>, SensorKey)>>,
+    ambients: HashMap<(PlaceId, String), SensorKey>,
+    units: HashMap<SensorKey, Unit>,
+}
+
+impl MapResolver {
+    /// Creates an empty resolver.
+    pub fn new() -> MapResolver {
+        MapResolver::default()
+    }
+
+    /// Registers a person.
+    pub fn add_person(&mut self, name: &str) -> &mut Self {
+        self.people
+            .insert(name.to_ascii_lowercase(), PersonId::new(name.to_ascii_lowercase()));
+        self
+    }
+
+    /// Registers a place.
+    pub fn add_place(&mut self, name: &str) -> &mut Self {
+        self.places.insert(name.to_ascii_lowercase(), PlaceId::new(name));
+        self
+    }
+
+    /// Registers a device under a friendly name, optionally at a place.
+    pub fn add_device(&mut self, name: &str, id: &str, place: Option<&str>) -> &mut Self {
+        self.devices
+            .entry(name.to_ascii_lowercase())
+            .or_default()
+            .push((place.map(PlaceId::new), DeviceId::new(id)));
+        self
+    }
+
+    /// Registers a sensor variable under a category name, optionally at a
+    /// place, with its native unit.
+    pub fn add_sensor(
+        &mut self,
+        category: &str,
+        key: SensorKey,
+        place: Option<&str>,
+        unit: Unit,
+    ) -> &mut Self {
+        self.units.insert(key.clone(), unit);
+        self.sensors
+            .entry(category.to_ascii_lowercase())
+            .or_default()
+            .push((place.map(PlaceId::new), key));
+        self
+    }
+
+    /// Registers the ambient sensor of a place for a quantity kind.
+    pub fn add_ambient(&mut self, place: &str, kind: &str, key: SensorKey, unit: Unit) -> &mut Self {
+        self.units.insert(key.clone(), unit);
+        self.ambients
+            .insert((PlaceId::new(place), kind.to_ascii_lowercase()), key);
+        self
+    }
+}
+
+fn pick_scoped<'a, T>(
+    entries: &'a [(Option<PlaceId>, T)],
+    location: Option<&PlaceId>,
+) -> Option<&'a T> {
+    match location {
+        Some(loc) => entries
+            .iter()
+            .find(|(p, _)| p.as_ref() == Some(loc))
+            .map(|(_, t)| t),
+        // Without a location, prefer an unscoped entry, else the sole
+        // entry, else ambiguous (None).
+        None => {
+            if let Some((_, t)) = entries.iter().find(|(p, _)| p.is_none()) {
+                Some(t)
+            } else if entries.len() == 1 {
+                Some(&entries[0].1)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+impl Resolver for MapResolver {
+    fn resolve_person(&self, name: &str) -> Option<PersonId> {
+        self.people.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    fn resolve_place(&self, name: &str) -> Option<PlaceId> {
+        self.places.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    fn resolve_device(&self, name: &str, location: Option<&PlaceId>) -> Option<DeviceId> {
+        self.devices
+            .get(&name.to_ascii_lowercase())
+            .and_then(|entries| pick_scoped(entries, location))
+            .cloned()
+    }
+
+    fn resolve_sensor(&self, name: &str, location: Option<&PlaceId>) -> Option<SensorKey> {
+        self.sensors
+            .get(&name.to_ascii_lowercase())
+            .and_then(|entries| pick_scoped(entries, location))
+            .cloned()
+    }
+
+    fn ambient_sensor(&self, place: &PlaceId, kind: &str) -> Option<SensorKey> {
+        self.ambients
+            .get(&(place.clone(), kind.to_ascii_lowercase()))
+            .cloned()
+    }
+
+    fn sensor_unit(&self, sensor: &SensorKey) -> Option<Unit> {
+        self.units.get(sensor).copied()
+    }
+}
+
+/// Compiles parsed sentences into rule objects against a [`Resolver`] and
+/// a [`Dictionary`] of user-defined words.
+pub struct Compiler<'a, R: Resolver> {
+    resolver: &'a R,
+    dictionary: &'a Dictionary,
+    speaker: PersonId,
+}
+
+impl<'a, R: Resolver> Compiler<'a, R> {
+    /// Creates a compiler for sentences spoken by `speaker` (the rule
+    /// author — "I" resolves to them).
+    pub fn new(resolver: &'a R, dictionary: &'a Dictionary, speaker: PersonId) -> Self {
+        Compiler {
+            resolver,
+            dictionary,
+            speaker,
+        }
+    }
+
+    /// Compiles a rule sentence into a [`RuleBuilder`] (the caller assigns
+    /// the id via the rule database).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when a name cannot be resolved or a
+    /// user-defined word is undefined/cyclic.
+    pub fn compile_rule(&self, sentence: &RuleSentence) -> Result<RuleBuilder, CompileError> {
+        let mut condition = Condition::True;
+        if let Some(pre) = &sentence.pre {
+            condition = condition.and(self.compile_clause(pre)?);
+        }
+        if let Some(post) = &sentence.post {
+            condition = condition.and(self.compile_clause(post)?);
+        }
+        let action = self.compile_action(sentence)?;
+        let mut builder = Rule::builder(self.speaker.clone()).condition(condition).action(action);
+        if let Some(until) = &sentence.until {
+            builder = builder.until(self.compile_clause(until)?);
+        }
+        Ok(builder)
+    }
+
+    /// Compiles a condition expression (public so `<CondDef>` definitions
+    /// can be validated when they are registered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] on unresolvable names.
+    pub fn compile_cond_expr(&self, expr: &CondExprAst) -> Result<Condition, CompileError> {
+        self.compile_expr_depth(expr, 0)
+    }
+
+    fn compile_clause(&self, clause: &CondClause) -> Result<Condition, CompileError> {
+        let mut condition = Condition::True;
+        for spec in &clause.time {
+            condition = condition.and(Condition::Atom(time_spec_atom(spec)));
+        }
+        if let Some(expr) = &clause.expr {
+            condition = condition.and(self.compile_expr_depth(expr, 0)?);
+        }
+        Ok(condition)
+    }
+
+    fn compile_expr_depth(
+        &self,
+        expr: &CondExprAst,
+        depth: usize,
+    ) -> Result<Condition, CompileError> {
+        if depth > MAX_WORD_DEPTH {
+            return Err(CompileError::new(
+                "user-defined words are nested too deeply (cycle?)",
+            ));
+        }
+        match expr {
+            CondExprAst::Or(terms) => {
+                let mut acc: Option<Condition> = None;
+                for t in terms {
+                    let c = self.compile_expr_depth(t, depth)?;
+                    acc = Some(match acc {
+                        None => c,
+                        Some(prev) => prev.or(c),
+                    });
+                }
+                Ok(acc.unwrap_or(Condition::True))
+            }
+            CondExprAst::And(terms) => {
+                let mut acc = Condition::True;
+                for t in terms {
+                    acc = acc.and(self.compile_expr_depth(t, depth)?);
+                }
+                Ok(acc)
+            }
+            CondExprAst::Leaf(cond) => self.compile_cond(cond, depth),
+        }
+    }
+
+    fn compile_cond(&self, cond: &CondAst, depth: usize) -> Result<Condition, CompileError> {
+        let mut base = match &cond.kind {
+            CondKind::UserWord(word) => {
+                let def = self.dictionary.condition(word).ok_or_else(|| {
+                    CompileError::new(format!("undefined condition word {word:?}"))
+                })?;
+                self.compile_expr_depth(def, depth + 1)?
+            }
+            CondKind::Compare {
+                subject,
+                op,
+                quantity,
+            } => {
+                let location = self.resolve_optional_place(&subject.location)?;
+                let name = phrase_text(&subject.name);
+                let sensor = self
+                    .resolver
+                    .resolve_sensor(&name, location.as_ref())
+                    .ok_or_else(|| {
+                        CompileError::new(format!("no sensor found for {name:?}"))
+                    })?;
+                let unit = quantity
+                    .unit
+                    .or_else(|| self.resolver.sensor_unit(&sensor))
+                    .unwrap_or(Unit::Unitless);
+                Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+                    sensor,
+                    *op,
+                    Quantity::new(quantity.value, unit),
+                )))
+            }
+            CondKind::State { subject, state } => self.compile_state(subject, state)?,
+            CondKind::Presence { who, place } => {
+                let place_name = phrase_text(place);
+                let place = self.resolver.resolve_place(&place_name).ok_or_else(|| {
+                    CompileError::new(format!("unknown place {place_name:?}"))
+                })?;
+                Condition::Atom(Atom::Presence(PresenceAtom::new(
+                    self.compile_subject(who)?,
+                    place,
+                )))
+            }
+            CondKind::PersonEvent { who, event } => {
+                let channel = match who {
+                    PresenceSubject::Me => format!("person:{}", self.speaker),
+                    PresenceSubject::Named(name) => {
+                        let name = phrase_text(name);
+                        let person = self.resolver.resolve_person(&name).ok_or_else(|| {
+                            CompileError::new(format!("unknown person {name:?}"))
+                        })?;
+                        format!("person:{person}")
+                    }
+                    PresenceSubject::Somebody => "person".to_owned(),
+                    PresenceSubject::Nobody => {
+                        return Err(CompileError::new(
+                            "'nobody' cannot be the subject of an event",
+                        ))
+                    }
+                };
+                Condition::Atom(Atom::Event(EventAtom::new(channel, event)))
+            }
+            CondKind::Broadcast { program } => Condition::Atom(Atom::Event(EventAtom::new(
+                "tv-guide",
+                phrase_text(program),
+            ))),
+        };
+        if let Some(duration) = cond.period {
+            base = match base {
+                Condition::Atom(atom) => Condition::Atom(Atom::held_for(atom, duration)),
+                other => {
+                    // A duration over a compound expression qualifies each
+                    // disjunct's atoms conservatively; CADEL sentences only
+                    // produce durations on single conditions, so reject.
+                    let _ = other;
+                    return Err(CompileError::new(
+                        "'for <duration>' may only qualify a single condition",
+                    ));
+                }
+            };
+        }
+        if let Some(spec) = &cond.time {
+            base = base.and(Condition::Atom(time_spec_atom(spec)));
+        }
+        Ok(base)
+    }
+
+    fn compile_state(
+        &self,
+        subject: &SubjectPhrase,
+        state: &StatePhrase,
+    ) -> Result<Condition, CompileError> {
+        let location = self.resolve_optional_place(&subject.location)?;
+        let name = phrase_text(&subject.name);
+        match state {
+            StatePhrase::Bool { variable, value } => {
+                let device = self
+                    .resolver
+                    .resolve_device(&name, location.as_ref())
+                    .ok_or_else(|| CompileError::new(format!("unknown device {name:?}")))?;
+                Ok(Condition::Atom(Atom::State(StateAtom::new(
+                    device,
+                    variable.clone(),
+                    Value::Bool(*value),
+                ))))
+            }
+            StatePhrase::Ambient {
+                kind,
+                op,
+                threshold,
+            } => {
+                // The subject should be a place ("the hall is dark"); fall
+                // back to treating it as a sensor name.
+                if let Some(place) = self.resolver.resolve_place(&name) {
+                    let sensor =
+                        self.resolver.ambient_sensor(&place, kind).ok_or_else(|| {
+                            CompileError::new(format!(
+                                "place {name:?} has no {kind} sensor"
+                            ))
+                        })?;
+                    Ok(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+                        sensor, *op, *threshold,
+                    ))))
+                } else if let Some(sensor) =
+                    self.resolver.resolve_sensor(&name, location.as_ref())
+                {
+                    Ok(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+                        sensor, *op, *threshold,
+                    ))))
+                } else {
+                    Err(CompileError::new(format!(
+                        "unknown place or sensor {name:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn compile_subject(&self, who: &PresenceSubject) -> Result<Subject, CompileError> {
+        Ok(match who {
+            PresenceSubject::Me => Subject::Person(self.speaker.clone()),
+            PresenceSubject::Named(name) => {
+                let name = phrase_text(name);
+                let person = self
+                    .resolver
+                    .resolve_person(&name)
+                    .ok_or_else(|| CompileError::new(format!("unknown person {name:?}")))?;
+                Subject::Person(person)
+            }
+            PresenceSubject::Somebody => Subject::Somebody,
+            PresenceSubject::Nobody => Subject::Nobody,
+        })
+    }
+
+    fn resolve_optional_place(
+        &self,
+        location: &Option<Phrase>,
+    ) -> Result<Option<PlaceId>, CompileError> {
+        match location {
+            None => Ok(None),
+            Some(words) => {
+                let name = phrase_text(words);
+                self.resolver
+                    .resolve_place(&name)
+                    .map(Some)
+                    .ok_or_else(|| CompileError::new(format!("unknown place {name:?}")))
+            }
+        }
+    }
+
+    fn compile_action(&self, sentence: &RuleSentence) -> Result<ActionSpec, CompileError> {
+        let location = self.resolve_optional_place(&sentence.object.location)?;
+        let name = phrase_text(&sentence.object.name);
+        let device = self
+            .resolver
+            .resolve_device(&name, location.as_ref())
+            .ok_or_else(|| CompileError::new(format!("unknown device {name:?}")))?;
+        let mut action = ActionSpec::new(device, sentence.verb.clone());
+        if let Some(content) = &sentence.content {
+            action = action.with_setting("content", Value::from(phrase_text(content)));
+        }
+        let mut settings = Vec::new();
+        self.flatten_settings(&sentence.config, &mut settings, 0)?;
+        for (parameter, value) in settings {
+            action = action.with_setting(&parameter, value);
+        }
+        Ok(action)
+    }
+
+    fn flatten_settings(
+        &self,
+        config: &[SettingAst],
+        out: &mut Vec<(String, Value)>,
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        if depth > MAX_WORD_DEPTH {
+            return Err(CompileError::new(
+                "user-defined configuration words are nested too deeply (cycle?)",
+            ));
+        }
+        for setting in config {
+            match setting {
+                SettingAst::Explicit { parameter, value } => {
+                    let parameter = phrase_text(parameter);
+                    let value = match value {
+                        SettingValueAst::Quantity(q) => {
+                            let unit = q
+                                .unit
+                                .or_else(|| default_unit_for_parameter(&parameter))
+                                .unwrap_or(Unit::Unitless);
+                            Value::Number(Quantity::new(q.value, unit))
+                        }
+                        SettingValueAst::Word(words) => Value::from(phrase_text(words)),
+                    };
+                    out.push((parameter, value));
+                }
+                SettingAst::UserWord(word) => {
+                    let def = self.dictionary.configuration(word).ok_or_else(|| {
+                        CompileError::new(format!("undefined configuration word {word:?}"))
+                    })?;
+                    let def = def.to_vec();
+                    self.flatten_settings(&def, out, depth + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The default unit assumed for a configuration parameter when the user
+/// writes a bare number ("with 4 of channel setting").
+fn default_unit_for_parameter(parameter: &str) -> Option<Unit> {
+    match parameter {
+        "temperature" => Some(Unit::Celsius),
+        "humidity" | "volume" | "brightness" => Some(Unit::Percent),
+        "channel" => Some(Unit::Count),
+        _ => None,
+    }
+}
+
+/// Converts a time specification into a condition atom.
+fn time_spec_atom(spec: &TimeSpecAst) -> Atom {
+    match spec {
+        TimeSpecAst::After(p) => Atom::Time(TimeWindow::new(point_start(p), TimeOfDay::MIDNIGHT)),
+        TimeSpecAst::Before(p) => {
+            Atom::Time(TimeWindow::new(TimeOfDay::MIDNIGHT, point_start(p)))
+        }
+        TimeSpecAst::At(TimePointAst::DayPart(part)) => Atom::Time(part.window()),
+        TimeSpecAst::At(TimePointAst::Clock(t)) => Atom::Time(TimeWindow::new(
+            *t,
+            TimeOfDay::from_minutes(t.minutes() as u32 + AT_WINDOW_MINUTES),
+        )),
+        TimeSpecAst::Between(a, b) => Atom::Time(TimeWindow::new(point_start(a), point_start(b))),
+        TimeSpecAst::During(part) => Atom::Time(part.window()),
+        TimeSpecAst::Every(weekday) => Atom::Weekday(*weekday),
+        TimeSpecAst::On(date) => Atom::Date(*date),
+    }
+}
+
+fn point_start(p: &TimePointAst) -> TimeOfDay {
+    match p {
+        TimePointAst::Clock(t) => *t,
+        TimePointAst::DayPart(part) => part.window().start(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_command;
+    use crate::Lexicon;
+    use cadel_rule::Verb;
+    use cadel_types::RuleId;
+
+    fn sample_resolver() -> MapResolver {
+        let mut r = MapResolver::new();
+        r.add_person("tom")
+            .add_person("alan")
+            .add_person("emily")
+            .add_place("living room")
+            .add_place("hall")
+            .add_place("second floor")
+            .add_device("air conditioner", "aircon-1", Some("living room"))
+            .add_device("tv", "tv-1", Some("living room"))
+            .add_device("stereo", "stereo-1", Some("living room"))
+            .add_device("video recorder", "vcr-1", Some("living room"))
+            .add_device("light", "light-hall", Some("hall"))
+            .add_device("light", "light-lr", Some("living room"))
+            .add_device("floor lamp", "lamp-1", Some("living room"))
+            .add_device("alarm", "alarm-1", None)
+            .add_device("fan", "fan-1", None)
+            .add_device("entrance door", "door-1", Some("hall"))
+            .add_sensor(
+                "temperature",
+                SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+                Some("living room"),
+                Unit::Celsius,
+            )
+            .add_sensor(
+                "temperature",
+                SensorKey::new(DeviceId::new("thermo-2f"), "temperature"),
+                Some("second floor"),
+                Unit::Celsius,
+            )
+            .add_sensor(
+                "humidity",
+                SensorKey::new(DeviceId::new("hygro-lr"), "humidity"),
+                None,
+                Unit::Percent,
+            )
+            .add_ambient(
+                "hall",
+                "illuminance",
+                SensorKey::new(DeviceId::new("lux-hall"), "illuminance"),
+                Unit::Lux,
+            );
+        // The living-room temperature also answers unscoped queries.
+        r.add_sensor(
+            "temperature",
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            None,
+            Unit::Celsius,
+        );
+        r
+    }
+
+    fn compile(sentence: &str) -> Rule {
+        compile_as(sentence, "tom")
+    }
+
+    fn compile_as(sentence: &str, speaker: &str) -> Rule {
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        compile_with_dict(sentence, speaker, &dictionary, &lexicon)
+    }
+
+    fn compile_with_dict(
+        sentence: &str,
+        speaker: &str,
+        dictionary: &Dictionary,
+        lexicon: &Lexicon,
+    ) -> Rule {
+        let resolver = sample_resolver();
+        let cmd = parse_command(sentence, lexicon, dictionary).unwrap();
+        let compiler = Compiler::new(&resolver, dictionary, PersonId::new(speaker));
+        match cmd {
+            Command::Rule(r) => compiler
+                .compile_rule(&r)
+                .unwrap()
+                .label(sentence)
+                .build(RuleId::new(1))
+                .unwrap(),
+            other => panic!("expected a rule, got {other:?}"),
+        }
+    }
+
+    fn compile_err(sentence: &str) -> CompileError {
+        let resolver = sample_resolver();
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        let cmd = parse_command(sentence, &lexicon, &dictionary).unwrap();
+        let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
+        match cmd {
+            Command::Rule(r) => compiler.compile_rule(&r).unwrap_err(),
+            other => panic!("expected a rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_1_compiles() {
+        let rule = compile(
+            "If humidity is higher than 80 percent and temperature is higher than \
+             28 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
+        );
+        assert_eq!(rule.action().device().as_str(), "aircon-1");
+        assert_eq!(rule.action().verb(), &Verb::TurnOn);
+        assert_eq!(
+            rule.action().setting("temperature"),
+            Some(&Value::Number(Quantity::from_integer(25, Unit::Celsius)))
+        );
+        let dnf = rule.dnf();
+        assert_eq!(dnf.conjuncts().len(), 1);
+        assert_eq!(dnf.conjuncts()[0].atoms().len(), 2);
+    }
+
+    #[test]
+    fn paper_example_2_compiles() {
+        let rule = compile(
+            "After evening, if someone returns home and the hall is dark, \
+             turn on the light at the hall.",
+        );
+        assert_eq!(rule.action().device().as_str(), "light-hall");
+        let atoms = rule.dnf().conjuncts()[0].atoms();
+        // Time window + person event + ambient illuminance constraint.
+        assert_eq!(atoms.len(), 3);
+        assert!(atoms.iter().any(|a| matches!(a, Atom::Time(_))));
+        assert!(atoms.iter().any(|a| matches!(a, Atom::Event(_))));
+        assert!(atoms
+            .iter()
+            .any(|a| matches!(a, Atom::Constraint(c) if c.sensor().device().as_str() == "lux-hall")));
+    }
+
+    #[test]
+    fn paper_example_3_compiles() {
+        let rule =
+            compile("At night, if entrance door is unlocked for 1 hour, turn on the alarm.");
+        assert_eq!(rule.action().device().as_str(), "alarm-1");
+        let atoms = rule.dnf().conjuncts()[0].atoms();
+        assert!(atoms.iter().any(|a| matches!(
+            a,
+            Atom::HeldFor { duration, .. } if duration.as_minutes() == 60
+        )));
+    }
+
+    #[test]
+    fn speaker_resolution() {
+        let rule = compile_as(
+            "When I'm in the living room, play jazz music on the stereo.",
+            "tom",
+        );
+        let atoms = rule.dnf().conjuncts()[0].atoms();
+        match &atoms[0] {
+            Atom::Presence(p) => {
+                assert_eq!(p.subject(), &Subject::Person(PersonId::new("tom")));
+                assert_eq!(p.place().as_str(), "living room");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            rule.action().setting("content"),
+            Some(&Value::from("jazz music"))
+        );
+        assert_eq!(rule.owner().as_str(), "tom");
+    }
+
+    #[test]
+    fn named_person_event_channel() {
+        let rule = compile("If Alan got home from work, turn on the TV.");
+        let atoms = rule.dnf().conjuncts()[0].atoms();
+        match &atoms[0] {
+            Atom::Event(e) => {
+                assert_eq!(e.channel(), "person:alan");
+                assert_eq!(e.name(), "got home from work");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn location_scoped_device_resolution() {
+        let hall = compile("Turn on the light at the hall.");
+        assert_eq!(hall.action().device().as_str(), "light-hall");
+        let lr = compile("Turn on the light at the living room.");
+        assert_eq!(lr.action().device().as_str(), "light-lr");
+        // Unscoped "the light" is ambiguous between hall and living room.
+        let err = compile_err("Turn on the light.");
+        assert!(err.to_string().contains("unknown device"));
+    }
+
+    #[test]
+    fn location_scoped_sensor_resolution() {
+        let rule = compile(
+            "If the temperature at the second floor is higher than 28 degrees, turn on the fan.",
+        );
+        let atoms = rule.dnf().conjuncts()[0].atoms();
+        match &atoms[0] {
+            Atom::Constraint(c) => assert_eq!(c.sensor().device().as_str(), "thermo-2f"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unitless_threshold_gets_sensor_unit() {
+        let rule = compile("If temperature is higher than 28, turn on the fan.");
+        let atoms = rule.dnf().conjuncts()[0].atoms();
+        match &atoms[0] {
+            Atom::Constraint(c) => assert_eq!(c.threshold().unit(), Unit::Celsius),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_words_expand_recursively() {
+        let lexicon = Lexicon::english();
+        let mut dictionary = Dictionary::new();
+        // "muggy" uses humidity; "hot and stuffy" references "muggy".
+        let muggy = parse_command(
+            "Let's call the condition that humidity is higher than 60 percent muggy",
+            &lexicon,
+            &dictionary,
+        )
+        .unwrap();
+        if let Command::CondDef(def) = muggy {
+            dictionary.define_condition(&def.word, def.expr);
+        }
+        let hot = parse_command(
+            "Let's call the condition that muggy and temperature is higher than 28 degrees hot and stuffy",
+            &lexicon,
+            &dictionary,
+        )
+        .unwrap();
+        if let Command::CondDef(def) = hot {
+            dictionary.define_condition(&def.word, def.expr);
+        }
+        let rule = compile_with_dict(
+            "If hot and stuffy, turn on the air conditioner with 25 degrees of temperature setting.",
+            "tom",
+            &dictionary,
+            &lexicon,
+        );
+        let atoms = rule.dnf().conjuncts()[0].atoms();
+        assert_eq!(atoms.len(), 2); // humidity + temperature, fully expanded
+    }
+
+    #[test]
+    fn cyclic_user_words_are_rejected() {
+        let lexicon = Lexicon::english();
+        let mut dictionary = Dictionary::new();
+        // a := a (self-cycle via manual definition).
+        dictionary.define_condition(
+            "paradox",
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::UserWord("paradox".into()),
+                period: None,
+                time: None,
+            }),
+        );
+        let resolver = sample_resolver();
+        let cmd = parse_command("If paradox, turn on the fan.", &lexicon, &dictionary).unwrap();
+        let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
+        match cmd {
+            Command::Rule(r) => {
+                let err = compiler.compile_rule(&r).unwrap_err();
+                assert!(err.to_string().contains("deeply"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn configuration_words_flatten() {
+        let lexicon = Lexicon::english();
+        let mut dictionary = Dictionary::new();
+        let def = parse_command(
+            "Let's call the configuration that 50 percent of brightness setting half lighting",
+            &lexicon,
+            &dictionary,
+        )
+        .unwrap();
+        if let Command::ConfDef(d) = def {
+            dictionary.define_configuration(&d.word, d.settings);
+        }
+        let rule = compile_with_dict(
+            "Turn on the floor lamp with half lighting.",
+            "tom",
+            &dictionary,
+            &lexicon,
+        );
+        assert_eq!(
+            rule.action().setting("brightness"),
+            Some(&Value::Number(Quantity::from_integer(50, Unit::Percent)))
+        );
+    }
+
+    #[test]
+    fn channel_setting_defaults_to_count() {
+        let rule = compile("Turn on the TV with 4 of channel setting.");
+        assert_eq!(
+            rule.action().setting("channel"),
+            Some(&Value::Number(Quantity::from_integer(4, Unit::Count)))
+        );
+    }
+
+    #[test]
+    fn until_clause_compiles() {
+        let rule = compile("Play jazz music on the stereo until 10 pm.");
+        let until = rule.until().expect("until clause");
+        assert!(matches!(
+            until,
+            Condition::Atom(Atom::Time(w)) if w.start() == TimeOfDay::MIDNIGHT
+        ));
+    }
+
+    #[test]
+    fn unknown_names_fail_with_context() {
+        assert!(compile_err("Turn on the jacuzzi.")
+            .to_string()
+            .contains("jacuzzi"));
+        assert!(compile_err("If pressure is higher than 2, turn on the fan.")
+            .to_string()
+            .contains("pressure"));
+        assert!(
+            compile_err("If Zelda got home from work, turn on the TV.")
+                .to_string()
+                .contains("zelda")
+        );
+        assert!(compile_err("If I'm in the garage, turn on the fan.")
+            .to_string()
+            .contains("garage"));
+    }
+
+    #[test]
+    fn weekday_and_at_clock_compile_to_atoms() {
+        let rule = compile("Every Monday at 8 pm, turn on the TV with 4 of channel setting.");
+        let atoms = rule.dnf().conjuncts()[0].atoms();
+        assert!(atoms
+            .iter()
+            .any(|a| matches!(a, Atom::Weekday(w) if *w == cadel_types::Weekday::Monday)));
+        assert!(atoms.iter().any(|a| matches!(
+            a,
+            Atom::Time(w) if w.start() == TimeOfDay::hm(20, 0).unwrap()
+        )));
+    }
+}

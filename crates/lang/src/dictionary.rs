@@ -1,0 +1,178 @@
+//! User-defined vocabulary: the personalization mechanism of §3.2/§4.2.
+//!
+//! Through `<CondDef>`/`<ConfDef>` sentences users coin new words —
+//! "hot and stuffy" for a compound sensor context, "half-lighting" for a
+//! favourite device configuration — and then use them inside later rules.
+//! Definitions are stored at the AST level, so a word's meaning is
+//! re-resolved against the current environment whenever a rule using it is
+//! compiled, and words may reference previously defined words.
+
+use crate::ast::{CondExprAst, SettingAst};
+use crate::lexicon::PhraseMap;
+use std::collections::BTreeMap;
+
+fn normalize(word: &str) -> String {
+    word.split_whitespace()
+        .map(|w| w.to_ascii_lowercase())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The store of user-defined condition and configuration words.
+///
+/// # Example
+///
+/// ```
+/// use cadel_lang::Dictionary;
+///
+/// let mut dict = Dictionary::new();
+/// assert!(dict.condition("hot and stuffy").is_none());
+/// assert!(dict.condition_words().is_empty());
+/// # let _ = dict;
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    conditions: BTreeMap<String, CondExprAst>,
+    configurations: BTreeMap<String, Vec<SettingAst>>,
+    cond_phrases: PhraseMap<String>,
+    conf_phrases: PhraseMap<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Defines (or redefines) a condition word.
+    pub fn define_condition(&mut self, word: &str, expr: CondExprAst) {
+        let key = normalize(word);
+        self.cond_phrases.insert(&key, key.clone());
+        self.conditions.insert(key, expr);
+    }
+
+    /// Defines (or redefines) a configuration word.
+    pub fn define_configuration(&mut self, word: &str, settings: Vec<SettingAst>) {
+        let key = normalize(word);
+        self.conf_phrases.insert(&key, key.clone());
+        self.configurations.insert(key, settings);
+    }
+
+    /// The defining expression of a condition word.
+    pub fn condition(&self, word: &str) -> Option<&CondExprAst> {
+        self.conditions.get(&normalize(word))
+    }
+
+    /// The defining settings of a configuration word.
+    pub fn configuration(&self, word: &str) -> Option<&[SettingAst]> {
+        self.configurations.get(&normalize(word)).map(Vec::as_slice)
+    }
+
+    /// All condition words, sorted.
+    pub fn condition_words(&self) -> Vec<&str> {
+        self.conditions.keys().map(String::as_str).collect()
+    }
+
+    /// All configuration words, sorted.
+    pub fn configuration_words(&self) -> Vec<&str> {
+        self.configurations.keys().map(String::as_str).collect()
+    }
+
+    /// Phrase matcher over condition words (used by the parser for
+    /// longest-match recognition, so "hot and stuffy" wins over the
+    /// conjunction reading of its "and").
+    pub fn condition_phrases(&self) -> &PhraseMap<String> {
+        &self.cond_phrases
+    }
+
+    /// Phrase matcher over configuration words.
+    pub fn configuration_phrases(&self) -> &PhraseMap<String> {
+        &self.conf_phrases
+    }
+
+    /// Merges another dictionary into this one (its entries win). The
+    /// server uses this to layer a user's private words over the shared
+    /// household words.
+    pub fn extend_from(&mut self, other: &Dictionary) {
+        for (word, expr) in &other.conditions {
+            self.define_condition(word, expr.clone());
+        }
+        for (word, settings) in &other.configurations {
+            self.define_configuration(word, settings.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CondAst, CondKind, Phrase, SettingValueAst};
+    use crate::token::tokenize;
+
+    fn sample_expr(program: &str) -> CondExprAst {
+        CondExprAst::Leaf(CondAst {
+            kind: CondKind::Broadcast {
+                program: vec![program.to_owned()],
+            },
+            period: None,
+            time: None,
+        })
+    }
+
+    fn sample_setting() -> SettingAst {
+        SettingAst::Explicit {
+            parameter: vec!["brightness".into()],
+            value: SettingValueAst::Word(vec!["half".into()] as Phrase),
+        }
+    }
+
+    #[test]
+    fn define_and_lookup_is_case_insensitive() {
+        let mut d = Dictionary::new();
+        d.define_condition("Hot And Stuffy", sample_expr("x"));
+        assert!(d.condition("hot and stuffy").is_some());
+        assert!(d.condition("HOT  AND  STUFFY").is_some());
+        assert!(d.condition("cold").is_none());
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut d = Dictionary::new();
+        d.define_condition("muggy", sample_expr("a"));
+        d.define_condition("muggy", sample_expr("b"));
+        assert_eq!(d.condition_words(), ["muggy"]);
+        assert_eq!(d.condition("muggy"), Some(&sample_expr("b")));
+    }
+
+    #[test]
+    fn configuration_words() {
+        let mut d = Dictionary::new();
+        d.define_configuration("half-lighting", vec![sample_setting()]);
+        assert_eq!(d.configuration("half-lighting").unwrap().len(), 1);
+        assert_eq!(d.configuration_words(), ["half-lighting"]);
+    }
+
+    #[test]
+    fn phrase_matching_spans_inner_and() {
+        let mut d = Dictionary::new();
+        d.define_condition("hot and stuffy", sample_expr("x"));
+        let tokens = tokenize("hot and stuffy today").unwrap();
+        let (len, word) = d.condition_phrases().match_at(&tokens, 0).unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(word, "hot and stuffy");
+    }
+
+    #[test]
+    fn layering_private_over_shared() {
+        let mut shared = Dictionary::new();
+        shared.define_condition("cozy", sample_expr("shared"));
+        shared.define_condition("gloomy", sample_expr("g"));
+        let mut private = Dictionary::new();
+        private.define_condition("cozy", sample_expr("mine"));
+
+        let mut effective = shared.clone();
+        effective.extend_from(&private);
+        assert_eq!(effective.condition("cozy"), Some(&sample_expr("mine")));
+        assert!(effective.condition("gloomy").is_some());
+    }
+}

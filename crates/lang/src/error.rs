@@ -1,0 +1,159 @@
+//! Errors of the CADEL front end.
+
+use cadel_rule::RuleError;
+use std::error::Error;
+use std::fmt;
+
+/// A syntax error with the token position where parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    position: usize,
+    near: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, position: usize, near: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+            near: near.into(),
+        }
+    }
+
+    /// What the parser expected or rejected.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The index of the offending token.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// The text around the failure, for display to the user.
+    pub fn near(&self) -> &str {
+        &self.near
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.near.is_empty() {
+            write!(f, "{} (at end of input)", self.message)
+        } else {
+            write!(f, "{} (near {:?}, token {})", self.message, self.near, self.position)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// A semantic error raised while compiling a parsed sentence into a rule
+/// object — typically a name that the environment cannot resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        CompileError {
+            message: message.into(),
+        }
+    }
+
+    /// Description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+/// Any error the CADEL front end can produce.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// Tokenization or parsing failed.
+    Parse(ParseError),
+    /// Name resolution or atom construction failed.
+    Compile(CompileError),
+    /// The rule layer rejected the compiled output.
+    Rule(RuleError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse(e) => write!(f, "parse error: {e}"),
+            LangError::Compile(e) => write!(f, "compile error: {e}"),
+            LangError::Rule(e) => write!(f, "rule error: {e}"),
+        }
+    }
+}
+
+impl Error for LangError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LangError::Parse(e) => Some(e),
+            LangError::Compile(e) => Some(e),
+            LangError::Rule(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+impl From<CompileError> for LangError {
+    fn from(e: CompileError) -> Self {
+        LangError::Compile(e)
+    }
+}
+
+impl From<RuleError> for LangError {
+    fn from(e: RuleError) -> Self {
+        LangError::Rule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ParseError>();
+        assert_error::<CompileError>();
+        assert_error::<LangError>();
+    }
+
+    #[test]
+    fn parse_error_display_mentions_position() {
+        let e = ParseError::new("expected a verb", 4, "banana");
+        let s = e.to_string();
+        assert!(s.contains("expected a verb"));
+        assert!(s.contains("banana"));
+        assert!(s.contains('4'));
+        let eof = ParseError::new("unexpected end", 9, "");
+        assert!(eof.to_string().contains("end of input"));
+    }
+
+    #[test]
+    fn lang_error_sources() {
+        let e = LangError::from(CompileError::new("unknown device"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("unknown device"));
+    }
+}

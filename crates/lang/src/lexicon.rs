@@ -1,0 +1,496 @@
+//! The CADEL vocabulary.
+//!
+//! Table 1 of the paper leaves most alternative lists open ("..."); this
+//! module fills them with a concrete, *extensible* vocabulary. The lexicon
+//! is plain data — verbs, comparison phrases, state phrases, event
+//! predicates — so "different versions of CADEL based on any other
+//! languages can be defined" (paper §4.2) by building a lexicon with
+//! translated phrases; see [`Lexicon::builder`] and the
+//! `examples/multilingual.rs` demonstration.
+
+use crate::token::Token;
+use cadel_rule::Verb;
+use cadel_simplex::RelOp;
+use cadel_types::{Quantity, Unit};
+use std::collections::HashMap;
+
+/// A longest-match dictionary from multi-word phrases to values.
+#[derive(Clone, Debug)]
+pub struct PhraseMap<V> {
+    entries: HashMap<String, V>,
+    max_words: usize,
+}
+
+impl<V> Default for PhraseMap<V> {
+    fn default() -> Self {
+        PhraseMap {
+            entries: HashMap::new(),
+            max_words: 0,
+        }
+    }
+}
+
+impl<V> PhraseMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> PhraseMap<V> {
+        PhraseMap::default()
+    }
+
+    /// Inserts a phrase (normalized to lower case, single spaces).
+    pub fn insert(&mut self, phrase: &str, value: V) {
+        let words: Vec<String> = phrase
+            .split_whitespace()
+            .map(|w| w.to_ascii_lowercase())
+            .collect();
+        self.max_words = self.max_words.max(words.len());
+        self.entries.insert(words.join(" "), value);
+    }
+
+    /// Number of phrases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Longest phrase match starting at `pos` in the token stream.
+    /// Returns the number of tokens consumed and the value.
+    pub fn match_at<'a>(&'a self, tokens: &[Token], pos: usize) -> Option<(usize, &'a V)> {
+        let available = tokens.len().saturating_sub(pos);
+        let longest = self.max_words.min(available);
+        for len in (1..=longest).rev() {
+            let candidate = tokens[pos..pos + len]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            if let Some(v) = self.entries.get(&candidate) {
+                return Some((len, v));
+            }
+        }
+        None
+    }
+
+    /// Exact lookup of a full phrase.
+    pub fn get(&self, phrase: &str) -> Option<&V> {
+        let normalized = phrase
+            .split_whitespace()
+            .map(|w| w.to_ascii_lowercase())
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.entries.get(&normalized)
+    }
+}
+
+/// What a state phrase ("dark", "turned on", "unlocked") means.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StatePhrase {
+    /// A boolean device state variable having a value
+    /// ("turned on" → `power == true`, "unlocked" → `locked == false`).
+    Bool {
+        /// The state variable name.
+        variable: String,
+        /// The value the phrase asserts.
+        value: bool,
+    },
+    /// An ambient numeric condition of a place
+    /// ("dark" → illuminance < 150 lx).
+    Ambient {
+        /// The ambient quantity kind ("illuminance", "noise", …).
+        kind: String,
+        /// Comparison direction.
+        op: RelOp,
+        /// Threshold.
+        threshold: Quantity,
+    },
+}
+
+/// The full vocabulary consulted by the parser.
+#[derive(Clone, Debug)]
+pub struct Lexicon {
+    verbs: PhraseMap<Verb>,
+    comparisons: PhraseMap<RelOp>,
+    states: PhraseMap<StatePhrase>,
+    person_events: PhraseMap<String>,
+    broadcast_predicates: PhraseMap<()>,
+    presence_predicates: PhraseMap<()>,
+}
+
+impl Lexicon {
+    /// The English CADEL vocabulary used throughout the paper.
+    pub fn english() -> Lexicon {
+        let mut b = LexiconBuilder::new();
+        // <Verb>
+        for (phrase, verb) in [
+            ("turn on", Verb::TurnOn),
+            ("switch on", Verb::TurnOn),
+            ("turn off", Verb::TurnOff),
+            ("switch off", Verb::TurnOff),
+            ("record", Verb::Record),
+            ("play", Verb::Play),
+            ("play back", Verb::Play),
+            ("stop", Verb::Stop),
+            ("lock", Verb::Lock),
+            ("unlock", Verb::Unlock),
+            ("dim", Verb::Dim),
+            ("brighten", Verb::Brighten),
+            ("show", Verb::Show),
+            ("notify", Verb::Notify),
+            ("set", Verb::Set),
+        ] {
+            b = b.verb(phrase, verb);
+        }
+        // <State> comparison forms; optional "is"/"are" variants are added
+        // by the builder.
+        for (phrase, op) in [
+            ("higher than", RelOp::Gt),
+            ("hotter than", RelOp::Gt),
+            ("more than", RelOp::Gt),
+            ("greater than", RelOp::Gt),
+            ("over", RelOp::Gt),
+            ("above", RelOp::Gt),
+            ("lower than", RelOp::Lt),
+            ("colder than", RelOp::Lt),
+            ("less than", RelOp::Lt),
+            ("under", RelOp::Lt),
+            ("below", RelOp::Lt),
+            ("at least", RelOp::Ge),
+            ("at most", RelOp::Le),
+            ("exactly", RelOp::Eq),
+        ] {
+            b = b.comparison(phrase, op);
+        }
+        // <State> word forms.
+        for (phrase, var, value) in [
+            ("turned on", "power", true),
+            ("turned off", "power", false),
+            ("running", "power", true),
+            ("locked", "locked", true),
+            ("unlocked", "locked", false),
+            ("open", "open", true),
+            ("opened", "open", true),
+            ("closed", "open", false),
+        ] {
+            b = b.bool_state(phrase, var, value);
+        }
+        b = b.ambient_state(
+            "dark",
+            "illuminance",
+            RelOp::Lt,
+            Quantity::from_integer(150, Unit::Lux),
+        );
+        b = b.ambient_state(
+            "bright",
+            "illuminance",
+            RelOp::Gt,
+            Quantity::from_integer(300, Unit::Lux),
+        );
+        b = b.ambient_state(
+            "quiet",
+            "noise",
+            RelOp::Lt,
+            Quantity::from_integer(40, Unit::Decibel),
+        );
+        b = b.ambient_state(
+            "noisy",
+            "noise",
+            RelOp::Gt,
+            Quantity::from_integer(70, Unit::Decibel),
+        );
+        // Person events (the canonical event name is the phrase itself).
+        for phrase in [
+            "returns home",
+            "return home",
+            "comes back",
+            "come back",
+            "comes home",
+            "got home from work",
+            "got home from shopping",
+            "gets home",
+            "arrives",
+            "leaves home",
+            "leave home",
+            "wakes up",
+            "goes to bed",
+        ] {
+            b = b.person_event(phrase, phrase);
+        }
+        // Broadcast predicates ("a baseball game is on air").
+        for phrase in ["is on air", "is on the air", "are on air", "is being broadcast"] {
+            b = b.broadcast_predicate(phrase);
+        }
+        // Presence predicates ("Tom is at/in the living room").
+        for phrase in [
+            "is at", "is in", "am at", "am in", "are at", "are in", "stays at", "stays in",
+        ] {
+            b = b.presence_predicate(phrase);
+        }
+        b.build()
+    }
+
+    /// Starts building a custom (e.g. translated) lexicon.
+    pub fn builder() -> LexiconBuilder {
+        LexiconBuilder::new()
+    }
+
+    /// Verb phrases.
+    pub fn verbs(&self) -> &PhraseMap<Verb> {
+        &self.verbs
+    }
+
+    /// Comparison phrases (with and without leading "is"/"are").
+    pub fn comparisons(&self) -> &PhraseMap<RelOp> {
+        &self.comparisons
+    }
+
+    /// State phrases ("turned on", "dark", …), with and without leading
+    /// "is"/"are".
+    pub fn states(&self) -> &PhraseMap<StatePhrase> {
+        &self.states
+    }
+
+    /// Person event predicates ("returns home", …).
+    pub fn person_events(&self) -> &PhraseMap<String> {
+        &self.person_events
+    }
+
+    /// Broadcast predicates ("is on air").
+    pub fn broadcast_predicates(&self) -> &PhraseMap<()> {
+        &self.broadcast_predicates
+    }
+
+    /// Presence predicates ("is at", "am in", …).
+    pub fn presence_predicates(&self) -> &PhraseMap<()> {
+        &self.presence_predicates
+    }
+}
+
+impl Default for Lexicon {
+    fn default() -> Self {
+        Lexicon::english()
+    }
+}
+
+/// Builds a [`Lexicon`] phrase by phrase (C-BUILDER). Every method returns
+/// `self` for chaining.
+#[derive(Clone, Debug, Default)]
+pub struct LexiconBuilder {
+    lexicon: LexiconParts,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LexiconParts {
+    verbs: PhraseMap<Verb>,
+    comparisons: PhraseMap<RelOp>,
+    states: PhraseMap<StatePhrase>,
+    person_events: PhraseMap<String>,
+    broadcast_predicates: PhraseMap<()>,
+    presence_predicates: PhraseMap<()>,
+}
+
+impl LexiconBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> LexiconBuilder {
+        LexiconBuilder::default()
+    }
+
+    /// Adds a verb phrase.
+    #[must_use]
+    pub fn verb(mut self, phrase: &str, verb: Verb) -> Self {
+        self.lexicon.verbs.insert(phrase, verb);
+        self
+    }
+
+    /// Adds a comparison phrase; "is"/"are"-prefixed variants are derived
+    /// automatically.
+    #[must_use]
+    pub fn comparison(mut self, phrase: &str, op: RelOp) -> Self {
+        self.lexicon.comparisons.insert(phrase, op);
+        self.lexicon
+            .comparisons
+            .insert(&format!("is {phrase}"), op);
+        self.lexicon
+            .comparisons
+            .insert(&format!("are {phrase}"), op);
+        self
+    }
+
+    /// Adds a boolean state phrase; "is"/"are"-prefixed variants are
+    /// derived automatically.
+    #[must_use]
+    pub fn bool_state(mut self, phrase: &str, variable: &str, value: bool) -> Self {
+        let state = StatePhrase::Bool {
+            variable: variable.to_owned(),
+            value,
+        };
+        self.lexicon.states.insert(phrase, state.clone());
+        self.lexicon
+            .states
+            .insert(&format!("is {phrase}"), state.clone());
+        self.lexicon.states.insert(&format!("are {phrase}"), state);
+        self
+    }
+
+    /// Adds an ambient state phrase ("dark"); "is"/"are" variants derived.
+    #[must_use]
+    pub fn ambient_state(
+        mut self,
+        phrase: &str,
+        kind: &str,
+        op: RelOp,
+        threshold: Quantity,
+    ) -> Self {
+        let state = StatePhrase::Ambient {
+            kind: kind.to_owned(),
+            op,
+            threshold,
+        };
+        self.lexicon.states.insert(phrase, state.clone());
+        self.lexicon
+            .states
+            .insert(&format!("is {phrase}"), state.clone());
+        self.lexicon.states.insert(&format!("are {phrase}"), state);
+        self
+    }
+
+    /// Adds a person event predicate mapping to a canonical event name.
+    #[must_use]
+    pub fn person_event(mut self, phrase: &str, event_name: &str) -> Self {
+        self.lexicon
+            .person_events
+            .insert(phrase, event_name.to_owned());
+        self
+    }
+
+    /// Adds a broadcast ("on air") predicate.
+    #[must_use]
+    pub fn broadcast_predicate(mut self, phrase: &str) -> Self {
+        self.lexicon.broadcast_predicates.insert(phrase, ());
+        self
+    }
+
+    /// Adds a presence ("is at") predicate.
+    #[must_use]
+    pub fn presence_predicate(mut self, phrase: &str) -> Self {
+        self.lexicon.presence_predicates.insert(phrase, ());
+        self
+    }
+
+    /// Finalizes the lexicon.
+    pub fn build(self) -> Lexicon {
+        Lexicon {
+            verbs: self.lexicon.verbs,
+            comparisons: self.lexicon.comparisons,
+            states: self.lexicon.states,
+            person_events: self.lexicon.person_events,
+            broadcast_predicates: self.lexicon.broadcast_predicates,
+            presence_predicates: self.lexicon.presence_predicates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    #[test]
+    fn phrase_map_prefers_longest_match() {
+        let mut map = PhraseMap::new();
+        map.insert("turn", 1);
+        map.insert("turn on", 2);
+        let tokens = tokenize("turn on the light").unwrap();
+        let (len, v) = map.match_at(&tokens, 0).unwrap();
+        assert_eq!((len, *v), (2, 2));
+    }
+
+    #[test]
+    fn phrase_map_match_at_offsets() {
+        let mut map = PhraseMap::new();
+        map.insert("on air", true);
+        let tokens = tokenize("a baseball game is on air").unwrap();
+        assert!(map.match_at(&tokens, 0).is_none());
+        let (len, _) = map.match_at(&tokens, 4).unwrap();
+        assert_eq!(len, 2);
+    }
+
+    #[test]
+    fn phrase_map_is_case_insensitive() {
+        let mut map = PhraseMap::new();
+        map.insert("Turn On", 1);
+        assert!(map.get("turn on").is_some());
+        assert!(map.get("TURN  ON").is_some());
+    }
+
+    #[test]
+    fn english_lexicon_has_paper_verbs() {
+        let lex = Lexicon::english();
+        let tokens = tokenize("turn on the air conditioner").unwrap();
+        let (len, verb) = lex.verbs().match_at(&tokens, 0).unwrap();
+        assert_eq!(len, 2);
+        assert_eq!(verb, &Verb::TurnOn);
+        assert!(lex.verbs().get("record").is_some());
+    }
+
+    #[test]
+    fn comparisons_cover_is_variants() {
+        let lex = Lexicon::english();
+        assert_eq!(lex.comparisons().get("is higher than"), Some(&RelOp::Gt));
+        assert_eq!(lex.comparisons().get("higher than"), Some(&RelOp::Gt));
+        assert_eq!(lex.comparisons().get("is over"), Some(&RelOp::Gt));
+        assert_eq!(lex.comparisons().get("is under"), Some(&RelOp::Lt));
+        assert_eq!(lex.comparisons().get("at least"), Some(&RelOp::Ge));
+    }
+
+    #[test]
+    fn state_phrases_resolve() {
+        let lex = Lexicon::english();
+        assert_eq!(
+            lex.states().get("is turned on"),
+            Some(&StatePhrase::Bool {
+                variable: "power".into(),
+                value: true
+            })
+        );
+        match lex.states().get("is dark") {
+            Some(StatePhrase::Ambient { kind, op, .. }) => {
+                assert_eq!(kind, "illuminance");
+                assert_eq!(*op, RelOp::Lt);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(
+            lex.states().get("unlocked"),
+            Some(&StatePhrase::Bool {
+                variable: "locked".into(),
+                value: false
+            })
+        );
+    }
+
+    #[test]
+    fn person_events_present() {
+        let lex = Lexicon::english();
+        assert!(lex.person_events().get("returns home").is_some());
+        assert!(lex.person_events().get("got home from work").is_some());
+    }
+
+    #[test]
+    fn custom_lexicon_for_another_language() {
+        // A miniature Japanese (romaji) CADEL — demonstrates §4.2's claim
+        // that non-English versions are definable as data.
+        let lex = Lexicon::builder()
+            .verb("tsukete", Verb::TurnOn)
+            .verb("keshite", Verb::TurnOff)
+            .comparison("yori takai", RelOp::Gt)
+            .presence_predicate("ni iru")
+            .build();
+        assert_eq!(lex.verbs().get("tsukete"), Some(&Verb::TurnOn));
+        assert_eq!(lex.comparisons().get("yori takai"), Some(&RelOp::Gt));
+        assert_eq!(lex.comparisons().get("is yori takai"), Some(&RelOp::Gt));
+        assert!(lex.states().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! CADEL — the Context-Aware rule DEfinition Language front end.
+//!
+//! This crate implements the language of the paper's Table 1: a
+//! natural-English rule syntax that ordinary home users can write, with
+//! user-definable vocabulary. The pipeline is:
+//!
+//! ```text
+//! "If humidity is higher than 80 percent, turn on the air conditioner …"
+//!     │ tokenize (crate::token)
+//!     ▼
+//! tokens ──parse (crate::parser, with Lexicon + Dictionary)──▶ AST (crate::ast)
+//!     │ compile (crate::compile, with a Resolver over the home)
+//!     ▼
+//! rule object (cadel_rule::Rule) — what the engine executes
+//! ```
+//!
+//! * [`Lexicon`] holds the built-in vocabulary (verbs, comparison and
+//!   state phrases, event predicates) as *data*, so non-English CADEL
+//!   variants are just different lexicons (paper §4.2).
+//! * [`Dictionary`] holds user-defined words from `<CondDef>`/`<ConfDef>`
+//!   sentences — "hot and stuffy", "half-lighting" (paper §3.2).
+//! * [`Resolver`] abstracts the home environment (people, places, devices,
+//!   sensors); the home server backs it with the UPnP registry, while
+//!   [`MapResolver`] serves tests and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use cadel_lang::{parse_command, Compiler, Dictionary, Lexicon, MapResolver};
+//! use cadel_lang::ast::Command;
+//! use cadel_types::{PersonId, RuleId, SensorKey, DeviceId, Unit};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lexicon = Lexicon::english();
+//! let dictionary = Dictionary::new();
+//! let mut resolver = MapResolver::new();
+//! resolver
+//!     .add_sensor(
+//!         "humidity",
+//!         SensorKey::new(DeviceId::new("hygro"), "humidity"),
+//!         None,
+//!         Unit::Percent,
+//!     )
+//!     .add_device("fan", "fan-1", None);
+//!
+//! let cmd = parse_command("If humidity is over 80 percent, turn on the fan.",
+//!                         &lexicon, &dictionary)?;
+//! let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
+//! if let Command::Rule(sentence) = cmd {
+//!     let rule = compiler.compile_rule(&sentence)?.build(RuleId::new(1))?;
+//!     assert_eq!(rule.action().device().as_str(), "fan-1");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod dictionary;
+pub mod error;
+pub mod lexicon;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use compile::{Compiler, MapResolver, Resolver};
+pub use dictionary::Dictionary;
+pub use error::{CompileError, LangError, ParseError};
+pub use lexicon::{Lexicon, LexiconBuilder, PhraseMap, StatePhrase};
+pub use parser::parse_command;
+pub use pretty::{render_command, render_rule};

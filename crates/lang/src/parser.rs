@@ -1,0 +1,1588 @@
+//! Recursive-descent parser for CADEL (Table 1 of the paper).
+//!
+//! The parser consumes the token stream with longest-match phrase lookup
+//! against the [`Lexicon`] (built-in vocabulary) and the [`Dictionary`]
+//! (user-defined words). It produces the string-level AST of
+//! [`crate::ast`]; resolution of noun phrases against the home environment
+//! happens later in [`crate::compile`].
+//!
+//! Notable behaviours:
+//!
+//! * Commas, periods and the word "then" are optional separators.
+//! * User-defined condition words are matched *before* the `and`/`or`
+//!   connectives, so "hot and stuffy" parses as one word, not a
+//!   conjunction.
+//! * `at`/`in` after an object or subject is disambiguated by lookahead:
+//!   "at the hall" is a location modifier, "at night" / "at 10 pm" a time
+//!   specification.
+//! * `with` after verbs like *record*, *play* and *show* is disambiguated
+//!   between a `<Configuration>` clause ("with 25 degrees of temperature
+//!   setting") and a content/instrument reading ("record the game with the
+//!   video recorder") by scanning for the `setting` keyword.
+
+use crate::ast::*;
+use crate::dictionary::Dictionary;
+use crate::error::ParseError;
+use crate::lexicon::Lexicon;
+use crate::token::{tokenize, Token, TokenKind};
+use cadel_types::{Date, DayPart, SimDuration, TimeOfDay, Unit, Weekday};
+
+/// Year assumed when an `on <month> <day>` date spec omits the year.
+pub const DEFAULT_YEAR: i32 = 2026;
+
+const ARTICLES: &[&str] = &["a", "an", "the"];
+
+/// Words that end a noun phrase.
+const PHRASE_STOPS: &[&str] = &[
+    "with", "if", "when", "until", "at", "in", "on", "to", "and", "or", "then", "after",
+    "before", "every", "from", "for", "of",
+];
+
+/// Parses one CADEL command (a rule, a condition-word definition, or a
+/// configuration-word definition).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] describing the first offending token.
+///
+/// # Example
+///
+/// ```
+/// use cadel_lang::{parse_command, Lexicon, Dictionary, ast::Command};
+///
+/// let lexicon = Lexicon::english();
+/// let dictionary = Dictionary::new();
+/// let cmd = parse_command(
+///     "If humidity is higher than 80 percent, turn on the air conditioner \
+///      with 25 degrees of temperature setting.",
+///     &lexicon,
+///     &dictionary,
+/// ).unwrap();
+/// assert!(matches!(cmd, Command::Rule(_)));
+/// ```
+pub fn parse_command(
+    input: &str,
+    lexicon: &Lexicon,
+    dictionary: &Dictionary,
+) -> Result<Command, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        lexicon,
+        dictionary,
+    };
+    parser.parse_command()
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    lexicon: &'a Lexicon,
+    dictionary: &'a Dictionary,
+}
+
+impl<'a> Parser<'a> {
+    // ---- token utilities -------------------------------------------------
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn current_word(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Token {
+                kind: TokenKind::Word,
+                text,
+                ..
+            }) => Some(text.as_str()),
+            _ => None,
+        }
+    }
+
+    fn is_word(&self, word: &str) -> bool {
+        self.current_word() == Some(word)
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.is_word(word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_separators(&mut self) {
+        while let Some(t) = self.peek() {
+            match t.kind {
+                TokenKind::Punct(',') | TokenKind::Punct('.') | TokenKind::Punct(';') => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_articles(&mut self) {
+        while let Some(w) = self.current_word() {
+            if ARTICLES.contains(&w) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let near = self
+            .peek()
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        ParseError::new(message, self.pos, near)
+    }
+
+    fn match_phrase<'m, V>(
+        &self,
+        map: &'m crate::lexicon::PhraseMap<V>,
+    ) -> Option<(usize, &'m V)> {
+        map.match_at(&self.tokens, self.pos)
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn parse_command(&mut self) -> Result<Command, ParseError> {
+        self.skip_separators();
+        if self.at_end() {
+            return Err(self.error("empty command"));
+        }
+        if self.try_phrase(&["let", "us", "call", "the", "condition", "that"]) {
+            return self.parse_cond_def().map(Command::CondDef);
+        }
+        if self.try_phrase(&["let", "us", "call", "the", "configuration", "that"]) {
+            return self.parse_conf_def().map(Command::ConfDef);
+        }
+        self.parse_rule_sentence().map(Command::Rule)
+    }
+
+    fn try_phrase(&mut self, words: &[&str]) -> bool {
+        for (i, w) in words.iter().enumerate() {
+            match self.peek_at(i) {
+                Some(t) if t.is_word(w) => {}
+                _ => return false,
+            }
+        }
+        self.pos += words.len();
+        true
+    }
+
+    fn parse_cond_def(&mut self) -> Result<CondDef, ParseError> {
+        let expr = self.parse_cond_expr()?;
+        self.skip_separators();
+        let word = self.collect_remaining_words()?;
+        Ok(CondDef { expr, word })
+    }
+
+    fn parse_conf_def(&mut self) -> Result<ConfDef, ParseError> {
+        let settings = self.parse_row_of_confs()?;
+        self.skip_separators();
+        let word = self.collect_remaining_words()?;
+        Ok(ConfDef { settings, word })
+    }
+
+    fn collect_remaining_words(&mut self) -> Result<String, ParseError> {
+        let mut words = Vec::new();
+        while let Some(t) = self.peek() {
+            match &t.kind {
+                TokenKind::Word => {
+                    words.push(t.text.clone());
+                    self.pos += 1;
+                }
+                TokenKind::Punct('.') | TokenKind::Punct(',') => {
+                    self.pos += 1;
+                }
+                _ => return Err(self.error("unexpected token in word definition")),
+            }
+        }
+        if words.is_empty() {
+            return Err(self.error("expected the new word at the end of the definition"));
+        }
+        Ok(words.join(" "))
+    }
+
+    // ---- rule sentences --------------------------------------------------
+
+    fn parse_rule_sentence(&mut self) -> Result<RuleSentence, ParseError> {
+        let pre = self.parse_cond_clause_leading()?;
+        self.skip_separators();
+
+        let (verb_len, verb) = self
+            .match_phrase(self.lexicon.verbs())
+            .map(|(l, v)| (l, v.clone()))
+            .ok_or_else(|| self.error("expected a verb"))?;
+        self.pos += verb_len;
+
+        let (content, object) = self.parse_operands(&verb)?;
+
+        let mut config = Vec::new();
+        if self.is_word("with") && self.with_clause_is_configuration() {
+            self.pos += 1; // with
+            config = self.parse_row_of_confs()?;
+        }
+
+        let mut post: Option<CondClause> = None;
+        let mut until: Option<CondClause> = None;
+        loop {
+            self.skip_separators();
+            if self.at_end() {
+                break;
+            }
+            if self.eat_word("until") {
+                until = Some(self.parse_until_clause()?);
+                continue;
+            }
+            if self.time_spec_starts_here() {
+                let spec = self.parse_time_spec()?;
+                post.get_or_insert_with(CondClause::default).time.push(spec);
+                continue;
+            }
+            if self.is_word("if") || self.is_word("when") {
+                self.pos += 1;
+                let expr = self.parse_cond_expr()?;
+                post.get_or_insert_with(CondClause::default).expr = Some(expr);
+                continue;
+            }
+            return Err(self.error("unexpected trailing words"));
+        }
+
+        Ok(RuleSentence {
+            pre,
+            verb,
+            content,
+            object,
+            config,
+            post,
+            until,
+        })
+    }
+
+    fn parse_cond_clause_leading(&mut self) -> Result<Option<CondClause>, ParseError> {
+        let mut clause = CondClause::default();
+        loop {
+            self.skip_separators();
+            if self.time_spec_starts_here() {
+                clause.time.push(self.parse_time_spec()?);
+                continue;
+            }
+            if self.is_word("if") || self.is_word("when") {
+                self.pos += 1;
+                clause.expr = Some(self.parse_cond_expr()?);
+                self.skip_separators();
+                self.eat_word("then");
+                break;
+            }
+            break;
+        }
+        Ok(if clause.is_empty() { None } else { Some(clause) })
+    }
+
+    fn parse_until_clause(&mut self) -> Result<CondClause, ParseError> {
+        self.skip_articles();
+        if self.looks_like_time_point() {
+            let point = self.parse_time_point()?;
+            return Ok(CondClause {
+                time: vec![TimeSpecAst::Before(point)],
+                expr: None,
+            });
+        }
+        let expr = self.parse_cond_expr()?;
+        Ok(CondClause {
+            time: Vec::new(),
+            expr: Some(expr),
+        })
+    }
+
+    /// After a verb: `[content (on|to)] object [location]`.
+    fn parse_operands(&mut self, verb: &cadel_rule::Verb) -> Result<(Option<Phrase>, ObjectPhrase), ParseError> {
+        self.skip_articles();
+        let first = self.collect_noun_phrase()?;
+        if first.is_empty() {
+            return Err(self.error("expected a device name"));
+        }
+        // Content form: "play jazz music ON the stereo".
+        if (self.is_word("on") || self.is_word("to")) && self.noun_follows(1) {
+            self.pos += 1;
+            self.skip_articles();
+            let object_name = self.collect_noun_phrase()?;
+            if object_name.is_empty() {
+                return Err(self.error("expected a device after the preposition"));
+            }
+            let location = self.parse_location_modifier()?;
+            return Ok((
+                Some(first),
+                ObjectPhrase {
+                    name: object_name,
+                    location,
+                },
+            ));
+        }
+        // Instrument form: "record the baseball game WITH the video
+        // recorder" — only when the with-clause is not a configuration.
+        if self.is_word("with") && !self.with_clause_is_configuration() {
+            self.pos += 1;
+            self.skip_articles();
+            let object_name = self.collect_noun_phrase()?;
+            if object_name.is_empty() {
+                return Err(self.error("expected a device after 'with'"));
+            }
+            let location = self.parse_location_modifier()?;
+            return Ok((
+                Some(first),
+                ObjectPhrase {
+                    name: object_name,
+                    location,
+                },
+            ));
+        }
+        let _ = verb;
+        let location = self.parse_location_modifier()?;
+        Ok((
+            None,
+            ObjectPhrase {
+                name: first,
+                location,
+            },
+        ))
+    }
+
+    fn noun_follows(&self, offset: usize) -> bool {
+        let mut k = offset;
+        while let Some(t) = self.peek_at(k) {
+            match &t.kind {
+                TokenKind::Word if ARTICLES.contains(&t.text.as_str()) => k += 1,
+                TokenKind::Word => return !PHRASE_STOPS.contains(&t.text.as_str()),
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// Collects noun words until a stop word or punctuation.
+    fn collect_noun_phrase(&mut self) -> Result<Phrase, ParseError> {
+        let mut words = Vec::new();
+        while let Some(t) = self.peek() {
+            match &t.kind {
+                TokenKind::Word => {
+                    let w = t.text.as_str();
+                    if PHRASE_STOPS.contains(&w) {
+                        break;
+                    }
+                    if ARTICLES.contains(&w) && words.is_empty() {
+                        self.pos += 1;
+                        continue;
+                    }
+                    words.push(t.text.clone());
+                    self.pos += 1;
+                }
+                TokenKind::Number(_) => {
+                    words.push(t.text.clone());
+                    self.pos += 1;
+                }
+                TokenKind::Punct(_) => break,
+            }
+        }
+        Ok(words)
+    }
+
+    /// `at the hall` / `in the living room` after an object — but only
+    /// when the lookahead is not a time expression.
+    fn parse_location_modifier(&mut self) -> Result<Option<Phrase>, ParseError> {
+        if !(self.is_word("at") || self.is_word("in")) {
+            return Ok(None);
+        }
+        if self.at_in_is_time_spec() {
+            return Ok(None);
+        }
+        self.pos += 1;
+        self.skip_articles();
+        let place = self.collect_noun_phrase()?;
+        if place.is_empty() {
+            return Err(self.error("expected a place after 'at'/'in'"));
+        }
+        Ok(Some(place))
+    }
+
+    /// Whether the `at`/`in` at the current position introduces a time
+    /// expression ("at night", "at 10 pm", "in the evening").
+    fn at_in_is_time_spec(&self) -> bool {
+        let mut k = 1;
+        while let Some(t) = self.peek_at(k) {
+            if let TokenKind::Word = t.kind {
+                if ARTICLES.contains(&t.text.as_str()) {
+                    k += 1;
+                    continue;
+                }
+                return DayPart::from_word(&t.text).is_some()
+                    || t.text == "noon"
+                    || t.text == "midnight";
+            }
+            return matches!(t.kind, TokenKind::Number(_));
+        }
+        false
+    }
+
+    // ---- configurations ----------------------------------------------------
+
+    /// Whether the upcoming `with …` clause reads as a `<Configuration>`:
+    /// it mentions `setting` before the clause ends, or starts with a
+    /// user-defined configuration word.
+    fn with_clause_is_configuration(&self) -> bool {
+        debug_assert!(self.is_word("with"));
+        if self
+            .dictionary
+            .configuration_phrases()
+            .match_at(&self.tokens, self.pos + 1)
+            .is_some()
+        {
+            return true;
+        }
+        let mut k = 1;
+        while let Some(t) = self.peek_at(k) {
+            match &t.kind {
+                TokenKind::Word if t.text == "setting" => return true,
+                TokenKind::Word
+                    if matches!(t.text.as_str(), "if" | "when" | "until") =>
+                {
+                    return false
+                }
+                TokenKind::Punct('.') | TokenKind::Punct(',') => return false,
+                _ => k += 1,
+            }
+        }
+        false
+    }
+
+    /// `<RowOfConfs> ::= <Setting> "of" <Parameter> "setting"
+    ///                 | <RowOfConfs> "and" <RowOfConfs>` — plus
+    /// user-defined configuration words.
+    fn parse_row_of_confs(&mut self) -> Result<Vec<SettingAst>, ParseError> {
+        let mut settings = Vec::new();
+        loop {
+            self.skip_articles();
+            if let Some((len, word)) = self
+                .dictionary
+                .configuration_phrases()
+                .match_at(&self.tokens, self.pos)
+            {
+                let word = word.clone();
+                self.pos += len;
+                settings.push(SettingAst::UserWord(word));
+            } else {
+                settings.push(self.parse_single_setting()?);
+            }
+            self.skip_separators();
+            if !self.eat_word("and") {
+                break;
+            }
+        }
+        Ok(settings)
+    }
+
+    fn parse_single_setting(&mut self) -> Result<SettingAst, ParseError> {
+        let value = if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Number(_))) {
+            SettingValueAst::Quantity(self.parse_quantity()?)
+        } else {
+            let mut words = Vec::new();
+            while let Some(t) = self.peek() {
+                match &t.kind {
+                    TokenKind::Word if t.text == "of" => break,
+                    TokenKind::Word => {
+                        words.push(t.text.clone());
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if words.is_empty() {
+                return Err(self.error("expected a setting value"));
+            }
+            SettingValueAst::Word(words)
+        };
+        if !self.eat_word("of") {
+            return Err(self.error("expected 'of' in configuration"));
+        }
+        let mut parameter = Vec::new();
+        while let Some(t) = self.peek() {
+            match &t.kind {
+                TokenKind::Word if t.text == "setting" => break,
+                TokenKind::Word => {
+                    parameter.push(t.text.clone());
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if parameter.is_empty() {
+            return Err(self.error("expected a parameter name in configuration"));
+        }
+        if !self.eat_word("setting") {
+            return Err(self.error("expected the word 'setting'"));
+        }
+        Ok(SettingAst::Explicit { parameter, value })
+    }
+
+    // ---- quantities --------------------------------------------------------
+
+    fn parse_quantity(&mut self) -> Result<QuantityAst, ParseError> {
+        let value = match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Number(n)) => {
+                self.pos += 1;
+                n
+            }
+            _ => return Err(self.error("expected a number")),
+        };
+        // Unit: '%' punct, or unit words ("degrees [celsius|fahrenheit]",
+        // "percent", "lux", …).
+        let unit = if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Punct('%'))) {
+            self.pos += 1;
+            Some(Unit::Percent)
+        } else if let Some(w) = self.current_word() {
+            if w == "degrees" || w == "degree" {
+                self.pos += 1;
+                match self.current_word() {
+                    Some("celsius") => {
+                        self.pos += 1;
+                        Some(Unit::Celsius)
+                    }
+                    Some("fahrenheit") => {
+                        self.pos += 1;
+                        Some(Unit::Fahrenheit)
+                    }
+                    _ => Some(Unit::Celsius),
+                }
+            } else if let Some(u) = Unit::from_word(w) {
+                self.pos += 1;
+                Some(u)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Ok(QuantityAst { value, unit })
+    }
+
+    // ---- time --------------------------------------------------------------
+
+    fn time_spec_starts_here(&self) -> bool {
+        match self.current_word() {
+            Some("after") | Some("before") | Some("every") | Some("from") => true,
+            Some("at") | Some("in") => self.at_in_is_time_spec(),
+            Some("on") => self
+                .peek_at(1)
+                .and_then(|t| match &t.kind {
+                    TokenKind::Word => month_number(&t.text),
+                    _ => None,
+                })
+                .is_some(),
+            _ => false,
+        }
+    }
+
+    fn looks_like_time_point(&self) -> bool {
+        match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Number(_)) => true,
+            Some(TokenKind::Word) => {
+                let w = self.current_word().unwrap();
+                DayPart::from_word(w).is_some() || w == "noon" || w == "midnight"
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_time_spec(&mut self) -> Result<TimeSpecAst, ParseError> {
+        if self.eat_word("after") {
+            self.skip_articles();
+            return Ok(TimeSpecAst::After(self.parse_time_point()?));
+        }
+        if self.eat_word("before") {
+            self.skip_articles();
+            return Ok(TimeSpecAst::Before(self.parse_time_point()?));
+        }
+        if self.eat_word("every") {
+            let w = self
+                .current_word()
+                .and_then(Weekday::from_word)
+                .ok_or_else(|| self.error("expected a weekday after 'every'"))?;
+            self.pos += 1;
+            return Ok(TimeSpecAst::Every(w));
+        }
+        if self.eat_word("from") {
+            self.skip_articles();
+            let start = self.parse_time_point()?;
+            if !self.eat_word("to") && !self.eat_word("until") {
+                return Err(self.error("expected 'to' in time range"));
+            }
+            self.skip_articles();
+            let end = self.parse_time_point()?;
+            return Ok(TimeSpecAst::Between(start, end));
+        }
+        if self.eat_word("on") {
+            return self.parse_date_spec();
+        }
+        if self.eat_word("at") {
+            self.skip_articles();
+            return Ok(TimeSpecAst::At(self.parse_time_point()?));
+        }
+        if self.eat_word("in") {
+            self.skip_articles();
+            let part = self
+                .current_word()
+                .and_then(DayPart::from_word)
+                .ok_or_else(|| self.error("expected a day part after 'in'"))?;
+            self.pos += 1;
+            return Ok(TimeSpecAst::During(part));
+        }
+        Err(self.error("expected a time specification"))
+    }
+
+    fn parse_time_point(&mut self) -> Result<TimePointAst, ParseError> {
+        if let Some(w) = self.current_word() {
+            if w == "noon" {
+                self.pos += 1;
+                return Ok(TimePointAst::Clock(TimeOfDay::NOON));
+            }
+            if w == "midnight" {
+                self.pos += 1;
+                return Ok(TimePointAst::Clock(TimeOfDay::MIDNIGHT));
+            }
+            if let Some(part) = DayPart::from_word(w) {
+                self.pos += 1;
+                return Ok(TimePointAst::DayPart(part));
+            }
+        }
+        let hour = match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Number(n)) => {
+                self.pos += 1;
+                n
+            }
+            _ => return Err(self.error("expected a time of day")),
+        };
+        let mut minute = 0i64;
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Punct(':'))) {
+            self.pos += 1;
+            match self.peek().map(|t| t.kind.clone()) {
+                Some(TokenKind::Number(m)) => {
+                    self.pos += 1;
+                    minute = m.numer() as i64;
+                }
+                _ => return Err(self.error("expected minutes after ':'")),
+            }
+        }
+        if !hour.is_integer() {
+            return Err(self.error("fractional hours are not a valid time"));
+        }
+        let mut h = hour.numer() as i64;
+        if self.eat_word("pm") {
+            if !(1..=12).contains(&h) {
+                return Err(self.error("invalid 12-hour time"));
+            }
+            if h != 12 {
+                h += 12;
+            }
+        } else if self.eat_word("am") {
+            if !(1..=12).contains(&h) {
+                return Err(self.error("invalid 12-hour time"));
+            }
+            if h == 12 {
+                h = 0;
+            }
+        } else {
+            self.eat_word("o'clock");
+        }
+        let tod = TimeOfDay::hm(h as u8, minute as u8)
+            .ok_or_else(|| self.error("time of day out of range"))?;
+        Ok(TimePointAst::Clock(tod))
+    }
+
+    fn parse_date_spec(&mut self) -> Result<TimeSpecAst, ParseError> {
+        let month = self
+            .current_word()
+            .and_then(month_number)
+            .ok_or_else(|| self.error("expected a month name after 'on'"))?;
+        self.pos += 1;
+        let day = match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Number(n)) if n.is_integer() => {
+                self.pos += 1;
+                n.numer() as i64
+            }
+            _ => return Err(self.error("expected a day of month")),
+        };
+        let year = match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Number(n)) if n.is_integer() && n.numer() >= 1000 => {
+                self.pos += 1;
+                n.numer() as i32
+            }
+            _ => DEFAULT_YEAR,
+        };
+        let date = Date::new(year, month, day as u8)
+            .ok_or_else(|| self.error("invalid calendar date"))?;
+        Ok(TimeSpecAst::On(date))
+    }
+
+    // ---- conditions ----------------------------------------------------------
+
+    fn parse_cond_expr(&mut self) -> Result<CondExprAst, ParseError> {
+        let mut terms = vec![self.parse_cond_and()?];
+        while self.is_word("or") {
+            self.pos += 1;
+            terms.push(self.parse_cond_and()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one element")
+        } else {
+            CondExprAst::Or(terms)
+        })
+    }
+
+    fn parse_cond_and(&mut self) -> Result<CondExprAst, ParseError> {
+        let mut terms = vec![self.parse_cond_primary()?];
+        while self.is_word("and") {
+            self.pos += 1;
+            terms.push(self.parse_cond_primary()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one element")
+        } else {
+            CondExprAst::And(terms)
+        })
+    }
+
+    fn parse_cond_primary(&mut self) -> Result<CondExprAst, ParseError> {
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Punct('('))) {
+            self.pos += 1;
+            let inner = self.parse_cond_expr()?;
+            if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Punct(')'))) {
+                return Err(self.error("expected ')'"));
+            }
+            self.pos += 1;
+            return Ok(inner);
+        }
+        let cond = self.parse_cond()?;
+        Ok(CondExprAst::Leaf(cond))
+    }
+
+    fn parse_cond(&mut self) -> Result<CondAst, ParseError> {
+        // 1. User-defined condition word (takes precedence; may contain
+        //    "and").
+        if let Some((len, word)) = self
+            .dictionary
+            .condition_phrases()
+            .match_at(&self.tokens, self.pos)
+        {
+            let word = word.clone();
+            self.pos += len;
+            let (period, time) = self.parse_cond_suffix()?;
+            return Ok(CondAst {
+                kind: CondKind::UserWord(word),
+                period,
+                time,
+            });
+        }
+
+        // 2. Special presence subjects.
+        let who = self.parse_presence_subject();
+        if let Some(who) = who {
+            return self.parse_after_subject_person(who);
+        }
+
+        // 3. General subject phrase up to a predicate.
+        let subject = self.collect_subject()?;
+        self.parse_after_subject_general(subject)
+    }
+
+    fn parse_presence_subject(&mut self) -> Option<PresenceSubject> {
+        match self.current_word() {
+            Some("i") => {
+                self.pos += 1;
+                Some(PresenceSubject::Me)
+            }
+            Some("someone") | Some("somebody") | Some("anyone") | Some("anybody") => {
+                self.pos += 1;
+                Some(PresenceSubject::Somebody)
+            }
+            Some("nobody") => {
+                self.pos += 1;
+                Some(PresenceSubject::Nobody)
+            }
+            Some("no") if self.peek_at(1).map(|t| t.is_word("one")).unwrap_or(false) => {
+                self.pos += 2;
+                Some(PresenceSubject::Nobody)
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_after_subject_person(
+        &mut self,
+        who: PresenceSubject,
+    ) -> Result<CondAst, ParseError> {
+        if let Some((len, _)) = self.match_phrase(self.lexicon.presence_predicates()) {
+            self.pos += len;
+            self.skip_articles();
+            let place = self.collect_place_phrase()?;
+            if place.is_empty() {
+                return Err(self.error("expected a place"));
+            }
+            let (period, time) = self.parse_cond_suffix()?;
+            return Ok(CondAst {
+                kind: CondKind::Presence { who, place },
+                period,
+                time,
+            });
+        }
+        if let Some((len, event)) = self.match_phrase(self.lexicon.person_events()) {
+            let event = event.clone();
+            self.pos += len;
+            let (period, time) = self.parse_cond_suffix()?;
+            return Ok(CondAst {
+                kind: CondKind::PersonEvent { who, event },
+                period,
+                time,
+            });
+        }
+        Err(self.error("expected 'is at <place>' or an event after the person"))
+    }
+
+    /// Collects subject words until a predicate phrase is recognized.
+    fn collect_subject(&mut self) -> Result<SubjectPhrase, ParseError> {
+        let mut subject = SubjectPhrase::default();
+        self.skip_articles();
+        loop {
+            if self.predicate_matches_here() {
+                break;
+            }
+            match self.peek() {
+                Some(t) => match &t.kind {
+                    TokenKind::Word => {
+                        let w = t.text.as_str();
+                        if matches!(w, "and" | "or" | "then" | "if" | "when") {
+                            return Err(self.error("expected a predicate in the condition"));
+                        }
+                        if (w == "at" || w == "in") && !subject.name.is_empty() {
+                            if self.at_in_is_time_spec() {
+                                break;
+                            }
+                            // Location modifier within the subject.
+                            self.pos += 1;
+                            self.skip_articles();
+                            let mut loc = Vec::new();
+                            while !self.predicate_matches_here() {
+                                match self.peek() {
+                                    Some(t2) if matches!(t2.kind, TokenKind::Word) => {
+                                        let w2 = t2.text.as_str();
+                                        if PHRASE_STOPS.contains(&w2) {
+                                            break;
+                                        }
+                                        loc.push(t2.text.clone());
+                                        self.pos += 1;
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            if loc.is_empty() {
+                                return Err(self.error("expected a place after 'at'/'in'"));
+                            }
+                            subject.location = Some(loc);
+                            continue;
+                        }
+                        if ARTICLES.contains(&w) {
+                            self.pos += 1;
+                            continue;
+                        }
+                        subject.name.push(t.text.clone());
+                        self.pos += 1;
+                    }
+                    TokenKind::Number(_) => {
+                        subject.name.push(t.text.clone());
+                        self.pos += 1;
+                    }
+                    TokenKind::Punct(_) => {
+                        return Err(self.error("expected a predicate in the condition"))
+                    }
+                },
+                None => return Err(self.error("expected a predicate in the condition")),
+            }
+            if subject.name.len() > 8 {
+                return Err(self.error("condition subject is too long"));
+            }
+        }
+        if subject.name.is_empty() {
+            return Err(self.error("expected a condition subject"));
+        }
+        Ok(subject)
+    }
+
+    fn predicate_matches_here(&self) -> bool {
+        self.match_phrase(self.lexicon.comparisons()).is_some()
+            || self.match_phrase(self.lexicon.states()).is_some()
+            || self.match_phrase(self.lexicon.broadcast_predicates()).is_some()
+            || self.match_phrase(self.lexicon.person_events()).is_some()
+            || self.match_phrase(self.lexicon.presence_predicates()).is_some()
+    }
+
+    fn parse_after_subject_general(
+        &mut self,
+        subject: SubjectPhrase,
+    ) -> Result<CondAst, ParseError> {
+        // Order matters: comparisons ("is higher than") before states, and
+        // broadcast before presence so "is on air" beats "is on".
+        if let Some((len, op)) = self.match_phrase(self.lexicon.comparisons()) {
+            let op = *op;
+            self.pos += len;
+            let quantity = self.parse_quantity()?;
+            let (period, time) = self.parse_cond_suffix()?;
+            return Ok(CondAst {
+                kind: CondKind::Compare {
+                    subject,
+                    op,
+                    quantity,
+                },
+                period,
+                time,
+            });
+        }
+        if let Some((len, _)) = self.match_phrase(self.lexicon.broadcast_predicates()) {
+            self.pos += len;
+            let (period, time) = self.parse_cond_suffix()?;
+            return Ok(CondAst {
+                kind: CondKind::Broadcast {
+                    program: subject.name,
+                },
+                period,
+                time,
+            });
+        }
+        if let Some((len, state)) = self.match_phrase(self.lexicon.states()) {
+            let state = state.clone();
+            self.pos += len;
+            let (period, time) = self.parse_cond_suffix()?;
+            return Ok(CondAst {
+                kind: CondKind::State { subject, state },
+                period,
+                time,
+            });
+        }
+        if let Some((len, event)) = self.match_phrase(self.lexicon.person_events()) {
+            let event = event.clone();
+            self.pos += len;
+            let (period, time) = self.parse_cond_suffix()?;
+            return Ok(CondAst {
+                kind: CondKind::PersonEvent {
+                    who: PresenceSubject::Named(subject.name),
+                    event,
+                },
+                period,
+                time,
+            });
+        }
+        if let Some((len, _)) = self.match_phrase(self.lexicon.presence_predicates()) {
+            self.pos += len;
+            self.skip_articles();
+            let place = self.collect_place_phrase()?;
+            if place.is_empty() {
+                return Err(self.error("expected a place"));
+            }
+            let (period, time) = self.parse_cond_suffix()?;
+            return Ok(CondAst {
+                kind: CondKind::Presence {
+                    who: PresenceSubject::Named(subject.name),
+                    place,
+                },
+                period,
+                time,
+            });
+        }
+        Err(self.error("expected a predicate in the condition"))
+    }
+
+    /// Collects a place phrase, stopping before trailing time specs and
+    /// connectives.
+    fn collect_place_phrase(&mut self) -> Result<Phrase, ParseError> {
+        let mut place = Vec::new();
+        while let Some(t) = self.peek() {
+            match &t.kind {
+                TokenKind::Word => {
+                    let w = t.text.as_str();
+                    if matches!(
+                        w,
+                        "and" | "or" | "then" | "if" | "when" | "for" | "until" | "after"
+                            | "before" | "every" | "from"
+                    ) {
+                        break;
+                    }
+                    if (w == "at" || w == "in") && self.at_in_is_time_spec() {
+                        break;
+                    }
+                    if ARTICLES.contains(&w) {
+                        self.pos += 1;
+                        continue;
+                    }
+                    place.push(t.text.clone());
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        Ok(place)
+    }
+
+    /// Optional `<PeriodSpec>` ("for 1 hour") and trailing `<TimeSpec>`
+    /// ("in evening") after a condition.
+    fn parse_cond_suffix(
+        &mut self,
+    ) -> Result<(Option<SimDuration>, Option<TimeSpecAst>), ParseError> {
+        let mut period = None;
+        let mut time = None;
+        loop {
+            if self.is_word("for") {
+                self.pos += 1;
+                period = Some(self.parse_duration()?);
+                continue;
+            }
+            if self.time_spec_starts_here() {
+                // A trailing timespec belongs to this condition.
+                time = Some(self.parse_time_spec()?);
+                continue;
+            }
+            break;
+        }
+        Ok((period, time))
+    }
+
+    fn parse_duration(&mut self) -> Result<SimDuration, ParseError> {
+        let n = match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Number(n)) if n.is_integer() && !n.is_negative() => {
+                self.pos += 1;
+                n.numer() as u64
+            }
+            _ => return Err(self.error("expected a number after 'for'")),
+        };
+        let unit = self
+            .current_word()
+            .ok_or_else(|| self.error("expected a time unit"))?;
+        let duration = match unit {
+            "second" | "seconds" => SimDuration::from_secs(n),
+            "minute" | "minutes" => SimDuration::from_minutes(n),
+            "hour" | "hours" => SimDuration::from_hours(n),
+            _ => return Err(self.error("expected seconds, minutes or hours")),
+        };
+        self.pos += 1;
+        Ok(duration)
+    }
+}
+
+fn month_number(word: &str) -> Option<u8> {
+    match word {
+        "january" => Some(1),
+        "february" => Some(2),
+        "march" => Some(3),
+        "april" => Some(4),
+        "may" => Some(5),
+        "june" => Some(6),
+        "july" => Some(7),
+        "august" => Some(8),
+        "september" => Some(9),
+        "october" => Some(10),
+        "november" => Some(11),
+        "december" => Some(12),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_rule::Verb;
+    use cadel_simplex::RelOp;
+    use cadel_types::Rational;
+
+    fn parse(input: &str) -> Command {
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        parse_command(input, &lexicon, &dictionary).unwrap()
+    }
+
+    fn parse_with_dict(input: &str, dictionary: &Dictionary) -> Command {
+        let lexicon = Lexicon::english();
+        parse_command(input, &lexicon, dictionary).unwrap()
+    }
+
+    fn rule(input: &str) -> RuleSentence {
+        match parse(input) {
+            Command::Rule(r) => r,
+            other => panic!("expected a rule, got {other:?}"),
+        }
+    }
+
+    fn parse_err(input: &str) -> ParseError {
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        parse_command(input, &lexicon, &dictionary).unwrap_err()
+    }
+
+    #[test]
+    fn paper_example_1_full_rule() {
+        // Paper §4.2 example (1).
+        let r = rule(
+            "If humidity is higher than 80 percent and temperature is higher than \
+             28 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
+        );
+        assert_eq!(r.verb, Verb::TurnOn);
+        assert_eq!(r.object.name, vec!["air", "conditioner"]);
+        assert_eq!(r.config.len(), 1);
+        let pre = r.pre.unwrap();
+        match pre.expr.unwrap() {
+            CondExprAst::And(terms) => {
+                assert_eq!(terms.len(), 2);
+                match &terms[0] {
+                    CondExprAst::Leaf(CondAst {
+                        kind: CondKind::Compare { subject, op, quantity },
+                        ..
+                    }) => {
+                        assert_eq!(subject.name, vec!["humidity"]);
+                        assert_eq!(*op, RelOp::Gt);
+                        assert_eq!(quantity.value, Rational::from_integer(80));
+                        assert_eq!(quantity.unit, Some(Unit::Percent));
+                    }
+                    other => panic!("unexpected first term {other:?}"),
+                }
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_2_time_and_ambient() {
+        // Paper §4.2 example (2).
+        let r = rule(
+            "After evening, if someone returns home and the hall is dark, \
+             turn on the light at the hall.",
+        );
+        let pre = r.pre.unwrap();
+        assert_eq!(
+            pre.time,
+            vec![TimeSpecAst::After(TimePointAst::DayPart(DayPart::Evening))]
+        );
+        match pre.expr.unwrap() {
+            CondExprAst::And(terms) => {
+                assert!(matches!(
+                    &terms[0],
+                    CondExprAst::Leaf(CondAst {
+                        kind: CondKind::PersonEvent {
+                            who: PresenceSubject::Somebody,
+                            ..
+                        },
+                        ..
+                    })
+                ));
+                assert!(matches!(
+                    &terms[1],
+                    CondExprAst::Leaf(CondAst {
+                        kind: CondKind::State { .. },
+                        ..
+                    })
+                ));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+        assert_eq!(r.object.name, vec!["light"]);
+        assert_eq!(r.object.location, Some(vec!["hall".to_owned()]));
+    }
+
+    #[test]
+    fn paper_example_3_duration() {
+        // Paper §4.2 example (3).
+        let r = rule("At night, if entrance door is unlocked for 1 hour, turn on the alarm.");
+        let pre = r.pre.unwrap();
+        assert_eq!(
+            pre.time,
+            vec![TimeSpecAst::At(TimePointAst::DayPart(DayPart::Night))]
+        );
+        match pre.expr.unwrap() {
+            CondExprAst::Leaf(CondAst { kind, period, .. }) => {
+                assert!(matches!(kind, CondKind::State { .. }));
+                assert_eq!(period, Some(SimDuration::from_hours(1)));
+            }
+            other => panic!("expected Leaf, got {other:?}"),
+        }
+        assert_eq!(r.object.name, vec!["alarm"]);
+    }
+
+    #[test]
+    fn presence_of_speaker() {
+        let r = rule("When I'm in the living room in evening, turn on the stereo.");
+        let pre = r.pre.unwrap();
+        match pre.expr.unwrap() {
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::Presence { who, place },
+                time,
+                ..
+            }) => {
+                assert_eq!(who, PresenceSubject::Me);
+                assert_eq!(place, vec!["living", "room"]);
+                assert_eq!(time, Some(TimeSpecAst::During(DayPart::Evening)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broadcast_condition() {
+        let r = rule("When a baseball game is on air, turn on the TV.");
+        match r.pre.unwrap().expr.unwrap() {
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::Broadcast { program },
+                ..
+            }) => assert_eq!(program, vec!["baseball", "game"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.object.name, vec!["tv"]);
+    }
+
+    #[test]
+    fn named_person_event() {
+        let r = rule("If Alan got home from work, turn on the TV.");
+        match r.pre.unwrap().expr.unwrap() {
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::PersonEvent { who, event },
+                ..
+            }) => {
+                assert_eq!(who, PresenceSubject::Named(vec!["alan".into()]));
+                assert_eq!(event, "got home from work");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn content_form_play_on() {
+        let r = rule("If I'm in the living room, play jazz music on the stereo.");
+        assert_eq!(r.verb, Verb::Play);
+        assert_eq!(r.content, Some(vec!["jazz".into(), "music".into()]));
+        assert_eq!(r.object.name, vec!["stereo"]);
+    }
+
+    #[test]
+    fn instrument_form_record_with() {
+        let r = rule("When a baseball game is on air, record the baseball game with the video recorder.");
+        assert_eq!(r.verb, Verb::Record);
+        assert_eq!(r.content, Some(vec!["baseball".into(), "game".into()]));
+        assert_eq!(r.object.name, vec!["video", "recorder"]);
+    }
+
+    #[test]
+    fn with_configuration_is_not_instrument() {
+        let r = rule("Turn on the air conditioner with 25 degrees of temperature setting and 60 percent of humidity setting.");
+        assert!(r.content.is_none());
+        assert_eq!(r.config.len(), 2);
+        match &r.config[1] {
+            SettingAst::Explicit { parameter, value } => {
+                assert_eq!(parameter, &vec!["humidity".to_owned()]);
+                assert!(matches!(value, SettingValueAst::Quantity(q) if q.unit == Some(Unit::Percent)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn word_valued_setting() {
+        let r = rule("Turn on the stereo with jazz of genre setting.");
+        match &r.config[0] {
+            SettingAst::Explicit { parameter, value } => {
+                assert_eq!(parameter, &vec!["genre".to_owned()]);
+                assert_eq!(value, &SettingValueAst::Word(vec!["jazz".into()]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn percent_sign_unit() {
+        let r = rule("If humidity is over 60%, turn on the fan.");
+        match r.pre.unwrap().expr.unwrap() {
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::Compare { quantity, op, .. },
+                ..
+            }) => {
+                assert_eq!(op, RelOp::Gt);
+                assert_eq!(quantity.unit, Some(Unit::Percent));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_conditions_and_parentheses() {
+        let r = rule(
+            "If (temperature is over 30 degrees or humidity is over 80 percent) \
+             and the TV is turned off, turn on the fan.",
+        );
+        match r.pre.unwrap().expr.unwrap() {
+            CondExprAst::And(terms) => {
+                assert!(matches!(&terms[0], CondExprAst::Or(inner) if inner.len() == 2));
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn until_time_clause() {
+        let r = rule("Turn on the light at the hall until 10 pm.");
+        let until = r.until.unwrap();
+        assert_eq!(
+            until.time,
+            vec![TimeSpecAst::Before(TimePointAst::Clock(
+                TimeOfDay::hm(22, 0).unwrap()
+            ))]
+        );
+        assert_eq!(r.object.location, Some(vec!["hall".to_owned()]));
+    }
+
+    #[test]
+    fn until_condition_clause() {
+        let r = rule("Play jazz music on the stereo until Alan returns home.");
+        let until = r.until.unwrap();
+        assert!(until.expr.is_some());
+    }
+
+    #[test]
+    fn postcondition_clause() {
+        let r = rule("Turn on the light at the hall when the hall is dark.");
+        assert!(r.pre.is_none());
+        let post = r.post.unwrap();
+        assert!(post.expr.is_some());
+        assert_eq!(r.object.location, Some(vec!["hall".to_owned()]));
+    }
+
+    #[test]
+    fn every_weekday_spec() {
+        let r = rule("Every Monday at 8 pm, turn on the TV with 4 of channel setting.");
+        let pre = r.pre.unwrap();
+        assert_eq!(pre.time.len(), 2);
+        assert_eq!(pre.time[0], TimeSpecAst::Every(Weekday::Monday));
+        assert_eq!(
+            pre.time[1],
+            TimeSpecAst::At(TimePointAst::Clock(TimeOfDay::hm(20, 0).unwrap()))
+        );
+    }
+
+    #[test]
+    fn date_spec_with_and_without_year() {
+        let r = rule("On June 6 2005, turn on the TV.");
+        assert_eq!(
+            r.pre.unwrap().time,
+            vec![TimeSpecAst::On(Date::new(2005, 6, 6).unwrap())]
+        );
+        let r = rule("On december 24, turn on the light.");
+        assert_eq!(
+            r.pre.unwrap().time,
+            vec![TimeSpecAst::On(Date::new(DEFAULT_YEAR, 12, 24).unwrap())]
+        );
+    }
+
+    #[test]
+    fn from_to_range() {
+        let r = rule("From 9 am to 5 pm, turn off the stereo.");
+        assert_eq!(
+            r.pre.unwrap().time,
+            vec![TimeSpecAst::Between(
+                TimePointAst::Clock(TimeOfDay::hm(9, 0).unwrap()),
+                TimePointAst::Clock(TimeOfDay::hm(17, 0).unwrap())
+            )]
+        );
+    }
+
+    #[test]
+    fn clock_time_with_minutes() {
+        let r = rule("At 18:30, turn on the light.");
+        assert_eq!(
+            r.pre.unwrap().time,
+            vec![TimeSpecAst::At(TimePointAst::Clock(
+                TimeOfDay::hm(18, 30).unwrap()
+            ))]
+        );
+    }
+
+    #[test]
+    fn cond_def_sentence() {
+        // Paper §4.2: defining "hot and stuffy".
+        let cmd = parse(
+            "Let's call the condition that humidity is higher than 60 percent and \
+             temperature is higher than 28 degrees hot and stuffy",
+        );
+        match cmd {
+            Command::CondDef(def) => {
+                assert_eq!(def.word, "hot and stuffy");
+                assert!(matches!(def.expr, CondExprAst::And(_)));
+            }
+            other => panic!("expected CondDef, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conf_def_sentence() {
+        let cmd = parse(
+            "Let's call the configuration that 50 percent of brightness setting half lighting",
+        );
+        match cmd {
+            Command::ConfDef(def) => {
+                assert_eq!(def.word, "half lighting");
+                assert_eq!(def.settings.len(), 1);
+            }
+            other => panic!("expected ConfDef, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_condition_word_in_rule() {
+        let mut dict = Dictionary::new();
+        // Define "hot and stuffy" first.
+        let def = match parse(
+            "Let's call the condition that temperature is higher than 28 degrees hot and stuffy",
+        ) {
+            Command::CondDef(d) => d,
+            other => panic!("unexpected {other:?}"),
+        };
+        dict.define_condition(&def.word, def.expr);
+
+        let cmd = parse_with_dict(
+            "If hot and stuffy, turn on the air conditioner with 25 degrees of temperature setting.",
+            &dict,
+        );
+        match cmd {
+            Command::Rule(r) => match r.pre.unwrap().expr.unwrap() {
+                CondExprAst::Leaf(CondAst {
+                    kind: CondKind::UserWord(w),
+                    ..
+                }) => assert_eq!(w, "hot and stuffy"),
+                other => panic!("expected user word, got {other:?}"),
+            },
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn user_configuration_word_in_rule() {
+        let mut dict = Dictionary::new();
+        dict.define_configuration(
+            "half lighting",
+            vec![SettingAst::Explicit {
+                parameter: vec!["brightness".into()],
+                value: SettingValueAst::Quantity(QuantityAst {
+                    value: Rational::from_integer(50),
+                    unit: Some(Unit::Percent),
+                }),
+            }],
+        );
+        let cmd = parse_with_dict("Turn on the floor lamp with half lighting.", &dict);
+        match cmd {
+            Command::Rule(r) => {
+                assert_eq!(r.config, vec![SettingAst::UserWord("half lighting".into())]);
+            }
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_program_title() {
+        let r = rule("When \"Monday Night Baseball\" is on air, turn on the TV.");
+        match r.pre.unwrap().expr.unwrap() {
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::Broadcast { program },
+                ..
+            }) => assert_eq!(program, vec!["monday night baseball"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nobody_condition() {
+        let r = rule("If nobody is in the living room for 10 minutes, turn off the light at the living room.");
+        match r.pre.unwrap().expr.unwrap() {
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::Presence { who, place },
+                period,
+                ..
+            }) => {
+                assert_eq!(who, PresenceSubject::Nobody);
+                assert_eq!(place, vec!["living", "room"]);
+                assert_eq!(period, Some(SimDuration::from_minutes(10)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_are_positioned() {
+        let e = parse_err("");
+        assert!(e.to_string().contains("empty"));
+        let e = parse_err("dance the robot");
+        assert!(e.message().contains("verb"));
+        let e = parse_err("If humidity is higher than, turn on the fan.");
+        assert!(e.message().contains("number"));
+        let e = parse_err("Turn on.");
+        assert!(e.message().contains("device"));
+        let e = parse_err("If the hall, turn on the light.");
+        assert!(e.message().contains("predicate"));
+    }
+
+    #[test]
+    fn invalid_times_are_rejected() {
+        assert!(parse_err("At 25:00, turn on the TV.").message().contains("out of range"));
+        assert!(parse_err("At 13 pm, turn on the TV.")
+            .message()
+            .contains("invalid 12-hour"));
+        assert!(parse_err("On June 31, turn on the TV.")
+            .message()
+            .contains("invalid calendar date"));
+    }
+
+    #[test]
+    fn fahrenheit_unit() {
+        let r = rule("If temperature is higher than 80 degrees fahrenheit, turn on the fan.");
+        match r.pre.unwrap().expr.unwrap() {
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::Compare { quantity, .. },
+                ..
+            }) => assert_eq!(quantity.unit, Some(Unit::Fahrenheit)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subject_with_location_modifier() {
+        let r = rule("If the temperature at the second floor is higher than 28 degrees, turn on the fan.");
+        match r.pre.unwrap().expr.unwrap() {
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::Compare { subject, .. },
+                ..
+            }) => {
+                assert_eq!(subject.name, vec!["temperature"]);
+                assert_eq!(
+                    subject.location,
+                    Some(vec!["second".to_owned(), "floor".to_owned()])
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Rendering parsed CADEL back to text.
+//!
+//! The export half of paper §4.3(iv): a rule stored in the database can be
+//! shown to (and customized by) another user as a CADEL sentence. The
+//! renderer produces canonical English CADEL from the AST; round-tripping
+//! `parse → render → parse` yields the same AST (tested below), so the
+//! exported text is faithful.
+
+use crate::ast::*;
+use crate::lexicon::StatePhrase;
+use cadel_simplex::RelOp;
+use cadel_types::{SimDuration, TimeOfDay, Unit};
+use std::fmt::Write as _;
+
+/// Renders a parsed command as canonical CADEL text.
+pub fn render_command(command: &Command) -> String {
+    match command {
+        Command::Rule(rule) => render_rule(rule),
+        Command::CondDef(def) => format!(
+            "Let's call the condition that {} {}",
+            render_expr(&def.expr),
+            def.word
+        ),
+        Command::ConfDef(def) => format!(
+            "Let's call the configuration that {} {}",
+            render_settings(&def.settings),
+            def.word
+        ),
+    }
+}
+
+/// Renders a rule sentence.
+pub fn render_rule(rule: &RuleSentence) -> String {
+    let mut out = String::new();
+    if let Some(pre) = &rule.pre {
+        let _ = write!(out, "{}, ", render_clause(pre, true));
+    }
+    let _ = write!(out, "{}", verb_phrase(rule));
+    if !rule.config.is_empty() {
+        let _ = write!(out, " with {}", render_settings(&rule.config));
+    }
+    if let Some(post) = &rule.post {
+        let _ = write!(out, " {}", render_clause(post, false));
+    }
+    if let Some(until) = &rule.until {
+        if let Some(TimeSpecAst::Before(p)) = until.time.first() {
+            let _ = write!(out, " until {}", render_point(p));
+        } else if let Some(expr) = &until.expr {
+            let _ = write!(out, " until {}", render_expr(expr));
+        }
+    }
+    out.push('.');
+    out
+}
+
+fn verb_phrase(rule: &RuleSentence) -> String {
+    match &rule.content {
+        Some(content) => format!(
+            "{} {} on the {}",
+            rule.verb.phrase(),
+            content.join(" "),
+            render_object(&rule.object)
+        ),
+        None => format!("{} the {}", rule.verb.phrase(), render_object(&rule.object)),
+    }
+}
+
+fn render_object(object: &ObjectPhrase) -> String {
+    match &object.location {
+        Some(loc) => format!("{} at the {}", object.name.join(" "), loc.join(" ")),
+        None => object.name.join(" "),
+    }
+}
+
+fn render_clause(clause: &CondClause, leading: bool) -> String {
+    let mut parts: Vec<String> = clause.time.iter().map(render_time_spec).collect();
+    if let Some(expr) = &clause.expr {
+        let keyword = if leading { "if" } else { "when" };
+        parts.push(format!("{keyword} {}", render_expr(expr)));
+    }
+    parts.join(", ")
+}
+
+fn render_expr(expr: &CondExprAst) -> String {
+    match expr {
+        CondExprAst::Or(terms) => terms
+            .iter()
+            .map(render_or_term)
+            .collect::<Vec<_>>()
+            .join(" or "),
+        CondExprAst::And(terms) => terms
+            .iter()
+            .map(render_and_term)
+            .collect::<Vec<_>>()
+            .join(" and "),
+        CondExprAst::Leaf(cond) => render_cond(cond),
+    }
+}
+
+fn render_or_term(term: &CondExprAst) -> String {
+    render_expr(term)
+}
+
+fn render_and_term(term: &CondExprAst) -> String {
+    match term {
+        // Nested disjunctions need parentheses to survive a round trip.
+        CondExprAst::Or(_) => format!("({})", render_expr(term)),
+        other => render_expr(other),
+    }
+}
+
+fn render_cond(cond: &CondAst) -> String {
+    let mut out = match &cond.kind {
+        CondKind::Compare {
+            subject,
+            op,
+            quantity,
+        } => format!(
+            "{} {} {}",
+            render_subject(subject),
+            comparison_phrase(*op),
+            render_quantity(quantity)
+        ),
+        CondKind::State { subject, state } => {
+            format!("{} {}", render_subject(subject), state_phrase(state))
+        }
+        CondKind::Presence { who, place } => format!(
+            "{} is at the {}",
+            render_who(who),
+            place.join(" ")
+        ),
+        CondKind::PersonEvent { who, event } => {
+            format!("{} {}", render_who(who), event)
+        }
+        CondKind::Broadcast { program } => format!("{} is on air", program.join(" ")),
+        CondKind::UserWord(word) => word.clone(),
+    };
+    if let Some(period) = cond.period {
+        let _ = write!(out, " for {}", render_duration(period));
+    }
+    if let Some(time) = &cond.time {
+        let _ = write!(out, " {}", render_time_spec(time));
+    }
+    out
+}
+
+fn render_who(who: &PresenceSubject) -> String {
+    match who {
+        PresenceSubject::Me => "I".to_owned(),
+        PresenceSubject::Named(name) => name.join(" "),
+        PresenceSubject::Somebody => "someone".to_owned(),
+        PresenceSubject::Nobody => "nobody".to_owned(),
+    }
+}
+
+fn render_subject(subject: &SubjectPhrase) -> String {
+    match &subject.location {
+        Some(loc) => format!("the {} at the {}", subject.name.join(" "), loc.join(" ")),
+        None => format!("the {}", subject.name.join(" ")),
+    }
+}
+
+fn comparison_phrase(op: RelOp) -> &'static str {
+    match op {
+        RelOp::Gt => "is higher than",
+        RelOp::Lt => "is lower than",
+        RelOp::Ge => "is at least",
+        RelOp::Le => "is at most",
+        RelOp::Eq => "is exactly",
+    }
+}
+
+fn state_phrase(state: &StatePhrase) -> String {
+    match state {
+        StatePhrase::Bool { variable, value } => match (variable.as_str(), value) {
+            ("power", true) => "is turned on".to_owned(),
+            ("power", false) => "is turned off".to_owned(),
+            ("locked", true) => "is locked".to_owned(),
+            ("locked", false) => "is unlocked".to_owned(),
+            ("open", true) => "is open".to_owned(),
+            ("open", false) => "is closed".to_owned(),
+            (var, v) => format!("is {var}={v}"),
+        },
+        StatePhrase::Ambient { kind, op, .. } => match (kind.as_str(), op) {
+            ("illuminance", RelOp::Lt) => "is dark".to_owned(),
+            ("illuminance", RelOp::Gt) => "is bright".to_owned(),
+            ("noise", RelOp::Lt) => "is quiet".to_owned(),
+            ("noise", RelOp::Gt) => "is noisy".to_owned(),
+            (kind, op) => format!("is {kind} {op}"),
+        },
+    }
+}
+
+fn render_quantity(q: &QuantityAst) -> String {
+    match q.unit {
+        Some(Unit::Celsius) => format!("{} degrees", q.value),
+        Some(Unit::Fahrenheit) => format!("{} degrees fahrenheit", q.value),
+        Some(Unit::Percent) => format!("{} percent", q.value),
+        Some(Unit::Lux) => format!("{} lux", q.value),
+        Some(Unit::Decibel) => format!("{} decibels", q.value),
+        Some(Unit::Seconds) => format!("{} seconds", q.value),
+        _ => q.value.to_string(),
+    }
+}
+
+fn render_settings(settings: &[SettingAst]) -> String {
+    settings
+        .iter()
+        .map(|s| match s {
+            SettingAst::Explicit { parameter, value } => {
+                let value = match value {
+                    SettingValueAst::Quantity(q) => render_quantity(q),
+                    SettingValueAst::Word(words) => words.join(" "),
+                };
+                format!("{} of {} setting", value, parameter.join(" "))
+            }
+            SettingAst::UserWord(word) => word.clone(),
+        })
+        .collect::<Vec<_>>()
+        .join(" and ")
+}
+
+fn render_time_spec(spec: &TimeSpecAst) -> String {
+    match spec {
+        TimeSpecAst::After(p) => format!("after {}", render_point(p)),
+        TimeSpecAst::Before(p) => format!("before {}", render_point(p)),
+        TimeSpecAst::At(p) => format!("at {}", render_point(p)),
+        TimeSpecAst::Between(a, b) => {
+            format!("from {} to {}", render_point(a), render_point(b))
+        }
+        TimeSpecAst::During(part) => format!("in {}", format!("{part:?}").to_lowercase()),
+        TimeSpecAst::Every(day) => format!("every {}", format!("{day:?}").to_lowercase()),
+        TimeSpecAst::On(date) => {
+            let month = [
+                "january", "february", "march", "april", "may", "june", "july", "august",
+                "september", "october", "november", "december",
+            ][(date.month() - 1) as usize];
+            format!("on {month} {} {}", date.day(), date.year())
+        }
+    }
+}
+
+fn render_point(p: &TimePointAst) -> String {
+    match p {
+        TimePointAst::Clock(t) if *t == TimeOfDay::NOON => "noon".to_owned(),
+        TimePointAst::Clock(t) if *t == TimeOfDay::MIDNIGHT => "midnight".to_owned(),
+        TimePointAst::Clock(t) => format!("{}:{:02}", t.hour(), t.minute()),
+        TimePointAst::DayPart(part) => format!("{part:?}").to_lowercase(),
+    }
+}
+
+fn render_duration(d: SimDuration) -> String {
+    let minutes = d.as_minutes();
+    if minutes >= 60 && minutes % 60 == 0 {
+        let hours = minutes / 60;
+        format!("{hours} {}", if hours == 1 { "hour" } else { "hours" })
+    } else if minutes > 0 {
+        format!("{minutes} {}", if minutes == 1 { "minute" } else { "minutes" })
+    } else {
+        format!("{} seconds", d.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::Dictionary;
+    use crate::lexicon::Lexicon;
+    use crate::parser::parse_command;
+
+    /// parse → render → parse must be a fixed point.
+    fn assert_round_trip(sentence: &str) {
+        let lexicon = Lexicon::english();
+        let mut dictionary = Dictionary::new();
+        dictionary.define_condition(
+            "hot and stuffy",
+            CondExprAst::Leaf(CondAst {
+                kind: CondKind::UserWord("hot and stuffy".into()),
+                period: None,
+                time: None,
+            }),
+        );
+        let first = parse_command(sentence, &lexicon, &dictionary)
+            .unwrap_or_else(|e| panic!("{sentence:?} failed to parse: {e}"));
+        let rendered = render_command(&first);
+        let second = parse_command(&rendered, &lexicon, &dictionary)
+            .unwrap_or_else(|e| panic!("rendered {rendered:?} failed to parse: {e}"));
+        assert_eq!(first, second, "round trip changed the AST via {rendered:?}");
+    }
+
+    #[test]
+    fn round_trips_paper_examples() {
+        assert_round_trip(
+            "If humidity is higher than 80 percent and temperature is higher than \
+             28 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
+        );
+        assert_round_trip(
+            "After evening, if someone returns home and the hall is dark, \
+             turn on the light at the hall.",
+        );
+        assert_round_trip(
+            "At night, if entrance door is unlocked for 1 hour, turn on the alarm.",
+        );
+    }
+
+    #[test]
+    fn round_trips_content_and_until_forms() {
+        assert_round_trip("When I'm in the living room in evening, play jazz music on the stereo.");
+        assert_round_trip("Turn on the light at the hall until 10 pm.");
+        assert_round_trip("Play jazz music on the stereo until Alan returns home.");
+    }
+
+    #[test]
+    fn round_trips_time_specs() {
+        assert_round_trip("Every monday at 8 pm, turn on the TV with 4 of channel setting.");
+        assert_round_trip("On june 6 2005, turn on the TV.");
+        assert_round_trip("From 9 am to 5 pm, turn off the stereo.");
+        assert_round_trip("At 18:30, turn on the light at the hall.");
+    }
+
+    #[test]
+    fn round_trips_disjunctions_with_parentheses() {
+        assert_round_trip(
+            "If (temperature is higher than 30 degrees or humidity is over 80 percent) \
+             and the TV is turned off, turn on the fan.",
+        );
+    }
+
+    #[test]
+    fn round_trips_word_definitions() {
+        assert_round_trip(
+            "Let's call the condition that humidity is higher than 60 percent and \
+             temperature is higher than 28 degrees muggy",
+        );
+        assert_round_trip(
+            "Let's call the configuration that 50 percent of brightness setting half lighting",
+        );
+    }
+
+    #[test]
+    fn round_trips_user_words_in_rules() {
+        assert_round_trip(
+            "If hot and stuffy, turn on the air conditioner with 25 degrees of \
+             temperature setting.",
+        );
+    }
+
+    #[test]
+    fn rendering_is_stable() {
+        // render(parse(render(x))) == render(x): canonical form is fixed.
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        let sentence = "After evening, if someone returns home and the hall is dark, \
+                        turn on the light at the hall.";
+        let once = render_command(&parse_command(sentence, &lexicon, &dictionary).unwrap());
+        let twice = render_command(&parse_command(&once, &lexicon, &dictionary).unwrap());
+        assert_eq!(once, twice);
+    }
+}

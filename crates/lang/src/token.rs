@@ -1,0 +1,306 @@
+//! Tokenization of CADEL sentences.
+//!
+//! CADEL reads like English (paper §4.2), so the lexer is deliberately
+//! forgiving:
+//!
+//! * case-insensitive — tokens carry a lower-cased `text` plus the original
+//!   spelling;
+//! * common contractions are expanded (`I'm` → `i am`, `let's` → `let us`)
+//!   so the grammar only ever sees plain words;
+//! * hyphens act as spaces (`air-conditioner` ≡ `air conditioner`);
+//! * `"quoted strings"` become a single word token (useful for program
+//!   titles containing keywords);
+//! * numbers (integers and decimals) become exact [`Rational`] tokens;
+//! * sentence punctuation (`,` `.` `(` `)`) is kept as punctuation tokens —
+//!   commas and periods are *optional* separators the parser may skip.
+
+use crate::error::ParseError;
+use cadel_types::Rational;
+use std::fmt;
+
+/// What a token is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// A word (lower-cased in [`Token::text`]).
+    Word,
+    /// A number with its exact value.
+    Number(Rational),
+    /// A punctuation character.
+    Punct(char),
+}
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Lower-cased text (for words), literal text otherwise.
+    pub text: String,
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// Index of the token in the sentence (for error messages).
+    pub index: usize,
+}
+
+impl Token {
+    fn word(text: &str, index: usize) -> Token {
+        Token {
+            text: text.to_ascii_lowercase(),
+            kind: TokenKind::Word,
+            index,
+        }
+    }
+
+    /// Whether this token is the given word (already lower case).
+    pub fn is_word(&self, word: &str) -> bool {
+        matches!(self.kind, TokenKind::Word) && self.text == word
+    }
+
+    /// The numeric value, if this is a number token.
+    pub fn number(&self) -> Option<Rational> {
+        match self.kind {
+            TokenKind::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Expands the contractions CADEL sentences commonly contain.
+fn expand_contraction(word: &str) -> Option<[&'static str; 2]> {
+    match word {
+        "i'm" => Some(["i", "am"]),
+        "let's" => Some(["let", "us"]),
+        "it's" => Some(["it", "is"]),
+        "that's" => Some(["that", "is"]),
+        "he's" => Some(["he", "is"]),
+        "she's" => Some(["she", "is"]),
+        "don't" => Some(["do", "not"]),
+        "doesn't" => Some(["does", "not"]),
+        "isn't" => Some(["is", "not"]),
+        _ => None,
+    }
+}
+
+/// Tokenizes a CADEL sentence.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on an unterminated quote or a malformed number.
+///
+/// # Example
+///
+/// ```
+/// use cadel_lang::token::tokenize;
+///
+/// let tokens = tokenize("If I'm in the living room, turn on the stereo.").unwrap();
+/// let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(
+///     words,
+///     ["if", "i", "am", "in", "the", "living", "room", ",", "turn", "on", "the", "stereo", "."]
+/// );
+/// ```
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut index = 0usize;
+
+    let push_word = |raw: &str, tokens: &mut Vec<Token>, index: &mut usize| {
+        let lower = raw.to_ascii_lowercase();
+        if let Some(parts) = expand_contraction(&lower) {
+            for part in parts {
+                tokens.push(Token::word(part, *index));
+                *index += 1;
+            }
+        } else if !lower.is_empty() {
+            tokens.push(Token::word(&lower, *index));
+            *index += 1;
+        }
+    };
+
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() || c == '-' {
+            chars.next();
+            continue;
+        }
+        if c == '"' {
+            chars.next();
+            let mut content = String::new();
+            let mut closed = false;
+            for ch in chars.by_ref() {
+                if ch == '"' {
+                    closed = true;
+                    break;
+                }
+                content.push(ch);
+            }
+            if !closed {
+                return Err(ParseError::new("unterminated quote", index, content));
+            }
+            let collapsed = content.split_whitespace().collect::<Vec<_>>().join(" ");
+            tokens.push(Token::word(&collapsed, index));
+            index += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut number = String::new();
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_digit() || d == '.' {
+                    number.push(d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            // Trailing sentence period: "28." at end means number 28 + '.'.
+            let trailing_dot = number.ends_with('.');
+            let numeric = if trailing_dot {
+                &number[..number.len() - 1]
+            } else {
+                &number
+            };
+            let value: Rational = numeric
+                .parse()
+                .map_err(|_| ParseError::new("malformed number", index, number.clone()))?;
+            tokens.push(Token {
+                text: numeric.to_owned(),
+                kind: TokenKind::Number(value),
+                index,
+            });
+            index += 1;
+            if trailing_dot {
+                tokens.push(Token {
+                    text: ".".to_owned(),
+                    kind: TokenKind::Punct('.'),
+                    index,
+                });
+                index += 1;
+            }
+            continue;
+        }
+        if matches!(c, ',' | '.' | '(' | ')' | ':' | ';' | '%') {
+            chars.next();
+            tokens.push(Token {
+                text: c.to_string(),
+                kind: TokenKind::Punct(c),
+                index,
+            });
+            index += 1;
+            continue;
+        }
+        // A word: letters, digits after the first letter, apostrophes.
+        let mut word = String::new();
+        while let Some(&d) = chars.peek() {
+            if d.is_alphanumeric() || d == '\'' || d == '_' {
+                word.push(d);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        if word.is_empty() {
+            // Unknown symbol: skip it rather than failing, CADEL is lenient.
+            chars.next();
+            continue;
+        }
+        push_word(&word, &mut tokens, &mut index);
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(input: &str) -> Vec<String> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn lowercases_words() {
+        assert_eq!(words("Turn ON the TV"), ["turn", "on", "the", "tv"]);
+    }
+
+    #[test]
+    fn expands_contractions() {
+        assert_eq!(words("I'm home"), ["i", "am", "home"]);
+        assert_eq!(
+            words("Let's call the condition"),
+            ["let", "us", "call", "the", "condition"]
+        );
+    }
+
+    #[test]
+    fn hyphens_split_words() {
+        assert_eq!(words("air-conditioner"), ["air", "conditioner"]);
+    }
+
+    #[test]
+    fn numbers_are_exact() {
+        let tokens = tokenize("set 25.5 degrees").unwrap();
+        assert_eq!(tokens[1].number().unwrap(), "25.5".parse().unwrap());
+    }
+
+    #[test]
+    fn number_followed_by_sentence_period() {
+        let tokens = tokenize("temperature is 28.").unwrap();
+        assert_eq!(
+            tokens[tokens.len() - 2].number().unwrap(),
+            Rational::from_integer(28)
+        );
+        assert_eq!(tokens.last().unwrap().kind, TokenKind::Punct('.'));
+    }
+
+    #[test]
+    fn decimal_number() {
+        let tokens = tokenize("26.5 degrees").unwrap();
+        assert_eq!(tokens[0].number().unwrap(), Rational::new(53, 2));
+    }
+
+    #[test]
+    fn quoted_strings_are_single_tokens() {
+        let tokens = tokenize("when \"Monday Night Baseball\" is on air").unwrap();
+        assert_eq!(tokens[1].text, "monday night baseball");
+        assert!(matches!(tokens[1].kind, TokenKind::Word));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(tokenize("watch \"forever").is_err());
+    }
+
+    #[test]
+    fn punctuation_is_kept() {
+        let tokens = tokenize("if hot, (then) act.").unwrap();
+        let puncts: Vec<&str> = tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Punct(_)))
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, [",", "(", ")", "."]);
+    }
+
+    #[test]
+    fn percent_sign_is_punct_token() {
+        let tokens = tokenize("humidity is over 60%").unwrap();
+        assert_eq!(tokens.last().unwrap().kind, TokenKind::Punct('%'));
+    }
+
+    #[test]
+    fn unknown_symbols_are_skipped() {
+        assert_eq!(words("turn @ on"), ["turn", "on"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \t\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Robustness: the CADEL front end must never panic, whatever the input —
+//! users type sentences, and a typo must surface as a positioned
+//! [`ParseError`](cadel_lang::ParseError), not a crash.
+
+use cadel_lang::{parse_command, Dictionary, Lexicon};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary Unicode soup: parse returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,200}") {
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        let _ = parse_command(&input, &lexicon, &dictionary);
+    }
+
+    /// Word salad from the grammar's own vocabulary — the adversarial
+    /// case, since every token is meaningful somewhere.
+    #[test]
+    fn parser_never_panics_on_keyword_salad(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("if"), Just("when"), Just("then"), Just("and"), Just("or"),
+                Just("turn"), Just("on"), Just("off"), Just("the"), Just("a"),
+                Just("is"), Just("higher"), Just("than"), Just("at"), Just("in"),
+                Just("for"), Just("with"), Just("of"), Just("setting"), Just("until"),
+                Just("after"), Just("every"), Just("percent"), Just("degrees"),
+                Just("28"), Just("60"), Just("pm"), Just("night"), Just("evening"),
+                Just("someone"), Just("nobody"), Just("returns"), Just("home"),
+                Just("dark"), Just("unlocked"), Just("let"), Just("us"), Just("call"),
+                Just("that"), Just("condition"), Just("configuration"), Just(","),
+                Just("."), Just("("), Just(")"),
+            ],
+            0..25,
+        )
+    ) {
+        let input = words.join(" ");
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        let _ = parse_command(&input, &lexicon, &dictionary);
+    }
+
+    /// Truncations of a valid sentence: every prefix parses or errors
+    /// cleanly (the interactive-editing case).
+    #[test]
+    fn parser_never_panics_on_truncated_sentences(cut in 0usize..160) {
+        let sentence = "If humidity is higher than 80 percent and temperature is \
+                        higher than 28 degrees, turn on the air conditioner with \
+                        25 degrees of temperature setting.";
+        let cut = cut.min(sentence.len());
+        // Stay on a char boundary (ASCII here, but be safe).
+        let mut end = cut;
+        while !sentence.is_char_boundary(end) {
+            end -= 1;
+        }
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        let _ = parse_command(&sentence[..end], &lexicon, &dictionary);
+    }
+}

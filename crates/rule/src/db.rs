@@ -1,0 +1,325 @@
+//! The rule database: storage, per-device index, and import/export.
+//!
+//! The home server's conflict check begins by "extract\[ing\] from the
+//! database the set of rules which control the same device" (paper §4.4) —
+//! that extraction is served by the [`RuleDb::rules_for_device`] index and
+//! is the first timed phase of experiment E2.
+
+use crate::error::RuleError;
+use crate::rule::{Rule, RuleBuilder};
+use cadel_types::{DeviceId, PersonId, RuleId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// An indexed store of compiled rules.
+///
+/// # Example
+///
+/// ```
+/// use cadel_rule::{RuleDb, Rule, ActionSpec, Verb, Condition};
+/// use cadel_types::{DeviceId, PersonId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut db = RuleDb::new();
+/// let id = db.register(
+///     Rule::builder(PersonId::new("tom"))
+///         .action(ActionSpec::new(DeviceId::new("stereo"), Verb::Play)),
+/// )?;
+/// assert_eq!(db.rules_for_device(&DeviceId::new("stereo")).len(), 1);
+/// assert!(db.get(id).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RuleDb {
+    rules: BTreeMap<RuleId, Rule>,
+    by_device: HashMap<DeviceId, BTreeSet<RuleId>>,
+    by_owner: HashMap<PersonId, BTreeSet<RuleId>>,
+    next_id: RuleId,
+}
+
+impl RuleDb {
+    /// Creates an empty database.
+    pub fn new() -> RuleDb {
+        RuleDb::default()
+    }
+
+    /// Number of stored rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Finalizes a builder under a freshly allocated id and stores the
+    /// rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuleBuilder::build`] errors (over-complex condition,
+    /// missing action).
+    pub fn register(&mut self, builder: RuleBuilder) -> Result<RuleId, RuleError> {
+        let id = self.allocate_id();
+        let rule = builder.build(id)?;
+        self.index(&rule);
+        self.rules.insert(id, rule);
+        Ok(id)
+    }
+
+    /// Inserts an already-built rule, keeping its id (import path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::DuplicateRule`] if the id is taken.
+    pub fn insert(&mut self, rule: Rule) -> Result<(), RuleError> {
+        if self.rules.contains_key(&rule.id()) {
+            return Err(RuleError::DuplicateRule(rule.id()));
+        }
+        if rule.id() >= self.next_id {
+            self.next_id = rule.id().next();
+        }
+        self.index(&rule);
+        self.rules.insert(rule.id(), rule);
+        Ok(())
+    }
+
+    /// Allocates the next free rule id without storing anything.
+    pub fn allocate_id(&mut self) -> RuleId {
+        let id = self.next_id;
+        self.next_id = self.next_id.next();
+        id
+    }
+
+    fn index(&mut self, rule: &Rule) {
+        self.by_device
+            .entry(rule.action().device().clone())
+            .or_default()
+            .insert(rule.id());
+        self.by_owner
+            .entry(rule.owner().clone())
+            .or_default()
+            .insert(rule.id());
+    }
+
+    /// Removes a rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::UnknownRule`] if absent.
+    pub fn remove(&mut self, id: RuleId) -> Result<Rule, RuleError> {
+        let rule = self.rules.remove(&id).ok_or(RuleError::UnknownRule(id))?;
+        if let Some(set) = self.by_device.get_mut(rule.action().device()) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_device.remove(rule.action().device());
+            }
+        }
+        if let Some(set) = self.by_owner.get_mut(rule.owner()) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_owner.remove(rule.owner());
+            }
+        }
+        Ok(rule)
+    }
+
+    /// Looks up a rule by id.
+    pub fn get(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.get(&id)
+    }
+
+    /// Iterates over all rules in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.values()
+    }
+
+    /// The rules whose action targets `device`, in id order — the
+    /// extraction step of the paper's conflict check.
+    pub fn rules_for_device(&self, device: &DeviceId) -> Vec<&Rule> {
+        self.by_device
+            .get(device)
+            .map(|ids| ids.iter().filter_map(|id| self.rules.get(id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The rules registered by `owner`, in id order.
+    pub fn rules_of_owner(&self, owner: &PersonId) -> Vec<&Rule> {
+        self.by_owner
+            .get(owner)
+            .map(|ids| ids.iter().filter_map(|id| self.rules.get(id)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All devices that at least one rule targets.
+    pub fn targeted_devices(&self) -> Vec<&DeviceId> {
+        let mut devices: Vec<_> = self.by_device.keys().collect();
+        devices.sort();
+        devices
+    }
+
+    /// Serializes all rules to pretty JSON (paper §4.3(iv): export).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::Serialization`] on serializer failure.
+    pub fn export_json(&self) -> Result<String, RuleError> {
+        let rules: Vec<&Rule> = self.iter().collect();
+        serde_json::to_string_pretty(&rules)
+            .map_err(|e| RuleError::Serialization(e.to_string()))
+    }
+
+    /// Parses rules from JSON produced by [`RuleDb::export_json`] and
+    /// inserts them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::Serialization`] on malformed JSON and
+    /// [`RuleError::DuplicateRule`] on id collisions (rules inserted before
+    /// the collision remain inserted).
+    pub fn import_json(&mut self, json: &str) -> Result<Vec<RuleId>, RuleError> {
+        let rules: Vec<Rule> =
+            serde_json::from_str(json).map_err(|e| RuleError::Serialization(e.to_string()))?;
+        let mut ids = Vec::with_capacity(rules.len());
+        for rule in rules {
+            let id = rule.id();
+            self.insert(rule)?;
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+}
+
+/// Serialization proxy so the database round-trips as a flat rule list.
+impl Serialize for RuleDb {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let rules: Vec<&Rule> = self.iter().collect();
+        rules.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for RuleDb {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let rules = Vec::<Rule>::deserialize(deserializer)?;
+        let mut db = RuleDb::new();
+        for rule in rules {
+            db.insert(rule).map_err(serde::de::Error::custom)?;
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, EventAtom};
+    use crate::{ActionSpec, Condition, Verb};
+
+    fn builder(owner: &str, device: &str, event: &str) -> RuleBuilder {
+        Rule::builder(PersonId::new(owner))
+            .condition(Condition::Atom(Atom::Event(EventAtom::new(
+                "tv-guide", event,
+            ))))
+            .action(ActionSpec::new(DeviceId::new(device), Verb::TurnOn))
+    }
+
+    #[test]
+    fn register_allocates_sequential_ids() {
+        let mut db = RuleDb::new();
+        let a = db.register(builder("tom", "stereo", "e1")).unwrap();
+        let b = db.register(builder("alan", "tv", "e2")).unwrap();
+        assert_eq!(a.raw() + 1, b.raw());
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn device_index_serves_extraction() {
+        let mut db = RuleDb::new();
+        for i in 0..10 {
+            let device = if i % 3 == 0 { "tv" } else { "stereo" };
+            db.register(builder("tom", device, &format!("e{i}"))).unwrap();
+        }
+        let tv_rules = db.rules_for_device(&DeviceId::new("tv"));
+        assert_eq!(tv_rules.len(), 4);
+        assert!(tv_rules
+            .iter()
+            .all(|r| r.action().device().as_str() == "tv"));
+        assert!(db.rules_for_device(&DeviceId::new("toaster")).is_empty());
+        assert_eq!(db.targeted_devices().len(), 2);
+    }
+
+    #[test]
+    fn owner_index() {
+        let mut db = RuleDb::new();
+        db.register(builder("tom", "tv", "a")).unwrap();
+        db.register(builder("alan", "tv", "b")).unwrap();
+        db.register(builder("tom", "stereo", "c")).unwrap();
+        assert_eq!(db.rules_of_owner(&PersonId::new("tom")).len(), 2);
+        assert_eq!(db.rules_of_owner(&PersonId::new("emily")).len(), 0);
+    }
+
+    #[test]
+    fn remove_updates_indices() {
+        let mut db = RuleDb::new();
+        let id = db.register(builder("tom", "tv", "a")).unwrap();
+        db.register(builder("tom", "tv", "b")).unwrap();
+        let removed = db.remove(id).unwrap();
+        assert_eq!(removed.id(), id);
+        assert_eq!(db.rules_for_device(&DeviceId::new("tv")).len(), 1);
+        assert_eq!(db.rules_of_owner(&PersonId::new("tom")).len(), 1);
+        assert!(matches!(db.remove(id), Err(RuleError::UnknownRule(_))));
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_and_advances_ids() {
+        let mut db = RuleDb::new();
+        let rule = builder("tom", "tv", "a").build(RuleId::new(41)).unwrap();
+        db.insert(rule.clone()).unwrap();
+        assert!(matches!(
+            db.insert(rule),
+            Err(RuleError::DuplicateRule(_))
+        ));
+        // Fresh registrations continue past the imported id.
+        let next = db.register(builder("tom", "tv", "b")).unwrap();
+        assert!(next.raw() > 41);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut db = RuleDb::new();
+        db.register(builder("tom", "stereo", "jazz")).unwrap();
+        db.register(builder("emily", "tv", "movie")).unwrap();
+        let json = db.export_json().unwrap();
+
+        let mut restored = RuleDb::new();
+        let ids = restored.import_json(&json).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(
+            restored.rules_for_device(&DeviceId::new("tv")).len(),
+            1
+        );
+        // Importing the same JSON again collides.
+        assert!(restored.import_json(&json).is_err());
+    }
+
+    #[test]
+    fn import_rejects_malformed_json() {
+        let mut db = RuleDb::new();
+        assert!(matches!(
+            db.import_json("not json"),
+            Err(RuleError::Serialization(_))
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip_of_whole_db() {
+        let mut db = RuleDb::new();
+        db.register(builder("tom", "stereo", "jazz")).unwrap();
+        let json = serde_json::to_string(&db).unwrap();
+        let restored: RuleDb = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.len(), 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Home-server errors.
+
+use crate::access::AccessDenied;
+use cadel_conflict::ConflictError;
+use cadel_engine::EngineError;
+use cadel_lang::LangError;
+use cadel_rule::RuleError;
+use cadel_types::{PersonId, RuleId};
+use cadel_upnp::UpnpError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the home server's workflows.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Parsing or compiling a CADEL sentence failed.
+    Lang(LangError),
+    /// The rule layer failed.
+    Rule(RuleError),
+    /// Consistency/conflict checking failed.
+    Conflict(ConflictError),
+    /// The execution engine failed.
+    Engine(EngineError),
+    /// A device interaction failed.
+    Upnp(UpnpError),
+    /// The referenced user is not registered.
+    UnknownUser(PersonId),
+    /// A user with this id already exists.
+    DuplicateUser(PersonId),
+    /// No pending registration with this ticket exists.
+    UnknownPending(RuleId),
+    /// The access-control policy denied the operation.
+    AccessDenied(AccessDenied),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Lang(e) => write!(f, "{e}"),
+            ServerError::Rule(e) => write!(f, "rule error: {e}"),
+            ServerError::Conflict(e) => write!(f, "conflict error: {e}"),
+            ServerError::Engine(e) => write!(f, "engine error: {e}"),
+            ServerError::Upnp(e) => write!(f, "device error: {e}"),
+            ServerError::UnknownUser(p) => write!(f, "unknown user {p}"),
+            ServerError::DuplicateUser(p) => write!(f, "user {p} already exists"),
+            ServerError::UnknownPending(id) => {
+                write!(f, "no pending registration for {id}")
+            }
+            ServerError::AccessDenied(d) => write!(f, "access denied: {d}"),
+        }
+    }
+}
+
+impl Error for ServerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServerError::Lang(e) => Some(e),
+            ServerError::Rule(e) => Some(e),
+            ServerError::Conflict(e) => Some(e),
+            ServerError::Engine(e) => Some(e),
+            ServerError::Upnp(e) => Some(e),
+            ServerError::AccessDenied(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LangError> for ServerError {
+    fn from(e: LangError) -> Self {
+        ServerError::Lang(e)
+    }
+}
+
+impl From<RuleError> for ServerError {
+    fn from(e: RuleError) -> Self {
+        ServerError::Rule(e)
+    }
+}
+
+impl From<ConflictError> for ServerError {
+    fn from(e: ConflictError) -> Self {
+        ServerError::Conflict(e)
+    }
+}
+
+impl From<EngineError> for ServerError {
+    fn from(e: EngineError) -> Self {
+        ServerError::Engine(e)
+    }
+}
+
+impl From<UpnpError> for ServerError {
+    fn from(e: UpnpError) -> Self {
+        ServerError::Upnp(e)
+    }
+}
+
+impl From<AccessDenied> for ServerError {
+    fn from(e: AccessDenied) -> Self {
+        ServerError::AccessDenied(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ServerError>();
+        let e = ServerError::UnknownUser(PersonId::new("ghost"));
+        assert!(e.to_string().contains("ghost"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,400 @@
+//! The rule-description guidance service (paper §4.3, Figs 4–6).
+//!
+//! During rule description users "retrieve contexts and related sensors"
+//! and "retrieve devices" by combining criteria — keyword, action, sensor
+//! type, sensor/device name, location, and user-defined words. This module
+//! is the programmatic form of those dialog boxes; the GUI of the paper is
+//! replaced by example binaries that render the results as text (see
+//! DESIGN.md's substitution table).
+
+use cadel_lang::ast::{CondExprAst, CondKind};
+use cadel_lang::Dictionary;
+use cadel_types::{LocationSelector, Topology, Value};
+use cadel_upnp::{ControlPoint, DeviceDescription};
+
+/// A compound query over the device registry (Fig. 6: retrieval by
+/// keyword, action, and location — plus name and device type).
+///
+/// All populated criteria must match (conjunction); an empty query matches
+/// every device.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceQuery {
+    keyword: Option<String>,
+    action: Option<String>,
+    name: Option<String>,
+    device_type: Option<String>,
+    location: LocationSelector,
+}
+
+impl DeviceQuery {
+    /// An unconstrained query.
+    pub fn new() -> DeviceQuery {
+        DeviceQuery::default()
+    }
+
+    /// Requires a retrieval keyword ("temperature", "music", …).
+    #[must_use]
+    pub fn keyword(mut self, keyword: impl Into<String>) -> DeviceQuery {
+        self.keyword = Some(keyword.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Requires the device to offer an action ("TurnOn", "Record", …).
+    #[must_use]
+    pub fn action(mut self, action: impl Into<String>) -> DeviceQuery {
+        self.action = Some(action.into());
+        self
+    }
+
+    /// Requires a friendly name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> DeviceQuery {
+        self.name = Some(name.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Requires a device type URN.
+    #[must_use]
+    pub fn device_type(mut self, device_type: impl Into<String>) -> DeviceQuery {
+        self.device_type = Some(device_type.into().to_ascii_lowercase());
+        self
+    }
+
+    /// Restricts to a location scope.
+    #[must_use]
+    pub fn within(mut self, location: LocationSelector) -> DeviceQuery {
+        self.location = location;
+        self
+    }
+
+    fn matches(&self, description: &DeviceDescription, topology: &Topology) -> bool {
+        if let Some(keyword) = &self.keyword {
+            if !description.keywords().iter().any(|k| k == keyword) {
+                return false;
+            }
+        }
+        if let Some(action) = &self.action {
+            if description.find_action(action).is_none() {
+                return false;
+            }
+        }
+        if let Some(name) = &self.name {
+            if !description.friendly_name().eq_ignore_ascii_case(name) {
+                return false;
+            }
+        }
+        if let Some(device_type) = &self.device_type {
+            if !description.device_type().eq_ignore_ascii_case(device_type) {
+                return false;
+            }
+        }
+        match (&self.location, description.location()) {
+            (LocationSelector::Anywhere, _) => true,
+            (_, None) => false,
+            (scope, Some(place)) => topology.matches(scope, place).unwrap_or(false),
+        }
+    }
+}
+
+/// One sensor surfaced by a sensor query: the variable, where it lives,
+/// and its current reading (Fig. 5 shows users "the value of a sensor").
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensorMatch {
+    /// The device exposing the variable.
+    pub device: cadel_types::DeviceId,
+    /// The device's friendly name.
+    pub device_name: String,
+    /// The variable name ("temperature").
+    pub variable: String,
+    /// The device's location, if known.
+    pub location: Option<cadel_types::PlaceId>,
+    /// The current reading, when the device answers.
+    pub current_value: Option<Value>,
+}
+
+/// The guidance/lookup service.
+pub struct GuidanceService<'a> {
+    control: &'a ControlPoint,
+    topology: &'a Topology,
+}
+
+impl<'a> GuidanceService<'a> {
+    /// Creates the service over a control point and the home topology.
+    pub fn new(control: &'a ControlPoint, topology: &'a Topology) -> GuidanceService<'a> {
+        GuidanceService { control, topology }
+    }
+
+    /// Retrieves devices matching a query, sorted by friendly name.
+    pub fn find_devices(&self, query: &DeviceQuery) -> Vec<DeviceDescription> {
+        let mut out: Vec<DeviceDescription> = self
+            .control
+            .registry()
+            .descriptions()
+            .into_iter()
+            .filter(|d| query.matches(d, self.topology))
+            .collect();
+        out.sort_by(|a, b| a.friendly_name().cmp(b.friendly_name()));
+        out
+    }
+
+    /// Retrieves sensors by variable category ("temperature") and
+    /// location, with live readings (Fig. 5).
+    pub fn find_sensors(
+        &self,
+        variable: &str,
+        location: &LocationSelector,
+    ) -> Vec<SensorMatch> {
+        let mut out = Vec::new();
+        for description in self.control.registry().descriptions() {
+            let Some((_, var)) = description.find_variable(variable) else {
+                continue;
+            };
+            let in_scope = match (location, description.location()) {
+                (LocationSelector::Anywhere, _) => true,
+                (_, None) => false,
+                (scope, Some(place)) => self.topology.matches(scope, place).unwrap_or(false),
+            };
+            if !in_scope {
+                continue;
+            }
+            let current_value = self
+                .control
+                .query(description.udn(), var.name())
+                .ok();
+            out.push(SensorMatch {
+                device: description.udn().clone(),
+                device_name: description.friendly_name().to_owned(),
+                variable: var.name().to_owned(),
+                location: description.location().cloned(),
+                current_value,
+            });
+        }
+        out.sort_by(|a, b| a.device.cmp(&b.device));
+        out
+    }
+
+    /// Retrieves the sensors a user-defined condition word refers to
+    /// (Fig. 5: "sensors which can measure temperature and humidity can be
+    /// retrieved by the word 'hot and stuffy'").
+    pub fn sensors_for_word(
+        &self,
+        word: &str,
+        dictionary: &Dictionary,
+        location: &LocationSelector,
+    ) -> Vec<SensorMatch> {
+        let Some(expr) = dictionary.condition(word) else {
+            return Vec::new();
+        };
+        let mut categories = Vec::new();
+        collect_sensor_categories(expr, &mut categories);
+        categories.sort();
+        categories.dedup();
+        let mut out = Vec::new();
+        for category in categories {
+            out.extend(self.find_sensors(&category, location));
+        }
+        out
+    }
+
+    /// The actions a device allows (Fig. 6's action panel).
+    pub fn device_actions(&self, udn: &cadel_types::DeviceId) -> Vec<String> {
+        self.control
+            .registry()
+            .description(udn)
+            .map(|d| d.action_names().into_iter().map(str::to_owned).collect())
+            .unwrap_or_default()
+    }
+
+    /// The user-defined words that mention a sensor category — the reverse
+    /// lookup of [`GuidanceService::sensors_for_word`] ("information about
+    /// … user defined words can be retrieved by specifying sensors").
+    pub fn words_for_sensor(&self, category: &str, dictionary: &Dictionary) -> Vec<String> {
+        let category = category.to_ascii_lowercase();
+        let mut out = Vec::new();
+        for word in dictionary.condition_words() {
+            if let Some(expr) = dictionary.condition(word) {
+                let mut categories = Vec::new();
+                collect_sensor_categories(expr, &mut categories);
+                if categories.iter().any(|c| *c == category) {
+                    out.push(word.to_owned());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collects the sensor categories (comparison subjects and ambient kinds)
+/// mentioned by a condition expression.
+fn collect_sensor_categories(expr: &CondExprAst, out: &mut Vec<String>) {
+    match expr {
+        CondExprAst::Or(terms) | CondExprAst::And(terms) => {
+            for t in terms {
+                collect_sensor_categories(t, out);
+            }
+        }
+        CondExprAst::Leaf(cond) => match &cond.kind {
+            CondKind::Compare { subject, .. } => {
+                out.push(subject.name.join(" ").to_ascii_lowercase());
+            }
+            CondKind::State { state, .. } => {
+                if let cadel_lang::StatePhrase::Ambient { kind, .. } = state {
+                    out.push(kind.to_ascii_lowercase());
+                }
+            }
+            _ => {}
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_devices::LivingRoomHome;
+    use cadel_lang::{parse_command, Lexicon};
+    use cadel_types::PlaceId;
+    use cadel_upnp::Registry;
+
+    fn setup() -> (ControlPoint, Topology, LivingRoomHome) {
+        let registry = Registry::new();
+        let home = LivingRoomHome::install(&registry);
+        let mut topology = Topology::new("home");
+        topology.add_floor("first floor").unwrap();
+        topology.add_room("living room", "first floor").unwrap();
+        topology.add_room("hall", "first floor").unwrap();
+        (ControlPoint::new(registry), topology, home)
+    }
+
+    #[test]
+    fn keyword_queries() {
+        let (cp, topo, _home) = setup();
+        let g = GuidanceService::new(&cp, &topo);
+        let results = g.find_devices(&DeviceQuery::new().keyword("temperature"));
+        // Air conditioner + thermometer both carry the keyword.
+        let names: Vec<&str> = results.iter().map(|d| d.friendly_name()).collect();
+        assert_eq!(names, ["Air Conditioner", "Thermometer"]);
+    }
+
+    #[test]
+    fn action_and_location_queries_compose() {
+        let (cp, topo, _home) = setup();
+        let g = GuidanceService::new(&cp, &topo);
+        // Devices in the hall that can TurnOn: the hall light and alarm.
+        let results = g.find_devices(
+            &DeviceQuery::new()
+                .action("TurnOn")
+                .within(LocationSelector::within("hall")),
+        );
+        let names: Vec<&str> = results.iter().map(|d| d.friendly_name()).collect();
+        assert_eq!(names, ["Alarm", "Light"]);
+    }
+
+    #[test]
+    fn floor_scope_covers_rooms() {
+        let (cp, topo, _home) = setup();
+        let g = GuidanceService::new(&cp, &topo);
+        let all = g.find_devices(
+            &DeviceQuery::new().within(LocationSelector::within("first floor")),
+        );
+        // Everything except the unlocated TV guide.
+        assert_eq!(all.len(), 14);
+    }
+
+    #[test]
+    fn name_and_type_queries() {
+        let (cp, topo, _home) = setup();
+        let g = GuidanceService::new(&cp, &topo);
+        let tv = g.find_devices(&DeviceQuery::new().name("TV"));
+        assert_eq!(tv.len(), 1);
+        let lights = g.find_devices(&DeviceQuery::new().device_type("urn:cadel:device:light:1"));
+        assert_eq!(lights.len(), 3);
+    }
+
+    #[test]
+    fn sensor_retrieval_reports_live_values() {
+        let (cp, topo, home) = setup();
+        home.thermometer
+            .set_reading(cadel_types::Rational::from_integer(28), cadel_types::SimTime::EPOCH)
+            .unwrap();
+        let g = GuidanceService::new(&cp, &topo);
+        let sensors = g.find_sensors("temperature", &LocationSelector::Anywhere);
+        assert_eq!(sensors.len(), 1);
+        assert_eq!(sensors[0].device.as_str(), "thermo-lr");
+        assert_eq!(
+            sensors[0].current_value,
+            Some(Value::Number(cadel_types::Quantity::from_integer(
+                28,
+                cadel_types::Unit::Celsius
+            )))
+        );
+        // Location scoping.
+        let none = g.find_sensors("temperature", &LocationSelector::within("hall"));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn user_word_retrieves_its_sensors() {
+        let (cp, topo, _home) = setup();
+        let g = GuidanceService::new(&cp, &topo);
+        let lexicon = Lexicon::english();
+        let mut dictionary = Dictionary::new();
+        let cmd = parse_command(
+            "Let's call the condition that humidity is higher than 60 percent and \
+             temperature is higher than 28 degrees hot and stuffy",
+            &lexicon,
+            &dictionary,
+        )
+        .unwrap();
+        if let cadel_lang::ast::Command::CondDef(def) = cmd {
+            dictionary.define_condition(&def.word, def.expr);
+        }
+        let sensors =
+            g.sensors_for_word("hot and stuffy", &dictionary, &LocationSelector::Anywhere);
+        let devices: Vec<&str> = sensors.iter().map(|s| s.device.as_str()).collect();
+        assert_eq!(devices, ["hygro-lr", "thermo-lr"]);
+        // The reverse lookup finds the word from either sensor category.
+        assert_eq!(
+            g.words_for_sensor("temperature", &dictionary),
+            vec!["hot and stuffy".to_owned()]
+        );
+        assert_eq!(
+            g.words_for_sensor("humidity", &dictionary),
+            vec!["hot and stuffy".to_owned()]
+        );
+        assert!(g.words_for_sensor("illuminance", &dictionary).is_empty());
+    }
+
+    #[test]
+    fn device_actions_lookup() {
+        let (cp, topo, _home) = setup();
+        let g = GuidanceService::new(&cp, &topo);
+        let actions = g.device_actions(&cadel_types::DeviceId::new("aircon-lr"));
+        assert!(actions.contains(&"TurnOn".to_owned()));
+        assert!(actions.contains(&"SetTemperature".to_owned()));
+        assert!(g
+            .device_actions(&cadel_types::DeviceId::new("ghost"))
+            .is_empty());
+    }
+
+    #[test]
+    fn unlocated_devices_excluded_from_scoped_queries() {
+        let (cp, topo, _home) = setup();
+        let g = GuidanceService::new(&cp, &topo);
+        let scoped = g.find_devices(
+            &DeviceQuery::new()
+                .keyword("epg")
+                .within(LocationSelector::within("hall")),
+        );
+        assert!(scoped.is_empty());
+        let anywhere = g.find_devices(&DeviceQuery::new().keyword("epg"));
+        assert_eq!(anywhere.len(), 1);
+    }
+
+    #[test]
+    fn hall_devices_via_place_struct() {
+        let (cp, topo, _home) = setup();
+        let g = GuidanceService::new(&cp, &topo);
+        let q = DeviceQuery::new().within(LocationSelector::Within(PlaceId::new("hall")));
+        assert_eq!(g.find_devices(&q).len(), 5);
+    }
+}

@@ -1,0 +1,39 @@
+//! The CADEL home server.
+//!
+//! "We suppose that most functionalities of the proposed framework are
+//! implemented in a home server(s). Any PC or set-top box can be a home
+//! server." (paper §4.1)
+//!
+//! This crate assembles the framework's modules into that server:
+//!
+//! * [`HomeServer`] — the rule registration workflow (parse → compile →
+//!   consistency check → conflict check → priority prompt → store), rule
+//!   import/export, and the engine step loop.
+//! * [`GuidanceService`] — the retrieval/lookup service behind the rule
+//!   description GUI of Figs 4–6 (devices by keyword/action/name/type/
+//!   location; sensors by category, location, or user-defined word; the
+//!   allowed actions of a device).
+//! * [`UserRegistry`] — occupants and their private vocabularies layered
+//!   over the shared household dictionary.
+//! * [`RegistryResolver`] — the compiler's name environment backed by the
+//!   live UPnP registry and the home topology.
+//! * [`AccessControl`] — per-user device privileges (the paper's §6
+//!   future work): observe/control/arbitrate capabilities scoped to a
+//!   device, a device type, or the whole home.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod error;
+pub mod guidance;
+pub mod resolver;
+pub mod server;
+pub mod users;
+
+pub use access::{AccessControl, AccessDenied, Privilege, Scope};
+pub use error::ServerError;
+pub use guidance::{DeviceQuery, GuidanceService, SensorMatch};
+pub use resolver::RegistryResolver;
+pub use server::{HomeServer, ImportReport, SubmitOutcome};
+pub use users::{UserProfile, UserRegistry};

@@ -1,0 +1,222 @@
+//! The compiler's name environment, backed by the live UPnP registry.
+//!
+//! When a user writes "turn on the light at the hall", the compiler asks
+//! this resolver what "light" at place "hall" denotes. Resolution walks
+//! the registry's cached device descriptions — the same data the guidance
+//! service browses — so a rule can only ever bind to devices that really
+//! exist, which is exactly the paper's argument for the lookup service
+//! (§3.2: users "can reach the target sensors and devices quickly").
+
+use crate::users::UserRegistry;
+use cadel_lang::Resolver;
+use cadel_types::{DeviceId, PersonId, PlaceId, SensorKey, Topology, Unit};
+use cadel_upnp::Registry;
+
+/// A [`Resolver`] over the device registry, home topology and user
+/// registry.
+pub struct RegistryResolver<'a> {
+    registry: &'a Registry,
+    topology: &'a Topology,
+    users: &'a UserRegistry,
+}
+
+impl<'a> RegistryResolver<'a> {
+    /// Creates a resolver.
+    pub fn new(
+        registry: &'a Registry,
+        topology: &'a Topology,
+        users: &'a UserRegistry,
+    ) -> RegistryResolver<'a> {
+        RegistryResolver {
+            registry,
+            topology,
+            users,
+        }
+    }
+
+    fn place_matches(&self, device_place: Option<&PlaceId>, scope: &PlaceId) -> bool {
+        match device_place {
+            Some(p) => self.topology.contains(scope, p).unwrap_or(p == scope),
+            None => false,
+        }
+    }
+
+    /// Devices with the given friendly name (fallback: keyword),
+    /// optionally filtered by location.
+    fn device_candidates(&self, name: &str, location: Option<&PlaceId>) -> Vec<DeviceId> {
+        let mut candidates = self.registry.find_by_name(name);
+        if candidates.is_empty() {
+            candidates = self.registry.find_by_keyword(name);
+        }
+        match location {
+            None => candidates,
+            Some(loc) => candidates
+                .into_iter()
+                .filter(|udn| {
+                    self.registry
+                        .description(udn)
+                        .ok()
+                        .map(|d| self.place_matches(d.location(), loc))
+                        .unwrap_or(false)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Resolver for RegistryResolver<'_> {
+    fn resolve_person(&self, name: &str) -> Option<PersonId> {
+        let id = PersonId::new(name.to_ascii_lowercase());
+        self.users.contains(&id).then_some(id)
+    }
+
+    fn resolve_place(&self, name: &str) -> Option<PlaceId> {
+        let id = PlaceId::new(name);
+        self.topology.knows(&id).then_some(id)
+    }
+
+    fn resolve_device(&self, name: &str, location: Option<&PlaceId>) -> Option<DeviceId> {
+        let candidates = self.device_candidates(name, location);
+        // Ambiguity is an error the user must fix by adding a location.
+        if candidates.len() == 1 {
+            candidates.into_iter().next()
+        } else {
+            None
+        }
+    }
+
+    fn resolve_sensor(&self, name: &str, location: Option<&PlaceId>) -> Option<SensorKey> {
+        // A sensor reference names a state *variable* category
+        // ("temperature", "humidity"): find the devices exposing it.
+        let mut candidates: Vec<SensorKey> = Vec::new();
+        for description in self.registry.descriptions() {
+            if let Some((_, var)) = description.find_variable(name) {
+                let in_scope = match location {
+                    None => true,
+                    Some(loc) => self.place_matches(description.location(), loc),
+                };
+                if in_scope {
+                    candidates.push(SensorKey::new(
+                        description.udn().clone(),
+                        var.name().to_owned(),
+                    ));
+                }
+            }
+        }
+        candidates.sort();
+        if candidates.len() == 1 {
+            candidates.into_iter().next()
+        } else {
+            None
+        }
+    }
+
+    fn ambient_sensor(&self, place: &PlaceId, kind: &str) -> Option<SensorKey> {
+        let mut candidates: Vec<SensorKey> = Vec::new();
+        for description in self.registry.descriptions() {
+            if !self.place_matches(description.location(), place) {
+                continue;
+            }
+            if let Some((_, var)) = description.find_variable(kind) {
+                candidates.push(SensorKey::new(
+                    description.udn().clone(),
+                    var.name().to_owned(),
+                ));
+            }
+        }
+        candidates.sort();
+        candidates.into_iter().next()
+    }
+
+    fn sensor_unit(&self, sensor: &SensorKey) -> Option<Unit> {
+        self.registry
+            .description(sensor.device())
+            .ok()
+            .and_then(|d| d.find_variable(sensor.variable()).and_then(|(_, v)| v.unit()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_devices::LivingRoomHome;
+
+    fn setup() -> (Registry, Topology, UserRegistry) {
+        let registry = Registry::new();
+        LivingRoomHome::install(&registry);
+        let mut topology = Topology::new("home");
+        topology.add_floor("first floor").unwrap();
+        topology.add_room("living room", "first floor").unwrap();
+        topology.add_room("hall", "first floor").unwrap();
+        let mut users = UserRegistry::new();
+        users.add_user("tom").unwrap();
+        users.add_user("alan").unwrap();
+        (registry, topology, users)
+    }
+
+    #[test]
+    fn resolves_people_and_places() {
+        let (registry, topology, users) = setup();
+        let r = RegistryResolver::new(&registry, &topology, &users);
+        assert_eq!(r.resolve_person("Tom"), Some(PersonId::new("tom")));
+        assert_eq!(r.resolve_person("zelda"), None);
+        assert_eq!(r.resolve_place("Living Room"), Some(PlaceId::new("living room")));
+        assert_eq!(r.resolve_place("garage"), None);
+    }
+
+    #[test]
+    fn resolves_devices_by_name_and_location() {
+        let (registry, topology, users) = setup();
+        let r = RegistryResolver::new(&registry, &topology, &users);
+        assert_eq!(
+            r.resolve_device("air conditioner", None),
+            Some(DeviceId::new("aircon-lr"))
+        );
+        // "light" exists both as the hall light's friendly name and as a
+        // keyword of three luminaires: scoping by place disambiguates.
+        let hall = PlaceId::new("hall");
+        assert_eq!(
+            r.resolve_device("light", Some(&hall)),
+            Some(DeviceId::new("light-hall"))
+        );
+        assert_eq!(r.resolve_device("jacuzzi", None), None);
+    }
+
+    #[test]
+    fn location_scoping_accepts_enclosing_floor() {
+        let (registry, topology, users) = setup();
+        let r = RegistryResolver::new(&registry, &topology, &users);
+        // The hall light is on the first floor.
+        let floor = PlaceId::new("first floor");
+        assert_eq!(
+            r.resolve_device("light", Some(&floor)),
+            Some(DeviceId::new("light-hall"))
+        );
+    }
+
+    #[test]
+    fn resolves_sensors_by_variable_category() {
+        let (registry, topology, users) = setup();
+        let r = RegistryResolver::new(&registry, &topology, &users);
+        let key = r.resolve_sensor("temperature", None).unwrap();
+        assert_eq!(key.device().as_str(), "thermo-lr");
+        assert_eq!(key.variable(), "temperature");
+        assert_eq!(r.sensor_unit(&key), Some(Unit::Celsius));
+        let key = r.resolve_sensor("humidity", None).unwrap();
+        assert_eq!(key.device().as_str(), "hygro-lr");
+        assert_eq!(r.resolve_sensor("radiation", None), None);
+    }
+
+    #[test]
+    fn ambient_sensor_for_place() {
+        let (registry, topology, users) = setup();
+        let r = RegistryResolver::new(&registry, &topology, &users);
+        let key = r
+            .ambient_sensor(&PlaceId::new("hall"), "illuminance")
+            .unwrap();
+        assert_eq!(key.device().as_str(), "lux-hall");
+        assert!(r
+            .ambient_sensor(&PlaceId::new("living room"), "illuminance")
+            .is_none());
+    }
+}

@@ -1,0 +1,705 @@
+//! The home server: the registration workflow tying everything together.
+//!
+//! "Whenever a new rule is described and registered in the system, the
+//! module evaluates the condition in the new rule to check whether it can
+//! hold … then the module checks whether it can conflict with other rules
+//! in the database … When the module detects a conflict, it warns the user
+//! to modify the new rule or to specify the priority order among the
+//! conflicting rules." (paper §4.4)
+//!
+//! [`HomeServer::submit`] runs that pipeline for a CADEL sentence:
+//! parse → compile (against the live registry) → consistency check →
+//! conflict check → either register, reject, or park the rule pending a
+//! priority decision ([`SubmitOutcome::ConflictDetected`]), which the
+//! caller settles with [`HomeServer::confirm_with_priority`] /
+//! [`HomeServer::confirm_pending`] / [`HomeServer::cancel_pending`] — the
+//! programmatic form of the Fig. 7 dialog.
+
+use crate::access::{AccessControl, Privilege};
+use crate::error::ServerError;
+use crate::guidance::GuidanceService;
+use crate::resolver::RegistryResolver;
+use crate::users::UserRegistry;
+use cadel_conflict::{
+    check_consistency, find_conflicts, Conflict, ConsistencyReport, PriorityOrder,
+};
+use cadel_engine::{Engine, StepReport};
+use cadel_lang::ast::Command;
+use cadel_lang::{parse_command, Compiler, Lexicon};
+use cadel_rule::{Condition, Rule};
+use cadel_types::{PersonId, RuleId, SimTime, Topology};
+use cadel_upnp::ControlPoint;
+use std::collections::HashMap;
+
+/// What happened to a submitted CADEL sentence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SubmitOutcome {
+    /// The rule was consistent, conflict-free and is now live.
+    Registered {
+        /// The new rule's id.
+        id: RuleId,
+        /// Indices of DNF disjuncts that can never hold (worth a warning).
+        dead_conjuncts: Vec<usize>,
+    },
+    /// The rule's condition can never hold; nothing was stored.
+    RejectedInconsistent {
+        /// The consistency report to show the user.
+        report: ConsistencyReport,
+    },
+    /// The rule conflicts with existing rules; it is parked until the
+    /// user answers the priority prompt.
+    ConflictDetected {
+        /// Ticket for the pending rule (its allocated id).
+        ticket: RuleId,
+        /// The detected conflicts, with witnesses.
+        conflicts: Vec<Conflict>,
+    },
+    /// A `<CondDef>` sentence defined a condition word.
+    ConditionWordDefined {
+        /// The new word.
+        word: String,
+    },
+    /// A `<ConfDef>` sentence defined a configuration word.
+    ConfigurationWordDefined {
+        /// The new word.
+        word: String,
+    },
+}
+
+struct PendingRule {
+    rule: Rule,
+    conflicts: Vec<Conflict>,
+}
+
+/// The outcome of a bulk rule import (paper §4.3(iv)).
+#[derive(Debug, Default)]
+pub struct ImportReport {
+    /// Rules imported and registered, in order.
+    pub imported: Vec<RuleId>,
+    /// Rules skipped, with the reason.
+    pub skipped: Vec<(String, String)>,
+}
+
+/// The home server.
+pub struct HomeServer {
+    engine: Engine,
+    topology: Topology,
+    users: UserRegistry,
+    lexicon: Lexicon,
+    pending: HashMap<RuleId, PendingRule>,
+    access: AccessControl,
+}
+
+impl HomeServer {
+    /// Creates a server over a control point with the given home topology
+    /// and the English lexicon.
+    pub fn new(control: ControlPoint, topology: Topology) -> HomeServer {
+        let engine = Engine::new(control);
+        let mut access = AccessControl::new();
+        for description in engine.control().registry().descriptions() {
+            access.register_device_type(description.udn().clone(), description.device_type());
+        }
+        HomeServer {
+            engine,
+            topology,
+            users: UserRegistry::new(),
+            lexicon: Lexicon::english(),
+            pending: HashMap::new(),
+            access,
+        }
+    }
+
+    /// The access-control policy (paper §6 future work). Permissive until
+    /// [`AccessControl::set_enforcing`] is turned on.
+    pub fn access(&self) -> &AccessControl {
+        &self.access
+    }
+
+    /// Mutable access-control policy.
+    pub fn access_mut(&mut self) -> &mut AccessControl {
+        &mut self.access
+    }
+
+    /// Replaces the lexicon (e.g. with a translated CADEL vocabulary).
+    pub fn set_lexicon(&mut self, lexicon: Lexicon) {
+        self.lexicon = lexicon;
+    }
+
+    /// Registers an occupant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::DuplicateUser`] when the name is taken.
+    pub fn add_user(&mut self, name: &str) -> Result<PersonId, ServerError> {
+        self.users.add_user(name)
+    }
+
+    /// The user registry.
+    pub fn users(&self) -> &UserRegistry {
+        &self.users
+    }
+
+    /// Mutable user-registry access.
+    pub fn users_mut(&mut self) -> &mut UserRegistry {
+        &mut self.users
+    }
+
+    /// The home topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The execution engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access (priorities, direct rule management).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// The guidance/lookup service.
+    pub fn guidance(&self) -> GuidanceService<'_> {
+        GuidanceService::new(self.engine.control(), &self.topology)
+    }
+
+    /// Advances the engine one step.
+    pub fn step(&mut self, now: SimTime) -> StepReport {
+        self.engine.step(now)
+    }
+
+    /// Submits one CADEL sentence from a user and runs the full
+    /// registration workflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError`] on parse/compile failures, unknown users,
+    /// or solver errors. A rule that merely *conflicts* is not an error —
+    /// see [`SubmitOutcome::ConflictDetected`].
+    pub fn submit(
+        &mut self,
+        user: &PersonId,
+        sentence: &str,
+    ) -> Result<SubmitOutcome, ServerError> {
+        let dictionary = self.users.effective_dictionary(user)?;
+        let command = parse_command(sentence, &self.lexicon, &dictionary)
+            .map_err(cadel_lang::LangError::from)?;
+
+        let registry = self.engine.control().registry().clone();
+        match command {
+            Command::CondDef(def) => {
+                // Validate the definition resolves before storing it.
+                {
+                    let resolver = RegistryResolver::new(&registry, &self.topology, &self.users);
+                    let compiler = Compiler::new(&resolver, &dictionary, user.clone());
+                    compiler
+                        .compile_cond_expr(&def.expr)
+                        .map_err(cadel_lang::LangError::from)?;
+                }
+                self.users
+                    .user_mut(user)?
+                    .dictionary_mut()
+                    .define_condition(&def.word, def.expr);
+                Ok(SubmitOutcome::ConditionWordDefined { word: def.word })
+            }
+            Command::ConfDef(def) => {
+                self.users
+                    .user_mut(user)?
+                    .dictionary_mut()
+                    .define_configuration(&def.word, def.settings);
+                Ok(SubmitOutcome::ConfigurationWordDefined { word: def.word })
+            }
+            Command::Rule(sentence_ast) => {
+                let builder = {
+                    let resolver = RegistryResolver::new(&registry, &self.topology, &self.users);
+                    let compiler = Compiler::new(&resolver, &dictionary, user.clone());
+                    compiler
+                        .compile_rule(&sentence_ast)
+                        .map_err(cadel_lang::LangError::from)?
+                };
+                let id = self.engine.rules_mut().allocate_id();
+                let rule = builder.label(sentence).build(id)?;
+                self.register_rule(rule)
+            }
+        }
+    }
+
+    /// Registers an already-compiled rule through the same consistency and
+    /// conflict workflow (used by `submit`, imports, and IR-level
+    /// scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Conflict`] on solver failures.
+    pub fn register_rule(&mut self, rule: Rule) -> Result<SubmitOutcome, ServerError> {
+        self.access.check_rule(&rule)?;
+        let report = check_consistency(&rule)?;
+        if !report.is_satisfiable() {
+            return Ok(SubmitOutcome::RejectedInconsistent { report });
+        }
+        let conflicts = find_conflicts(self.engine.rules(), &rule)?;
+        if conflicts.is_empty() {
+            let id = rule.id();
+            self.engine.add_rule(rule)?;
+            return Ok(SubmitOutcome::Registered {
+                id,
+                dead_conjuncts: report.dead_conjuncts().to_vec(),
+            });
+        }
+        let ticket = rule.id();
+        self.pending.insert(
+            ticket,
+            PendingRule { rule, conflicts },
+        );
+        let conflicts = self.pending[&ticket].conflicts.clone();
+        Ok(SubmitOutcome::ConflictDetected { ticket, conflicts })
+    }
+
+    /// The conflicts of a pending registration.
+    pub fn pending_conflicts(&self, ticket: RuleId) -> Option<&[Conflict]> {
+        self.pending.get(&ticket).map(|p| p.conflicts.as_slice())
+    }
+
+    /// Registers a pending rule together with a priority order over the
+    /// conflicting rules (highest first), optionally scoped to a context —
+    /// the "OK" path of the Fig. 7 dialog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownPending`] for unknown tickets.
+    pub fn confirm_with_priority(
+        &mut self,
+        ticket: RuleId,
+        ranking: Vec<RuleId>,
+        context: Option<Condition>,
+        label: Option<String>,
+    ) -> Result<RuleId, ServerError> {
+        let pending = self
+            .pending
+            .remove(&ticket)
+            .ok_or(ServerError::UnknownPending(ticket))?;
+        let device = pending.rule.action().device().clone();
+        let mut order = PriorityOrder::new(device, ranking);
+        if let Some(context) = context {
+            order = order.in_context(context);
+        }
+        if let Some(label) = label {
+            order = order.with_label(label);
+        }
+        self.engine.add_priority(order);
+        self.engine.add_rule(pending.rule)?;
+        Ok(ticket)
+    }
+
+    /// Like [`HomeServer::confirm_with_priority`], but on behalf of a
+    /// specific user whose [`Privilege::Arbitrate`] right over the device
+    /// is checked first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::AccessDenied`] when the user may not
+    /// arbitrate the device, and [`ServerError::UnknownPending`] for
+    /// unknown tickets.
+    pub fn confirm_with_priority_as(
+        &mut self,
+        user: &PersonId,
+        ticket: RuleId,
+        ranking: Vec<RuleId>,
+        context: Option<Condition>,
+        label: Option<String>,
+    ) -> Result<RuleId, ServerError> {
+        let device = self
+            .pending
+            .get(&ticket)
+            .ok_or(ServerError::UnknownPending(ticket))?
+            .rule
+            .action()
+            .device()
+            .clone();
+        self.access.check(user, &device, Privilege::Arbitrate)?;
+        self.confirm_with_priority(ticket, ranking, context, label)
+    }
+
+    /// Registers a pending rule keeping the existing priority orders (the
+    /// user accepted the current arrangement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownPending`] for unknown tickets.
+    pub fn confirm_pending(&mut self, ticket: RuleId) -> Result<RuleId, ServerError> {
+        let pending = self
+            .pending
+            .remove(&ticket)
+            .ok_or(ServerError::UnknownPending(ticket))?;
+        self.engine.add_rule(pending.rule)?;
+        Ok(ticket)
+    }
+
+    /// Abandons a pending registration (the user chose to modify the rule
+    /// instead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownPending`] for unknown tickets.
+    pub fn cancel_pending(&mut self, ticket: RuleId) -> Result<(), ServerError> {
+        self.pending
+            .remove(&ticket)
+            .map(|_| ())
+            .ok_or(ServerError::UnknownPending(ticket))
+    }
+
+    /// Exports every registered rule as JSON (paper §4.3(iv)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Rule`] on serialization failure.
+    pub fn export_rules(&self) -> Result<String, ServerError> {
+        Ok(self.engine.rules().export_json()?)
+    }
+
+    /// Imports rules from JSON, re-assigning them to `new_owner` with
+    /// fresh ids and running each through the consistency/conflict
+    /// workflow. Conflicting or inconsistent rules are skipped and
+    /// reported, never silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Rule`] when the JSON itself is malformed.
+    pub fn import_rules(
+        &mut self,
+        new_owner: &PersonId,
+        json: &str,
+    ) -> Result<ImportReport, ServerError> {
+        if !self.users.contains(new_owner) {
+            return Err(ServerError::UnknownUser(new_owner.clone()));
+        }
+        let rules: Vec<Rule> = serde_json::from_str(json)
+            .map_err(|e| ServerError::Rule(cadel_rule::RuleError::Serialization(e.to_string())))?;
+        let mut report = ImportReport::default();
+        for rule in rules {
+            let label = rule
+                .label()
+                .map(str::to_owned)
+                .unwrap_or_else(|| rule.id().to_string());
+            let id = self.engine.rules_mut().allocate_id();
+            let rule = rule.reassigned(id, new_owner.clone());
+            match self.register_rule(rule)? {
+                SubmitOutcome::Registered { id, .. } => report.imported.push(id),
+                SubmitOutcome::RejectedInconsistent { .. } => {
+                    report
+                        .skipped
+                        .push((label, "condition can never hold".to_owned()));
+                }
+                SubmitOutcome::ConflictDetected { ticket, conflicts } => {
+                    self.cancel_pending(ticket)?;
+                    report.skipped.push((
+                        label,
+                        format!("conflicts with {} existing rule(s)", conflicts.len()),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_devices::LivingRoomHome;
+    use cadel_types::{Rational, Value};
+    use cadel_upnp::{Registry, VirtualDevice};
+
+    fn standard_topology() -> Topology {
+        let mut t = Topology::new("home");
+        t.add_floor("first floor").unwrap();
+        t.add_room("living room", "first floor").unwrap();
+        t.add_room("hall", "first floor").unwrap();
+        t
+    }
+
+    fn setup() -> (HomeServer, LivingRoomHome) {
+        let registry = Registry::new();
+        let home = LivingRoomHome::install(&registry);
+        let mut server = HomeServer::new(ControlPoint::new(registry), standard_topology());
+        for name in ["tom", "alan", "emily"] {
+            server.add_user(name).unwrap();
+        }
+        (server, home)
+    }
+
+    #[test]
+    fn submit_registers_a_clean_rule_end_to_end() {
+        let (mut server, home) = setup();
+        let tom = PersonId::new("tom");
+        let outcome = server
+            .submit(
+                &tom,
+                "If humidity is higher than 80 percent and temperature is higher than \
+                 28 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
+            )
+            .unwrap();
+        let id = match outcome {
+            SubmitOutcome::Registered { id, dead_conjuncts } => {
+                assert!(dead_conjuncts.is_empty());
+                id
+            }
+            other => panic!("expected registration, got {other:?}"),
+        };
+        assert_eq!(server.engine().rules().len(), 1);
+        assert_eq!(server.engine().rules().get(id).unwrap().owner(), &tom);
+
+        // And it executes: drive the sensors past the thresholds.
+        home.thermometer
+            .set_reading(Rational::from_integer(29), SimTime::from_millis(1))
+            .unwrap();
+        home.hygrometer
+            .set_reading(Rational::from_integer(85), SimTime::from_millis(1))
+            .unwrap();
+        let report = server.step(SimTime::from_millis(2));
+        assert_eq!(report.dispatched().len(), 1);
+        assert_eq!(home.aircon.query("power").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn inconsistent_rule_is_rejected() {
+        let (mut server, _home) = setup();
+        let tom = PersonId::new("tom");
+        let outcome = server
+            .submit(
+                &tom,
+                "If temperature is higher than 30 degrees and temperature is lower than \
+                 20 degrees, turn on the air conditioner.",
+            )
+            .unwrap();
+        assert!(matches!(
+            outcome,
+            SubmitOutcome::RejectedInconsistent { .. }
+        ));
+        assert_eq!(server.engine().rules().len(), 0);
+    }
+
+    #[test]
+    fn conflicting_rule_prompts_for_priority() {
+        let (mut server, _home) = setup();
+        let tom = PersonId::new("tom");
+        let alan = PersonId::new("alan");
+        // Tom registers first.
+        let tom_outcome = server
+            .submit(
+                &tom,
+                "If temperature is higher than 26 degrees, turn on the air conditioner \
+                 with 25 degrees of temperature setting.",
+            )
+            .unwrap();
+        let tom_id = match tom_outcome {
+            SubmitOutcome::Registered { id, .. } => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Alan's overlapping rule with a different setpoint conflicts.
+        let alan_outcome = server
+            .submit(
+                &alan,
+                "If temperature is higher than 25 degrees, turn on the air conditioner \
+                 with 24 degrees of temperature setting.",
+            )
+            .unwrap();
+        let (ticket, conflicts) = match alan_outcome {
+            SubmitOutcome::ConflictDetected { ticket, conflicts } => (ticket, conflicts),
+            other => panic!("expected conflict, got {other:?}"),
+        };
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].rule_b(), tom_id);
+        assert!(server.pending_conflicts(ticket).is_some());
+        // Not yet registered.
+        assert_eq!(server.engine().rules().len(), 1);
+
+        // The household decides: Alan outranks Tom when he got home from
+        // work.
+        let ctx = Condition::Atom(cadel_rule::Atom::Event(cadel_rule::EventAtom::new(
+            "person:alan",
+            "got home from work",
+        )));
+        server
+            .confirm_with_priority(
+                ticket,
+                vec![ticket, tom_id],
+                Some(ctx),
+                Some("Alan got home from work".to_owned()),
+            )
+            .unwrap();
+        assert_eq!(server.engine().rules().len(), 2);
+        assert_eq!(server.engine().priorities().orders().len(), 1);
+        assert!(server.pending_conflicts(ticket).is_none());
+    }
+
+    #[test]
+    fn pending_can_be_cancelled_or_confirmed_plain() {
+        let (mut server, _home) = setup();
+        let tom = PersonId::new("tom");
+        let alan = PersonId::new("alan");
+        server
+            .submit(&tom, "If temperature is higher than 26 degrees, turn on the air conditioner with 25 degrees of temperature setting.")
+            .unwrap();
+        let submit = |server: &mut HomeServer| {
+            server
+                .submit(&alan, "If temperature is higher than 25 degrees, turn on the air conditioner with 24 degrees of temperature setting.")
+                .unwrap()
+        };
+        // Cancel path.
+        if let SubmitOutcome::ConflictDetected { ticket, .. } = submit(&mut server) {
+            server.cancel_pending(ticket).unwrap();
+            assert_eq!(server.engine().rules().len(), 1);
+            assert!(matches!(
+                server.cancel_pending(ticket),
+                Err(ServerError::UnknownPending(_))
+            ));
+        } else {
+            panic!("expected conflict");
+        }
+        // Confirm-keeping-existing-order path.
+        if let SubmitOutcome::ConflictDetected { ticket, .. } = submit(&mut server) {
+            server.confirm_pending(ticket).unwrap();
+            assert_eq!(server.engine().rules().len(), 2);
+        } else {
+            panic!("expected conflict");
+        }
+    }
+
+    #[test]
+    fn word_definition_then_use() {
+        let (mut server, _home) = setup();
+        let tom = PersonId::new("tom");
+        let outcome = server
+            .submit(
+                &tom,
+                "Let's call the condition that humidity is higher than 60 percent and \
+                 temperature is higher than 28 degrees hot and stuffy",
+            )
+            .unwrap();
+        assert!(matches!(
+            outcome,
+            SubmitOutcome::ConditionWordDefined { ref word } if word == "hot and stuffy"
+        ));
+        // Tom can use his word now.
+        let outcome = server
+            .submit(
+                &tom,
+                "If hot and stuffy, turn on the air conditioner with 25 degrees of temperature setting.",
+            )
+            .unwrap();
+        assert!(matches!(outcome, SubmitOutcome::Registered { .. }));
+        // Alan cannot — the word is private to Tom.
+        let alan = PersonId::new("alan");
+        let err = server
+            .submit(
+                &alan,
+                "If hot and stuffy, turn on the air conditioner with 24 degrees of temperature setting.",
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("predicate") || err.to_string().contains("parse"));
+    }
+
+    #[test]
+    fn configuration_word_definition_then_use() {
+        let (mut server, home) = setup();
+        let tom = PersonId::new("tom");
+        server
+            .submit(
+                &tom,
+                "Let's call the configuration that 30 percent of brightness setting half lighting",
+            )
+            .unwrap();
+        let outcome = server
+            .submit(&tom, "When I'm in the living room, turn on the floor lamp with half lighting.")
+            .unwrap();
+        assert!(matches!(outcome, SubmitOutcome::Registered { .. }));
+        // Fire it.
+        home.living_presence
+            .person_entered(&tom, SimTime::from_millis(1));
+        server.step(SimTime::from_millis(2));
+        assert_eq!(home.floor_lamp.query("power").unwrap(), Value::Bool(true));
+        assert_eq!(
+            home.floor_lamp.query("brightness").unwrap(),
+            Value::Number(cadel_types::Quantity::from_integer(
+                30,
+                cadel_types::Unit::Percent
+            ))
+        );
+    }
+
+    #[test]
+    fn unknown_user_is_rejected() {
+        let (mut server, _home) = setup();
+        let ghost = PersonId::new("ghost");
+        assert!(matches!(
+            server.submit(&ghost, "Turn on the TV."),
+            Err(ServerError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn export_import_round_trip_with_reassignment() {
+        let (mut server, _home) = setup();
+        let tom = PersonId::new("tom");
+        let emily = PersonId::new("emily");
+        server
+            .submit(&tom, "When a movie is on air, turn on the TV.")
+            .unwrap();
+        let json = server.export_rules().unwrap();
+
+        // A fresh home imports Tom's rules for Emily.
+        let registry = Registry::new();
+        LivingRoomHome::install(&registry);
+        let mut server2 = HomeServer::new(ControlPoint::new(registry), standard_topology());
+        server2.add_user("emily").unwrap();
+        let report = server2.import_rules(&emily, &json).unwrap();
+        assert_eq!(report.imported.len(), 1);
+        assert!(report.skipped.is_empty());
+        let rule = server2.engine().rules().get(report.imported[0]).unwrap();
+        assert_eq!(rule.owner(), &emily);
+        assert!(rule.label().unwrap().contains("movie"));
+    }
+
+    #[test]
+    fn import_skips_conflicting_rules() {
+        let (mut server, _home) = setup();
+        let tom = PersonId::new("tom");
+        let alan = PersonId::new("alan");
+        server
+            .submit(&tom, "If temperature is higher than 26 degrees, turn on the air conditioner with 25 degrees of temperature setting.")
+            .unwrap();
+        // A second household exports a rule with a *different* setpoint;
+        // importing it here conflicts with Tom's rule.
+        let registry_b = Registry::new();
+        LivingRoomHome::install(&registry_b);
+        let mut server_b = HomeServer::new(ControlPoint::new(registry_b), standard_topology());
+        server_b.add_user("bea").unwrap();
+        server_b
+            .submit(&PersonId::new("bea"), "If temperature is higher than 25 degrees, turn on the air conditioner with 24 degrees of temperature setting.")
+            .unwrap();
+        let json = server_b.export_rules().unwrap();
+        let report = server.import_rules(&alan, &json).unwrap();
+        assert!(report.imported.is_empty());
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].1.contains("conflict"));
+    }
+
+    #[test]
+    fn import_identical_rule_is_not_a_conflict() {
+        let (mut server, _home) = setup();
+        let tom = PersonId::new("tom");
+        let alan = PersonId::new("alan");
+        server
+            .submit(&tom, "If temperature is higher than 26 degrees, turn on the air conditioner with 25 degrees of temperature setting.")
+            .unwrap();
+        let json = server.export_rules().unwrap();
+        // Same action, same settings: co-firing is harmless (§4.4 requires
+        // *different* actions for a conflict).
+        let report = server.import_rules(&alan, &json).unwrap();
+        assert_eq!(report.imported.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! User accounts and per-user vocabulary.
+//!
+//! Each occupant owns a private [`Dictionary`] of condition/configuration
+//! words layered over a shared household dictionary — the personalization
+//! mechanism of paper §3.2 ("each user can define and reproduce a
+//! favourite environment with a sensory word").
+
+use crate::error::ServerError;
+use cadel_lang::Dictionary;
+use cadel_types::PersonId;
+use std::collections::BTreeMap;
+
+/// One registered occupant.
+#[derive(Clone, Debug, Default)]
+pub struct UserProfile {
+    display_name: String,
+    dictionary: Dictionary,
+}
+
+impl UserProfile {
+    /// The display name.
+    pub fn display_name(&self) -> &str {
+        &self.display_name
+    }
+
+    /// The user's private dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Mutable access to the private dictionary.
+    pub fn dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.dictionary
+    }
+}
+
+/// The user registry with the shared household dictionary.
+#[derive(Clone, Debug, Default)]
+pub struct UserRegistry {
+    users: BTreeMap<PersonId, UserProfile>,
+    shared: Dictionary,
+}
+
+impl UserRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> UserRegistry {
+        UserRegistry::default()
+    }
+
+    /// Registers a user.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::DuplicateUser`] when the id is taken.
+    pub fn add_user(&mut self, name: &str) -> Result<PersonId, ServerError> {
+        let id = PersonId::new(name.to_ascii_lowercase());
+        if self.users.contains_key(&id) {
+            return Err(ServerError::DuplicateUser(id));
+        }
+        self.users.insert(
+            id.clone(),
+            UserProfile {
+                display_name: name.to_owned(),
+                dictionary: Dictionary::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Whether a user exists.
+    pub fn contains(&self, id: &PersonId) -> bool {
+        self.users.contains_key(id)
+    }
+
+    /// The profile of a user.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownUser`] for unregistered users.
+    pub fn user(&self, id: &PersonId) -> Result<&UserProfile, ServerError> {
+        self.users
+            .get(id)
+            .ok_or_else(|| ServerError::UnknownUser(id.clone()))
+    }
+
+    /// Mutable profile access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownUser`] for unregistered users.
+    pub fn user_mut(&mut self, id: &PersonId) -> Result<&mut UserProfile, ServerError> {
+        self.users
+            .get_mut(id)
+            .ok_or_else(|| ServerError::UnknownUser(id.clone()))
+    }
+
+    /// All user ids, sorted.
+    pub fn ids(&self) -> Vec<&PersonId> {
+        self.users.keys().collect()
+    }
+
+    /// The shared household dictionary.
+    pub fn shared_dictionary(&self) -> &Dictionary {
+        &self.shared
+    }
+
+    /// Mutable access to the shared dictionary.
+    pub fn shared_dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.shared
+    }
+
+    /// The *effective* dictionary a user's sentences are parsed with:
+    /// shared words overlaid by the user's private words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownUser`] for unregistered users.
+    pub fn effective_dictionary(&self, id: &PersonId) -> Result<Dictionary, ServerError> {
+        let profile = self.user(id)?;
+        let mut merged = self.shared.clone();
+        merged.extend_from(profile.dictionary());
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_lang::ast::{CondAst, CondExprAst, CondKind};
+
+    fn expr(tag: &str) -> CondExprAst {
+        CondExprAst::Leaf(CondAst {
+            kind: CondKind::Broadcast {
+                program: vec![tag.to_owned()],
+            },
+            period: None,
+            time: None,
+        })
+    }
+
+    #[test]
+    fn add_and_lookup_users() {
+        let mut reg = UserRegistry::new();
+        let tom = reg.add_user("Tom").unwrap();
+        assert_eq!(tom.as_str(), "tom");
+        assert!(reg.contains(&tom));
+        assert_eq!(reg.user(&tom).unwrap().display_name(), "Tom");
+        assert!(matches!(
+            reg.add_user("TOM"),
+            Err(ServerError::DuplicateUser(_))
+        ));
+        assert!(matches!(
+            reg.user(&PersonId::new("ghost")),
+            Err(ServerError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn effective_dictionary_layers_private_over_shared() {
+        let mut reg = UserRegistry::new();
+        let tom = reg.add_user("tom").unwrap();
+        reg.shared_dictionary_mut()
+            .define_condition("cozy", expr("shared"));
+        reg.user_mut(&tom)
+            .unwrap()
+            .dictionary_mut()
+            .define_condition("cozy", expr("toms"));
+        reg.user_mut(&tom)
+            .unwrap()
+            .dictionary_mut()
+            .define_condition("hot and stuffy", expr("t"));
+
+        let dict = reg.effective_dictionary(&tom).unwrap();
+        assert_eq!(dict.condition("cozy"), Some(&expr("toms")));
+        assert!(dict.condition("hot and stuffy").is_some());
+
+        // Another user only sees the shared meaning.
+        let alan = reg.add_user("alan").unwrap();
+        let dict = reg.effective_dictionary(&alan).unwrap();
+        assert_eq!(dict.condition("cozy"), Some(&expr("shared")));
+        assert!(dict.condition("hot and stuffy").is_none());
+    }
+
+    #[test]
+    fn ids_are_sorted() {
+        let mut reg = UserRegistry::new();
+        reg.add_user("tom").unwrap();
+        reg.add_user("alan").unwrap();
+        reg.add_user("emily").unwrap();
+        let ids: Vec<&str> = reg.ids().iter().map(|p| p.as_str()).collect();
+        assert_eq!(ids, ["alan", "emily", "tom"]);
+    }
+}

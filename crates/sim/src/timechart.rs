@@ -1,0 +1,233 @@
+//! The time-chart recorder: reproduces Fig. 1's control-scenario chart as
+//! data plus an ASCII rendering.
+
+use cadel_types::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Records labelled state segments per track (one track per device) and
+/// renders them as a timeline chart.
+///
+/// # Example
+///
+/// ```
+/// use cadel_sim::TimeChart;
+/// use cadel_types::{SimDuration, SimTime};
+///
+/// let mut chart = TimeChart::new();
+/// let five_pm = SimTime::EPOCH + SimDuration::from_hours(17);
+/// chart.record("Stereo", five_pm, "jazz");
+/// assert_eq!(chart.state_at("Stereo", five_pm + SimDuration::from_hours(1)), Some("jazz"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TimeChart {
+    tracks: BTreeMap<String, Vec<(SimTime, String)>>,
+    order: Vec<String>,
+}
+
+impl TimeChart {
+    /// Creates an empty chart.
+    pub fn new() -> TimeChart {
+        TimeChart::default()
+    }
+
+    /// Declares a track up front (fixes the display order).
+    pub fn add_track(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if !self.tracks.contains_key(&name) {
+            self.order.push(name.clone());
+            self.tracks.insert(name, Vec::new());
+        }
+    }
+
+    /// Records that `track` entered state `label` at `at`. Consecutive
+    /// identical labels collapse into one segment.
+    pub fn record(&mut self, track: &str, at: SimTime, label: impl Into<String>) {
+        if !self.tracks.contains_key(track) {
+            self.add_track(track);
+        }
+        let segments = self.tracks.get_mut(track).expect("track added above");
+        let label = label.into();
+        if segments.last().map(|(_, l)| l == &label).unwrap_or(false) {
+            return;
+        }
+        segments.push((at, label));
+    }
+
+    /// The tracks in display order.
+    pub fn track_names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// The `(start, label)` transition list of a track.
+    pub fn segments(&self, track: &str) -> &[(SimTime, String)] {
+        self.tracks.get(track).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The state of a track at an instant (the last transition at or
+    /// before `t`).
+    pub fn state_at(&self, track: &str, t: SimTime) -> Option<&str> {
+        self.segments(track)
+            .iter()
+            .rev()
+            .find(|(at, _)| *at <= t)
+            .map(|(_, label)| label.as_str())
+    }
+
+    /// The sequence of distinct labels a track went through (the shape
+    /// compared against Fig. 1).
+    pub fn label_sequence(&self, track: &str) -> Vec<&str> {
+        self.segments(track)
+            .iter()
+            .map(|(_, l)| l.as_str())
+            .collect()
+    }
+
+    /// Renders a transition list, one track per line:
+    /// `Stereo: 17:00 jazz | 18:00 quiet | 19:00 movie`.
+    pub fn render_transitions(&self) -> String {
+        let width = self.order.iter().map(|n| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for name in &self.order {
+            let _ = write!(out, "{name:<width$} :");
+            for (at, label) in self.segments(name) {
+                let _ = write!(out, " {} {label} |", at.time_of_day());
+            }
+            out.pop();
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a sampled bar chart between `start` and `end` with one
+    /// column per `step`, using one letter per distinct label plus a
+    /// legend — the ASCII form of Fig. 1's time chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `end <= start`.
+    pub fn render_bars(&self, start: SimTime, end: SimTime, step: SimDuration) -> String {
+        assert!(!step.is_zero() && end > start, "invalid chart range");
+        let columns = ((end.as_millis() - start.as_millis()) / step.as_millis()) as usize;
+        let width = self.order.iter().map(|n| n.len()).max().unwrap_or(0);
+
+        // Assign letters per track label in order of first appearance.
+        let mut out = String::new();
+        let mut legend: Vec<(char, String, String)> = Vec::new(); // (letter, track, label)
+        let mut next_letter = b'a';
+        for name in &self.order {
+            let mut letters: BTreeMap<&str, char> = BTreeMap::new();
+            let _ = write!(out, "{name:<width$} |");
+            for col in 0..columns {
+                let t = SimTime::from_millis(start.as_millis() + col as u64 * step.as_millis());
+                match self.state_at(name, t) {
+                    None => out.push(' '),
+                    Some(label) if label == "off" || label.is_empty() => out.push('.'),
+                    Some(label) => {
+                        let letter = *letters.entry(label).or_insert_with(|| {
+                            let c = next_letter as char;
+                            next_letter = if next_letter == b'z' {
+                                b'A'
+                            } else {
+                                next_letter + 1
+                            };
+                            legend.push((c, name.clone(), label.to_owned()));
+                            c
+                        });
+                        out.push(letter);
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        // Time axis.
+        let _ = write!(out, "{:<width$} +", "");
+        for col in 0..columns {
+            let t = SimTime::from_millis(start.as_millis() + col as u64 * step.as_millis());
+            let tod = t.time_of_day();
+            if tod.minute() == 0 && (t.as_millis() - start.as_millis()) % 3_600_000 == 0 {
+                out.push('|');
+            } else {
+                out.push('-');
+            }
+        }
+        out.push('\n');
+        if !legend.is_empty() {
+            out.push_str("legend:\n");
+            for (letter, track, label) in legend {
+                let _ = writeln!(out, "  {letter} = {track}: {label}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hm(h: u64, m: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_hours(h) + SimDuration::from_minutes(m)
+    }
+
+    #[test]
+    fn records_and_collapses_duplicates() {
+        let mut chart = TimeChart::new();
+        chart.record("Stereo", hm(17, 0), "jazz");
+        chart.record("Stereo", hm(17, 1), "jazz"); // duplicate collapses
+        chart.record("Stereo", hm(18, 0), "quiet");
+        assert_eq!(chart.label_sequence("Stereo"), vec!["jazz", "quiet"]);
+    }
+
+    #[test]
+    fn state_at_finds_enclosing_segment() {
+        let mut chart = TimeChart::new();
+        chart.record("TV", hm(18, 0), "baseball");
+        chart.record("TV", hm(19, 0), "movie");
+        assert_eq!(chart.state_at("TV", hm(17, 0)), None);
+        assert_eq!(chart.state_at("TV", hm(18, 0)), Some("baseball"));
+        assert_eq!(chart.state_at("TV", hm(18, 59)), Some("baseball"));
+        assert_eq!(chart.state_at("TV", hm(19, 0)), Some("movie"));
+        assert_eq!(chart.state_at("TV", hm(23, 0)), Some("movie"));
+        assert_eq!(chart.state_at("Recorder", hm(23, 0)), None);
+    }
+
+    #[test]
+    fn track_order_is_declaration_order() {
+        let mut chart = TimeChart::new();
+        chart.add_track("Stereo");
+        chart.add_track("TV");
+        chart.record("Aircon", hm(17, 0), "on");
+        assert_eq!(chart.track_names(), &["Stereo", "TV", "Aircon"]);
+    }
+
+    #[test]
+    fn transitions_render() {
+        let mut chart = TimeChart::new();
+        chart.record("Stereo", hm(17, 0), "jazz");
+        chart.record("Stereo", hm(19, 0), "movie");
+        let text = chart.render_transitions();
+        assert!(text.contains("17:00 jazz"));
+        assert!(text.contains("19:00 movie"));
+    }
+
+    #[test]
+    fn bars_render_with_legend() {
+        let mut chart = TimeChart::new();
+        chart.record("Stereo", hm(17, 0), "jazz");
+        chart.record("Stereo", hm(18, 0), "off");
+        let text = chart.render_bars(hm(16, 0), hm(19, 0), SimDuration::from_minutes(30));
+        // Column at 16:00–16:30: blank (no state yet); 17:00+: letter.
+        assert!(text.contains("Stereo |"));
+        assert!(text.contains("a = Stereo: jazz"));
+        // "off" renders as dots.
+        assert!(text.contains('.'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid chart range")]
+    fn bars_reject_zero_step() {
+        let chart = TimeChart::new();
+        let _ = chart.render_bars(hm(1, 0), hm(2, 0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,129 @@
+//! Multi-day simulation: `every Monday` and day-part rules firing on the
+//! right days across a simulated week.
+
+use cadel_devices::LivingRoomHome;
+use cadel_server::{HomeServer, SubmitOutcome};
+use cadel_sim::Simulation;
+use cadel_types::{PersonId, SimDuration, SimTime, Topology, Value, Weekday};
+use cadel_upnp::{ControlPoint, Registry, VirtualDevice};
+
+fn day_hm(day: u64, h: u64, m: u64) -> SimTime {
+    SimTime::EPOCH
+        + SimDuration::from_hours(day * 24 + h)
+        + SimDuration::from_minutes(m)
+}
+
+struct World {
+    server: HomeServer,
+    home: LivingRoomHome,
+    tv_on_log: Vec<(u64, bool)>, // (day, power at 20:30)
+}
+
+fn setup() -> World {
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+    let mut topology = Topology::new("home");
+    topology.add_floor("first floor").unwrap();
+    topology.add_room("living room", "first floor").unwrap();
+    topology.add_room("hall", "first floor").unwrap();
+    let mut server = HomeServer::new(ControlPoint::new(registry), topology);
+    server.add_user("tom").unwrap();
+    World {
+        server,
+        home,
+        tv_on_log: Vec::new(),
+    }
+}
+
+#[test]
+fn every_monday_rule_fires_only_on_mondays() {
+    let mut world = setup();
+    let tom = PersonId::new("tom");
+    // Simulation epoch (day 0) is Monday 2005-06-06.
+    let outcome = world
+        .server
+        .submit(&tom, "Every monday at 8 pm, turn on the TV with 4 of channel setting.")
+        .unwrap();
+    assert!(matches!(outcome, SubmitOutcome::Registered { .. }));
+
+    let mut sim = Simulation::new(world);
+    // Each evening at 19:55, reset the TV; at 20:30 log its state.
+    for day in 0..7u64 {
+        sim.schedule(day_hm(day, 19, 55), move |w, at| {
+            w.home.tv.invoke("TurnOff", &[], at).unwrap();
+        });
+        sim.schedule(day_hm(day, 20, 30), move |w, _| {
+            let on = w.home.tv.query("power").unwrap() == Value::Bool(true);
+            w.tv_on_log.push((day, on));
+        });
+    }
+    sim.run_until(day_hm(7, 0, 0), SimDuration::from_minutes(5), |w, at| {
+        w.server.step(at);
+    });
+    let world = sim.into_world();
+
+    // Only day 0 (Monday) has the TV on at 20:30.
+    assert_eq!(
+        world.tv_on_log,
+        vec![
+            (0, true),
+            (1, false),
+            (2, false),
+            (3, false),
+            (4, false),
+            (5, false),
+            (6, false),
+        ]
+    );
+    // Sanity: the engine's calendar agrees about day 7.
+    assert_eq!(
+        world.server.engine().context().weekday(),
+        Weekday::Monday
+    );
+}
+
+#[test]
+fn evening_rule_fires_every_day() {
+    let mut world = setup();
+    let tom = PersonId::new("tom");
+    world
+        .server
+        .submit(&tom, "When I'm in the living room in evening, dim the floor lamp.")
+        .unwrap();
+
+    let mut sim = Simulation::new(world);
+    for day in 0..3u64 {
+        // Tom walks in at 18:00 and out at 21:00 every day; lamp reset at
+        // noon.
+        sim.schedule(day_hm(day, 12, 0), move |w, at| {
+            w.home.floor_lamp.invoke("TurnOff", &[], at).unwrap();
+        });
+        sim.schedule(day_hm(day, 18, 0), move |w, at| {
+            w.home
+                .living_presence
+                .person_entered(&PersonId::new("tom"), at);
+        });
+        sim.schedule(day_hm(day, 21, 0), move |w, at| {
+            w.home
+                .living_presence
+                .person_left(&PersonId::new("tom"), at);
+        });
+        sim.schedule(day_hm(day, 19, 0), move |w, _| {
+            assert_eq!(
+                w.home.floor_lamp.query("power").unwrap(),
+                Value::Bool(true),
+                "lamp should be on at 19:00 of day {day}"
+            );
+        });
+        sim.schedule(day_hm(day, 13, 0), move |w, _| {
+            assert_eq!(
+                w.home.floor_lamp.query("power").unwrap(),
+                Value::Bool(false),
+                "lamp should be off at 13:00 of day {day}"
+            );
+        });
+    }
+    sim.run_until(day_hm(3, 0, 0), SimDuration::from_minutes(10), |w, at| {
+        w.server.step(at);
+    });
+}

@@ -1,0 +1,48 @@
+//! Solver error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors that can abort a satisfiability query.
+///
+/// Both variants are defensive: realistic home-automation rule systems
+/// (tens of constraints, small integer thresholds) cannot reach either.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// Exact rational arithmetic overflowed `i128`.
+    Overflow,
+    /// The simplex exceeded its pivot budget (anti-cycling safety net).
+    IterationLimit {
+        /// The number of pivots performed before giving up.
+        pivots: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Overflow => f.write_str("exact arithmetic overflowed i128"),
+            SolveError::IterationLimit { pivots } => {
+                write!(f, "simplex exceeded the pivot limit after {pivots} pivots")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SolveError>();
+        assert!(SolveError::Overflow.to_string().contains("i128"));
+        assert!(SolveError::IterationLimit { pivots: 9 }
+            .to_string()
+            .contains('9'));
+    }
+}

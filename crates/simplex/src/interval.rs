@@ -1,0 +1,242 @@
+//! Fast-path solver for univariate constraint systems.
+//!
+//! Every condition the paper's examples produce — `temperature > 26 ∧
+//! humidity > 65 ∧ temperature > 25 ∧ humidity > 60` — constrains each
+//! sensor variable independently, so satisfiability reduces to interval
+//! intersection per variable. This path is what makes registration-time
+//! conflict checking over a 10,000-rule database cheap (experiment E2);
+//! the full simplex in [`crate::tableau`] remains available for general
+//! multi-variable conditions and is compared against this path in the
+//! ablation bench.
+
+use crate::eps::EpsRational;
+use crate::{Constraint, RelOp, Solution, SolveError};
+use cadel_types::Rational;
+use std::collections::BTreeMap;
+
+use crate::expr::VarId;
+
+#[derive(Clone, Debug, Default)]
+struct Interval {
+    lower: Option<EpsRational>,
+    upper: Option<EpsRational>,
+}
+
+impl Interval {
+    fn tighten_lower(&mut self, bound: EpsRational) {
+        match &self.lower {
+            Some(cur) if *cur >= bound => {}
+            _ => self.lower = Some(bound),
+        }
+    }
+
+    fn tighten_upper(&mut self, bound: EpsRational) {
+        match &self.upper {
+            Some(cur) if *cur <= bound => {}
+            _ => self.upper = Some(bound),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match (&self.lower, &self.upper) {
+            (Some(lo), Some(hi)) => lo > hi,
+            _ => false,
+        }
+    }
+
+    /// Picks a concrete witness value inside the (non-empty) interval.
+    fn witness(&self) -> Rational {
+        match (&self.lower, &self.upper) {
+            (None, None) => Rational::ZERO,
+            (Some(lo), None) => lo.real() + Rational::ONE,
+            (None, Some(hi)) => hi.real() - Rational::ONE,
+            (Some(lo), Some(hi)) => {
+                if lo.real() < hi.real() {
+                    // Strict midpoint clears any ε-strictness on both ends.
+                    (lo.real() + hi.real()) * Rational::new(1, 2)
+                } else {
+                    // Equal real parts: symbolic non-emptiness forces both
+                    // bounds non-strict, so the shared endpoint is valid.
+                    lo.real()
+                }
+            }
+        }
+    }
+}
+
+/// Decides a system in which every constraint mentions at most one
+/// variable, by exact interval intersection.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Overflow`] if a bound computation overflows
+/// `i128`.
+///
+/// # Panics
+///
+/// Debug builds panic when a constraint mentions two or more variables —
+/// that is an upstream dispatch error; use [`crate::solve`], which routes
+/// multi-variable systems to the simplex.
+pub fn solve_intervals(constraints: &[Constraint]) -> Result<Solution, SolveError> {
+    let mut intervals: BTreeMap<VarId, Interval> = BTreeMap::new();
+    let mut max_var: Option<VarId> = None;
+
+    for con in constraints {
+        debug_assert!(
+            con.expr().num_terms() <= 1,
+            "solve_intervals requires univariate constraints"
+        );
+        match con.expr().iter().next() {
+            None => {
+                // Constant constraint: 0 op rhs.
+                if !con.op().holds(Rational::ZERO, con.rhs()) {
+                    return Ok(Solution::Infeasible);
+                }
+            }
+            Some((var, coef)) => {
+                max_var = Some(max_var.map_or(var, |m| m.max(var)));
+                // c·x op b  ⇒  x op' b/c with op flipped for negative c.
+                let bound = con
+                    .rhs()
+                    .checked_div(coef)
+                    .ok_or(SolveError::Overflow)?;
+                let op = if coef.is_negative() {
+                    con.op().flipped()
+                } else {
+                    con.op()
+                };
+                let iv = intervals.entry(var).or_default();
+                let b = EpsRational::from_rational(bound);
+                match op {
+                    RelOp::Le => iv.tighten_upper(b),
+                    RelOp::Lt => iv.tighten_upper(b - EpsRational::EPSILON),
+                    RelOp::Ge => iv.tighten_lower(b),
+                    RelOp::Gt => iv.tighten_lower(b + EpsRational::EPSILON),
+                    RelOp::Eq => {
+                        iv.tighten_lower(b);
+                        iv.tighten_upper(b);
+                    }
+                }
+                if iv.is_empty() {
+                    return Ok(Solution::Infeasible);
+                }
+            }
+        }
+    }
+
+    let len = max_var.map_or(0, |v| v.index() + 1);
+    let mut witness = vec![Rational::ZERO; len];
+    for (var, iv) in &intervals {
+        witness[var.index()] = iv.witness();
+    }
+    Ok(Solution::Feasible(witness))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+
+    fn r(n: i64) -> Rational {
+        Rational::from_integer(n)
+    }
+
+    fn c(var: u32, op: RelOp, rhs: i64) -> Constraint {
+        Constraint::new(LinExpr::var(VarId::new(var)), op, r(rhs))
+    }
+
+    fn check_feasible(sys: &[Constraint]) -> Vec<Rational> {
+        let sol = solve_intervals(sys).unwrap();
+        let w = sol.witness().expect("expected feasible").to_vec();
+        for con in sys {
+            assert!(con.is_satisfied_by(&w), "{con} violated by witness {w:?}");
+        }
+        w
+    }
+
+    #[test]
+    fn open_interval_feasible() {
+        check_feasible(&[c(0, RelOp::Gt, 26), c(0, RelOp::Lt, 30)]);
+    }
+
+    #[test]
+    fn point_interval_feasible_only_when_closed() {
+        let w = check_feasible(&[c(0, RelOp::Ge, 5), c(0, RelOp::Le, 5)]);
+        assert_eq!(w[0], r(5));
+        assert!(!solve_intervals(&[c(0, RelOp::Gt, 5), c(0, RelOp::Le, 5)])
+            .unwrap()
+            .is_feasible());
+        assert!(!solve_intervals(&[c(0, RelOp::Ge, 5), c(0, RelOp::Lt, 5)])
+            .unwrap()
+            .is_feasible());
+    }
+
+    #[test]
+    fn equality_pins_value() {
+        let w = check_feasible(&[c(0, RelOp::Eq, 7), c(0, RelOp::Ge, 7)]);
+        assert_eq!(w[0], r(7));
+        assert!(!solve_intervals(&[c(0, RelOp::Eq, 7), c(0, RelOp::Gt, 7)])
+            .unwrap()
+            .is_feasible());
+        assert!(!solve_intervals(&[c(0, RelOp::Eq, 7), c(0, RelOp::Eq, 8)])
+            .unwrap()
+            .is_feasible());
+    }
+
+    #[test]
+    fn negative_coefficient_flips_direction() {
+        // -2x <= -10  ⇒  x >= 5
+        let con = Constraint::new(LinExpr::term(VarId::new(0), r(-2)), RelOp::Le, r(-10));
+        let w = check_feasible(&[con, c(0, RelOp::Le, 6)]);
+        assert!(w[0] >= r(5) && w[0] <= r(6));
+    }
+
+    #[test]
+    fn unbounded_variables_get_witnesses() {
+        let w = check_feasible(&[c(0, RelOp::Gt, 100)]);
+        assert!(w[0] > r(100));
+        let w = check_feasible(&[c(1, RelOp::Lt, -100)]);
+        assert!(w[1] < r(-100));
+        assert_eq!(w[0], r(0)); // untouched variable defaults to zero
+    }
+
+    #[test]
+    fn constant_constraints() {
+        // 0 <= 1 is vacuously true; 0 >= 1 is false.
+        let t = Constraint::new(LinExpr::zero(), RelOp::Le, r(1));
+        assert!(solve_intervals(&[t]).unwrap().is_feasible());
+        let f = Constraint::new(LinExpr::zero(), RelOp::Ge, r(1));
+        assert!(!solve_intervals(&[f]).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn paper_conflict_example_is_cosatisfiable() {
+        // Tom's "hot and stuffy" (t>26, h>65) and Alan's (t>25, h>60):
+        // both can hold, so the air-conditioner rules conflict.
+        let sys = [
+            c(0, RelOp::Gt, 26),
+            c(1, RelOp::Gt, 65),
+            c(0, RelOp::Gt, 25),
+            c(1, RelOp::Gt, 60),
+        ];
+        check_feasible(&sys);
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_conflict() {
+        // "temperature below 10" vs "temperature above 30".
+        let sys = [c(0, RelOp::Lt, 10), c(0, RelOp::Gt, 30)];
+        assert!(!solve_intervals(&sys).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn many_redundant_bounds_converge() {
+        let mut sys = Vec::new();
+        for k in 0..100 {
+            sys.push(c(0, RelOp::Gt, k));
+            sys.push(c(0, RelOp::Lt, 200 - k));
+        }
+        let w = check_feasible(&sys);
+        assert!(w[0] > r(99) && w[0] < r(101));
+    }
+}

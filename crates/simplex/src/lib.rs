@@ -1,0 +1,196 @@
+//! Exact feasibility solving for conjunctions of linear constraints.
+//!
+//! The CADEL framework decides two questions by linear-arithmetic
+//! satisfiability (paper §4.4):
+//!
+//! 1. **Inconsistency check** — can a newly registered rule's condition hold
+//!    at all?
+//! 2. **Conflict check** — can the conditions of two rules that control the
+//!    same device hold *simultaneously*?
+//!
+//! Both reduce to: *does a conjunction of linear inequalities over sensor
+//! variables have a solution?* The paper answered this with a C library
+//! implementing the Simplex method; this crate is the Rust equivalent, with
+//! two upgrades:
+//!
+//! * **Exact arithmetic** — all computation is over
+//!   [`cadel_types::Rational`], so verdicts carry no floating-point
+//!   tolerance.
+//! * **Exact strict inequalities** — `temperature > 26` is handled with a
+//!   symbolic infinitesimal ([`EpsRational`]), not an arbitrary epsilon
+//!   constant, so `x > 5 ∧ x < 5` is correctly infeasible while
+//!   `x ≥ 5 ∧ x ≤ 5` is feasible.
+//!
+//! Two solving strategies are provided and automatically selected by
+//! [`solve`]:
+//!
+//! * [`interval::solve_intervals`] — a fast path for systems where every
+//!   constraint mentions at most one variable (the common case for home
+//!   rules: `temperature > 26 ∧ humidity > 65`).
+//! * [`tableau`] — a dense phase-1 simplex with Bland's anti-cycling rule
+//!   for general multi-variable systems.
+//!
+//! # Example
+//!
+//! ```
+//! use cadel_simplex::{Constraint, LinExpr, RelOp, VarId, solve, Feasibility};
+//! use cadel_types::Rational;
+//!
+//! let temp = VarId::new(0);
+//! let humid = VarId::new(1);
+//! // Tom: temperature > 26 && humidity > 65
+//! // Alan: temperature > 25 && humidity > 60
+//! let system = vec![
+//!     Constraint::new(LinExpr::var(temp), RelOp::Gt, Rational::from_integer(26)),
+//!     Constraint::new(LinExpr::var(humid), RelOp::Gt, Rational::from_integer(65)),
+//!     Constraint::new(LinExpr::var(temp), RelOp::Gt, Rational::from_integer(25)),
+//!     Constraint::new(LinExpr::var(humid), RelOp::Gt, Rational::from_integer(60)),
+//! ];
+//! // Both can hold at once => the two rules conflict over the air conditioner.
+//! assert_eq!(solve(&system).unwrap().feasibility(), Feasibility::Feasible);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod eps;
+pub mod error;
+pub mod expr;
+pub mod interval;
+pub mod tableau;
+
+pub use constraint::{Constraint, RelOp};
+pub use eps::EpsRational;
+pub use error::SolveError;
+pub use expr::{LinExpr, VarId};
+pub use interval::solve_intervals;
+pub use tableau::solve_simplex;
+
+use cadel_types::Rational;
+
+/// The verdict of a satisfiability query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Feasibility {
+    /// The conjunction has at least one solution.
+    Feasible,
+    /// The conjunction has no solution.
+    Infeasible,
+}
+
+/// The outcome of [`solve`]: a verdict plus, when feasible, a concrete
+/// witness assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Solution {
+    /// The system is satisfiable; the vector assigns a value to every
+    /// variable index below the system's maximum (missing variables are
+    /// unconstrained and set to zero).
+    Feasible(Vec<Rational>),
+    /// The system is unsatisfiable.
+    Infeasible,
+}
+
+impl Solution {
+    /// The verdict without the witness.
+    pub fn feasibility(&self) -> Feasibility {
+        match self {
+            Solution::Feasible(_) => Feasibility::Feasible,
+            Solution::Infeasible => Feasibility::Infeasible,
+        }
+    }
+
+    /// The witness assignment, if feasible.
+    pub fn witness(&self) -> Option<&[Rational]> {
+        match self {
+            Solution::Feasible(w) => Some(w),
+            Solution::Infeasible => None,
+        }
+    }
+
+    /// `true` when the system is satisfiable.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Solution::Feasible(_))
+    }
+}
+
+/// Decides satisfiability of a conjunction of linear constraints and, when
+/// satisfiable, produces a witness.
+///
+/// Dispatches to the interval fast path when every constraint is univariate
+/// and to the full simplex otherwise.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if exact arithmetic overflows `i128` or the pivot
+/// limit is exceeded (neither is reachable from realistic rule systems).
+pub fn solve(constraints: &[Constraint]) -> Result<Solution, SolveError> {
+    if constraints.iter().all(|c| c.expr().num_terms() <= 1) {
+        interval::solve_intervals(constraints)
+    } else {
+        tableau::solve_simplex(constraints)
+    }
+}
+
+/// Convenience wrapper around [`solve`] returning only the boolean verdict.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn is_satisfiable(constraints: &[Constraint]) -> Result<bool, SolveError> {
+    Ok(solve(constraints)?.is_feasible())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(var: u32, op: RelOp, rhs: i64) -> Constraint {
+        Constraint::new(
+            LinExpr::var(VarId::new(var)),
+            op,
+            Rational::from_integer(rhs),
+        )
+    }
+
+    #[test]
+    fn empty_system_is_feasible() {
+        assert!(is_satisfiable(&[]).unwrap());
+    }
+
+    #[test]
+    fn dispatches_univariate_to_intervals() {
+        // x > 5 && x < 5: infeasible only because strictness is exact.
+        let sys = [c(0, RelOp::Gt, 5), c(0, RelOp::Lt, 5)];
+        assert!(!is_satisfiable(&sys).unwrap());
+        let sys = [c(0, RelOp::Ge, 5), c(0, RelOp::Le, 5)];
+        let sol = solve(&sys).unwrap();
+        assert_eq!(sol.witness().unwrap()[0], Rational::from_integer(5));
+    }
+
+    #[test]
+    fn dispatches_multivariate_to_simplex() {
+        // x + y <= 1 && x >= 1 && y >= 1 is infeasible.
+        let expr = LinExpr::var(VarId::new(0)) + LinExpr::var(VarId::new(1));
+        let sys = [
+            Constraint::new(expr, RelOp::Le, Rational::from_integer(1)),
+            c(0, RelOp::Ge, 1),
+            c(1, RelOp::Ge, 1),
+        ];
+        assert!(!is_satisfiable(&sys).unwrap());
+    }
+
+    #[test]
+    fn witness_satisfies_all_constraints() {
+        let expr = LinExpr::var(VarId::new(0)) + LinExpr::var(VarId::new(1));
+        let sys = [
+            Constraint::new(expr, RelOp::Le, Rational::from_integer(10)),
+            c(0, RelOp::Gt, 2),
+            c(1, RelOp::Ge, 3),
+        ];
+        let sol = solve(&sys).unwrap();
+        let w = sol.witness().unwrap();
+        for con in &sys {
+            assert!(con.is_satisfied_by(w), "constraint {con:?} violated by {w:?}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Error types shared across the workspace's foundation layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a string cannot be parsed as a [`crate::Rational`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    input: String,
+}
+
+impl ParseRationalError {
+    pub(crate) fn new(input: &str) -> Self {
+        ParseRationalError {
+            input: input.to_owned(),
+        }
+    }
+
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational number syntax: {:?}", self.input)
+    }
+}
+
+impl Error for ParseRationalError {}
+
+/// Error returned when a string cannot be parsed as a [`crate::Quantity`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQuantityError {
+    input: String,
+    reason: String,
+}
+
+impl ParseQuantityError {
+    pub(crate) fn new(input: &str, reason: impl Into<String>) -> Self {
+        ParseQuantityError {
+            input: input.to_owned(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseQuantityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid quantity {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl Error for ParseQuantityError {}
+
+/// Error returned when a string cannot be parsed as a time of day or date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTimeError {
+    input: String,
+}
+
+impl ParseTimeError {
+    pub(crate) fn new(input: &str) -> Self {
+        ParseTimeError {
+            input: input.to_owned(),
+        }
+    }
+
+    /// The offending input string.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid time syntax: {:?}", self.input)
+    }
+}
+
+impl Error for ParseTimeError {}
+
+/// Errors raised when building or querying a home [`crate::Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A place name was registered twice.
+    DuplicatePlace(String),
+    /// A referenced place does not exist in the topology.
+    UnknownPlace(String),
+    /// A place was attached to a parent of an incompatible kind
+    /// (e.g. a floor inside a room).
+    InvalidParent {
+        /// The child place being attached.
+        child: String,
+        /// The parent it was attached to.
+        parent: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicatePlace(name) => {
+                write!(f, "place {name:?} is already registered")
+            }
+            TopologyError::UnknownPlace(name) => write!(f, "unknown place {name:?}"),
+            TopologyError::InvalidParent { child, parent } => {
+                write!(f, "place {child:?} cannot be nested inside {parent:?}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_error_traits<E: Error + Send + Sync + 'static>() {}
+
+    #[test]
+    fn error_types_are_well_behaved() {
+        assert_error_traits::<ParseRationalError>();
+        assert_error_traits::<ParseQuantityError>();
+        assert_error_traits::<ParseTimeError>();
+        assert_error_traits::<TopologyError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ParseRationalError::new("xyz");
+        assert!(e.to_string().contains("xyz"));
+        let e = TopologyError::UnknownPlace("attic".into());
+        assert!(e.to_string().contains("attic"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Core domain types for the CADEL context-aware computing framework.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: exact rational numbers ([`Rational`]), physical quantities with
+//! units ([`Quantity`], [`Unit`]), wall-clock and simulated time
+//! ([`TimeOfDay`], [`SimTime`], [`TimeWindow`]), the home topology
+//! ([`Topology`], [`PlaceId`]), identifiers for users, devices, sensors and
+//! rules, and the dynamic [`Value`] type observed from sensors.
+//!
+//! The types here deliberately contain no behaviour specific to rule
+//! parsing, conflict checking or device simulation — those live in the
+//! downstream crates (`cadel-lang`, `cadel-conflict`, `cadel-devices`).
+//!
+//! # Example
+//!
+//! ```
+//! use cadel_types::{Quantity, Unit, Rational};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let setpoint: Quantity = "25 degrees".parse()?;
+//! let limit = Quantity::new(Rational::from_integer(86), Unit::Fahrenheit);
+//! // Comparisons convert units where a canonical conversion exists: 86°F = 30°C.
+//! assert!(setpoint < limit);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod id;
+pub mod location;
+pub mod quantity;
+pub mod rational;
+pub mod time;
+pub mod unit;
+pub mod value;
+
+pub use error::{ParseQuantityError, ParseRationalError, ParseTimeError, TopologyError};
+pub use id::{DeviceId, PersonId, RuleId, SensorKey, ServiceId, UserDefinedWord};
+pub use location::{LocationSelector, PlaceId, PlaceKind, Topology};
+pub use quantity::Quantity;
+pub use rational::Rational;
+pub use time::{Date, DayPart, SimDuration, SimTime, TimeOfDay, TimeWindow, Weekday};
+pub use unit::Unit;
+pub use value::{Value, ValueKind};

@@ -1,0 +1,807 @@
+//! Time: wall-clock concepts used by CADEL's `<TimeSpec>` / `<PeriodSpec>`
+//! grammar (times of day, dates, weekdays, named day-parts) and the
+//! simulated clock driving the discrete-event substrate.
+
+use crate::error::ParseTimeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::str::FromStr;
+
+/// Minutes in a day.
+const DAY_MINUTES: u32 = 24 * 60;
+
+/// A time of day with minute resolution, `00:00 ..= 23:59`.
+///
+/// # Example
+///
+/// ```
+/// use cadel_types::TimeOfDay;
+///
+/// let t: TimeOfDay = "18:30".parse().unwrap();
+/// assert_eq!(t, TimeOfDay::hm(18, 30).unwrap());
+/// assert_eq!("6 pm".parse::<TimeOfDay>().unwrap(), TimeOfDay::hm(18, 0).unwrap());
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TimeOfDay {
+    minutes: u16,
+}
+
+impl TimeOfDay {
+    /// Midnight (`00:00`).
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay { minutes: 0 };
+    /// Noon (`12:00`).
+    pub const NOON: TimeOfDay = TimeOfDay { minutes: 12 * 60 };
+
+    /// Creates a time of day from hour and minute.
+    ///
+    /// Returns `None` if `hour > 23` or `minute > 59`.
+    pub fn hm(hour: u8, minute: u8) -> Option<TimeOfDay> {
+        if hour > 23 || minute > 59 {
+            return None;
+        }
+        Some(TimeOfDay {
+            minutes: hour as u16 * 60 + minute as u16,
+        })
+    }
+
+    /// Creates a time of day from minutes since midnight, wrapping past
+    /// 24 h (so `25 * 60` is `01:00`).
+    pub fn from_minutes(minutes: u32) -> TimeOfDay {
+        TimeOfDay {
+            minutes: (minutes % DAY_MINUTES) as u16,
+        }
+    }
+
+    /// Minutes since midnight.
+    pub fn minutes(self) -> u16 {
+        self.minutes
+    }
+
+    /// The hour component (0–23).
+    pub fn hour(self) -> u8 {
+        (self.minutes / 60) as u8
+    }
+
+    /// The minute component (0–59).
+    pub fn minute(self) -> u8 {
+        (self.minutes % 60) as u8
+    }
+}
+
+impl fmt::Debug for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:{:02}", self.hour(), self.minute())
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromStr for TimeOfDay {
+    type Err = ParseTimeError;
+
+    /// Accepts `"18:30"`, `"6 pm"`, `"6:30 am"`, `"noon"`, `"midnight"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let raw = s.trim().to_ascii_lowercase();
+        match raw.as_str() {
+            "noon" => return Ok(TimeOfDay::NOON),
+            "midnight" => return Ok(TimeOfDay::MIDNIGHT),
+            _ => {}
+        }
+        let (body, meridiem) = if let Some(b) = raw.strip_suffix("am") {
+            (b.trim(), Some(false))
+        } else if let Some(b) = raw.strip_suffix("pm") {
+            (b.trim(), Some(true))
+        } else {
+            (raw.as_str(), None)
+        };
+        let (h_str, m_str) = match body.split_once(':') {
+            Some((h, m)) => (h, m),
+            None => (body, "0"),
+        };
+        let hour: u8 = h_str.trim().parse().map_err(|_| ParseTimeError::new(s))?;
+        let minute: u8 = m_str.trim().parse().map_err(|_| ParseTimeError::new(s))?;
+        let hour = match meridiem {
+            Some(pm) => {
+                if hour == 0 || hour > 12 {
+                    return Err(ParseTimeError::new(s));
+                }
+                match (pm, hour) {
+                    (false, 12) => 0,
+                    (false, h) => h,
+                    (true, 12) => 12,
+                    (true, h) => h + 12,
+                }
+            }
+            None => hour,
+        };
+        TimeOfDay::hm(hour, minute).ok_or_else(|| ParseTimeError::new(s))
+    }
+}
+
+/// Days of the week for `"every Monday"` date specs.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl Weekday {
+    /// All weekdays in order, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Index with Monday = 0 … Sunday = 6.
+    pub fn index(self) -> u8 {
+        Weekday::ALL.iter().position(|w| *w == self).unwrap() as u8
+    }
+
+    /// The weekday `days` after `self`.
+    pub fn advance(self, days: u64) -> Weekday {
+        Weekday::ALL[((self.index() as u64 + days) % 7) as usize]
+    }
+
+    /// Parses an English weekday name, case-insensitive, full or
+    /// three-letter form. Returns `None` for unknown words.
+    pub fn from_word(word: &str) -> Option<Weekday> {
+        match word.to_ascii_lowercase().as_str() {
+            "monday" | "mon" => Some(Weekday::Monday),
+            "tuesday" | "tue" => Some(Weekday::Tuesday),
+            "wednesday" | "wed" => Some(Weekday::Wednesday),
+            "thursday" | "thu" => Some(Weekday::Thursday),
+            "friday" | "fri" => Some(Weekday::Friday),
+            "saturday" | "sat" => Some(Weekday::Saturday),
+            "sunday" | "sun" => Some(Weekday::Sunday),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A calendar date (proleptic Gregorian).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Creates a date, validating month and day-of-month.
+    pub fn new(year: i32, month: u8, day: u8) -> Option<Date> {
+        if month == 0 || month > 12 || day == 0 {
+            return None;
+        }
+        if day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// The year.
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// The month (1–12).
+    pub fn month(self) -> u8 {
+        self.month
+    }
+
+    /// The day of month (1–31).
+    pub fn day(self) -> u8 {
+        self.day
+    }
+
+    /// The weekday of this date (Zeller's congruence).
+    pub fn weekday(self) -> Weekday {
+        let (mut y, mut m) = (self.year, self.month as i32);
+        if m < 3 {
+            m += 12;
+            y -= 1;
+        }
+        let k = y.rem_euclid(100);
+        let j = y.div_euclid(100);
+        let q = self.day as i32;
+        let h = (q + (13 * (m + 1)) / 5 + k + k / 4 + j / 4 + 5 * j).rem_euclid(7);
+        // h: 0 = Saturday, 1 = Sunday, 2 = Monday, ...
+        match h {
+            0 => Weekday::Saturday,
+            1 => Weekday::Sunday,
+            2 => Weekday::Monday,
+            3 => Weekday::Tuesday,
+            4 => Weekday::Wednesday,
+            5 => Weekday::Thursday,
+            _ => Weekday::Friday,
+        }
+    }
+
+    /// The date `days` after `self`.
+    pub fn advance(self, mut days: u64) -> Date {
+        let mut d = self;
+        while days > 0 {
+            let dim = days_in_month(d.year, d.month);
+            let remaining_in_month = (dim - d.day) as u64;
+            if days <= remaining_in_month {
+                d.day += days as u8;
+                return d;
+            }
+            days -= remaining_in_month + 1;
+            d.day = 1;
+            if d.month == 12 {
+                d.month = 1;
+                d.year += 1;
+            } else {
+                d.month += 1;
+            }
+        }
+        d
+    }
+}
+
+fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromStr for Date {
+    type Err = ParseTimeError;
+
+    /// Parses ISO `YYYY-MM-DD`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.trim().splitn(3, '-');
+        let year = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| ParseTimeError::new(s))?;
+        let month = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| ParseTimeError::new(s))?;
+        let day = parts
+            .next()
+            .and_then(|p| p.parse().ok())
+            .ok_or_else(|| ParseTimeError::new(s))?;
+        Date::new(year, month, day).ok_or_else(|| ParseTimeError::new(s))
+    }
+}
+
+/// Named parts of the day used by CADEL phrases such as "in evening" or
+/// "at night".
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize,
+)]
+#[allow(missing_docs)]
+pub enum DayPart {
+    Morning,
+    Afternoon,
+    Evening,
+    Night,
+}
+
+impl DayPart {
+    /// The wall-clock window conventionally covered by this day part.
+    ///
+    /// Morning 06:00–12:00, afternoon 12:00–17:00, evening 17:00–22:00,
+    /// night 22:00–06:00 (wrapping midnight).
+    pub fn window(self) -> TimeWindow {
+        let hm = |h: u8| TimeOfDay::hm(h, 0).expect("static hour is valid");
+        match self {
+            DayPart::Morning => TimeWindow::new(hm(6), hm(12)),
+            DayPart::Afternoon => TimeWindow::new(hm(12), hm(17)),
+            DayPart::Evening => TimeWindow::new(hm(17), hm(22)),
+            DayPart::Night => TimeWindow::new(hm(22), hm(6)),
+        }
+    }
+
+    /// Parses "morning" / "afternoon" / "evening" / "night",
+    /// case-insensitive.
+    pub fn from_word(word: &str) -> Option<DayPart> {
+        match word.to_ascii_lowercase().as_str() {
+            "morning" => Some(DayPart::Morning),
+            "afternoon" => Some(DayPart::Afternoon),
+            "evening" => Some(DayPart::Evening),
+            "night" => Some(DayPart::Night),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DayPart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A half-open daily window `[start, end)` of wall-clock time, possibly
+/// wrapping midnight (`22:00 → 06:00`).
+///
+/// A window with `start == end` covers the whole day.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    start: TimeOfDay,
+    end: TimeOfDay,
+}
+
+impl TimeWindow {
+    /// The window covering the entire day.
+    pub const ALL_DAY: TimeWindow = TimeWindow {
+        start: TimeOfDay::MIDNIGHT,
+        end: TimeOfDay::MIDNIGHT,
+    };
+
+    /// Creates the window `[start, end)`; wraps midnight when
+    /// `end <= start` (except that `start == end` means all day).
+    pub fn new(start: TimeOfDay, end: TimeOfDay) -> TimeWindow {
+        TimeWindow { start, end }
+    }
+
+    /// The inclusive start of the window.
+    pub fn start(self) -> TimeOfDay {
+        self.start
+    }
+
+    /// The exclusive end of the window.
+    pub fn end(self) -> TimeOfDay {
+        self.end
+    }
+
+    /// Whether the window wraps past midnight.
+    pub fn wraps(self) -> bool {
+        self.end < self.start
+    }
+
+    /// Whether the window covers the whole day.
+    pub fn is_all_day(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(self, t: TimeOfDay) -> bool {
+        if self.is_all_day() {
+            return true;
+        }
+        if self.wraps() {
+            t >= self.start || t < self.end
+        } else {
+            t >= self.start && t < self.end
+        }
+    }
+
+    /// Decomposes into non-wrapping `[start, end)` minute intervals.
+    fn segments(self) -> Vec<(u32, u32)> {
+        let s = self.start.minutes() as u32;
+        let e = self.end.minutes() as u32;
+        if self.is_all_day() {
+            vec![(0, DAY_MINUTES)]
+        } else if self.wraps() {
+            vec![(s, DAY_MINUTES), (0, e)]
+        } else {
+            vec![(s, e)]
+        }
+    }
+
+    /// Whether two windows share at least one minute of the day.
+    ///
+    /// Used by the conflict checker: two rules guarded by disjoint time
+    /// windows can never fire together.
+    pub fn intersects(self, other: TimeWindow) -> bool {
+        for (a0, a1) in self.segments() {
+            for (b0, b1) in other.segments() {
+                if a0 < b1 && b0 < a1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Total minutes covered by the window.
+    pub fn duration_minutes(self) -> u32 {
+        self.segments().iter().map(|(a, b)| b - a).sum()
+    }
+}
+
+impl Default for TimeWindow {
+    fn default() -> Self {
+        TimeWindow::ALL_DAY
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}–{}", self.start, self.end)
+    }
+}
+
+/// A point on the simulated timeline: milliseconds since the simulation
+/// epoch (midnight of day zero).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SimTime {
+    millis: u64,
+}
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: SimTime = SimTime { millis: 0 };
+
+    /// Creates a time from raw milliseconds since the epoch.
+    pub const fn from_millis(millis: u64) -> SimTime {
+        SimTime { millis }
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.millis
+    }
+
+    /// Whole days elapsed since the epoch.
+    pub fn day_index(self) -> u64 {
+        self.millis / (DAY_MINUTES as u64 * 60_000)
+    }
+
+    /// The wall-clock time of day at this instant.
+    pub fn time_of_day(self) -> TimeOfDay {
+        let minutes = (self.millis / 60_000) % DAY_MINUTES as u64;
+        TimeOfDay::from_minutes(minutes as u32)
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration::from_millis(self.millis.saturating_sub(earlier.millis))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime::from_millis(self.millis + d.as_millis())
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.millis += d.as_millis();
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}+{}", self.day_index(), self.time_of_day())
+    }
+}
+
+/// A span of simulated time with millisecond resolution.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SimDuration {
+    millis: u64,
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { millis: 0 };
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> SimDuration {
+        SimDuration { millis }
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> SimDuration {
+        SimDuration {
+            millis: secs * 1000,
+        }
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_minutes(minutes: u64) -> SimDuration {
+        SimDuration {
+            millis: minutes * 60_000,
+        }
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(hours: u64) -> SimDuration {
+        SimDuration {
+            millis: hours * 3_600_000,
+        }
+    }
+
+    /// The duration in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.millis
+    }
+
+    /// The duration in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.millis / 1000
+    }
+
+    /// The duration in whole minutes (truncating).
+    pub const fn as_minutes(self) -> u64 {
+        self.millis / 60_000
+    }
+
+    /// Whether this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.millis == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration::from_millis(self.millis + other.millis)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration::from_millis(self.millis.saturating_sub(other.millis))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.millis % 60_000 == 0 {
+            write!(f, "{}min", self.as_minutes())
+        } else if self.millis % 1000 == 0 {
+            write!(f, "{}s", self.as_secs())
+        } else {
+            write!(f, "{}ms", self.millis)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn time_of_day_construction() {
+        assert_eq!(TimeOfDay::hm(18, 30).unwrap().minutes(), 18 * 60 + 30);
+        assert!(TimeOfDay::hm(24, 0).is_none());
+        assert!(TimeOfDay::hm(10, 60).is_none());
+    }
+
+    #[test]
+    fn time_of_day_parsing() {
+        assert_eq!("18:30".parse::<TimeOfDay>().unwrap(), TimeOfDay::hm(18, 30).unwrap());
+        assert_eq!("6 pm".parse::<TimeOfDay>().unwrap(), TimeOfDay::hm(18, 0).unwrap());
+        assert_eq!("6:15 am".parse::<TimeOfDay>().unwrap(), TimeOfDay::hm(6, 15).unwrap());
+        assert_eq!("12 am".parse::<TimeOfDay>().unwrap(), TimeOfDay::MIDNIGHT);
+        assert_eq!("12 pm".parse::<TimeOfDay>().unwrap(), TimeOfDay::NOON);
+        assert_eq!("noon".parse::<TimeOfDay>().unwrap(), TimeOfDay::NOON);
+        assert_eq!("midnight".parse::<TimeOfDay>().unwrap(), TimeOfDay::MIDNIGHT);
+        assert!("25:00".parse::<TimeOfDay>().is_err());
+        assert!("13 pm".parse::<TimeOfDay>().is_err());
+        assert!("0 pm".parse::<TimeOfDay>().is_err());
+        assert!("snack".parse::<TimeOfDay>().is_err());
+    }
+
+    #[test]
+    fn weekday_arithmetic() {
+        assert_eq!(Weekday::Friday.advance(3), Weekday::Monday);
+        assert_eq!(Weekday::Monday.advance(0), Weekday::Monday);
+        assert_eq!(Weekday::Sunday.advance(7), Weekday::Sunday);
+    }
+
+    #[test]
+    fn date_validation() {
+        assert!(Date::new(2005, 2, 29).is_none());
+        assert!(Date::new(2004, 2, 29).is_some()); // leap year
+        assert!(Date::new(2005, 13, 1).is_none());
+        assert!(Date::new(2005, 4, 31).is_none());
+    }
+
+    #[test]
+    fn date_weekday_known_values() {
+        // ICDCS 2005 ran June 6-10 2005; June 6 2005 was a Monday.
+        assert_eq!(Date::new(2005, 6, 6).unwrap().weekday(), Weekday::Monday);
+        assert_eq!(Date::new(2000, 1, 1).unwrap().weekday(), Weekday::Saturday);
+        assert_eq!(Date::new(2026, 7, 7).unwrap().weekday(), Weekday::Tuesday);
+    }
+
+    #[test]
+    fn date_advance_crosses_months_and_years() {
+        let d = Date::new(2005, 12, 30).unwrap();
+        assert_eq!(d.advance(3), Date::new(2006, 1, 2).unwrap());
+        let d = Date::new(2004, 2, 28).unwrap();
+        assert_eq!(d.advance(1), Date::new(2004, 2, 29).unwrap());
+        assert_eq!(d.advance(2), Date::new(2004, 3, 1).unwrap());
+    }
+
+    #[test]
+    fn date_parse() {
+        assert_eq!(
+            "2005-06-06".parse::<Date>().unwrap(),
+            Date::new(2005, 6, 6).unwrap()
+        );
+        assert!("2005-13-06".parse::<Date>().is_err());
+        assert!("yesterday".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn window_contains_non_wrapping() {
+        let w = TimeWindow::new(TimeOfDay::hm(17, 0).unwrap(), TimeOfDay::hm(22, 0).unwrap());
+        assert!(w.contains(TimeOfDay::hm(17, 0).unwrap()));
+        assert!(w.contains(TimeOfDay::hm(21, 59).unwrap()));
+        assert!(!w.contains(TimeOfDay::hm(22, 0).unwrap()));
+        assert!(!w.contains(TimeOfDay::hm(3, 0).unwrap()));
+    }
+
+    #[test]
+    fn window_contains_wrapping() {
+        let night = DayPart::Night.window();
+        assert!(night.wraps());
+        assert!(night.contains(TimeOfDay::hm(23, 0).unwrap()));
+        assert!(night.contains(TimeOfDay::hm(2, 0).unwrap()));
+        assert!(!night.contains(TimeOfDay::hm(6, 0).unwrap()));
+        assert!(!night.contains(TimeOfDay::NOON));
+    }
+
+    #[test]
+    fn all_day_window() {
+        assert!(TimeWindow::ALL_DAY.contains(TimeOfDay::hm(13, 37).unwrap()));
+        assert_eq!(TimeWindow::ALL_DAY.duration_minutes(), 1440);
+    }
+
+    #[test]
+    fn window_intersection() {
+        let evening = DayPart::Evening.window();
+        let night = DayPart::Night.window();
+        let morning = DayPart::Morning.window();
+        assert!(!evening.intersects(night)); // [17,22) vs [22,6)
+        assert!(night.intersects(morning) == false); // [22,6) vs [6,12)
+        let late = TimeWindow::new(TimeOfDay::hm(21, 0).unwrap(), TimeOfDay::hm(23, 0).unwrap());
+        assert!(evening.intersects(late));
+        assert!(night.intersects(late));
+        assert!(TimeWindow::ALL_DAY.intersects(night));
+    }
+
+    #[test]
+    fn daypart_windows_cover_the_day() {
+        let total: u32 = [
+            DayPart::Morning,
+            DayPart::Afternoon,
+            DayPart::Evening,
+            DayPart::Night,
+        ]
+        .iter()
+        .map(|p| p.window().duration_minutes())
+        .sum();
+        assert_eq!(total, 1440);
+    }
+
+    #[test]
+    fn sim_time_decomposition() {
+        let t = SimTime::EPOCH + SimDuration::from_hours(26) + SimDuration::from_minutes(30);
+        assert_eq!(t.day_index(), 1);
+        assert_eq!(t.time_of_day(), TimeOfDay::hm(2, 30).unwrap());
+    }
+
+    #[test]
+    fn sim_duration_display() {
+        assert_eq!(SimDuration::from_minutes(90).to_string(), "90min");
+        assert_eq!(SimDuration::from_secs(30).to_string(), "30s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "250ms");
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_millis(1000);
+        let b = SimTime::from_millis(5000);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration::from_secs(4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_window_contains_agrees_with_intersects(
+            s1 in 0u32..1440, e1 in 0u32..1440, t in 0u32..1440
+        ) {
+            let w = TimeWindow::new(TimeOfDay::from_minutes(s1), TimeOfDay::from_minutes(e1));
+            let point = TimeWindow::new(
+                TimeOfDay::from_minutes(t),
+                TimeOfDay::from_minutes((t + 1) % 1440),
+            );
+            // A 1-minute window intersects w iff its minute is contained.
+            if !point.is_all_day() {
+                prop_assert_eq!(w.intersects(point), w.contains(TimeOfDay::from_minutes(t)));
+            }
+        }
+
+        #[test]
+        fn prop_intersects_is_symmetric(
+            s1 in 0u32..1440, e1 in 0u32..1440, s2 in 0u32..1440, e2 in 0u32..1440
+        ) {
+            let a = TimeWindow::new(TimeOfDay::from_minutes(s1), TimeOfDay::from_minutes(e1));
+            let b = TimeWindow::new(TimeOfDay::from_minutes(s2), TimeOfDay::from_minutes(e2));
+            prop_assert_eq!(a.intersects(b), b.intersects(a));
+        }
+
+        #[test]
+        fn prop_weekday_advance_cycles(start in 0u8..7, days in 0u64..100) {
+            let w = Weekday::ALL[start as usize];
+            prop_assert_eq!(w.advance(days).advance(7 - (days % 7)), w);
+        }
+
+        #[test]
+        fn prop_date_advance_weekday_consistent(days in 0u64..400) {
+            let base = Date::new(2005, 6, 6).unwrap(); // a Monday
+            let later = base.advance(days);
+            prop_assert_eq!(later.weekday(), Weekday::Monday.advance(days));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The control point: validated action invocation and state queries.
+
+use crate::description::DeviceDescription;
+use crate::error::UpnpError;
+use crate::event::Subscription;
+use crate::registry::Registry;
+use crate::ssdp::{SearchTarget, SsdpClient, SsdpResponse};
+use cadel_types::{DeviceId, SimDuration, SimTime, Value};
+
+/// A UPnP control point over the simulated network: discovery, action
+/// invocation (validated against the device description), state queries
+/// and event subscription.
+///
+/// This is the component the rule execution module drives (paper §4.1:
+/// "we use the UPnP library to retrieve sensors and actuators, to obtain
+/// data from the sensors, and to interact with actuators").
+#[derive(Clone)]
+pub struct ControlPoint {
+    registry: Registry,
+    ssdp: SsdpClient,
+}
+
+impl ControlPoint {
+    /// Creates a control point over a registry.
+    pub fn new(registry: Registry) -> ControlPoint {
+        let ssdp = SsdpClient::new(registry.clone(), 0xCADE1);
+        ControlPoint { registry, ssdp }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// SSDP discovery with the given search target and MX deadline.
+    pub fn discover(&self, target: &SearchTarget, mx: SimDuration) -> Vec<SsdpResponse> {
+        self.ssdp.search(target, mx)
+    }
+
+    /// Fetches a device's description document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownDevice`] for unknown UDNs.
+    pub fn describe(&self, udn: &DeviceId) -> Result<DeviceDescription, UpnpError> {
+        self.registry.description(udn)
+    }
+
+    /// Invokes an action on a device after validating it against the
+    /// description: the action must exist and every supplied argument must
+    /// match a declared input of the right kind.
+    ///
+    /// # Errors
+    ///
+    /// * [`UpnpError::UnknownDevice`] / [`UpnpError::UnknownAction`] for
+    ///   bad targets,
+    /// * [`UpnpError::InvalidArgument`] for undeclared or mistyped
+    ///   arguments,
+    /// * whatever the device itself raises.
+    pub fn invoke(
+        &self,
+        udn: &DeviceId,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        let description = self.registry.description(udn)?;
+        let (_, signature) =
+            description
+                .find_action(action)
+                .ok_or_else(|| UpnpError::UnknownAction {
+                    device: udn.clone(),
+                    action: action.to_owned(),
+                })?;
+        for (name, value) in args {
+            let spec = signature
+                .input(name)
+                .ok_or_else(|| UpnpError::InvalidArgument {
+                    action: action.to_owned(),
+                    argument: name.clone(),
+                    expected: value.kind(),
+                })?;
+            if spec.kind() != value.kind() {
+                return Err(UpnpError::InvalidArgument {
+                    action: action.to_owned(),
+                    argument: name.clone(),
+                    expected: spec.kind(),
+                });
+            }
+        }
+        let device = self.registry.device(udn)?;
+        device.invoke(action, args, at)
+    }
+
+    /// Reads a state variable of a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownDevice`] or
+    /// [`UpnpError::UnknownVariable`].
+    pub fn query(&self, udn: &DeviceId, variable: &str) -> Result<Value, UpnpError> {
+        let device = self.registry.device(udn)?;
+        device.query(variable)
+    }
+
+    /// Subscribes to property-change events of one device (GENA
+    /// SUBSCRIBE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownDevice`] for unknown UDNs.
+    pub fn subscribe(&self, udn: &DeviceId) -> Result<Subscription, UpnpError> {
+        // Verify the device exists first, like a real SUBSCRIBE would 404.
+        self.registry.description(udn)?;
+        Ok(self.registry.event_bus().subscribe(Some(udn.clone())))
+    }
+
+    /// Subscribes to property changes from every device.
+    pub fn subscribe_all(&self) -> Subscription {
+        self.registry.event_bus().subscribe(None)
+    }
+
+    /// Advances every registered device's simulation clock.
+    pub fn tick_all(&self, now: SimTime) {
+        for description in self.registry.descriptions() {
+            if let Ok(device) = self.registry.device(description.udn()) {
+                device.tick(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::{ActionSignature, ArgSpec, ServiceDescription, StateVariableSpec};
+    use crate::device::VirtualDevice;
+    use crate::event::EventPublisher;
+    use cadel_types::{Quantity, Unit, ValueKind};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    /// A switchable lamp that publishes power changes.
+    struct Lamp {
+        description: DeviceDescription,
+        power: Mutex<bool>,
+        publisher: Mutex<Option<EventPublisher>>,
+    }
+
+    impl Lamp {
+        fn new(udn: &str) -> Arc<Lamp> {
+            let description = DeviceDescription::new(udn, "Lamp", "urn:cadel:device:lamp:1")
+                .with_service(
+                    ServiceDescription::new("sw", "urn:cadel:service:switch:1")
+                        .with_action(ActionSignature::new("TurnOn"))
+                        .with_action(ActionSignature::new("TurnOff"))
+                        .with_action(
+                            ActionSignature::new("SetBrightness")
+                                .with_arg(ArgSpec::input("level", ValueKind::Number)),
+                        )
+                        .with_variable(StateVariableSpec::new("power", ValueKind::Bool)),
+                );
+            Arc::new(Lamp {
+                description,
+                power: Mutex::new(false),
+                publisher: Mutex::new(None),
+            })
+        }
+    }
+
+    impl VirtualDevice for Lamp {
+        fn description(&self) -> DeviceDescription {
+            self.description.clone()
+        }
+
+        fn invoke(
+            &self,
+            action: &str,
+            _args: &[(String, Value)],
+            at: SimTime,
+        ) -> Result<Vec<(String, Value)>, UpnpError> {
+            let value = match action.to_ascii_lowercase().as_str() {
+                "turnon" => true,
+                "turnoff" => false,
+                "setbrightness" => return Ok(vec![]),
+                _ => {
+                    return Err(UpnpError::UnknownAction {
+                        device: self.description.udn().clone(),
+                        action: action.to_owned(),
+                    })
+                }
+            };
+            *self.power.lock() = value;
+            if let Some(p) = self.publisher.lock().as_ref() {
+                p.publish("power", Value::Bool(value), at);
+            }
+            Ok(vec![])
+        }
+
+        fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+            if variable.eq_ignore_ascii_case("power") {
+                Ok(Value::Bool(*self.power.lock()))
+            } else {
+                Err(UpnpError::UnknownVariable {
+                    device: self.description.udn().clone(),
+                    variable: variable.to_owned(),
+                })
+            }
+        }
+
+        fn attach(&self, publisher: EventPublisher) {
+            *self.publisher.lock() = Some(publisher);
+        }
+    }
+
+    fn setup() -> (ControlPoint, DeviceId) {
+        let registry = Registry::new();
+        let udn = registry.register(Lamp::new("lamp-1")).unwrap();
+        (ControlPoint::new(registry), udn)
+    }
+
+    #[test]
+    fn invoke_and_query_round_trip() {
+        let (cp, udn) = setup();
+        assert_eq!(cp.query(&udn, "power").unwrap(), Value::Bool(false));
+        cp.invoke(&udn, "TurnOn", &[], SimTime::EPOCH).unwrap();
+        assert_eq!(cp.query(&udn, "power").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn invoke_validates_action_and_args() {
+        let (cp, udn) = setup();
+        assert!(matches!(
+            cp.invoke(&udn, "SelfDestruct", &[], SimTime::EPOCH),
+            Err(UpnpError::UnknownAction { .. })
+        ));
+        // Wrong argument name.
+        let err = cp
+            .invoke(
+                &udn,
+                "SetBrightness",
+                &[("wattage".to_owned(), Value::Bool(true))],
+                SimTime::EPOCH,
+            )
+            .unwrap_err();
+        assert!(matches!(err, UpnpError::InvalidArgument { .. }));
+        // Wrong argument type.
+        let err = cp
+            .invoke(
+                &udn,
+                "SetBrightness",
+                &[("level".to_owned(), Value::Bool(true))],
+                SimTime::EPOCH,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            UpnpError::InvalidArgument {
+                expected: ValueKind::Number,
+                ..
+            }
+        ));
+        // Correct invocation.
+        cp.invoke(
+            &udn,
+            "SetBrightness",
+            &[(
+                "level".to_owned(),
+                Value::Number(Quantity::from_integer(50, Unit::Percent)),
+            )],
+            SimTime::EPOCH,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn events_flow_to_subscribers() {
+        let (cp, udn) = setup();
+        let sub = cp.subscribe(&udn).unwrap();
+        cp.invoke(&udn, "TurnOn", &[], SimTime::from_millis(5)).unwrap();
+        let changes = sub.drain();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].variable, "power");
+        assert_eq!(changes[0].value, Value::Bool(true));
+        assert_eq!(changes[0].at, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn subscribe_to_missing_device_fails() {
+        let (cp, _) = setup();
+        assert!(matches!(
+            cp.subscribe(&DeviceId::new("ghost")),
+            Err(UpnpError::UnknownDevice(_))
+        ));
+    }
+
+    #[test]
+    fn discovery_through_control_point() {
+        let (cp, udn) = setup();
+        let found = cp.discover(&SearchTarget::All, SimDuration::from_secs(3));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].udn, udn);
+    }
+}

@@ -1,0 +1,48 @@
+//! The virtual device abstraction.
+
+use crate::description::DeviceDescription;
+use crate::error::UpnpError;
+use crate::event::EventPublisher;
+use cadel_types::{SimTime, Value};
+
+/// A simulated UPnP device: something that can describe itself, execute
+/// actions, and answer state queries.
+///
+/// Implementations live in `cadel-devices` (air conditioner, TV, lights,
+/// sensors, …). Devices must be thread-safe: the registry shares them
+/// behind `Arc`.
+pub trait VirtualDevice: Send + Sync {
+    /// The device's description document.
+    fn description(&self) -> DeviceDescription;
+
+    /// Invokes an action with named arguments; returns named outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownAction`] for actions absent from the
+    /// description, [`UpnpError::InvalidArgument`] /
+    /// [`UpnpError::RangeViolation`] for bad inputs, and
+    /// [`UpnpError::DeviceFault`] for device-specific failures.
+    fn invoke(
+        &self,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError>;
+
+    /// Reads the current value of a state variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownVariable`] for undeclared variables.
+    fn query(&self, variable: &str) -> Result<Value, UpnpError>;
+
+    /// Hands the device its event publisher. Called once at registration;
+    /// the default implementation ignores it (for devices that never
+    /// publish).
+    fn attach(&self, _publisher: EventPublisher) {}
+
+    /// Advances the device's internal simulation to `now` (temperature
+    /// drift, timers, …). Default: nothing to simulate.
+    fn tick(&self, _now: SimTime) {}
+}

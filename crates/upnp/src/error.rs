@@ -1,0 +1,97 @@
+//! UPnP substrate errors.
+
+use cadel_types::{DeviceId, ValueKind};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the simulated UPnP layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UpnpError {
+    /// No device with this UDN is registered.
+    UnknownDevice(DeviceId),
+    /// A device is already registered under this UDN.
+    DuplicateDevice(DeviceId),
+    /// The device does not offer the invoked action.
+    UnknownAction {
+        /// The target device.
+        device: DeviceId,
+        /// The action name that was not found.
+        action: String,
+    },
+    /// The device has no such state variable.
+    UnknownVariable {
+        /// The target device.
+        device: DeviceId,
+        /// The variable name that was not found.
+        variable: String,
+    },
+    /// An action argument had the wrong type.
+    InvalidArgument {
+        /// The action being invoked.
+        action: String,
+        /// The offending argument.
+        argument: String,
+        /// The expected value kind.
+        expected: ValueKind,
+    },
+    /// A value fell outside the variable's allowed range or value list.
+    RangeViolation {
+        /// The variable.
+        variable: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The device rejected the command for a device-specific reason.
+    DeviceFault(String),
+    /// The event subscription id is unknown or already cancelled.
+    UnknownSubscription(u64),
+}
+
+impl fmt::Display for UpnpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpnpError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            UpnpError::DuplicateDevice(d) => write!(f, "device {d} is already registered"),
+            UpnpError::UnknownAction { device, action } => {
+                write!(f, "device {device} has no action {action:?}")
+            }
+            UpnpError::UnknownVariable { device, variable } => {
+                write!(f, "device {device} has no state variable {variable:?}")
+            }
+            UpnpError::InvalidArgument {
+                action,
+                argument,
+                expected,
+            } => write!(
+                f,
+                "argument {argument:?} of action {action:?} expects a {expected:?} value"
+            ),
+            UpnpError::RangeViolation { variable, detail } => {
+                write!(f, "value for {variable:?} out of range: {detail}")
+            }
+            UpnpError::DeviceFault(msg) => write!(f, "device fault: {msg}"),
+            UpnpError::UnknownSubscription(sid) => {
+                write!(f, "unknown event subscription {sid}")
+            }
+        }
+    }
+}
+
+impl Error for UpnpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<UpnpError>();
+        let e = UpnpError::UnknownAction {
+            device: DeviceId::new("tv"),
+            action: "Fly".into(),
+        };
+        assert!(e.to_string().contains("Fly"));
+    }
+}

@@ -1,0 +1,274 @@
+//! GENA-style eventing: property-change notifications over channels.
+//!
+//! UPnP devices publish state-variable changes to subscribed control
+//! points. Here a [`EventBus`] fans property changes out to per-
+//! subscription crossbeam channels; a subscription may be scoped to one
+//! device or observe everything.
+
+use crate::error::UpnpError;
+use cadel_types::{DeviceId, SimTime, Value};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One property-change notification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PropertyChange {
+    /// The device whose variable changed.
+    pub device: DeviceId,
+    /// The state variable name.
+    pub variable: String,
+    /// The new value.
+    pub value: Value,
+    /// Monotonic sequence number (per bus).
+    pub seq: u64,
+    /// Simulated timestamp of the change.
+    pub at: SimTime,
+}
+
+#[derive(Debug)]
+struct SubscriptionEntry {
+    sid: u64,
+    scope: Option<DeviceId>,
+    sender: Sender<PropertyChange>,
+}
+
+/// The shared event bus devices publish through.
+#[derive(Clone, Debug, Default)]
+pub struct EventBus {
+    inner: Arc<BusInner>,
+}
+
+#[derive(Debug, Default)]
+struct BusInner {
+    subscriptions: Mutex<Vec<SubscriptionEntry>>,
+    next_sid: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+/// A live event subscription: the receiving end of the channel plus the
+/// subscription id used to cancel it.
+#[derive(Debug)]
+pub struct Subscription {
+    sid: u64,
+    receiver: Receiver<PropertyChange>,
+    bus: EventBus,
+}
+
+impl Subscription {
+    /// The subscription id (UPnP "SID").
+    pub fn sid(&self) -> u64 {
+        self.sid
+    }
+
+    /// The channel of notifications.
+    pub fn receiver(&self) -> &Receiver<PropertyChange> {
+        &self.receiver
+    }
+
+    /// Drains all currently queued notifications.
+    pub fn drain(&self) -> Vec<PropertyChange> {
+        let mut out = Vec::new();
+        while let Ok(change) = self.receiver.try_recv() {
+            out.push(change);
+        }
+        out
+    }
+
+    /// Cancels the subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownSubscription`] when already cancelled.
+    pub fn cancel(self) -> Result<(), UpnpError> {
+        self.bus.unsubscribe(self.sid)
+    }
+}
+
+/// The publishing handle handed to virtual devices.
+#[derive(Clone, Debug)]
+pub struct EventPublisher {
+    device: DeviceId,
+    bus: EventBus,
+}
+
+impl EventPublisher {
+    /// Publishes a property change for this publisher's device.
+    pub fn publish(&self, variable: impl Into<String>, value: Value, at: SimTime) {
+        self.bus
+            .publish_change(self.device.clone(), variable.into(), value, at);
+    }
+
+    /// The device this publisher speaks for.
+    pub fn device(&self) -> &DeviceId {
+        &self.device
+    }
+}
+
+impl EventBus {
+    /// Creates a new bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Creates a publishing handle for a device.
+    pub fn publisher(&self, device: DeviceId) -> EventPublisher {
+        EventPublisher {
+            device,
+            bus: self.clone(),
+        }
+    }
+
+    /// Subscribes to changes from one device (`Some`) or from every device
+    /// (`None`).
+    pub fn subscribe(&self, scope: Option<DeviceId>) -> Subscription {
+        let (sender, receiver) = unbounded();
+        let sid = self.inner.next_sid.fetch_add(1, Ordering::Relaxed);
+        self.inner.subscriptions.lock().push(SubscriptionEntry {
+            sid,
+            scope,
+            sender,
+        });
+        Subscription {
+            sid,
+            receiver,
+            bus: self.clone(),
+        }
+    }
+
+    /// Cancels a subscription by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownSubscription`] for an unknown id.
+    pub fn unsubscribe(&self, sid: u64) -> Result<(), UpnpError> {
+        let mut subs = self.inner.subscriptions.lock();
+        let before = subs.len();
+        subs.retain(|s| s.sid != sid);
+        if subs.len() == before {
+            return Err(UpnpError::UnknownSubscription(sid));
+        }
+        Ok(())
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.subscriptions.lock().len()
+    }
+
+    /// Publishes a change to all matching subscriptions. Disconnected
+    /// receivers are pruned.
+    pub fn publish_change(
+        &self,
+        device: DeviceId,
+        variable: String,
+        value: Value,
+        at: SimTime,
+    ) {
+        let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
+        let change = PropertyChange {
+            device,
+            variable,
+            value,
+            seq,
+            at,
+        };
+        let mut subs = self.inner.subscriptions.lock();
+        subs.retain(|s| {
+            let interested = match &s.scope {
+                Some(d) => *d == change.device,
+                None => true,
+            };
+            if !interested {
+                return true;
+            }
+            s.sender.send(change.clone()).is_ok()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::{Quantity, Unit};
+
+    fn publish(bus: &EventBus, device: &str, var: &str, v: i64) {
+        bus.publish_change(
+            DeviceId::new(device),
+            var.to_owned(),
+            Value::Number(Quantity::from_integer(v, Unit::Celsius)),
+            SimTime::EPOCH,
+        );
+    }
+
+    #[test]
+    fn global_subscription_sees_everything() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(None);
+        publish(&bus, "a", "temperature", 20);
+        publish(&bus, "b", "temperature", 21);
+        let changes = sub.drain();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].device.as_str(), "a");
+        assert!(changes[0].seq < changes[1].seq);
+    }
+
+    #[test]
+    fn scoped_subscription_filters() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(Some(DeviceId::new("tv")));
+        publish(&bus, "thermo", "temperature", 20);
+        publish(&bus, "tv", "power", 1);
+        let changes = sub.drain();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].device.as_str(), "tv");
+    }
+
+    #[test]
+    fn publisher_handle_is_bound_to_device() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(None);
+        let publisher = bus.publisher(DeviceId::new("lamp"));
+        assert_eq!(publisher.device().as_str(), "lamp");
+        publisher.publish("power", Value::Bool(true), SimTime::EPOCH);
+        let changes = sub.drain();
+        assert_eq!(changes[0].device.as_str(), "lamp");
+        assert_eq!(changes[0].value, Value::Bool(true));
+    }
+
+    #[test]
+    fn cancel_removes_subscription() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(None);
+        assert_eq!(bus.subscription_count(), 1);
+        let sid = sub.sid();
+        sub.cancel().unwrap();
+        assert_eq!(bus.subscription_count(), 0);
+        assert_eq!(
+            bus.unsubscribe(sid),
+            Err(UpnpError::UnknownSubscription(sid))
+        );
+    }
+
+    #[test]
+    fn dropped_receivers_are_pruned_on_publish() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(None);
+        drop(sub.receiver().clone()); // clone-drop is harmless
+        drop(sub); // receiver gone entirely
+        assert_eq!(bus.subscription_count(), 1); // not yet noticed
+        publish(&bus, "a", "x", 1);
+        assert_eq!(bus.subscription_count(), 0); // pruned at publish time
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let bus = EventBus::new();
+        let s1 = bus.subscribe(None);
+        let s2 = bus.subscribe(None);
+        publish(&bus, "a", "x", 1);
+        assert_eq!(s1.drain().len(), 1);
+        assert_eq!(s2.drain().len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! A simulated UPnP substrate for the CADEL framework.
+//!
+//! The paper's prototype ran on CyberLink UPnP for Java with 50 *virtual
+//! UPnP devices*; this crate is the equivalent substrate, entirely
+//! in-process (see DESIGN.md for the substitution argument):
+//!
+//! * [`DeviceDescription`] / [`ServiceDescription`] — the information real
+//!   UPnP publishes as XML description documents (friendly names, device
+//!   and service type URNs, action signatures, state variable tables with
+//!   allowed ranges).
+//! * [`VirtualDevice`] — the trait concrete appliances implement
+//!   (`cadel-devices` ships a whole home's worth).
+//! * [`Registry`] — registration plus the indexed lookups (by name,
+//!   device type, service type, location, keyword) that experiment E1
+//!   times.
+//! * [`SsdpClient`] — `M-SEARCH` semantics with deterministic simulated
+//!   response delays and MX truncation.
+//! * [`ControlPoint`] — validated action invocation, state queries,
+//!   discovery and GENA-style event subscription over the [`EventBus`].
+//!
+//! # Example
+//!
+//! ```
+//! use cadel_upnp::{ControlPoint, Registry, SearchTarget};
+//! use cadel_types::SimDuration;
+//!
+//! let registry = Registry::new();
+//! let cp = ControlPoint::new(registry);
+//! let found = cp.discover(&SearchTarget::All, SimDuration::from_secs(3));
+//! assert!(found.is_empty()); // nothing registered yet
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod description;
+pub mod device;
+pub mod error;
+pub mod event;
+pub mod registry;
+pub mod ssdp;
+
+pub use control::ControlPoint;
+pub use description::{
+    ActionSignature, ArgSpec, DeviceDescription, Direction, ServiceDescription,
+    StateVariableSpec,
+};
+pub use device::VirtualDevice;
+pub use error::UpnpError;
+pub use event::{EventBus, EventPublisher, PropertyChange, Subscription};
+pub use registry::Registry;
+pub use ssdp::{SearchTarget, SsdpClient, SsdpResponse};

@@ -1,0 +1,59 @@
+//! CADEL in another language (paper §4.2: "different versions of CADEL
+//! based on any other languages can be defined").
+//!
+//! The vocabulary is data: this example builds a miniature romaji-Japanese
+//! lexicon and parses a rule with it — the grammar machinery, compiler and
+//! engine are untouched.
+//!
+//! ```text
+//! cargo run --example multilingual
+//! ```
+
+use cadel::lang::ast::Command;
+use cadel::lang::{parse_command, Compiler, Dictionary, Lexicon, MapResolver};
+use cadel::rule::Verb;
+use cadel::simplex::RelOp;
+use cadel::types::{DeviceId, PersonId, RuleId, SensorKey, Unit};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A miniature romaji lexicon. Real deployments would fill all tables;
+    // untranslated structure words (if/and/with/…) keep their grammar
+    // role, exactly like the paper's English keywords.
+    let lexicon = Lexicon::builder()
+        .verb("tsukete", Verb::TurnOn)
+        .verb("keshite", Verb::TurnOff)
+        .comparison("yori takai", RelOp::Gt)
+        .comparison("yori hikui", RelOp::Lt)
+        .presence_predicate("ni iru")
+        .build();
+
+    let mut resolver = MapResolver::new();
+    resolver
+        .add_sensor(
+            "kion", // air temperature
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            None,
+            Unit::Celsius,
+        )
+        .add_device("eakon", "aircon-lr", None);
+
+    let dictionary = Dictionary::new();
+    let sentence = "If kion is yori takai 28 degrees, tsukete the eakon with \
+                    25 degrees of temperature setting.";
+    println!("parsing: {sentence:?}");
+    let cmd = parse_command(sentence, &lexicon, &dictionary)?;
+    let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
+    match cmd {
+        Command::Rule(ast) => {
+            let rule = compiler
+                .compile_rule(&ast)?
+                .label(sentence)
+                .build(RuleId::new(1))?;
+            println!("compiled rule object:");
+            println!("  condition: {}", rule.condition());
+            println!("  action:    {}", rule.action());
+        }
+        other => println!("unexpected command {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: register one CADEL rule and watch it control a device.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cadel::devices::LivingRoomHome;
+use cadel::server::{HomeServer, SubmitOutcome};
+use cadel::types::{Rational, SimDuration, SimTime, Topology};
+use cadel::upnp::{ControlPoint, Registry, VirtualDevice};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A home: the paper's living room, full of virtual UPnP devices.
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+    let mut topology = Topology::new("home");
+    topology.add_floor("first floor")?;
+    topology.add_room("living room", "first floor")?;
+    topology.add_room("hall", "first floor")?;
+
+    // 2. A home server and an occupant.
+    let mut server = HomeServer::new(ControlPoint::new(registry), topology);
+    let tom = server.add_user("tom")?;
+
+    // 3. Tom writes a rule in CADEL — paper §4.2, example (1).
+    let sentence = "If humidity is higher than 80 percent and temperature is higher \
+                    than 28 degrees, turn on the air conditioner with 25 degrees of \
+                    temperature setting.";
+    println!("Tom says: {sentence:?}");
+    match server.submit(&tom, sentence)? {
+        SubmitOutcome::Registered { id, .. } => println!("  -> registered as {id}"),
+        other => println!("  -> {other:?}"),
+    }
+
+    // 4. The room heats up; the engine reacts.
+    let mut now = SimTime::EPOCH;
+    println!("\nroom: 25°C / 60% — aircon power = {:?}", home.aircon.query("power")?);
+    now += SimDuration::from_minutes(30);
+    home.thermometer.set_reading(Rational::from_integer(29), now)?;
+    home.hygrometer.set_reading(Rational::from_integer(85), now)?;
+    let report = server.step(now + SimDuration::from_secs(1));
+    println!(
+        "room: 29°C / 85% — engine dispatched {} action(s)",
+        report.dispatched().len()
+    );
+    println!(
+        "aircon power = {:?}, setpoint = {:?}",
+        home.aircon.query("power")?,
+        home.aircon.query("setpoint")?
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! The guidance/lookup service of Figs 4–6 rendered as text: retrieving
+//! devices and sensors by keyword, action, location and user-defined word,
+//! and listing a device's allowed actions.
+//!
+//! ```text
+//! cargo run --example rule_browser
+//! ```
+
+use cadel::devices::LivingRoomHome;
+use cadel::server::{DeviceQuery, HomeServer, SubmitOutcome};
+use cadel::types::{LocationSelector, Rational, SimTime, Topology};
+use cadel::upnp::{ControlPoint, Registry};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+    let mut topology = Topology::new("home");
+    topology.add_floor("first floor")?;
+    topology.add_room("living room", "first floor")?;
+    topology.add_room("hall", "first floor")?;
+    let mut server = HomeServer::new(ControlPoint::new(registry), topology);
+    let tom = server.add_user("tom")?;
+    home.thermometer.set_reading(Rational::from_integer(27), SimTime::EPOCH)?;
+    home.hygrometer.set_reading(Rational::from_integer(66), SimTime::EPOCH)?;
+
+    // Tom coins the word from the paper's Fig. 4.
+    let def = "Let's call the condition that humidity is higher than 60 percent and \
+               temperature is higher than 28 degrees hot and stuffy";
+    if let SubmitOutcome::ConditionWordDefined { word } = server.submit(&tom, def)? {
+        println!("defined condition word: {word:?}\n");
+    }
+
+    {
+        let guidance = server.guidance();
+
+        println!("== devices by keyword 'temperature' (Fig. 5) ==");
+        for d in guidance.find_devices(&DeviceQuery::new().keyword("temperature")) {
+            println!("  {d}");
+        }
+
+        println!("\n== devices in the hall that can TurnOn (Fig. 6) ==");
+        let q = DeviceQuery::new()
+            .action("TurnOn")
+            .within(LocationSelector::within("hall"));
+        for d in guidance.find_devices(&q) {
+            println!("  {d}  actions: {:?}", d.action_names());
+        }
+
+        println!("\n== sensors measuring 'humidity', with live values ==");
+        for s in guidance.find_sensors("humidity", &LocationSelector::Anywhere) {
+            println!(
+                "  {} . {} = {:?} (at {:?})",
+                s.device_name, s.variable, s.current_value, s.location
+            );
+        }
+    }
+
+    let dictionary = server.users().effective_dictionary(&tom)?;
+    let guidance = server.guidance();
+
+    println!("\n== sensors retrieved by the word 'hot and stuffy' (Fig. 5) ==");
+    for s in guidance.sensors_for_word("hot and stuffy", &dictionary, &LocationSelector::Anywhere)
+    {
+        println!("  {} . {} = {:?}", s.device_name, s.variable, s.current_value);
+    }
+
+    println!("\n== words that mention the 'temperature' sensor (reverse lookup) ==");
+    for w in guidance.words_for_sensor("temperature", &dictionary) {
+        println!("  {w:?}");
+    }
+
+    println!("\n== allowed actions of the air conditioner (Fig. 6) ==");
+    for a in guidance.device_actions(&cadel::types::DeviceId::new("aircon-lr")) {
+        println!("  {a}");
+    }
+    Ok(())
+}

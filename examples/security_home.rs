@@ -1,0 +1,78 @@
+//! The paper's §4.2 rule examples (2) and (3) driving a security scenario:
+//!
+//! * "After evening, if someone returns home and the hall is dark, turn on
+//!   the light at the hall."
+//! * "At night, if entrance door is unlocked for 1 hour, turn on the
+//!   alarm."
+//!
+//! ```text
+//! cargo run --example security_home
+//! ```
+
+use cadel::devices::LivingRoomHome;
+use cadel::server::{HomeServer, SubmitOutcome};
+use cadel::types::{PersonId, Rational, SimDuration, SimTime, Topology, Value};
+use cadel::upnp::{ControlPoint, Registry, VirtualDevice};
+
+fn hm(h: u64, m: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_hours(h) + SimDuration::from_minutes(m)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+    let mut topology = Topology::new("home");
+    topology.add_floor("first floor")?;
+    topology.add_room("living room", "first floor")?;
+    topology.add_room("hall", "first floor")?;
+    let mut server = HomeServer::new(ControlPoint::new(registry), topology);
+    let tom = server.add_user("tom")?;
+
+    for sentence in [
+        "After evening, if someone returns home and the hall is dark, turn on the light at the hall.",
+        "At night, if entrance door is unlocked for 1 hour, turn on the alarm.",
+    ] {
+        println!("register: {sentence:?}");
+        match server.submit(&tom, sentence)? {
+            SubmitOutcome::Registered { id, .. } => println!("  -> {id}"),
+            other => println!("  -> {other:?}"),
+        }
+    }
+
+    // --- Evening arrival with a dark hall --------------------------------
+    let mut now = hm(19, 30);
+    home.hall_lux.set_reading(Rational::from_integer(40), now)?; // dark
+    server.step(now);
+    println!("\n19:30 hall is dark ({:?})", home.hall_lux.query("illuminance")?);
+    now = hm(19, 32);
+    home.hall_presence
+        .announce_arrival(&PersonId::new("tom"), "returns home", now);
+    let report = server.step(now);
+    println!(
+        "19:32 Tom returns home -> hall light power = {:?} ({} action(s))",
+        home.hall_light.query("power")?,
+        report.dispatched().len()
+    );
+    assert_eq!(home.hall_light.query("power")?, Value::Bool(true));
+
+    // --- Door left unlocked at night --------------------------------------
+    let t_unlock = hm(23, 0);
+    home.entrance_door.set_locked(false, t_unlock);
+    server.step(t_unlock);
+    println!("\n23:00 entrance door unlocked");
+    // 30 minutes: not yet.
+    let t = hm(23, 30);
+    server.step(t);
+    println!("23:30 alarm = {:?}", home.alarm.query("power")?);
+    assert_eq!(home.alarm.query("power")?, Value::Bool(false));
+    // 61 minutes: the alarm fires.
+    let t = hm(23, 0) + SimDuration::from_minutes(61);
+    let report = server.step(t);
+    println!(
+        "00:01 (door unlocked for 1 hour) alarm = {:?} ({} action(s))",
+        home.alarm.query("power")?,
+        report.dispatched().len()
+    );
+    assert_eq!(home.alarm.query("power")?, Value::Bool(true));
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! Cross-crate integration: CADEL sentence → parser → compiler →
+//! consistency/conflict checks → rule database → engine → UPnP devices.
+
+use cadel::devices::LivingRoomHome;
+use cadel::server::{HomeServer, ServerError, SubmitOutcome};
+use cadel::types::{PersonId, Rational, SimDuration, SimTime, Topology, Value};
+use cadel::upnp::{ControlPoint, Registry, SearchTarget, VirtualDevice};
+
+fn hm(h: u64, m: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_hours(h) + SimDuration::from_minutes(m)
+}
+
+fn setup() -> (HomeServer, LivingRoomHome) {
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+    let mut topology = Topology::new("home");
+    topology.add_floor("first floor").unwrap();
+    topology.add_room("living room", "first floor").unwrap();
+    topology.add_room("hall", "first floor").unwrap();
+    let mut server = HomeServer::new(ControlPoint::new(registry), topology);
+    for name in ["tom", "alan", "emily"] {
+        server.add_user(name).unwrap();
+    }
+    (server, home)
+}
+
+#[test]
+fn paper_rule_example_1_full_loop() {
+    // §4.2 example (1): numeric conjunction + configuration.
+    let (mut server, home) = setup();
+    let tom = PersonId::new("tom");
+    let outcome = server
+        .submit(
+            &tom,
+            "If humidity is higher than 80 percent and temperature is higher than \
+             28 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
+        )
+        .unwrap();
+    assert!(matches!(outcome, SubmitOutcome::Registered { .. }));
+
+    // Only one threshold crossed: nothing happens.
+    home.hygrometer
+        .set_reading(Rational::from_integer(85), SimTime::from_millis(1))
+        .unwrap();
+    assert!(server.step(SimTime::from_millis(2)).dispatched().is_empty());
+    // Both crossed: the aircon turns on with the configured set-point.
+    home.thermometer
+        .set_reading(Rational::from_integer(29), SimTime::from_millis(3))
+        .unwrap();
+    let report = server.step(SimTime::from_millis(4));
+    assert_eq!(report.dispatched().len(), 1);
+    assert_eq!(home.aircon.query("power").unwrap(), Value::Bool(true));
+    assert_eq!(
+        home.aircon.query("setpoint").unwrap(),
+        Value::Number(cadel::types::Quantity::from_integer(
+            25,
+            cadel::types::Unit::Celsius
+        ))
+    );
+}
+
+#[test]
+fn paper_rule_example_2_full_loop() {
+    // §4.2 example (2): time window + event + ambient condition +
+    // location-scoped device.
+    let (mut server, home) = setup();
+    let tom = PersonId::new("tom");
+    server
+        .submit(
+            &tom,
+            "After evening, if someone returns home and the hall is dark, \
+             turn on the light at the hall.",
+        )
+        .unwrap();
+
+    // Morning arrival in a dark hall: the time window gates the rule.
+    home.hall_lux
+        .set_reading(Rational::from_integer(40), hm(9, 0))
+        .unwrap();
+    home.hall_presence
+        .announce_arrival(&tom, "returns home", hm(9, 0));
+    server.step(hm(9, 1));
+    assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(false));
+
+    // Evening arrival in a bright hall: the ambient condition gates it.
+    home.hall_lux
+        .set_reading(Rational::from_integer(500), hm(19, 0))
+        .unwrap();
+    home.hall_presence
+        .announce_arrival(&tom, "returns home", hm(19, 0));
+    server.step(hm(19, 1));
+    assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(false));
+
+    // Evening arrival in a dark hall: fires.
+    home.hall_lux
+        .set_reading(Rational::from_integer(40), hm(20, 0))
+        .unwrap();
+    home.hall_presence
+        .announce_arrival(&tom, "returns home", hm(20, 0));
+    server.step(hm(20, 1));
+    assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn paper_rule_example_3_duration_gate() {
+    // §4.2 example (3): "for 1 hour" with an interruption reset.
+    let (mut server, home) = setup();
+    let tom = PersonId::new("tom");
+    server
+        .submit(&tom, "At night, if entrance door is unlocked for 1 hour, turn on the alarm.")
+        .unwrap();
+
+    home.entrance_door.set_locked(false, hm(22, 30));
+    server.step(hm(22, 30));
+    server.step(hm(23, 0));
+    assert_eq!(home.alarm.query("power").unwrap(), Value::Bool(false));
+    // Re-locked at 23:10 — the hour resets.
+    home.entrance_door.set_locked(true, hm(23, 10));
+    server.step(hm(23, 10));
+    home.entrance_door.set_locked(false, hm(23, 15));
+    server.step(hm(23, 15));
+    // 1 hour after the FIRST unlock, but only 20 min after the reset.
+    server.step(hm(23, 35));
+    assert_eq!(home.alarm.query("power").unwrap(), Value::Bool(false));
+    // 1 hour after the reset (00:16, still night): fires.
+    server.step(hm(23, 15) + SimDuration::from_minutes(61));
+    assert_eq!(home.alarm.query("power").unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn word_definitions_are_per_user_and_guidance_finds_them() {
+    let (mut server, _home) = setup();
+    let tom = PersonId::new("tom");
+    server
+        .submit(
+            &tom,
+            "Let's call the condition that humidity is higher than 60 percent and \
+             temperature is higher than 28 degrees hot and stuffy",
+        )
+        .unwrap();
+    let dictionary = server.users().effective_dictionary(&tom).unwrap();
+    assert!(dictionary.condition("hot and stuffy").is_some());
+
+    // Guidance resolves the word back to its sensors (Fig. 5).
+    let guidance = server.guidance();
+    let sensors = guidance.sensors_for_word(
+        "hot and stuffy",
+        &dictionary,
+        &cadel::types::LocationSelector::Anywhere,
+    );
+    let devices: Vec<&str> = sensors.iter().map(|s| s.device.as_str()).collect();
+    assert_eq!(devices, ["hygro-lr", "thermo-lr"]);
+}
+
+#[test]
+fn ssdp_discovery_and_control_round_trip() {
+    let (server, home) = setup();
+    let cp = server.engine().control();
+    let found = cp.discover(&SearchTarget::All, SimDuration::from_secs(3));
+    assert_eq!(found.len(), 15);
+    let tvs = cp.discover(
+        &SearchTarget::DeviceType("urn:cadel:device:tv:1".into()),
+        SimDuration::from_secs(3),
+    );
+    assert_eq!(tvs.len(), 1);
+    cp.invoke(&tvs[0].udn, "TurnOn", &[], SimTime::EPOCH).unwrap();
+    assert_eq!(home.tv.query("power").unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn parse_errors_surface_with_positions() {
+    let (mut server, _home) = setup();
+    let tom = PersonId::new("tom");
+    let err = server.submit(&tom, "please make everything nice").unwrap_err();
+    match err {
+        ServerError::Lang(e) => assert!(e.to_string().contains("verb")),
+        other => panic!("expected a language error, got {other:?}"),
+    }
+    let err = server
+        .submit(&tom, "If the moon is higher than 3 degrees, turn on the TV.")
+        .unwrap_err();
+    assert!(err.to_string().contains("moon"));
+}
+
+#[test]
+fn multi_user_export_import_moves_rules_between_homes() {
+    let (mut server_a, _home_a) = setup();
+    let tom = PersonId::new("tom");
+    server_a
+        .submit(&tom, "When a movie is on air, turn on the TV.")
+        .unwrap();
+    server_a
+        .submit(&tom, "At night, if entrance door is unlocked for 1 hour, turn on the alarm.")
+        .unwrap();
+    let json = server_a.export_rules().unwrap();
+
+    let (mut server_b, home_b) = setup();
+    let emily = PersonId::new("emily");
+    let report = server_b.import_rules(&emily, &json).unwrap();
+    assert_eq!(report.imported.len(), 2);
+
+    // The imported movie rule runs in the new home.
+    home_b.tv_guide.announce("movie", SimTime::from_millis(1));
+    server_b.step(SimTime::from_millis(2));
+    assert_eq!(home_b.tv.query("power").unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn engine_with_and_without_trigger_index_agree_end_to_end() {
+    let build = |use_index: bool| {
+        let (mut server, home) = setup();
+        server.engine_mut().set_use_trigger_index(use_index);
+        let tom = PersonId::new("tom");
+        server
+            .submit(&tom, "If temperature is higher than 26 degrees, turn on the air conditioner.")
+            .unwrap();
+        server
+            .submit(&tom, "When a movie is on air, turn on the TV.")
+            .unwrap();
+        (server, home)
+    };
+    let (mut a, home_a) = build(true);
+    let (mut b, home_b) = build(false);
+    for (home, _t) in [(&home_a, 0), (&home_b, 0)] {
+        home.thermometer
+            .set_reading(Rational::from_integer(28), SimTime::from_millis(1))
+            .unwrap();
+        home.tv_guide.announce("movie", SimTime::from_millis(1));
+    }
+    let ra = a.step(SimTime::from_millis(2));
+    let rb = b.step(SimTime::from_millis(2));
+    assert_eq!(ra, rb);
+    assert_eq!(
+        home_a.aircon.query("power").unwrap(),
+        home_b.aircon.query("power").unwrap()
+    );
+}

@@ -1,0 +1,118 @@
+//! Integration test for experiment **F1**: the Fig. 1 control scenario.
+//!
+//! Asserts the *shape* of the paper's time chart: which device changes
+//! state, in what order, under which arbitration decision. See
+//! EXPERIMENTS.md for the side-by-side with the paper.
+
+use cadel::sim::LivingRoomScenario;
+use cadel::types::{RuleId, SimDuration, SimTime};
+
+fn hm(h: u64, m: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_hours(h) + SimDuration::from_minutes(m)
+}
+
+#[test]
+fn figure_1_device_timelines() {
+    let world = LivingRoomScenario::build().run();
+    let chart = &world.chart;
+
+    // The five tracks of Fig. 1, with the paper's label sequences.
+    assert_eq!(
+        chart.label_sequence("Stereo"),
+        vec![
+            "off",
+            "jazz music vol30%",  // s1
+            "jazz music vol15%",  // s'1
+            "movie sound vol15%", // s3
+        ]
+    );
+    assert_eq!(
+        chart.label_sequence("TV"),
+        vec!["off", "baseball game", "movie"] // t2 -> t3
+    );
+    assert_eq!(
+        chart.label_sequence("Recorder"),
+        vec!["off", "rec baseball game"] // r2
+    );
+    assert_eq!(
+        chart.label_sequence("Room light"),
+        vec!["off", "half-lighting", "bright"] // l1 -> l3
+    );
+    assert_eq!(
+        chart.label_sequence("Air conditioner"),
+        vec!["off", "25°C/60%", "24°C/55%", "27°C/65%"] // a1 -> a2 -> a3
+    );
+}
+
+#[test]
+fn figure_1_transition_timing() {
+    let world = LivingRoomScenario::build().run();
+    let chart = &world.chart;
+
+    // *1 (17:00): Tom's rules.
+    assert_eq!(chart.state_at("Stereo", hm(16, 59)), Some("off"));
+    assert_eq!(chart.state_at("Stereo", hm(17, 2)), Some("jazz music vol30%"));
+    assert_eq!(chart.state_at("Room light", hm(17, 2)), Some("half-lighting"));
+
+    // 17:30 hot-and-stuffy: a1 with Tom's set-points.
+    assert_eq!(chart.state_at("Air conditioner", hm(17, 29)), Some("off"));
+    assert_eq!(chart.state_at("Air conditioner", hm(17, 32)), Some("25°C/60%"));
+
+    // *2 (18:00): Alan arrives — TV on, stereo quieter, aircon to Alan's.
+    assert_eq!(chart.state_at("TV", hm(17, 59)), Some("off"));
+    assert_eq!(chart.state_at("TV", hm(18, 2)), Some("baseball game"));
+    assert_eq!(chart.state_at("Stereo", hm(18, 2)), Some("jazz music vol15%"));
+    assert_eq!(chart.state_at("Air conditioner", hm(18, 2)), Some("24°C/55%"));
+
+    // 18:55 heat spike: Emily's rule triggers but she is out — suppressed.
+    assert_eq!(chart.state_at("Air conditioner", hm(18, 58)), Some("24°C/55%"));
+
+    // *3 (19:00): Emily arrives — everything re-arbitrates.
+    assert_eq!(chart.state_at("TV", hm(19, 2)), Some("movie"));
+    assert_eq!(chart.state_at("Stereo", hm(19, 2)), Some("movie sound vol15%"));
+    assert_eq!(chart.state_at("Room light", hm(19, 2)), Some("bright"));
+    assert_eq!(chart.state_at("Air conditioner", hm(19, 2)), Some("27°C/65%"));
+    // Alan's fallback recorder starts within a couple of minutes.
+    assert_eq!(chart.state_at("Recorder", hm(19, 3)), Some("rec baseball game"));
+}
+
+#[test]
+fn scenario_registered_expected_rules_and_priorities() {
+    let scenario = LivingRoomScenario::build();
+    let rules = scenario.rules();
+    let world = scenario.run();
+    let engine = world.server.engine();
+
+    // 11 rules (3 stereo, 2 TV, 1 recorder, 2 lights, 3 aircon).
+    assert_eq!(engine.rules().len(), 11);
+    // Five context-scoped priority orders were confirmed via the prompt
+    // (s3, a3, t2, a2, s'1 each answered one Fig.-7 dialog).
+    assert_eq!(engine.priorities().orders().len(), 5);
+    assert!(engine
+        .priorities()
+        .orders()
+        .iter()
+        .all(|o| o.context().is_some()));
+
+    // Rule ownership follows the scenario.
+    let owner = |id: RuleId| engine.rules().get(id).unwrap().owner().as_str().to_owned();
+    assert_eq!(owner(rules.s1), "tom");
+    assert_eq!(owner(rules.s1_quiet), "tom");
+    assert_eq!(owner(rules.s3), "emily");
+    assert_eq!(owner(rules.t2), "alan");
+    assert_eq!(owner(rules.t3), "emily");
+    assert_eq!(owner(rules.r2), "alan");
+    assert_eq!(owner(rules.a1), "tom");
+    assert_eq!(owner(rules.a2), "alan");
+    assert_eq!(owner(rules.a3), "emily");
+}
+
+#[test]
+fn scenario_is_deterministic() {
+    let a = LivingRoomScenario::build().run();
+    let b = LivingRoomScenario::build().run();
+    for track in ["Stereo", "TV", "Recorder", "Room light", "Air conditioner"] {
+        assert_eq!(a.chart.label_sequence(track), b.chart.label_sequence(track));
+    }
+    assert_eq!(a.log, b.log);
+}
