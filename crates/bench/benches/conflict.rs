@@ -1,4 +1,5 @@
-//! **E2 — "Time for Detecting Conflicting Rules"** (paper §5).
+//! **E2 — "Time for Detecting Conflicting Rules"** (paper §5), plus the
+//! compiled-checker series.
 //!
 //! The paper's workload: 10,000 registered rules, 100 of them on the same
 //! device as the new rule, each condition a conjunction of two
@@ -6,61 +7,58 @@
 //! Reported numbers: extraction ≤ 10 ms; the 100 satisfiability checks
 //! ≈ 0.2 ms total.
 //!
-//! Series regenerated here:
-//! * `e2_extract_same_device` — the database extraction step, over a
-//!   database-size sweep (the paper's 10,000 point included);
+//! Series:
+//! * `e2_extract` — the database extraction step over a size sweep;
 //! * `e2_solve_100x4` — the paper's "logical product of four inequalities
-//!    … 100 times" micro-measurement;
-//! * `e2_full_check` — the complete `find_conflicts` registration check,
-//!   sweeping the same-device count.
+//!   … 100 times" micro-measurement;
+//! * `e2_full_check` — `find_conflicts` (AST path, recompiles every
+//!   system per call) over the same-device sweep;
+//! * `ir_checker` — [`ConflictChecker`] on the same workloads: *cold*
+//!   (fresh cache, reusing the database's precompiled systems) and *warm*
+//!   (memoized verdict replay keyed by rule revisions).
 
+use cadel_bench::timing::{run, section};
 use cadel_bench::{e2_database, e2_probe, two_inequality_condition, SHARED_DEVICE};
-use cadel_conflict::find_conflicts;
+use cadel_conflict::{find_conflicts, ConflictChecker};
 use cadel_rule::VarPool;
 use cadel_simplex::is_satisfiable;
 use cadel_types::DeviceId;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_extraction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_extract_same_device");
+fn main() {
+    section("e2_extract_same_device (database index)");
     for total in [1_000u64, 10_000, 50_000] {
         let db = e2_database(total, 100);
         let device = DeviceId::new(SHARED_DEVICE);
-        group.bench_with_input(BenchmarkId::from_parameter(total), &total, |b, _| {
-            b.iter(|| {
-                let rules = db.rules_for_device(black_box(&device));
-                assert_eq!(rules.len(), 100);
-                rules.len()
-            })
+        run(&format!("e2_extract/{total}"), || {
+            let rules = db.rules_for_device(black_box(&device));
+            assert_eq!(rules.len(), 100);
+            rules.len()
         });
     }
-    group.finish();
-}
 
-fn bench_solver_100x4(c: &mut Criterion) {
-    // Prebuild the 100 four-inequality systems exactly as the conflict
-    // checker would: probe condition ∧ stored condition, shared pool.
-    let db = e2_database(10_000, 100);
-    let probe = e2_probe();
-    let probe_conjunct = &probe.dnf().conjuncts()[0];
-    let systems: Vec<Vec<cadel_simplex::Constraint>> = db
-        .rules_for_device(&DeviceId::new(SHARED_DEVICE))
-        .iter()
-        .map(|rule| {
-            let mut pool = VarPool::new();
-            let mut system = pool.conjunct_constraints(probe_conjunct).unwrap();
-            system.extend(
-                pool.conjunct_constraints(&rule.dnf().conjuncts()[0])
-                    .unwrap(),
-            );
-            assert_eq!(system.len(), 4);
-            system
-        })
-        .collect();
-
-    c.bench_function("e2_solve_100x4_inequalities", |b| {
-        b.iter(|| {
+    section("e2_solve_100x4_inequalities (paper's micro-measurement)");
+    {
+        // Prebuild the 100 four-inequality systems exactly as the AST
+        // conflict checker would: probe ∧ stored, one shared pool.
+        let db = e2_database(10_000, 100);
+        let probe = e2_probe();
+        let probe_conjunct = &probe.dnf().conjuncts()[0];
+        let systems: Vec<Vec<cadel_simplex::Constraint>> = db
+            .rules_for_device(&DeviceId::new(SHARED_DEVICE))
+            .iter()
+            .map(|rule| {
+                let mut pool = VarPool::new();
+                let mut system = pool.conjunct_constraints(probe_conjunct).unwrap();
+                system.extend(
+                    pool.conjunct_constraints(&rule.dnf().conjuncts()[0])
+                        .unwrap(),
+                );
+                assert_eq!(system.len(), 4);
+                system
+            })
+            .collect();
+        run("e2_solve_100x4", || {
             let mut feasible = 0u32;
             for system in &systems {
                 if is_satisfiable(black_box(system)).unwrap() {
@@ -69,48 +67,53 @@ fn bench_solver_100x4(c: &mut Criterion) {
             }
             assert_eq!(feasible, 100);
             feasible
-        })
-    });
-}
+        });
+    }
 
-fn bench_full_check(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_full_conflict_check");
-    group.sample_size(20);
-    // Sweep the same-device count at the paper's database size.
-    for same_device in [10u64, 100, 500] {
+    section("e2_full_conflict_check (AST vs compiled checker, 10k rules)");
+    for same_device in [10u64, 100, 1_000] {
         let db = e2_database(10_000, same_device);
         let probe = e2_probe();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(same_device),
-            &same_device,
-            |b, &m| {
-                b.iter(|| {
-                    let conflicts = find_conflicts(black_box(&db), black_box(&probe)).unwrap();
-                    assert_eq!(conflicts.len() as u64, m);
-                    conflicts.len()
-                })
-            },
-        );
+        run(&format!("e2_full_check/ast/{same_device}"), || {
+            let conflicts = find_conflicts(black_box(&db), black_box(&probe)).unwrap();
+            assert_eq!(conflicts.len() as u64, same_device);
+            conflicts.len()
+        });
+        // Cold: a fresh cache every call — measures precompiled-system
+        // reuse alone (the probe is unstored, so nothing memoizes).
+        run(&format!("e2_full_check/ir-cold/{same_device}"), || {
+            let mut checker = ConflictChecker::new();
+            let conflicts = checker
+                .find_conflicts(black_box(&db), black_box(&probe))
+                .unwrap();
+            assert_eq!(conflicts.len() as u64, same_device);
+            conflicts.len()
+        });
+        // Warm: the probe is stored, so verdicts replay from the
+        // revision-keyed cache after the first call.
+        let mut db = db;
+        db.insert(probe.clone()).unwrap();
+        let mut checker = ConflictChecker::new();
+        run(&format!("e2_full_check/ir-warm/{same_device}"), || {
+            let conflicts = checker
+                .find_conflicts(black_box(&db), black_box(&probe))
+                .unwrap();
+            assert_eq!(conflicts.len() as u64, same_device);
+            conflicts.len()
+        });
     }
-    group.finish();
-}
 
-fn bench_registration_pipeline(c: &mut Criterion) {
-    // Consistency check + conflict check, the paper's whole
-    // registration-time cost, at the E2 point.
-    let db = e2_database(10_000, 100);
-    c.bench_function("e2_registration_checks_total", |b| {
-        b.iter(|| {
+    section("e2_registration_checks_total (consistency + conflicts)");
+    {
+        let db = e2_database(10_000, 100);
+        run("e2_registration/ast", || {
             let probe = e2_probe();
             let report = cadel_conflict::check_consistency(black_box(&probe)).unwrap();
             assert!(report.is_satisfiable());
             let conflicts = find_conflicts(black_box(&db), &probe).unwrap();
             assert_eq!(conflicts.len(), 100);
             conflicts.len()
-        })
-    });
-    // Reference point: a self-consistency check alone.
-    c.bench_function("e2_consistency_check_single_rule", |b| {
+        });
         let condition = two_inequality_condition(26, 65);
         let rule = cadel_rule::Rule::builder(cadel_types::PersonId::new("x"))
             .condition(condition)
@@ -120,13 +123,8 @@ fn bench_registration_pipeline(c: &mut Criterion) {
             ))
             .build(cadel_types::RuleId::new(1))
             .unwrap();
-        b.iter(|| cadel_conflict::check_consistency(black_box(&rule)).unwrap())
-    });
+        run("e2_consistency_single_rule", || {
+            cadel_conflict::check_consistency(black_box(&rule)).unwrap()
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_extraction, bench_solver_100x4, bench_full_check, bench_registration_pipeline
-}
-criterion_main!(benches);

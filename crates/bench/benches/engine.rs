@@ -1,32 +1,38 @@
-//! **A3 (ablation)** — trigger indexing in the rule execution module.
+//! Engine-step benchmarks.
 //!
-//! The engine maps each sensor key / place / event channel to the rules
-//! that mention it, so one sensor event re-evaluates a handful of rules
-//! instead of the whole database. This ablation sweeps the rule count and
-//! compares a step with the index against the index-less full scan.
+//! * **A3 (ablation)** — trigger indexing: one sensor event against the
+//!   index vs the index-less full scan, and the cost of an idle tick.
+//! * **IR** — compiled rule programs vs the AST interpreter. Every rule
+//!   watches one shared sensor (so each event makes all of them
+//!   candidates) through a condition mixing event atoms (string-heavy in
+//!   the interpreter) and numeric constraints; 1 in 50 rules actually
+//!   flips on the alternating reading.
 
+use cadel_bench::timing::{run, section};
 use cadel_engine::Engine;
-use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, Rule, Verb};
 use cadel_simplex::RelOp;
 use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value};
 use cadel_upnp::{ControlPoint, EventBus, Registry};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-/// Builds an engine with `n` rules, each watching its own sensor, plus one
-/// rule watching the "hot" sensor that the benchmark's event touches.
-fn engine_with_rules(n: u64, use_index: bool) -> Engine {
-    let registry = Registry::new();
-    let mut engine = Engine::new(ControlPoint::new(registry));
+fn constraint(sensor: &SensorKey, op: RelOp, n: i64) -> Condition {
+    Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+        sensor.clone(),
+        op,
+        Quantity::from_integer(n, Unit::Celsius),
+    )))
+}
+
+/// A3 fleet: each rule watches its own sensor; the event only touches
+/// `sensor-0`.
+fn a3_engine(n: u64, use_index: bool) -> Engine {
+    let mut engine = Engine::new(ControlPoint::new(Registry::new()));
     engine.set_use_trigger_index(use_index);
     for i in 0..n {
         let sensor = SensorKey::new(DeviceId::new(format!("sensor-{i}")), "reading");
         let rule = Rule::builder(PersonId::new("bench"))
-            .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
-                sensor,
-                RelOp::Gt,
-                Quantity::from_integer(50, Unit::Celsius),
-            ))))
+            .condition(constraint(&sensor, RelOp::Gt, 50))
             .action(ActionSpec::new(
                 DeviceId::new(format!("device-{i}")),
                 Verb::TurnOn,
@@ -35,73 +41,107 @@ fn engine_with_rules(n: u64, use_index: bool) -> Engine {
             .unwrap();
         engine.add_rule(rule).unwrap();
     }
-    // Settle the initial evaluation pass so steady-state steps are
-    // measured.
+    engine.step(SimTime::from_millis(1)); // settle the initial pass
+    engine
+}
+
+/// IR fleet: every rule watches the shared sensor, so a reading change
+/// re-evaluates all `n` conditions. Two always-true event atoms and an
+/// always-true bound pad each condition with the work compilation
+/// removes; the final threshold is crossable only for 1 rule in 50.
+fn ir_engine(n: u64, compiled: bool) -> Engine {
+    let shared = SensorKey::new(DeviceId::new("sensor-shared"), "reading");
+    let mut engine = Engine::new(ControlPoint::new(Registry::new()));
+    engine.set_use_compiled(compiled);
+    engine
+        .context_mut()
+        .set_persistent_event("bench", "always-on");
+    engine
+        .context_mut()
+        .set_persistent_event("bench", "still-on");
+    for i in 0..n {
+        let threshold = if i % 50 == 0 { 50 } else { 10_000 };
+        let condition = Condition::Atom(Atom::Event(EventAtom::new("bench", "always-on")))
+            .and(constraint(&shared, RelOp::Gt, -1_000))
+            .and(Condition::Atom(Atom::Event(EventAtom::new(
+                "bench", "still-on",
+            ))))
+            .and(constraint(&shared, RelOp::Gt, threshold));
+        let rule = Rule::builder(PersonId::new("bench"))
+            .condition(condition)
+            .action(ActionSpec::new(
+                DeviceId::new(format!("device-{i}")),
+                Verb::TurnOn,
+            ))
+            .build(RuleId::new(i))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+    }
     engine.step(SimTime::from_millis(1));
     engine
 }
 
-fn publish_reading(bus: &EventBus, seq: u64, value: i64) {
+fn publish_reading(bus: &EventBus, device: &str, seq: u64, value: i64) {
     bus.publish_change(
-        DeviceId::new("sensor-0"),
+        DeviceId::new(device),
         "reading".to_owned(),
         Value::Number(Quantity::from_integer(value, Unit::Celsius)),
         SimTime::from_millis(seq),
     );
 }
 
-fn bench_step_after_one_event(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a3_step_after_one_sensor_event");
-    group.sample_size(20);
+fn main() {
+    section("a3_step_after_one_sensor_event (indexed vs full scan)");
     for n in [100u64, 1_000, 10_000] {
         for (label, use_index) in [("indexed", true), ("full-scan", false)] {
-            let mut engine = engine_with_rules(n, use_index);
+            let mut engine = a3_engine(n, use_index);
             let bus = engine.control().registry().event_bus().clone();
             let mut seq = 2u64;
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        // Alternate below/above threshold so the watched
-                        // rule keeps toggling (worst case for the index:
-                        // the rule stays live).
-                        seq += 1;
-                        let value = if seq % 2 == 0 { 30 } else { 70 };
-                        publish_reading(&bus, seq, value);
-                        let report = engine.step(SimTime::from_millis(seq));
-                        black_box(report.firings.len())
-                    })
-                },
-            );
-        }
-    }
-    group.finish();
-}
-
-fn bench_idle_step(c: &mut Criterion) {
-    // No events at all: the index makes an idle tick nearly free.
-    let mut group = c.benchmark_group("a3_idle_step");
-    group.sample_size(20);
-    for n in [1_000u64, 10_000] {
-        for (label, use_index) in [("indexed", true), ("full-scan", false)] {
-            let mut engine = engine_with_rules(n, use_index);
-            let mut seq = 2u64;
-            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                b.iter(|| {
-                    seq += 1;
-                    let report = engine.step(SimTime::from_millis(seq));
-                    black_box(report.is_empty())
-                })
+            run(&format!("a3_step/{label}/{n}"), || {
+                // Alternate below/above threshold so the watched rule
+                // keeps toggling (worst case: the rule stays live).
+                seq += 1;
+                let value = if seq.is_multiple_of(2) { 30 } else { 70 };
+                publish_reading(&bus, "sensor-0", seq, value);
+                black_box(engine.step(SimTime::from_millis(seq)).firings.len())
             });
         }
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_step_after_one_event, bench_idle_step
+    section("a3_idle_step (no events)");
+    for n in [1_000u64, 10_000] {
+        for (label, use_index) in [("indexed", true), ("full-scan", false)] {
+            let mut engine = a3_engine(n, use_index);
+            let mut seq = 2u64;
+            run(&format!("a3_idle/{label}/{n}"), || {
+                seq += 1;
+                black_box(engine.step(SimTime::from_millis(seq)).is_empty())
+            });
+        }
+    }
+
+    section("ir_step_all_candidates (compiled vs interpreted)");
+    for n in [10u64, 100, 1_000] {
+        let mut ratio = [0.0f64; 2];
+        for (slot, (label, compiled)) in [("interpreted", false), ("compiled", true)]
+            .iter()
+            .enumerate()
+        {
+            let mut engine = ir_engine(n, *compiled);
+            let bus = engine.control().registry().event_bus().clone();
+            let mut seq = 2u64;
+            let m = run(&format!("ir_step/{label}/{n}"), || {
+                seq += 1;
+                let value = if seq.is_multiple_of(2) { 30 } else { 70 };
+                publish_reading(&bus, "sensor-shared", seq, value);
+                black_box(engine.step(SimTime::from_millis(seq)).firings.len())
+            });
+            ratio[slot] = m.median_ns();
+        }
+        println!(
+            "{:<58} {:>13.2}x",
+            format!("ir_step/speedup(interpreted/compiled)/{n}"),
+            ratio[0] / ratio[1]
+        );
+    }
 }
-criterion_main!(benches);

@@ -3,18 +3,18 @@
 //! The paper stresses that CADEL descriptions are compiled once into rule
 //! objects instead of being re-interpreted at runtime (§4.1/§4.3). This
 //! ablation measures the front-end costs that compilation pays once:
-//! tokenization, parsing, and full compilation to rule objects — versus
+//! tokenization, parsing, and full compilation to rule objects (and, with
+//! the IR pipeline, all the way to [`cadel::ir::RuleProgram`]s) — versus
 //! the per-evaluation cost of an already-compiled rule (what the engine
 //! pays on every event).
 
+use cadel::ir::Interner;
 use cadel_bench::cadel_sentences;
+use cadel_bench::timing::{run, section};
 use cadel_engine::{ContextStore, Evaluator, HeldTracker};
 use cadel_lang::ast::Command;
 use cadel_lang::{parse_command, Compiler, Dictionary, Lexicon, MapResolver};
-use cadel_types::{
-    DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value,
-};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value};
 use std::hint::black_box;
 
 fn resolver() -> MapResolver {
@@ -52,74 +52,69 @@ fn resolver() -> MapResolver {
     r
 }
 
-fn bench_tokenize_and_parse(c: &mut Criterion) {
-    let lexicon = Lexicon::english();
-    let dictionary = Dictionary::new();
-    let corpus = cadel_sentences(256);
-    let bytes: usize = corpus.iter().map(String::len).sum();
-
-    let mut group = c.benchmark_group("a2_front_end");
-    group.throughput(Throughput::Bytes(bytes as u64));
-    group.bench_function("tokenize_corpus", |b| {
-        b.iter(|| {
-            for s in &corpus {
-                black_box(cadel_lang::token::tokenize(s).unwrap());
-            }
-        })
-    });
-    group.bench_function("parse_corpus", |b| {
-        b.iter(|| {
-            for s in &corpus {
-                black_box(parse_command(s, &lexicon, &dictionary).unwrap());
-            }
-        })
-    });
-    group.finish();
-}
-
-fn bench_compile(c: &mut Criterion) {
+fn main() {
     let lexicon = Lexicon::english();
     let dictionary = Dictionary::new();
     let resolver = resolver();
     let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
-    // Pre-parse so the measurement isolates compilation.
-    let parsed: Vec<Command> = cadel_sentences(256)
+
+    section("a2_front_end (256-sentence corpus)");
+    let corpus = cadel_sentences(256);
+    let bytes: usize = corpus.iter().map(String::len).sum();
+    println!("corpus: {} sentences, {} bytes", corpus.len(), bytes);
+    run("a2_front_end/tokenize_corpus", || {
+        for s in &corpus {
+            black_box(cadel_lang::token::tokenize(s).unwrap());
+        }
+    });
+    run("a2_front_end/parse_corpus", || {
+        for s in &corpus {
+            black_box(parse_command(s, &lexicon, &dictionary).unwrap());
+        }
+    });
+
+    section("a2_compile (pre-parsed corpus)");
+    // Pre-parse so the measurements isolate compilation.
+    let parsed: Vec<Command> = corpus
         .iter()
         .map(|s| parse_command(s, &lexicon, &dictionary).unwrap())
         .collect();
-
-    c.bench_function("a2_compile_corpus_to_rule_objects", |b| {
-        b.iter(|| {
-            let mut id = 0u64;
-            for cmd in &parsed {
-                if let Command::Rule(sentence) = cmd {
-                    let rule = compiler
-                        .compile_rule(black_box(sentence))
-                        .unwrap()
-                        .build(RuleId::new(id))
-                        .unwrap();
-                    black_box(rule);
-                    id += 1;
-                }
+    run("a2_compile_corpus_to_rule_objects", || {
+        let mut id = 0u64;
+        for cmd in &parsed {
+            if let Command::Rule(sentence) = cmd {
+                let rule = compiler
+                    .compile_rule(black_box(sentence))
+                    .unwrap()
+                    .build(RuleId::new(id))
+                    .unwrap();
+                black_box(rule);
+                id += 1;
             }
-        })
+        }
     });
-}
+    // One step further: lower each rule to its executable IR program too
+    // (the full sentence → rule object → RuleProgram pipeline).
+    run("a2_compile_corpus_to_ir_programs", || {
+        let mut interner = Interner::new();
+        let mut id = 0u64;
+        for cmd in &parsed {
+            if let Command::Rule(sentence) = cmd {
+                let (rule, program) = compiler
+                    .compile_rule_program(black_box(sentence), RuleId::new(id), &mut interner)
+                    .unwrap();
+                black_box((rule, program));
+                id += 1;
+            }
+        }
+    });
 
-fn bench_compiled_rule_evaluation(c: &mut Criterion) {
+    section("a2_evaluation (compiled rule vs per-evaluation interpretation)");
     // The payoff of compilation: evaluating a compiled rule object against
     // the live context, the cost paid on every sensor event.
-    let lexicon = Lexicon::english();
-    let dictionary = Dictionary::new();
-    let resolver = resolver();
-    let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
-    let cmd = parse_command(
-        "If humidity is higher than 60 percent and temperature is higher than \
-         26 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
-        &lexicon,
-        &dictionary,
-    )
-    .unwrap();
+    let sentence_text = "If humidity is higher than 60 percent and temperature is higher than \
+         26 degrees, turn on the air conditioner with 25 degrees of temperature setting.";
+    let cmd = parse_command(sentence_text, &lexicon, &dictionary).unwrap();
     let Command::Rule(sentence) = cmd else {
         panic!("expected a rule")
     };
@@ -141,43 +136,24 @@ fn bench_compiled_rule_evaluation(c: &mut Criterion) {
     );
     let mut held = HeldTracker::new();
 
-    c.bench_function("a2_evaluate_compiled_rule", |b| {
-        b.iter(|| {
-            let mut ev = Evaluator::new(&ctx, &mut held);
-            assert!(ev.condition_holds(black_box(rule.condition())));
-        })
+    run("a2_evaluate_compiled_rule", || {
+        let mut ev = Evaluator::new(&ctx, &mut held);
+        assert!(ev.condition_holds(black_box(rule.condition())));
     });
 
     // The "interpretation" alternative the paper rejects: re-parsing and
     // re-compiling the sentence on every evaluation.
-    c.bench_function("a2_interpret_sentence_per_evaluation", |b| {
-        b.iter(|| {
-            let cmd = parse_command(
-                black_box(
-                    "If humidity is higher than 60 percent and temperature is higher than \
-                     26 degrees, turn on the air conditioner with 25 degrees of temperature setting.",
-                ),
-                &lexicon,
-                &dictionary,
-            )
+    run("a2_interpret_sentence_per_evaluation", || {
+        let cmd = parse_command(black_box(sentence_text), &lexicon, &dictionary).unwrap();
+        let Command::Rule(sentence) = cmd else {
+            panic!("expected a rule")
+        };
+        let rule = compiler
+            .compile_rule(&sentence)
+            .unwrap()
+            .build(RuleId::new(1))
             .unwrap();
-            let Command::Rule(sentence) = cmd else {
-                panic!("expected a rule")
-            };
-            let rule = compiler
-                .compile_rule(&sentence)
-                .unwrap()
-                .build(RuleId::new(1))
-                .unwrap();
-            let mut ev = Evaluator::new(&ctx, &mut held);
-            assert!(ev.condition_holds(rule.condition()));
-        })
+        let mut ev = Evaluator::new(&ctx, &mut held);
+        assert!(ev.condition_holds(rule.condition()));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_tokenize_and_parse, bench_compile, bench_compiled_rule_evaluation
-}
-criterion_main!(benches);

@@ -8,35 +8,30 @@
 //! Expected shape: flat, far below the paper's 10 ms budget, and
 //! independent of fleet size (hash-indexed lookups).
 
+use cadel_bench::timing::{run, section};
 use cadel_devices::{install_virtual_fleet, FLEET_KINDS};
 use cadel_types::SimDuration;
 use cadel_upnp::{Registry, SearchTarget, SsdpClient};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 const FLEET_SIZES: [usize; 5] = [10, 50, 100, 500, 1000];
 
-fn bench_by_device_name(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_retrieve_by_device_name");
+fn main() {
+    section("e1_retrieve_by_device_name");
     for n in FLEET_SIZES {
         let registry = Registry::new();
         install_virtual_fleet(&registry, n);
         let names: Vec<String> = (0..n).map(|i| format!("Virtual Device {i}")).collect();
         let mut cursor = 0usize;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                cursor = (cursor + 1) % names.len();
-                let found = registry.find_by_name(black_box(&names[cursor]));
-                assert_eq!(found.len(), 1);
-                found
-            })
+        run(&format!("e1_by_device_name/{n}"), || {
+            cursor = (cursor + 1) % names.len();
+            let found = registry.find_by_name(black_box(&names[cursor]));
+            assert_eq!(found.len(), 1);
+            found
         });
     }
-    group.finish();
-}
 
-fn bench_by_service_name(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_retrieve_by_service_name");
+    section("e1_retrieve_by_service_name");
     for n in FLEET_SIZES {
         let registry = Registry::new();
         install_virtual_fleet(&registry, n);
@@ -45,39 +40,23 @@ fn bench_by_service_name(c: &mut Criterion) {
             .map(|k| format!("urn:cadel:service:{k}:1"))
             .collect();
         let mut cursor = 0usize;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                cursor = (cursor + 1) % services.len();
-                let found = registry.find_by_service_type(black_box(&services[cursor]));
-                assert!(!found.is_empty());
-                found
-            })
+        run(&format!("e1_by_service_name/{n}"), || {
+            cursor = (cursor + 1) % services.len();
+            let found = registry.find_by_service_type(black_box(&services[cursor]));
+            assert!(!found.is_empty());
+            found
         });
     }
-    group.finish();
-}
 
-fn bench_ssdp_search_all(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_ssdp_search_all");
+    section("e1_ssdp_search_all");
     for n in FLEET_SIZES {
         let registry = Registry::new();
         install_virtual_fleet(&registry, n);
         let client = SsdpClient::new(registry, 42);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let found =
-                    client.search(black_box(&SearchTarget::All), SimDuration::from_secs(3));
-                assert_eq!(found.len(), n);
-                found
-            })
+        run(&format!("e1_ssdp_search_all/{n}"), || {
+            let found = client.search(black_box(&SearchTarget::All), SimDuration::from_secs(3));
+            assert_eq!(found.len(), n);
+            found
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_by_device_name, bench_by_service_name, bench_ssdp_search_all
-}
-criterion_main!(benches);

@@ -9,11 +9,9 @@
 //! strategies on the same univariate systems, plus multi-variable tableau
 //! scaling and the infeasible (early-exit) case.
 
-use cadel_simplex::{
-    solve_intervals, solve_simplex, Constraint, LinExpr, RelOp, VarId,
-};
+use cadel_bench::timing::{run, section};
+use cadel_simplex::{solve_intervals, solve_simplex, Constraint, LinExpr, RelOp, VarId};
 use cadel_types::Rational;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// A feasible univariate system: interleaved lower/upper bounds on `vars`
@@ -60,63 +58,45 @@ fn multivariate_system(vars: u32) -> Vec<Constraint> {
     out
 }
 
-fn bench_interval_vs_simplex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a1_univariate_feasibility");
+fn main() {
+    section("a1_univariate_feasibility (interval vs simplex)");
     for k in [2usize, 4, 8, 16, 32] {
         let system = univariate_system(k, 2);
-        group.bench_with_input(BenchmarkId::new("interval", k), &k, |b, _| {
-            b.iter(|| {
-                assert!(solve_intervals(black_box(&system)).unwrap().is_feasible())
-            })
+        run(&format!("a1_univariate/interval/{k}"), || {
+            assert!(solve_intervals(black_box(&system)).unwrap().is_feasible())
         });
-        group.bench_with_input(BenchmarkId::new("simplex", k), &k, |b, _| {
-            b.iter(|| {
-                assert!(solve_simplex(black_box(&system)).unwrap().is_feasible())
-            })
+        run(&format!("a1_univariate/simplex/{k}"), || {
+            assert!(solve_simplex(black_box(&system)).unwrap().is_feasible())
         });
     }
-    group.finish();
-}
 
-fn bench_simplex_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("a1_simplex_multivariate");
+    section("a1_simplex_multivariate (tableau scaling)");
     for vars in [2u32, 4, 8, 16] {
         let system = multivariate_system(vars);
-        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
-            b.iter(|| {
-                assert!(solve_simplex(black_box(&system)).unwrap().is_feasible())
-            })
+        run(&format!("a1_multivariate/{vars}"), || {
+            assert!(solve_simplex(black_box(&system)).unwrap().is_feasible())
         });
     }
-    group.finish();
-}
 
-fn bench_infeasible_early_exit(c: &mut Criterion) {
-    // x > 50 ∧ x < 40 plus padding constraints.
-    let mut system = univariate_system(16, 2);
-    system.push(Constraint::new(
-        LinExpr::var(VarId::new(0)),
-        RelOp::Gt,
-        Rational::from_integer(50),
-    ));
-    system.push(Constraint::new(
-        LinExpr::var(VarId::new(0)),
-        RelOp::Lt,
-        Rational::from_integer(40),
-    ));
-    let mut group = c.benchmark_group("a1_infeasible_univariate");
-    group.bench_function("interval", |b| {
-        b.iter(|| assert!(!solve_intervals(black_box(&system)).unwrap().is_feasible()))
-    });
-    group.bench_function("simplex", |b| {
-        b.iter(|| assert!(!solve_simplex(black_box(&system)).unwrap().is_feasible()))
-    });
-    group.finish();
+    section("a1_infeasible_univariate (early exit)");
+    {
+        // x > 50 ∧ x < 40 plus padding constraints.
+        let mut system = univariate_system(16, 2);
+        system.push(Constraint::new(
+            LinExpr::var(VarId::new(0)),
+            RelOp::Gt,
+            Rational::from_integer(50),
+        ));
+        system.push(Constraint::new(
+            LinExpr::var(VarId::new(0)),
+            RelOp::Lt,
+            Rational::from_integer(40),
+        ));
+        run("a1_infeasible/interval", || {
+            assert!(!solve_intervals(black_box(&system)).unwrap().is_feasible())
+        });
+        run("a1_infeasible/simplex", || {
+            assert!(!solve_simplex(black_box(&system)).unwrap().is_feasible())
+        });
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_interval_vs_simplex, bench_simplex_scaling, bench_infeasible_early_exit
-}
-criterion_main!(benches);

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, RuleDb, Verb};
 use cadel_simplex::RelOp;
 use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, Unit};
@@ -52,17 +54,19 @@ pub fn e2_database(total: u64, same_device: u64) -> RuleDb {
         } else {
             DeviceId::new(format!("device-{i}"))
         };
-        let band = if (i / stride) % 2 == 0 { 5 } else { 25 };
+        let band = if (i / stride).is_multiple_of(2) {
+            5
+        } else {
+            25
+        };
         let temp = band + (i % 10) as i64;
         let humid = 40 + (i % 40) as i64;
         let rule = Rule::builder(PersonId::new(format!("user-{}", i % 7)))
             .condition(two_inequality_condition(temp, humid))
-            .action(
-                ActionSpec::new(device, Verb::TurnOn).with_setting(
-                    "temperature",
-                    Quantity::from_integer(18 + ((i / stride.max(1)) % 10) as i64, Unit::Celsius),
-                ),
-            )
+            .action(ActionSpec::new(device, Verb::TurnOn).with_setting(
+                "temperature",
+                Quantity::from_integer(18 + ((i / stride.max(1)) % 10) as i64, Unit::Celsius),
+            ))
             .build(RuleId::new(i))
             .expect("generated rule is valid");
         db.insert(rule).expect("generated ids are unique");
@@ -152,7 +156,10 @@ mod tests {
         assert_eq!(db.len(), 1000);
         assert_eq!(db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(), 10);
         let db = e2_database(10_000, 100);
-        assert_eq!(db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(), 100);
+        assert_eq!(
+            db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(),
+            100
+        );
     }
 
     #[test]

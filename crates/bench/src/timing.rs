@@ -1,0 +1,150 @@
+//! A small hand-rolled timing harness.
+//!
+//! The workspace builds fully offline, so the benches cannot use an
+//! external harness crate. This module provides the usual loop instead:
+//! warmup-calibrated iteration counts, a few timed samples, and the
+//! median nanoseconds per iteration (the median is robust against a
+//! single preempted sample).
+//!
+//! Benches are plain `main` binaries (`harness = false`); run them with
+//! `cargo bench -p cadel-bench` and read the printed table.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timed samples for one benchmark case.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    label: String,
+    iters_per_sample: u64,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Measurement {
+    /// The case label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Iterations timed per sample (calibrated during warmup).
+    pub fn iters_per_sample(&self) -> u64 {
+        self.iters_per_sample
+    }
+
+    /// Median nanoseconds per iteration across samples.
+    pub fn median_ns(&self) -> f64 {
+        let mut sorted = self.samples_ns_per_iter.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        sorted[sorted.len() / 2]
+    }
+
+    /// Fastest sample, in nanoseconds per iteration.
+    pub fn min_ns(&self) -> f64 {
+        self.samples_ns_per_iter
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// How long each timed sample should run, once calibrated.
+const TARGET_SAMPLE_NS: f64 = 40_000_000.0;
+/// Minimum elapsed time for the calibration loop to be trusted.
+const CALIBRATION_NS: f64 = 5_000_000.0;
+/// Timed samples per case.
+const SAMPLES: usize = 5;
+
+/// Times `f`, returning calibrated samples. The warmup loop doubles the
+/// iteration count until the batch takes ≥ 5 ms, then sizes samples to
+/// ~40 ms each (min 1 iteration, for slow cases).
+pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Measurement {
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        if elapsed >= CALIBRATION_NS || iters >= 1 << 30 {
+            break elapsed / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    let iters_per_sample = ((TARGET_SAMPLE_NS / per_iter_ns).ceil() as u64).max(1);
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    Measurement {
+        label: label.to_owned(),
+        iters_per_sample,
+        samples_ns_per_iter: samples,
+    }
+}
+
+/// Times `f` and prints one result line immediately.
+pub fn run<R>(label: &str, f: impl FnMut() -> R) -> Measurement {
+    let m = bench(label, f);
+    println!("{}", format_line(&m));
+    m
+}
+
+/// Renders one aligned result line: label, median, human-readable time.
+pub fn format_line(m: &Measurement) -> String {
+    format!(
+        "{:<58} {:>14.0} ns/iter   ({}, {} iters/sample)",
+        m.label(),
+        m.median_ns(),
+        human(m.median_ns()),
+        m.iters_per_sample()
+    )
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1_000_000_000.0 {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    } else if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let m = Measurement {
+            label: "x".into(),
+            iters_per_sample: 1,
+            samples_ns_per_iter: vec![10.0, 11.0, 9.0, 500.0, 10.5],
+        };
+        assert_eq!(m.median_ns(), 10.5);
+        assert_eq!(m.min_ns(), 9.0);
+    }
+
+    #[test]
+    fn bench_returns_positive_timing() {
+        let mut n = 0u64;
+        let m = bench("noop", || {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert!(m.median_ns() > 0.0);
+        assert!(m.iters_per_sample() >= 1);
+        assert!(format_line(&m).contains("noop"));
+    }
+}

@@ -96,6 +96,23 @@ pub struct Conflict {
 }
 
 impl Conflict {
+    /// Assembles a conflict record (shared with the compiled-path checker).
+    pub(crate) fn new(
+        rule_a: RuleId,
+        rule_b: RuleId,
+        conjunct_a: usize,
+        conjunct_b: usize,
+        witness: Vec<(SensorKey, Rational)>,
+    ) -> Conflict {
+        Conflict {
+            rule_a,
+            rule_b,
+            conjunct_a,
+            conjunct_b,
+            witness,
+        }
+    }
+
     /// The first rule (the one being registered, in [`find_conflicts`]).
     pub fn rule_a(&self) -> RuleId {
         self.rule_a
@@ -216,9 +233,7 @@ pub fn find_conflicts(db: &RuleDb, new_rule: &Rule) -> Result<Vec<Conflict>, Con
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cadel_rule::{
-        ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Verb,
-    };
+    use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Verb};
     use cadel_simplex::RelOp;
     use cadel_types::{DeviceId, PersonId, Quantity, Unit};
 
@@ -242,8 +257,10 @@ mod tests {
         Rule::builder(PersonId::new(owner))
             .condition(cond)
             .action(
-                ActionSpec::new(DeviceId::new("aircon"), Verb::TurnOn)
-                    .with_setting("temperature", Quantity::from_integer(setpoint, Unit::Celsius)),
+                ActionSpec::new(DeviceId::new("aircon"), Verb::TurnOn).with_setting(
+                    "temperature",
+                    Quantity::from_integer(setpoint, Unit::Celsius),
+                ),
             )
             .build(RuleId::new(id))
             .unwrap()
@@ -270,11 +287,12 @@ mod tests {
 
     #[test]
     fn discretely_impossible_rule_is_flagged() {
-        let cond = Condition::Atom(Atom::Presence(PresenceAtom::person_at("tom", "kitchen")))
-            .and(Condition::Atom(Atom::Presence(PresenceAtom::person_at(
+        let cond = Condition::Atom(Atom::Presence(PresenceAtom::person_at("tom", "kitchen"))).and(
+            Condition::Atom(Atom::Presence(PresenceAtom::person_at(
                 "tom",
                 "living room",
-            ))));
+            ))),
+        );
         let rule = aircon_at("tom", 25, cond, 1);
         assert!(!check_consistency(&rule).unwrap().is_satisfiable());
     }
@@ -295,7 +313,9 @@ mod tests {
         // Tom: t>26 ∧ h>65 → 25°C; Alan: t>25 ∧ h>60 → 24°C.
         let tom = aircon_at("tom", 25, temp(RelOp::Gt, 26).and(humid(RelOp::Gt, 65)), 1);
         let alan = aircon_at("alan", 24, temp(RelOp::Gt, 25).and(humid(RelOp::Gt, 60)), 2);
-        let conflict = check_conflict(&tom, &alan).unwrap().expect("should conflict");
+        let conflict = check_conflict(&tom, &alan)
+            .unwrap()
+            .expect("should conflict");
         assert_eq!(conflict.rule_a(), RuleId::new(1));
         assert_eq!(conflict.rule_b(), RuleId::new(2));
         // The witness names both sensors with values satisfying all four
@@ -349,7 +369,9 @@ mod tests {
         let a = aircon_at(
             "tom",
             25,
-            temp(RelOp::Gt, 50).and(temp(RelOp::Lt, 40)).or(temp(RelOp::Gt, 26)),
+            temp(RelOp::Gt, 50)
+                .and(temp(RelOp::Lt, 40))
+                .or(temp(RelOp::Gt, 26)),
             1,
         );
         let b = aircon_at("alan", 24, temp(RelOp::Lt, 30), 2);
@@ -365,20 +387,39 @@ mod tests {
         for i in 0..20 {
             db.insert(
                 Rule::builder(PersonId::new("x"))
-                    .condition(Condition::Atom(Atom::Event(EventAtom::new("e", format!("{i}")))))
+                    .condition(Condition::Atom(Atom::Event(EventAtom::new(
+                        "e",
+                        format!("{i}"),
+                    ))))
                     .action(ActionSpec::new(DeviceId::new("stereo"), Verb::Play))
                     .build(RuleId::new(i))
                     .unwrap(),
             )
             .unwrap();
         }
-        db.insert(aircon_at("alan", 24, temp(RelOp::Gt, 25).and(humid(RelOp::Gt, 60)), 100))
+        db.insert(aircon_at(
+            "alan",
+            24,
+            temp(RelOp::Gt, 25).and(humid(RelOp::Gt, 60)),
+            100,
+        ))
+        .unwrap();
+        db.insert(aircon_at(
+            "emily",
+            27,
+            temp(RelOp::Gt, 29).and(humid(RelOp::Gt, 75)),
+            101,
+        ))
+        .unwrap();
+        db.insert(aircon_at("x", 20, temp(RelOp::Lt, 0), 102))
             .unwrap();
-        db.insert(aircon_at("emily", 27, temp(RelOp::Gt, 29).and(humid(RelOp::Gt, 75)), 101))
-            .unwrap();
-        db.insert(aircon_at("x", 20, temp(RelOp::Lt, 0), 102)).unwrap();
 
-        let tom = aircon_at("tom", 25, temp(RelOp::Gt, 26).and(humid(RelOp::Gt, 65)), 200);
+        let tom = aircon_at(
+            "tom",
+            25,
+            temp(RelOp::Gt, 26).and(humid(RelOp::Gt, 65)),
+            200,
+        );
         let conflicts = find_conflicts(&db, &tom).unwrap();
         // Tom conflicts with Alan (overlap) and Emily (29< t allows both),
         // but not with the sub-zero rule.

@@ -1,0 +1,323 @@
+//! Incremental conflict detection over precompiled rule programs.
+//!
+//! [`find_conflicts`](crate::find_conflicts) recompiles every constraint
+//! system from the AST on each call. At registration time that cost is paid
+//! once per *pair* of same-device rules, every time any rule is added — the
+//! E2 workload grows quadratically. [`ConflictChecker`] removes both
+//! redundancies:
+//!
+//! * **Precompiled systems.** When the [`RuleDb`] holds a compiled
+//!   [`RuleProgram`](cadel_ir::RuleProgram) for a rule (the normal case),
+//!   its per-conjunct constraint systems are reused as-is; joining two
+//!   conjuncts is a variable-remap ([`merge_conjuncts`]) instead of two
+//!   AST walks through a fresh `VarPool`.
+//! * **Memoized verdicts.** Pairwise results are cached under
+//!   `(rule, revision, rule, revision)`. The database stamps a fresh
+//!   revision whenever a rule is (re)stored, so a cache hit is always
+//!   current; re-registering a changed rule naturally misses.
+//!
+//! Rules without a program (a compile failure, e.g. a dimension clash
+//! inside one rule) fall back to the AST path of
+//! [`check_conflict`](crate::check_conflict), so the checker's verdicts
+//! match the plain functions on every input.
+
+use crate::check::Conflict;
+use crate::discrete::discrete_compatible;
+use crate::error::ConflictError;
+use cadel_ir::{merge_conjuncts, CompiledConjunct};
+use cadel_rule::{compile_conjuncts, Rule, RuleDb, RuleError};
+use cadel_simplex::{solve, Solution};
+use cadel_types::RuleId;
+use std::collections::HashMap;
+
+/// A conflict detector that reuses precompiled constraint systems and
+/// memoizes pairwise verdicts across registrations.
+///
+/// Hold one checker alongside the [`RuleDb`] whose rules it checks; the
+/// cache is keyed by the database's per-artifact revision stamps, so it
+/// stays correct across removals and re-inserts without explicit
+/// invalidation. Stale entries (for revisions no longer in the database)
+/// are retained until [`ConflictChecker::clear`] is called.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictChecker {
+    cache: HashMap<(RuleId, u64, RuleId, u64), Option<Conflict>>,
+}
+
+impl ConflictChecker {
+    /// Creates a checker with an empty verdict cache.
+    pub fn new() -> ConflictChecker {
+        ConflictChecker::default()
+    }
+
+    /// Number of memoized pairwise verdicts.
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all memoized verdicts.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Finds every enabled same-device rule in `db` that conflicts with
+    /// `probe` — the compiled equivalent of
+    /// [`find_conflicts`](crate::find_conflicts), with identical results.
+    ///
+    /// The probe's constraint systems are taken from the database when the
+    /// probe is already stored there unchanged (enabling memoization), and
+    /// compiled once for the whole scan otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConflictError`] on solver overflow or dimension mismatch.
+    pub fn find_conflicts(
+        &mut self,
+        db: &RuleDb,
+        probe: &Rule,
+    ) -> Result<Vec<Conflict>, ConflictError> {
+        // The probe is cacheable only when the database holds this exact
+        // rule: its revision then keys the verdict. An unstored (or
+        // since-modified) probe gets a one-shot compilation instead.
+        let probe_rev = match db.get(probe.id()) {
+            Some(stored) if stored == probe => db.revision(probe.id()),
+            _ => None,
+        };
+        let probe_compiled: Option<Vec<CompiledConjunct>> = match probe_rev {
+            Some(_) => None, // use the stored program directly
+            None => compile_conjuncts(probe).ok(),
+        };
+        let probe_conjuncts: Option<&[CompiledConjunct]> = match probe_rev {
+            Some(_) => db.program(probe.id()).map(|p| p.conjuncts()),
+            None => probe_compiled.as_deref(),
+        };
+
+        let mut conflicts = Vec::new();
+        for existing in db.rules_for_device(probe.action().device()) {
+            if existing.id() == probe.id() || !existing.is_enabled() {
+                continue;
+            }
+            let existing_rev = db.revision(existing.id());
+            let key = match (probe_rev, existing_rev) {
+                (Some(pr), Some(er)) => Some((probe.id(), pr, existing.id(), er)),
+                _ => None,
+            };
+            if let Some(key) = key {
+                if let Some(verdict) = self.cache.get(&key) {
+                    conflicts.extend(verdict.clone());
+                    continue;
+                }
+            }
+            let verdict = match (probe_conjuncts, db.program(existing.id())) {
+                (Some(pc), Some(program)) => {
+                    check_conflict_compiled(probe, pc, existing, program.conjuncts())?
+                }
+                // Either side failed to compile: AST fallback.
+                _ => crate::check::check_conflict(probe, existing)?,
+            };
+            if let Some(key) = key {
+                self.cache.insert(key, verdict.clone());
+            }
+            conflicts.extend(verdict);
+        }
+        Ok(conflicts)
+    }
+}
+
+/// Pairwise conflict check over precompiled conjunct systems; semantics
+/// identical to [`check_conflict`](crate::check_conflict).
+///
+/// `a_sys` / `b_sys` must be the compiled systems of `a` / `b`, aligned
+/// index-for-index with each rule's DNF (as produced by
+/// [`compile_conjuncts`] or stored in a [`RuleProgram`](cadel_ir::RuleProgram)).
+fn check_conflict_compiled(
+    a: &Rule,
+    a_sys: &[CompiledConjunct],
+    b: &Rule,
+    b_sys: &[CompiledConjunct],
+) -> Result<Option<Conflict>, ConflictError> {
+    if !a.action().conflicts_with(b.action()) {
+        return Ok(None);
+    }
+    debug_assert_eq!(a.dnf().conjuncts().len(), a_sys.len());
+    debug_assert_eq!(b.dnf().conjuncts().len(), b_sys.len());
+    for (i, (ca, ca_sys)) in a.dnf().conjuncts().iter().zip(a_sys).enumerate() {
+        for (j, (cb, cb_sys)) in b.dnf().conjuncts().iter().zip(b_sys).enumerate() {
+            let atoms = ca.atoms().iter().chain(cb.atoms().iter());
+            if !discrete_compatible(atoms) {
+                continue;
+            }
+            // The merge unifies shared sensors exactly like a shared
+            // VarPool would, with a's variables first — so the witness
+            // ordering matches the AST path.
+            let (system, keys) = merge_conjuncts(ca_sys, cb_sys).map_err(RuleError::from)?;
+            if let Solution::Feasible(assignment) = solve(&system)? {
+                let witness = keys
+                    .into_iter()
+                    .zip(assignment.iter())
+                    .map(|(key, value)| (key, *value))
+                    .collect();
+                return Ok(Some(Conflict::new(a.id(), b.id(), i, j, witness)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::find_conflicts;
+    use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Verb};
+    use cadel_simplex::RelOp;
+    use cadel_types::{DeviceId, PersonId, Quantity, SensorKey, Unit};
+
+    fn temp(op: RelOp, n: i64) -> Condition {
+        Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo"), "temperature"),
+            op,
+            Quantity::from_integer(n, Unit::Celsius),
+        )))
+    }
+
+    fn humid(op: RelOp, n: i64) -> Condition {
+        Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("hygro"), "humidity"),
+            op,
+            Quantity::from_integer(n, Unit::Percent),
+        )))
+    }
+
+    fn aircon_at(owner: &str, setpoint: i64, cond: Condition, id: u64) -> Rule {
+        Rule::builder(PersonId::new(owner))
+            .condition(cond)
+            .action(
+                ActionSpec::new(DeviceId::new("aircon"), Verb::TurnOn).with_setting(
+                    "temperature",
+                    Quantity::from_integer(setpoint, Unit::Celsius),
+                ),
+            )
+            .build(RuleId::new(id))
+            .unwrap()
+    }
+
+    fn paper_db() -> RuleDb {
+        let mut db = RuleDb::new();
+        db.insert(aircon_at(
+            "alan",
+            24,
+            temp(RelOp::Gt, 25).and(humid(RelOp::Gt, 60)),
+            100,
+        ))
+        .unwrap();
+        db.insert(aircon_at(
+            "emily",
+            27,
+            temp(RelOp::Gt, 29).and(humid(RelOp::Gt, 75)),
+            101,
+        ))
+        .unwrap();
+        db.insert(aircon_at("x", 20, temp(RelOp::Lt, 0), 102))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn checker_agrees_with_plain_find_conflicts() {
+        let db = paper_db();
+        let tom = aircon_at(
+            "tom",
+            25,
+            temp(RelOp::Gt, 26).and(humid(RelOp::Gt, 65)),
+            200,
+        );
+        let plain = find_conflicts(&db, &tom).unwrap();
+        let compiled = ConflictChecker::new().find_conflicts(&db, &tom).unwrap();
+        assert_eq!(plain, compiled);
+        let partners: Vec<u64> = compiled.iter().map(|c| c.rule_b().raw()).collect();
+        assert_eq!(partners, vec![100, 101]);
+        // Witness ordering and content match the shared-VarPool path too.
+        assert_eq!(plain[0].witness(), compiled[0].witness());
+        assert_eq!(compiled[0].witness().len(), 2);
+    }
+
+    #[test]
+    fn unstored_probe_is_not_cached() {
+        let db = paper_db();
+        let tom = aircon_at(
+            "tom",
+            25,
+            temp(RelOp::Gt, 26).and(humid(RelOp::Gt, 65)),
+            200,
+        );
+        let mut checker = ConflictChecker::new();
+        checker.find_conflicts(&db, &tom).unwrap();
+        assert_eq!(checker.cached_pairs(), 0);
+    }
+
+    #[test]
+    fn stored_probe_memoizes_and_replays() {
+        let mut db = paper_db();
+        let tom = aircon_at(
+            "tom",
+            25,
+            temp(RelOp::Gt, 26).and(humid(RelOp::Gt, 65)),
+            200,
+        );
+        db.insert(tom.clone()).unwrap();
+        let mut checker = ConflictChecker::new();
+        let first = checker.find_conflicts(&db, &tom).unwrap();
+        assert_eq!(checker.cached_pairs(), 3); // one verdict per partner
+        let second = checker.find_conflicts(&db, &tom).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(checker.cached_pairs(), 3); // pure replay, no growth
+    }
+
+    #[test]
+    fn reinserting_a_changed_rule_misses_the_cache() {
+        let mut db = paper_db();
+        let tom = aircon_at(
+            "tom",
+            25,
+            temp(RelOp::Gt, 26).and(humid(RelOp::Gt, 65)),
+            200,
+        );
+        db.insert(tom.clone()).unwrap();
+        let mut checker = ConflictChecker::new();
+        assert_eq!(checker.find_conflicts(&db, &tom).unwrap().len(), 2);
+
+        // Replace Tom's rule with a condition disjoint from every stored
+        // band (t>25, t>29, t<0): the fresh revision keys new cache
+        // entries and the verdicts flip.
+        let mild_tom = aircon_at("tom", 25, temp(RelOp::Gt, 10).and(temp(RelOp::Lt, 20)), 200);
+        db.remove(RuleId::new(200)).unwrap();
+        db.insert(mild_tom.clone()).unwrap();
+        assert!(checker.find_conflicts(&db, &mild_tom).unwrap().is_empty());
+        checker.clear();
+        assert_eq!(checker.cached_pairs(), 0);
+    }
+
+    #[test]
+    fn uncompilable_rules_fall_back_to_the_ast_path() {
+        // A rule whose condition clashes dimensions never gets a program,
+        // so the pair goes through plain check_conflict.
+        let mut db = RuleDb::new();
+        let clash = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("multi"), "reading"),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        )))
+        .and(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("multi"), "reading"),
+            RelOp::Gt,
+            Quantity::from_integer(60, Unit::Percent),
+        ))));
+        db.insert(aircon_at("alan", 24, clash, 100)).unwrap();
+        assert!(db.program(RuleId::new(100)).is_none());
+
+        let tom = aircon_at("tom", 25, temp(RelOp::Gt, 26), 200);
+        let mut checker = ConflictChecker::new();
+        // Plain path errors on the dimension clash; so must the checker.
+        assert!(find_conflicts(&db, &tom).is_err());
+        assert!(checker.find_conflicts(&db, &tom).is_err());
+    }
+}

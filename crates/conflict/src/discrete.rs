@@ -166,10 +166,19 @@ mod tests {
 
     #[test]
     fn person_cannot_be_in_two_places() {
-        assert!(!compatible(&[at("tom", "living room"), at("tom", "kitchen")]));
-        assert!(compatible(&[at("tom", "living room"), at("alan", "kitchen")]));
+        assert!(!compatible(&[
+            at("tom", "living room"),
+            at("tom", "kitchen")
+        ]));
+        assert!(compatible(&[
+            at("tom", "living room"),
+            at("alan", "kitchen")
+        ]));
         // Same place twice is fine.
-        assert!(compatible(&[at("tom", "living room"), at("tom", "living room")]));
+        assert!(compatible(&[
+            at("tom", "living room"),
+            at("tom", "living room")
+        ]));
     }
 
     #[test]

@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod checker;
 pub mod discrete;
 pub mod error;
 pub mod priority;
 
 pub use check::{check_conflict, check_consistency, find_conflicts, Conflict, ConsistencyReport};
+pub use checker::ConflictChecker;
 pub use discrete::discrete_compatible;
 pub use error::ConflictError;
 pub use priority::{PriorityGraph, PriorityOrder, PriorityStore, Resolution};

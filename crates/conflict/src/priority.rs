@@ -19,12 +19,12 @@
 use crate::error::ConflictError;
 use cadel_rule::Condition;
 use cadel_types::{DeviceId, RuleId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A ranked list of rules for one device, optionally scoped to a context.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PriorityOrder {
     device: DeviceId,
     context: Option<Condition>,
@@ -127,7 +127,8 @@ impl Resolution {
 /// Resolution consults context-scoped orders (in registration sequence)
 /// before default orders, so a specific agreement ("while Alan just got
 /// home") overrides the household default.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PriorityStore {
     orders: Vec<PriorityOrder>,
 }
@@ -176,7 +177,10 @@ impl PriorityStore {
 
     /// The orders that arbitrate `device`.
     pub fn orders_for_device(&self, device: &DeviceId) -> Vec<&PriorityOrder> {
-        self.orders.iter().filter(|o| o.device() == device).collect()
+        self.orders
+            .iter()
+            .filter(|o| o.device() == device)
+            .collect()
     }
 
     /// Arbitrates among candidate rules that fired simultaneously on
@@ -230,7 +234,8 @@ impl PriorityStore {
 /// A partial order of pairwise preferences with cycle rejection
 /// (footnote 1 of the paper: "in general, the partial order should be
 /// defined among those conflicting rules").
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PriorityGraph {
     /// `edges[a]` contains `b` when `a` outranks `b`.
     edges: BTreeMap<RuleId, BTreeSet<RuleId>>,
@@ -285,8 +290,7 @@ impl PriorityGraph {
         for targets in self.edges.values() {
             nodes.extend(targets.iter().copied());
         }
-        let mut indegree: BTreeMap<RuleId, usize> =
-            nodes.iter().map(|n| (*n, 0)).collect();
+        let mut indegree: BTreeMap<RuleId, usize> = nodes.iter().map(|n| (*n, 0)).collect();
         for targets in self.edges.values() {
             for t in targets {
                 *indegree.get_mut(t).expect("target is a node") += 1;
@@ -383,8 +387,7 @@ mod tests {
                 .in_context(ctx("emily got home from shopping")),
         );
         store.add_order(
-            PriorityOrder::new(tv(), vec![id(2), id(1)])
-                .in_context(ctx("alan got home from work")),
+            PriorityOrder::new(tv(), vec![id(2), id(1)]).in_context(ctx("alan got home from work")),
         );
         let r = store.resolve(&tv(), &[id(1), id(2), id(3)], |_| true);
         assert_eq!(r.winner(), Some(id(3)));
@@ -394,7 +397,10 @@ mod tests {
     fn inapplicable_orders_are_skipped() {
         let mut store = PriorityStore::new();
         // Order for a different device.
-        store.add_order(PriorityOrder::new(DeviceId::new("stereo"), vec![id(1), id(2)]));
+        store.add_order(PriorityOrder::new(
+            DeviceId::new("stereo"),
+            vec![id(1), id(2)],
+        ));
         // Order that ranks neither candidate.
         store.add_order(PriorityOrder::new(tv(), vec![id(7), id(8)]));
         let r = store.resolve(&tv(), &[id(1), id(2)], |_| true);
@@ -472,6 +478,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn store_serde_round_trip() {
         let mut store = PriorityStore::new();
         store.add_order(PriorityOrder::new(tv(), vec![id(1), id(2)]).in_context(ctx("x")));

@@ -1,5 +1,9 @@
 //! Property tests over the conflict checker's core guarantees.
 
+// Requires the `proptest` feature (and its dev-dependency); the default
+// build is offline and compiles this file to nothing.
+#![cfg(feature = "proptest")]
+
 use cadel_conflict::{check_conflict, check_consistency};
 use cadel_rule::{
     ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Rule, Verb,
@@ -52,7 +56,11 @@ fn arb_condition() -> impl Strategy<Value = Condition> {
 
 fn arb_rule(id: u64) -> impl Strategy<Value = Rule> {
     (arb_condition(), 0u32..2, 0i64..3).prop_map(move |(condition, verb, setpoint)| {
-        let verb = if verb == 0 { Verb::TurnOn } else { Verb::TurnOff };
+        let verb = if verb == 0 {
+            Verb::TurnOn
+        } else {
+            Verb::TurnOff
+        };
         Rule::builder(PersonId::new(format!("user-{id}")))
             .condition(condition)
             .action(

@@ -10,6 +10,7 @@
 //! |---|---|---|
 //! | [`types`] | `cadel-types` | quantities, units, time, topology, identifiers |
 //! | [`simplex`] | `cadel-simplex` | exact rational Simplex feasibility (conflict checking) |
+//! | [`ir`] | `cadel-ir` | compiled rule IR: interned slots, condition bytecode, constraint systems |
 //! | [`rule`] | `cadel-rule` | rule objects, conditions, actions, rule database |
 //! | [`lang`] | `cadel-lang` | the CADEL language: lexer, parser, lexicon, compiler |
 //! | [`upnp`] | `cadel-upnp` | simulated UPnP: descriptions, SSDP, control point, eventing |
@@ -54,6 +55,7 @@
 pub use cadel_conflict as conflict;
 pub use cadel_devices as devices;
 pub use cadel_engine as engine;
+pub use cadel_ir as ir;
 pub use cadel_lang as lang;
 pub use cadel_rule as rule;
 pub use cadel_server as server;

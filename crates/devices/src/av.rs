@@ -26,7 +26,10 @@ fn percent_var(name: &str, default: i64) -> StateVariableSpec {
     StateVariableSpec::new(name, ValueKind::Number)
         .with_unit(Unit::Percent)
         .with_range(Rational::ZERO, Rational::from_integer(100))
-        .with_default(Value::Number(Quantity::from_integer(default, Unit::Percent)))
+        .with_default(Value::Number(Quantity::from_integer(
+            default,
+            Unit::Percent,
+        )))
 }
 
 /// A virtual television: power, channel, volume, message overlay and the
@@ -130,9 +133,8 @@ impl VirtualDevice for Television {
                 Ok(vec![])
             }
             "setvolume" => {
-                let v = DeviceCore::arg(args, "volume").ok_or_else(|| {
-                    UpnpError::DeviceFault("SetVolume requires 'volume'".into())
-                })?;
+                let v = DeviceCore::arg(args, "volume")
+                    .ok_or_else(|| UpnpError::DeviceFault("SetVolume requires 'volume'".into()))?;
                 self.core.set("volume", v.clone(), at)?;
                 Ok(vec![])
             }
@@ -255,9 +257,8 @@ impl VirtualDevice for Stereo {
                 Ok(vec![])
             }
             "setvolume" => {
-                let v = DeviceCore::arg(args, "volume").ok_or_else(|| {
-                    UpnpError::DeviceFault("SetVolume requires 'volume'".into())
-                })?;
+                let v = DeviceCore::arg(args, "volume")
+                    .ok_or_else(|| UpnpError::DeviceFault("SetVolume requires 'volume'".into()))?;
                 self.core.set("volume", v.clone(), at)?;
                 Ok(vec![])
             }
@@ -368,7 +369,7 @@ impl VirtualDevice for VideoRecorder {
 #[derive(Debug)]
 pub struct TvGuide {
     core: DeviceCore,
-    programs: parking_lot::Mutex<std::collections::BTreeSet<String>>,
+    programs: std::sync::Mutex<std::collections::BTreeSet<String>>,
 }
 
 impl TvGuide {
@@ -378,13 +379,12 @@ impl TvGuide {
             .with_keywords(["program", "broadcast", "epg"])
             .with_service(
                 ServiceDescription::new(format!("{udn}:epg"), EPG_SERVICE_TYPE).with_variable(
-                    StateVariableSpec::new("on-air", ValueKind::Text)
-                        .with_default(Value::from("")),
+                    StateVariableSpec::new("on-air", ValueKind::Text).with_default(Value::from("")),
                 ),
             );
         Arc::new(TvGuide {
             core: DeviceCore::new(description),
-            programs: parking_lot::Mutex::new(std::collections::BTreeSet::new()),
+            programs: std::sync::Mutex::new(std::collections::BTreeSet::new()),
         })
     }
 
@@ -392,6 +392,7 @@ impl TvGuide {
         let list = self
             .programs
             .lock()
+            .unwrap()
             .iter()
             .cloned()
             .collect::<Vec<_>>()
@@ -403,7 +404,7 @@ impl TvGuide {
     /// string = nothing). Replaces any running programs.
     pub fn announce(&self, program: &str, at: SimTime) {
         {
-            let mut programs = self.programs.lock();
+            let mut programs = self.programs.lock().unwrap();
             programs.clear();
             if !program.is_empty() {
                 programs.insert(program.to_ascii_lowercase());
@@ -415,25 +416,31 @@ impl TvGuide {
     /// Starts an additional program (several channels can be on air at
     /// once).
     pub fn start_program(&self, program: &str, at: SimTime) {
-        self.programs.lock().insert(program.to_ascii_lowercase());
+        self.programs
+            .lock()
+            .unwrap()
+            .insert(program.to_ascii_lowercase());
         self.publish(at);
     }
 
     /// Ends a running program.
     pub fn end_program(&self, program: &str, at: SimTime) {
-        self.programs.lock().remove(&program.to_ascii_lowercase());
+        self.programs
+            .lock()
+            .unwrap()
+            .remove(&program.to_ascii_lowercase());
         self.publish(at);
     }
 
     /// The first program currently on air, if any (convenience for the
     /// single-program case).
     pub fn on_air(&self) -> Option<String> {
-        self.programs.lock().iter().next().cloned()
+        self.programs.lock().unwrap().iter().next().cloned()
     }
 
     /// All programs currently on air.
     pub fn programs_on_air(&self) -> Vec<String> {
-        self.programs.lock().iter().cloned().collect()
+        self.programs.lock().unwrap().iter().cloned().collect()
     }
 }
 
@@ -498,8 +505,12 @@ mod tests {
     #[test]
     fn tv_show_powers_on_automatically() {
         let tv = Television::new("tv-1", "TV", "x");
-        tv.invoke("Show", &[("content".into(), Value::from("movie"))], SimTime::EPOCH)
-            .unwrap();
+        tv.invoke(
+            "Show",
+            &[("content".into(), Value::from("movie"))],
+            SimTime::EPOCH,
+        )
+        .unwrap();
         assert_eq!(tv.query("power").unwrap(), Value::Bool(true));
     }
 

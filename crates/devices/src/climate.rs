@@ -6,8 +6,8 @@ use cadel_upnp::{
     ActionSignature, ArgSpec, DeviceDescription, EventPublisher, ServiceDescription,
     StateVariableSpec, UpnpError, VirtualDevice,
 };
-use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Device type URN of air conditioners.
 pub const AIRCON_DEVICE_TYPE: &str = "urn:cadel:device:aircon:1";
@@ -65,19 +65,13 @@ impl AirConditioner {
                         StateVariableSpec::new("setpoint", ValueKind::Number)
                             .with_unit(Unit::Celsius)
                             .with_range(Rational::from_integer(16), Rational::from_integer(32))
-                            .with_default(Value::Number(Quantity::from_integer(
-                                24,
-                                Unit::Celsius,
-                            ))),
+                            .with_default(Value::Number(Quantity::from_integer(24, Unit::Celsius))),
                     )
                     .with_variable(
                         StateVariableSpec::new("humidity-target", ValueKind::Number)
                             .with_unit(Unit::Percent)
                             .with_range(Rational::from_integer(30), Rational::from_integer(90))
-                            .with_default(Value::Number(Quantity::from_integer(
-                                60,
-                                Unit::Percent,
-                            ))),
+                            .with_default(Value::Number(Quantity::from_integer(60, Unit::Percent))),
                     )
                     .with_variable(
                         StateVariableSpec::new("mode", ValueKind::Text)
@@ -136,9 +130,8 @@ impl VirtualDevice for AirConditioner {
                 Ok(vec![])
             }
             "setmode" => {
-                let v = DeviceCore::arg(args, "mode").ok_or_else(|| {
-                    UpnpError::DeviceFault("SetMode requires 'mode'".into())
-                })?;
+                let v = DeviceCore::arg(args, "mode")
+                    .ok_or_else(|| UpnpError::DeviceFault("SetMode requires 'mode'".into()))?;
                 self.core.set("mode", v.clone(), at)?;
                 Ok(vec![])
             }
@@ -177,6 +170,7 @@ pub struct EnvironmentSensor {
 }
 
 impl EnvironmentSensor {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         udn: &str,
         friendly_name: &str,
@@ -219,15 +213,18 @@ impl EnvironmentSensor {
     ///
     /// Returns [`UpnpError::RangeViolation`] outside the declared range.
     pub fn set_reading(&self, value: Rational, at: SimTime) -> Result<(), UpnpError> {
-        self.model.lock().last_tick = at;
-        self.core
-            .set(self.variable, Value::Number(Quantity::new(value, self.unit)), at)?;
+        self.model.lock().unwrap().last_tick = at;
+        self.core.set(
+            self.variable,
+            Value::Number(Quantity::new(value, self.unit)),
+            at,
+        )?;
         Ok(())
     }
 
     /// Sets the drift target: the reading moves toward it on `tick`.
     pub fn set_target(&self, target: Rational, rate_per_minute: Rational) {
-        let mut model = self.model.lock();
+        let mut model = self.model.lock().unwrap();
         model.target = target;
         model.rate_per_minute = rate_per_minute;
     }
@@ -265,7 +262,7 @@ impl VirtualDevice for EnvironmentSensor {
 
     fn tick(&self, now: SimTime) {
         let (target, step) = {
-            let mut model = self.model.lock();
+            let mut model = self.model.lock().unwrap();
             let elapsed_min = now.since(model.last_tick).as_minutes();
             if elapsed_min == 0 {
                 return;
@@ -294,7 +291,13 @@ pub struct Thermometer;
 
 impl Thermometer {
     /// Creates a thermometer reading `initial` °C.
-    pub fn new(udn: &str, friendly_name: &str, place: &str, initial: i64) -> Arc<EnvironmentSensor> {
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(
+        udn: &str,
+        friendly_name: &str,
+        place: &str,
+        initial: i64,
+    ) -> Arc<EnvironmentSensor> {
         EnvironmentSensor::new(
             udn,
             friendly_name,
@@ -316,7 +319,13 @@ pub struct Hygrometer;
 
 impl Hygrometer {
     /// Creates a hygrometer reading `initial` %.
-    pub fn new(udn: &str, friendly_name: &str, place: &str, initial: i64) -> Arc<EnvironmentSensor> {
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(
+        udn: &str,
+        friendly_name: &str,
+        place: &str,
+        initial: i64,
+    ) -> Arc<EnvironmentSensor> {
         EnvironmentSensor::new(
             udn,
             friendly_name,
@@ -417,10 +426,7 @@ mod tests {
         thermo
             .set_reading(Rational::from_integer(27), SimTime::EPOCH)
             .unwrap();
-        assert_eq!(
-            thermo.reading(),
-            Quantity::from_integer(27, Unit::Celsius)
-        );
+        assert_eq!(thermo.reading(), Quantity::from_integer(27, Unit::Celsius));
         let changes = sub.drain();
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].variable, "temperature");

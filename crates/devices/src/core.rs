@@ -2,8 +2,8 @@
 
 use cadel_types::{SimTime, Value};
 use cadel_upnp::{DeviceDescription, EventPublisher, UpnpError};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// The state core embedded in every virtual appliance: a validated
 /// key/value store of state variables plus the event publisher wiring.
@@ -46,7 +46,7 @@ impl DeviceCore {
 
     /// Stores the event publisher (called from `VirtualDevice::attach`).
     pub fn attach(&self, publisher: EventPublisher) {
-        *self.publisher.lock() = Some(publisher);
+        *self.publisher.lock().unwrap() = Some(publisher);
     }
 
     /// Reads a state variable.
@@ -66,6 +66,7 @@ impl DeviceCore {
             })?;
         self.state
             .lock()
+            .unwrap()
             .get(&canonical)
             .cloned()
             .ok_or_else(|| UpnpError::UnknownVariable {
@@ -83,21 +84,22 @@ impl DeviceCore {
     /// Returns [`UpnpError::UnknownVariable`] for undeclared variables and
     /// [`UpnpError::RangeViolation`] when validation fails.
     pub fn set(&self, variable: &str, value: Value, at: SimTime) -> Result<bool, UpnpError> {
-        let (_, spec) = self
-            .description
-            .find_variable(variable)
-            .ok_or_else(|| UpnpError::UnknownVariable {
-                device: self.description.udn().clone(),
-                variable: variable.to_owned(),
+        let (_, spec) =
+            self.description
+                .find_variable(variable)
+                .ok_or_else(|| UpnpError::UnknownVariable {
+                    device: self.description.udn().clone(),
+                    variable: variable.to_owned(),
+                })?;
+        spec.validate(&value)
+            .map_err(|detail| UpnpError::RangeViolation {
+                variable: spec.name().to_owned(),
+                detail,
             })?;
-        spec.validate(&value).map_err(|detail| UpnpError::RangeViolation {
-            variable: spec.name().to_owned(),
-            detail,
-        })?;
         let name = spec.name().to_owned();
         let evented = spec.is_evented();
         let changed = {
-            let mut state = self.state.lock();
+            let mut state = self.state.lock().unwrap();
             match state.get(&name) {
                 Some(existing) if *existing == value => false,
                 _ => {
@@ -107,7 +109,7 @@ impl DeviceCore {
             }
         };
         if changed && evented {
-            if let Some(p) = self.publisher.lock().as_ref() {
+            if let Some(p) = self.publisher.lock().unwrap().as_ref() {
                 p.publish(name, value, at);
             }
         }
@@ -148,14 +150,9 @@ mod tests {
                     .with_variable(
                         StateVariableSpec::new("setpoint", ValueKind::Number)
                             .with_unit(Unit::Celsius)
-                            .with_range(
-                                Rational::from_integer(16),
-                                Rational::from_integer(32),
-                            ),
+                            .with_range(Rational::from_integer(16), Rational::from_integer(32)),
                     )
-                    .with_variable(
-                        StateVariableSpec::new("silent", ValueKind::Bool).non_evented(),
-                    ),
+                    .with_variable(StateVariableSpec::new("silent", ValueKind::Bool).non_evented()),
             );
         DeviceCore::new(description)
     }
@@ -209,7 +206,8 @@ mod tests {
     #[test]
     fn variable_names_are_case_insensitive() {
         let core = sample_core();
-        core.set("POWER", Value::Bool(true), SimTime::EPOCH).unwrap();
+        core.set("POWER", Value::Bool(true), SimTime::EPOCH)
+            .unwrap();
         assert_eq!(core.get("Power").unwrap(), Value::Bool(true));
     }
 

@@ -122,22 +122,19 @@ impl GenericDevice {
     /// device/service type URNs so type-indexed searches have something
     /// to distinguish.
     pub fn new(udn: &str, friendly_name: &str, kind: &str) -> Arc<GenericDevice> {
-        let description = DeviceDescription::new(
-            udn,
-            friendly_name,
-            format!("urn:cadel:device:{kind}:1"),
-        )
-        .with_service(
-            ServiceDescription::new(
-                format!("{udn}:svc"),
-                format!("urn:cadel:service:{kind}:1"),
-            )
-            .with_action(ActionSignature::new("Ping"))
-            .with_variable(
-                StateVariableSpec::new("online", ValueKind::Bool)
-                    .with_default(Value::Bool(true)),
-            ),
-        );
+        let description =
+            DeviceDescription::new(udn, friendly_name, format!("urn:cadel:device:{kind}:1"))
+                .with_service(
+                    ServiceDescription::new(
+                        format!("{udn}:svc"),
+                        format!("urn:cadel:service:{kind}:1"),
+                    )
+                    .with_action(ActionSignature::new("Ping"))
+                    .with_variable(
+                        StateVariableSpec::new("online", ValueKind::Bool)
+                            .with_default(Value::Bool(true)),
+                    ),
+                );
         Arc::new(GenericDevice { description })
     }
 }

@@ -173,8 +173,11 @@ impl LuxMeter {
     ///
     /// Returns [`UpnpError::RangeViolation`] outside 0–100,000 lx.
     pub fn set_reading(&self, lux: Rational, at: SimTime) -> Result<(), UpnpError> {
-        self.core
-            .set("illuminance", Value::Number(Quantity::new(lux, Unit::Lux)), at)?;
+        self.core.set(
+            "illuminance",
+            Value::Number(Quantity::new(lux, Unit::Lux)),
+            at,
+        )?;
         Ok(())
     }
 }

@@ -7,9 +7,9 @@ use cadel_upnp::{
     ActionSignature, DeviceDescription, EventPublisher, ServiceDescription, StateVariableSpec,
     UpnpError, VirtualDevice,
 };
-use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Device type URN of door locks.
 pub const DOOR_DEVICE_TYPE: &str = "urn:cadel:device:door:1";
@@ -216,6 +216,7 @@ impl PresenceReader {
         let list = self
             .occupants
             .lock()
+            .unwrap()
             .iter()
             .map(|p| p.as_str().to_owned())
             .collect::<Vec<_>>()
@@ -225,13 +226,13 @@ impl PresenceReader {
 
     /// Registers that `person` entered the place.
     pub fn person_entered(&self, person: &PersonId, at: SimTime) {
-        self.occupants.lock().insert(person.clone());
+        self.occupants.lock().unwrap().insert(person.clone());
         self.publish_occupants(at);
     }
 
     /// Registers that `person` left the place.
     pub fn person_left(&self, person: &PersonId, at: SimTime) {
-        self.occupants.lock().remove(person);
+        self.occupants.lock().unwrap().remove(person);
         self.publish_occupants(at);
     }
 
@@ -247,7 +248,7 @@ impl PresenceReader {
 
     /// Who is currently at the place.
     pub fn occupants(&self) -> Vec<PersonId> {
-        self.occupants.lock().iter().cloned().collect()
+        self.occupants.lock().unwrap().iter().cloned().collect()
     }
 }
 

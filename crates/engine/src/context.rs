@@ -14,6 +14,7 @@
 //! * **Clock/calendar** — the current [`SimTime`] plus the weekday/date of
 //!   day zero, so time-window, weekday and date atoms can be decided.
 
+use cadel_ir::{ContextView, EventSlot, SensorSlot, SharedInterner};
 use cadel_types::{
     Date, DeviceId, PersonId, PlaceId, SensorKey, SimDuration, SimTime, Value, Weekday,
 };
@@ -40,6 +41,26 @@ struct EventFact {
     name: String,
 }
 
+/// Dense, slot-indexed mirror of the context for compiled-rule evaluation.
+///
+/// The string-keyed maps of [`ContextStore`] remain the source of truth;
+/// the mirror is updated incrementally by every mutator (for names the
+/// interner already knows) and rebuilt wholesale by
+/// [`ContextStore::sync_ir`] whenever the interner's revision changed
+/// (i.e. new rules interned new names).
+#[derive(Clone, Debug)]
+struct IrMirror {
+    interner: SharedInterner,
+    /// Interner revision the boards were last rebuilt against. `None`
+    /// until the first [`ContextStore::sync_ir`].
+    seen_revision: Option<u64>,
+    sensor_board: Vec<Option<Value>>,
+    /// Expiry instant per transient event slot (compared against `now` at
+    /// query time, mirroring [`ContextStore::event_active`]).
+    transient_board: Vec<Option<SimTime>>,
+    persistent_board: Vec<bool>,
+}
+
 /// The engine's view of current context.
 #[derive(Clone, Debug)]
 pub struct ContextStore {
@@ -52,6 +73,7 @@ pub struct ContextStore {
     transient_events: BTreeMap<EventFact, SimTime>,
     persistent_events: BTreeSet<EventFact>,
     event_window: SimDuration,
+    ir: Option<IrMirror>,
 }
 
 impl ContextStore {
@@ -68,6 +90,101 @@ impl ContextStore {
             transient_events: BTreeMap::new(),
             persistent_events: BTreeSet::new(),
             event_window: DEFAULT_EVENT_WINDOW,
+            ir: None,
+        }
+    }
+
+    /// Attaches the rule database's interner so this store can serve
+    /// compiled-rule evaluation through dense slot-indexed boards. Until an
+    /// interner is attached, [`ContextView`] reads return nothing.
+    pub fn attach_interner(&mut self, interner: SharedInterner) {
+        self.ir = Some(IrMirror {
+            interner,
+            seen_revision: None,
+            sensor_board: Vec::new(),
+            transient_board: Vec::new(),
+            persistent_board: Vec::new(),
+        });
+    }
+
+    /// Brings the slot boards up to date with the interner.
+    ///
+    /// Cheap when no new names were interned since the last call (one
+    /// relaxed read-lock and revision compare); on a revision change the
+    /// boards are rebuilt from the string-keyed maps, which stay the source
+    /// of truth.
+    pub fn sync_ir(&mut self) {
+        let Some(mirror) = &mut self.ir else {
+            return;
+        };
+        let interner = mirror.interner.read().expect("interner lock poisoned");
+        if mirror.seen_revision == Some(interner.revision()) {
+            return;
+        }
+        mirror.sensor_board = (0..interner.sensor_count())
+            .map(|i| {
+                interner
+                    .sensor_key(SensorSlot::new(i as u32))
+                    .and_then(|key| self.sensor_values.get(key).cloned())
+            })
+            .collect();
+        mirror.transient_board = vec![None; interner.event_count()];
+        mirror.persistent_board = vec![false; interner.event_count()];
+        for i in 0..interner.event_count() {
+            let slot = EventSlot::new(i as u32);
+            let Some((channel, name)) = interner.event_key(slot) else {
+                continue;
+            };
+            let fact = EventFact {
+                channel: channel.to_owned(),
+                name: name.to_owned(),
+            };
+            mirror.persistent_board[i] = self.persistent_events.contains(&fact);
+            mirror.transient_board[i] = self.transient_events.get(&fact).copied();
+        }
+        mirror.seen_revision = Some(interner.revision());
+    }
+
+    /// Writes a sensor value through to the board when the interner knows
+    /// the key. Names never mentioned by a rule have no slot and are
+    /// (correctly) skipped.
+    fn mirror_sensor(&mut self, key: &SensorKey, value: &Value) {
+        if let Some(mirror) = &mut self.ir {
+            let interner = mirror.interner.read().expect("interner lock poisoned");
+            if let Some(slot) = interner.lookup_sensor(key) {
+                if slot.index() >= mirror.sensor_board.len() {
+                    mirror.sensor_board.resize(slot.index() + 1, None);
+                }
+                mirror.sensor_board[slot.index()] = Some(value.clone());
+            }
+        }
+    }
+
+    /// Writes a transient event's expiry through to the board. Inputs must
+    /// be normalized (trimmed, lowercase).
+    fn mirror_transient(&mut self, channel: &str, name: &str, expiry: SimTime) {
+        if let Some(mirror) = &mut self.ir {
+            let interner = mirror.interner.read().expect("interner lock poisoned");
+            if let Some(slot) = interner.lookup_event_normalized(channel, name) {
+                if slot.index() >= mirror.transient_board.len() {
+                    mirror.transient_board.resize(slot.index() + 1, None);
+                }
+                mirror.transient_board[slot.index()] = Some(expiry);
+            }
+        }
+    }
+
+    /// Writes a persistent event flag through to the board. Inputs must be
+    /// normalized (trimmed, lowercase).
+    fn mirror_persistent(&mut self, channel: &str, name: &str, active: bool) {
+        if let Some(mirror) = &mut self.ir {
+            let interner = mirror.interner.read().expect("interner lock poisoned");
+            if let Some(slot) = interner.lookup_event_normalized(channel, name) {
+                if slot.index() >= mirror.persistent_board.len() {
+                    mirror.persistent_board.resize(slot.index() + 1, false);
+                }
+                mirror.persistent_board[slot.index()] = active;
+            }
         }
     }
 
@@ -117,6 +234,7 @@ impl ContextStore {
     /// Directly stores a sensor/state value (scenario scripting and
     /// initial state snapshots).
     pub fn set_value(&mut self, key: SensorKey, value: Value) {
+        self.mirror_sensor(&key, &value);
         self.sensor_values.insert(key, value);
     }
 
@@ -160,22 +278,33 @@ impl ContextStore {
             channel: channel.trim().to_ascii_lowercase(),
             name: name.trim().to_ascii_lowercase(),
         };
-        self.transient_events
-            .insert(fact, self.now + self.event_window);
+        let expiry = self.now + self.event_window;
+        self.mirror_transient(&fact.channel, &fact.name, expiry);
+        self.transient_events.insert(fact, expiry);
     }
 
     /// Sets a persistent event fact (active until cleared).
     pub fn set_persistent_event(&mut self, channel: &str, name: &str) {
-        self.persistent_events.insert(EventFact {
+        let fact = EventFact {
             channel: channel.trim().to_ascii_lowercase(),
             name: name.trim().to_ascii_lowercase(),
-        });
+        };
+        self.mirror_persistent(&fact.channel, &fact.name, true);
+        self.persistent_events.insert(fact);
     }
 
     /// Clears every persistent event on a channel.
     pub fn clear_persistent_channel(&mut self, channel: &str) {
         let channel = channel.trim().to_ascii_lowercase();
         self.persistent_events.retain(|f| f.channel != channel);
+        if let Some(mirror) = &mut self.ir {
+            let interner = mirror.interner.read().expect("interner lock poisoned");
+            for slot in interner.channel_slots(&channel) {
+                if let Some(flag) = mirror.persistent_board.get_mut(slot.index()) {
+                    *flag = false;
+                }
+            }
+        }
     }
 
     /// Whether an event is currently active (case-insensitive).
@@ -250,10 +379,66 @@ impl ContextStore {
         }
         // Every change, including the special ones, is visible as a state
         // value (so "the TV is turned on" reads power(tv)).
-        self.sensor_values.insert(
-            SensorKey::new(change.device.clone(), change.variable.clone()),
-            change.value.clone(),
-        );
+        let key = SensorKey::new(change.device.clone(), change.variable.clone());
+        self.mirror_sensor(&key, &change.value);
+        self.sensor_values.insert(key, change.value.clone());
+    }
+
+    fn place_has_occupants(&self, place: &PlaceId) -> bool {
+        self.place_occupants
+            .get(place)
+            .map(|s| !s.is_empty())
+            .unwrap_or(false)
+    }
+}
+
+/// Slot-indexed reads for compiled-rule evaluation. Meaningful only after
+/// [`ContextStore::attach_interner`] and [`ContextStore::sync_ir`]; without
+/// them every slot reads as absent/inactive.
+impl ContextView for ContextStore {
+    fn sensor_value(&self, slot: SensorSlot) -> Option<&Value> {
+        self.ir.as_ref()?.sensor_board.get(slot.index())?.as_ref()
+    }
+
+    fn event_active_slot(&self, slot: EventSlot) -> bool {
+        let Some(mirror) = &self.ir else {
+            return false;
+        };
+        if mirror
+            .persistent_board
+            .get(slot.index())
+            .copied()
+            .unwrap_or(false)
+        {
+            return true;
+        }
+        mirror
+            .transient_board
+            .get(slot.index())
+            .copied()
+            .flatten()
+            .map(|expiry| expiry > self.now)
+            .unwrap_or(false)
+    }
+
+    fn person_place(&self, person: &PersonId) -> Option<&PlaceId> {
+        ContextStore::person_place(self, person)
+    }
+
+    fn place_occupied(&self, place: &PlaceId) -> bool {
+        self.place_has_occupants(place)
+    }
+
+    fn now(&self) -> SimTime {
+        ContextStore::now(self)
+    }
+
+    fn weekday(&self) -> Weekday {
+        ContextStore::weekday(self)
+    }
+
+    fn date(&self) -> Date {
+        ContextStore::date(self)
     }
 }
 
@@ -292,7 +477,9 @@ mod tests {
             ctx.value(&key),
             Some(&Value::Number(Quantity::from_integer(27, Unit::Celsius)))
         );
-        assert!(ctx.value(&SensorKey::new(DeviceId::new("x"), "y")).is_none());
+        assert!(ctx
+            .value(&SensorKey::new(DeviceId::new("x"), "y"))
+            .is_none());
     }
 
     #[test]

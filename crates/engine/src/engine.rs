@@ -92,6 +92,7 @@ pub struct Engine {
     held: HeldTracker,
     index: TriggerIndex,
     use_trigger_index: bool,
+    use_compiled: bool,
     last_state: HashMap<RuleId, bool>,
     holders: HashMap<DeviceId, ActiveHolder>,
     /// Rules whose condition currently holds, per target device. Losers
@@ -118,15 +119,18 @@ impl Engine {
                 ctx.set_device_place(description.udn().clone(), place.clone());
             }
         }
+        let rules = RuleDb::new();
+        ctx.attach_interner(rules.interner().clone());
         Engine {
             control,
             subscription,
-            rules: RuleDb::new(),
+            rules,
             priorities: PriorityStore::new(),
             ctx,
             held: HeldTracker::new(),
             index: TriggerIndex::new(),
             use_trigger_index: true,
+            use_compiled: true,
             last_state: HashMap::new(),
             holders: HashMap::new(),
             contenders: HashMap::new(),
@@ -139,6 +143,14 @@ impl Engine {
     /// rule. Exists for the A3 ablation benchmark.
     pub fn set_use_trigger_index(&mut self, enabled: bool) {
         self.use_trigger_index = enabled;
+    }
+
+    /// Disables compiled-program evaluation: conditions are interpreted
+    /// from their ASTs instead. Exists for parity testing and the compiled
+    /// vs. interpreted benchmark; both modes produce identical
+    /// [`StepReport`]s.
+    pub fn set_use_compiled(&mut self, enabled: bool) {
+        self.use_compiled = enabled;
     }
 
     /// The control point.
@@ -214,11 +226,17 @@ impl Engine {
         // 1. Ingest events.
         let changes = self.subscription.drain();
         self.ctx.set_now(now);
+        // Catch the slot boards up with names interned since the last step
+        // (mutators keep them current otherwise).
+        if self.use_compiled {
+            self.ctx.sync_ir();
+        }
         let mut affected: BTreeSet<RuleId> = BTreeSet::new();
         for change in &changes {
             self.ctx.apply_property_change(change);
             if self.use_trigger_index {
-                self.index.affected_by_change(change, &self.ctx, &mut affected);
+                self.index
+                    .affected_by_change(change, &self.ctx, &mut affected);
             }
         }
 
@@ -251,17 +269,27 @@ impl Engine {
         // contenders must get a chance to take over.
         let mut holder_lapsed: BTreeSet<DeviceId> = BTreeSet::new();
         for id in candidates {
+            // Evaluation borrows the stored rule (and its compiled
+            // program) in place — no per-candidate clone.
             let Some(rule) = self.rules.get(id) else {
                 continue;
             };
             if !rule.is_enabled() {
                 continue;
             }
-            let rule = rule.clone();
-            let device = rule.action().device().clone();
-            let now_true = {
-                let mut ev = Evaluator::new(&self.ctx, &mut self.held);
-                ev.condition_holds(rule.condition())
+            // Borrowed, not cloned: a candidate that stays false (the
+            // common case) must not pay for an owned device id.
+            let device = rule.action().device();
+            let program = if self.use_compiled {
+                self.rules.program(id)
+            } else {
+                None
+            };
+            let now_true = match program {
+                Some(program) => {
+                    cadel_ir::condition_holds(program.as_ref(), &self.ctx, &mut self.held)
+                }
+                None => Evaluator::new(&self.ctx, &mut self.held).condition_holds(rule.condition()),
             };
             let prev = self.last_state.insert(id, now_true).unwrap_or(false);
 
@@ -271,23 +299,33 @@ impl Engine {
             if let Some(until) = rule.until() {
                 let holder_here = self
                     .holders
-                    .get(&device)
+                    .get(device)
                     .map(|h| h.rule == id)
                     .unwrap_or(false);
                 if holder_here {
-                    let until_true = {
-                        let mut ev = Evaluator::new(&self.ctx, &mut self.held);
-                        ev.condition_holds(until)
+                    let until_true = match program {
+                        Some(program) => {
+                            cadel_ir::until_holds(program.as_ref(), &self.ctx, &mut self.held)
+                                .unwrap_or(false)
+                        }
+                        None => Evaluator::new(&self.ctx, &mut self.held).condition_holds(until),
                     };
                     if until_true {
-                        self.release(&rule);
+                        // Inlined `release`: invoke the inverse action and
+                        // free the device (a method call would require
+                        // `&mut self` while `rule` is borrowed).
+                        if let Some(inverse) = rule.action().verb().inverse() {
+                            let inverse_action = ActionSpec::new(device.clone(), inverse);
+                            let _ = self.invoke_action(&inverse_action);
+                        }
+                        self.holders.remove(device);
                         releases.push((id, device.clone()));
                         // Latch until the condition goes false so the rule
                         // does not immediately re-acquire the device.
                         if now_true {
                             self.latched.insert(id);
                         }
-                        if let Some(set) = self.contenders.get_mut(&device) {
+                        if let Some(set) = self.contenders.get_mut(device) {
                             set.remove(&id);
                         }
                     }
@@ -299,10 +337,10 @@ impl Engine {
                 // note, and leaves the contender pool.
                 self.latched.remove(&id);
                 self.suppress_noted.remove(&id);
-                if let Some(set) = self.contenders.get_mut(&device) {
+                if let Some(set) = self.contenders.get_mut(device) {
                     set.remove(&id);
                 }
-                if self.holders.get(&device).map(|h| h.rule) == Some(id) {
+                if self.holders.get(device).map(|h| h.rule) == Some(id) {
                     holder_lapsed.insert(device.clone());
                 }
                 continue;
@@ -311,7 +349,16 @@ impl Engine {
                 newly_true.insert(id);
             }
             if !self.latched.contains(&id) {
-                self.contenders.entry(device.clone()).or_default().insert(id);
+                // Clone the key only when this device has no contender set
+                // yet.
+                match self.contenders.get_mut(device) {
+                    Some(set) => {
+                        set.insert(id);
+                    }
+                    None => {
+                        self.contenders.insert(device.clone(), BTreeSet::from([id]));
+                    }
+                }
             }
         }
 
@@ -463,15 +510,6 @@ impl Engine {
         }
     }
 
-    fn release(&mut self, rule: &Rule) {
-        let device = rule.action().device().clone();
-        if let Some(inverse) = rule.action().verb().inverse() {
-            let inverse_action = ActionSpec::new(device.clone(), inverse);
-            let _ = self.invoke_action(&inverse_action);
-        }
-        self.holders.remove(&device);
-    }
-
     /// Translates an [`ActionSpec`] into UPnP invocations.
     fn invoke_action(&self, action: &ActionSpec) -> Result<(), UpnpError> {
         let device = action.device();
@@ -593,7 +631,10 @@ mod tests {
             home.aircon.query("setpoint").unwrap(),
             Value::Number(Quantity::from_integer(25, Unit::Celsius))
         );
-        assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), Some(RuleId::new(1)));
+        assert_eq!(
+            engine.holder(&DeviceId::new("aircon-lr")),
+            Some(RuleId::new(1))
+        );
     }
 
     #[test]
@@ -635,8 +676,16 @@ mod tests {
             .unwrap();
         let report = engine.step(SimTime::from_millis(1));
         assert_eq!(report.firings.len(), 2);
-        let alan = report.firings.iter().find(|f| f.rule == RuleId::new(2)).unwrap();
-        let tom = report.firings.iter().find(|f| f.rule == RuleId::new(1)).unwrap();
+        let alan = report
+            .firings
+            .iter()
+            .find(|f| f.rule == RuleId::new(2))
+            .unwrap();
+        let tom = report
+            .firings
+            .iter()
+            .find(|f| f.rule == RuleId::new(1))
+            .unwrap();
         assert!(matches!(alan.outcome, FiringOutcome::Dispatched));
         assert_eq!(tom.outcome, FiringOutcome::SuppressedBy(RuleId::new(2)));
         // Alan's setpoint won.
@@ -662,15 +711,25 @@ mod tests {
             .set_reading(Rational::from_integer(27), SimTime::EPOCH)
             .unwrap();
         engine.step(SimTime::from_millis(1));
-        assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), Some(RuleId::new(1)));
+        assert_eq!(
+            engine.holder(&DeviceId::new("aircon-lr")),
+            Some(RuleId::new(1))
+        );
         // 30°: Alan triggers and outranks the holder.
         home.thermometer
             .set_reading(Rational::from_integer(30), SimTime::from_millis(2))
             .unwrap();
         let report = engine.step(SimTime::from_millis(2));
-        let alan = report.firings.iter().find(|f| f.rule == RuleId::new(2)).unwrap();
+        let alan = report
+            .firings
+            .iter()
+            .find(|f| f.rule == RuleId::new(2))
+            .unwrap();
         assert_eq!(alan.outcome, FiringOutcome::Replaced(RuleId::new(1)));
-        assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), Some(RuleId::new(2)));
+        assert_eq!(
+            engine.holder(&DeviceId::new("aircon-lr")),
+            Some(RuleId::new(2))
+        );
     }
 
     #[test]
@@ -691,7 +750,11 @@ mod tests {
             .set_reading(Rational::from_integer(30), SimTime::from_millis(2))
             .unwrap();
         let report = engine.step(SimTime::from_millis(2));
-        let alan = report.firings.iter().find(|f| f.rule == RuleId::new(2)).unwrap();
+        let alan = report
+            .firings
+            .iter()
+            .find(|f| f.rule == RuleId::new(2))
+            .unwrap();
         assert_eq!(alan.outcome, FiringOutcome::SuppressedBy(RuleId::new(1)));
         assert_eq!(
             home.aircon.query("setpoint").unwrap(),
@@ -762,11 +825,8 @@ mod tests {
 
         // Arrive at 21:00.
         let t_arrive = SimTime::EPOCH + SimDuration::from_hours(21);
-        home.hall_presence.announce_arrival(
-            &PersonId::new("tom"),
-            "returns home",
-            t_arrive,
-        );
+        home.hall_presence
+            .announce_arrival(&PersonId::new("tom"), "returns home", t_arrive);
         let report = engine.step(t_arrive);
         assert_eq!(report.dispatched().len(), 1);
         assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(true));
@@ -775,7 +835,10 @@ mod tests {
         // off via the inverse verb).
         let t_release = SimTime::EPOCH + SimDuration::from_hours(22) + SimDuration::from_minutes(5);
         let report = engine.step(t_release);
-        assert_eq!(report.releases, vec![(RuleId::new(1), DeviceId::new("light-hall"))]);
+        assert_eq!(
+            report.releases,
+            vec![(RuleId::new(1), DeviceId::new("light-hall"))]
+        );
         assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(false));
         assert_eq!(engine.holder(&DeviceId::new("light-hall")), None);
     }
@@ -787,9 +850,7 @@ mod tests {
         engine_b.set_use_trigger_index(false);
         for engine in [&mut engine_a, &mut engine_b] {
             engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
-            engine
-                .add_rule(hot_rule("alan", 2, 25, 24))
-                .unwrap();
+            engine.add_rule(hot_rule("alan", 2, 25, 24)).unwrap();
             engine.add_priority(PriorityOrder::new(
                 DeviceId::new("aircon-lr"),
                 vec![RuleId::new(2), RuleId::new(1)],
@@ -834,19 +895,22 @@ mod tests {
         let (mut engine, home) = setup();
         // A rule whose action the device rejects (out-of-range setpoint).
         let rule = Rule::builder(PersonId::new("tom"))
-            .condition(Condition::Atom(Atom::Event(EventAtom::new("tv-guide", "x"))))
+            .condition(Condition::Atom(Atom::Event(EventAtom::new(
+                "tv-guide", "x",
+            ))))
             .action(
-                ActionSpec::new(DeviceId::new("aircon-lr"), Verb::TurnOn).with_setting(
-                    "temperature",
-                    Quantity::from_integer(99, Unit::Celsius),
-                ),
+                ActionSpec::new(DeviceId::new("aircon-lr"), Verb::TurnOn)
+                    .with_setting("temperature", Quantity::from_integer(99, Unit::Celsius)),
             )
             .build(RuleId::new(1))
             .unwrap();
         engine.add_rule(rule).unwrap();
         home.tv_guide.announce("x", SimTime::EPOCH);
         let report = engine.step(SimTime::from_millis(1));
-        assert!(matches!(report.firings[0].outcome, FiringOutcome::Failed(_)));
+        assert!(matches!(
+            report.firings[0].outcome,
+            FiringOutcome::Failed(_)
+        ));
         assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), None);
     }
 }

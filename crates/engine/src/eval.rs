@@ -22,11 +22,16 @@ impl HeldTracker {
         HeldTracker::default()
     }
 
-    fn observe(&mut self, fingerprint: String, inner_true: bool, now: SimTime) -> Option<SimTime> {
+    fn observe(&mut self, fingerprint: &str, inner_true: bool, now: SimTime) -> Option<SimTime> {
         if inner_true {
-            Some(*self.since.entry(fingerprint).or_insert(now))
+            if let Some(since) = self.since.get(fingerprint) {
+                return Some(*since);
+            }
+            // Owned allocation only on the false→true transition.
+            self.since.insert(fingerprint.to_owned(), now);
+            Some(now)
         } else {
-            self.since.remove(&fingerprint);
+            self.since.remove(fingerprint);
             None
         }
     }
@@ -34,6 +39,15 @@ impl HeldTracker {
     /// Number of atoms currently being tracked as true.
     pub fn tracked(&self) -> usize {
         self.since.len()
+    }
+}
+
+/// Compiled programs and the AST interpreter share one tracker: lowering
+/// reproduces the interpreter's fingerprints byte-for-byte, so both
+/// evaluation paths observe (and reset) the same continuous-truth state.
+impl cadel_ir::HeldObserver for HeldTracker {
+    fn observe(&mut self, fingerprint: &str, inner_true: bool, now: SimTime) -> Option<SimTime> {
+        HeldTracker::observe(self, fingerprint, inner_true, now)
     }
 }
 
@@ -79,7 +93,7 @@ impl<'a> Evaluator<'a> {
             Atom::HeldFor { inner, duration } => {
                 let inner_true = self.atom_holds(inner);
                 let fingerprint = format!("{inner}~{}", duration.as_millis());
-                match self.held.observe(fingerprint, inner_true, self.ctx.now()) {
+                match self.held.observe(&fingerprint, inner_true, self.ctx.now()) {
                     Some(since) => self.ctx.now().since(since) >= *duration,
                     None => false,
                 }
@@ -129,9 +143,15 @@ mod tests {
             Quantity::from_integer(26, Unit::Celsius),
         ));
         assert!(!eval(&ctx, &mut held, &atom)); // no reading yet
-        ctx.set_value(key.clone(), Value::Number(Quantity::from_integer(28, Unit::Celsius)));
+        ctx.set_value(
+            key.clone(),
+            Value::Number(Quantity::from_integer(28, Unit::Celsius)),
+        );
         assert!(eval(&ctx, &mut held, &atom));
-        ctx.set_value(key, Value::Number(Quantity::from_integer(25, Unit::Celsius)));
+        ctx.set_value(
+            key,
+            Value::Number(Quantity::from_integer(25, Unit::Celsius)),
+        );
         assert!(!eval(&ctx, &mut held, &atom));
     }
 
@@ -139,9 +159,16 @@ mod tests {
     fn state_atom_evaluation() {
         let mut ctx = ctx_at(SimTime::EPOCH);
         let mut held = HeldTracker::new();
-        let atom = Atom::State(StateAtom::new(DeviceId::new("tv"), "power", Value::Bool(true)));
+        let atom = Atom::State(StateAtom::new(
+            DeviceId::new("tv"),
+            "power",
+            Value::Bool(true),
+        ));
         assert!(!eval(&ctx, &mut held, &atom));
-        ctx.set_value(SensorKey::new(DeviceId::new("tv"), "power"), Value::Bool(true));
+        ctx.set_value(
+            SensorKey::new(DeviceId::new("tv"), "power"),
+            Value::Bool(true),
+        );
         assert!(eval(&ctx, &mut held, &atom));
     }
 

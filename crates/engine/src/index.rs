@@ -90,12 +90,7 @@ impl TriggerIndex {
                         self.temporal.insert(id);
                     }
                 } else {
-                    toggle(
-                        &mut self.by_event_channel,
-                        &e.channel().to_owned(),
-                        id,
-                        add,
-                    );
+                    toggle(&mut self.by_event_channel, &e.channel().to_owned(), id, add);
                 }
             }
             Atom::Time(_) | Atom::Weekday(_) | Atom::Date(_) => {
@@ -171,9 +166,7 @@ impl TriggerIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cadel_rule::{
-        ActionSpec, ConstraintAtom, EventAtom, PresenceAtom, Rule, StateAtom, Verb,
-    };
+    use cadel_rule::{ActionSpec, ConstraintAtom, EventAtom, PresenceAtom, Rule, StateAtom, Verb};
     use cadel_simplex::RelOp;
     use cadel_types::{DeviceId, PersonId, Quantity, SimDuration, SimTime, Unit, Value};
 

@@ -2,6 +2,10 @@
 //! normal form: a condition holds iff its DNF holds, and firings respect
 //! the constraint semantics of `cadel-simplex`.
 
+// Requires the `proptest` feature (and its dev-dependency); the default
+// build is offline and compiles this file to nothing.
+#![cfg(feature = "proptest")]
+
 use cadel_engine::{ContextStore, Evaluator, HeldTracker};
 use cadel_rule::{Atom, Condition, Conjunct, ConstraintAtom, EventAtom};
 use cadel_simplex::RelOp;
@@ -37,10 +41,8 @@ fn arb_condition(depth: u32) -> BoxedStrategy<Condition> {
     } else {
         prop_oneof![
             arb_atom().prop_map(Condition::Atom),
-            proptest::collection::vec(arb_condition(depth - 1), 1..3)
-                .prop_map(Condition::And),
-            proptest::collection::vec(arb_condition(depth - 1), 1..3)
-                .prop_map(Condition::Or),
+            proptest::collection::vec(arb_condition(depth - 1), 1..3).prop_map(Condition::And),
+            proptest::collection::vec(arb_condition(depth - 1), 1..3).prop_map(Condition::Or),
         ]
         .boxed()
     }

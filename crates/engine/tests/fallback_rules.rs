@@ -30,7 +30,9 @@ fn displaced_holder_triggers_fallback_recording() {
     let mut engine = Engine::new(ControlPoint::new(registry));
 
     // Alan watches baseball (rule 1); Emily's movie outranks him (rule 2).
-    engine.add_rule(tv_rule("alan", 1, "baseball game")).unwrap();
+    engine
+        .add_rule(tv_rule("alan", 1, "baseball game"))
+        .unwrap();
     engine.add_rule(tv_rule("emily", 2, "movie")).unwrap();
     engine.add_priority(PriorityOrder::new(
         DeviceId::new("tv-lr"),
@@ -40,11 +42,9 @@ fn displaced_holder_triggers_fallback_recording() {
     // still on, record it.
     let fallback = Rule::builder(PersonId::new("alan"))
         .condition(
-            Condition::Atom(Atom::Event(EventAtom::new(CONFLICT_CHANNEL, "tv-lr:alan")))
-                .and(Condition::Atom(Atom::Event(EventAtom::new(
-                    "tv-guide",
-                    "baseball game",
-                )))),
+            Condition::Atom(Atom::Event(EventAtom::new(CONFLICT_CHANNEL, "tv-lr:alan"))).and(
+                Condition::Atom(Atom::Event(EventAtom::new("tv-guide", "baseball game"))),
+            ),
         )
         .action(
             ActionSpec::new(DeviceId::new("vcr-lr"), Verb::Record)
@@ -55,16 +55,26 @@ fn displaced_holder_triggers_fallback_recording() {
     engine.add_rule(fallback).unwrap();
 
     // Baseball starts: Alan holds the TV, no recording.
-    home.tv_guide.start_program("baseball game", SimTime::from_millis(1));
+    home.tv_guide
+        .start_program("baseball game", SimTime::from_millis(1));
     engine.step(SimTime::from_millis(2));
-    assert_eq!(home.tv.query("content").unwrap(), Value::from("baseball game"));
-    assert_eq!(home.recorder.query("recording").unwrap(), Value::Bool(false));
+    assert_eq!(
+        home.tv.query("content").unwrap(),
+        Value::from("baseball game")
+    );
+    assert_eq!(
+        home.recorder.query("recording").unwrap(),
+        Value::Bool(false)
+    );
 
     // The movie starts: Emily displaces Alan…
-    home.tv_guide.start_program("movie", SimTime::from_millis(3));
+    home.tv_guide
+        .start_program("movie", SimTime::from_millis(3));
     engine.step(SimTime::from_millis(4));
     assert_eq!(home.tv.query("content").unwrap(), Value::from("movie"));
-    assert!(engine.context().event_active(CONFLICT_CHANNEL, "tv-lr:alan"));
+    assert!(engine
+        .context()
+        .event_active(CONFLICT_CHANNEL, "tv-lr:alan"));
 
     // …and the fallback fires on the next step.
     engine.step(SimTime::from_millis(5));
@@ -80,7 +90,9 @@ fn suppression_event_is_raised_once_per_episode() {
     let registry = Registry::new();
     let home = LivingRoomHome::install(&registry);
     let mut engine = Engine::new(ControlPoint::new(registry));
-    engine.add_rule(tv_rule("alan", 1, "baseball game")).unwrap();
+    engine
+        .add_rule(tv_rule("alan", 1, "baseball game"))
+        .unwrap();
     engine.add_rule(tv_rule("emily", 2, "movie")).unwrap();
     engine.add_priority(PriorityOrder::new(
         DeviceId::new("tv-lr"),
@@ -88,8 +100,10 @@ fn suppression_event_is_raised_once_per_episode() {
     ));
 
     // Both programs start simultaneously: Emily wins, Alan suppressed.
-    home.tv_guide.start_program("baseball game", SimTime::from_millis(1));
-    home.tv_guide.start_program("movie", SimTime::from_millis(1));
+    home.tv_guide
+        .start_program("baseball game", SimTime::from_millis(1));
+    home.tv_guide
+        .start_program("movie", SimTime::from_millis(1));
     let report = engine.step(SimTime::from_millis(2));
     assert_eq!(report.firings.len(), 2);
     // Re-stepping does not produce repeated suppression firings while
@@ -101,5 +115,8 @@ fn suppression_event_is_raised_once_per_episode() {
     home.tv_guide.end_program("movie", SimTime::from_millis(4));
     let report = engine.step(SimTime::from_millis(5));
     assert_eq!(report.dispatched().len(), 1);
-    assert_eq!(home.tv.query("content").unwrap(), Value::from("baseball game"));
+    assert_eq!(
+        home.tv.query("content").unwrap(),
+        Value::from("baseball game")
+    );
 }

@@ -1,0 +1,27 @@
+//! Errors raised while building compiled rule artifacts.
+
+use std::fmt;
+
+/// An error raised while compiling a rule into IR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// The same sensor was constrained under two different physical
+    /// dimensions, so no single solver variable can represent it.
+    DimensionMismatch {
+        /// Human-readable description of the clash.
+        context: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

@@ -1,0 +1,371 @@
+//! Evaluation of compiled rule programs against a dense context view.
+//!
+//! The evaluator is generic over two host-provided capabilities so the IR
+//! crate stays independent of the engine:
+//!
+//! * [`ContextView`] — slot-indexed reads of the live context (the engine's
+//!   `ContextStore` implements it over its dense boards);
+//! * [`HeldObserver`] — the continuous-truth bookkeeping behind `HeldFor`
+//!   predicates (implemented by the engine's `HeldTracker`, shared with the
+//!   AST interpreter through identical fingerprints).
+//!
+//! Evaluation order and short-circuiting replicate the AST interpreter
+//! exactly: `HeldFor` observation is side-effectful, so a skipped child is
+//! a semantic fact, not an optimization.
+
+use crate::program::{CondCode, Op, Pred, RuleProgram};
+use cadel_types::{Date, PersonId, PlaceId, SimTime, Value, Weekday};
+
+/// Slot-indexed, read-only view of the live context.
+pub trait ContextView {
+    /// The latest value on a sensor slot, if any.
+    fn sensor_value(&self, slot: crate::SensorSlot) -> Option<&Value>;
+    /// Whether the event pattern on a slot is currently active.
+    fn event_active_slot(&self, slot: crate::EventSlot) -> bool;
+    /// Where a person currently is, if known.
+    fn person_place(&self, person: &PersonId) -> Option<&PlaceId>;
+    /// Whether at least one person is at the place.
+    fn place_occupied(&self, place: &PlaceId) -> bool;
+    /// The current instant.
+    fn now(&self) -> SimTime;
+    /// The weekday at the current instant.
+    fn weekday(&self) -> Weekday;
+    /// The calendar date at the current instant.
+    fn date(&self) -> Date;
+}
+
+/// Continuous-truth tracking for `HeldFor` predicates.
+pub trait HeldObserver {
+    /// Records the inner fact's truth under `fingerprint` and returns since
+    /// when it has been continuously true (`None` when currently false).
+    fn observe(&mut self, fingerprint: &str, inner_true: bool, now: SimTime) -> Option<SimTime>;
+}
+
+/// Whether a program's trigger condition holds right now.
+pub fn condition_holds(
+    program: &RuleProgram,
+    view: &impl ContextView,
+    held: &mut impl HeldObserver,
+) -> bool {
+    eval_code(program.condition(), program.preds(), view, held)
+}
+
+/// Whether a program's `until` condition holds right now (`None` when the
+/// rule has no release clause).
+pub fn until_holds(
+    program: &RuleProgram,
+    view: &impl ContextView,
+    held: &mut impl HeldObserver,
+) -> Option<bool> {
+    program
+        .until()
+        .map(|code| eval_code(code, program.preds(), view, held))
+}
+
+/// Evaluates flattened condition bytecode over a predicate table.
+pub fn eval_code(
+    code: &CondCode,
+    preds: &[Pred],
+    view: &impl ContextView,
+    held: &mut impl HeldObserver,
+) -> bool {
+    if code.is_empty() {
+        return true;
+    }
+    let (value, _next) = eval_at(code, preds, 0, view, held);
+    value
+}
+
+/// Evaluates the instruction at `pc`, returning its value and the pc just
+/// past its region.
+fn eval_at(
+    code: &[Op],
+    preds: &[Pred],
+    pc: usize,
+    view: &impl ContextView,
+    held: &mut impl HeldObserver,
+) -> (bool, usize) {
+    match code[pc] {
+        Op::True => (true, pc + 1),
+        Op::Pred(i) => (eval_pred(preds, i, view, held), pc + 1),
+        Op::And { end } => {
+            let end = end as usize;
+            let mut child = pc + 1;
+            while child < end {
+                let (value, next) = eval_at(code, preds, child, view, held);
+                if !value {
+                    // Short-circuit: remaining children are not evaluated,
+                    // matching `Iterator::all` in the AST interpreter.
+                    return (false, end);
+                }
+                child = next;
+            }
+            (true, end)
+        }
+        Op::Or { end } => {
+            let end = end as usize;
+            let mut child = pc + 1;
+            while child < end {
+                let (value, next) = eval_at(code, preds, child, view, held);
+                if value {
+                    return (true, end);
+                }
+                child = next;
+            }
+            (false, end)
+        }
+    }
+}
+
+fn eval_pred(
+    preds: &[Pred],
+    index: u32,
+    view: &impl ContextView,
+    held: &mut impl HeldObserver,
+) -> bool {
+    match &preds[index as usize] {
+        Pred::NumCmp {
+            slot,
+            op,
+            threshold,
+            dim,
+        } => match view.sensor_value(*slot) {
+            Some(Value::Number(q)) => {
+                q.dimension() == *dim && op.holds(q.canonical_value(), *threshold)
+            }
+            _ => false,
+        },
+        Pred::StateEq { slot, expected } => match view.sensor_value(*slot) {
+            Some(observed) => match expected {
+                Value::Text(text) => observed.text_matches(text),
+                other => other == observed,
+            },
+            None => false,
+        },
+        Pred::PersonAt { person, place } => view.person_place(person) == Some(place),
+        Pred::SomebodyAt(place) => view.place_occupied(place),
+        Pred::NobodyAt(place) => !view.place_occupied(place),
+        Pred::Event(slot) => view.event_active_slot(*slot),
+        Pred::TimeIn(window) => window.contains(view.now().time_of_day()),
+        Pred::WeekdayIs(day) => view.weekday() == *day,
+        Pred::DateIs(date) => view.date() == *date,
+        Pred::HeldFor {
+            inner,
+            duration,
+            fingerprint,
+        } => {
+            let inner_true = eval_pred(preds, *inner, view, held);
+            match held.observe(fingerprint, inner_true, view.now()) {
+                Some(since) => view.now().since(since) >= *duration,
+                None => false,
+            }
+        }
+        Pred::Never => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventSlot, SensorSlot};
+    use cadel_simplex::RelOp;
+    use cadel_types::unit::Dimension;
+    use cadel_types::{Quantity, Rational, SimDuration, Unit};
+    use std::collections::HashMap;
+
+    /// A minimal context for exercising the evaluator without the engine.
+    #[derive(Default)]
+    struct TestView {
+        sensors: Vec<Option<Value>>,
+        events: Vec<bool>,
+        now: SimTime,
+    }
+
+    impl ContextView for TestView {
+        fn sensor_value(&self, slot: SensorSlot) -> Option<&Value> {
+            self.sensors.get(slot.index())?.as_ref()
+        }
+        fn event_active_slot(&self, slot: EventSlot) -> bool {
+            self.events.get(slot.index()).copied().unwrap_or(false)
+        }
+        fn person_place(&self, _: &PersonId) -> Option<&PlaceId> {
+            None
+        }
+        fn place_occupied(&self, _: &PlaceId) -> bool {
+            false
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn weekday(&self) -> Weekday {
+            Weekday::Monday
+        }
+        fn date(&self) -> Date {
+            Date::new(2005, 6, 6).unwrap()
+        }
+    }
+
+    #[derive(Default)]
+    struct TestHeld {
+        since: HashMap<String, SimTime>,
+        observations: usize,
+    }
+
+    impl HeldObserver for TestHeld {
+        fn observe(&mut self, fp: &str, inner_true: bool, now: SimTime) -> Option<SimTime> {
+            self.observations += 1;
+            if inner_true {
+                Some(*self.since.entry(fp.to_owned()).or_insert(now))
+            } else {
+                self.since.remove(fp);
+                None
+            }
+        }
+    }
+
+    fn num_pred(slot: u32, op: RelOp, threshold: i64) -> Pred {
+        Pred::NumCmp {
+            slot: SensorSlot::new(slot),
+            op,
+            threshold: Rational::from_integer(threshold),
+            dim: Dimension::Temperature,
+        }
+    }
+
+    #[test]
+    fn empty_code_is_true() {
+        let view = TestView::default();
+        let mut held = TestHeld::default();
+        assert!(eval_code(&vec![], &[], &view, &mut held));
+        assert!(eval_code(&vec![Op::True], &[], &view, &mut held));
+    }
+
+    #[test]
+    fn numeric_pred_checks_dimension_and_value() {
+        let mut view = TestView {
+            sensors: vec![Some(Value::Number(Quantity::from_integer(
+                28,
+                Unit::Celsius,
+            )))],
+            ..TestView::default()
+        };
+        let mut held = TestHeld::default();
+        let preds = vec![num_pred(0, RelOp::Gt, 26)];
+        let code = vec![Op::Pred(0)];
+        assert!(eval_code(&code, &preds, &view, &mut held));
+        // Wrong dimension: fails closed.
+        view.sensors = vec![Some(Value::Number(Quantity::from_integer(
+            90,
+            Unit::Percent,
+        )))];
+        assert!(!eval_code(&code, &preds, &view, &mut held));
+        // No reading: false.
+        view.sensors = vec![None];
+        assert!(!eval_code(&code, &preds, &view, &mut held));
+    }
+
+    #[test]
+    fn and_or_short_circuit_skips_held_observation() {
+        let view = TestView {
+            sensors: vec![Some(Value::Number(Quantity::from_integer(
+                10,
+                Unit::Celsius,
+            )))],
+            ..TestView::default()
+        };
+        let mut held = TestHeld::default();
+        let preds = vec![
+            num_pred(0, RelOp::Gt, 26), // false
+            Pred::HeldFor {
+                inner: 2,
+                duration: SimDuration::from_minutes(1),
+                fingerprint: "x".into(),
+            },
+            num_pred(0, RelOp::Gt, 0), // inner, true
+        ];
+        // And(false, held_for): held_for must NOT be observed.
+        let code = vec![Op::And { end: 3 }, Op::Pred(0), Op::Pred(1)];
+        assert!(!eval_code(&code, &preds, &view, &mut held));
+        assert_eq!(held.observations, 0);
+        // Or(true, held_for): held_for must NOT be observed either.
+        let preds2 = vec![
+            num_pred(0, RelOp::Gt, 0), // true
+            preds[1].clone(),
+            preds[2].clone(),
+        ];
+        let code = vec![Op::Or { end: 3 }, Op::Pred(0), Op::Pred(1)];
+        assert!(eval_code(&code, &preds2, &view, &mut held));
+        assert_eq!(held.observations, 0);
+    }
+
+    #[test]
+    fn nested_groups_evaluate_in_order() {
+        let view = TestView {
+            sensors: vec![Some(Value::Number(Quantity::from_integer(
+                30,
+                Unit::Celsius,
+            )))],
+            events: vec![true],
+            ..TestView::default()
+        };
+        let mut held = TestHeld::default();
+        let preds = vec![
+            num_pred(0, RelOp::Gt, 26),     // true
+            Pred::Event(EventSlot::new(0)), // true
+            num_pred(0, RelOp::Lt, 0),      // false
+        ];
+        // (p0 and (p2 or p1)) == true
+        let code = vec![
+            Op::And { end: 5 },
+            Op::Pred(0),
+            Op::Or { end: 5 },
+            Op::Pred(2),
+            Op::Pred(1),
+        ];
+        assert!(eval_code(&code, &preds, &view, &mut held));
+        // Empty And is true, empty Or is false (matches all()/any()).
+        assert!(eval_code(
+            &vec![Op::And { end: 1 }],
+            &preds,
+            &view,
+            &mut held
+        ));
+        assert!(!eval_code(
+            &vec![Op::Or { end: 1 }],
+            &preds,
+            &view,
+            &mut held
+        ));
+    }
+
+    #[test]
+    fn held_for_requires_continuous_truth() {
+        let mut view = TestView {
+            sensors: vec![Some(Value::Number(Quantity::from_integer(
+                30,
+                Unit::Celsius,
+            )))],
+            ..TestView::default()
+        };
+        let mut held = TestHeld::default();
+        let preds = vec![
+            Pred::HeldFor {
+                inner: 1,
+                duration: SimDuration::from_minutes(10),
+                fingerprint: "hot~600000".into(),
+            },
+            num_pred(0, RelOp::Gt, 26),
+        ];
+        let code = vec![Op::Pred(0)];
+        assert!(!eval_code(&code, &preds, &view, &mut held)); // just started
+        view.now = SimTime::EPOCH + SimDuration::from_minutes(11);
+        assert!(eval_code(&code, &preds, &view, &mut held));
+        // Drops below: resets.
+        view.sensors = vec![Some(Value::Number(Quantity::from_integer(
+            10,
+            Unit::Celsius,
+        )))];
+        assert!(!eval_code(&code, &preds, &view, &mut held));
+        assert!(held.since.is_empty());
+    }
+}

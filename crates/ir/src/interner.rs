@@ -1,0 +1,213 @@
+//! Interning of context-observable names into dense `u32` slots.
+//!
+//! Compiled rule programs never hash strings at evaluation time: every
+//! sensor variable and event pattern a registered rule mentions is interned
+//! here once, at compile time, and the engine's context store mirrors its
+//! string-keyed maps onto dense boards indexed by these slots.
+
+use cadel_types::SensorKey;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A dense index for a [`SensorKey`] (a `(device, variable)` pair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SensorSlot(u32);
+
+impl SensorSlot {
+    /// Creates a slot from its raw index.
+    pub const fn new(index: u32) -> SensorSlot {
+        SensorSlot(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense index for a normalized `(channel, name)` event pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventSlot(u32);
+
+impl EventSlot {
+    /// Creates a slot from its raw index.
+    pub const fn new(index: u32) -> EventSlot {
+        EventSlot(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Maps sensor keys and event patterns to dense slots.
+///
+/// The interner is append-only: slots are never reused, so a compiled
+/// program's slot references stay valid for the interner's lifetime. A
+/// monotonically increasing [`Interner::revision`] lets consumers (the
+/// engine's dense context boards) detect that new slots appeared and
+/// resize/backfill lazily.
+#[derive(Debug, Default)]
+pub struct Interner {
+    sensors: HashMap<SensorKey, SensorSlot>,
+    sensor_keys: Vec<SensorKey>,
+    /// channel → name → slot, both normalized (trimmed, ASCII-lowercased).
+    events: HashMap<String, HashMap<String, EventSlot>>,
+    event_keys: Vec<(String, String)>,
+    /// channel → slots on that channel (serves bulk channel clears).
+    by_channel: HashMap<String, Vec<EventSlot>>,
+    revision: u64,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// The current revision; bumped whenever a new slot is interned.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The slot of a sensor key, interning it on first use.
+    pub fn sensor_slot(&mut self, key: &SensorKey) -> SensorSlot {
+        if let Some(slot) = self.sensors.get(key) {
+            return *slot;
+        }
+        let slot = SensorSlot::new(self.sensor_keys.len() as u32);
+        self.sensors.insert(key.clone(), slot);
+        self.sensor_keys.push(key.clone());
+        self.revision += 1;
+        slot
+    }
+
+    /// The slot of an already-interned sensor key.
+    pub fn lookup_sensor(&self, key: &SensorKey) -> Option<SensorSlot> {
+        self.sensors.get(key).copied()
+    }
+
+    /// The sensor key behind a slot.
+    pub fn sensor_key(&self, slot: SensorSlot) -> Option<&SensorKey> {
+        self.sensor_keys.get(slot.index())
+    }
+
+    /// Number of interned sensor slots.
+    pub fn sensor_count(&self) -> usize {
+        self.sensor_keys.len()
+    }
+
+    /// The slot of an event pattern, interning it on first use. Channel and
+    /// name are normalized (trimmed, ASCII-lowercased) so patterns match
+    /// the engine's case-insensitive event semantics.
+    pub fn event_slot(&mut self, channel: &str, name: &str) -> EventSlot {
+        let channel = channel.trim().to_ascii_lowercase();
+        let name = name.trim().to_ascii_lowercase();
+        if let Some(slot) = self.events.get(&channel).and_then(|m| m.get(&name)) {
+            return *slot;
+        }
+        let slot = EventSlot::new(self.event_keys.len() as u32);
+        self.events
+            .entry(channel.clone())
+            .or_default()
+            .insert(name.clone(), slot);
+        self.by_channel
+            .entry(channel.clone())
+            .or_default()
+            .push(slot);
+        self.event_keys.push((channel, name));
+        self.revision += 1;
+        slot
+    }
+
+    /// The slot of an already-interned event pattern. The inputs must
+    /// already be normalized (trimmed, lowercase) — the engine's event
+    /// facts are stored normalized, so its lookups take this allocation-free
+    /// path.
+    pub fn lookup_event_normalized(&self, channel: &str, name: &str) -> Option<EventSlot> {
+        self.events.get(channel).and_then(|m| m.get(name)).copied()
+    }
+
+    /// The normalized `(channel, name)` behind an event slot.
+    pub fn event_key(&self, slot: EventSlot) -> Option<(&str, &str)> {
+        self.event_keys
+            .get(slot.index())
+            .map(|(c, n)| (c.as_str(), n.as_str()))
+    }
+
+    /// All event slots on a normalized channel.
+    pub fn channel_slots(&self, channel: &str) -> &[EventSlot] {
+        self.by_channel
+            .get(channel)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of interned event slots.
+    pub fn event_count(&self) -> usize {
+        self.event_keys.len()
+    }
+}
+
+/// An interner shared between the rule database (which interns at compile
+/// time) and the engine's context store (which mirrors its boards onto the
+/// slots).
+pub type SharedInterner = Arc<RwLock<Interner>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::DeviceId;
+
+    fn key(device: &str, variable: &str) -> SensorKey {
+        SensorKey::new(DeviceId::new(device), variable)
+    }
+
+    #[test]
+    fn sensor_interning_is_stable_and_dense() {
+        let mut i = Interner::new();
+        let a = i.sensor_slot(&key("thermo", "temperature"));
+        let b = i.sensor_slot(&key("hygro", "humidity"));
+        assert_eq!(a, i.sensor_slot(&key("thermo", "temperature")));
+        assert_ne!(a, b);
+        assert_eq!(i.sensor_count(), 2);
+        assert_eq!(i.sensor_key(a), Some(&key("thermo", "temperature")));
+        assert_eq!(i.lookup_sensor(&key("nope", "x")), None);
+    }
+
+    #[test]
+    fn revision_bumps_only_on_new_slots() {
+        let mut i = Interner::new();
+        assert_eq!(i.revision(), 0);
+        i.sensor_slot(&key("thermo", "temperature"));
+        let r1 = i.revision();
+        i.sensor_slot(&key("thermo", "temperature"));
+        assert_eq!(i.revision(), r1);
+        i.event_slot("tv-guide", "news");
+        assert!(i.revision() > r1);
+    }
+
+    #[test]
+    fn event_patterns_are_normalized() {
+        let mut i = Interner::new();
+        let a = i.event_slot(" TV-Guide ", "Baseball Game");
+        assert_eq!(a, i.event_slot("tv-guide", "baseball game"));
+        assert_eq!(
+            i.lookup_event_normalized("tv-guide", "baseball game"),
+            Some(a)
+        );
+        assert_eq!(i.lookup_event_normalized("tv-guide", "movie"), None);
+        assert_eq!(i.event_key(a), Some(("tv-guide", "baseball game")));
+    }
+
+    #[test]
+    fn channel_index_tracks_slots() {
+        let mut i = Interner::new();
+        let a = i.event_slot("tv-guide", "news");
+        let b = i.event_slot("tv-guide", "movie");
+        i.event_slot("person", "arrives");
+        assert_eq!(i.channel_slots("tv-guide"), &[a, b]);
+        assert_eq!(i.channel_slots("nothing"), &[] as &[EventSlot]);
+    }
+}

@@ -23,6 +23,11 @@ pub fn phrase_text(phrase: &[String]) -> String {
 }
 
 /// A complete CADEL command (`<Command>` in Table 1).
+///
+/// `Rule` dwarfs the definition variants, but commands are transient
+/// parse results handed straight to the compiler — boxing would tax the
+/// common case to shrink a value that is never stored in bulk.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     /// A rule definition.

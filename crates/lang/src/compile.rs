@@ -8,14 +8,15 @@
 
 use crate::ast::*;
 use crate::dictionary::Dictionary;
-use crate::error::CompileError;
+use crate::error::{CompileError, LangError};
 use crate::lexicon::StatePhrase;
+use cadel_ir::{Interner, RuleProgram};
 use cadel_rule::{
     ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Rule, RuleBuilder,
     StateAtom, Subject,
 };
 use cadel_types::{
-    DeviceId, PersonId, PlaceId, Quantity, SensorKey, TimeOfDay, TimeWindow, Unit, Value,
+    DeviceId, PersonId, PlaceId, Quantity, RuleId, SensorKey, TimeOfDay, TimeWindow, Unit, Value,
 };
 use std::collections::HashMap;
 
@@ -68,14 +69,17 @@ impl MapResolver {
 
     /// Registers a person.
     pub fn add_person(&mut self, name: &str) -> &mut Self {
-        self.people
-            .insert(name.to_ascii_lowercase(), PersonId::new(name.to_ascii_lowercase()));
+        self.people.insert(
+            name.to_ascii_lowercase(),
+            PersonId::new(name.to_ascii_lowercase()),
+        );
         self
     }
 
     /// Registers a place.
     pub fn add_place(&mut self, name: &str) -> &mut Self {
-        self.places.insert(name.to_ascii_lowercase(), PlaceId::new(name));
+        self.places
+            .insert(name.to_ascii_lowercase(), PlaceId::new(name));
         self
     }
 
@@ -106,7 +110,13 @@ impl MapResolver {
     }
 
     /// Registers the ambient sensor of a place for a quantity kind.
-    pub fn add_ambient(&mut self, place: &str, kind: &str, key: SensorKey, unit: Unit) -> &mut Self {
+    pub fn add_ambient(
+        &mut self,
+        place: &str,
+        kind: &str,
+        key: SensorKey,
+        unit: Unit,
+    ) -> &mut Self {
         self.units.insert(key.clone(), unit);
         self.ambients
             .insert((PlaceId::new(place), kind.to_ascii_lowercase()), key);
@@ -206,11 +216,33 @@ impl<'a, R: Resolver> Compiler<'a, R> {
             condition = condition.and(self.compile_clause(post)?);
         }
         let action = self.compile_action(sentence)?;
-        let mut builder = Rule::builder(self.speaker.clone()).condition(condition).action(action);
+        let mut builder = Rule::builder(self.speaker.clone())
+            .condition(condition)
+            .action(action);
         if let Some(until) = &sentence.until {
             builder = builder.until(self.compile_clause(until)?);
         }
         Ok(builder)
+    }
+
+    /// Compiles a rule sentence all the way to its executable form: the
+    /// built [`Rule`] plus its lowered [`RuleProgram`], interning sensor
+    /// and event names into `interner` — sentence to *rule object* in one
+    /// call, without going through a rule database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError`] when name resolution, rule construction
+    /// (e.g. DNF blowup), or IR lowering (dimension clash) fails.
+    pub fn compile_rule_program(
+        &self,
+        sentence: &RuleSentence,
+        id: RuleId,
+        interner: &mut Interner,
+    ) -> Result<(Rule, RuleProgram), LangError> {
+        let rule = self.compile_rule(sentence)?.build(id)?;
+        let program = cadel_rule::compile_rule(&rule, interner)?;
+        Ok((rule, program))
     }
 
     /// Compiles a condition expression (public so `<CondDef>` definitions
@@ -285,9 +317,7 @@ impl<'a, R: Resolver> Compiler<'a, R> {
                 let sensor = self
                     .resolver
                     .resolve_sensor(&name, location.as_ref())
-                    .ok_or_else(|| {
-                        CompileError::new(format!("no sensor found for {name:?}"))
-                    })?;
+                    .ok_or_else(|| CompileError::new(format!("no sensor found for {name:?}")))?;
                 let unit = quantity
                     .unit
                     .or_else(|| self.resolver.sensor_unit(&sensor))
@@ -301,9 +331,10 @@ impl<'a, R: Resolver> Compiler<'a, R> {
             CondKind::State { subject, state } => self.compile_state(subject, state)?,
             CondKind::Presence { who, place } => {
                 let place_name = phrase_text(place);
-                let place = self.resolver.resolve_place(&place_name).ok_or_else(|| {
-                    CompileError::new(format!("unknown place {place_name:?}"))
-                })?;
+                let place = self
+                    .resolver
+                    .resolve_place(&place_name)
+                    .ok_or_else(|| CompileError::new(format!("unknown place {place_name:?}")))?;
                 Condition::Atom(Atom::Presence(PresenceAtom::new(
                     self.compile_subject(who)?,
                     place,
@@ -314,9 +345,10 @@ impl<'a, R: Resolver> Compiler<'a, R> {
                     PresenceSubject::Me => format!("person:{}", self.speaker),
                     PresenceSubject::Named(name) => {
                         let name = phrase_text(name);
-                        let person = self.resolver.resolve_person(&name).ok_or_else(|| {
-                            CompileError::new(format!("unknown person {name:?}"))
-                        })?;
+                        let person = self
+                            .resolver
+                            .resolve_person(&name)
+                            .ok_or_else(|| CompileError::new(format!("unknown person {name:?}")))?;
                         format!("person:{person}")
                     }
                     PresenceSubject::Somebody => "person".to_owned(),
@@ -380,17 +412,13 @@ impl<'a, R: Resolver> Compiler<'a, R> {
                 // The subject should be a place ("the hall is dark"); fall
                 // back to treating it as a sensor name.
                 if let Some(place) = self.resolver.resolve_place(&name) {
-                    let sensor =
-                        self.resolver.ambient_sensor(&place, kind).ok_or_else(|| {
-                            CompileError::new(format!(
-                                "place {name:?} has no {kind} sensor"
-                            ))
-                        })?;
+                    let sensor = self.resolver.ambient_sensor(&place, kind).ok_or_else(|| {
+                        CompileError::new(format!("place {name:?} has no {kind} sensor"))
+                    })?;
                     Ok(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
                         sensor, *op, *threshold,
                     ))))
-                } else if let Some(sensor) =
-                    self.resolver.resolve_sensor(&name, location.as_ref())
+                } else if let Some(sensor) = self.resolver.resolve_sensor(&name, location.as_ref())
                 {
                     Ok(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
                         sensor, *op, *threshold,
@@ -510,9 +538,7 @@ fn default_unit_for_parameter(parameter: &str) -> Option<Unit> {
 fn time_spec_atom(spec: &TimeSpecAst) -> Atom {
     match spec {
         TimeSpecAst::After(p) => Atom::Time(TimeWindow::new(point_start(p), TimeOfDay::MIDNIGHT)),
-        TimeSpecAst::Before(p) => {
-            Atom::Time(TimeWindow::new(TimeOfDay::MIDNIGHT, point_start(p)))
-        }
+        TimeSpecAst::Before(p) => Atom::Time(TimeWindow::new(TimeOfDay::MIDNIGHT, point_start(p))),
         TimeSpecAst::At(TimePointAst::DayPart(part)) => Atom::Time(part.window()),
         TimeSpecAst::At(TimePointAst::Clock(t)) => Atom::Time(TimeWindow::new(
             *t,
@@ -622,6 +648,35 @@ mod tests {
         }
     }
 
+    #[test]
+    fn sentence_compiles_to_an_executable_program() {
+        let resolver = sample_resolver();
+        let lexicon = Lexicon::english();
+        let dictionary = Dictionary::new();
+        let cmd = parse_command(
+            "If humidity is higher than 65 percent and temperature is higher than 26 \
+             degrees, turn on the air conditioner.",
+            &lexicon,
+            &dictionary,
+        )
+        .unwrap();
+        let compiler = Compiler::new(&resolver, &dictionary, PersonId::new("tom"));
+        let mut interner = Interner::new();
+        let (rule, program) = match cmd {
+            Command::Rule(r) => compiler
+                .compile_rule_program(&r, RuleId::new(7), &mut interner)
+                .unwrap(),
+            other => panic!("expected a rule, got {other:?}"),
+        };
+        assert_eq!(rule.id(), RuleId::new(7));
+        // Both numeric atoms became predicates over interned sensor slots,
+        // and the single conjunct carries a precompiled two-variable system.
+        assert_eq!(program.preds().len(), 2);
+        assert_eq!(interner.sensor_count(), 2);
+        assert_eq!(program.conjuncts().len(), 1);
+        assert_eq!(program.conjuncts()[0].vars().len(), 2);
+    }
+
     fn compile_err(sentence: &str) -> CompileError {
         let resolver = sample_resolver();
         let lexicon = Lexicon::english();
@@ -663,15 +718,14 @@ mod tests {
         assert_eq!(atoms.len(), 3);
         assert!(atoms.iter().any(|a| matches!(a, Atom::Time(_))));
         assert!(atoms.iter().any(|a| matches!(a, Atom::Event(_))));
-        assert!(atoms
-            .iter()
-            .any(|a| matches!(a, Atom::Constraint(c) if c.sensor().device().as_str() == "lux-hall")));
+        assert!(atoms.iter().any(
+            |a| matches!(a, Atom::Constraint(c) if c.sensor().device().as_str() == "lux-hall")
+        ));
     }
 
     #[test]
     fn paper_example_3_compiles() {
-        let rule =
-            compile("At night, if entrance door is unlocked for 1 hour, turn on the alarm.");
+        let rule = compile("At night, if entrance door is unlocked for 1 hour, turn on the alarm.");
         assert_eq!(rule.action().device().as_str(), "alarm-1");
         let atoms = rule.dnf().conjuncts()[0].atoms();
         assert!(atoms.iter().any(|a| matches!(
@@ -854,14 +908,14 @@ mod tests {
         assert!(compile_err("Turn on the jacuzzi.")
             .to_string()
             .contains("jacuzzi"));
-        assert!(compile_err("If pressure is higher than 2, turn on the fan.")
-            .to_string()
-            .contains("pressure"));
         assert!(
-            compile_err("If Zelda got home from work, turn on the TV.")
+            compile_err("If pressure is higher than 2, turn on the fan.")
                 .to_string()
-                .contains("zelda")
+                .contains("pressure")
         );
+        assert!(compile_err("If Zelda got home from work, turn on the TV.")
+            .to_string()
+            .contains("zelda"));
         assert!(compile_err("If I'm in the garage, turn on the fan.")
             .to_string()
             .contains("garage"));

@@ -13,7 +13,11 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    pub(crate) fn new(message: impl Into<String>, position: usize, near: impl Into<String>) -> Self {
+    pub(crate) fn new(
+        message: impl Into<String>,
+        position: usize,
+        near: impl Into<String>,
+    ) -> Self {
         ParseError {
             message: message.into(),
             position,
@@ -42,7 +46,11 @@ impl fmt::Display for ParseError {
         if self.near.is_empty() {
             write!(f, "{} (at end of input)", self.message)
         } else {
-            write!(f, "{} (near {:?}, token {})", self.message, self.near, self.position)
+            write!(
+                f,
+                "{} (near {:?}, token {})",
+                self.message, self.near, self.position
+            )
         }
     }
 }

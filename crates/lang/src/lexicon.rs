@@ -219,7 +219,12 @@ impl Lexicon {
             b = b.person_event(phrase, phrase);
         }
         // Broadcast predicates ("a baseball game is on air").
-        for phrase in ["is on air", "is on the air", "are on air", "is being broadcast"] {
+        for phrase in [
+            "is on air",
+            "is on the air",
+            "are on air",
+            "is being broadcast",
+        ] {
             b = b.broadcast_predicate(phrase);
         }
         // Presence predicates ("Tom is at/in the living room").
@@ -309,9 +314,7 @@ impl LexiconBuilder {
     #[must_use]
     pub fn comparison(mut self, phrase: &str, op: RelOp) -> Self {
         self.lexicon.comparisons.insert(phrase, op);
-        self.lexicon
-            .comparisons
-            .insert(&format!("is {phrase}"), op);
+        self.lexicon.comparisons.insert(&format!("is {phrase}"), op);
         self.lexicon
             .comparisons
             .insert(&format!("are {phrase}"), op);

@@ -34,8 +34,8 @@ const ARTICLES: &[&str] = &["a", "an", "the"];
 
 /// Words that end a noun phrase.
 const PHRASE_STOPS: &[&str] = &[
-    "with", "if", "when", "until", "at", "in", "on", "to", "and", "or", "then", "after",
-    "before", "every", "from", "for", "of",
+    "with", "if", "when", "until", "at", "in", "on", "to", "and", "or", "then", "after", "before",
+    "every", "from", "for", "of",
 ];
 
 /// Parses one CADEL command (a rule, a condition-word definition, or a
@@ -143,17 +143,11 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        let near = self
-            .peek()
-            .map(|t| t.text.clone())
-            .unwrap_or_default();
+        let near = self.peek().map(|t| t.text.clone()).unwrap_or_default();
         ParseError::new(message, self.pos, near)
     }
 
-    fn match_phrase<'m, V>(
-        &self,
-        map: &'m crate::lexicon::PhraseMap<V>,
-    ) -> Option<(usize, &'m V)> {
+    fn match_phrase<'m, V>(&self, map: &'m crate::lexicon::PhraseMap<V>) -> Option<(usize, &'m V)> {
         map.match_at(&self.tokens, self.pos)
     }
 
@@ -291,7 +285,11 @@ impl<'a> Parser<'a> {
             }
             break;
         }
-        Ok(if clause.is_empty() { None } else { Some(clause) })
+        Ok(if clause.is_empty() {
+            None
+        } else {
+            Some(clause)
+        })
     }
 
     fn parse_until_clause(&mut self) -> Result<CondClause, ParseError> {
@@ -311,7 +309,10 @@ impl<'a> Parser<'a> {
     }
 
     /// After a verb: `[content (on|to)] object [location]`.
-    fn parse_operands(&mut self, verb: &cadel_rule::Verb) -> Result<(Option<Phrase>, ObjectPhrase), ParseError> {
+    fn parse_operands(
+        &mut self,
+        verb: &cadel_rule::Verb,
+    ) -> Result<(Option<Phrase>, ObjectPhrase), ParseError> {
         self.skip_articles();
         let first = self.collect_noun_phrase()?;
         if first.is_empty() {
@@ -458,9 +459,7 @@ impl<'a> Parser<'a> {
         while let Some(t) = self.peek_at(k) {
             match &t.kind {
                 TokenKind::Word if t.text == "setting" => return true,
-                TokenKind::Word
-                    if matches!(t.text.as_str(), "if" | "when" | "until") =>
-                {
+                TokenKind::Word if matches!(t.text.as_str(), "if" | "when" | "until") => {
                     return false
                 }
                 TokenKind::Punct('.') | TokenKind::Punct(',') => return false,
@@ -733,8 +732,8 @@ impl<'a> Parser<'a> {
             }
             _ => DEFAULT_YEAR,
         };
-        let date = Date::new(year, month, day as u8)
-            .ok_or_else(|| self.error("invalid calendar date"))?;
+        let date =
+            Date::new(year, month, day as u8).ok_or_else(|| self.error("invalid calendar date"))?;
         Ok(TimeSpecAst::On(date))
     }
 
@@ -831,10 +830,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_after_subject_person(
-        &mut self,
-        who: PresenceSubject,
-    ) -> Result<CondAst, ParseError> {
+    fn parse_after_subject_person(&mut self, who: PresenceSubject) -> Result<CondAst, ParseError> {
         if let Some((len, _)) = self.match_phrase(self.lexicon.presence_predicates()) {
             self.pos += len;
             self.skip_articles();
@@ -934,9 +930,13 @@ impl<'a> Parser<'a> {
     fn predicate_matches_here(&self) -> bool {
         self.match_phrase(self.lexicon.comparisons()).is_some()
             || self.match_phrase(self.lexicon.states()).is_some()
-            || self.match_phrase(self.lexicon.broadcast_predicates()).is_some()
+            || self
+                .match_phrase(self.lexicon.broadcast_predicates())
+                .is_some()
             || self.match_phrase(self.lexicon.person_events()).is_some()
-            || self.match_phrase(self.lexicon.presence_predicates()).is_some()
+            || self
+                .match_phrase(self.lexicon.presence_predicates())
+                .is_some()
     }
 
     fn parse_after_subject_general(
@@ -1024,8 +1024,17 @@ impl<'a> Parser<'a> {
                     let w = t.text.as_str();
                     if matches!(
                         w,
-                        "and" | "or" | "then" | "if" | "when" | "for" | "until" | "after"
-                            | "before" | "every" | "from"
+                        "and"
+                            | "or"
+                            | "then"
+                            | "if"
+                            | "when"
+                            | "for"
+                            | "until"
+                            | "after"
+                            | "before"
+                            | "every"
+                            | "from"
                     ) {
                         break;
                     }
@@ -1155,7 +1164,12 @@ mod tests {
                 assert_eq!(terms.len(), 2);
                 match &terms[0] {
                     CondExprAst::Leaf(CondAst {
-                        kind: CondKind::Compare { subject, op, quantity },
+                        kind:
+                            CondKind::Compare {
+                                subject,
+                                op,
+                                quantity,
+                            },
                         ..
                     }) => {
                         assert_eq!(subject.name, vec!["humidity"]);
@@ -1283,7 +1297,9 @@ mod tests {
 
     #[test]
     fn instrument_form_record_with() {
-        let r = rule("When a baseball game is on air, record the baseball game with the video recorder.");
+        let r = rule(
+            "When a baseball game is on air, record the baseball game with the video recorder.",
+        );
         assert_eq!(r.verb, Verb::Record);
         assert_eq!(r.content, Some(vec!["baseball".into(), "game".into()]));
         assert_eq!(r.object.name, vec!["video", "recorder"]);
@@ -1297,7 +1313,9 @@ mod tests {
         match &r.config[1] {
             SettingAst::Explicit { parameter, value } => {
                 assert_eq!(parameter, &vec!["humidity".to_owned()]);
-                assert!(matches!(value, SettingValueAst::Quantity(q) if q.unit == Some(Unit::Percent)));
+                assert!(
+                    matches!(value, SettingValueAst::Quantity(q) if q.unit == Some(Unit::Percent))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1547,7 +1565,9 @@ mod tests {
 
     #[test]
     fn invalid_times_are_rejected() {
-        assert!(parse_err("At 25:00, turn on the TV.").message().contains("out of range"));
+        assert!(parse_err("At 25:00, turn on the TV.")
+            .message()
+            .contains("out of range"));
         assert!(parse_err("At 13 pm, turn on the TV.")
             .message()
             .contains("invalid 12-hour"));
@@ -1570,7 +1590,9 @@ mod tests {
 
     #[test]
     fn subject_with_location_modifier() {
-        let r = rule("If the temperature at the second floor is higher than 28 degrees, turn on the fan.");
+        let r = rule(
+            "If the temperature at the second floor is higher than 28 degrees, turn on the fan.",
+        );
         match r.pre.unwrap().expr.unwrap() {
             CondExprAst::Leaf(CondAst {
                 kind: CondKind::Compare { subject, .. },

@@ -124,11 +124,9 @@ fn render_cond(cond: &CondAst) -> String {
         CondKind::State { subject, state } => {
             format!("{} {}", render_subject(subject), state_phrase(state))
         }
-        CondKind::Presence { who, place } => format!(
-            "{} is at the {}",
-            render_who(who),
-            place.join(" ")
-        ),
+        CondKind::Presence { who, place } => {
+            format!("{} is at the {}", render_who(who), place.join(" "))
+        }
         CondKind::PersonEvent { who, event } => {
             format!("{} {}", render_who(who), event)
         }
@@ -232,8 +230,18 @@ fn render_time_spec(spec: &TimeSpecAst) -> String {
         TimeSpecAst::Every(day) => format!("every {}", format!("{day:?}").to_lowercase()),
         TimeSpecAst::On(date) => {
             let month = [
-                "january", "february", "march", "april", "may", "june", "july", "august",
-                "september", "october", "november", "december",
+                "january",
+                "february",
+                "march",
+                "april",
+                "may",
+                "june",
+                "july",
+                "august",
+                "september",
+                "october",
+                "november",
+                "december",
             ][(date.month() - 1) as usize];
             format!("on {month} {} {}", date.day(), date.year())
         }
@@ -251,11 +259,14 @@ fn render_point(p: &TimePointAst) -> String {
 
 fn render_duration(d: SimDuration) -> String {
     let minutes = d.as_minutes();
-    if minutes >= 60 && minutes % 60 == 0 {
+    if minutes >= 60 && minutes.is_multiple_of(60) {
         let hours = minutes / 60;
         format!("{hours} {}", if hours == 1 { "hour" } else { "hours" })
     } else if minutes > 0 {
-        format!("{minutes} {}", if minutes == 1 { "minute" } else { "minutes" })
+        format!(
+            "{minutes} {}",
+            if minutes == 1 { "minute" } else { "minutes" }
+        )
     } else {
         format!("{} seconds", d.as_secs())
     }
@@ -298,9 +309,7 @@ mod tests {
             "After evening, if someone returns home and the hall is dark, \
              turn on the light at the hall.",
         );
-        assert_round_trip(
-            "At night, if entrance door is unlocked for 1 hour, turn on the alarm.",
-        );
+        assert_round_trip("At night, if entrance door is unlocked for 1 hour, turn on the alarm.");
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //! users type sentences, and a typo must surface as a positioned
 //! [`ParseError`](cadel_lang::ParseError), not a crash.
 
+// Requires the `proptest` feature (and its dev-dependency); the default
+// build is offline and compiles this file to nothing.
+#![cfg(feature = "proptest")]
+
 use cadel_lang::{parse_command, Dictionary, Lexicon};
 use proptest::prelude::*;
 

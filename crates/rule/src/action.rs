@@ -1,7 +1,6 @@
 //! Actions: the device commands rules issue.
 
 use cadel_types::{DeviceId, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The verb of a CADEL rule (`<Verb>` in Table 1 of the paper).
@@ -9,7 +8,8 @@ use std::fmt;
 /// The grammar's open alternative set is filled with the verbs needed by
 /// the appliances in `cadel-devices`; anything else can be carried by
 /// [`Verb::Custom`].
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Verb {
     /// "Turn on".
@@ -102,7 +102,8 @@ impl fmt::Display for Verb {
 
 /// One configuration setting from a `<Configuration>` clause:
 /// "with **25 degrees of temperature setting**".
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Setting {
     parameter: String,
     value: Value,
@@ -139,7 +140,8 @@ impl fmt::Display for Setting {
 /// Two `ActionSpec`s *conflict* when they target the same device but
 /// command different behaviour — the situation the paper's conflict check
 /// exists to detect (§4.4).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ActionSpec {
     device: DeviceId,
     verb: Verb,
@@ -158,7 +160,11 @@ impl ActionSpec {
 
     /// Adds a configuration setting (builder style).
     #[must_use]
-    pub fn with_setting(mut self, parameter: impl AsRef<str>, value: impl Into<Value>) -> ActionSpec {
+    pub fn with_setting(
+        mut self,
+        parameter: impl AsRef<str>,
+        value: impl Into<Value>,
+    ) -> ActionSpec {
         self.settings.push(Setting::new(parameter, value.into()));
         self
     }
@@ -316,10 +322,14 @@ mod tests {
     fn display() {
         let a = ActionSpec::new(aircon(), Verb::TurnOn)
             .with_setting("temperature", Quantity::from_integer(25, Unit::Celsius));
-        assert_eq!(a.to_string(), "turn on aircon with 25°C of temperature setting");
+        assert_eq!(
+            a.to_string(),
+            "turn on aircon with 25°C of temperature setting"
+        );
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let a = ActionSpec::new(aircon(), Verb::Custom("ventilate".into()))
             .with_setting("fan", Quantity::from_integer(3, Unit::Count));

@@ -2,10 +2,8 @@
 
 use cadel_simplex::RelOp;
 use cadel_types::{
-    Date, DeviceId, PersonId, PlaceId, Quantity, SensorKey, SimDuration, TimeWindow, Value,
-    Weekday,
+    Date, DeviceId, PersonId, PlaceId, Quantity, SensorKey, SimDuration, TimeWindow, Value, Weekday,
 };
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A numeric comparison of a sensor variable against a threshold:
@@ -14,7 +12,8 @@ use std::fmt;
 /// This is the atom class the paper's conflict check reasons about with the
 /// Simplex method (§4.4 — "condition in each rule is described as a logical
 /// conjunction of inequalities").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConstraintAtom {
     sensor: SensorKey,
     op: RelOp,
@@ -64,7 +63,8 @@ impl fmt::Display for ConstraintAtom {
 }
 
 /// Who a presence atom talks about.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Subject {
     /// A specific person ("Tom is at the living room").
     Person(PersonId),
@@ -85,7 +85,8 @@ impl fmt::Display for Subject {
 }
 
 /// A presence fact: `subject is at place`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PresenceAtom {
     subject: Subject,
     place: PlaceId,
@@ -121,7 +122,8 @@ impl fmt::Display for PresenceAtom {
 
 /// A device state fact: `variable(device) == value`, e.g.
 /// `power(tv) == true` for "the TV is turned on".
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateAtom {
     device: DeviceId,
     variable: String,
@@ -179,7 +181,8 @@ impl fmt::Display for StateAtom {
 ///
 /// Events are matched case-insensitively by channel and name against the
 /// engine's set of currently-active event facts.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventAtom {
     channel: String,
     name: String,
@@ -219,7 +222,8 @@ impl fmt::Display for EventAtom {
 }
 
 /// A primitive fact in a rule condition.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Atom {
     /// A numeric sensor comparison.
@@ -351,7 +355,10 @@ mod tests {
         let atom = StateAtom::new(DeviceId::new("tv"), "power", Value::Bool(true));
         assert!(atom.holds_for(&Value::Bool(true)));
         assert!(!atom.holds_for(&Value::Bool(false)));
-        assert_eq!(atom.sensor_key(), SensorKey::new(DeviceId::new("tv"), "power"));
+        assert_eq!(
+            atom.sensor_key(),
+            SensorKey::new(DeviceId::new("tv"), "power")
+        );
     }
 
     #[test]
@@ -394,6 +401,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let atom = Atom::held_for(
             Atom::Event(EventAtom::new("tv-guide", "baseball game")),

@@ -1,0 +1,556 @@
+//! JSON import/export codecs for rules (paper §4.3(iv)).
+//!
+//! Rules are exchanged as a stable, hand-specified JSON schema built on
+//! [`cadel_types::json`], so export/import works in the offline default
+//! build (no `serde`). The schema round-trips every construct of the rule
+//! language: nested conditions, all atom kinds, `until` clauses, duration
+//! qualifiers and unit-carrying thresholds (exact rationals, no floats).
+
+use crate::action::{ActionSpec, Setting, Verb};
+use crate::atom::{Atom, ConstraintAtom, EventAtom, PresenceAtom, StateAtom, Subject};
+use crate::condition::Condition;
+use crate::error::RuleError;
+use crate::rule::Rule;
+use cadel_simplex::RelOp;
+use cadel_types::json::{self, Json};
+use cadel_types::{
+    Date, DeviceId, PersonId, PlaceId, Quantity, Rational, RuleId, SensorKey, SimDuration,
+    TimeOfDay, TimeWindow, Unit, Value, Weekday,
+};
+
+/// Serializes a list of rules as pretty JSON.
+pub fn rules_to_json<'a>(rules: impl IntoIterator<Item = &'a Rule>) -> String {
+    Json::Arr(rules.into_iter().map(rule_to_json).collect()).to_pretty()
+}
+
+/// Parses a list of rules from JSON produced by [`rules_to_json`].
+///
+/// # Errors
+///
+/// Returns [`RuleError::Serialization`] on malformed JSON or an
+/// out-of-schema document.
+pub fn rules_from_json(text: &str) -> Result<Vec<Rule>, RuleError> {
+    let doc = json::parse(text).map_err(|e| RuleError::Serialization(e.to_string()))?;
+    let items = doc
+        .as_arr()
+        .ok_or_else(|| bad("top-level document must be an array of rules"))?;
+    items.iter().map(rule_from_json).collect()
+}
+
+/// Serializes one rule to a JSON value.
+pub fn rule_to_json(rule: &Rule) -> Json {
+    let mut members = vec![
+        ("id", Json::Int(rule.id().raw() as i64)),
+        ("owner", Json::str(rule.owner().as_str())),
+    ];
+    if let Some(label) = rule.label() {
+        members.push(("label", Json::str(label)));
+    }
+    members.push(("condition", condition_to_json(rule.condition())));
+    if let Some(until) = rule.until() {
+        members.push(("until", condition_to_json(until)));
+    }
+    members.push(("action", action_to_json(rule.action())));
+    members.push(("enabled", Json::Bool(rule.is_enabled())));
+    Json::obj(members)
+}
+
+/// Parses one rule from a JSON value.
+///
+/// # Errors
+///
+/// Returns [`RuleError::Serialization`] on an out-of-schema value.
+pub fn rule_from_json(doc: &Json) -> Result<Rule, RuleError> {
+    let id = RuleId::new(get_int(doc, "id")? as u64);
+    let owner = PersonId::new(get_str(doc, "owner")?);
+    let mut builder = Rule::builder(owner)
+        .condition(condition_from_json(require(doc, "condition")?)?)
+        .action(action_from_json(require(doc, "action")?)?);
+    if let Some(label) = doc.get("label") {
+        builder = builder.label(str_of(label, "label")?);
+    }
+    if let Some(until) = doc.get("until") {
+        builder = builder.until(condition_from_json(until)?);
+    }
+    if let Some(enabled) = doc.get("enabled") {
+        builder = builder.enabled(
+            enabled
+                .as_bool()
+                .ok_or_else(|| bad("'enabled' must be a boolean"))?,
+        );
+    }
+    builder.build(id)
+}
+
+fn condition_to_json(condition: &Condition) -> Json {
+    match condition {
+        Condition::True => Json::Bool(true),
+        Condition::Atom(atom) => atom_to_json(atom),
+        Condition::And(parts) => Json::obj(vec![(
+            "all",
+            Json::Arr(parts.iter().map(condition_to_json).collect()),
+        )]),
+        Condition::Or(parts) => Json::obj(vec![(
+            "any",
+            Json::Arr(parts.iter().map(condition_to_json).collect()),
+        )]),
+    }
+}
+
+fn condition_from_json(doc: &Json) -> Result<Condition, RuleError> {
+    if doc.as_bool() == Some(true) {
+        return Ok(Condition::True);
+    }
+    if let Some(parts) = doc.get("all") {
+        let parts = parts
+            .as_arr()
+            .ok_or_else(|| bad("'all' must be an array"))?;
+        let conditions: Result<Vec<_>, _> = parts.iter().map(condition_from_json).collect();
+        return Ok(Condition::And(conditions?));
+    }
+    if let Some(parts) = doc.get("any") {
+        let parts = parts
+            .as_arr()
+            .ok_or_else(|| bad("'any' must be an array"))?;
+        let conditions: Result<Vec<_>, _> = parts.iter().map(condition_from_json).collect();
+        return Ok(Condition::Or(conditions?));
+    }
+    Ok(Condition::Atom(atom_from_json(doc)?))
+}
+
+fn atom_to_json(atom: &Atom) -> Json {
+    match atom {
+        Atom::Constraint(c) => Json::obj(vec![
+            ("type", Json::str("constraint")),
+            ("device", Json::str(c.sensor().device().as_str())),
+            ("variable", Json::str(c.sensor().variable())),
+            ("op", Json::str(op_symbol(c.op()))),
+            ("value", rational_to_json(c.threshold().value())),
+            ("unit", Json::str(unit_name(c.threshold().unit()))),
+        ]),
+        Atom::Presence(p) => {
+            let subject = match p.subject() {
+                Subject::Person(person) => Json::str(person.as_str()),
+                Subject::Somebody => Json::str("@somebody"),
+                Subject::Nobody => Json::str("@nobody"),
+            };
+            Json::obj(vec![
+                ("type", Json::str("presence")),
+                ("subject", subject),
+                ("place", Json::str(p.place().as_str())),
+            ])
+        }
+        Atom::State(s) => Json::obj(vec![
+            ("type", Json::str("state")),
+            ("device", Json::str(s.device().as_str())),
+            ("variable", Json::str(s.variable())),
+            ("value", value_to_json(s.value())),
+        ]),
+        Atom::Event(e) => Json::obj(vec![
+            ("type", Json::str("event")),
+            ("channel", Json::str(e.channel())),
+            ("name", Json::str(e.name())),
+        ]),
+        Atom::Time(window) => Json::obj(vec![
+            ("type", Json::str("time")),
+            ("start", Json::Int(window.start().minutes() as i64)),
+            ("end", Json::Int(window.end().minutes() as i64)),
+        ]),
+        Atom::Weekday(day) => Json::obj(vec![
+            ("type", Json::str("weekday")),
+            ("day", Json::Int(day.index() as i64)),
+        ]),
+        Atom::Date(date) => Json::obj(vec![
+            ("type", Json::str("date")),
+            ("year", Json::Int(date.year() as i64)),
+            ("month", Json::Int(date.month() as i64)),
+            ("day", Json::Int(date.day() as i64)),
+        ]),
+        Atom::HeldFor { inner, duration } => Json::obj(vec![
+            ("type", Json::str("held_for")),
+            ("inner", atom_to_json(inner)),
+            ("duration_ms", Json::Int(duration.as_millis() as i64)),
+        ]),
+    }
+}
+
+fn atom_from_json(doc: &Json) -> Result<Atom, RuleError> {
+    match get_str(doc, "type")? {
+        "constraint" => {
+            let sensor = SensorKey::new(
+                DeviceId::new(get_str(doc, "device")?),
+                get_str(doc, "variable")?,
+            );
+            let op = op_from_symbol(get_str(doc, "op")?)?;
+            let value = rational_from_json(require(doc, "value")?)?;
+            let unit = unit_from_name(get_str(doc, "unit")?)?;
+            Ok(Atom::Constraint(ConstraintAtom::new(
+                sensor,
+                op,
+                Quantity::new(value, unit),
+            )))
+        }
+        "presence" => {
+            let subject = match get_str(doc, "subject")? {
+                "@somebody" => Subject::Somebody,
+                "@nobody" => Subject::Nobody,
+                person => Subject::Person(PersonId::new(person)),
+            };
+            Ok(Atom::Presence(PresenceAtom::new(
+                subject,
+                PlaceId::new(get_str(doc, "place")?),
+            )))
+        }
+        "state" => Ok(Atom::State(StateAtom::new(
+            DeviceId::new(get_str(doc, "device")?),
+            get_str(doc, "variable")?,
+            value_from_json(require(doc, "value")?)?,
+        ))),
+        "event" => Ok(Atom::Event(EventAtom::new(
+            get_str(doc, "channel")?,
+            get_str(doc, "name")?,
+        ))),
+        "time" => {
+            let start = minutes_of(get_int(doc, "start")?)?;
+            let end = minutes_of(get_int(doc, "end")?)?;
+            Ok(Atom::Time(TimeWindow::new(start, end)))
+        }
+        "weekday" => {
+            let index = get_int(doc, "day")?;
+            let day = Weekday::ALL
+                .get(usize::try_from(index).unwrap_or(usize::MAX))
+                .copied()
+                .ok_or_else(|| bad("weekday index out of range"))?;
+            Ok(Atom::Weekday(day))
+        }
+        "date" => {
+            let year =
+                i32::try_from(get_int(doc, "year")?).map_err(|_| bad("date year out of range"))?;
+            let month =
+                u8::try_from(get_int(doc, "month")?).map_err(|_| bad("date month out of range"))?;
+            let day =
+                u8::try_from(get_int(doc, "day")?).map_err(|_| bad("date day out of range"))?;
+            Ok(Atom::Date(
+                Date::new(year, month, day).ok_or_else(|| bad("invalid calendar date"))?,
+            ))
+        }
+        "held_for" => {
+            let inner = atom_from_json(require(doc, "inner")?)?;
+            let ms = u64::try_from(get_int(doc, "duration_ms")?)
+                .map_err(|_| bad("duration must be non-negative"))?;
+            Ok(Atom::held_for(inner, SimDuration::from_millis(ms)))
+        }
+        other => Err(bad(format!("unknown atom type '{other}'"))),
+    }
+}
+
+fn action_to_json(action: &ActionSpec) -> Json {
+    let verb = match action.verb() {
+        Verb::Custom(word) => Json::obj(vec![("custom", Json::str(word))]),
+        verb => Json::str(verb.phrase()),
+    };
+    let mut members = vec![
+        ("device", Json::str(action.device().as_str())),
+        ("verb", verb),
+    ];
+    if !action.settings().is_empty() {
+        members.push((
+            "settings",
+            Json::Arr(action.settings().iter().map(setting_to_json).collect()),
+        ));
+    }
+    Json::obj(members)
+}
+
+fn action_from_json(doc: &Json) -> Result<ActionSpec, RuleError> {
+    let device = DeviceId::new(get_str(doc, "device")?);
+    let verb_doc = require(doc, "verb")?;
+    let verb = if let Some(word) = verb_doc.get("custom") {
+        Verb::Custom(str_of(word, "custom verb")?.to_owned())
+    } else {
+        Verb::from_phrase(str_of(verb_doc, "verb")?)
+    };
+    let mut action = ActionSpec::new(device, verb);
+    if let Some(settings) = doc.get("settings") {
+        let settings = settings
+            .as_arr()
+            .ok_or_else(|| bad("'settings' must be an array"))?;
+        for setting in settings {
+            let parameter = get_str(setting, "parameter")?;
+            let value = value_from_json(require(setting, "value")?)?;
+            action = action.with_setting(parameter, value);
+        }
+    }
+    Ok(action)
+}
+
+fn setting_to_json(setting: &Setting) -> Json {
+    Json::obj(vec![
+        ("parameter", Json::str(setting.parameter())),
+        ("value", value_to_json(setting.value())),
+    ])
+}
+
+fn value_to_json(value: &Value) -> Json {
+    match value {
+        Value::Number(q) => Json::obj(vec![
+            ("number", rational_to_json(q.value())),
+            ("unit", Json::str(unit_name(q.unit()))),
+        ]),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Text(t) => Json::str(t),
+        Value::Place(p) => Json::obj(vec![("place", Json::str(p.as_str()))]),
+        Value::Time(t) => Json::obj(vec![("time", Json::Int(t.minutes() as i64))]),
+        other => Json::obj(vec![("text", Json::str(other.to_string()))]),
+    }
+}
+
+fn value_from_json(doc: &Json) -> Result<Value, RuleError> {
+    if let Some(b) = doc.as_bool() {
+        return Ok(Value::Bool(b));
+    }
+    if let Some(s) = doc.as_str() {
+        return Ok(Value::Text(s.to_owned()));
+    }
+    if let Some(number) = doc.get("number") {
+        let value = rational_from_json(number)?;
+        let unit = unit_from_name(get_str(doc, "unit")?)?;
+        return Ok(Value::Number(Quantity::new(value, unit)));
+    }
+    if let Some(place) = doc.get("place") {
+        return Ok(Value::Place(PlaceId::new(str_of(place, "place")?)));
+    }
+    if let Some(time) = doc.get("time") {
+        let minutes = time
+            .as_int()
+            .ok_or_else(|| bad("'time' must be minutes since midnight"))?;
+        return Ok(Value::Time(minutes_of(minutes)?));
+    }
+    Err(bad("unrecognized value"))
+}
+
+fn rational_to_json(r: Rational) -> Json {
+    if r.is_integer() {
+        if let Ok(n) = i64::try_from(r.numer()) {
+            return Json::Int(n);
+        }
+    }
+    Json::Str(format!("{}/{}", r.numer(), r.denom()))
+}
+
+fn rational_from_json(doc: &Json) -> Result<Rational, RuleError> {
+    if let Some(n) = doc.as_int() {
+        return Ok(Rational::from_integer(n));
+    }
+    if let Some(text) = doc.as_str() {
+        let (numer, denom) = match text.split_once('/') {
+            Some((n, d)) => (n, d),
+            None => (text, "1"),
+        };
+        let numer: i128 = numer
+            .trim()
+            .parse()
+            .map_err(|_| bad("invalid rational numerator"))?;
+        let denom: i128 = denom
+            .trim()
+            .parse()
+            .map_err(|_| bad("invalid rational denominator"))?;
+        if denom == 0 {
+            return Err(bad("rational denominator must be non-zero"));
+        }
+        return Ok(Rational::new(numer, denom));
+    }
+    Err(bad("expected an integer or \"n/d\" rational"))
+}
+
+fn op_symbol(op: RelOp) -> &'static str {
+    match op {
+        RelOp::Le => "<=",
+        RelOp::Lt => "<",
+        RelOp::Ge => ">=",
+        RelOp::Gt => ">",
+        RelOp::Eq => "=",
+    }
+}
+
+fn op_from_symbol(symbol: &str) -> Result<RelOp, RuleError> {
+    match symbol {
+        "<=" => Ok(RelOp::Le),
+        "<" => Ok(RelOp::Lt),
+        ">=" => Ok(RelOp::Ge),
+        ">" => Ok(RelOp::Gt),
+        "=" | "==" => Ok(RelOp::Eq),
+        other => Err(bad(format!("unknown comparison operator '{other}'"))),
+    }
+}
+
+fn unit_name(unit: Unit) -> &'static str {
+    match unit {
+        Unit::Celsius => "celsius",
+        Unit::Fahrenheit => "fahrenheit",
+        Unit::Percent => "percent",
+        Unit::Lux => "lux",
+        Unit::Decibel => "decibel",
+        Unit::Seconds => "seconds",
+        Unit::Count => "count",
+        _ => "unitless",
+    }
+}
+
+fn unit_from_name(name: &str) -> Result<Unit, RuleError> {
+    match name {
+        "celsius" => Ok(Unit::Celsius),
+        "fahrenheit" => Ok(Unit::Fahrenheit),
+        "percent" => Ok(Unit::Percent),
+        "lux" => Ok(Unit::Lux),
+        "decibel" => Ok(Unit::Decibel),
+        "seconds" => Ok(Unit::Seconds),
+        "count" => Ok(Unit::Count),
+        "unitless" => Ok(Unit::Unitless),
+        other => Err(bad(format!("unknown unit '{other}'"))),
+    }
+}
+
+fn minutes_of(minutes: i64) -> Result<TimeOfDay, RuleError> {
+    let minutes = u32::try_from(minutes).map_err(|_| bad("minutes-of-day must be non-negative"))?;
+    if minutes >= 24 * 60 {
+        return Err(bad("minutes-of-day must be below 1440"));
+    }
+    Ok(TimeOfDay::from_minutes(minutes))
+}
+
+fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, RuleError> {
+    doc.get(key)
+        .ok_or_else(|| bad(format!("missing field '{key}'")))
+}
+
+fn get_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, RuleError> {
+    str_of(require(doc, key)?, key)
+}
+
+fn str_of<'a>(doc: &'a Json, what: &str) -> Result<&'a str, RuleError> {
+    doc.as_str()
+        .ok_or_else(|| bad(format!("'{what}' must be a string")))
+}
+
+fn get_int(doc: &Json, key: &str) -> Result<i64, RuleError> {
+    require(doc, key)?
+        .as_int()
+        .ok_or_else(|| bad(format!("'{key}' must be an integer")))
+}
+
+fn bad(message: impl Into<String>) -> RuleError {
+    RuleError::Serialization(message.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::Quantity;
+
+    fn sample_rule(id: u64) -> Rule {
+        let cond = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo"), "temperature"),
+            RelOp::Gt,
+            Quantity::new(Rational::new(53, 2), Unit::Celsius),
+        )))
+        .and(Condition::Or(vec![
+            Condition::Atom(Atom::Presence(PresenceAtom::person_at(
+                "tom",
+                "living room",
+            ))),
+            Condition::Atom(Atom::held_for(
+                Atom::State(StateAtom::new(
+                    DeviceId::new("door"),
+                    "locked",
+                    Value::Bool(false),
+                )),
+                SimDuration::from_minutes(60),
+            )),
+        ]));
+        Rule::builder(PersonId::new("tom"))
+            .label("cool the living room")
+            .condition(cond)
+            .until(Condition::Atom(Atom::Time(TimeWindow::new(
+                TimeOfDay::hm(22, 0).unwrap(),
+                TimeOfDay::hm(6, 0).unwrap(),
+            ))))
+            .action(
+                ActionSpec::new(DeviceId::new("aircon"), Verb::TurnOn).with_setting(
+                    "temperature",
+                    Value::Number(Quantity::from_integer(24, Unit::Celsius)),
+                ),
+            )
+            .build(RuleId::new(id))
+            .unwrap()
+    }
+
+    #[test]
+    fn rule_round_trips_exactly() {
+        let rule = sample_rule(7);
+        let json = rules_to_json([&rule]);
+        let restored = rules_from_json(&json).unwrap();
+        assert_eq!(restored.len(), 1);
+        let r = &restored[0];
+        assert_eq!(r.id(), rule.id());
+        assert_eq!(r.owner(), rule.owner());
+        assert_eq!(r.label(), rule.label());
+        assert_eq!(r.condition(), rule.condition());
+        assert_eq!(r.until(), rule.until());
+        assert_eq!(r.action(), rule.action());
+        assert_eq!(r.is_enabled(), rule.is_enabled());
+    }
+
+    #[test]
+    fn disabled_flag_survives() {
+        let rule = sample_rule(1).with_enabled(false);
+        let restored = rules_from_json(&rules_to_json([&rule])).unwrap();
+        assert!(!restored[0].is_enabled());
+    }
+
+    #[test]
+    fn every_atom_kind_round_trips() {
+        let atoms = vec![
+            Atom::Event(EventAtom::new("TV-Guide", "Baseball Game")),
+            Atom::Presence(PresenceAtom::new(Subject::Somebody, PlaceId::new("home"))),
+            Atom::Presence(PresenceAtom::new(Subject::Nobody, PlaceId::new("hall"))),
+            Atom::Weekday(Weekday::ALL[3]),
+            Atom::Date(Date::new(2005, 6, 6).unwrap()),
+            Atom::Time(TimeWindow::new(
+                TimeOfDay::hm(9, 30).unwrap(),
+                TimeOfDay::hm(17, 0).unwrap(),
+            )),
+        ];
+        for atom in atoms {
+            let doc = atom_to_json(&atom);
+            assert_eq!(atom_from_json(&doc).unwrap(), atom, "{atom:?}");
+        }
+    }
+
+    #[test]
+    fn non_integer_thresholds_stay_exact() {
+        let doc = rational_to_json(Rational::new(-7, 3));
+        assert_eq!(doc, Json::Str("-7/3".to_owned()));
+        assert_eq!(rational_from_json(&doc).unwrap(), Rational::new(-7, 3));
+    }
+
+    #[test]
+    fn custom_verbs_round_trip() {
+        let action = ActionSpec::new(DeviceId::new("tv"), Verb::Custom("mute".into()));
+        let restored = action_from_json(&action_to_json(&action)).unwrap();
+        assert_eq!(restored.verb(), &Verb::Custom("mute".to_owned()));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(rules_from_json("not json").is_err());
+        assert!(rules_from_json("{}").is_err());
+        assert!(rules_from_json(r#"[{"id": 1}]"#).is_err());
+        assert!(
+            rules_from_json(
+                r#"[{"id":1,"owner":"t","condition":{"type":"warp"},"action":{"device":"tv","verb":"turn on"}}]"#
+            )
+            .is_err()
+        );
+    }
+}

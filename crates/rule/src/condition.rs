@@ -2,7 +2,6 @@
 
 use crate::atom::Atom;
 use crate::error::RuleError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The maximum number of conjuncts a condition may expand to in DNF.
@@ -15,9 +14,12 @@ pub const MAX_DNF_CONJUNCTS: usize = 512;
 ///
 /// `Condition::True` is the condition of an unconditional command
 /// ("Turn on the TV" with no `if`/`when` part).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
 pub enum Condition {
     /// Always true.
+    #[default]
     True,
     /// A primitive fact.
     Atom(Atom),
@@ -148,12 +150,6 @@ impl Condition {
     }
 }
 
-impl Default for Condition {
-    fn default() -> Self {
-        Condition::True
-    }
-}
-
 impl From<Atom> for Condition {
     fn from(a: Atom) -> Condition {
         Condition::Atom(a)
@@ -190,7 +186,8 @@ impl fmt::Display for Condition {
 }
 
 /// A conjunction of atoms — one disjunct of a DNF.
-#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Conjunct {
     atoms: Vec<Atom>,
 }
@@ -241,7 +238,8 @@ impl fmt::Display for Conjunct {
 
 /// A condition in disjunctive normal form: a disjunction of conjunctions
 /// of atoms.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dnf {
     conjuncts: Vec<Conjunct>,
 }
@@ -386,6 +384,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let c = temp_gt(26).and(event("news").or(Condition::True));
         let json = serde_json::to_string(&c).unwrap();

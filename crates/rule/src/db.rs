@@ -1,17 +1,40 @@
-//! The rule database: storage, per-device index, and import/export.
+//! The rule database: storage, per-device index, compiled programs, and
+//! import/export.
 //!
 //! The home server's conflict check begins by "extract\[ing\] from the
 //! database the set of rules which control the same device" (paper §4.4) —
 //! that extraction is served by the [`RuleDb::rules_for_device`] index and
 //! is the first timed phase of experiment E2.
+//!
+//! Alongside each source [`Rule`], the database keeps the rule's compiled
+//! [`RuleProgram`] (built on registration against a shared
+//! [`Interner`](cadel_ir::Interner))
+//! and a monotonically increasing *revision* stamp. The engine evaluates
+//! the program instead of re-walking the condition tree; the conflict
+//! checker keys its pairwise memoization on revisions.
 
+use crate::compile::compile_rule;
 use crate::error::RuleError;
 use crate::rule::{Rule, RuleBuilder};
+use cadel_ir::{RuleProgram, SharedInterner};
 use cadel_types::{DeviceId, PersonId, RuleId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// A rule with its compiled artifact and revision stamp.
+#[derive(Clone, Debug)]
+struct StoredRule {
+    rule: Rule,
+    revision: u64,
+    /// `None` when compilation failed (e.g. a dimension clash inside one
+    /// conjunct); consumers fall back to interpreting the source rule.
+    program: Option<Arc<RuleProgram>>,
+}
 
 /// An indexed store of compiled rules.
+///
+/// Cloning the database clones the rules but *shares* the interner: a clone
+/// evaluates its programs against the same slot universe as the original.
 ///
 /// # Example
 ///
@@ -27,15 +50,18 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 /// )?;
 /// assert_eq!(db.rules_for_device(&DeviceId::new("stereo")).len(), 1);
 /// assert!(db.get(id).is_some());
+/// assert!(db.program(id).is_some());
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RuleDb {
-    rules: BTreeMap<RuleId, Rule>,
+    rules: BTreeMap<RuleId, StoredRule>,
     by_device: HashMap<DeviceId, BTreeSet<RuleId>>,
     by_owner: HashMap<PersonId, BTreeSet<RuleId>>,
     next_id: RuleId,
+    interner: SharedInterner,
+    next_revision: u64,
 }
 
 impl RuleDb {
@@ -54,8 +80,15 @@ impl RuleDb {
         self.rules.is_empty()
     }
 
+    /// The interner compiled programs resolve their slots against. The
+    /// engine's context store attaches to it to keep its dense boards in
+    /// sync.
+    pub fn interner(&self) -> &SharedInterner {
+        &self.interner
+    }
+
     /// Finalizes a builder under a freshly allocated id and stores the
-    /// rule.
+    /// rule, compiling it to a program.
     ///
     /// # Errors
     ///
@@ -65,7 +98,8 @@ impl RuleDb {
         let id = self.allocate_id();
         let rule = builder.build(id)?;
         self.index(&rule);
-        self.rules.insert(id, rule);
+        let stored = self.compile(rule);
+        self.rules.insert(id, stored);
         Ok(id)
     }
 
@@ -82,8 +116,24 @@ impl RuleDb {
             self.next_id = rule.id().next();
         }
         self.index(&rule);
-        self.rules.insert(rule.id(), rule);
+        let stored = self.compile(rule);
+        self.rules.insert(stored.rule.id(), stored);
         Ok(())
+    }
+
+    /// Compiles a rule and stamps it with a fresh revision. Compilation
+    /// failure (a dimension clash) is not a storage error: the source rule
+    /// stays usable and consumers interpret it directly.
+    fn compile(&mut self, rule: Rule) -> StoredRule {
+        let mut interner = self.interner.write().expect("interner lock poisoned");
+        let program = compile_rule(&rule, &mut interner).ok().map(Arc::new);
+        drop(interner);
+        self.next_revision += 1;
+        StoredRule {
+            rule,
+            revision: self.next_revision,
+            program,
+        }
     }
 
     /// Allocates the next free rule id without storing anything.
@@ -110,7 +160,8 @@ impl RuleDb {
     ///
     /// Returns [`RuleError::UnknownRule`] if absent.
     pub fn remove(&mut self, id: RuleId) -> Result<Rule, RuleError> {
-        let rule = self.rules.remove(&id).ok_or(RuleError::UnknownRule(id))?;
+        let stored = self.rules.remove(&id).ok_or(RuleError::UnknownRule(id))?;
+        let rule = stored.rule;
         if let Some(set) = self.by_device.get_mut(rule.action().device()) {
             set.remove(&id);
             if set.is_empty() {
@@ -128,12 +179,24 @@ impl RuleDb {
 
     /// Looks up a rule by id.
     pub fn get(&self, id: RuleId) -> Option<&Rule> {
-        self.rules.get(&id)
+        self.rules.get(&id).map(|s| &s.rule)
+    }
+
+    /// The compiled program of a rule, when compilation succeeded.
+    pub fn program(&self, id: RuleId) -> Option<&Arc<RuleProgram>> {
+        self.rules.get(&id).and_then(|s| s.program.as_ref())
+    }
+
+    /// The revision stamp of a rule: unique per stored artifact, so a
+    /// `(id, revision)` pair identifies a rule's exact compiled content
+    /// (re-inserting after removal yields a new revision).
+    pub fn revision(&self, id: RuleId) -> Option<u64> {
+        self.rules.get(&id).map(|s| s.revision)
     }
 
     /// Iterates over all rules in id order.
     pub fn iter(&self) -> impl Iterator<Item = &Rule> {
-        self.rules.values()
+        self.rules.values().map(|s| &s.rule)
     }
 
     /// The rules whose action targets `device`, in id order — the
@@ -141,7 +204,11 @@ impl RuleDb {
     pub fn rules_for_device(&self, device: &DeviceId) -> Vec<&Rule> {
         self.by_device
             .get(device)
-            .map(|ids| ids.iter().filter_map(|id| self.rules.get(id)).collect())
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|id| self.rules.get(id).map(|s| &s.rule))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -149,7 +216,11 @@ impl RuleDb {
     pub fn rules_of_owner(&self, owner: &PersonId) -> Vec<&Rule> {
         self.by_owner
             .get(owner)
-            .map(|ids| ids.iter().filter_map(|id| self.rules.get(id)).collect())
+            .map(|ids| {
+                ids.iter()
+                    .filter_map(|id| self.rules.get(id).map(|s| &s.rule))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -164,11 +235,9 @@ impl RuleDb {
     ///
     /// # Errors
     ///
-    /// Returns [`RuleError::Serialization`] on serializer failure.
+    /// Infallible today; the `Result` is kept for API stability.
     pub fn export_json(&self) -> Result<String, RuleError> {
-        let rules: Vec<&Rule> = self.iter().collect();
-        serde_json::to_string_pretty(&rules)
-            .map_err(|e| RuleError::Serialization(e.to_string()))
+        Ok(crate::codec::rules_to_json(self.iter()))
     }
 
     /// Parses rules from JSON produced by [`RuleDb::export_json`] and
@@ -180,8 +249,7 @@ impl RuleDb {
     /// [`RuleError::DuplicateRule`] on id collisions (rules inserted before
     /// the collision remain inserted).
     pub fn import_json(&mut self, json: &str) -> Result<Vec<RuleId>, RuleError> {
-        let rules: Vec<Rule> =
-            serde_json::from_str(json).map_err(|e| RuleError::Serialization(e.to_string()))?;
+        let rules = crate::codec::rules_from_json(json)?;
         let mut ids = Vec::with_capacity(rules.len());
         for rule in rules {
             let id = rule.id();
@@ -193,14 +261,16 @@ impl RuleDb {
 }
 
 /// Serialization proxy so the database round-trips as a flat rule list.
-impl Serialize for RuleDb {
+#[cfg(feature = "serde")]
+impl serde::Serialize for RuleDb {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         let rules: Vec<&Rule> = self.iter().collect();
         rules.serialize(serializer)
     }
 }
 
-impl<'de> Deserialize<'de> for RuleDb {
+#[cfg(feature = "serde")]
+impl<'de> serde::Deserialize<'de> for RuleDb {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let rules = Vec::<Rule>::deserialize(deserializer)?;
         let mut db = RuleDb::new();
@@ -214,8 +284,10 @@ impl<'de> Deserialize<'de> for RuleDb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::atom::{Atom, EventAtom};
+    use crate::atom::{Atom, ConstraintAtom, EventAtom};
     use crate::{ActionSpec, Condition, Verb};
+    use cadel_simplex::RelOp;
+    use cadel_types::{Quantity, SensorKey, Unit};
 
     fn builder(owner: &str, device: &str, event: &str) -> RuleBuilder {
         Rule::builder(PersonId::new(owner))
@@ -235,11 +307,62 @@ mod tests {
     }
 
     #[test]
+    fn registration_compiles_a_program_and_interns_names() {
+        let mut db = RuleDb::new();
+        let id = db.register(builder("tom", "stereo", "jazz")).unwrap();
+        let program = db.program(id).expect("compiled");
+        assert_eq!(program.preds().len(), 1);
+        assert_eq!(db.interner().read().unwrap().event_count(), 1);
+        assert!(db.revision(id).is_some());
+    }
+
+    #[test]
+    fn revisions_are_unique_per_artifact() {
+        let mut db = RuleDb::new();
+        let a = db.register(builder("tom", "tv", "a")).unwrap();
+        let b = db.register(builder("tom", "tv", "b")).unwrap();
+        assert_ne!(db.revision(a), db.revision(b));
+        // Re-inserting after removal re-stamps.
+        let r1 = db.revision(a).unwrap();
+        let rule = db.remove(a).unwrap();
+        db.insert(rule).unwrap();
+        assert_ne!(db.revision(a), Some(r1));
+    }
+
+    #[test]
+    fn uncompilable_rules_are_stored_without_a_program() {
+        // One conjunct constraining the same sensor as °C and % cannot be
+        // compiled, but registration still succeeds (AST fallback).
+        let key = SensorKey::new(DeviceId::new("multi"), "reading");
+        let clash = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            key.clone(),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        )))
+        .and(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            key,
+            RelOp::Lt,
+            Quantity::from_integer(60, Unit::Percent),
+        ))));
+        let mut db = RuleDb::new();
+        let id = db
+            .register(
+                Rule::builder(PersonId::new("tom"))
+                    .condition(clash)
+                    .action(ActionSpec::new(DeviceId::new("tv"), Verb::TurnOn)),
+            )
+            .unwrap();
+        assert!(db.get(id).is_some());
+        assert!(db.program(id).is_none());
+    }
+
+    #[test]
     fn device_index_serves_extraction() {
         let mut db = RuleDb::new();
         for i in 0..10 {
             let device = if i % 3 == 0 { "tv" } else { "stereo" };
-            db.register(builder("tom", device, &format!("e{i}"))).unwrap();
+            db.register(builder("tom", device, &format!("e{i}")))
+                .unwrap();
         }
         let tv_rules = db.rules_for_device(&DeviceId::new("tv"));
         assert_eq!(tv_rules.len(), 4);
@@ -270,6 +393,8 @@ mod tests {
         assert_eq!(db.rules_for_device(&DeviceId::new("tv")).len(), 1);
         assert_eq!(db.rules_of_owner(&PersonId::new("tom")).len(), 1);
         assert!(matches!(db.remove(id), Err(RuleError::UnknownRule(_))));
+        assert!(db.program(id).is_none());
+        assert!(db.revision(id).is_none());
     }
 
     #[test]
@@ -277,10 +402,7 @@ mod tests {
         let mut db = RuleDb::new();
         let rule = builder("tom", "tv", "a").build(RuleId::new(41)).unwrap();
         db.insert(rule.clone()).unwrap();
-        assert!(matches!(
-            db.insert(rule),
-            Err(RuleError::DuplicateRule(_))
-        ));
+        assert!(matches!(db.insert(rule), Err(RuleError::DuplicateRule(_))));
         // Fresh registrations continue past the imported id.
         let next = db.register(builder("tom", "tv", "b")).unwrap();
         assert!(next.raw() > 41);
@@ -297,10 +419,9 @@ mod tests {
         let ids = restored.import_json(&json).unwrap();
         assert_eq!(ids.len(), 2);
         assert_eq!(restored.len(), 2);
-        assert_eq!(
-            restored.rules_for_device(&DeviceId::new("tv")).len(),
-            1
-        );
+        assert_eq!(restored.rules_for_device(&DeviceId::new("tv")).len(), 1);
+        // Imported rules are compiled too.
+        assert!(ids.iter().all(|id| restored.program(*id).is_some()));
         // Importing the same JSON again collides.
         assert!(restored.import_json(&json).is_err());
     }
@@ -315,6 +436,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip_of_whole_db() {
         let mut db = RuleDb::new();
         db.register(builder("tom", "stereo", "jazz")).unwrap();

@@ -4,7 +4,6 @@ use crate::action::ActionSpec;
 use crate::condition::{Condition, Dnf};
 use crate::error::RuleError;
 use cadel_types::{PersonId, RuleId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A compiled rule: *when the condition holds, perform the action* —
@@ -38,7 +37,8 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rule {
     id: RuleId,
     owner: PersonId,
@@ -273,7 +273,9 @@ mod tests {
             .action(tv_on())
             .build(RuleId::new(3))
             .unwrap();
-        let imported = rule.clone().reassigned(RuleId::new(9), PersonId::new("emily"));
+        let imported = rule
+            .clone()
+            .reassigned(RuleId::new(9), PersonId::new("emily"));
         assert_eq!(imported.id(), RuleId::new(9));
         assert_eq!(imported.owner().as_str(), "emily");
         assert_eq!(imported.condition(), rule.condition());
@@ -292,6 +294,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let rule = Rule::builder(PersonId::new("emily"))
             .condition(event("movie"))

@@ -20,12 +20,12 @@
 
 use cadel_rule::Rule;
 use cadel_types::{DeviceId, PersonId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// What a user may do with a device.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Privilege {
     /// Reference the device's state/sensors in conditions and browse it.
     Observe,
@@ -36,7 +36,8 @@ pub enum Privilege {
 }
 
 /// The scope a grant applies to.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Scope {
     /// One concrete device.
     Device(DeviceId),
@@ -94,7 +95,8 @@ impl fmt::Display for AccessDenied {
 impl std::error::Error for AccessDenied {}
 
 /// The access-control policy store.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccessControl {
     /// Deny-by-default only when enforcement is on.
     enforcing: bool,
@@ -334,6 +336,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let mut acl = AccessControl::new();
         acl.set_enforcing(true);

@@ -139,11 +139,7 @@ impl<'a> GuidanceService<'a> {
 
     /// Retrieves sensors by variable category ("temperature") and
     /// location, with live readings (Fig. 5).
-    pub fn find_sensors(
-        &self,
-        variable: &str,
-        location: &LocationSelector,
-    ) -> Vec<SensorMatch> {
+    pub fn find_sensors(&self, variable: &str, location: &LocationSelector) -> Vec<SensorMatch> {
         let mut out = Vec::new();
         for description in self.control.registry().descriptions() {
             let Some((_, var)) = description.find_variable(variable) else {
@@ -157,10 +153,7 @@ impl<'a> GuidanceService<'a> {
             if !in_scope {
                 continue;
             }
-            let current_value = self
-                .control
-                .query(description.udn(), var.name())
-                .ok();
+            let current_value = self.control.query(description.udn(), var.name()).ok();
             out.push(SensorMatch {
                 device: description.udn().clone(),
                 device_name: description.friendly_name().to_owned(),
@@ -215,7 +208,7 @@ impl<'a> GuidanceService<'a> {
             if let Some(expr) = dictionary.condition(word) {
                 let mut categories = Vec::new();
                 collect_sensor_categories(expr, &mut categories);
-                if categories.iter().any(|c| *c == category) {
+                if categories.contains(&category) {
                     out.push(word.to_owned());
                 }
             }
@@ -237,10 +230,11 @@ fn collect_sensor_categories(expr: &CondExprAst, out: &mut Vec<String>) {
             CondKind::Compare { subject, .. } => {
                 out.push(subject.name.join(" ").to_ascii_lowercase());
             }
-            CondKind::State { state, .. } => {
-                if let cadel_lang::StatePhrase::Ambient { kind, .. } = state {
-                    out.push(kind.to_ascii_lowercase());
-                }
+            CondKind::State {
+                state: cadel_lang::StatePhrase::Ambient { kind, .. },
+                ..
+            } => {
+                out.push(kind.to_ascii_lowercase());
             }
             _ => {}
         },
@@ -293,9 +287,8 @@ mod tests {
     fn floor_scope_covers_rooms() {
         let (cp, topo, _home) = setup();
         let g = GuidanceService::new(&cp, &topo);
-        let all = g.find_devices(
-            &DeviceQuery::new().within(LocationSelector::within("first floor")),
-        );
+        let all =
+            g.find_devices(&DeviceQuery::new().within(LocationSelector::within("first floor")));
         // Everything except the unlocated TV guide.
         assert_eq!(all.len(), 14);
     }
@@ -314,7 +307,10 @@ mod tests {
     fn sensor_retrieval_reports_live_values() {
         let (cp, topo, home) = setup();
         home.thermometer
-            .set_reading(cadel_types::Rational::from_integer(28), cadel_types::SimTime::EPOCH)
+            .set_reading(
+                cadel_types::Rational::from_integer(28),
+                cadel_types::SimTime::EPOCH,
+            )
             .unwrap();
         let g = GuidanceService::new(&cp, &topo);
         let sensors = g.find_sensors("temperature", &LocationSelector::Anywhere);

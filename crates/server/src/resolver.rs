@@ -132,7 +132,10 @@ impl Resolver for RegistryResolver<'_> {
         self.registry
             .description(sensor.device())
             .ok()
-            .and_then(|d| d.find_variable(sensor.variable()).and_then(|(_, v)| v.unit()))
+            .and_then(|d| {
+                d.find_variable(sensor.variable())
+                    .and_then(|(_, v)| v.unit())
+            })
     }
 }
 
@@ -160,7 +163,10 @@ mod tests {
         let r = RegistryResolver::new(&registry, &topology, &users);
         assert_eq!(r.resolve_person("Tom"), Some(PersonId::new("tom")));
         assert_eq!(r.resolve_person("zelda"), None);
-        assert_eq!(r.resolve_place("Living Room"), Some(PlaceId::new("living room")));
+        assert_eq!(
+            r.resolve_place("Living Room"),
+            Some(PlaceId::new("living room"))
+        );
         assert_eq!(r.resolve_place("garage"), None);
     }
 

@@ -21,7 +21,7 @@ use crate::guidance::GuidanceService;
 use crate::resolver::RegistryResolver;
 use crate::users::UserRegistry;
 use cadel_conflict::{
-    check_consistency, find_conflicts, Conflict, ConsistencyReport, PriorityOrder,
+    check_consistency, Conflict, ConflictChecker, ConsistencyReport, PriorityOrder,
 };
 use cadel_engine::{Engine, StepReport};
 use cadel_lang::ast::Command;
@@ -89,6 +89,7 @@ pub struct HomeServer {
     lexicon: Lexicon,
     pending: HashMap<RuleId, PendingRule>,
     access: AccessControl,
+    checker: ConflictChecker,
 }
 
 impl HomeServer {
@@ -107,6 +108,7 @@ impl HomeServer {
             lexicon: Lexicon::english(),
             pending: HashMap::new(),
             access,
+            checker: ConflictChecker::new(),
         }
     }
 
@@ -239,7 +241,10 @@ impl HomeServer {
         if !report.is_satisfiable() {
             return Ok(SubmitOutcome::RejectedInconsistent { report });
         }
-        let conflicts = find_conflicts(self.engine.rules(), &rule)?;
+        // The incremental checker reuses the per-rule constraint systems
+        // compiled at storage time and memoizes pairwise verdicts, so
+        // registering the N-th rule re-solves only the new pairs.
+        let conflicts = self.checker.find_conflicts(self.engine.rules(), &rule)?;
         if conflicts.is_empty() {
             let id = rule.id();
             self.engine.add_rule(rule)?;
@@ -249,10 +254,7 @@ impl HomeServer {
             });
         }
         let ticket = rule.id();
-        self.pending.insert(
-            ticket,
-            PendingRule { rule, conflicts },
-        );
+        self.pending.insert(ticket, PendingRule { rule, conflicts });
         let conflicts = self.pending[&ticket].conflicts.clone();
         Ok(SubmitOutcome::ConflictDetected { ticket, conflicts })
     }
@@ -375,8 +377,8 @@ impl HomeServer {
         if !self.users.contains(new_owner) {
             return Err(ServerError::UnknownUser(new_owner.clone()));
         }
-        let rules: Vec<Rule> = serde_json::from_str(json)
-            .map_err(|e| ServerError::Rule(cadel_rule::RuleError::Serialization(e.to_string())))?;
+        let rules: Vec<Rule> =
+            cadel_rule::codec::rules_from_json(json).map_err(ServerError::Rule)?;
         let mut report = ImportReport::default();
         for rule in rules {
             let label = rule
@@ -614,7 +616,10 @@ mod tests {
             )
             .unwrap();
         let outcome = server
-            .submit(&tom, "When I'm in the living room, turn on the floor lamp with half lighting.")
+            .submit(
+                &tom,
+                "When I'm in the living room, turn on the floor lamp with half lighting.",
+            )
             .unwrap();
         assert!(matches!(outcome, SubmitOutcome::Registered { .. }));
         // Fire it.

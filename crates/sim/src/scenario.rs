@@ -26,9 +26,7 @@ use cadel_devices::LivingRoomHome;
 use cadel_engine::CONFLICT_CHANNEL;
 use cadel_rule::{ActionSpec, Atom, Condition, EventAtom, PresenceAtom, Rule, Verb};
 use cadel_server::{HomeServer, SubmitOutcome};
-use cadel_types::{
-    DeviceId, PersonId, Rational, RuleId, SimDuration, SimTime, Topology, Value,
-};
+use cadel_types::{DeviceId, PersonId, Rational, RuleId, SimDuration, SimTime, Topology, Value};
 use cadel_upnp::{ControlPoint, Registry, VirtualDevice};
 
 /// Rule ids of the scenario, named after Fig. 1's labels.
@@ -163,7 +161,9 @@ impl LivingRoomScenario {
         topology
             .add_room("living room", "first floor")
             .expect("fresh topology");
-        topology.add_room("hall", "first floor").expect("fresh topology");
+        topology
+            .add_room("hall", "first floor")
+            .expect("fresh topology");
         let mut server = HomeServer::new(ControlPoint::new(registry), topology);
         let tom = server.add_user("tom").expect("fresh server");
         let emily = server.add_user("emily").expect("fresh server");
@@ -188,12 +188,18 @@ impl LivingRoomScenario {
         );
         let s1 = expect_registered(
             server
-                .submit(&tom, "When I'm in the living room in evening, play jazz music on the stereo.")
+                .submit(
+                    &tom,
+                    "When I'm in the living room in evening, play jazz music on the stereo.",
+                )
                 .expect("s1"),
         );
         let l1 = expect_registered(
             server
-                .submit(&tom, "When I'm in the living room in evening, dim the floor lamp.")
+                .submit(
+                    &tom,
+                    "When I'm in the living room in evening, dim the floor lamp.",
+                )
                 .expect("l1"),
         );
         let a1 = expect_registered(
@@ -209,7 +215,10 @@ impl LivingRoomScenario {
         // ---- Emily's preferences --------------------------------------
         let t3 = expect_registered(
             server
-                .submit(&emily, "When I'm in the living room and a movie is on air, show the movie on the TV.")
+                .submit(
+                    &emily,
+                    "When I'm in the living room and a movie is on air, show the movie on the TV.",
+                )
                 .expect("t3"),
         );
         // Her stereo rule conflicts with Tom's jazz.
@@ -300,7 +309,10 @@ impl LivingRoomScenario {
         // ---- Tom's courtesy rule (s′1): lower the stereo when Alan is
         //      home ----------------------------------------------------
         let s1_quiet = match server
-            .submit(&tom, "If Alan is at the living room, set the stereo with 15 percent of volume setting.")
+            .submit(
+                &tom,
+                "If Alan is at the living room, set the stereo with 15 percent of volume setting.",
+            )
             .expect("s'1")
         {
             SubmitOutcome::ConflictDetected { ticket, .. } => server
@@ -319,14 +331,9 @@ impl LivingRoomScenario {
         let r2_id = server.engine_mut().rules_mut().allocate_id();
         let r2_rule = Rule::builder(alan.clone())
             .condition(
-                Condition::Atom(Atom::Event(EventAtom::new(
-                    CONFLICT_CHANNEL,
-                    "tv-lr:alan",
-                )))
-                .and(Condition::Atom(Atom::Event(EventAtom::new(
-                    "tv-guide",
-                    "baseball game",
-                )))),
+                Condition::Atom(Atom::Event(EventAtom::new(CONFLICT_CHANNEL, "tv-lr:alan"))).and(
+                    Condition::Atom(Atom::Event(EventAtom::new("tv-guide", "baseball game"))),
+                ),
             )
             .action(
                 ActionSpec::new(DeviceId::new("vcr-lr"), Verb::Record)
@@ -368,7 +375,8 @@ impl LivingRoomScenario {
         let mut sim = Simulation::new(world);
 
         sim.schedule(hm(16, 50), |w, at| {
-            w.log.push(format!("{} initial room: 25°C / 60%", at.time_of_day()));
+            w.log
+                .push(format!("{} initial room: 25°C / 60%", at.time_of_day()));
             w.home
                 .thermometer
                 .set_reading(Rational::from_integer(25), at)
@@ -379,14 +387,21 @@ impl LivingRoomScenario {
                 .expect("in range");
         });
         sim.schedule(hm(17, 0), |w, at| {
-            w.log.push(format!("{} *1 Tom enters the living room", at.time_of_day()));
+            w.log.push(format!(
+                "{} *1 Tom enters the living room",
+                at.time_of_day()
+            ));
             let tom = PersonId::new("tom");
-            w.home.hall_presence.announce_arrival(&tom, "returns home", at);
+            w.home
+                .hall_presence
+                .announce_arrival(&tom, "returns home", at);
             w.home.living_presence.person_entered(&tom, at);
         });
         sim.schedule(hm(17, 30), |w, at| {
-            w.log
-                .push(format!("{} room turns hot and stuffy: 27°C / 66%", at.time_of_day()));
+            w.log.push(format!(
+                "{} room turns hot and stuffy: 27°C / 66%",
+                at.time_of_day()
+            ));
             w.home
                 .thermometer
                 .set_reading(Rational::from_integer(27), at)
@@ -445,13 +460,10 @@ impl LivingRoomScenario {
     /// the world (chart, log, server, devices).
     pub fn run(mut self) -> ScenarioWorld {
         // Fast-forward quietly to just before the scenario window.
-        self.sim.run_until(
-            hm(16, 45),
-            SimDuration::from_minutes(45),
-            |w, at| {
+        self.sim
+            .run_until(hm(16, 45), SimDuration::from_minutes(45), |w, at| {
                 w.server.step(at);
-            },
-        );
+            });
         // Then simulate minute by minute, stepping the engine and
         // recording the chart.
         self.sim
@@ -505,17 +517,35 @@ mod tests {
         );
 
         // Spot-check transition times (within a minute of the trigger).
-        assert_eq!(chart.state_at("Stereo", hm(17, 5)), Some("jazz music vol30%"));
+        assert_eq!(
+            chart.state_at("Stereo", hm(17, 5)),
+            Some("jazz music vol30%")
+        );
         assert_eq!(chart.state_at("Air conditioner", hm(17, 29)), Some("off"));
-        assert_eq!(chart.state_at("Air conditioner", hm(17, 35)), Some("25°C/60%"));
-        assert_eq!(chart.state_at("Air conditioner", hm(18, 5)), Some("24°C/55%"));
+        assert_eq!(
+            chart.state_at("Air conditioner", hm(17, 35)),
+            Some("25°C/60%")
+        );
+        assert_eq!(
+            chart.state_at("Air conditioner", hm(18, 5)),
+            Some("24°C/55%")
+        );
         // The 18:55 heat spike does NOT hand Emily the aircon while she is
         // still out shopping.
-        assert_eq!(chart.state_at("Air conditioner", hm(18, 58)), Some("24°C/55%"));
-        assert_eq!(chart.state_at("Air conditioner", hm(19, 5)), Some("27°C/65%"));
+        assert_eq!(
+            chart.state_at("Air conditioner", hm(18, 58)),
+            Some("24°C/55%")
+        );
+        assert_eq!(
+            chart.state_at("Air conditioner", hm(19, 5)),
+            Some("27°C/65%")
+        );
         assert_eq!(chart.state_at("TV", hm(18, 30)), Some("baseball game"));
         assert_eq!(chart.state_at("TV", hm(19, 5)), Some("movie"));
-        assert_eq!(chart.state_at("Recorder", hm(19, 5)), Some("rec baseball game"));
+        assert_eq!(
+            chart.state_at("Recorder", hm(19, 5)),
+            Some("rec baseball game")
+        );
     }
 
     #[test]

@@ -157,12 +157,7 @@ impl<W> Simulation<W> {
             self.now = target;
             // Run every action scheduled at this instant.
             let mut ran_action = false;
-            while self
-                .queue
-                .peek()
-                .map(|e| e.at == target)
-                .unwrap_or(false)
-            {
+            while self.queue.peek().map(|e| e.at == target).unwrap_or(false) {
                 let entry = self.queue.pop().expect("peeked entry exists");
                 (entry.action)(&mut self.world, target);
                 executed += 1;
@@ -171,7 +166,7 @@ impl<W> Simulation<W> {
             // Tick the world at this instant (after actions applied).
             on_tick(&mut self.world, target);
             if target == next_tick {
-                next_tick = next_tick + tick;
+                next_tick += tick;
             } else if ran_action && target > next_tick {
                 // Unreachable by construction, but keep ticks monotonic.
                 next_tick = target + tick;
@@ -189,19 +184,22 @@ mod tests {
     #[test]
     fn events_run_in_time_order_fifo_on_ties() {
         let mut sim = Simulation::new(Vec::<(u64, &str)>::new());
-        sim.schedule(SimTime::from_millis(200), |w, t| w.push((t.as_millis(), "b")));
-        sim.schedule(SimTime::from_millis(100), |w, t| w.push((t.as_millis(), "a")));
-        sim.schedule(SimTime::from_millis(200), |w, t| w.push((t.as_millis(), "c")));
+        sim.schedule(SimTime::from_millis(200), |w, t| {
+            w.push((t.as_millis(), "b"))
+        });
+        sim.schedule(SimTime::from_millis(100), |w, t| {
+            w.push((t.as_millis(), "a"))
+        });
+        sim.schedule(SimTime::from_millis(200), |w, t| {
+            w.push((t.as_millis(), "c"))
+        });
         let executed = sim.run_until(
             SimTime::from_millis(500),
             SimDuration::from_millis(1000),
             |_, _| {},
         );
         assert_eq!(executed, 3);
-        assert_eq!(
-            sim.world(),
-            &vec![(100, "a"), (200, "b"), (200, "c")]
-        );
+        assert_eq!(sim.world(), &vec![(100, "a"), (200, "b"), (200, "c")]);
     }
 
     #[test]
@@ -213,9 +211,11 @@ mod tests {
         sim.schedule(SimTime::from_millis(150), |w, t| {
             w.log.push((t.as_millis(), "event"))
         });
-        sim.run_until(SimTime::from_millis(400), SimDuration::from_millis(100), |w, t| {
-            w.log.push((t.as_millis(), "tick"))
-        });
+        sim.run_until(
+            SimTime::from_millis(400),
+            SimDuration::from_millis(100),
+            |w, t| w.log.push((t.as_millis(), "tick")),
+        );
         assert_eq!(
             sim.world().log,
             vec![
@@ -233,12 +233,20 @@ mod tests {
     fn events_beyond_end_stay_queued() {
         let mut sim = Simulation::new(0u32);
         sim.schedule(SimTime::from_millis(1000), |w, _| *w += 1);
-        sim.run_until(SimTime::from_millis(500), SimDuration::from_millis(100), |_, _| {});
+        sim.run_until(
+            SimTime::from_millis(500),
+            SimDuration::from_millis(100),
+            |_, _| {},
+        );
         assert_eq!(*sim.world(), 0);
         assert_eq!(sim.pending(), 1);
         assert_eq!(sim.now(), SimTime::from_millis(500));
         // A later run picks it up.
-        sim.run_until(SimTime::from_millis(1500), SimDuration::from_millis(100), |_, _| {});
+        sim.run_until(
+            SimTime::from_millis(1500),
+            SimDuration::from_millis(100),
+            |_, _| {},
+        );
         assert_eq!(*sim.world(), 1);
         assert_eq!(sim.pending(), 0);
     }
@@ -246,9 +254,17 @@ mod tests {
     #[test]
     fn schedule_in_is_relative() {
         let mut sim = Simulation::new(Vec::<u64>::new());
-        sim.run_until(SimTime::from_millis(100), SimDuration::from_millis(50), |_, _| {});
+        sim.run_until(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(50),
+            |_, _| {},
+        );
         sim.schedule_in(SimDuration::from_millis(25), |w, t| w.push(t.as_millis()));
-        sim.run_until(SimTime::from_millis(200), SimDuration::from_millis(50), |_, _| {});
+        sim.run_until(
+            SimTime::from_millis(200),
+            SimDuration::from_millis(50),
+            |_, _| {},
+        );
         assert_eq!(sim.world(), &vec![125]);
     }
 
@@ -256,7 +272,11 @@ mod tests {
     #[should_panic(expected = "past")]
     fn scheduling_into_the_past_panics() {
         let mut sim = Simulation::new(());
-        sim.run_until(SimTime::from_millis(100), SimDuration::from_millis(10), |_, _| {});
+        sim.run_until(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(10),
+            |_, _| {},
+        );
         sim.schedule(SimTime::from_millis(50), |_, _| {});
     }
 
@@ -265,10 +285,20 @@ mod tests {
         // Follow-ups are scheduled between runs (the world records intent).
         let mut sim = Simulation::new(Vec::<u64>::new());
         sim.schedule(SimTime::from_millis(10), |w, t| w.push(t.as_millis()));
-        sim.run_until(SimTime::from_millis(20), SimDuration::from_millis(5), |_, _| {});
+        sim.run_until(
+            SimTime::from_millis(20),
+            SimDuration::from_millis(5),
+            |_, _| {},
+        );
         let last = *sim.world().last().unwrap();
-        sim.schedule(SimTime::from_millis(last + 30), |w, t| w.push(t.as_millis()));
-        sim.run_until(SimTime::from_millis(100), SimDuration::from_millis(5), |_, _| {});
+        sim.schedule(SimTime::from_millis(last + 30), |w, t| {
+            w.push(t.as_millis())
+        });
+        sim.run_until(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(5),
+            |_, _| {},
+        );
         assert_eq!(sim.world(), &vec![10, 40]);
     }
 }

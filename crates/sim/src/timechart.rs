@@ -145,7 +145,7 @@ impl TimeChart {
         for col in 0..columns {
             let t = SimTime::from_millis(start.as_millis() + col as u64 * step.as_millis());
             let tod = t.time_of_day();
-            if tod.minute() == 0 && (t.as_millis() - start.as_millis()) % 3_600_000 == 0 {
+            if tod.minute() == 0 && (t.as_millis() - start.as_millis()).is_multiple_of(3_600_000) {
                 out.push('|');
             } else {
                 out.push('-');

@@ -8,9 +8,7 @@ use cadel_types::{PersonId, SimDuration, SimTime, Topology, Value, Weekday};
 use cadel_upnp::{ControlPoint, Registry, VirtualDevice};
 
 fn day_hm(day: u64, h: u64, m: u64) -> SimTime {
-    SimTime::EPOCH
-        + SimDuration::from_hours(day * 24 + h)
-        + SimDuration::from_minutes(m)
+    SimTime::EPOCH + SimDuration::from_hours(day * 24 + h) + SimDuration::from_minutes(m)
 }
 
 struct World {
@@ -42,7 +40,10 @@ fn every_monday_rule_fires_only_on_mondays() {
     // Simulation epoch (day 0) is Monday 2005-06-06.
     let outcome = world
         .server
-        .submit(&tom, "Every monday at 8 pm, turn on the TV with 4 of channel setting.")
+        .submit(
+            &tom,
+            "Every monday at 8 pm, turn on the TV with 4 of channel setting.",
+        )
         .unwrap();
     assert!(matches!(outcome, SubmitOutcome::Registered { .. }));
 
@@ -76,10 +77,7 @@ fn every_monday_rule_fires_only_on_mondays() {
         ]
     );
     // Sanity: the engine's calendar agrees about day 7.
-    assert_eq!(
-        world.server.engine().context().weekday(),
-        Weekday::Monday
-    );
+    assert_eq!(world.server.engine().context().weekday(), Weekday::Monday);
 }
 
 #[test]
@@ -88,7 +86,10 @@ fn evening_rule_fires_every_day() {
     let tom = PersonId::new("tom");
     world
         .server
-        .submit(&tom, "When I'm in the living room in evening, dim the floor lamp.")
+        .submit(
+            &tom,
+            "When I'm in the living room in evening, dim the floor lamp.",
+        )
         .unwrap();
 
     let mut sim = Simulation::new(world);

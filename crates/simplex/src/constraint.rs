@@ -1,13 +1,13 @@
 //! Linear constraints `expr ⋈ rhs`.
 
 use crate::eps::EpsRational;
-use crate::expr::LinExpr;
+use crate::expr::{LinExpr, VarId};
 use cadel_types::Rational;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The relational operator of a constraint.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RelOp {
     /// `≤`
     Le,
@@ -68,7 +68,8 @@ impl fmt::Display for RelOp {
 }
 
 /// A linear constraint `expr ⋈ rhs` over solver variables.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Constraint {
     expr: LinExpr,
     op: RelOp,
@@ -94,6 +95,16 @@ impl Constraint {
     /// The right-hand constant.
     pub fn rhs(&self) -> Rational {
         self.rhs
+    }
+
+    /// Returns the constraint with every variable replaced through `f`
+    /// (see [`LinExpr::map_vars`]).
+    pub fn map_vars(&self, f: impl FnMut(VarId) -> VarId) -> Constraint {
+        Constraint {
+            expr: self.expr.map_vars(f),
+            op: self.op,
+            rhs: self.rhs,
+        }
     }
 
     /// Whether an assignment satisfies the constraint (missing variables
@@ -172,7 +183,10 @@ mod tests {
         let x = LinExpr::var(VarId::new(0));
         let lt = Constraint::new(x.clone(), RelOp::Lt, r(5)).to_le_rows();
         assert_eq!(lt.len(), 1);
-        assert_eq!(lt[0].1, EpsRational::from_rational(r(5)) - EpsRational::EPSILON);
+        assert_eq!(
+            lt[0].1,
+            EpsRational::from_rational(r(5)) - EpsRational::EPSILON
+        );
 
         let gt = Constraint::new(x.clone(), RelOp::Gt, r(5)).to_le_rows();
         assert_eq!(gt[0].0.coefficient(VarId::new(0)), r(-1));

@@ -99,7 +99,10 @@ impl EpsRational {
                 .real
                 .checked_add(other.real)
                 .ok_or(SolveError::Overflow)?,
-            eps: self.eps.checked_add(other.eps).ok_or(SolveError::Overflow)?,
+            eps: self
+                .eps
+                .checked_add(other.eps)
+                .ok_or(SolveError::Overflow)?,
         })
     }
 
@@ -187,7 +190,13 @@ impl fmt::Debug for EpsRational {
         } else if self.real.is_zero() {
             write!(f, "{}ε", self.eps)
         } else {
-            write!(f, "{}{}{}ε", self.real, if self.eps.is_negative() { "" } else { "+" }, self.eps)
+            write!(
+                f,
+                "{}{}{}ε",
+                self.real,
+                if self.eps.is_negative() { "" } else { "+" },
+                self.eps
+            )
         }
     }
 }
@@ -201,6 +210,7 @@ impl fmt::Display for EpsRational {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn r(n: i64) -> Rational {
@@ -252,11 +262,14 @@ mod tests {
         assert_eq!(EpsRational::new(r(2), r(-1)).to_string(), "2-1ε");
     }
 
+    #[cfg(feature = "proptest")]
     fn small() -> impl Strategy<Value = EpsRational> {
-        ((-100i64..100), (-100i64..100))
-            .prop_map(|(a, b)| EpsRational::new(Rational::from_integer(a), Rational::from_integer(b)))
+        ((-100i64..100), (-100i64..100)).prop_map(|(a, b)| {
+            EpsRational::new(Rational::from_integer(a), Rational::from_integer(b))
+        })
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_order_matches_small_epsilon_substitution(a in small(), b in small()) {

@@ -1,7 +1,6 @@
 //! Linear expressions over solver variables.
 
 use cadel_types::Rational;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
@@ -11,10 +10,12 @@ use std::ops::{Add, Mul, Neg, Sub};
 /// Upstream crates (conflict checking) maintain the mapping from
 /// [`SensorKey`](cadel_types::SensorKey)s to `VarId`s; the solver only sees
 /// indices.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(transparent)
 )]
-#[serde(transparent)]
 pub struct VarId(u32);
 
 impl VarId {
@@ -58,7 +59,8 @@ impl fmt::Display for VarId {
 /// assert_eq!(e.num_terms(), 2);
 /// assert_eq!(e.coefficient(x), Rational::from_integer(2));
 /// ```
-#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LinExpr {
     terms: BTreeMap<VarId, Rational>,
 }
@@ -130,15 +132,22 @@ impl LinExpr {
         self.terms.keys().next_back().copied()
     }
 
+    /// Returns the expression with every variable replaced through `f`
+    /// (coefficients of variables mapped to the same target accumulate).
+    ///
+    /// Used when embedding a constraint system built over local variable
+    /// indices into a larger shared system (conflict checking merges two
+    /// rules' precompiled systems this way).
+    pub fn map_vars(&self, mut f: impl FnMut(VarId) -> VarId) -> LinExpr {
+        LinExpr::from_terms(self.iter().map(|(v, c)| (f(v), c)))
+    }
+
     /// Evaluates the expression under an assignment (missing variables are
     /// zero).
     pub fn evaluate(&self, assignment: &[Rational]) -> Rational {
         let mut acc = Rational::ZERO;
         for (v, c) in self.iter() {
-            let x = assignment
-                .get(v.index())
-                .copied()
-                .unwrap_or(Rational::ZERO);
+            let x = assignment.get(v.index()).copied().unwrap_or(Rational::ZERO);
             acc += c * x;
         }
         acc

@@ -96,10 +96,7 @@ pub fn solve_intervals(constraints: &[Constraint]) -> Result<Solution, SolveErro
             Some((var, coef)) => {
                 max_var = Some(max_var.map_or(var, |m| m.max(var)));
                 // c·x op b  ⇒  x op' b/c with op flipped for negative c.
-                let bound = con
-                    .rhs()
-                    .checked_div(coef)
-                    .ok_or(SolveError::Overflow)?;
+                let bound = con.rhs().checked_div(coef).ok_or(SolveError::Overflow)?;
                 let op = if coef.is_negative() {
                     con.op().flipped()
                 } else {

@@ -190,7 +190,10 @@ mod tests {
         let sol = solve(&sys).unwrap();
         let w = sol.witness().unwrap();
         for con in &sys {
-            assert!(con.is_satisfied_by(w), "constraint {con:?} violated by {w:?}");
+            assert!(
+                con.is_satisfied_by(w),
+                "constraint {con:?} violated by {w:?}"
+            );
         }
     }
 }

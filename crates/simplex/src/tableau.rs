@@ -79,10 +79,7 @@ impl Tableau {
         let num_rows = le_rows.len();
         let slack_base = structural;
         // Artificial columns are assigned lazily; first count them.
-        let needs_artificial: Vec<bool> = le_rows
-            .iter()
-            .map(|(_, b)| b.is_negative())
-            .collect();
+        let needs_artificial: Vec<bool> = le_rows.iter().map(|(_, b)| b.is_negative()).collect();
         let num_artificial = needs_artificial.iter().filter(|x| **x).count();
         let first_artificial = slack_base + num_rows;
         let cols = first_artificial + num_artificial;
@@ -284,8 +281,12 @@ fn concretize(
                 .get(v.index())
                 .copied()
                 .unwrap_or(EpsRational::ZERO);
-            a = a.checked_add(cmul(c, val.real())?).ok_or(SolveError::Overflow)?;
-            b = b.checked_add(cmul(c, val.eps())?).ok_or(SolveError::Overflow)?;
+            a = a
+                .checked_add(cmul(c, val.real())?)
+                .ok_or(SolveError::Overflow)?;
+            b = b
+                .checked_add(cmul(c, val.eps())?)
+                .ok_or(SolveError::Overflow)?;
         }
         let gap = csub(a, con.rhs())?; // g(ε) = gap + B·ε, want g ⋈ 0.
         let bound = match con.op() {
@@ -337,6 +338,7 @@ pub fn solve_simplex(constraints: &[Constraint]) -> Result<Solution, SolveError>
 mod tests {
     use super::*;
     use crate::{LinExpr, VarId};
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn r(n: i64) -> Rational {
@@ -488,6 +490,7 @@ mod tests {
         check_feasible(&sys);
     }
 
+    #[cfg(feature = "proptest")]
     prop_compose! {
         fn arb_constraint(max_vars: u32)
             (vars in proptest::collection::vec((0..max_vars, -5i64..=5), 1..3),
@@ -505,6 +508,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 

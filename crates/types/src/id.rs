@@ -5,14 +5,13 @@
 //! distinct newtype so identifiers cannot be mixed up across subsystems
 //! (C-NEWTYPE).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! string_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
-        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-        #[serde(transparent)]
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize), serde(transparent))]
         pub struct $name(String);
 
         impl $name {
@@ -85,10 +84,12 @@ string_id! {
 
 /// Identifies a registered rule. Allocated sequentially by the rule
 /// database.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(transparent)
 )]
-#[serde(transparent)]
 pub struct RuleId(u64);
 
 impl RuleId {
@@ -125,7 +126,8 @@ impl fmt::Display for RuleId {
 ///
 /// Conditions in rule objects constrain `SensorKey`s; the engine's context
 /// store maps each key to its latest [`crate::Value`].
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SensorKey {
     device: DeviceId,
     variable: String,
@@ -198,6 +200,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let key = SensorKey::new(DeviceId::new("hygro"), "humidity");
         let json = serde_json::to_string(&key).unwrap();

@@ -30,9 +30,11 @@
 
 pub mod error;
 pub mod id;
+pub mod json;
 pub mod location;
 pub mod quantity;
 pub mod rational;
+pub mod rng;
 pub mod time;
 pub mod unit;
 pub mod value;
@@ -42,6 +44,7 @@ pub use id::{DeviceId, PersonId, RuleId, SensorKey, ServiceId, UserDefinedWord};
 pub use location::{LocationSelector, PlaceId, PlaceKind, Topology};
 pub use quantity::Quantity;
 pub use rational::Rational;
+pub use rng::Rng;
 pub use time::{Date, DayPart, SimDuration, SimTime, TimeOfDay, TimeWindow, Weekday};
 pub use unit::Unit;
 pub use value::{Value, ValueKind};

@@ -3,15 +3,18 @@
 //! home" (paper §3.2, guidance function).
 
 use crate::error::TopologyError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies a place (the home itself, a floor, or a room). Stored and
 /// compared case-insensitively — `PlaceId::new("Living Room")` equals
 /// `PlaceId::new("living room")`.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(transparent)
+)]
 pub struct PlaceId(String);
 
 impl PlaceId {
@@ -45,7 +48,8 @@ impl From<&str> for PlaceId {
 }
 
 /// What kind of place a [`PlaceId`] names.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PlaceKind {
     /// The whole home — the root of the topology.
     Home,
@@ -55,7 +59,8 @@ pub enum PlaceKind {
     Room,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct PlaceNode {
     kind: PlaceKind,
     parent: Option<PlaceId>,
@@ -77,7 +82,8 @@ struct PlaceNode {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Topology {
     root: PlaceId,
     places: BTreeMap<PlaceId, PlaceNode>,
@@ -264,9 +270,12 @@ impl Topology {
 
 /// A retrieval scope for the guidance/lookup service — "within the current
 /// room", "within the first floor", or anywhere in the home.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
 pub enum LocationSelector {
     /// No location restriction.
+    #[default]
     Anywhere,
     /// Restrict to places equal to or inside the named place.
     Within(PlaceId),
@@ -276,12 +285,6 @@ impl LocationSelector {
     /// Convenience constructor for `Within`.
     pub fn within(place: impl AsRef<str>) -> LocationSelector {
         LocationSelector::Within(PlaceId::new(place))
-    }
-}
-
-impl Default for LocationSelector {
-    fn default() -> Self {
-        LocationSelector::Anywhere
     }
 }
 
@@ -388,6 +391,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let t = sample_home();
         let json = serde_json::to_string(&t).unwrap();

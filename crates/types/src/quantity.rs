@@ -3,7 +3,6 @@
 use crate::error::ParseQuantityError;
 use crate::unit::Dimension;
 use crate::{Rational, Unit};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::str::FromStr;
@@ -23,7 +22,8 @@ use std::str::FromStr;
 /// let f: Quantity = "77 fahrenheit".parse().unwrap();
 /// assert_eq!(c, f);
 /// ```
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Quantity {
     value: Rational,
     unit: Unit,
@@ -175,6 +175,7 @@ impl FromStr for Quantity {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -257,11 +258,18 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Quantity::from_integer(25, Unit::Celsius).to_string(), "25°C");
+        assert_eq!(
+            Quantity::from_integer(25, Unit::Celsius).to_string(),
+            "25°C"
+        );
         assert_eq!(Quantity::from_integer(60, Unit::Percent).to_string(), "60%");
-        assert_eq!(Quantity::unitless(Rational::from_integer(3)).to_string(), "3");
+        assert_eq!(
+            Quantity::unitless(Rational::from_integer(3)).to_string(),
+            "3"
+        );
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_celsius_fahrenheit_round_trip(n in -1000i64..1000) {

@@ -6,7 +6,6 @@
 //! from a rule is kept as an exact [`Rational`] and the simplex solver in
 //! `cadel-simplex` computes over rationals end to end.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -30,7 +29,8 @@ use crate::error::ParseRationalError;
 /// let dec: Rational = "0.5".parse().unwrap();
 /// assert_eq!(third + dec, Rational::new(5, 6));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rational {
     numer: i128,
     denom: i128,
@@ -377,6 +377,7 @@ impl FromStr for Rational {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -420,8 +421,14 @@ mod tests {
 
     #[test]
     fn parses_integer_fraction_and_decimal() {
-        assert_eq!("42".parse::<Rational>().unwrap(), Rational::from_integer(42));
-        assert_eq!("-7".parse::<Rational>().unwrap(), Rational::from_integer(-7));
+        assert_eq!(
+            "42".parse::<Rational>().unwrap(),
+            Rational::from_integer(42)
+        );
+        assert_eq!(
+            "-7".parse::<Rational>().unwrap(),
+            Rational::from_integer(-7)
+        );
         assert_eq!("3/4".parse::<Rational>().unwrap(), Rational::new(3, 4));
         assert_eq!("0.25".parse::<Rational>().unwrap(), Rational::new(1, 4));
         assert_eq!("-1.5".parse::<Rational>().unwrap(), Rational::new(-3, 2));
@@ -464,6 +471,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let r = Rational::new(22, 7);
         let json = serde_json::to_string(&r).unwrap();
@@ -471,10 +479,12 @@ mod tests {
         assert_eq!(back, r);
     }
 
+    #[cfg(feature = "proptest")]
     fn small_rational() -> impl Strategy<Value = Rational> {
         (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rational::new(n, d))
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_add_commutative(a in small_rational(), b in small_rational()) {

@@ -1,0 +1,120 @@
+//! A tiny deterministic PRNG for tests and benchmarks.
+//!
+//! The workspace builds offline with no external crates, so randomized
+//! tests and benchmark workload generation use this SplitMix64 generator
+//! (Steele, Lea & Flood, OOPSLA 2014) instead of the `rand` crate. It is
+//! deterministic by construction: the same seed always produces the same
+//! sequence, which keeps failures reproducible.
+
+/// A SplitMix64 pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use cadel_types::Rng;
+///
+/// let mut rng = Rng::new(42);
+/// let a = rng.next_u64();
+/// let b = rng.next_u64();
+/// assert_ne!(a, b);
+/// assert_eq!(Rng::new(42).next_u64(), a); // reproducible
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly distributed value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// A uniformly distributed value in `[lo, hi]` (inclusive).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// A random boolean, true with probability `numer / denom`.
+    pub fn chance(&mut self, numer: u64, denom: u64) -> bool {
+        self.below(denom) < numer
+    }
+
+    /// Picks a random element of a slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::new(1);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let mut rng = Rng::new(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = rng.range_i64(-2, 2);
+            assert!((-2..=2).contains(&v));
+            seen_lo |= v == -2;
+            seen_hi |= v == 2;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = Rng::new(9);
+        let items = ["a", "b", "c"];
+        for _ in 0..50 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+}

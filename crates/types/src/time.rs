@@ -3,7 +3,6 @@
 //! simulated clock driving the discrete-event substrate.
 
 use crate::error::ParseTimeError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 use std::str::FromStr;
@@ -22,10 +21,12 @@ const DAY_MINUTES: u32 = 24 * 60;
 /// assert_eq!(t, TimeOfDay::hm(18, 30).unwrap());
 /// assert_eq!("6 pm".parse::<TimeOfDay>().unwrap(), TimeOfDay::hm(18, 0).unwrap());
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(transparent)
 )]
-#[serde(transparent)]
 pub struct TimeOfDay {
     minutes: u16,
 }
@@ -127,9 +128,7 @@ impl FromStr for TimeOfDay {
 }
 
 /// Days of the week for `"every Monday"` date specs.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum Weekday {
     Monday,
@@ -186,9 +185,7 @@ impl fmt::Display for Weekday {
 }
 
 /// A calendar date (proleptic Gregorian).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Date {
     year: i32,
     month: u8,
@@ -323,9 +320,7 @@ impl FromStr for Date {
 
 /// Named parts of the day used by CADEL phrases such as "in evening" or
 /// "at night".
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum DayPart {
     Morning,
@@ -372,7 +367,8 @@ impl fmt::Display for DayPart {
 /// wrapping midnight (`22:00 → 06:00`).
 ///
 /// A window with `start == end` covers the whole day.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeWindow {
     start: TimeOfDay,
     end: TimeOfDay,
@@ -471,10 +467,12 @@ impl fmt::Display for TimeWindow {
 
 /// A point on the simulated timeline: milliseconds since the simulation
 /// epoch (midnight of day zero).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(transparent)
 )]
-#[serde(transparent)]
 pub struct SimTime {
     millis: u64,
 }
@@ -538,10 +536,12 @@ impl fmt::Display for SimTime {
 }
 
 /// A span of simulated time with millisecond resolution.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(
+    feature = "serde",
+    derive(serde::Serialize, serde::Deserialize),
+    serde(transparent)
 )]
-#[serde(transparent)]
 pub struct SimDuration {
     millis: u64,
 }
@@ -613,9 +613,9 @@ impl Sub for SimDuration {
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.millis % 60_000 == 0 {
+        if self.millis.is_multiple_of(60_000) {
             write!(f, "{}min", self.as_minutes())
-        } else if self.millis % 1000 == 0 {
+        } else if self.millis.is_multiple_of(1000) {
             write!(f, "{}s", self.as_secs())
         } else {
             write!(f, "{}ms", self.millis)
@@ -626,6 +626,7 @@ impl fmt::Display for SimDuration {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -637,13 +638,25 @@ mod tests {
 
     #[test]
     fn time_of_day_parsing() {
-        assert_eq!("18:30".parse::<TimeOfDay>().unwrap(), TimeOfDay::hm(18, 30).unwrap());
-        assert_eq!("6 pm".parse::<TimeOfDay>().unwrap(), TimeOfDay::hm(18, 0).unwrap());
-        assert_eq!("6:15 am".parse::<TimeOfDay>().unwrap(), TimeOfDay::hm(6, 15).unwrap());
+        assert_eq!(
+            "18:30".parse::<TimeOfDay>().unwrap(),
+            TimeOfDay::hm(18, 30).unwrap()
+        );
+        assert_eq!(
+            "6 pm".parse::<TimeOfDay>().unwrap(),
+            TimeOfDay::hm(18, 0).unwrap()
+        );
+        assert_eq!(
+            "6:15 am".parse::<TimeOfDay>().unwrap(),
+            TimeOfDay::hm(6, 15).unwrap()
+        );
         assert_eq!("12 am".parse::<TimeOfDay>().unwrap(), TimeOfDay::MIDNIGHT);
         assert_eq!("12 pm".parse::<TimeOfDay>().unwrap(), TimeOfDay::NOON);
         assert_eq!("noon".parse::<TimeOfDay>().unwrap(), TimeOfDay::NOON);
-        assert_eq!("midnight".parse::<TimeOfDay>().unwrap(), TimeOfDay::MIDNIGHT);
+        assert_eq!(
+            "midnight".parse::<TimeOfDay>().unwrap(),
+            TimeOfDay::MIDNIGHT
+        );
         assert!("25:00".parse::<TimeOfDay>().is_err());
         assert!("13 pm".parse::<TimeOfDay>().is_err());
         assert!("0 pm".parse::<TimeOfDay>().is_err());
@@ -723,7 +736,7 @@ mod tests {
         let night = DayPart::Night.window();
         let morning = DayPart::Morning.window();
         assert!(!evening.intersects(night)); // [17,22) vs [22,6)
-        assert!(night.intersects(morning) == false); // [22,6) vs [6,12)
+        assert!(!night.intersects(morning)); // [22,6) vs [6,12)
         let late = TimeWindow::new(TimeOfDay::hm(21, 0).unwrap(), TimeOfDay::hm(23, 0).unwrap());
         assert!(evening.intersects(late));
         assert!(night.intersects(late));
@@ -766,6 +779,7 @@ mod tests {
         assert_eq!(b.since(a), SimDuration::from_secs(4));
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn prop_window_contains_agrees_with_intersects(

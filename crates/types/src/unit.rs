@@ -1,7 +1,6 @@
 //! Physical units understood by CADEL rules.
 
 use crate::Rational;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The unit attached to a [`crate::Quantity`].
@@ -9,8 +8,10 @@ use std::fmt;
 /// CADEL's grammar mentions temperatures (Celsius and Fahrenheit) and
 /// percentages explicitly; the remaining units cover the sensors shipped in
 /// `cadel-devices` (illuminance, loudness, elapsed time, counts).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum Unit {
     /// Degrees Celsius.
     Celsius,
@@ -27,12 +28,14 @@ pub enum Unit {
     /// A dimensionless count (channel numbers, number of people, …).
     Count,
     /// No unit information.
+    #[default]
     Unitless,
 }
 
 /// The physical dimension a unit measures. Quantities are only comparable
 /// when their dimensions match.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Dimension {
     /// Temperature.
@@ -77,9 +80,7 @@ impl Unit {
     pub fn to_canonical(self, value: Rational) -> Rational {
         match self {
             // C = (F - 32) * 5/9, exact in rationals.
-            Unit::Fahrenheit => {
-                (value - Rational::from_integer(32)) * Rational::new(5, 9)
-            }
+            Unit::Fahrenheit => (value - Rational::from_integer(32)) * Rational::new(5, 9),
             _ => value,
         }
     }
@@ -87,9 +88,7 @@ impl Unit {
     /// Converts a value expressed in the canonical unit back to `self`.
     pub fn from_canonical(self, value: Rational) -> Rational {
         match self {
-            Unit::Fahrenheit => {
-                value * Rational::new(9, 5) + Rational::from_integer(32)
-            }
+            Unit::Fahrenheit => value * Rational::new(9, 5) + Rational::from_integer(32),
             _ => value,
         }
     }
@@ -121,12 +120,6 @@ impl Unit {
             "seconds" | "second" | "s" => Some(Unit::Seconds),
             _ => None,
         }
-    }
-}
-
-impl Default for Unit {
-    fn default() -> Self {
-        Unit::Unitless
     }
 }
 

@@ -1,7 +1,6 @@
 //! Dynamic values observed from sensors and device state variables.
 
 use crate::{PlaceId, Quantity, TimeOfDay};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A value carried by a sensor reading, device state variable or event
@@ -10,7 +9,8 @@ use std::fmt;
 /// The context store in `cadel-engine` maps every
 /// [`SensorKey`](crate::SensorKey) to its latest `Value`; condition atoms
 /// then compare these against rule thresholds.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Value {
     /// A numeric reading with unit (temperature, humidity, volume, …).
@@ -27,7 +27,8 @@ pub enum Value {
 
 /// The coarse type of a [`Value`], used in error messages and in device
 /// state-variable declarations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum ValueKind {
     /// [`Value::Number`].
@@ -198,6 +199,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let vals = [
             Value::Number(Quantity::from_integer(25, Unit::Celsius)),

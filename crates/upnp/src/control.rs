@@ -137,8 +137,8 @@ mod tests {
     use crate::device::VirtualDevice;
     use crate::event::EventPublisher;
     use cadel_types::{Quantity, Unit, ValueKind};
-    use parking_lot::Mutex;
     use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// A switchable lamp that publishes power changes.
     struct Lamp {
@@ -190,8 +190,8 @@ mod tests {
                     })
                 }
             };
-            *self.power.lock() = value;
-            if let Some(p) = self.publisher.lock().as_ref() {
+            *self.power.lock().unwrap() = value;
+            if let Some(p) = self.publisher.lock().unwrap().as_ref() {
                 p.publish("power", Value::Bool(value), at);
             }
             Ok(vec![])
@@ -199,7 +199,7 @@ mod tests {
 
         fn query(&self, variable: &str) -> Result<Value, UpnpError> {
             if variable.eq_ignore_ascii_case("power") {
-                Ok(Value::Bool(*self.power.lock()))
+                Ok(Value::Bool(*self.power.lock().unwrap()))
             } else {
                 Err(UpnpError::UnknownVariable {
                     device: self.description.udn().clone(),
@@ -209,7 +209,7 @@ mod tests {
         }
 
         fn attach(&self, publisher: EventPublisher) {
-            *self.publisher.lock() = Some(publisher);
+            *self.publisher.lock().unwrap() = Some(publisher);
         }
     }
 
@@ -277,7 +277,8 @@ mod tests {
     fn events_flow_to_subscribers() {
         let (cp, udn) = setup();
         let sub = cp.subscribe(&udn).unwrap();
-        cp.invoke(&udn, "TurnOn", &[], SimTime::from_millis(5)).unwrap();
+        cp.invoke(&udn, "TurnOn", &[], SimTime::from_millis(5))
+            .unwrap();
         let changes = sub.drain();
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].variable, "power");

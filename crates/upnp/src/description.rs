@@ -8,11 +8,11 @@
 //! location, and showing users "what actions are allowed in the device".
 
 use cadel_types::{DeviceId, PlaceId, Rational, ServiceId, Unit, Value, ValueKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Direction of an action argument.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Direction {
     /// Supplied by the caller.
     In,
@@ -21,7 +21,8 @@ pub enum Direction {
 }
 
 /// One argument of an action signature.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArgSpec {
     name: String,
     direction: Direction,
@@ -64,7 +65,8 @@ impl ArgSpec {
 }
 
 /// The signature of an invocable action.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ActionSignature {
     name: String,
     args: Vec<ArgSpec>,
@@ -105,7 +107,8 @@ impl ActionSignature {
 }
 
 /// A state variable exposed by a service.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StateVariableSpec {
     name: String,
     kind: ValueKind,
@@ -210,11 +213,7 @@ impl StateVariableSpec {
     /// Returns a human-readable reason when the value is not acceptable.
     pub fn validate(&self, value: &Value) -> Result<(), String> {
         if value.kind() != self.kind {
-            return Err(format!(
-                "expected {:?}, got {:?}",
-                self.kind,
-                value.kind()
-            ));
+            return Err(format!("expected {:?}, got {:?}", self.kind, value.kind()));
         }
         if let (Some((min, max)), Value::Number(q)) = (&self.range, value) {
             let v = q.canonical_value();
@@ -239,7 +238,8 @@ impl StateVariableSpec {
 
 /// A service hosted by a device: a typed bundle of actions and state
 /// variables.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServiceDescription {
     service_id: ServiceId,
     service_type: String,
@@ -295,7 +295,9 @@ impl ServiceDescription {
 
     /// Looks up an action by name, case-insensitive.
     pub fn action(&self, name: &str) -> Option<&ActionSignature> {
-        self.actions.iter().find(|a| a.name.eq_ignore_ascii_case(name))
+        self.actions
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name))
     }
 
     /// Looks up a state variable by name, case-insensitive.
@@ -307,7 +309,8 @@ impl ServiceDescription {
 }
 
 /// A root device description document.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceDescription {
     udn: DeviceId,
     friendly_name: String,
@@ -461,8 +464,11 @@ mod tests {
                             .with_range(Rational::from_integer(16), Rational::from_integer(32)),
                     )
                     .with_variable(
-                        StateVariableSpec::new("mode", ValueKind::Text)
-                            .with_allowed_values(["cool", "heat", "dehumidify"]),
+                        StateVariableSpec::new("mode", ValueKind::Text).with_allowed_values([
+                            "cool",
+                            "heat",
+                            "dehumidify",
+                        ]),
                     ),
             )
     }
@@ -524,6 +530,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "serde")]
     fn serde_round_trip() {
         let d = thermostat_description();
         let json = serde_json::to_string(&d).unwrap();

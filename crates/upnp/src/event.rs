@@ -2,15 +2,15 @@
 //!
 //! UPnP devices publish state-variable changes to subscribed control
 //! points. Here a [`EventBus`] fans property changes out to per-
-//! subscription crossbeam channels; a subscription may be scoped to one
+//! subscription mpsc channels; a subscription may be scoped to one
 //! device or observe everything.
 
 use crate::error::UpnpError;
 use cadel_types::{DeviceId, SimTime, Value};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// One property-change notification.
 #[derive(Clone, Debug, PartialEq)]
@@ -123,13 +123,13 @@ impl EventBus {
     /// Subscribes to changes from one device (`Some`) or from every device
     /// (`None`).
     pub fn subscribe(&self, scope: Option<DeviceId>) -> Subscription {
-        let (sender, receiver) = unbounded();
+        let (sender, receiver) = channel();
         let sid = self.inner.next_sid.fetch_add(1, Ordering::Relaxed);
-        self.inner.subscriptions.lock().push(SubscriptionEntry {
-            sid,
-            scope,
-            sender,
-        });
+        self.inner
+            .subscriptions
+            .lock()
+            .unwrap()
+            .push(SubscriptionEntry { sid, scope, sender });
         Subscription {
             sid,
             receiver,
@@ -143,7 +143,7 @@ impl EventBus {
     ///
     /// Returns [`UpnpError::UnknownSubscription`] for an unknown id.
     pub fn unsubscribe(&self, sid: u64) -> Result<(), UpnpError> {
-        let mut subs = self.inner.subscriptions.lock();
+        let mut subs = self.inner.subscriptions.lock().unwrap();
         let before = subs.len();
         subs.retain(|s| s.sid != sid);
         if subs.len() == before {
@@ -154,18 +154,12 @@ impl EventBus {
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.inner.subscriptions.lock().len()
+        self.inner.subscriptions.lock().unwrap().len()
     }
 
     /// Publishes a change to all matching subscriptions. Disconnected
     /// receivers are pruned.
-    pub fn publish_change(
-        &self,
-        device: DeviceId,
-        variable: String,
-        value: Value,
-        at: SimTime,
-    ) {
+    pub fn publish_change(&self, device: DeviceId, variable: String, value: Value, at: SimTime) {
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
         let change = PropertyChange {
             device,
@@ -174,7 +168,7 @@ impl EventBus {
             seq,
             at,
         };
-        let mut subs = self.inner.subscriptions.lock();
+        let mut subs = self.inner.subscriptions.lock().unwrap();
         subs.retain(|s| {
             let interested = match &s.scope {
                 Some(d) => *d == change.device,
@@ -255,7 +249,6 @@ mod tests {
     fn dropped_receivers_are_pruned_on_publish() {
         let bus = EventBus::new();
         let sub = bus.subscribe(None);
-        drop(sub.receiver().clone()); // clone-drop is harmless
         drop(sub); // receiver gone entirely
         assert_eq!(bus.subscription_count(), 1); // not yet noticed
         publish(&bus, "a", "x", 1);

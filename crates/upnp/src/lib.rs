@@ -43,8 +43,7 @@ pub mod ssdp;
 
 pub use control::ControlPoint;
 pub use description::{
-    ActionSignature, ArgSpec, DeviceDescription, Direction, ServiceDescription,
-    StateVariableSpec,
+    ActionSignature, ArgSpec, DeviceDescription, Direction, ServiceDescription, StateVariableSpec,
 };
 pub use device::VirtualDevice;
 pub use error::UpnpError;

@@ -12,9 +12,9 @@ use crate::device::VirtualDevice;
 use crate::error::UpnpError;
 use crate::event::EventBus;
 use cadel_types::{DeviceId, PlaceId};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 
 #[derive(Default)]
 struct RegistryInner {
@@ -57,7 +57,7 @@ impl Registry {
     pub fn register(&self, device: Arc<dyn VirtualDevice>) -> Result<DeviceId, UpnpError> {
         let description = device.description();
         let udn = description.udn().clone();
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         if inner.devices.contains_key(&udn) {
             return Err(UpnpError::DuplicateDevice(udn));
         }
@@ -105,7 +105,7 @@ impl Registry {
     ///
     /// Returns [`UpnpError::UnknownDevice`] for unknown UDNs.
     pub fn unregister(&self, udn: &DeviceId) -> Result<(), UpnpError> {
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         let description = inner
             .descriptions
             .remove(udn)
@@ -149,7 +149,7 @@ impl Registry {
 
     /// Number of registered devices.
     pub fn len(&self) -> usize {
-        self.inner.read().devices.len()
+        self.inner.read().unwrap().devices.len()
     }
 
     /// Whether no device is registered.
@@ -165,6 +165,7 @@ impl Registry {
     pub fn device(&self, udn: &DeviceId) -> Result<Arc<dyn VirtualDevice>, UpnpError> {
         self.inner
             .read()
+            .unwrap()
             .devices
             .get(udn)
             .cloned()
@@ -179,6 +180,7 @@ impl Registry {
     pub fn description(&self, udn: &DeviceId) -> Result<DeviceDescription, UpnpError> {
         self.inner
             .read()
+            .unwrap()
             .descriptions
             .get(udn)
             .cloned()
@@ -187,13 +189,20 @@ impl Registry {
 
     /// All descriptions, unordered.
     pub fn descriptions(&self) -> Vec<DeviceDescription> {
-        self.inner.read().descriptions.values().cloned().collect()
+        self.inner
+            .read()
+            .unwrap()
+            .descriptions
+            .values()
+            .cloned()
+            .collect()
     }
 
     /// Retrieval **by device (friendly) name** — E1's first timed lookup.
     pub fn find_by_name(&self, name: &str) -> Vec<DeviceId> {
         self.inner
             .read()
+            .unwrap()
             .by_name
             .get(&name.to_ascii_lowercase())
             .cloned()
@@ -204,6 +213,7 @@ impl Registry {
     pub fn find_by_device_type(&self, device_type: &str) -> Vec<DeviceId> {
         self.inner
             .read()
+            .unwrap()
             .by_device_type
             .get(&device_type.to_ascii_lowercase())
             .cloned()
@@ -214,6 +224,7 @@ impl Registry {
     pub fn find_by_service_type(&self, service_type: &str) -> Vec<DeviceId> {
         self.inner
             .read()
+            .unwrap()
             .by_service_type
             .get(&service_type.to_ascii_lowercase())
             .cloned()
@@ -224,6 +235,7 @@ impl Registry {
     pub fn find_by_location(&self, place: &PlaceId) -> Vec<DeviceId> {
         self.inner
             .read()
+            .unwrap()
             .by_location
             .get(place)
             .cloned()
@@ -234,6 +246,7 @@ impl Registry {
     pub fn find_by_keyword(&self, keyword: &str) -> Vec<DeviceId> {
         self.inner
             .read()
+            .unwrap()
             .by_keyword
             .get(&keyword.to_ascii_lowercase())
             .cloned()
@@ -306,13 +319,20 @@ mod tests {
             .register(Probe::new("p2", "Kitchen Probe", Some("kitchen")))
             .unwrap();
         assert_eq!(registry.len(), 2);
-        assert_eq!(registry.find_by_name("hall probe"), vec![DeviceId::new("p1")]);
         assert_eq!(
-            registry.find_by_device_type("URN:CADEL:DEVICE:PROBE:1").len(),
+            registry.find_by_name("hall probe"),
+            vec![DeviceId::new("p1")]
+        );
+        assert_eq!(
+            registry
+                .find_by_device_type("URN:CADEL:DEVICE:PROBE:1")
+                .len(),
             2
         );
         assert_eq!(
-            registry.find_by_service_type("urn:cadel:service:probe:1").len(),
+            registry
+                .find_by_service_type("urn:cadel:service:probe:1")
+                .len(),
             2
         );
         assert_eq!(
@@ -342,9 +362,7 @@ mod tests {
         assert!(registry.is_empty());
         assert!(registry.find_by_name("hall probe").is_empty());
         assert!(registry.find_by_keyword("testing").is_empty());
-        assert!(registry
-            .find_by_location(&PlaceId::new("hall"))
-            .is_empty());
+        assert!(registry.find_by_location(&PlaceId::new("hall")).is_empty());
         assert!(matches!(
             registry.unregister(&udn),
             Err(UpnpError::UnknownDevice(_))

@@ -219,7 +219,10 @@ mod tests {
         let b = SsdpClient::new(registry.clone(), 7);
         let c = SsdpClient::new(registry, 8);
         let mx = SimDuration::from_secs(3);
-        assert_eq!(a.search(&SearchTarget::All, mx), b.search(&SearchTarget::All, mx));
+        assert_eq!(
+            a.search(&SearchTarget::All, mx),
+            b.search(&SearchTarget::All, mx)
+        );
         // A different seed shuffles delays (with overwhelming likelihood).
         assert_ne!(
             a.search(&SearchTarget::All, mx)

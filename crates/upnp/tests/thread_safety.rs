@@ -68,8 +68,13 @@ fn concurrent_invocations_and_events() {
         handles.push(thread::spawn(move || {
             for i in 0..500u64 {
                 let action = if i % 2 == 0 { "TurnOn" } else { "TurnOff" };
-                cp.invoke(&DeviceId::new("tv-lr"), action, &[], SimTime::from_millis(i))
-                    .unwrap();
+                cp.invoke(
+                    &DeviceId::new("tv-lr"),
+                    action,
+                    &[],
+                    SimTime::from_millis(i),
+                )
+                .unwrap();
             }
         }));
     }
@@ -93,7 +98,10 @@ fn concurrent_invocations_and_events() {
         handles.push(thread::spawn(move || {
             for i in 0..500u64 {
                 thermo
-                    .set_reading(Rational::from_integer((i % 30) as i64), SimTime::from_millis(i))
+                    .set_reading(
+                        Rational::from_integer((i % 30) as i64),
+                        SimTime::from_millis(i),
+                    )
                     .unwrap();
             }
         }));

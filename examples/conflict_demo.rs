@@ -73,9 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Runtime arbitration ---------------------------------------------
     let mut now = SimTime::EPOCH + SimDuration::from_hours(18);
-    home.thermometer.set_reading(Rational::from_integer(28), now)?;
-    home.hygrometer.set_reading(Rational::from_integer(70), now)?;
-    now = now + SimDuration::from_secs(1);
+    home.thermometer
+        .set_reading(Rational::from_integer(28), now)?;
+    home.hygrometer
+        .set_reading(Rational::from_integer(70), now)?;
+    now += SimDuration::from_secs(1);
     server.step(now);
     println!(
         "\n18:00 both rules trigger, Alan away  -> setpoint {:?} (Tom wins: earliest rule)",
@@ -89,9 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))
     );
 
-    now = now + SimDuration::from_minutes(10);
-    home.living_presence.person_entered(&PersonId::new("alan"), now);
-    now = now + SimDuration::from_secs(1);
+    now += SimDuration::from_minutes(10);
+    home.living_presence
+        .person_entered(&PersonId::new("alan"), now);
+    now += SimDuration::from_secs(1);
     server.step(now);
     println!(
         "18:10 Alan enters the living room    -> setpoint {:?} (his context priority wins)",
@@ -105,9 +108,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))
     );
 
-    now = now + SimDuration::from_minutes(10);
-    home.living_presence.person_left(&PersonId::new("alan"), now);
-    now = now + SimDuration::from_secs(1);
+    now += SimDuration::from_minutes(10);
+    home.living_presence
+        .person_left(&PersonId::new("alan"), now);
+    now += SimDuration::from_secs(1);
     server.step(now);
     println!(
         "18:20 Alan leaves                    -> setpoint {:?} (unresolved ties keep the holder)",

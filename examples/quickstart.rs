@@ -34,10 +34,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The room heats up; the engine reacts.
     let mut now = SimTime::EPOCH;
-    println!("\nroom: 25°C / 60% — aircon power = {:?}", home.aircon.query("power")?);
+    println!(
+        "\nroom: 25°C / 60% — aircon power = {:?}",
+        home.aircon.query("power")?
+    );
     now += SimDuration::from_minutes(30);
-    home.thermometer.set_reading(Rational::from_integer(29), now)?;
-    home.hygrometer.set_reading(Rational::from_integer(85), now)?;
+    home.thermometer
+        .set_reading(Rational::from_integer(29), now)?;
+    home.hygrometer
+        .set_reading(Rational::from_integer(85), now)?;
     let report = server.step(now + SimDuration::from_secs(1));
     println!(
         "room: 29°C / 85% — engine dispatched {} action(s)",

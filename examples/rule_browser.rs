@@ -20,8 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     topology.add_room("hall", "first floor")?;
     let mut server = HomeServer::new(ControlPoint::new(registry), topology);
     let tom = server.add_user("tom")?;
-    home.thermometer.set_reading(Rational::from_integer(27), SimTime::EPOCH)?;
-    home.hygrometer.set_reading(Rational::from_integer(66), SimTime::EPOCH)?;
+    home.thermometer
+        .set_reading(Rational::from_integer(27), SimTime::EPOCH)?;
+    home.hygrometer
+        .set_reading(Rational::from_integer(66), SimTime::EPOCH)?;
 
     // Tom coins the word from the paper's Fig. 4.
     let def = "Let's call the condition that humidity is higher than 60 percent and \
@@ -59,9 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let guidance = server.guidance();
 
     println!("\n== sensors retrieved by the word 'hot and stuffy' (Fig. 5) ==");
-    for s in guidance.sensors_for_word("hot and stuffy", &dictionary, &LocationSelector::Anywhere)
-    {
-        println!("  {} . {} = {:?}", s.device_name, s.variable, s.current_value);
+    for s in guidance.sensors_for_word("hot and stuffy", &dictionary, &LocationSelector::Anywhere) {
+        println!(
+            "  {} . {} = {:?}",
+            s.device_name, s.variable, s.current_value
+        );
     }
 
     println!("\n== words that mention the 'temperature' sensor (reverse lookup) ==");

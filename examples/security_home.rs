@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut now = hm(19, 30);
     home.hall_lux.set_reading(Rational::from_integer(40), now)?; // dark
     server.step(now);
-    println!("\n19:30 hall is dark ({:?})", home.hall_lux.query("illuminance")?);
+    println!(
+        "\n19:30 hall is dark ({:?})",
+        home.hall_lux.query("illuminance")?
+    );
     now = hm(19, 32);
     home.hall_presence
         .announce_arrival(&PersonId::new("tom"), "returns home", now);

@@ -113,7 +113,10 @@ fn type_scoped_grant_covers_all_lights() {
     );
     // Any light works…
     assert!(server
-        .submit(&kid, "When a movie is on air, turn on the light at the hall.")
+        .submit(
+            &kid,
+            "When a movie is on air, turn on the light at the hall."
+        )
         .is_ok());
     assert!(server
         .submit(&kid, "When a movie is on air, dim the floor lamp.")
@@ -136,11 +139,9 @@ fn arbitration_requires_the_privilege() {
         Scope::Device(DeviceId::new("tv-lr")),
         Privilege::Control,
     );
-    server.access_mut().grant(
-        &kid,
-        Scope::AllDevices,
-        Privilege::Observe,
-    );
+    server
+        .access_mut()
+        .grant(&kid, Scope::AllDevices, Privilege::Observe);
     server.access_mut().set_enforcing(true);
 
     // Two conflicting TV rules.

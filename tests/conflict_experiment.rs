@@ -7,9 +7,7 @@
 //! paper's exact workload size.
 
 use cadel::conflict::{check_consistency, find_conflicts};
-use cadel::rule::{
-    ActionSpec, Atom, Condition, ConstraintAtom, Rule, RuleDb, Verb,
-};
+use cadel::rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, RuleDb, Verb};
 use cadel::simplex::RelOp;
 use cadel::types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, Unit};
 use std::time::Instant;
@@ -44,20 +42,22 @@ fn e2_database(total: u64, same_device: u64) -> RuleDb {
         // Deterministic pseudo-random thresholds; half the shared-device
         // rules sit in a low band (5..15 °C) and half in a high band
         // (25..35 °C) so a known subset conflicts with the probe rule.
-        let band = if (i / (total / same_device)) % 2 == 0 { 5 } else { 25 };
+        let band = if (i / (total / same_device)).is_multiple_of(2) {
+            5
+        } else {
+            25
+        };
         let temp = band + (i % 10) as i64;
         let humid = 40 + (i % 40) as i64;
         let rule = Rule::builder(PersonId::new(format!("user-{}", i % 7)))
             .condition(two_inequality_condition(temp, humid))
-            .action(
-                ActionSpec::new(device, Verb::TurnOn).with_setting(
-                    "temperature",
-                    // Vary set-points across the *shared-device* rules
-                    // (they arrive every total/same_device ids) so probes
-                    // can hit both identical and different actions.
-                    Quantity::from_integer(18 + ((i / 100) % 10) as i64, Unit::Celsius),
-                ),
-            )
+            .action(ActionSpec::new(device, Verb::TurnOn).with_setting(
+                "temperature",
+                // Vary set-points across the *shared-device* rules
+                // (they arrive every total/same_device ids) so probes
+                // can hit both identical and different actions.
+                Quantity::from_integer(18 + ((i / 100) % 10) as i64, Unit::Celsius),
+            ))
             .build(RuleId::new(i))
             .unwrap();
         db.insert(rule).unwrap();
@@ -69,7 +69,10 @@ fn e2_database(total: u64, same_device: u64) -> RuleDb {
 fn e2_workload_extraction_and_conflicts() {
     let db = e2_database(10_000, 100);
     assert_eq!(db.len(), 10_000);
-    assert_eq!(db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(), 100);
+    assert_eq!(
+        db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(),
+        100
+    );
 
     // Probe rule: triggers above 30 °C / 70 % with a set-point no stored
     // rule uses, so every co-satisfiable same-device rule conflicts.
@@ -120,9 +123,7 @@ fn e2_disjoint_probe_finds_no_conflicts() {
     ));
     let probe = Rule::builder(PersonId::new("probe"))
         .condition(Condition::Atom(cold))
-        .action(
-            ActionSpec::new(DeviceId::new(SHARED_DEVICE), Verb::TurnOff),
-        )
+        .action(ActionSpec::new(DeviceId::new(SHARED_DEVICE), Verb::TurnOff))
         .build(RuleId::new(999_999))
         .unwrap();
     // Stored rules demand temperature > 5 at minimum; the probe demands
@@ -149,7 +150,10 @@ fn e2_meets_the_papers_timing_budget() {
     // Extraction.
     let start = Instant::now();
     for _ in 0..100 {
-        assert_eq!(db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(), 100);
+        assert_eq!(
+            db.rules_for_device(&DeviceId::new(SHARED_DEVICE)).len(),
+            100
+        );
     }
     let extraction = start.elapsed() / 100;
     assert!(

@@ -107,7 +107,10 @@ fn paper_rule_example_3_duration_gate() {
     let (mut server, home) = setup();
     let tom = PersonId::new("tom");
     server
-        .submit(&tom, "At night, if entrance door is unlocked for 1 hour, turn on the alarm.")
+        .submit(
+            &tom,
+            "At night, if entrance door is unlocked for 1 hour, turn on the alarm.",
+        )
         .unwrap();
 
     home.entrance_door.set_locked(false, hm(22, 30));
@@ -163,7 +166,8 @@ fn ssdp_discovery_and_control_round_trip() {
         SimDuration::from_secs(3),
     );
     assert_eq!(tvs.len(), 1);
-    cp.invoke(&tvs[0].udn, "TurnOn", &[], SimTime::EPOCH).unwrap();
+    cp.invoke(&tvs[0].udn, "TurnOn", &[], SimTime::EPOCH)
+        .unwrap();
     assert_eq!(home.tv.query("power").unwrap(), Value::Bool(true));
 }
 
@@ -171,13 +175,18 @@ fn ssdp_discovery_and_control_round_trip() {
 fn parse_errors_surface_with_positions() {
     let (mut server, _home) = setup();
     let tom = PersonId::new("tom");
-    let err = server.submit(&tom, "please make everything nice").unwrap_err();
+    let err = server
+        .submit(&tom, "please make everything nice")
+        .unwrap_err();
     match err {
         ServerError::Lang(e) => assert!(e.to_string().contains("verb")),
         other => panic!("expected a language error, got {other:?}"),
     }
     let err = server
-        .submit(&tom, "If the moon is higher than 3 degrees, turn on the TV.")
+        .submit(
+            &tom,
+            "If the moon is higher than 3 degrees, turn on the TV.",
+        )
         .unwrap_err();
     assert!(err.to_string().contains("moon"));
 }
@@ -190,7 +199,10 @@ fn multi_user_export_import_moves_rules_between_homes() {
         .submit(&tom, "When a movie is on air, turn on the TV.")
         .unwrap();
     server_a
-        .submit(&tom, "At night, if entrance door is unlocked for 1 hour, turn on the alarm.")
+        .submit(
+            &tom,
+            "At night, if entrance door is unlocked for 1 hour, turn on the alarm.",
+        )
         .unwrap();
     let json = server_a.export_rules().unwrap();
 
@@ -212,7 +224,10 @@ fn engine_with_and_without_trigger_index_agree_end_to_end() {
         server.engine_mut().set_use_trigger_index(use_index);
         let tom = PersonId::new("tom");
         server
-            .submit(&tom, "If temperature is higher than 26 degrees, turn on the air conditioner.")
+            .submit(
+                &tom,
+                "If temperature is higher than 26 degrees, turn on the air conditioner.",
+            )
             .unwrap();
         server
             .submit(&tom, "When a movie is on air, turn on the TV.")

@@ -51,29 +51,56 @@ fn figure_1_transition_timing() {
 
     // *1 (17:00): Tom's rules.
     assert_eq!(chart.state_at("Stereo", hm(16, 59)), Some("off"));
-    assert_eq!(chart.state_at("Stereo", hm(17, 2)), Some("jazz music vol30%"));
-    assert_eq!(chart.state_at("Room light", hm(17, 2)), Some("half-lighting"));
+    assert_eq!(
+        chart.state_at("Stereo", hm(17, 2)),
+        Some("jazz music vol30%")
+    );
+    assert_eq!(
+        chart.state_at("Room light", hm(17, 2)),
+        Some("half-lighting")
+    );
 
     // 17:30 hot-and-stuffy: a1 with Tom's set-points.
     assert_eq!(chart.state_at("Air conditioner", hm(17, 29)), Some("off"));
-    assert_eq!(chart.state_at("Air conditioner", hm(17, 32)), Some("25°C/60%"));
+    assert_eq!(
+        chart.state_at("Air conditioner", hm(17, 32)),
+        Some("25°C/60%")
+    );
 
     // *2 (18:00): Alan arrives — TV on, stereo quieter, aircon to Alan's.
     assert_eq!(chart.state_at("TV", hm(17, 59)), Some("off"));
     assert_eq!(chart.state_at("TV", hm(18, 2)), Some("baseball game"));
-    assert_eq!(chart.state_at("Stereo", hm(18, 2)), Some("jazz music vol15%"));
-    assert_eq!(chart.state_at("Air conditioner", hm(18, 2)), Some("24°C/55%"));
+    assert_eq!(
+        chart.state_at("Stereo", hm(18, 2)),
+        Some("jazz music vol15%")
+    );
+    assert_eq!(
+        chart.state_at("Air conditioner", hm(18, 2)),
+        Some("24°C/55%")
+    );
 
     // 18:55 heat spike: Emily's rule triggers but she is out — suppressed.
-    assert_eq!(chart.state_at("Air conditioner", hm(18, 58)), Some("24°C/55%"));
+    assert_eq!(
+        chart.state_at("Air conditioner", hm(18, 58)),
+        Some("24°C/55%")
+    );
 
     // *3 (19:00): Emily arrives — everything re-arbitrates.
     assert_eq!(chart.state_at("TV", hm(19, 2)), Some("movie"));
-    assert_eq!(chart.state_at("Stereo", hm(19, 2)), Some("movie sound vol15%"));
+    assert_eq!(
+        chart.state_at("Stereo", hm(19, 2)),
+        Some("movie sound vol15%")
+    );
     assert_eq!(chart.state_at("Room light", hm(19, 2)), Some("bright"));
-    assert_eq!(chart.state_at("Air conditioner", hm(19, 2)), Some("27°C/65%"));
+    assert_eq!(
+        chart.state_at("Air conditioner", hm(19, 2)),
+        Some("27°C/65%")
+    );
     // Alan's fallback recorder starts within a couple of minutes.
-    assert_eq!(chart.state_at("Recorder", hm(19, 3)), Some("rec baseball game"));
+    assert_eq!(
+        chart.state_at("Recorder", hm(19, 3)),
+        Some("rec baseball game")
+    );
 }
 
 #[test]
