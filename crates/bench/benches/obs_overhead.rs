@@ -1,0 +1,151 @@
+//! Observability overhead on the engine's hot path.
+//!
+//! The instrumentation contract (see `docs/OBSERVABILITY.md`) is that a
+//! disabled gate costs one relaxed atomic load per metric site. This
+//! bench measures what that means for a whole engine step, three ways:
+//!
+//! * **disabled** — the default: every gate short-circuits.
+//! * **metrics** — `enable_metrics_only()`: counters/histograms record,
+//!   events are dropped before construction.
+//! * **ring** — full `install()` with a [`RingCollector`]: events are
+//!   built and buffered too.
+//!
+//! The phases run in this order so the baseline is timed before any
+//! global state is switched on. Numbers land in `EXPERIMENTS.md`.
+
+use cadel_bench::timing::{format_line, run, section};
+use cadel_engine::Engine;
+use cadel_obs::{LazyCounter, LazyHistogram, RingCollector};
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_simplex::RelOp;
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value};
+use cadel_upnp::{ControlPoint, EventBus, Registry};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A fleet of `n` rules, each watching its own sensor; only `sensor-0`
+/// receives events, so the per-step work is one rule evaluation plus the
+/// fixed step overhead the instrumentation adds to.
+fn fleet(n: u64) -> Engine {
+    let mut engine = Engine::new(ControlPoint::new(Registry::new()));
+    for i in 0..n {
+        let sensor = SensorKey::new(DeviceId::new(format!("sensor-{i}")), "reading");
+        let rule = Rule::builder(PersonId::new("bench"))
+            .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+                sensor,
+                RelOp::Gt,
+                Quantity::from_integer(50, Unit::Celsius),
+            ))))
+            .action(ActionSpec::new(
+                DeviceId::new(format!("device-{i}")),
+                Verb::TurnOn,
+            ))
+            .build(RuleId::new(i))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+    }
+    engine.step(SimTime::from_millis(1));
+    engine
+}
+
+fn publish_reading(bus: &EventBus, seq: u64, value: i64) {
+    bus.publish_change(
+        DeviceId::new("sensor-0"),
+        "reading".to_owned(),
+        Value::Number(Quantity::from_integer(value, Unit::Celsius)),
+        SimTime::from_millis(seq),
+    );
+}
+
+fn step_case(label: &str, n: u64) -> f64 {
+    let mut engine = fleet(n);
+    let bus = engine.control().registry().event_bus().clone();
+    let mut seq = 2u64;
+    let m = run(&format!("obs_step/{label}/{n}"), || {
+        seq += 1;
+        let value = if seq.is_multiple_of(2) { 30 } else { 70 };
+        publish_reading(&bus, seq, value);
+        black_box(engine.step(SimTime::from_millis(seq)).firings.len())
+    });
+    m.median_ns()
+}
+
+fn idle_case(label: &str, n: u64) -> f64 {
+    let mut engine = fleet(n);
+    let mut seq = 2u64;
+    let m = run(&format!("obs_idle/{label}/{n}"), || {
+        seq += 1;
+        black_box(engine.step(SimTime::from_millis(seq)).is_empty())
+    });
+    m.median_ns()
+}
+
+/// Probe metrics for the gate microbenchmark below.
+static PROBE_COUNTER: LazyCounter = LazyCounter::new("bench_gate_probe_total");
+static PROBE_HISTOGRAM: LazyHistogram = LazyHistogram::new("bench_gate_probe_ns");
+
+fn main() {
+    const N: u64 = 1_000;
+
+    // Phase 0: the gate itself, disabled — the claimed cost is one
+    // relaxed atomic load per site.
+    section("phase 0: one gate, disabled vs enabled");
+    run("gate/disabled/counter_inc", || PROBE_COUNTER.inc());
+    run("gate/disabled/histogram_observe", || {
+        PROBE_HISTOGRAM.observe(black_box(1234))
+    });
+
+    // Phase 1: instrumentation off (process default).
+    section("phase 1: obs disabled (gates short-circuit)");
+    let disabled_step = step_case("disabled", N);
+    let disabled_idle = idle_case("disabled", N);
+
+    // Phase 2: metrics record, no collector.
+    section("phase 2: enable_metrics_only (counters + histograms live)");
+    cadel_obs::enable_metrics_only();
+    let metrics_step = step_case("metrics", N);
+    let metrics_idle = idle_case("metrics", N);
+
+    // Phase 3: full install with a ring buffer collecting span events.
+    section("phase 3: install RingCollector (events built + buffered)");
+    let ring = Arc::new(RingCollector::new(4_096));
+    cadel_obs::install(ring.clone());
+    let ring_step = step_case("ring", N);
+    let ring_idle = idle_case("ring", N);
+    run("gate/enabled/counter_inc", || PROBE_COUNTER.inc());
+    run("gate/enabled/histogram_observe", || {
+        PROBE_HISTOGRAM.observe(black_box(1234))
+    });
+    cadel_obs::shutdown();
+
+    section("overhead vs disabled baseline");
+    for (label, base, v) in [
+        ("step/metrics", disabled_step, metrics_step),
+        ("step/ring", disabled_step, ring_step),
+        ("idle/metrics", disabled_idle, metrics_idle),
+        ("idle/ring", disabled_idle, ring_idle),
+    ] {
+        println!(
+            "{:<58} {:>+13.0} ns/iter ({:+.2}%)",
+            format!("obs_overhead/{label}"),
+            v - base,
+            (v - base) / base * 100.0
+        );
+    }
+    println!(
+        "ring buffered {} events, dropped {} (capacity 4096)",
+        ring.events().len(),
+        ring.dropped()
+    );
+
+    // The quantile accessors come from the same histogram type the
+    // runtime exports — exercise them once so the shared path is visible.
+    let m = cadel_bench::timing::bench("obs_step/quantiles", || black_box(1u64));
+    println!(
+        "{}  [p50 {} ns, p95 {} ns, p99 {} ns]",
+        format_line(&m),
+        m.p50_ns(),
+        m.p95_ns(),
+        m.p99_ns()
+    );
+}

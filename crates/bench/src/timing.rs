@@ -6,9 +6,15 @@
 //! median nanoseconds per iteration (the median is robust against a
 //! single preempted sample).
 //!
+//! Each sample is also recorded into a standalone `cadel-obs`
+//! [`Histogram`], so bench results and runtime latency metrics share one
+//! bucket scheme and quantile definition ([`Measurement::p50_ns`] and
+//! friends read the same log-linear buckets Prometheus exposition does).
+//!
 //! Benches are plain `main` binaries (`harness = false`); run them with
 //! `cargo bench -p cadel-bench` and read the printed table.
 
+use cadel_obs::{Histogram, HistogramSummary};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -18,6 +24,7 @@ pub struct Measurement {
     label: String,
     iters_per_sample: u64,
     samples_ns_per_iter: Vec<f64>,
+    histogram: Histogram,
 }
 
 impl Measurement {
@@ -45,6 +52,27 @@ impl Measurement {
             .copied()
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// The obs-histogram view of the samples (log-linear buckets,
+    /// ≤ 1/16 relative error — same scheme as the runtime metrics).
+    pub fn summary(&self) -> HistogramSummary {
+        self.histogram.summary(&self.label)
+    }
+
+    /// Median per-iteration nanoseconds, read from the obs histogram.
+    pub fn p50_ns(&self) -> u64 {
+        self.summary().p50()
+    }
+
+    /// 95th-percentile sample, read from the obs histogram.
+    pub fn p95_ns(&self) -> u64 {
+        self.summary().p95()
+    }
+
+    /// 99th-percentile sample, read from the obs histogram.
+    pub fn p99_ns(&self) -> u64 {
+        self.summary().p99()
+    }
 }
 
 /// How long each timed sample should run, once calibrated.
@@ -71,18 +99,22 @@ pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> Measurement {
         iters = iters.saturating_mul(2);
     };
     let iters_per_sample = ((TARGET_SAMPLE_NS / per_iter_ns).ceil() as u64).max(1);
+    let histogram = Histogram::standalone();
     let mut samples = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
         let start = Instant::now();
         for _ in 0..iters_per_sample {
             black_box(f());
         }
-        samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        let ns_per_iter = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+        histogram.observe(ns_per_iter as u64);
+        samples.push(ns_per_iter);
     }
     Measurement {
         label: label.to_owned(),
         iters_per_sample,
         samples_ns_per_iter: samples,
+        histogram,
     }
 }
 
@@ -127,13 +159,22 @@ mod tests {
 
     #[test]
     fn median_is_robust_to_one_outlier() {
+        let samples = [10.0, 11.0, 9.0, 500.0, 10.5];
+        let histogram = Histogram::standalone();
+        for s in samples {
+            histogram.observe(s as u64);
+        }
         let m = Measurement {
             label: "x".into(),
             iters_per_sample: 1,
-            samples_ns_per_iter: vec![10.0, 11.0, 9.0, 500.0, 10.5],
+            samples_ns_per_iter: samples.to_vec(),
+            histogram,
         };
         assert_eq!(m.median_ns(), 10.5);
         assert_eq!(m.min_ns(), 9.0);
+        // The histogram view agrees: values < 16 land in exact buckets.
+        assert_eq!(m.p50_ns(), 10);
+        assert!(m.p99_ns() >= 469, "outlier should dominate p99");
     }
 
     #[test]
@@ -146,5 +187,7 @@ mod tests {
         assert!(m.median_ns() > 0.0);
         assert!(m.iters_per_sample() >= 1);
         assert!(format_line(&m).contains("noop"));
+        // Every sample lands in the shared obs histogram.
+        assert_eq!(m.summary().count, SAMPLES as u64);
     }
 }

@@ -25,10 +25,24 @@ use crate::check::Conflict;
 use crate::discrete::discrete_compatible;
 use crate::error::ConflictError;
 use cadel_ir::{merge_conjuncts, CompiledConjunct};
+use cadel_obs::{LazyCounter, LazyHistogram, Stopwatch};
 use cadel_rule::{compile_conjuncts, Rule, RuleDb, RuleError};
 use cadel_simplex::{solve, Solution};
 use cadel_types::RuleId;
 use std::collections::HashMap;
+
+/// Conflict scans (one per [`ConflictChecker::find_conflicts`] call).
+static CHECKS: LazyCounter = LazyCounter::new("conflict_checks_total");
+/// Same-device rule pairs considered across all scans.
+static PAIR_CHECKS: LazyCounter = LazyCounter::new("conflict_pair_checks_total");
+/// Pairs answered from the memo cache.
+static MEMO_HITS: LazyCounter = LazyCounter::new("conflict_memo_hits_total");
+/// Pairs that had to be computed (solver or AST path).
+static MEMO_MISSES: LazyCounter = LazyCounter::new("conflict_memo_misses_total");
+/// Computed pair verdicts that found a conflict.
+static PAIRS_CONFLICTING: LazyCounter = LazyCounter::new("conflict_pairs_conflicting_total");
+/// Wall-clock latency of one whole scan.
+static CHECK_NS: LazyHistogram = LazyHistogram::new("conflict_check_duration_ns");
 
 /// A conflict detector that reuses precompiled constraint systems and
 /// memoizes pairwise verdicts across registrations.
@@ -75,6 +89,18 @@ impl ConflictChecker {
         db: &RuleDb,
         probe: &Rule,
     ) -> Result<Vec<Conflict>, ConflictError> {
+        let sw = Stopwatch::start();
+        CHECKS.inc();
+        let result = self.find_conflicts_inner(db, probe);
+        CHECK_NS.record(&sw);
+        result
+    }
+
+    fn find_conflicts_inner(
+        &mut self,
+        db: &RuleDb,
+        probe: &Rule,
+    ) -> Result<Vec<Conflict>, ConflictError> {
         // The probe is cacheable only when the database holds this exact
         // rule: its revision then keys the verdict. An unstored (or
         // since-modified) probe gets a one-shot compilation instead.
@@ -97,16 +123,19 @@ impl ConflictChecker {
                 continue;
             }
             let existing_rev = db.revision(existing.id());
+            PAIR_CHECKS.inc();
             let key = match (probe_rev, existing_rev) {
                 (Some(pr), Some(er)) => Some((probe.id(), pr, existing.id(), er)),
                 _ => None,
             };
             if let Some(key) = key {
                 if let Some(verdict) = self.cache.get(&key) {
+                    MEMO_HITS.inc();
                     conflicts.extend(verdict.clone());
                     continue;
                 }
             }
+            MEMO_MISSES.inc();
             let verdict = match (probe_conjuncts, db.program(existing.id())) {
                 (Some(pc), Some(program)) => {
                     check_conflict_compiled(probe, pc, existing, program.conjuncts())?
@@ -114,6 +143,9 @@ impl ConflictChecker {
                 // Either side failed to compile: AST fallback.
                 _ => crate::check::check_conflict(probe, existing)?,
             };
+            if verdict.is_some() {
+                PAIRS_CONFLICTING.inc();
+            }
             if let Some(key) = key {
                 self.cache.insert(key, verdict.clone());
             }

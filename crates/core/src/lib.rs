@@ -9,6 +9,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`types`] | `cadel-types` | quantities, units, time, topology, identifiers |
+//! | [`obs`] | `cadel-obs` | observability: structured events, collectors, metrics registry |
 //! | [`simplex`] | `cadel-simplex` | exact rational Simplex feasibility (conflict checking) |
 //! | [`ir`] | `cadel-ir` | compiled rule IR: interned slots, condition bytecode, constraint systems |
 //! | [`rule`] | `cadel-rule` | rule objects, conditions, actions, rule database |
@@ -57,6 +58,7 @@ pub use cadel_devices as devices;
 pub use cadel_engine as engine;
 pub use cadel_ir as ir;
 pub use cadel_lang as lang;
+pub use cadel_obs as obs;
 pub use cadel_rule as rule;
 pub use cadel_server as server;
 pub use cadel_sim as sim;

@@ -6,10 +6,40 @@ use crate::error::EngineError;
 use crate::eval::{Evaluator, HeldTracker};
 use crate::index::TriggerIndex;
 use cadel_conflict::{PriorityOrder, PriorityStore, Resolution};
+use cadel_obs::{Event as ObsEvent, LazyCounter, LazyGauge, LazyHistogram, Level, Span, Stopwatch};
 use cadel_rule::{ActionSpec, Rule, RuleDb, Verb};
 use cadel_types::{DeviceId, RuleId, SimTime, Value};
 use cadel_upnp::{ControlPoint, Subscription, UpnpError};
 use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Engine steps executed.
+static STEPS: LazyCounter = LazyCounter::new("engine_steps_total");
+/// Device property-change events ingested across all steps.
+static EVENTS_INGESTED: LazyCounter = LazyCounter::new("engine_events_ingested_total");
+/// Rule conditions evaluated across all steps.
+static RULES_EVALUATED: LazyCounter = LazyCounter::new("engine_rules_evaluated_total");
+/// Evaluations served by a compiled program.
+static EVAL_COMPILED: LazyCounter = LazyCounter::new("engine_eval_compiled_total");
+/// Evaluations interpreted from the AST (compiled mode off, or fallback).
+static EVAL_AST: LazyCounter = LazyCounter::new("engine_eval_ast_total");
+/// Evaluations that *wanted* a compiled program but fell back to the AST
+/// because compilation had failed for that rule.
+static AST_FALLBACKS: LazyCounter = LazyCounter::new("engine_ast_fallback_total");
+/// Firings dispatched to a device (fresh acquisition).
+static FIRINGS_DISPATCHED: LazyCounter = LazyCounter::new("engine_firings_dispatched_total");
+/// Firings suppressed by a higher-priority rule.
+static FIRINGS_SUPPRESSED: LazyCounter = LazyCounter::new("engine_firings_suppressed_total");
+/// Firings that displaced a previous holder.
+static FIRINGS_REPLACED: LazyCounter = LazyCounter::new("engine_firings_replaced_total");
+/// Firings whose dispatch failed at the device.
+static FIRINGS_FAILED: LazyCounter = LazyCounter::new("engine_firings_failed_total");
+/// `until`-clause releases performed.
+static RELEASES: LazyCounter = LazyCounter::new("engine_releases_total");
+/// held-for timer states currently tracked.
+static HELDFOR_TRACKED: LazyGauge = LazyGauge::new("engine_heldfor_tracked");
+/// Wall-clock latency of one engine step.
+static STEP_NS: LazyHistogram = LazyHistogram::new("engine_step_duration_ns");
 
 /// The event channel on which the engine announces suppressed firings, so
 /// fallback rules ("if I cannot use the TV, record the game instead") can
@@ -30,6 +60,17 @@ pub enum FiringOutcome {
     Failed(UpnpError),
 }
 
+impl fmt::Display for FiringOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FiringOutcome::Dispatched => write!(f, "dispatched"),
+            FiringOutcome::SuppressedBy(winner) => write!(f, "suppressed by {winner}"),
+            FiringOutcome::Replaced(old) => write!(f, "replaced {old}"),
+            FiringOutcome::Failed(err) => write!(f, "failed: {err}"),
+        }
+    }
+}
+
 /// A rule firing recorded in a step report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Firing {
@@ -39,6 +80,12 @@ pub struct Firing {
     pub device: DeviceId,
     /// What happened.
     pub outcome: FiringOutcome,
+}
+
+impl fmt::Display for Firing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}: {}", self.rule, self.device, self.outcome)
+    }
 }
 
 /// The observable result of one engine step.
@@ -68,6 +115,24 @@ impl StepReport {
                 )
             })
             .collect()
+    }
+}
+
+impl fmt::Display for StepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "idle");
+        }
+        let mut sep = "";
+        for firing in &self.firings {
+            write!(f, "{sep}{firing}")?;
+            sep = "; ";
+        }
+        for (rule, device) in &self.releases {
+            write!(f, "{sep}{rule} released {device}")?;
+            sep = "; ";
+        }
+        Ok(())
     }
 }
 
@@ -106,6 +171,9 @@ pub struct Engine {
     /// Rules whose current suppression was already announced on the
     /// conflict channel (avoids re-raising every step).
     suppress_noted: BTreeSet<RuleId>,
+    /// Rules whose compiled-program fallback was already reported as a
+    /// structured event (the counter still ticks on every occurrence).
+    fallback_noted: BTreeSet<RuleId>,
 }
 
 impl Engine {
@@ -136,6 +204,7 @@ impl Engine {
             contenders: HashMap::new(),
             latched: BTreeSet::new(),
             suppress_noted: BTreeSet::new(),
+            fallback_noted: BTreeSet::new(),
         }
     }
 
@@ -214,6 +283,7 @@ impl Engine {
         self.holders.retain(|_, h| h.rule != id);
         self.latched.remove(&id);
         self.suppress_noted.remove(&id);
+        self.fallback_noted.remove(&id);
         for set in self.contenders.values_mut() {
             set.remove(&id);
         }
@@ -223,6 +293,12 @@ impl Engine {
     /// Drains device events, advances the clock, re-evaluates rules,
     /// arbitrates conflicts and dispatches actions.
     pub fn step(&mut self, now: SimTime) -> StepReport {
+        let sw = Stopwatch::start();
+        let mut span = Span::new("engine.step");
+        let mut evaluated: u64 = 0;
+        let mut eval_compiled: u64 = 0;
+        let mut eval_ast: u64 = 0;
+
         // 1. Ingest events.
         let changes = self.subscription.drain();
         self.ctx.set_now(now);
@@ -281,15 +357,35 @@ impl Engine {
             // common case) must not pay for an owned device id.
             let device = rule.action().device();
             let program = if self.use_compiled {
-                self.rules.program(id)
+                let program = self.rules.program(id);
+                if program.is_none() {
+                    // Wanted the compiled path, ended up interpreting: a
+                    // degradation worth a counter tick per occurrence and
+                    // one structured event per rule.
+                    AST_FALLBACKS.inc();
+                    if self.fallback_noted.insert(id) && cadel_obs::enabled() {
+                        cadel_obs::emit(
+                            ObsEvent::new("engine.ast_fallback", Level::Warn)
+                                .with_field("rule", id.raw())
+                                .with_field("owner", rule.owner().as_str())
+                                .with_field("device", device.as_str()),
+                        );
+                    }
+                }
+                program
             } else {
                 None
             };
+            evaluated += 1;
             let now_true = match program {
                 Some(program) => {
+                    eval_compiled += 1;
                     cadel_ir::condition_holds(program.as_ref(), &self.ctx, &mut self.held)
                 }
-                None => Evaluator::new(&self.ctx, &mut self.held).condition_holds(rule.condition()),
+                None => {
+                    eval_ast += 1;
+                    Evaluator::new(&self.ctx, &mut self.held).condition_holds(rule.condition())
+                }
             };
             let prev = self.last_state.insert(id, now_true).unwrap_or(false);
 
@@ -451,6 +547,30 @@ impl Engine {
                 }
             }
         }
+
+        STEPS.inc();
+        EVENTS_INGESTED.add(changes.len() as u64);
+        RULES_EVALUATED.add(evaluated);
+        EVAL_COMPILED.add(eval_compiled);
+        EVAL_AST.add(eval_ast);
+        RELEASES.add(releases.len() as u64);
+        if cadel_obs::enabled() {
+            for firing in &firings {
+                match firing.outcome {
+                    FiringOutcome::Dispatched => FIRINGS_DISPATCHED.inc(),
+                    FiringOutcome::SuppressedBy(_) => FIRINGS_SUPPRESSED.inc(),
+                    FiringOutcome::Replaced(_) => FIRINGS_REPLACED.inc(),
+                    FiringOutcome::Failed(_) => FIRINGS_FAILED.inc(),
+                }
+            }
+            HELDFOR_TRACKED.set(self.held.tracked() as i64);
+            span.add_field("events", changes.len() as u64);
+            span.add_field("evaluated", evaluated);
+            span.add_field("firings", firings.len() as u64);
+            span.add_field("releases", releases.len() as u64);
+        }
+        STEP_NS.record(&sw);
+        drop(span);
 
         StepReport { firings, releases }
     }
@@ -888,6 +1008,36 @@ mod tests {
             .unwrap();
         assert!(engine.step(SimTime::from_millis(1)).firings.is_empty());
         assert!(engine.remove_rule(RuleId::new(1)).is_err());
+    }
+
+    #[test]
+    fn firing_and_report_display_are_readable() {
+        let report = StepReport {
+            firings: vec![
+                Firing {
+                    rule: RuleId::new(1),
+                    device: DeviceId::new("aircon-lr"),
+                    outcome: FiringOutcome::Dispatched,
+                },
+                Firing {
+                    rule: RuleId::new(2),
+                    device: DeviceId::new("aircon-lr"),
+                    outcome: FiringOutcome::SuppressedBy(RuleId::new(1)),
+                },
+            ],
+            releases: vec![(RuleId::new(3), DeviceId::new("light-hall"))],
+        };
+        assert_eq!(
+            report.to_string(),
+            "rule#1 -> aircon-lr: dispatched; \
+             rule#2 -> aircon-lr: suppressed by rule#1; \
+             rule#3 released light-hall"
+        );
+        assert_eq!(StepReport::default().to_string(), "idle");
+        assert_eq!(
+            FiringOutcome::Replaced(RuleId::new(9)).to_string(),
+            "replaced rule#9"
+        );
     }
 
     #[test]

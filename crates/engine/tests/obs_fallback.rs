@@ -1,0 +1,81 @@
+//! The compiled-rule → AST fallback is observable.
+//!
+//! A rule whose conjunct mixes incompatible units for one sensor cannot
+//! be lowered to a compiled program; the engine silently interprets its
+//! AST instead. This test pins the telemetry contract for that path:
+//! `engine_ast_fallback_total` ticks on every fallback evaluation, while
+//! the `engine.ast_fallback` warning event fires once per rule.
+//!
+//! Lives in its own integration binary because it flips the
+//! process-global observability switch.
+
+use cadel_engine::Engine;
+use cadel_obs::RingCollector;
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_simplex::RelOp;
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value};
+use cadel_upnp::{ControlPoint, Registry};
+use std::sync::Arc;
+
+#[test]
+fn ast_fallback_ticks_counter_and_emits_event_once() {
+    let ring = Arc::new(RingCollector::new(64));
+    cadel_obs::install(ring.clone());
+
+    // One conjunct constraining the same sensor as °C and % cannot be
+    // compiled (same shape as the rule-db fallback test).
+    let key = SensorKey::new(DeviceId::new("multi"), "reading");
+    let clash = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+        key.clone(),
+        RelOp::Gt,
+        Quantity::from_integer(26, Unit::Celsius),
+    )))
+    .and(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+        key,
+        RelOp::Lt,
+        Quantity::from_integer(60, Unit::Percent),
+    ))));
+    let rule = Rule::builder(PersonId::new("tom"))
+        .condition(clash)
+        .action(ActionSpec::new(DeviceId::new("tv"), Verb::TurnOn))
+        .build(RuleId::new(7))
+        .unwrap();
+
+    let registry = Registry::new();
+    let mut engine = Engine::new(ControlPoint::new(registry.clone()));
+    engine.set_use_compiled(true);
+    engine.add_rule(rule).unwrap();
+
+    let before = cadel_obs::metrics_snapshot()
+        .counter("engine_ast_fallback_total")
+        .unwrap_or(0);
+
+    // Three sensor changes, three evaluations, three fallbacks.
+    let bus = registry.event_bus().clone();
+    for seq in 1..=3u64 {
+        bus.publish_change(
+            DeviceId::new("multi"),
+            "reading".to_owned(),
+            Value::Number(Quantity::from_integer(
+                if seq % 2 == 0 { 30 } else { 70 },
+                Unit::Celsius,
+            )),
+            SimTime::from_millis(seq),
+        );
+        engine.step(SimTime::from_millis(seq));
+    }
+
+    let after = cadel_obs::metrics_snapshot()
+        .counter("engine_ast_fallback_total")
+        .unwrap_or(0);
+    assert_eq!(after - before, 3, "counter ticks on every fallback");
+
+    // The warning event is deduplicated per rule.
+    let warnings = ring.events_named("engine.ast_fallback");
+    assert_eq!(warnings.len(), 1, "event fires once per rule");
+    let rendered = cadel_obs::format_logfmt(&warnings[0].event);
+    assert!(rendered.contains("rule=7"), "logfmt: {rendered}");
+    assert!(rendered.contains("owner=tom"), "logfmt: {rendered}");
+
+    cadel_obs::shutdown();
+}

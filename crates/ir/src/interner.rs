@@ -5,9 +5,17 @@
 //! here once, at compile time, and the engine's context store mirrors its
 //! string-keyed maps onto dense boards indexed by these slots.
 
+use cadel_obs::LazyGauge;
 use cadel_types::SensorKey;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
+
+/// Size of the sensor-slot table, updated as slots are interned. With
+/// several interners alive (tests, clones) the gauge tracks whichever
+/// interned last; in the home-server deployment there is one.
+static SENSOR_SLOTS: LazyGauge = LazyGauge::new("ir_interner_sensor_slots");
+/// Size of the event-slot table; same caveat as `ir_interner_sensor_slots`.
+static EVENT_SLOTS: LazyGauge = LazyGauge::new("ir_interner_event_slots");
 
 /// A dense index for a [`SensorKey`] (a `(device, variable)` pair).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,6 +88,7 @@ impl Interner {
         self.sensors.insert(key.clone(), slot);
         self.sensor_keys.push(key.clone());
         self.revision += 1;
+        SENSOR_SLOTS.set(self.sensor_keys.len() as i64);
         slot
     }
 
@@ -118,6 +127,7 @@ impl Interner {
             .push(slot);
         self.event_keys.push((channel, name));
         self.revision += 1;
+        EVENT_SLOTS.set(self.event_keys.len() as i64);
         slot
     }
 

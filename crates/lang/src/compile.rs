@@ -11,6 +11,7 @@ use crate::dictionary::Dictionary;
 use crate::error::{CompileError, LangError};
 use crate::lexicon::StatePhrase;
 use cadel_ir::{Interner, RuleProgram};
+use cadel_obs::{LazyCounter, LazyHistogram, Stopwatch};
 use cadel_rule::{
     ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Rule, RuleBuilder,
     StateAtom, Subject,
@@ -26,6 +27,13 @@ const MAX_WORD_DEPTH: usize = 8;
 
 /// Width of the firing window for "at 18:30"-style point time specs.
 const AT_WINDOW_MINUTES: u32 = 15;
+
+/// Rule sentences compiled against a resolver.
+static COMPILES: LazyCounter = LazyCounter::new("lang_compiles_total");
+/// Rule sentences rejected with a [`CompileError`].
+static COMPILE_ERRORS: LazyCounter = LazyCounter::new("lang_compile_errors_total");
+/// Wall-clock latency of [`Compiler::compile_rule`] (AST → rule builder).
+static COMPILE_NS: LazyHistogram = LazyHistogram::new("lang_compile_duration_ns");
 
 /// The environment the compiler resolves names against.
 ///
@@ -208,6 +216,17 @@ impl<'a, R: Resolver> Compiler<'a, R> {
     /// Returns [`CompileError`] when a name cannot be resolved or a
     /// user-defined word is undefined/cyclic.
     pub fn compile_rule(&self, sentence: &RuleSentence) -> Result<RuleBuilder, CompileError> {
+        let sw = Stopwatch::start();
+        COMPILES.inc();
+        let result = self.compile_rule_inner(sentence);
+        COMPILE_NS.record(&sw);
+        if result.is_err() {
+            COMPILE_ERRORS.inc();
+        }
+        result
+    }
+
+    fn compile_rule_inner(&self, sentence: &RuleSentence) -> Result<RuleBuilder, CompileError> {
         let mut condition = Condition::True;
         if let Some(pre) = &sentence.pre {
             condition = condition.and(self.compile_clause(pre)?);

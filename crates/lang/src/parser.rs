@@ -25,7 +25,15 @@ use crate::dictionary::Dictionary;
 use crate::error::ParseError;
 use crate::lexicon::Lexicon;
 use crate::token::{tokenize, Token, TokenKind};
+use cadel_obs::{LazyCounter, LazyHistogram, Stopwatch};
 use cadel_types::{Date, DayPart, SimDuration, TimeOfDay, Unit, Weekday};
+
+/// Commands handed to [`parse_command`].
+static PARSES: LazyCounter = LazyCounter::new("lang_parses_total");
+/// Commands rejected with a [`ParseError`].
+static PARSE_ERRORS: LazyCounter = LazyCounter::new("lang_parse_errors_total");
+/// Wall-clock latency of [`parse_command`] (tokenize + parse).
+static PARSE_NS: LazyHistogram = LazyHistogram::new("lang_parse_duration_ns");
 
 /// Year assumed when an `on <month> <day>` date spec omits the year.
 pub const DEFAULT_YEAR: i32 = 2026;
@@ -65,14 +73,22 @@ pub fn parse_command(
     lexicon: &Lexicon,
     dictionary: &Dictionary,
 ) -> Result<Command, ParseError> {
-    let tokens = tokenize(input)?;
-    let mut parser = Parser {
-        tokens,
-        pos: 0,
-        lexicon,
-        dictionary,
-    };
-    parser.parse_command()
+    let sw = Stopwatch::start();
+    PARSES.inc();
+    let result = tokenize(input).and_then(|tokens| {
+        let mut parser = Parser {
+            tokens,
+            pos: 0,
+            lexicon,
+            dictionary,
+        };
+        parser.parse_command()
+    });
+    PARSE_NS.record(&sw);
+    if result.is_err() {
+        PARSE_ERRORS.inc();
+    }
+    result
 }
 
 struct Parser<'a> {

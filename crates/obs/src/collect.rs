@@ -1,0 +1,243 @@
+//! Collectors: a bounded in-memory ring buffer for trace queries and a
+//! text sink rendering logfmt or JSON lines.
+
+use crate::event::{format_json, format_logfmt, Collector, Event, Level};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// An [`Event`] with its capture sequence number (monotone per collector,
+/// so trace queries can order and diff).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// 0-based capture index.
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+struct RingState {
+    events: VecDeque<TimedEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded in-memory collector: keeps the most recent `capacity` events
+/// and counts what it had to drop. This is the trace-query backend used by
+/// tests and the simulator.
+pub struct RingCollector {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl RingCollector {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> RingCollector {
+        RingCollector {
+            capacity: capacity.max(1),
+            state: Mutex::new(RingState {
+                events: VecDeque::new(),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("ring lock").events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("ring lock").dropped
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.state
+            .lock()
+            .expect("ring lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The buffered events with the given name, oldest first.
+    pub fn events_named(&self, name: &str) -> Vec<TimedEvent> {
+        self.state
+            .lock()
+            .expect("ring lock")
+            .events
+            .iter()
+            .filter(|t| t.event.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Clears the buffer (the sequence counter keeps running).
+    pub fn clear(&self) {
+        self.state.lock().expect("ring lock").events.clear();
+    }
+}
+
+impl Collector for RingCollector {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().expect("ring lock");
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.events.push_back(TimedEvent {
+            seq,
+            event: event.clone(),
+        });
+    }
+}
+
+/// Output syntax of a [`TextSink`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TextFormat {
+    /// `level=info event=name k=v` lines.
+    Logfmt,
+    /// One JSON object per line.
+    JsonLines,
+}
+
+/// A collector that renders each event as one text line into any
+/// `Write + Send` target (stdout, a file, a shared buffer in tests).
+pub struct TextSink {
+    format: TextFormat,
+    min_level: Level,
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl TextSink {
+    /// Creates a sink over an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>, format: TextFormat) -> TextSink {
+        TextSink {
+            format,
+            min_level: Level::Debug,
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// A logfmt sink onto standard output.
+    pub fn stdout() -> TextSink {
+        TextSink::new(Box::new(std::io::stdout()), TextFormat::Logfmt)
+    }
+
+    /// Drops events below `level` (e.g. keep a live sink readable by
+    /// filtering out the per-step `Debug` spans).
+    pub fn with_min_level(mut self, level: Level) -> TextSink {
+        self.min_level = level;
+        self
+    }
+}
+
+impl Collector for TextSink {
+    fn record(&self, event: &Event) {
+        if event.level < self.min_level {
+            return;
+        }
+        let line = match self.format {
+            TextFormat::Logfmt => format_logfmt(event),
+            TextFormat::JsonLines => format_json(event),
+        };
+        let mut writer = self.writer.lock().expect("sink lock");
+        // A sink must never take down the pipeline it observes.
+        let _ = writeln!(writer, "{line}");
+    }
+}
+
+/// Duplicates every event to several collectors (e.g. a ring for queries
+/// plus a live logfmt sink).
+pub struct Fanout(Vec<std::sync::Arc<dyn Collector>>);
+
+impl Fanout {
+    /// Creates a fanout over the given collectors.
+    pub fn new(collectors: Vec<std::sync::Arc<dyn Collector>>) -> Fanout {
+        Fanout(collectors)
+    }
+}
+
+impl Collector for Fanout {
+    fn record(&self, event: &Event) {
+        for c in &self.0 {
+            c.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write target tests can read back.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let ring = RingCollector::new(2);
+        for name in ["a", "b", "c"] {
+            ring.record(&Event::new(name, Level::Info));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let events = ring.events();
+        assert_eq!(events[0].event.name, "b");
+        assert_eq!(events[1].event.name, "c");
+        assert_eq!(events[1].seq, 2);
+        assert_eq!(ring.events_named("c").len(), 1);
+        assert!(ring.events_named("a").is_empty());
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn text_sink_writes_lines_and_filters_levels() {
+        let buf = SharedBuf::default();
+        let sink =
+            TextSink::new(Box::new(buf.clone()), TextFormat::Logfmt).with_min_level(Level::Info);
+        sink.record(&Event::new("kept", Level::Warn).with_field("n", 1u64));
+        sink.record(&Event::new("filtered", Level::Debug));
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "level=warn event=kept n=1\n");
+
+        let jbuf = SharedBuf::default();
+        let jsink = TextSink::new(Box::new(jbuf.clone()), TextFormat::JsonLines);
+        jsink.record(&Event::new("j", Level::Info));
+        let jtext = String::from_utf8(jbuf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(jtext, "{\"level\":\"info\",\"event\":\"j\"}\n");
+    }
+
+    #[test]
+    fn fanout_duplicates_to_all() {
+        let a = Arc::new(RingCollector::new(8));
+        let b = Arc::new(RingCollector::new(8));
+        let fan = Fanout::new(vec![a.clone(), b.clone()]);
+        fan.record(&Event::new("x", Level::Info));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

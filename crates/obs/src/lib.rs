@@ -1,0 +1,166 @@
+//! # cadel-obs — hand-rolled observability for the CADEL pipeline
+//!
+//! The framework runs continuously in a home server: events arrive, rules
+//! fire, conflicts are arbitrated. Smart-home rule systems are diagnosed
+//! through their firing and conflict traces, so every stage of the
+//! parse → check → execute pipeline is instrumented with this crate. It is
+//! deliberately zero-dependency (the workspace builds fully offline) and
+//! splits into two layers:
+//!
+//! * **Structured events and spans** ([`event`], [`collect`]) — a pluggable
+//!   [`Collector`] receives [`Event`]s; [`Span`] is an RAII guard that
+//!   emits a duration-stamped event on drop. A ring-buffer in-memory
+//!   collector ([`RingCollector`]) serves trace queries, a text sink
+//!   ([`TextSink`]) renders logfmt or JSON lines.
+//! * **Metrics** ([`mod@metrics`]) — a registry of atomic counters, gauges and
+//!   fixed-bucket log-linear latency histograms with p50/p95/p99 summaries
+//!   and a Prometheus-style text exposition.
+//!
+//! # Cost when disabled
+//!
+//! All instrumentation sites go through the gated handles ([`LazyCounter`],
+//! [`LazyGauge`], [`LazyHistogram`], [`Span`], [`Stopwatch`], [`event`]
+//! emission via [`emit`]): each checks one relaxed atomic load
+//! ([`enabled`]) and takes the no-op branch when no collector is installed,
+//! so the hot paths pay a branch and nothing else — no clocks are read, no
+//! registry entries are created, no allocation happens. See the
+//! `disabled_path_is_noop` test and the `obs_overhead` bench.
+//!
+//! # Example
+//!
+//! ```
+//! use cadel_obs as obs;
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(obs::RingCollector::new(256));
+//! obs::install(ring.clone());
+//!
+//! static FIRINGS: obs::LazyCounter = obs::LazyCounter::new("engine_firings_total");
+//! FIRINGS.add(3);
+//! {
+//!     let mut span = obs::Span::new("engine.step");
+//!     span.add_field("firings", obs::FieldValue::U64(3));
+//! } // span end event emitted here
+//!
+//! assert_eq!(ring.events_named("engine.step").len(), 1);
+//! assert_eq!(obs::metrics().snapshot().counter("engine_firings_total"), Some(3));
+//! obs::shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod event;
+pub mod metrics;
+
+pub use collect::{Fanout, RingCollector, TextFormat, TextSink, TimedEvent};
+pub use event::{format_json, format_logfmt, Collector, Event, FieldValue, Level, Span};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, LazyCounter, LazyGauge, LazyHistogram,
+    MetricsRegistry, MetricsSnapshot, Stopwatch,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The process-wide on/off switch. Relaxed loads of this flag are the only
+/// cost instrumentation sites pay while observability is off.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed collector, if any. Kept separate from [`ENABLED`] so the
+/// hot-path guard stays a single relaxed atomic load.
+static COLLECTOR: RwLock<Option<Arc<dyn Collector>>> = RwLock::new(None);
+
+/// The process-wide metrics registry.
+static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// Whether any instrumentation is active. Instrumentation sites call this
+/// (directly or through the gated handles) and take the no-op branch when
+/// it returns `false`.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a collector and switches instrumentation on. Replaces any
+/// previously installed collector.
+pub fn install(collector: Arc<dyn Collector>) {
+    *COLLECTOR.write().expect("collector lock poisoned") = Some(collector);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Switches instrumentation on without a collector: metrics record, events
+/// are dropped. Useful when only the counters/histograms matter.
+pub fn enable_metrics_only() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Switches all instrumentation off and drops the installed collector.
+/// Metrics already recorded in the global registry are retained.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *COLLECTOR.write().expect("collector lock poisoned") = None;
+}
+
+/// The process-wide metrics registry all [`LazyCounter`]/[`LazyGauge`]/
+/// [`LazyHistogram`] handles bind into.
+pub fn metrics() -> &'static MetricsRegistry {
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+/// A [`MetricsSnapshot`] of the global registry — the programmatic query
+/// surface re-exported by `cadel-server`.
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    metrics().snapshot()
+}
+
+/// Sends one event to the installed collector. No-op (beyond one relaxed
+/// load) when disabled; events are dropped in metrics-only mode.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    let collector = COLLECTOR.read().expect("collector lock poisoned").clone();
+    if let Some(collector) = collector {
+        collector.record(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global install/shutdown is process state, so every phase of the
+    // lifecycle lives in this single test (unit tests in this binary run
+    // concurrently).
+    #[test]
+    fn install_emit_shutdown_lifecycle() {
+        assert!(!enabled());
+        // Disabled: emission is dropped without a collector ever seeing it.
+        emit(Event::new("dropped", Level::Info));
+
+        let ring = Arc::new(RingCollector::new(8));
+        install(ring.clone());
+        assert!(enabled());
+        emit(Event::new("kept", Level::Info));
+        assert_eq!(ring.len(), 1);
+
+        shutdown();
+        assert!(!enabled());
+        emit(Event::new("dropped again", Level::Info));
+        assert_eq!(ring.len(), 1);
+
+        // Metrics-only mode records metrics but drops events.
+        enable_metrics_only();
+        static C: LazyCounter = LazyCounter::new("obs_lifecycle_test_total");
+        C.add(2);
+        emit(Event::new("no collector", Level::Info));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(
+            metrics().snapshot().counter("obs_lifecycle_test_total"),
+            Some(2)
+        );
+        shutdown();
+    }
+}

@@ -1,0 +1,49 @@
+//! Asserts the disabled-collector overhead contract: with no collector
+//! installed, every instrumentation entry point takes the no-op branch —
+//! gated handles never bind into the registry, stopwatches and spans never
+//! read a clock, and nothing is recorded.
+//!
+//! This lives in its own test binary so nothing else can flip the
+//! process-wide enabled flag underneath the assertions.
+
+use cadel_obs::{LazyCounter, LazyGauge, LazyHistogram, Span, Stopwatch};
+
+static COUNTER: LazyCounter = LazyCounter::new("noop_counter_total");
+static GAUGE: LazyGauge = LazyGauge::new("noop_gauge");
+static HISTOGRAM: LazyHistogram = LazyHistogram::new("noop_hist_ns");
+
+#[test]
+fn disabled_collector_path_takes_the_noop_branch() {
+    assert!(!cadel_obs::enabled());
+
+    // Gated metric handles: record nothing and never bind.
+    COUNTER.add(10);
+    COUNTER.inc();
+    GAUGE.set(5);
+    HISTOGRAM.observe(123);
+    assert!(!COUNTER.is_bound());
+    assert!(!GAUGE.is_bound());
+    assert!(!HISTOGRAM.is_bound());
+
+    // Stopwatch: inert — no clock was read, so there is nothing to record.
+    let sw = Stopwatch::start();
+    assert!(!sw.active());
+    assert_eq!(sw.elapsed_ns(), None);
+    HISTOGRAM.record(&sw);
+    assert!(!HISTOGRAM.is_bound());
+
+    // Span: inactive, field building is skipped, drop emits nothing.
+    let mut span = Span::new("quiet.span");
+    assert!(!span.active());
+    span.add_field("ignored", 1u64);
+    drop(span);
+
+    // Point-event emission is dropped before touching any collector.
+    cadel_obs::emit(cadel_obs::Event::new("dropped", cadel_obs::Level::Info));
+
+    // The global registry never saw any of it.
+    let snap = cadel_obs::metrics_snapshot();
+    assert_eq!(snap.counter("noop_counter_total"), None);
+    assert_eq!(snap.gauge("noop_gauge"), None);
+    assert!(snap.histogram("noop_hist_ns").is_none());
+}

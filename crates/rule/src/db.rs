@@ -17,9 +17,17 @@ use crate::compile::compile_rule;
 use crate::error::RuleError;
 use crate::rule::{Rule, RuleBuilder};
 use cadel_ir::{RuleProgram, SharedInterner};
+use cadel_obs::{Event, LazyCounter, LazyHistogram, Level, Stopwatch};
 use cadel_types::{DeviceId, PersonId, RuleId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// Rules lowered to a program on storage (register, insert, import).
+static LOWERED: LazyCounter = LazyCounter::new("rule_lower_total");
+/// Lowerings that failed (rule stored for AST interpretation instead).
+static LOWER_FAILURES: LazyCounter = LazyCounter::new("rule_lower_failures_total");
+/// Wall-clock latency of lowering one rule to its compiled program.
+static LOWER_NS: LazyHistogram = LazyHistogram::new("rule_lower_duration_ns");
 
 /// A rule with its compiled artifact and revision stamp.
 #[derive(Clone, Debug)]
@@ -125,9 +133,22 @@ impl RuleDb {
     /// failure (a dimension clash) is not a storage error: the source rule
     /// stays usable and consumers interpret it directly.
     fn compile(&mut self, rule: Rule) -> StoredRule {
+        let sw = Stopwatch::start();
         let mut interner = self.interner.write().expect("interner lock poisoned");
         let program = compile_rule(&rule, &mut interner).ok().map(Arc::new);
         drop(interner);
+        LOWER_NS.record(&sw);
+        LOWERED.inc();
+        if program.is_none() {
+            LOWER_FAILURES.inc();
+            if cadel_obs::enabled() {
+                cadel_obs::emit(
+                    Event::new("rule.lower_failed", Level::Warn)
+                        .with_field("rule", rule.id().raw())
+                        .with_field("owner", rule.owner().as_str()),
+                );
+            }
+        }
         self.next_revision += 1;
         StoredRule {
             rule,

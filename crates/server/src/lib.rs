@@ -20,6 +20,11 @@
 //! * [`AccessControl`] — per-user device privileges (the paper's §6
 //!   future work): observe/control/arbitrate capabilities scoped to a
 //!   device, a device type, or the whole home.
+//!
+//! Observability for the whole pipeline lives in [`obs`] (re-exported
+//! `cadel-obs`): install a collector with [`obs::install`], then query
+//! [`HomeServer::metrics_snapshot`] for counters and latency histograms
+//! from every stage. See `docs/OBSERVABILITY.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,3 +42,9 @@ pub use guidance::{DeviceQuery, GuidanceService, SensorMatch};
 pub use resolver::RegistryResolver;
 pub use server::{HomeServer, ImportReport, SubmitOutcome};
 pub use users::{UserProfile, UserRegistry};
+
+/// The observability layer (re-export of `cadel-obs`): collectors,
+/// structured events, and the metrics registry every pipeline stage
+/// records into.
+pub use cadel_obs as obs;
+pub use cadel_obs::{HistogramSummary, MetricsSnapshot};

@@ -26,10 +26,24 @@ use cadel_conflict::{
 use cadel_engine::{Engine, StepReport};
 use cadel_lang::ast::Command;
 use cadel_lang::{parse_command, Compiler, Lexicon};
+use cadel_obs::{Event, LazyCounter, LazyHistogram, Level, MetricsSnapshot, Stopwatch};
 use cadel_rule::{Condition, Rule};
 use cadel_types::{PersonId, RuleId, SimTime, Topology};
 use cadel_upnp::ControlPoint;
 use std::collections::HashMap;
+
+/// Sentences submitted through [`HomeServer::submit`].
+static SUBMITS: LazyCounter = LazyCounter::new("server_submits_total");
+/// Wall-clock latency of the full submit workflow (parse → compile →
+/// consistency → conflict → store).
+static SUBMIT_NS: LazyHistogram = LazyHistogram::new("server_submit_duration_ns");
+/// Rules that completed registration (via submit, import or direct
+/// [`HomeServer::register_rule`]).
+static RULES_REGISTERED: LazyCounter = LazyCounter::new("server_rules_registered_total");
+/// Rules rejected because their condition can never hold.
+static RULES_INCONSISTENT: LazyCounter = LazyCounter::new("server_rules_inconsistent_total");
+/// Rules parked pending a priority decision after a detected conflict.
+static RULES_CONFLICTED: LazyCounter = LazyCounter::new("server_rules_conflicted_total");
 
 /// What happened to a submitted CADEL sentence.
 #[derive(Debug)]
@@ -172,6 +186,14 @@ impl HomeServer {
         self.engine.step(now)
     }
 
+    /// A point-in-time snapshot of the process-wide metrics registry —
+    /// the query surface for dashboards, simulator timecharts and tests.
+    /// Empty until observability is switched on (`cadel_obs::install` or
+    /// `cadel_obs::enable_metrics_only`).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        cadel_obs::metrics_snapshot()
+    }
+
     /// Submits one CADEL sentence from a user and runs the full
     /// registration workflow.
     ///
@@ -181,6 +203,18 @@ impl HomeServer {
     /// or solver errors. A rule that merely *conflicts* is not an error —
     /// see [`SubmitOutcome::ConflictDetected`].
     pub fn submit(
+        &mut self,
+        user: &PersonId,
+        sentence: &str,
+    ) -> Result<SubmitOutcome, ServerError> {
+        let sw = Stopwatch::start();
+        SUBMITS.inc();
+        let result = self.submit_inner(user, sentence);
+        SUBMIT_NS.record(&sw);
+        result
+    }
+
+    fn submit_inner(
         &mut self,
         user: &PersonId,
         sentence: &str,
@@ -239,6 +273,14 @@ impl HomeServer {
         self.access.check_rule(&rule)?;
         let report = check_consistency(&rule)?;
         if !report.is_satisfiable() {
+            RULES_INCONSISTENT.inc();
+            if cadel_obs::enabled() {
+                cadel_obs::emit(
+                    Event::new("server.rule_rejected_inconsistent", Level::Warn)
+                        .with_field("rule", rule.id().raw())
+                        .with_field("owner", rule.owner().as_str()),
+                );
+            }
             return Ok(SubmitOutcome::RejectedInconsistent { report });
         }
         // The incremental checker reuses the per-rule constraint systems
@@ -247,11 +289,29 @@ impl HomeServer {
         let conflicts = self.checker.find_conflicts(self.engine.rules(), &rule)?;
         if conflicts.is_empty() {
             let id = rule.id();
+            let owner = rule.owner().clone();
             self.engine.add_rule(rule)?;
+            RULES_REGISTERED.inc();
+            if cadel_obs::enabled() {
+                cadel_obs::emit(
+                    Event::new("server.rule_registered", Level::Info)
+                        .with_field("rule", id.raw())
+                        .with_field("owner", owner.as_str()),
+                );
+            }
             return Ok(SubmitOutcome::Registered {
                 id,
                 dead_conjuncts: report.dead_conjuncts().to_vec(),
             });
+        }
+        RULES_CONFLICTED.inc();
+        if cadel_obs::enabled() {
+            cadel_obs::emit(
+                Event::new("server.rule_conflict_detected", Level::Warn)
+                    .with_field("rule", rule.id().raw())
+                    .with_field("owner", rule.owner().as_str())
+                    .with_field("conflicts", conflicts.len() as u64),
+            );
         }
         let ticket = rule.id();
         self.pending.insert(ticket, PendingRule { rule, conflicts });
@@ -290,8 +350,18 @@ impl HomeServer {
         if let Some(label) = label {
             order = order.with_label(label);
         }
+        let owner = pending.rule.owner().clone();
         self.engine.add_priority(order);
         self.engine.add_rule(pending.rule)?;
+        RULES_REGISTERED.inc();
+        if cadel_obs::enabled() {
+            cadel_obs::emit(
+                Event::new("server.rule_registered", Level::Info)
+                    .with_field("rule", ticket.raw())
+                    .with_field("owner", owner.as_str())
+                    .with_field("arbitrated", true),
+            );
+        }
         Ok(ticket)
     }
 
@@ -335,7 +405,17 @@ impl HomeServer {
             .pending
             .remove(&ticket)
             .ok_or(ServerError::UnknownPending(ticket))?;
+        let owner = pending.rule.owner().clone();
         self.engine.add_rule(pending.rule)?;
+        RULES_REGISTERED.inc();
+        if cadel_obs::enabled() {
+            cadel_obs::emit(
+                Event::new("server.rule_registered", Level::Info)
+                    .with_field("rule", ticket.raw())
+                    .with_field("owner", owner.as_str())
+                    .with_field("arbitrated", true),
+            );
+        }
         Ok(ticket)
     }
 

@@ -1,0 +1,188 @@
+//! Per-step activity recording for scenario runs.
+//!
+//! A [`TimeChart`](crate::TimeChart) shows *device state over time*
+//! (Fig. 1's view); an [`ActivityTimeline`] shows *what the engine did*
+//! at each step — which rules fired, which were suppressed or replaced
+//! the current holder, which dispatches failed, and which `until`
+//! conditions released their device. Rows lean on the `Display`
+//! implementations of [`StepReport`] and its firings, so the same text
+//! the observability layer logs is what the chart renders.
+
+use cadel_engine::{FiringOutcome, StepReport};
+use cadel_types::SimTime;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One non-idle engine step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActivityRow {
+    /// When the step ran.
+    pub at: SimTime,
+    /// Firings sent to their device cleanly.
+    pub dispatched: usize,
+    /// Firings dropped because a higher-priority rule held the device.
+    pub suppressed: usize,
+    /// Firings that displaced the previous holder of the device.
+    pub replaced: usize,
+    /// Firings whose dispatch failed at the device.
+    pub failed: usize,
+    /// Rules whose `until` condition released a device this step.
+    pub releases: usize,
+    /// The step rendered through [`StepReport`]'s `Display`.
+    pub summary: String,
+}
+
+impl ActivityRow {
+    /// Total firings attempted this step.
+    pub fn firings(&self) -> usize {
+        self.dispatched + self.suppressed + self.replaced + self.failed
+    }
+}
+
+/// Records [`StepReport`]s over a simulation run: one row per non-idle
+/// step, idle steps tallied in aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct ActivityTimeline {
+    rows: Vec<ActivityRow>,
+    idle_steps: u64,
+}
+
+impl ActivityTimeline {
+    /// An empty timeline.
+    pub fn new() -> ActivityTimeline {
+        ActivityTimeline::default()
+    }
+
+    /// Records one step report. Idle steps (nothing fired, nothing
+    /// released) are counted but produce no row.
+    pub fn record(&mut self, at: SimTime, report: &StepReport) {
+        if report.is_empty() {
+            self.idle_steps += 1;
+            return;
+        }
+        let mut row = ActivityRow {
+            at,
+            dispatched: 0,
+            suppressed: 0,
+            replaced: 0,
+            failed: 0,
+            releases: report.releases.len(),
+            summary: report.to_string(),
+        };
+        for firing in &report.firings {
+            match firing.outcome {
+                FiringOutcome::Dispatched => row.dispatched += 1,
+                FiringOutcome::SuppressedBy(_) => row.suppressed += 1,
+                FiringOutcome::Replaced(_) => row.replaced += 1,
+                FiringOutcome::Failed(_) => row.failed += 1,
+            }
+        }
+        self.rows.push(row);
+    }
+
+    /// The recorded non-idle rows, in step order.
+    pub fn rows(&self) -> &[ActivityRow] {
+        &self.rows
+    }
+
+    /// How many recorded steps were idle.
+    pub fn idle_steps(&self) -> u64 {
+        self.idle_steps
+    }
+
+    /// Total steps recorded, idle included.
+    pub fn total_steps(&self) -> u64 {
+        self.idle_steps + self.rows.len() as u64
+    }
+
+    /// Renders the timeline as a text chart: a header with the
+    /// idle/active tally, then one line per active step with its
+    /// outcome counts and the rendered firings.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "activity: {} steps, {} active, {} idle",
+            self.total_steps(),
+            self.rows.len(),
+            self.idle_steps
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{} | d{} s{} r{} f{} rel{} | {}",
+                row.at.time_of_day(),
+                row.dispatched,
+                row.suppressed,
+                row.replaced,
+                row.failed,
+                row.releases,
+                row.summary
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for ActivityTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_engine::{Firing, FiringOutcome};
+    use cadel_types::{DeviceId, RuleId};
+
+    fn firing(rule: u64, device: &str, outcome: FiringOutcome) -> Firing {
+        Firing {
+            rule: RuleId::new(rule),
+            device: DeviceId::new(device),
+            outcome,
+        }
+    }
+
+    #[test]
+    fn idle_steps_are_tallied_without_rows() {
+        let mut timeline = ActivityTimeline::new();
+        timeline.record(SimTime::EPOCH, &StepReport::default());
+        timeline.record(SimTime::from_millis(60_000), &StepReport::default());
+        assert_eq!(timeline.idle_steps(), 2);
+        assert_eq!(timeline.total_steps(), 2);
+        assert!(timeline.rows().is_empty());
+        assert!(timeline.render().starts_with("activity: 2 steps, 0 active"));
+    }
+
+    #[test]
+    fn outcomes_are_counted_and_rendered() {
+        let mut timeline = ActivityTimeline::new();
+        let report = StepReport {
+            firings: vec![
+                firing(1, "stereo-lr", FiringOutcome::Dispatched),
+                firing(2, "stereo-lr", FiringOutcome::SuppressedBy(RuleId::new(1))),
+                firing(3, "tv-lr", FiringOutcome::Replaced(RuleId::new(4))),
+            ],
+            releases: vec![(RuleId::new(5), DeviceId::new("light-hall"))],
+        };
+        timeline.record(
+            SimTime::EPOCH + cadel_types::SimDuration::from_hours(17),
+            &report,
+        );
+        assert_eq!(timeline.rows().len(), 1);
+        let row = &timeline.rows()[0];
+        assert_eq!(
+            (row.dispatched, row.suppressed, row.replaced, row.failed),
+            (1, 1, 1, 0)
+        );
+        assert_eq!(row.releases, 1);
+        assert_eq!(row.firings(), 3);
+        assert!(row
+            .summary
+            .contains("rule#2 -> stereo-lr: suppressed by rule#1"));
+        let chart = timeline.render();
+        assert!(chart.contains("17:00 | d1 s1 r1 f0 rel1 |"));
+        assert!(chart.contains("rule#5 released light-hall"));
+    }
+}

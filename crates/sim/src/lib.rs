@@ -1,15 +1,18 @@
 //! Discrete-event simulation for the CADEL framework: a virtual clock and
 //! event queue ([`Simulation`]), a Fig.-1-style time-chart recorder
-//! ([`TimeChart`]), and the paper's living-room control scenario
+//! ([`TimeChart`]), a per-step engine activity recorder
+//! ([`ActivityTimeline`]), and the paper's living-room control scenario
 //! ([`LivingRoomScenario`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activity;
 pub mod scenario;
 pub mod schedule;
 pub mod timechart;
 
+pub use activity::{ActivityRow, ActivityTimeline};
 pub use scenario::{LivingRoomScenario, ScenarioRules, ScenarioWorld};
 pub use schedule::Simulation;
 pub use timechart::TimeChart;

@@ -20,6 +20,7 @@
 //! we express it at the IR level against the engine's conflict channel
 //! (see `cadel_engine::CONFLICT_CHANNEL`).
 
+use crate::activity::ActivityTimeline;
 use crate::schedule::Simulation;
 use crate::timechart::TimeChart;
 use cadel_devices::LivingRoomHome;
@@ -54,6 +55,8 @@ pub struct ScenarioWorld {
     pub home: LivingRoomHome,
     /// The recorded time chart.
     pub chart: TimeChart,
+    /// Per-step engine activity (firings, suppressions, releases).
+    pub activity: ActivityTimeline,
     /// Human-readable event log.
     pub log: Vec<String>,
 }
@@ -370,6 +373,7 @@ impl LivingRoomScenario {
             server,
             home,
             chart,
+            activity: ActivityTimeline::new(),
             log: Vec::new(),
         };
         let mut sim = Simulation::new(world);
@@ -465,10 +469,11 @@ impl LivingRoomScenario {
                 w.server.step(at);
             });
         // Then simulate minute by minute, stepping the engine and
-        // recording the chart.
+        // recording the chart and activity timeline.
         self.sim
             .run_until(hm(20, 0), SimDuration::from_minutes(1), |w, at| {
-                w.server.step(at);
+                let report = w.server.step(at);
+                w.activity.record(at, &report);
                 w.snapshot(at);
             });
         self.sim.into_world()
@@ -558,5 +563,27 @@ mod tests {
             .chart
             .render_bars(hm(16, 30), hm(20, 0), SimDuration::from_minutes(5));
         assert!(bars.contains("legend:"));
+    }
+
+    #[test]
+    fn scenario_records_activity_timeline() {
+        let world = LivingRoomScenario::build().run();
+        let activity = &world.activity;
+        // Most minutes are idle; the five Fig. 1 triggers are not.
+        assert!(activity.idle_steps() > 0);
+        assert!(!activity.rows().is_empty());
+        let dispatched: usize = activity.rows().iter().map(|r| r.dispatched).sum();
+        let suppressed: usize = activity.rows().iter().map(|r| r.suppressed).sum();
+        let replaced: usize = activity.rows().iter().map(|r| r.replaced).sum();
+        // Tom's arrival dispatches cleanly; later arbitration both
+        // suppresses (r2's trigger) and replaces holders (s'1, a2, t3 …).
+        assert!(dispatched > 0, "no clean dispatches recorded");
+        assert!(suppressed > 0, "no suppressions recorded");
+        assert!(replaced > 0, "no replacements recorded");
+        let chart = activity.render();
+        assert!(chart.starts_with("activity:"));
+        // 17:00, Tom enters: jazz on the stereo is a clean dispatch.
+        assert!(chart.contains("17:00 |"), "chart:\n{chart}");
+        assert!(chart.contains("dispatched"), "chart:\n{chart}");
     }
 }

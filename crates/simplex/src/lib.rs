@@ -67,7 +67,19 @@ pub use expr::{LinExpr, VarId};
 pub use interval::solve_intervals;
 pub use tableau::solve_simplex;
 
+use cadel_obs::{LazyCounter, LazyHistogram, Stopwatch};
 use cadel_types::Rational;
+
+/// Satisfiability queries answered (every [`solve`] call).
+static SOLVES: LazyCounter = LazyCounter::new("simplex_solves_total");
+/// Queries served by the univariate interval fast path.
+static INTERVAL_PATH: LazyCounter = LazyCounter::new("simplex_interval_path_total");
+/// Queries that required the full tableau.
+static TABLEAU_PATH: LazyCounter = LazyCounter::new("simplex_tableau_path_total");
+/// Queries whose verdict was infeasible.
+static INFEASIBLE: LazyCounter = LazyCounter::new("simplex_infeasible_total");
+/// Wall-clock latency of [`solve`].
+static SOLVE_NS: LazyHistogram = LazyHistogram::new("simplex_solve_duration_ns");
 
 /// The verdict of a satisfiability query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -124,11 +136,20 @@ impl Solution {
 /// Returns [`SolveError`] if exact arithmetic overflows `i128` or the pivot
 /// limit is exceeded (neither is reachable from realistic rule systems).
 pub fn solve(constraints: &[Constraint]) -> Result<Solution, SolveError> {
-    if constraints.iter().all(|c| c.expr().num_terms() <= 1) {
+    let sw = Stopwatch::start();
+    SOLVES.inc();
+    let result = if constraints.iter().all(|c| c.expr().num_terms() <= 1) {
+        INTERVAL_PATH.inc();
         interval::solve_intervals(constraints)
     } else {
+        TABLEAU_PATH.inc();
         tableau::solve_simplex(constraints)
+    };
+    SOLVE_NS.record(&sw);
+    if matches!(result, Ok(Solution::Infeasible)) {
+        INFEASIBLE.inc();
     }
+    result
 }
 
 /// Convenience wrapper around [`solve`] returning only the boolean verdict.

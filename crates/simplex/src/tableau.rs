@@ -18,7 +18,13 @@
 
 use crate::eps::EpsRational;
 use crate::{Constraint, RelOp, Solution, SolveError};
+use cadel_obs::{LazyCounter, LazyHistogram};
 use cadel_types::Rational;
+
+/// Total pivot operations performed across all phase-1 runs.
+static PIVOTS: LazyCounter = LazyCounter::new("simplex_pivots_total");
+/// Pivot count distribution per phase-1 run (how hard each system was).
+static PIVOTS_PER_RUN: LazyHistogram = LazyHistogram::new("simplex_pivots_per_phase1");
 
 /// Maximum pivots before conceding defeat. Bland's rule guarantees
 /// termination, so this is purely a defensive bound against bugs.
@@ -149,6 +155,14 @@ impl Tableau {
     /// Returns [`SolveError`] on arithmetic overflow or if the defensive
     /// pivot limit is hit.
     pub fn run_phase1(&mut self) -> Result<bool, SolveError> {
+        let mut performed: u64 = 0;
+        let result = self.phase1_loop(&mut performed);
+        PIVOTS.add(performed);
+        PIVOTS_PER_RUN.observe(performed);
+        result
+    }
+
+    fn phase1_loop(&mut self, performed: &mut u64) -> Result<bool, SolveError> {
         let rows = self.matrix.len();
         if rows == 0 {
             return Ok(true);
@@ -196,6 +210,7 @@ impl Tableau {
             };
 
             self.pivot(leave_row, entering)?;
+            *performed += 1;
         }
         unreachable!("loop always returns");
     }

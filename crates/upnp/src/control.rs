@@ -5,7 +5,15 @@ use crate::error::UpnpError;
 use crate::event::Subscription;
 use crate::registry::Registry;
 use crate::ssdp::{SearchTarget, SsdpClient, SsdpResponse};
+use cadel_obs::{Event, LazyCounter, LazyHistogram, Level, Stopwatch};
 use cadel_types::{DeviceId, SimDuration, SimTime, Value};
+
+/// Action invocations attempted through any control point.
+static INVOKES: LazyCounter = LazyCounter::new("upnp_invokes_total");
+/// Invocations that failed (validation or device error).
+static INVOKE_FAILURES: LazyCounter = LazyCounter::new("upnp_invoke_failures_total");
+/// Wall-clock latency of one invocation, validation included.
+static INVOKE_NS: LazyHistogram = LazyHistogram::new("upnp_invoke_duration_ns");
 
 /// A UPnP control point over the simulated network: discovery, action
 /// invocation (validated against the device description), state queries
@@ -58,6 +66,31 @@ impl ControlPoint {
     ///   arguments,
     /// * whatever the device itself raises.
     pub fn invoke(
+        &self,
+        udn: &DeviceId,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        let sw = Stopwatch::start();
+        INVOKES.inc();
+        let result = self.invoke_inner(udn, action, args, at);
+        INVOKE_NS.record(&sw);
+        if let Err(err) = &result {
+            INVOKE_FAILURES.inc();
+            if cadel_obs::enabled() {
+                cadel_obs::emit(
+                    Event::new("upnp.invoke_failed", Level::Warn)
+                        .with_field("device", udn.as_str())
+                        .with_field("action", action)
+                        .with_field("error", err.to_string()),
+                );
+            }
+        }
+        result
+    }
+
+    fn invoke_inner(
         &self,
         udn: &DeviceId,
         action: &str,

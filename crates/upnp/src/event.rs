@@ -160,6 +160,10 @@ impl EventBus {
     /// Publishes a change to all matching subscriptions. Disconnected
     /// receivers are pruned.
     pub fn publish_change(&self, device: DeviceId, variable: String, value: Value, at: SimTime) {
+        let mut subs = self.inner.subscriptions.lock().unwrap();
+        // Assign the seq under the delivery lock: taken outside it, two
+        // concurrent publishers could enqueue in the opposite order of
+        // their seqs and break the per-bus ordering guarantee.
         let seq = self.inner.next_seq.fetch_add(1, Ordering::Relaxed);
         let change = PropertyChange {
             device,
@@ -168,7 +172,6 @@ impl EventBus {
             seq,
             at,
         };
-        let mut subs = self.inner.subscriptions.lock().unwrap();
         subs.retain(|s| {
             let interested = match &s.scope {
                 Some(d) => *d == change.device,
