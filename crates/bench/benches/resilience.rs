@@ -1,0 +1,138 @@
+//! Resilience-layer benchmarks.
+//!
+//! * **R1 (fault-rate throughput)** — a 240-minute simulated window with
+//!   an alternating trigger, run against a healthy air conditioner and
+//!   against seeded transient fault rates of 5% and 20%. Each iteration
+//!   builds a fresh world and replays the whole window, so the number
+//!   includes retry scheduling, backoff bookkeeping, breaker trips, and
+//!   dead-letter handling that faults drag in.
+//! * **R2 (freshness-scan overhead)** — the cost a `max_age` freshness
+//!   policy adds to an idle step: with a bound set, staleness can flip a
+//!   rule without any sensor event, so the engine falls back from the
+//!   trigger index to a full candidate scan.
+
+use cadel_bench::timing::{run, section};
+use cadel_devices::LivingRoomHome;
+use cadel_engine::{Engine, FreshnessMode, FreshnessPolicy};
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_simplex::RelOp;
+use cadel_types::{
+    DeviceId, PersonId, Quantity, Rational, RuleId, SensorKey, SimDuration, SimTime, Unit,
+};
+use cadel_upnp::{ControlPoint, FaultPlan, FaultyDevice, Registry};
+use std::hint::black_box;
+
+const WINDOW_MINUTES: u64 = 240;
+
+fn hot_rule(id: u64) -> Rule {
+    Rule::builder(PersonId::new("bench"))
+        .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        ))))
+        .action(ActionSpec::new(DeviceId::new("aircon-lr"), Verb::TurnOn))
+        .build(RuleId::new(id))
+        .unwrap()
+}
+
+/// One fresh world per window: the living-room fleet, optionally with a
+/// seeded transient fault plan on the air conditioner covering the whole
+/// window, and a single hot-rule the alternating trigger keeps toggling.
+fn world(permille: u64) -> (Engine, LivingRoomHome) {
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+    if permille > 0 {
+        FaultyDevice::wrap(
+            &registry,
+            &DeviceId::new("aircon-lr"),
+            FaultPlan::random_transient(
+                0xBEEF,
+                SimTime::EPOCH,
+                SimTime::EPOCH + SimDuration::from_minutes(WINDOW_MINUTES + 1),
+                SimDuration::from_minutes(1),
+                permille,
+            ),
+        )
+        .unwrap();
+    }
+    let mut engine = Engine::new(ControlPoint::new(registry));
+    engine.add_rule(hot_rule(1)).unwrap();
+    (engine, home)
+}
+
+/// Replays the window: the temperature flips across the threshold every
+/// minute, so every other step produces a rising edge and a dispatch
+/// attempt (which may fail, retry, or trip the breaker under faults).
+fn run_window(permille: u64) -> usize {
+    let (mut engine, home) = world(permille);
+    let mut firings = 0;
+    for minute in 1..=WINDOW_MINUTES {
+        let at = SimTime::EPOCH + SimDuration::from_minutes(minute);
+        let celsius = if minute % 2 == 0 { 30 } else { 20 };
+        home.thermometer
+            .set_reading(Rational::from_integer(celsius), at)
+            .unwrap();
+        firings += engine.step(at).firings.len();
+    }
+    firings
+}
+
+/// R2 fleet: `n` indexed rules, each on its own sensor, no events during
+/// the measured steps.
+fn idle_engine(n: u64, max_age: Option<SimDuration>) -> Engine {
+    let mut engine = Engine::new(ControlPoint::new(Registry::new()));
+    engine.context_mut().set_freshness_policy(FreshnessPolicy {
+        mode: FreshnessMode::FailClosed,
+        max_age,
+    });
+    for i in 0..n {
+        let sensor = SensorKey::new(DeviceId::new(format!("sensor-{i}")), "reading");
+        let rule = Rule::builder(PersonId::new("bench"))
+            .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+                sensor,
+                RelOp::Gt,
+                Quantity::from_integer(50, Unit::Celsius),
+            ))))
+            .action(ActionSpec::new(
+                DeviceId::new(format!("device-{i}")),
+                Verb::TurnOn,
+            ))
+            .build(RuleId::new(i))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+    }
+    engine.step(SimTime::from_millis(1));
+    engine
+}
+
+fn main() {
+    section("r1_fault_rate_window (240 one-minute steps, alternating trigger)");
+    for (label, permille) in [("healthy/0%", 0u64), ("faulty/5%", 50), ("faulty/20%", 200)] {
+        let m = run(&format!("resilience_window/{label}"), || {
+            black_box(run_window(permille))
+        });
+        let per_step = m.median_ns() / WINDOW_MINUTES as f64;
+        println!(
+            "{:<58} {:>10.0} ns/step {:>12.0} steps/s",
+            format!("resilience_window/{label}/per-step"),
+            per_step,
+            1e9 / per_step
+        );
+    }
+
+    section("r2_idle_step_with_freshness_policy (indexed vs forced full scan)");
+    for n in [1_000u64, 10_000] {
+        for (label, max_age) in [
+            ("no-max-age", None),
+            ("max-age-set", Some(SimDuration::from_minutes(10))),
+        ] {
+            let mut engine = idle_engine(n, max_age);
+            let mut seq = 2u64;
+            run(&format!("freshness_idle/{label}/{n}"), || {
+                seq += 1;
+                black_box(engine.step(SimTime::from_millis(seq)).is_empty())
+            });
+        }
+    }
+}

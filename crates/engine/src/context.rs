@@ -13,13 +13,23 @@
 //!   *persistent* broadcast fact that lasts until the program ends.
 //! * **Clock/calendar** — the current [`SimTime`] plus the weekday/date of
 //!   day zero, so time-window, weekday and date atoms can be decided.
+//!
+//! Sensor values additionally carry the sim instant of their last update;
+//! a configurable [`FreshnessPolicy`] decides how conjuncts over *stale*
+//! readings evaluate (fail-closed, fail-open, or hold the last value).
+//! Both evaluation paths — the compiled IR via [`ContextView::sensor_read`]
+//! and the AST interpreter via [`ContextStore::sensor_read_key`] — share
+//! one policy implementation, preserving lockstep parity.
 
-use cadel_ir::{ContextView, EventSlot, SensorSlot, SharedInterner};
+use cadel_ir::{ContextView, EventSlot, SensorRead, SensorSlot, SharedInterner};
+use cadel_obs::{Event as ObsEvent, LazyCounter, Level};
 use cadel_types::{
     Date, DeviceId, PersonId, PlaceId, SensorKey, SimDuration, SimTime, Value, Weekday,
 };
 use cadel_upnp::PropertyChange;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+static STALE_READS: LazyCounter = LazyCounter::new("engine_stale_reads_total");
 
 /// Default lifetime of transient events ("Alan got home from work").
 pub const DEFAULT_EVENT_WINDOW: SimDuration = SimDuration::from_minutes(10);
@@ -41,6 +51,58 @@ struct EventFact {
     name: String,
 }
 
+/// How a conjunct over a *stale* sensor reading evaluates.
+///
+/// Readings carry the sim timestamp of their last update; a
+/// [`FreshnessPolicy`] with a `max_age` marks older readings stale and
+/// this mode decides what the evaluators (compiled IR and AST alike) do
+/// with them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FreshnessMode {
+    /// Stale readings evaluate as if absent: the predicate is false.
+    FailClosed,
+    /// Stale readings force the predicate true.
+    FailOpen,
+    /// Stale readings keep their last value (the behavior with no
+    /// staleness semantics at all).
+    #[default]
+    HoldLastValue,
+}
+
+impl std::fmt::Display for FreshnessMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FreshnessMode::FailClosed => "fail-closed",
+            FreshnessMode::FailOpen => "fail-open",
+            FreshnessMode::HoldLastValue => "hold-last-value",
+        })
+    }
+}
+
+/// When a sensor reading counts as stale and what to do about it.
+///
+/// The default policy (`HoldLastValue`, no `max_age`) is exactly the
+/// legacy behavior: readings never expire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FreshnessPolicy {
+    /// Degraded-evaluation mode for stale readings.
+    pub mode: FreshnessMode,
+    /// Maximum age before a reading counts as stale; `None` disables
+    /// staleness entirely.
+    pub max_age: Option<SimDuration>,
+}
+
+impl FreshnessPolicy {
+    /// A policy marking readings older than `max_age` stale, degraded per
+    /// `mode`.
+    pub fn new(mode: FreshnessMode, max_age: SimDuration) -> FreshnessPolicy {
+        FreshnessPolicy {
+            mode,
+            max_age: Some(max_age),
+        }
+    }
+}
+
 /// Dense, slot-indexed mirror of the context for compiled-rule evaluation.
 ///
 /// The string-keyed maps of [`ContextStore`] remain the source of truth;
@@ -55,6 +117,9 @@ struct IrMirror {
     /// until the first [`ContextStore::sync_ir`].
     seen_revision: Option<u64>,
     sensor_board: Vec<Option<Value>>,
+    /// Last-update instant per sensor slot, parallel to `sensor_board`
+    /// (the dense mirror of `ContextStore::sensor_stamps`).
+    stamp_board: Vec<Option<SimTime>>,
     /// Expiry instant per transient event slot (compared against `now` at
     /// query time, mirroring [`ContextStore::event_active`]).
     transient_board: Vec<Option<SimTime>>,
@@ -67,6 +132,9 @@ pub struct ContextStore {
     now: SimTime,
     epoch_date: Date,
     sensor_values: HashMap<SensorKey, Value>,
+    /// Sim instant each sensor value was last written (staleness source).
+    sensor_stamps: HashMap<SensorKey, SimTime>,
+    freshness: FreshnessPolicy,
     presence: HashMap<PersonId, PlaceId>,
     place_occupants: HashMap<PlaceId, BTreeSet<PersonId>>,
     device_places: HashMap<DeviceId, PlaceId>,
@@ -84,6 +152,8 @@ impl ContextStore {
             now: SimTime::EPOCH,
             epoch_date,
             sensor_values: HashMap::new(),
+            sensor_stamps: HashMap::new(),
+            freshness: FreshnessPolicy::default(),
             presence: HashMap::new(),
             place_occupants: HashMap::new(),
             device_places: HashMap::new(),
@@ -102,6 +172,7 @@ impl ContextStore {
             interner,
             seen_revision: None,
             sensor_board: Vec::new(),
+            stamp_board: Vec::new(),
             transient_board: Vec::new(),
             persistent_board: Vec::new(),
         });
@@ -128,6 +199,13 @@ impl ContextStore {
                     .and_then(|key| self.sensor_values.get(key).cloned())
             })
             .collect();
+        mirror.stamp_board = (0..interner.sensor_count())
+            .map(|i| {
+                interner
+                    .sensor_key(SensorSlot::new(i as u32))
+                    .and_then(|key| self.sensor_stamps.get(key).copied())
+            })
+            .collect();
         mirror.transient_board = vec![None; interner.event_count()];
         mirror.persistent_board = vec![false; interner.event_count()];
         for i in 0..interner.event_count() {
@@ -145,17 +223,19 @@ impl ContextStore {
         mirror.seen_revision = Some(interner.revision());
     }
 
-    /// Writes a sensor value through to the board when the interner knows
-    /// the key. Names never mentioned by a rule have no slot and are
-    /// (correctly) skipped.
-    fn mirror_sensor(&mut self, key: &SensorKey, value: &Value) {
+    /// Writes a sensor value and its update instant through to the boards
+    /// when the interner knows the key. Names never mentioned by a rule
+    /// have no slot and are (correctly) skipped.
+    fn mirror_sensor(&mut self, key: &SensorKey, value: &Value, at: SimTime) {
         if let Some(mirror) = &mut self.ir {
             let interner = mirror.interner.read().expect("interner lock poisoned");
             if let Some(slot) = interner.lookup_sensor(key) {
                 if slot.index() >= mirror.sensor_board.len() {
                     mirror.sensor_board.resize(slot.index() + 1, None);
+                    mirror.stamp_board.resize(slot.index() + 1, None);
                 }
                 mirror.sensor_board[slot.index()] = Some(value.clone());
+                mirror.stamp_board[slot.index()] = Some(at);
             }
         }
     }
@@ -232,10 +312,66 @@ impl ContextStore {
     }
 
     /// Directly stores a sensor/state value (scenario scripting and
-    /// initial state snapshots).
+    /// initial state snapshots), stamped with the current instant.
     pub fn set_value(&mut self, key: SensorKey, value: Value) {
-        self.mirror_sensor(&key, &value);
+        self.mirror_sensor(&key, &value, self.now);
+        self.sensor_stamps.insert(key.clone(), self.now);
         self.sensor_values.insert(key, value);
+    }
+
+    /// When a sensor value was last written, if it ever was.
+    pub fn sensor_updated_at(&self, key: &SensorKey) -> Option<SimTime> {
+        self.sensor_stamps.get(key).copied()
+    }
+
+    /// Sets the staleness policy for sensor reads.
+    pub fn set_freshness_policy(&mut self, policy: FreshnessPolicy) {
+        self.freshness = policy;
+    }
+
+    /// The active staleness policy.
+    pub fn freshness_policy(&self) -> FreshnessPolicy {
+        self.freshness
+    }
+
+    /// Applies the freshness policy to a raw `(value, last-update)` pair.
+    /// Shared by the slot-indexed ([`ContextView::sensor_read`]) and
+    /// string-keyed ([`ContextStore::sensor_read_key`]) paths so compiled
+    /// and AST evaluation stay in lockstep.
+    fn read_policy<'a>(&self, value: Option<&'a Value>, stamp: Option<SimTime>) -> SensorRead<'a> {
+        let Some(value) = value else {
+            return SensorRead::AssumeFalse;
+        };
+        let Some(max_age) = self.freshness.max_age else {
+            return SensorRead::Value(value);
+        };
+        let fresh = stamp.map(|s| self.now.since(s) <= max_age).unwrap_or(false);
+        if fresh {
+            return SensorRead::Value(value);
+        }
+        STALE_READS.inc();
+        if cadel_obs::enabled() {
+            let mut event = ObsEvent::new("context.stale_read", Level::Debug)
+                .with_field("mode", self.freshness.mode.to_string());
+            if let Some(s) = stamp {
+                event = event.with_field("age_ms", self.now.since(s).as_millis());
+            }
+            cadel_obs::emit(event);
+        }
+        match self.freshness.mode {
+            FreshnessMode::FailClosed => SensorRead::AssumeFalse,
+            FreshnessMode::FailOpen => SensorRead::AssumeTrue,
+            FreshnessMode::HoldLastValue => SensorRead::Value(value),
+        }
+    }
+
+    /// The policy-mediated reading for a string-keyed sensor (the AST
+    /// evaluator's entry point; mirrors [`ContextView::sensor_read`]).
+    pub fn sensor_read_key(&self, key: &SensorKey) -> SensorRead<'_> {
+        self.read_policy(
+            self.sensor_values.get(key),
+            self.sensor_stamps.get(key).copied(),
+        )
     }
 
     /// Where a person currently is, if known.
@@ -378,9 +514,11 @@ impl ContextStore {
             _ => {}
         }
         // Every change, including the special ones, is visible as a state
-        // value (so "the TV is turned on" reads power(tv)).
+        // value (so "the TV is turned on" reads power(tv)), stamped with
+        // the change's own timestamp for staleness tracking.
         let key = SensorKey::new(change.device.clone(), change.variable.clone());
-        self.mirror_sensor(&key, &change.value);
+        self.mirror_sensor(&key, &change.value, change.at);
+        self.sensor_stamps.insert(key.clone(), change.at);
         self.sensor_values.insert(key, change.value.clone());
     }
 
@@ -398,6 +536,18 @@ impl ContextStore {
 impl ContextView for ContextStore {
     fn sensor_value(&self, slot: SensorSlot) -> Option<&Value> {
         self.ir.as_ref()?.sensor_board.get(slot.index())?.as_ref()
+    }
+
+    fn sensor_read(&self, slot: SensorSlot) -> SensorRead<'_> {
+        let Some(mirror) = &self.ir else {
+            return SensorRead::AssumeFalse;
+        };
+        let value = mirror
+            .sensor_board
+            .get(slot.index())
+            .and_then(|v| v.as_ref());
+        let stamp = mirror.stamp_board.get(slot.index()).copied().flatten();
+        self.read_policy(value, stamp)
     }
 
     fn event_active_slot(&self, slot: EventSlot) -> bool {
@@ -563,6 +713,63 @@ mod tests {
         ctx.set_now(SimTime::EPOCH + SimDuration::from_hours(49));
         assert_eq!(ctx.weekday(), Weekday::Wednesday);
         assert_eq!(ctx.date(), Date::new(2005, 6, 8).unwrap());
+    }
+
+    #[test]
+    fn property_changes_stamp_with_their_own_time() {
+        let mut ctx = ContextStore::default();
+        let at = SimTime::EPOCH + SimDuration::from_minutes(90);
+        ctx.apply_property_change(&PropertyChange {
+            at,
+            ..change(
+                "thermo",
+                "temperature",
+                Value::Number(Quantity::from_integer(27, Unit::Celsius)),
+            )
+        });
+        let key = SensorKey::new(DeviceId::new("thermo"), "temperature");
+        assert_eq!(ctx.sensor_updated_at(&key), Some(at));
+        assert_eq!(
+            ctx.sensor_updated_at(&SensorKey::new(DeviceId::new("x"), "y")),
+            None
+        );
+    }
+
+    #[test]
+    fn staleness_policy_degrades_reads() {
+        let mut ctx = ContextStore::default();
+        let key = SensorKey::new(DeviceId::new("thermo"), "temperature");
+        let reading = Value::Number(Quantity::from_integer(30, Unit::Celsius));
+        ctx.set_value(key.clone(), reading.clone());
+        assert_eq!(ctx.sensor_updated_at(&key), Some(SimTime::EPOCH));
+
+        // Default policy: readings never expire.
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_hours(5));
+        assert_eq!(ctx.sensor_read_key(&key), SensorRead::Value(&reading));
+
+        // With a 10-minute window the reading is long stale.
+        let max = SimDuration::from_minutes(10);
+        ctx.set_freshness_policy(FreshnessPolicy::new(FreshnessMode::FailClosed, max));
+        assert_eq!(ctx.sensor_read_key(&key), SensorRead::AssumeFalse);
+        ctx.set_freshness_policy(FreshnessPolicy::new(FreshnessMode::FailOpen, max));
+        assert_eq!(ctx.sensor_read_key(&key), SensorRead::AssumeTrue);
+        ctx.set_freshness_policy(FreshnessPolicy::new(FreshnessMode::HoldLastValue, max));
+        assert_eq!(ctx.sensor_read_key(&key), SensorRead::Value(&reading));
+
+        // Rewriting the value refreshes the stamp; an age of exactly
+        // `max_age` still counts as fresh.
+        ctx.set_freshness_policy(FreshnessPolicy::new(FreshnessMode::FailClosed, max));
+        ctx.set_value(key.clone(), reading.clone());
+        assert_eq!(ctx.sensor_read_key(&key), SensorRead::Value(&reading));
+        ctx.set_now(ctx.now() + max);
+        assert_eq!(ctx.sensor_read_key(&key), SensorRead::Value(&reading));
+        ctx.set_now(ctx.now() + SimDuration::from_millis(1));
+        assert_eq!(ctx.sensor_read_key(&key), SensorRead::AssumeFalse);
+
+        // Absent keys fail closed under every mode.
+        let missing = SensorKey::new(DeviceId::new("x"), "y");
+        ctx.set_freshness_policy(FreshnessPolicy::new(FreshnessMode::FailOpen, max));
+        assert_eq!(ctx.sensor_read_key(&missing), SensorRead::AssumeFalse);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::context::ContextStore;
 use crate::error::EngineError;
 use crate::eval::{Evaluator, HeldTracker};
 use crate::index::TriggerIndex;
+use crate::resilience::{ActuationError, Resilience, ResilienceConfig, RetryKind};
 use cadel_conflict::{PriorityOrder, PriorityStore, Resolution};
 use cadel_obs::{Event as ObsEvent, LazyCounter, LazyGauge, LazyHistogram, Level, Span, Stopwatch};
 use cadel_rule::{ActionSpec, Rule, RuleDb, Verb};
@@ -34,6 +35,14 @@ static FIRINGS_SUPPRESSED: LazyCounter = LazyCounter::new("engine_firings_suppre
 static FIRINGS_REPLACED: LazyCounter = LazyCounter::new("engine_firings_replaced_total");
 /// Firings whose dispatch failed at the device.
 static FIRINGS_FAILED: LazyCounter = LazyCounter::new("engine_firings_failed_total");
+/// Firings deferred because the target device's circuit breaker is open.
+static FIRINGS_DEFERRED: LazyCounter = LazyCounter::new("engine_firings_deferred_total");
+/// `until`-clause inverse actions that failed at the device.
+static RELEASE_FAILED: LazyCounter = LazyCounter::new("engine_release_failed_total");
+/// Queued retries actually re-invoked (breaker-gated requeues excluded).
+static RETRIES_ATTEMPTED: LazyCounter = LazyCounter::new("engine_retries_attempted_total");
+/// Retries whose re-invocation succeeded.
+static RETRIES_SUCCEEDED: LazyCounter = LazyCounter::new("engine_retries_succeeded_total");
 /// `until`-clause releases performed.
 static RELEASES: LazyCounter = LazyCounter::new("engine_releases_total");
 /// held-for timer states currently tracked.
@@ -56,8 +65,13 @@ pub enum FiringOutcome {
     SuppressedBy(RuleId),
     /// The action was sent, displacing the previous holder.
     Replaced(RuleId),
-    /// Dispatch failed at the device.
-    Failed(UpnpError),
+    /// The target device's circuit breaker is open: the firing is held
+    /// back and re-attempted on later steps until the breaker admits a
+    /// probe. Reported once per continuous deferral.
+    Deferred,
+    /// Dispatch failed: at the device, or an engine invariant broke.
+    /// Transient device faults are re-attempted through the retry queue.
+    Failed(ActuationError),
 }
 
 impl fmt::Display for FiringOutcome {
@@ -66,6 +80,7 @@ impl fmt::Display for FiringOutcome {
             FiringOutcome::Dispatched => write!(f, "dispatched"),
             FiringOutcome::SuppressedBy(winner) => write!(f, "suppressed by {winner}"),
             FiringOutcome::Replaced(old) => write!(f, "replaced {old}"),
+            FiringOutcome::Deferred => write!(f, "deferred (circuit open)"),
             FiringOutcome::Failed(err) => write!(f, "failed: {err}"),
         }
     }
@@ -174,6 +189,16 @@ pub struct Engine {
     /// Rules whose compiled-program fallback was already reported as a
     /// structured event (the counter still ticks on every occurrence).
     fallback_noted: BTreeSet<RuleId>,
+    /// Fault tolerance: per-device circuit breakers, the sim-time retry
+    /// queue and the dead-letter queue.
+    resilience: Resilience,
+    /// Devices with a deferred firing: re-arbitrated every step so an
+    /// open breaker is re-probed as soon as its cooldown elapses.
+    deferred_devices: BTreeSet<DeviceId>,
+    /// Rules whose current deferral was already reported in a step
+    /// report (avoids one `Deferred` row per step while a breaker
+    /// stays open).
+    defer_noted: BTreeSet<RuleId>,
 }
 
 impl Engine {
@@ -205,6 +230,9 @@ impl Engine {
             latched: BTreeSet::new(),
             suppress_noted: BTreeSet::new(),
             fallback_noted: BTreeSet::new(),
+            resilience: Resilience::default(),
+            deferred_devices: BTreeSet::new(),
+            defer_noted: BTreeSet::new(),
         }
     }
 
@@ -259,6 +287,21 @@ impl Engine {
         &mut self.ctx
     }
 
+    /// The fault-tolerance layer (breakers, retry queue, dead letters).
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
+    /// Mutable access to the fault-tolerance layer.
+    pub fn resilience_mut(&mut self) -> &mut Resilience {
+        &mut self.resilience
+    }
+
+    /// Replaces the breaker/retry tunables (state is kept).
+    pub fn set_resilience_config(&mut self, config: ResilienceConfig) {
+        self.resilience.set_config(config);
+    }
+
     /// Adds a compiled rule and indexes its triggers.
     ///
     /// # Errors
@@ -284,6 +327,8 @@ impl Engine {
         self.latched.remove(&id);
         self.suppress_noted.remove(&id);
         self.fallback_noted.remove(&id);
+        self.defer_noted.remove(&id);
+        self.resilience.purge_rule(id);
         for set in self.contenders.values_mut() {
             set.remove(&id);
         }
@@ -316,8 +361,18 @@ impl Engine {
             }
         }
 
-        // 2. Candidate set.
-        let candidates: Vec<RuleId> = if self.use_trigger_index {
+        // 1b. Service due retries before evaluation, so a successful
+        //     retry re-acquires its device ahead of this step's
+        //     arbitration.
+        let mut firings = Vec::new();
+        self.process_retries(now, &mut firings);
+
+        // 2. Candidate set. A freshness window makes verdicts
+        //    time-dependent — a reading goes stale without any property
+        //    change, an edge the trigger index cannot see — so every
+        //    rule is scanned while one is configured.
+        let scan_all = !self.use_trigger_index || self.ctx.freshness_policy().max_age.is_some();
+        let candidates: Vec<RuleId> = if !scan_all {
             // Affected rules + time-sensitive rules + everything currently
             // true (for falling edges / until releases) + unevaluated.
             let mut set = affected;
@@ -409,10 +464,42 @@ impl Engine {
                     if until_true {
                         // Inlined `release`: invoke the inverse action and
                         // free the device (a method call would require
-                        // `&mut self` while `rule` is borrowed).
+                        // `&mut self` while `rule` is borrowed). Inverse
+                        // failures are not swallowed: they are counted,
+                        // reported, and — for transient faults — retried,
+                        // so a flaky device does not stay stuck on.
                         if let Some(inverse) = rule.action().verb().inverse() {
                             let inverse_action = ActionSpec::new(device.clone(), inverse);
-                            let _ = self.invoke_action(&inverse_action);
+                            let blocked = self.resilience.breaker_blocks(device, now);
+                            let result = if blocked {
+                                Err(UpnpError::DeviceFault("circuit open".into()))
+                            } else {
+                                self.invoke_action(&inverse_action)
+                            };
+                            if let Err(err) = result {
+                                RELEASE_FAILED.inc();
+                                if cadel_obs::enabled() {
+                                    cadel_obs::emit(
+                                        ObsEvent::new("engine.release_failed", Level::Warn)
+                                            .with_field("rule", id.raw())
+                                            .with_field("device", device.as_str())
+                                            .with_field("error", err.to_string()),
+                                    );
+                                }
+                                if matches!(err, UpnpError::DeviceFault(_)) {
+                                    if !blocked {
+                                        self.resilience.note_failure(device, now);
+                                    }
+                                    self.resilience.schedule(
+                                        id,
+                                        device.clone(),
+                                        inverse_action,
+                                        RetryKind::Release,
+                                        1,
+                                        now,
+                                    );
+                                }
+                            }
                         }
                         self.holders.remove(device);
                         releases.push((id, device.clone()));
@@ -430,9 +517,10 @@ impl Engine {
 
             if !now_true {
                 // A false condition clears the latch and any suppression
-                // note, and leaves the contender pool.
+                // or deferral note, and leaves the contender pool.
                 self.latched.remove(&id);
                 self.suppress_noted.remove(&id);
+                self.defer_noted.remove(&id);
                 if let Some(set) = self.contenders.get_mut(device) {
                     set.remove(&id);
                 }
@@ -473,8 +561,10 @@ impl Engine {
             }
         }
         devices.extend(holder_lapsed);
+        // Deferred devices re-arbitrate every step so the open breaker
+        // gets probed as soon as its cooldown elapses.
+        devices.extend(self.deferred_devices.iter().cloned());
 
-        let mut firings = Vec::new();
         for device in devices {
             let contenders: Vec<RuleId> = self
                 .contenders
@@ -482,6 +572,7 @@ impl Engine {
                 .map(|s| s.iter().copied().collect())
                 .unwrap_or_default();
             if contenders.is_empty() {
+                self.deferred_devices.remove(&device);
                 continue;
             }
             // Put the current live holder first for the unresolved
@@ -506,25 +597,49 @@ impl Engine {
             // conflict-channel announcement.
             if holder != Some(winner) || newly_true.contains(&winner) {
                 let outcome = self.dispatch(winner, holder);
-                if matches!(outcome, FiringOutcome::Failed(_)) {
-                    // Do not retry every step; wait for a fresh edge.
-                    if let Some(set) = self.contenders.get_mut(&device) {
-                        set.remove(&winner);
+                let mut report = true;
+                match &outcome {
+                    FiringOutcome::Deferred => {
+                        // The breaker is open: keep the contender and
+                        // re-try on later steps; report only the first
+                        // deferral of a continuous stretch.
+                        self.deferred_devices.insert(device.clone());
+                        report = self.defer_noted.insert(winner);
                     }
-                    self.last_state.insert(winner, false);
-                } else {
-                    self.suppress_noted.remove(&winner);
-                    // Announce the displaced holder's defeat so fallback
-                    // rules ("record it instead") can react.
-                    if let FiringOutcome::Replaced(old) = outcome {
-                        self.note_suppression(&device, old);
+                    FiringOutcome::Failed(err) if err.is_retryable() => {
+                        // Transient device fault: the retry queue owns
+                        // the re-attempts, so the contender stays and
+                        // the state stays true (no synthetic edge).
+                        self.schedule_rule_retry(winner, now);
+                    }
+                    FiringOutcome::Failed(_) => {
+                        // Final failure (validation error, vanished
+                        // rule): do not retry every step; wait for a
+                        // fresh edge.
+                        if let Some(set) = self.contenders.get_mut(&device) {
+                            set.remove(&winner);
+                        }
+                        self.last_state.insert(winner, false);
+                    }
+                    _ => {
+                        self.suppress_noted.remove(&winner);
+                        self.defer_noted.remove(&winner);
+                        self.deferred_devices.remove(&device);
+                        // Announce the displaced holder's defeat so
+                        // fallback rules ("record it instead") can
+                        // react.
+                        if let FiringOutcome::Replaced(old) = &outcome {
+                            self.note_suppression(&device, *old);
+                        }
                     }
                 }
-                firings.push(Firing {
-                    rule: winner,
-                    device: device.clone(),
-                    outcome,
-                });
+                if report {
+                    firings.push(Firing {
+                        rule: winner,
+                        device: device.clone(),
+                        outcome,
+                    });
+                }
             }
 
             // Report fresh losers (and announce each continuous
@@ -560,6 +675,7 @@ impl Engine {
                     FiringOutcome::Dispatched => FIRINGS_DISPATCHED.inc(),
                     FiringOutcome::SuppressedBy(_) => FIRINGS_SUPPRESSED.inc(),
                     FiringOutcome::Replaced(_) => FIRINGS_REPLACED.inc(),
+                    FiringOutcome::Deferred => FIRINGS_DEFERRED.inc(),
                     FiringOutcome::Failed(_) => FIRINGS_FAILED.inc(),
                 }
             }
@@ -614,19 +730,134 @@ impl Engine {
 
     fn dispatch(&mut self, id: RuleId, previous_holder: Option<RuleId>) -> FiringOutcome {
         let Some(rule) = self.rules.get(id) else {
-            return FiringOutcome::Failed(UpnpError::DeviceFault("rule vanished".into()));
+            return FiringOutcome::Failed(ActuationError::RuleVanished(id));
         };
         let action = rule.action().clone();
+        let device = action.device().clone();
+        let now = self.ctx.now();
+        if !self.resilience.breaker_allows(&device, now) {
+            return FiringOutcome::Deferred;
+        }
         match self.invoke_action(&action) {
             Ok(()) => {
-                self.holders
-                    .insert(action.device().clone(), ActiveHolder { rule: id });
+                self.resilience.note_success(&device, now);
+                self.holders.insert(device, ActiveHolder { rule: id });
                 match previous_holder {
                     Some(old) if old != id => FiringOutcome::Replaced(old),
                     _ => FiringOutcome::Dispatched,
                 }
             }
-            Err(e) => FiringOutcome::Failed(e),
+            Err(e) => {
+                // Only transient device faults count against the
+                // breaker: a validation error is the rule's problem,
+                // not the device's health.
+                if matches!(e, UpnpError::DeviceFault(_)) {
+                    self.resilience.note_failure(&device, now);
+                }
+                FiringOutcome::Failed(ActuationError::Device(e))
+            }
+        }
+    }
+
+    /// Queues the first retry of a rule's action after a transient
+    /// dispatch failure.
+    fn schedule_rule_retry(&mut self, id: RuleId, now: SimTime) {
+        let Some(rule) = self.rules.get(id) else {
+            return;
+        };
+        let action = rule.action().clone();
+        let device = action.device().clone();
+        self.resilience
+            .schedule(id, device, action, RetryKind::Fire, 1, now);
+    }
+
+    /// Re-invokes every queued retry due at `now`. Stale entries (rule
+    /// gone or disabled, condition lapsed, device taken over) are
+    /// cancelled; entries whose breaker is still open are requeued for
+    /// the next probe window; transient failures reschedule with the
+    /// next backoff or dead-letter after `max_attempts`.
+    fn process_retries(&mut self, now: SimTime, firings: &mut Vec<Firing>) {
+        if self.resilience.queue_len() == 0 && self.resilience.dead_letters().is_empty() {
+            return;
+        }
+        for entry in self.resilience.take_due(now) {
+            let alive = self
+                .rules
+                .get(entry.rule)
+                .map(|r| r.is_enabled())
+                .unwrap_or(false);
+            if !alive {
+                self.resilience.cancel(&entry, "rule removed or disabled");
+                continue;
+            }
+            if entry.kind == RetryKind::Fire {
+                if self.last_state.get(&entry.rule).copied() != Some(true) {
+                    self.resilience.cancel(&entry, "condition no longer holds");
+                    continue;
+                }
+                let taken_over = self
+                    .holders
+                    .get(&entry.device)
+                    .map(|h| h.rule != entry.rule)
+                    .unwrap_or(false);
+                if taken_over {
+                    self.resilience
+                        .cancel(&entry, "device held by another rule");
+                    continue;
+                }
+            }
+            if !self.resilience.breaker_allows(&entry.device, now) {
+                let fallback = now + self.resilience.config().retry_base;
+                self.resilience.requeue_for_breaker(entry, fallback);
+                continue;
+            }
+            RETRIES_ATTEMPTED.inc();
+            match self.invoke_action(&entry.action) {
+                Ok(()) => {
+                    RETRIES_SUCCEEDED.inc();
+                    self.resilience.note_success(&entry.device, now);
+                    if entry.kind == RetryKind::Fire {
+                        self.holders
+                            .insert(entry.device.clone(), ActiveHolder { rule: entry.rule });
+                        self.defer_noted.remove(&entry.rule);
+                        firings.push(Firing {
+                            rule: entry.rule,
+                            device: entry.device,
+                            outcome: FiringOutcome::Dispatched,
+                        });
+                    }
+                }
+                Err(err) => {
+                    let retryable = matches!(err, UpnpError::DeviceFault(_));
+                    if retryable {
+                        self.resilience.note_failure(&entry.device, now);
+                    }
+                    if retryable && entry.attempt < self.resilience.config().max_attempts {
+                        let attempt = entry.attempt + 1;
+                        self.resilience.schedule(
+                            entry.rule,
+                            entry.device,
+                            entry.action,
+                            entry.kind,
+                            attempt,
+                            now,
+                        );
+                    } else {
+                        let was_fire = entry.kind == RetryKind::Fire;
+                        let rule = entry.rule;
+                        let device = entry.device.clone();
+                        let reason = err.to_string();
+                        self.resilience.dead_letter(entry, &reason, now);
+                        if was_fire {
+                            firings.push(Firing {
+                                rule,
+                                device,
+                                outcome: FiringOutcome::Failed(ActuationError::Device(err)),
+                            });
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -698,17 +929,31 @@ fn verb_action_name(verb: &Verb) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::{FreshnessMode, FreshnessPolicy};
+    use crate::resilience::BreakerState;
     use cadel_devices::LivingRoomHome;
     use cadel_rule::{Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom};
     use cadel_simplex::RelOp;
     use cadel_types::{PersonId, Quantity, Rational, SensorKey, SimDuration, Unit};
-    use cadel_upnp::{Registry, VirtualDevice};
+    use cadel_upnp::{FaultPlan, FaultyDevice, Registry, VirtualDevice};
 
     fn setup() -> (Engine, LivingRoomHome) {
         let registry = Registry::new();
         let home = LivingRoomHome::install(&registry);
         let engine = Engine::new(ControlPoint::new(registry));
         (engine, home)
+    }
+
+    fn faulty_setup(device: &str, plan: FaultPlan) -> (Engine, LivingRoomHome) {
+        let registry = Registry::new();
+        let home = LivingRoomHome::install(&registry);
+        FaultyDevice::wrap(&registry, &DeviceId::new(device), plan).unwrap();
+        let engine = Engine::new(ControlPoint::new(registry));
+        (engine, home)
+    }
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_minutes(m)
     }
 
     fn hot_rule(owner: &str, id: u64, threshold: i64, setpoint: i64) -> Rule {
@@ -1062,5 +1307,219 @@ mod tests {
             FiringOutcome::Failed(_)
         ));
         assert_eq!(engine.holder(&DeviceId::new("aircon-lr")), None);
+        // A validation error is final: nothing queued, no breaker hit.
+        assert_eq!(engine.resilience().queue_len(), 0);
+        assert_eq!(
+            engine
+                .resilience()
+                .breaker_state(&DeviceId::new("aircon-lr")),
+            BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn transient_fault_retries_then_recovers_through_the_dlq() {
+        let aircon = DeviceId::new("aircon-lr");
+        let plan = FaultPlan::new().fail_between(SimTime::EPOCH, mins(10));
+        let (mut engine, home) = faulty_setup("aircon-lr", plan);
+        engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+        home.thermometer
+            .set_reading(Rational::from_integer(28), mins(1))
+            .unwrap();
+
+        // The first dispatch hits the fault window: reported as a
+        // retryable failure, nothing holds the device, one retry queued.
+        let report = engine.step(mins(1));
+        assert!(matches!(
+            report.firings[0].outcome,
+            FiringOutcome::Failed(ref e) if e.is_retryable()
+        ));
+        assert_eq!(engine.holder(&aircon), None);
+        assert_eq!(engine.resilience().queued_for(&aircon), 1);
+
+        // Stepping through the window: retries exhaust into the DLQ (the
+        // breaker trips along the way), then the post-recovery probe
+        // resurrects the dead letter and the action finally lands.
+        let mut recovered_at = None;
+        for m in 2..=25 {
+            let report = engine.step(mins(m));
+            if report.dispatched().len() == 1 {
+                recovered_at = Some(m);
+                break;
+            }
+        }
+        let recovered_at = recovered_at.expect("retry or DLQ replay eventually dispatches");
+        assert!(recovered_at >= 10, "dispatched inside the fault window");
+        assert_eq!(engine.holder(&aircon), Some(RuleId::new(1)));
+        assert_eq!(home.aircon.query("power").unwrap(), Value::Bool(true));
+        assert!(engine.resilience().dead_letters().is_empty());
+        assert_eq!(engine.resilience().queue_len(), 0);
+        assert_eq!(
+            engine.resilience().breaker_state(&aircon),
+            BreakerState::Closed
+        );
+    }
+
+    #[test]
+    fn open_breaker_defers_new_firings_once_per_stretch() {
+        let aircon = DeviceId::new("aircon-lr");
+        let plan = FaultPlan::new().fail_from(SimTime::EPOCH);
+        let (mut engine, home) = faulty_setup("aircon-lr", plan);
+        // A long cooldown keeps the breaker open (no half-open probe)
+        // for the whole test window.
+        engine.set_resilience_config(ResilienceConfig {
+            cooldown: SimDuration::from_minutes(30),
+            ..ResilienceConfig::default()
+        });
+        engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+        home.thermometer
+            .set_reading(Rational::from_integer(28), mins(1))
+            .unwrap();
+        for m in 1..=6 {
+            engine.step(mins(m));
+        }
+        assert_eq!(
+            engine.resilience().breaker_state(&aircon),
+            BreakerState::Open
+        );
+
+        // Rule 1's condition lapses, taking it out of contention.
+        home.thermometer
+            .set_reading(Rational::from_integer(20), mins(6))
+            .unwrap();
+        engine.step(mins(6));
+
+        // A fresh edge on a second rule targeting the dark device is
+        // deferred, not failed — and reported only once.
+        let rule2 = Rule::builder(PersonId::new("alan"))
+            .condition(Condition::Atom(Atom::Event(EventAtom::new(
+                "tv-guide", "x",
+            ))))
+            .action(ActionSpec::new(aircon.clone(), Verb::TurnOn))
+            .build(RuleId::new(2))
+            .unwrap();
+        engine.add_rule(rule2).unwrap();
+        home.tv_guide.announce("x", mins(7));
+        let report = engine.step(mins(7));
+        assert_eq!(report.firings.len(), 1);
+        assert_eq!(report.firings[0].outcome, FiringOutcome::Deferred);
+        assert_eq!(engine.holder(&aircon), None);
+        let report = engine.step(mins(8));
+        assert!(
+            report.firings.is_empty(),
+            "continuous deferral reported again: {report}"
+        );
+        assert_eq!(engine.holder(&aircon), None);
+    }
+
+    #[test]
+    fn failed_release_is_reported_and_retried() {
+        let hall = DeviceId::new("light-hall");
+        let t = |h: u64, m: u64| {
+            SimTime::EPOCH + SimDuration::from_hours(h) + SimDuration::from_minutes(m)
+        };
+        // The hall light fails across the 22:00 release window.
+        let plan = FaultPlan::new().fail_between(t(22, 4), t(22, 10));
+        let (mut engine, home) = faulty_setup("light-hall", plan);
+        let cond = Condition::Atom(Atom::Event(EventAtom::new("person", "returns home")));
+        let until = Condition::Atom(Atom::Time(cadel_types::TimeWindow::new(
+            cadel_types::TimeOfDay::hm(22, 0).unwrap(),
+            cadel_types::TimeOfDay::MIDNIGHT,
+        )));
+        let rule = Rule::builder(PersonId::new("tom"))
+            .condition(cond)
+            .action(ActionSpec::new(hall.clone(), Verb::TurnOn))
+            .until(until)
+            .build(RuleId::new(1))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+
+        let t_arrive = t(21, 0);
+        home.hall_presence
+            .announce_arrival(&PersonId::new("tom"), "returns home", t_arrive);
+        engine.step(t_arrive);
+        assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(true));
+
+        // 22:05 — the until clause releases, but the inverse action hits
+        // the fault window: the device is freed for arbitration, the
+        // failure is recorded, and the turn-off is queued for retry.
+        let report = engine.step(t(22, 5));
+        assert_eq!(report.releases, vec![(RuleId::new(1), hall.clone())]);
+        assert_eq!(engine.holder(&hall), None);
+        assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(true));
+        assert_eq!(engine.resilience().queued_for(&hall), 1);
+
+        // The queued release retry lands after the fault clears: the
+        // light does not stay stuck on.
+        for m in 6..=40 {
+            engine.step(t(22, m));
+        }
+        assert_eq!(home.hall_light.query("power").unwrap(), Value::Bool(false));
+        assert_eq!(engine.resilience().queue_len(), 0);
+    }
+
+    #[test]
+    fn seeded_fault_runs_are_deterministic() {
+        let run = || {
+            let plan = FaultPlan::random_transient(
+                42,
+                SimTime::EPOCH,
+                mins(60),
+                SimDuration::from_minutes(1),
+                300,
+            );
+            let (mut engine, home) = faulty_setup("aircon-lr", plan);
+            engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+            let mut reports = Vec::new();
+            for m in 0..60 {
+                // Oscillate the temperature to keep producing fresh edges.
+                let temp = if m % 4 < 2 { 30 } else { 20 };
+                home.thermometer
+                    .set_reading(Rational::from_integer(temp), mins(m))
+                    .unwrap();
+                reports.push(engine.step(mins(m)));
+            }
+            reports
+        };
+        let first = run();
+        assert_eq!(first, run(), "same seed and plan must replay identically");
+        assert!(first
+            .iter()
+            .flat_map(|r| &r.firings)
+            .any(|f| matches!(f.outcome, FiringOutcome::Dispatched)));
+    }
+
+    #[test]
+    fn staleness_verdicts_agree_between_compiled_and_ast_modes() {
+        for mode in [
+            FreshnessMode::FailClosed,
+            FreshnessMode::FailOpen,
+            FreshnessMode::HoldLastValue,
+        ] {
+            let (mut compiled, home_a) = setup();
+            let (mut ast, home_b) = setup();
+            ast.set_use_compiled(false);
+            for engine in [&mut compiled, &mut ast] {
+                engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+                engine
+                    .context_mut()
+                    .set_freshness_policy(FreshnessPolicy::new(
+                        mode,
+                        SimDuration::from_minutes(10),
+                    ));
+            }
+            for home in [&home_a, &home_b] {
+                home.thermometer
+                    .set_reading(Rational::from_integer(28), SimTime::EPOCH)
+                    .unwrap();
+            }
+            let mut reports_compiled = Vec::new();
+            let mut reports_ast = Vec::new();
+            for m in [1u64, 5, 11, 20, 30] {
+                reports_compiled.push(compiled.step(mins(m)));
+                reports_ast.push(ast.step(mins(m)));
+            }
+            assert_eq!(reports_compiled, reports_ast, "mode {mode}");
+        }
     }
 }

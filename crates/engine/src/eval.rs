@@ -2,6 +2,7 @@
 //! state needed for "held for" atoms.
 
 use crate::context::ContextStore;
+use cadel_ir::SensorRead;
 use cadel_rule::{Atom, Condition, PresenceAtom, Subject};
 use cadel_types::{SimTime, Value};
 use std::collections::HashMap;
@@ -76,15 +77,19 @@ impl<'a> Evaluator<'a> {
     /// Whether an atom holds right now.
     pub fn atom_holds(&mut self, atom: &Atom) -> bool {
         match atom {
-            Atom::Constraint(c) => match self.ctx.value(c.sensor()) {
-                Some(Value::Number(q)) => c.holds_for(q),
-                _ => false,
+            // Sensor-backed atoms read through the freshness policy, the
+            // same one the compiled path applies in `ir::eval_pred` —
+            // degraded verdicts must agree between the two evaluators.
+            Atom::Constraint(c) => match self.ctx.sensor_read_key(c.sensor()) {
+                SensorRead::Value(Value::Number(q)) => c.holds_for(q),
+                SensorRead::Value(_) | SensorRead::AssumeFalse => false,
+                SensorRead::AssumeTrue => true,
             },
-            Atom::State(s) => self
-                .ctx
-                .value(&s.sensor_key())
-                .map(|v| s.holds_for(v))
-                .unwrap_or(false),
+            Atom::State(s) => match self.ctx.sensor_read_key(&s.sensor_key()) {
+                SensorRead::Value(v) => s.holds_for(v),
+                SensorRead::AssumeTrue => true,
+                SensorRead::AssumeFalse => false,
+            },
             Atom::Presence(p) => self.presence_holds(p),
             Atom::Event(e) => self.ctx.event_active(e.channel(), e.name()),
             Atom::Time(w) => w.contains(self.ctx.now().time_of_day()),
@@ -170,6 +175,43 @@ mod tests {
             Value::Bool(true),
         );
         assert!(eval(&ctx, &mut held, &atom));
+    }
+
+    #[test]
+    fn stale_readings_follow_the_freshness_policy() {
+        use crate::context::{FreshnessMode, FreshnessPolicy};
+
+        let mut ctx = ctx_at(SimTime::EPOCH);
+        let mut held = HeldTracker::new();
+        let key = SensorKey::new(DeviceId::new("thermo"), "temperature");
+        let hot = Atom::Constraint(ConstraintAtom::new(
+            key.clone(),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        ));
+        let cold = Atom::Constraint(ConstraintAtom::new(
+            key.clone(),
+            RelOp::Lt,
+            Quantity::from_integer(0, Unit::Celsius),
+        ));
+        ctx.set_value(
+            key,
+            Value::Number(Quantity::from_integer(30, Unit::Celsius)),
+        );
+        ctx.set_now(SimTime::EPOCH + SimDuration::from_hours(1)); // reading now 1h old
+        let max = SimDuration::from_minutes(10);
+
+        ctx.set_freshness_policy(FreshnessPolicy::new(FreshnessMode::HoldLastValue, max));
+        assert!(eval(&ctx, &mut held, &hot)); // last value still used
+        assert!(!eval(&ctx, &mut held, &cold));
+
+        ctx.set_freshness_policy(FreshnessPolicy::new(FreshnessMode::FailClosed, max));
+        assert!(!eval(&ctx, &mut held, &hot)); // 30°C reading ignored
+        assert!(!eval(&ctx, &mut held, &cold));
+
+        ctx.set_freshness_policy(FreshnessPolicy::new(FreshnessMode::FailOpen, max));
+        assert!(eval(&ctx, &mut held, &hot));
+        assert!(eval(&ctx, &mut held, &cold)); // even the false predicate
     }
 
     #[test]

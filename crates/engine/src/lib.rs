@@ -19,6 +19,12 @@
 //!   [`PriorityStore`](cadel_conflict::PriorityStore) → dispatch actions
 //!   through the UPnP control point, honouring `until` releases and
 //!   raising [`CONFLICT_CHANNEL`] events for suppressed rules.
+//! * [`Resilience`] — fault tolerance around dispatch: per-device
+//!   circuit breakers (tripped devices defer firings instead of failing
+//!   them), sim-time retries with bounded exponential backoff and
+//!   deterministic jitter, and a dead-letter queue replayed on device
+//!   recovery. Paired with the [`FreshnessPolicy`] staleness semantics
+//!   of the context store (see docs/RESILIENCE.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +34,14 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod index;
+pub mod resilience;
 
-pub use context::ContextStore;
+pub use context::{ContextStore, FreshnessMode, FreshnessPolicy};
 pub use engine::{Engine, Firing, FiringOutcome, StepReport, CONFLICT_CHANNEL};
 pub use error::EngineError;
 pub use eval::{Evaluator, HeldTracker};
 pub use index::TriggerIndex;
+pub use resilience::{
+    ActuationError, BreakerState, BreakerStatus, CircuitBreaker, DeadLetter, Resilience,
+    ResilienceConfig, ResilienceStatus, RetryEntry, RetryKind,
+};

@@ -16,10 +16,37 @@
 use crate::program::{CondCode, Op, Pred, RuleProgram};
 use cadel_types::{Date, PersonId, PlaceId, SimTime, Value, Weekday};
 
+/// A policy-mediated sensor read: either a usable value or a forced
+/// verdict when the host's freshness policy overrides the raw reading.
+///
+/// Hosts with staleness semantics (the engine's `ContextStore`) return
+/// `AssumeFalse` / `AssumeTrue` for readings older than their freshness
+/// window (fail-closed / fail-open), or keep returning `Value` to hold
+/// the last value. The default [`ContextView::sensor_read`] has no
+/// staleness notion: a present value is `Value`, an absent one is
+/// `AssumeFalse` (the pre-existing semantics of a missing reading).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SensorRead<'a> {
+    /// A usable reading (fresh, or held per policy).
+    Value(&'a Value),
+    /// No usable reading; predicates over this slot evaluate true.
+    AssumeTrue,
+    /// No usable reading; predicates over this slot evaluate false.
+    AssumeFalse,
+}
+
 /// Slot-indexed, read-only view of the live context.
 pub trait ContextView {
     /// The latest value on a sensor slot, if any.
     fn sensor_value(&self, slot: crate::SensorSlot) -> Option<&Value>;
+    /// The policy-mediated reading on a sensor slot. Default: no staleness
+    /// policy — present values pass through, absent ones fail closed.
+    fn sensor_read(&self, slot: crate::SensorSlot) -> SensorRead<'_> {
+        match self.sensor_value(slot) {
+            Some(value) => SensorRead::Value(value),
+            None => SensorRead::AssumeFalse,
+        }
+    }
     /// Whether the event pattern on a slot is currently active.
     fn event_active_slot(&self, slot: crate::EventSlot) -> bool;
     /// Where a person currently is, if known.
@@ -129,18 +156,20 @@ fn eval_pred(
             op,
             threshold,
             dim,
-        } => match view.sensor_value(*slot) {
-            Some(Value::Number(q)) => {
+        } => match view.sensor_read(*slot) {
+            SensorRead::Value(Value::Number(q)) => {
                 q.dimension() == *dim && op.holds(q.canonical_value(), *threshold)
             }
-            _ => false,
+            SensorRead::Value(_) | SensorRead::AssumeFalse => false,
+            SensorRead::AssumeTrue => true,
         },
-        Pred::StateEq { slot, expected } => match view.sensor_value(*slot) {
-            Some(observed) => match expected {
+        Pred::StateEq { slot, expected } => match view.sensor_read(*slot) {
+            SensorRead::Value(observed) => match expected {
                 Value::Text(text) => observed.text_matches(text),
                 other => other == observed,
             },
-            None => false,
+            SensorRead::AssumeTrue => true,
+            SensorRead::AssumeFalse => false,
         },
         Pred::PersonAt { person, place } => view.person_place(person) == Some(place),
         Pred::SomebodyAt(place) => view.place_occupied(place),
@@ -336,6 +365,80 @@ mod tests {
             &view,
             &mut held
         ));
+    }
+
+    #[test]
+    fn sensor_read_override_forces_predicate_verdicts() {
+        /// A view whose freshness policy says "everything is stale":
+        /// sensor reads come back as a forced verdict.
+        struct StaleView {
+            inner: TestView,
+            verdict: bool,
+        }
+        impl ContextView for StaleView {
+            fn sensor_value(&self, slot: SensorSlot) -> Option<&Value> {
+                self.inner.sensor_value(slot)
+            }
+            fn sensor_read(&self, _slot: SensorSlot) -> SensorRead<'_> {
+                if self.verdict {
+                    SensorRead::AssumeTrue
+                } else {
+                    SensorRead::AssumeFalse
+                }
+            }
+            fn event_active_slot(&self, slot: EventSlot) -> bool {
+                self.inner.event_active_slot(slot)
+            }
+            fn person_place(&self, p: &PersonId) -> Option<&PlaceId> {
+                self.inner.person_place(p)
+            }
+            fn place_occupied(&self, p: &PlaceId) -> bool {
+                self.inner.place_occupied(p)
+            }
+            fn now(&self) -> SimTime {
+                self.inner.now()
+            }
+            fn weekday(&self) -> Weekday {
+                self.inner.weekday()
+            }
+            fn date(&self) -> Date {
+                self.inner.date()
+            }
+        }
+
+        let inner = TestView {
+            sensors: vec![Some(Value::Number(Quantity::from_integer(
+                10,
+                Unit::Celsius,
+            )))],
+            ..TestView::default()
+        };
+        let mut held = TestHeld::default();
+        // The raw value (10°C) fails `> 26` — but a fail-open policy
+        // forces the predicate true, and fail-closed forces it false even
+        // for `> 0` (which the raw value would satisfy).
+        let preds = vec![
+            num_pred(0, RelOp::Gt, 26),
+            num_pred(0, RelOp::Gt, 0),
+            Pred::StateEq {
+                slot: SensorSlot::new(0),
+                expected: Value::Bool(true),
+            },
+        ];
+        let open = StaleView {
+            inner,
+            verdict: true,
+        };
+        for i in 0..3 {
+            assert!(eval_code(&vec![Op::Pred(i)], &preds, &open, &mut held));
+        }
+        let closed = StaleView {
+            inner: open.inner,
+            verdict: false,
+        };
+        for i in 0..3 {
+            assert!(!eval_code(&vec![Op::Pred(i)], &preds, &closed, &mut held));
+        }
     }
 
     #[test]

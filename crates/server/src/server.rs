@@ -23,7 +23,7 @@ use crate::users::UserRegistry;
 use cadel_conflict::{
     check_consistency, Conflict, ConflictChecker, ConsistencyReport, PriorityOrder,
 };
-use cadel_engine::{Engine, StepReport};
+use cadel_engine::{Engine, FreshnessPolicy, ResilienceStatus, StepReport};
 use cadel_lang::ast::Command;
 use cadel_lang::{parse_command, Compiler, Lexicon};
 use cadel_obs::{Event, LazyCounter, LazyHistogram, Level, MetricsSnapshot, Stopwatch};
@@ -179,6 +179,18 @@ impl HomeServer {
     /// The guidance/lookup service.
     pub fn guidance(&self) -> GuidanceService<'_> {
         GuidanceService::new(self.engine.control(), &self.topology)
+    }
+
+    /// A point-in-time view of the engine's fault-tolerance state:
+    /// per-device circuit breakers, queued retries and dead letters.
+    pub fn resilience_status(&self) -> ResilienceStatus {
+        self.engine.resilience().status()
+    }
+
+    /// Sets the sensor-staleness policy applied when rule conditions
+    /// read sensor values (see [`cadel_engine::FreshnessPolicy`]).
+    pub fn set_freshness_policy(&mut self, policy: FreshnessPolicy) {
+        self.engine.context_mut().set_freshness_policy(policy);
     }
 
     /// Advances the engine one step.

@@ -24,6 +24,8 @@ pub struct ActivityRow {
     pub suppressed: usize,
     /// Firings that displaced the previous holder of the device.
     pub replaced: usize,
+    /// Firings deferred because the device's circuit breaker is open.
+    pub deferred: usize,
     /// Firings whose dispatch failed at the device.
     pub failed: usize,
     /// Rules whose `until` condition released a device this step.
@@ -35,7 +37,7 @@ pub struct ActivityRow {
 impl ActivityRow {
     /// Total firings attempted this step.
     pub fn firings(&self) -> usize {
-        self.dispatched + self.suppressed + self.replaced + self.failed
+        self.dispatched + self.suppressed + self.replaced + self.deferred + self.failed
     }
 }
 
@@ -65,6 +67,7 @@ impl ActivityTimeline {
             dispatched: 0,
             suppressed: 0,
             replaced: 0,
+            deferred: 0,
             failed: 0,
             releases: report.releases.len(),
             summary: report.to_string(),
@@ -74,6 +77,7 @@ impl ActivityTimeline {
                 FiringOutcome::Dispatched => row.dispatched += 1,
                 FiringOutcome::SuppressedBy(_) => row.suppressed += 1,
                 FiringOutcome::Replaced(_) => row.replaced += 1,
+                FiringOutcome::Deferred => row.deferred += 1,
                 FiringOutcome::Failed(_) => row.failed += 1,
             }
         }
@@ -110,11 +114,12 @@ impl ActivityTimeline {
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{} | d{} s{} r{} f{} rel{} | {}",
+                "{} | d{} s{} r{} def{} f{} rel{} | {}",
                 row.at.time_of_day(),
                 row.dispatched,
                 row.suppressed,
                 row.replaced,
+                row.deferred,
                 row.failed,
                 row.releases,
                 row.summary
@@ -163,6 +168,7 @@ mod tests {
                 firing(1, "stereo-lr", FiringOutcome::Dispatched),
                 firing(2, "stereo-lr", FiringOutcome::SuppressedBy(RuleId::new(1))),
                 firing(3, "tv-lr", FiringOutcome::Replaced(RuleId::new(4))),
+                firing(6, "tv-lr", FiringOutcome::Deferred),
             ],
             releases: vec![(RuleId::new(5), DeviceId::new("light-hall"))],
         };
@@ -176,13 +182,15 @@ mod tests {
             (row.dispatched, row.suppressed, row.replaced, row.failed),
             (1, 1, 1, 0)
         );
+        assert_eq!(row.deferred, 1);
         assert_eq!(row.releases, 1);
-        assert_eq!(row.firings(), 3);
+        assert_eq!(row.firings(), 4);
         assert!(row
             .summary
             .contains("rule#2 -> stereo-lr: suppressed by rule#1"));
+        assert!(row.summary.contains("rule#6 -> tv-lr: deferred"));
         let chart = timeline.render();
-        assert!(chart.contains("17:00 | d1 s1 r1 f0 rel1 |"));
+        assert!(chart.contains("17:00 | d1 s1 r1 def1 f0 rel1 |"));
         assert!(chart.contains("rule#5 released light-hall"));
     }
 }

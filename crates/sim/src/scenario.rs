@@ -28,7 +28,7 @@ use cadel_engine::CONFLICT_CHANNEL;
 use cadel_rule::{ActionSpec, Atom, Condition, EventAtom, PresenceAtom, Rule, Verb};
 use cadel_server::{HomeServer, SubmitOutcome};
 use cadel_types::{DeviceId, PersonId, Rational, RuleId, SimDuration, SimTime, Topology, Value};
-use cadel_upnp::{ControlPoint, Registry, VirtualDevice};
+use cadel_upnp::{ControlPoint, FaultPlan, FaultyDevice, Registry, VirtualDevice};
 
 /// Rule ids of the scenario, named after Fig. 1's labels.
 #[derive(Clone, Copy, Debug)]
@@ -157,8 +157,26 @@ impl LivingRoomScenario {
     /// Panics if any registration deviates from the expected workflow —
     /// the scenario doubles as an end-to-end assertion of the pipeline.
     pub fn build() -> LivingRoomScenario {
+        LivingRoomScenario::build_with_faults(Vec::new())
+    }
+
+    /// Like [`LivingRoomScenario::build`], but wraps the named devices in
+    /// seeded [`FaultPlan`]s before the server is created, so the whole
+    /// Fig. 1 timeline runs against flaky hardware. Device handles on
+    /// [`LivingRoomHome`] keep pointing at the inner devices; their
+    /// published sensor readings still pass through the fault decorator's
+    /// dropout gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a fault plan names a device the home does not have, or
+    /// if any registration deviates from the expected workflow.
+    pub fn build_with_faults(faults: Vec<(DeviceId, FaultPlan)>) -> LivingRoomScenario {
         let registry = Registry::new();
         let home = LivingRoomHome::install(&registry);
+        for (device, plan) in faults {
+            FaultyDevice::wrap(&registry, &device, plan).expect("wrap scenario device");
+        }
         let mut topology = Topology::new("home");
         topology.add_floor("first floor").expect("fresh topology");
         topology

@@ -7,6 +7,7 @@
 
 use crate::error::UpnpError;
 use cadel_types::{DeviceId, SimTime, Value};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -86,18 +87,48 @@ impl Subscription {
     }
 }
 
+/// A publish filter: decides per `(variable, value, at)` whether a
+/// notification may go out. Used by fault injection to model sensor
+/// dropout (see [`crate::FaultyDevice`]); returning `false` drops the
+/// change silently.
+pub type PublishGate = dyn Fn(&str, &Value, SimTime) -> bool + Send + Sync;
+
 /// The publishing handle handed to virtual devices.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EventPublisher {
     device: DeviceId,
     bus: EventBus,
+    gate: Option<Arc<PublishGate>>,
+}
+
+impl fmt::Debug for EventPublisher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventPublisher")
+            .field("device", &self.device)
+            .field("gated", &self.gate.is_some())
+            .finish()
+    }
 }
 
 impl EventPublisher {
-    /// Publishes a property change for this publisher's device.
+    /// Publishes a property change for this publisher's device. Dropped
+    /// silently when a gate is installed and rejects the change.
     pub fn publish(&self, variable: impl Into<String>, value: Value, at: SimTime) {
+        let variable = variable.into();
+        if let Some(gate) = &self.gate {
+            if !gate(&variable, &value, at) {
+                return;
+            }
+        }
         self.bus
-            .publish_change(self.device.clone(), variable.into(), value, at);
+            .publish_change(self.device.clone(), variable, value, at);
+    }
+
+    /// Returns this publisher with a gate installed in front of the bus.
+    /// Replaces any previous gate.
+    pub fn gated(mut self, gate: Arc<PublishGate>) -> EventPublisher {
+        self.gate = Some(gate);
+        self
     }
 
     /// The device this publisher speaks for.
@@ -117,6 +148,7 @@ impl EventBus {
         EventPublisher {
             device,
             bus: self.clone(),
+            gate: None,
         }
     }
 

@@ -1,0 +1,472 @@
+//! Deterministic fault injection for virtual devices.
+//!
+//! Real appliances fail, lag, and drop off the network; the engine's
+//! resilience machinery (retries, circuit breakers, staleness policies)
+//! needs faults it can be tested against *reproducibly*. [`FaultyDevice`]
+//! wraps any [`VirtualDevice`] and injects failures according to a
+//! [`FaultPlan`]: a set of sim-time windows during which invocations fail,
+//! gain latency, or sensor notifications are dropped. No wall clock is
+//! involved — the same plan over the same event schedule produces the
+//! same faults every run, and [`FaultPlan::random_transient`] derives a
+//! transient-fault schedule from a seed via the workspace SplitMix64
+//! generator.
+
+use crate::description::DeviceDescription;
+use crate::device::VirtualDevice;
+use crate::error::UpnpError;
+use crate::event::EventPublisher;
+use crate::registry::Registry;
+use cadel_obs::{Event as ObsEvent, LazyCounter, Level};
+use cadel_types::{DeviceId, Rng, SimDuration, SimTime, Value};
+use std::sync::{Arc, Mutex};
+
+static FAULTS_INJECTED: LazyCounter = LazyCounter::new("upnp_faults_injected_total");
+static PUBLISHES_DROPPED: LazyCounter = LazyCounter::new("upnp_publishes_dropped_total");
+static LATENCY_INJECTED_MS: LazyCounter = LazyCounter::new("upnp_injected_latency_ms_total");
+
+/// What a fault window does to the wrapped device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Invocations fail with [`UpnpError::DeviceFault`].
+    Fail,
+    /// Invocations take effect this much later (the device applies and
+    /// publishes the change at `at + delay`).
+    Latency(SimDuration),
+    /// The device's property-change notifications are silently dropped
+    /// (sensor dropout); invocations still work.
+    Dropout,
+}
+
+/// One fault window on the sim-time axis: `[from, until)`, or `[from, ∞)`
+/// when `until` is `None` (a permanent failure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// What happens during the window.
+    pub kind: FaultKind,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); `None` means the fault never clears.
+    pub until: Option<SimTime>,
+}
+
+impl FaultWindow {
+    fn active_at(&self, at: SimTime) -> bool {
+        at >= self.from && self.until.is_none_or(|u| at < u)
+    }
+}
+
+/// A deterministic fault schedule: a list of [`FaultWindow`]s.
+///
+/// Plans are immutable once built and shared behind `Arc` by the
+/// decorator, so a single plan can drive many devices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the wrapped device behaves normally.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a transient failure window `[from, until)`.
+    pub fn fail_between(mut self, from: SimTime, until: SimTime) -> FaultPlan {
+        self.windows.push(FaultWindow {
+            kind: FaultKind::Fail,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Adds a permanent failure starting at `from`.
+    pub fn fail_from(mut self, from: SimTime) -> FaultPlan {
+        self.windows.push(FaultWindow {
+            kind: FaultKind::Fail,
+            from,
+            until: None,
+        });
+        self
+    }
+
+    /// Adds a latency window: invocations in `[from, until)` take effect
+    /// `extra` later.
+    pub fn delay_between(mut self, from: SimTime, until: SimTime, extra: SimDuration) -> FaultPlan {
+        self.windows.push(FaultWindow {
+            kind: FaultKind::Latency(extra),
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Adds a sensor-dropout window: notifications in `[from, until)` are
+    /// silently dropped.
+    pub fn drop_sensors_between(mut self, from: SimTime, until: SimTime) -> FaultPlan {
+        self.windows.push(FaultWindow {
+            kind: FaultKind::Dropout,
+            from,
+            until: Some(until),
+        });
+        self
+    }
+
+    /// Derives a transient-failure schedule from a seed: the span
+    /// `[from, until)` is cut into `slice`-sized pieces, and each piece
+    /// independently fails with probability `permille / 1000`. The same
+    /// seed always yields the same schedule.
+    pub fn random_transient(
+        seed: u64,
+        from: SimTime,
+        until: SimTime,
+        slice: SimDuration,
+        permille: u64,
+    ) -> FaultPlan {
+        assert!(!slice.is_zero(), "slice must be non-zero");
+        let mut rng = Rng::new(seed);
+        let mut plan = FaultPlan::new();
+        let mut t = from;
+        while t < until {
+            let mut end = t + slice;
+            if end > until {
+                end = until;
+            }
+            if rng.chance(permille, 1000) {
+                plan = plan.fail_between(t, end);
+            }
+            t = end;
+        }
+        plan
+    }
+
+    /// The windows of this plan, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Whether an invocation at `at` fails.
+    pub fn fails_at(&self, at: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.kind == FaultKind::Fail && w.active_at(at))
+    }
+
+    /// Total extra latency active at `at` (overlapping windows add up).
+    pub fn extra_latency_at(&self, at: SimTime) -> SimDuration {
+        let ms: u64 = self
+            .windows
+            .iter()
+            .filter(|w| w.active_at(at))
+            .filter_map(|w| match w.kind {
+                FaultKind::Latency(d) => Some(d.as_millis()),
+                _ => None,
+            })
+            .sum();
+        SimDuration::from_millis(ms)
+    }
+
+    /// Whether notifications at `at` are dropped.
+    pub fn drops_sensors_at(&self, at: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| w.kind == FaultKind::Dropout && w.active_at(at))
+    }
+}
+
+/// Counters kept by a [`FaultyDevice`]; queryable in tests regardless of
+/// whether the global obs layer is enabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Invocations rejected with an injected [`UpnpError::DeviceFault`].
+    pub invoke_faults: u64,
+    /// Invocations forwarded normally.
+    pub invokes_passed: u64,
+    /// Invocations forwarded with added latency.
+    pub invokes_delayed: u64,
+    /// Property-change notifications dropped in dropout windows.
+    pub publishes_dropped: u64,
+}
+
+/// A decorator that wraps any [`VirtualDevice`] and injects faults per a
+/// [`FaultPlan`]. Registered in place of the inner device (see
+/// [`FaultyDevice::wrap`]); the description, queries and ticks pass
+/// through untouched.
+///
+/// Fault semantics, all on sim time:
+///
+/// * **Fail windows** — [`VirtualDevice::invoke`] returns
+///   [`UpnpError::DeviceFault`] without touching the inner device.
+/// * **Latency windows** — the invocation is forwarded with its timestamp
+///   shifted to `at + extra`, so the state change (and any notification
+///   the inner device publishes) carries the delayed time.
+/// * **Dropout windows** — the inner device's publisher is gated: changes
+///   published during the window are silently dropped. Queries still see
+///   the live value; only eventing goes dark.
+///
+/// [`VirtualDevice::query`] takes no timestamp, so fail windows do not
+/// apply to it — state reads always reach the inner device.
+pub struct FaultyDevice {
+    inner: Arc<dyn VirtualDevice>,
+    plan: Arc<FaultPlan>,
+    stats: Arc<Mutex<FaultStats>>,
+}
+
+impl FaultyDevice {
+    /// Wraps a device with a fault plan.
+    pub fn new(inner: Arc<dyn VirtualDevice>, plan: FaultPlan) -> FaultyDevice {
+        FaultyDevice {
+            inner,
+            plan: Arc::new(plan),
+            stats: Arc::new(Mutex::new(FaultStats::default())),
+        }
+    }
+
+    /// Re-registers an already registered device behind a fault decorator:
+    /// looks it up, unregisters it, and registers the wrapped device under
+    /// the same UDN (re-attaching a gated publisher to the inner device).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpnpError::UnknownDevice`] when `udn` is not registered.
+    pub fn wrap(
+        registry: &Registry,
+        udn: &DeviceId,
+        plan: FaultPlan,
+    ) -> Result<Arc<FaultyDevice>, UpnpError> {
+        let inner = registry.device(udn)?;
+        registry.unregister(udn)?;
+        let wrapped = Arc::new(FaultyDevice::new(inner, plan));
+        registry.register(wrapped.clone())?;
+        Ok(wrapped)
+    }
+
+    /// The fault plan driving this decorator.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// A snapshot of the injection counters.
+    pub fn stats(&self) -> FaultStats {
+        self.stats.lock().unwrap().clone()
+    }
+}
+
+impl VirtualDevice for FaultyDevice {
+    fn description(&self) -> DeviceDescription {
+        self.inner.description()
+    }
+
+    fn invoke(
+        &self,
+        action: &str,
+        args: &[(String, Value)],
+        at: SimTime,
+    ) -> Result<Vec<(String, Value)>, UpnpError> {
+        if self.plan.fails_at(at) {
+            self.stats.lock().unwrap().invoke_faults += 1;
+            FAULTS_INJECTED.inc();
+            if cadel_obs::enabled() {
+                cadel_obs::emit(
+                    ObsEvent::new("upnp.fault_injected", Level::Debug)
+                        .with_field("device", self.inner.description().udn().as_str())
+                        .with_field("action", action),
+                );
+            }
+            return Err(UpnpError::DeviceFault(format!(
+                "injected fault: {action} at {}",
+                at.time_of_day()
+            )));
+        }
+        let extra = self.plan.extra_latency_at(at);
+        if extra.is_zero() {
+            self.stats.lock().unwrap().invokes_passed += 1;
+            self.inner.invoke(action, args, at)
+        } else {
+            self.stats.lock().unwrap().invokes_delayed += 1;
+            LATENCY_INJECTED_MS.add(extra.as_millis());
+            self.inner.invoke(action, args, at + extra)
+        }
+    }
+
+    fn query(&self, variable: &str) -> Result<Value, UpnpError> {
+        self.inner.query(variable)
+    }
+
+    fn attach(&self, publisher: EventPublisher) {
+        let plan = self.plan.clone();
+        let stats = self.stats.clone();
+        let device = publisher.device().clone();
+        let gated = publisher.gated(Arc::new(move |variable: &str, _value: &Value, at| {
+            if plan.drops_sensors_at(at) {
+                stats.lock().unwrap().publishes_dropped += 1;
+                PUBLISHES_DROPPED.inc();
+                if cadel_obs::enabled() {
+                    cadel_obs::emit(
+                        ObsEvent::new("upnp.publish_dropped", Level::Debug)
+                            .with_field("device", device.as_str())
+                            .with_field("variable", variable),
+                    );
+                }
+                false
+            } else {
+                true
+            }
+        }));
+        self.inner.attach(gated);
+    }
+
+    fn tick(&self, now: SimTime) {
+        self.inner.tick(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventBus;
+    use std::sync::Mutex as StdMutex;
+
+    fn m(minutes: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_minutes(minutes)
+    }
+
+    /// A stub device that records invocation timestamps and republishes
+    /// every invocation as a property change.
+    struct Probe {
+        udn: DeviceId,
+        invoked_at: StdMutex<Vec<SimTime>>,
+        publisher: StdMutex<Option<EventPublisher>>,
+    }
+
+    impl Probe {
+        fn new(udn: &str) -> Probe {
+            Probe {
+                udn: DeviceId::new(udn),
+                invoked_at: StdMutex::new(Vec::new()),
+                publisher: StdMutex::new(None),
+            }
+        }
+    }
+
+    impl VirtualDevice for Probe {
+        fn description(&self) -> DeviceDescription {
+            DeviceDescription::new(self.udn.clone(), "probe", "urn:test:device:Probe:1")
+        }
+
+        fn invoke(
+            &self,
+            _action: &str,
+            _args: &[(String, Value)],
+            at: SimTime,
+        ) -> Result<Vec<(String, Value)>, UpnpError> {
+            self.invoked_at.lock().unwrap().push(at);
+            if let Some(publisher) = self.publisher.lock().unwrap().as_ref() {
+                publisher.publish("state", Value::Bool(true), at);
+            }
+            Ok(Vec::new())
+        }
+
+        fn query(&self, _variable: &str) -> Result<Value, UpnpError> {
+            Ok(Value::Bool(true))
+        }
+
+        fn attach(&self, publisher: EventPublisher) {
+            *self.publisher.lock().unwrap() = Some(publisher);
+        }
+    }
+
+    #[test]
+    fn fail_window_rejects_and_clears() {
+        let probe = Arc::new(Probe::new("p1"));
+        let plan = FaultPlan::new().fail_between(m(10), m(20));
+        let faulty = FaultyDevice::new(probe.clone(), plan);
+
+        assert!(faulty.invoke("Do", &[], m(5)).is_ok());
+        let err = faulty.invoke("Do", &[], m(10)).unwrap_err();
+        assert!(matches!(err, UpnpError::DeviceFault(_)));
+        assert!(faulty.invoke("Do", &[], m(20)).is_ok()); // until is exclusive
+        let stats = faulty.stats();
+        assert_eq!(stats.invoke_faults, 1);
+        assert_eq!(stats.invokes_passed, 2);
+        // The inner device never saw the faulted call.
+        assert_eq!(probe.invoked_at.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn permanent_failure_never_clears() {
+        let plan = FaultPlan::new().fail_from(m(10));
+        assert!(!plan.fails_at(m(9)));
+        assert!(plan.fails_at(m(10)));
+        assert!(plan.fails_at(m(100_000)));
+    }
+
+    #[test]
+    fn latency_window_shifts_the_timestamp() {
+        let probe = Arc::new(Probe::new("p2"));
+        let plan = FaultPlan::new().delay_between(m(0), m(10), SimDuration::from_secs(90));
+        let faulty = FaultyDevice::new(probe.clone(), plan);
+        faulty.invoke("Do", &[], m(1)).unwrap();
+        faulty.invoke("Do", &[], m(30)).unwrap();
+        let seen = probe.invoked_at.lock().unwrap().clone();
+        assert_eq!(seen[0], m(1) + SimDuration::from_secs(90));
+        assert_eq!(seen[1], m(30)); // outside the window: untouched
+        assert_eq!(faulty.stats().invokes_delayed, 1);
+    }
+
+    #[test]
+    fn dropout_window_gates_publishes() {
+        let bus = EventBus::new();
+        let sub = bus.subscribe(None);
+        let probe = Arc::new(Probe::new("p3"));
+        let plan = FaultPlan::new().drop_sensors_between(m(10), m(20));
+        let faulty = FaultyDevice::new(probe, plan);
+        faulty.attach(bus.publisher(DeviceId::new("p3")));
+
+        faulty.invoke("Do", &[], m(5)).unwrap(); // publishes
+        faulty.invoke("Do", &[], m(15)).unwrap(); // dropped
+        faulty.invoke("Do", &[], m(25)).unwrap(); // publishes
+        let changes = sub.drain();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].at, m(5));
+        assert_eq!(changes[1].at, m(25));
+        assert_eq!(faulty.stats().publishes_dropped, 1);
+    }
+
+    #[test]
+    fn random_transient_is_seed_deterministic() {
+        let a = FaultPlan::random_transient(42, m(0), m(120), SimDuration::from_minutes(5), 200);
+        let b = FaultPlan::random_transient(42, m(0), m(120), SimDuration::from_minutes(5), 200);
+        let c = FaultPlan::random_transient(43, m(0), m(120), SimDuration::from_minutes(5), 200);
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely for 24 slices at 20%
+        assert!(!a.windows().is_empty());
+        // Every window stays inside the span and is slice-aligned.
+        for w in a.windows() {
+            assert!(w.from >= m(0) && w.until.unwrap() <= m(120));
+            assert_eq!(w.from.since(m(0)).as_millis() % (5 * 60_000), 0);
+        }
+        // permille 0 / 1000 are the degenerate plans.
+        let never = FaultPlan::random_transient(7, m(0), m(60), SimDuration::from_minutes(5), 0);
+        assert!(never.windows().is_empty());
+        let always =
+            FaultPlan::random_transient(7, m(0), m(60), SimDuration::from_minutes(5), 1000);
+        assert_eq!(always.windows().len(), 12);
+    }
+
+    #[test]
+    fn wrap_replaces_the_registry_entry() {
+        let registry = Registry::new();
+        let probe = Arc::new(Probe::new("p4"));
+        registry.register(probe.clone()).unwrap();
+        let udn = DeviceId::new("p4");
+        let wrapped =
+            FaultyDevice::wrap(&registry, &udn, FaultPlan::new().fail_from(m(0))).unwrap();
+        // The registry now resolves to the decorator.
+        let resolved = registry.device(&udn).unwrap();
+        let err = resolved.invoke("Do", &[], m(1)).unwrap_err();
+        assert!(matches!(err, UpnpError::DeviceFault(_)));
+        assert_eq!(wrapped.stats().invoke_faults, 1);
+        assert!(FaultyDevice::wrap(&registry, &DeviceId::new("nope"), FaultPlan::new()).is_err());
+    }
+}

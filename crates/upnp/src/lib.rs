@@ -38,6 +38,7 @@ pub mod description;
 pub mod device;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod registry;
 pub mod ssdp;
 
@@ -47,6 +48,7 @@ pub use description::{
 };
 pub use device::VirtualDevice;
 pub use error::UpnpError;
-pub use event::{EventBus, EventPublisher, PropertyChange, Subscription};
+pub use event::{EventBus, EventPublisher, PropertyChange, PublishGate, Subscription};
+pub use fault::{FaultKind, FaultPlan, FaultStats, FaultWindow, FaultyDevice};
 pub use registry::Registry;
 pub use ssdp::{SearchTarget, SsdpClient, SsdpResponse};

@@ -1,0 +1,125 @@
+//! Fault tolerance: a flaky floor lamp exercises the whole resilience
+//! stack — retries with backoff, the per-device circuit breaker, deferred
+//! firings, and dead-letter replay on recovery.
+//!
+//! ```text
+//! cargo run --example fault_tolerance
+//! ```
+//!
+//! The floor lamp drops every control action between 18:00 and 18:30.
+//! Tom's rule ("if it is hot, turn on the floor lamp") keeps trying: the
+//! first failures are retried with exponential backoff, the breaker trips
+//! after three strikes, fresh firings against the open breaker are
+//! *deferred* instead of hammering the device, and once the fault window
+//! closes a half-open probe recovers the lamp and replays anything that
+//! was dead-lettered along the way. Every transition streams through the
+//! logfmt sink as it happens.
+
+use cadel::devices::LivingRoomHome;
+use cadel::engine::{Engine, FiringOutcome};
+use cadel::obs::{Level, TextFormat, TextSink};
+use cadel::rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel::simplex::RelOp;
+use cadel::types::{
+    DeviceId, PersonId, Quantity, Rational, RuleId, SensorKey, SimDuration, SimTime, Unit,
+};
+use cadel::upnp::{ControlPoint, FaultPlan, FaultyDevice, Registry, VirtualDevice};
+use std::sync::Arc;
+
+fn hm(h: u64, m: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_hours(h) + SimDuration::from_minutes(m)
+}
+
+fn main() {
+    // Structured events on stdout as they happen (logfmt, Info and up).
+    let sink =
+        TextSink::new(Box::new(std::io::stdout()), TextFormat::Logfmt).with_min_level(Level::Info);
+    cadel::obs::install(Arc::new(sink));
+
+    let registry = Registry::new();
+    let home = LivingRoomHome::install(&registry);
+
+    // The lamp rejects every action for half an hour starting at 18:00.
+    FaultyDevice::wrap(
+        &registry,
+        &DeviceId::new("lamp-lr"),
+        FaultPlan::new().fail_between(hm(18, 0), hm(18, 30)),
+    )
+    .expect("wrap the floor lamp");
+
+    let mut engine = Engine::new(ControlPoint::new(registry));
+    let rule = Rule::builder(PersonId::new("tom"))
+        .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        ))))
+        .action(ActionSpec::new(DeviceId::new("lamp-lr"), Verb::TurnOn))
+        .label("if it is hot, turn on the floor lamp")
+        .build(RuleId::new(1))
+        .expect("build lamp rule");
+    engine.add_rule(rule).expect("register lamp rule");
+
+    // The evening's temperature trace. The first spike lands inside the
+    // fault window; the dips and re-spikes produce fresh rising edges
+    // while the breaker is open, so deferral is visible too.
+    let stimuli = [
+        (hm(18, 1), 28), // hot: first dispatch fails, retries begin
+        (hm(18, 4), 20), // cools off: pending retry is cancelled
+        (hm(18, 6), 29), // hot again: half-open probe fails, breaker reopens
+        (hm(18, 7), 20),
+        (hm(18, 8), 30), // hot while the breaker is open: firing deferred
+    ];
+
+    println!("-- event stream (logfmt, Info and up) --");
+    let mut at = hm(17, 55);
+    let end = hm(19, 0);
+    while at <= end {
+        for (when, celsius) in &stimuli {
+            if *when == at {
+                home.thermometer
+                    .set_reading(Rational::from_integer(*celsius), at)
+                    .expect("publish temperature");
+            }
+        }
+        let report = engine.step(at);
+        for firing in &report.firings {
+            let note = match &firing.outcome {
+                FiringOutcome::Dispatched => "dispatched".to_owned(),
+                FiringOutcome::Deferred => "deferred (circuit open)".to_owned(),
+                other => other.to_string(),
+            };
+            println!("{} | {} -> {}: {}", at, firing.rule, firing.device, note);
+        }
+        at += SimDuration::from_minutes(1);
+    }
+
+    println!("\n-- aftermath --");
+    println!(
+        "lamp power at {}: {:?}",
+        end,
+        home.floor_lamp.query("power").expect("query lamp")
+    );
+    println!(
+        "breaker state: {:?}",
+        engine.resilience().breaker_state(&DeviceId::new("lamp-lr"))
+    );
+    println!("resilience status: {:?}", engine.resilience().status());
+
+    println!("\n-- headline --");
+    let snapshot = cadel::obs::metrics_snapshot();
+    for name in [
+        "upnp_faults_injected_total",
+        "engine_retries_scheduled_total",
+        "engine_retries_attempted_total",
+        "engine_breaker_trips_total",
+        "engine_firings_deferred_total",
+        "engine_dead_letters_total",
+        "engine_dlq_replayed_total",
+        "engine_breaker_recoveries_total",
+    ] {
+        println!("{name} = {}", snapshot.counter(name).unwrap_or(0));
+    }
+
+    cadel::obs::shutdown();
+}
