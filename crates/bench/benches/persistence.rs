@@ -1,0 +1,139 @@
+//! Durable-store benchmarks.
+//!
+//! * **S1 (append throughput)** — appending a representative
+//!   `rule_registered` record (framing + CRC + compact JSON encoding) to
+//!   the write-ahead log, buffered and with a per-record fdatasync. The
+//!   buffered number is what the server pays inline on every durable
+//!   mutation; the synced number is the worst-case durability knob
+//!   ([`cadel_store::Store::set_sync_on_append`]).
+//! * **S2 (recovery replay)** — reopening a 1,000-rule log: once as a raw
+//!   [`cadel_store::Store::open`] scan (framing, checksum, JSON parse)
+//!   and once as a full [`HomeServer::open_at`] recovery over a fresh
+//!   world (record decode, conflict-free insert, IR recompile, trigger
+//!   index rebuild).
+
+use cadel_bench::timing::{run, section};
+use cadel_devices::LivingRoomHome;
+use cadel_rule::codec::rule_to_json;
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_server::HomeServer;
+use cadel_simplex::RelOp;
+use cadel_store::Store;
+use cadel_types::json::Json;
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, Topology, Unit};
+use cadel_upnp::{ControlPoint, Registry};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+const REPLAY_RULES: u64 = 1_000;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cadel-bench-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_rule(i: u64) -> Rule {
+    let devices = [
+        "aircon-lr",
+        "tv-lr",
+        "lamp-lr",
+        "stereo",
+        "fluorescent",
+        "vcr-lr",
+    ];
+    Rule::builder(PersonId::new("bench"))
+        .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            RelOp::Gt,
+            Quantity::from_integer(15 + (i % 20) as i64, Unit::Celsius),
+        ))))
+        .action(ActionSpec::new(
+            DeviceId::new(devices[(i % devices.len() as u64) as usize]),
+            Verb::TurnOn,
+        ))
+        .build(RuleId::new(i + 1))
+        .unwrap()
+}
+
+/// A record shaped like the server's `rule_registered` WAL entry.
+fn record(i: u64) -> Json {
+    Json::obj(vec![
+        ("type", Json::str("rule_registered")),
+        ("rule", rule_to_json(&bench_rule(i))),
+    ])
+}
+
+fn fresh_world() -> (ControlPoint, Topology) {
+    let registry = Registry::new();
+    LivingRoomHome::install(&registry);
+    let mut t = Topology::new("home");
+    t.add_floor("first floor").unwrap();
+    t.add_room("living room", "first floor").unwrap();
+    t.add_room("hall", "first floor").unwrap();
+    (ControlPoint::new(registry), t)
+}
+
+/// Writes the S2 workload once: a log holding one user and 1,000 rule
+/// registrations, exactly what a server that never compacted would leave
+/// behind.
+fn build_replay_log(dir: &Path) {
+    let (control, topology) = fresh_world();
+    let (mut server, _) = HomeServer::open_at(control, topology, dir).unwrap();
+    server.add_user("Bench").unwrap();
+    for i in 0..REPLAY_RULES {
+        server.register_rule(bench_rule(i)).unwrap();
+    }
+    server.sync().unwrap();
+}
+
+fn main() {
+    section("s1_wal_append (rule_registered record: frame + crc32 + compact json)");
+    {
+        let dir = temp_dir("append");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        let doc = record(0);
+        let bytes = doc.to_compact().len() + 8;
+        let m = run("wal_append/buffered", || {
+            store.append(black_box(&doc)).unwrap();
+        });
+        let per_append = m.median_ns();
+        println!(
+            "{:<58} {:>10} B/record {:>12.1} MB/s",
+            "wal_append/buffered/throughput",
+            bytes,
+            bytes as f64 / per_append * 1e9 / 1e6
+        );
+
+        let dir = temp_dir("append-sync");
+        let (mut store, _) = Store::open(&dir).unwrap();
+        store.set_sync_on_append(true);
+        run("wal_append/fdatasync-each", || {
+            store.append(black_box(&doc)).unwrap();
+        });
+    }
+
+    section("s2_recovery_replay (1,000-rule log)");
+    {
+        let dir = temp_dir("replay");
+        build_replay_log(&dir);
+
+        run("recovery/store_scan_only", || {
+            let (_store, recovered) = Store::open(black_box(&dir)).unwrap();
+            black_box(recovered.records.len())
+        });
+
+        let m = run("recovery/full_server_open_at", || {
+            let (control, topology) = fresh_world();
+            let (server, report) = HomeServer::open_at(control, topology, black_box(&dir)).unwrap();
+            assert_eq!(report.records_replayed, REPLAY_RULES + 1);
+            black_box(server.engine().rules().len())
+        });
+        println!(
+            "{:<58} {:>10.2} ms/recovery {:>9.1} rules/ms",
+            "recovery/full_server_open_at/total",
+            m.median_ns() / 1e6,
+            REPLAY_RULES as f64 / (m.median_ns() / 1e6)
+        );
+    }
+}

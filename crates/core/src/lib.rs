@@ -19,6 +19,7 @@
 //! | [`conflict`] | `cadel-conflict` | consistency checks, conflict detection, priorities |
 //! | [`engine`] | `cadel-engine` | the rule execution module |
 //! | [`server`] | `cadel-server` | the home server: registration workflow, guidance, users |
+//! | [`store`] | `cadel-store` | durable state: write-ahead log, snapshots, crash recovery |
 //! | [`sim`] | `cadel-sim` | discrete-event simulation and the Fig. 1 scenario |
 //!
 //! # Quickstart
@@ -63,5 +64,6 @@ pub use cadel_rule as rule;
 pub use cadel_server as server;
 pub use cadel_sim as sim;
 pub use cadel_simplex as simplex;
+pub use cadel_store as store;
 pub use cadel_types as types;
 pub use cadel_upnp as upnp;

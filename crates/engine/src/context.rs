@@ -599,6 +599,103 @@ impl Default for ContextStore {
     }
 }
 
+/// Persistence support: deterministic iteration for checkpoint export and
+/// stamp-preserving restore for replay. Crate-internal — the public
+/// surface is `Engine::export_runtime_json`/`import_runtime_json`.
+impl ContextStore {
+    /// Every stored sensor value with its last-update stamp, sorted by
+    /// key so checkpoint output is byte-stable.
+    pub(crate) fn sensor_entries(&self) -> Vec<(SensorKey, Value, SimTime)> {
+        let mut entries: Vec<_> = self
+            .sensor_values
+            .iter()
+            .map(|(key, value)| {
+                let at = self
+                    .sensor_stamps
+                    .get(key)
+                    .copied()
+                    .unwrap_or(SimTime::EPOCH);
+                (key.clone(), value.clone(), at)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Restores a sensor value under its *original* stamp (unlike
+    /// [`ContextStore::set_value`], which stamps with the current clock),
+    /// so freshness verdicts survive a restart unchanged.
+    pub(crate) fn restore_sensor(&mut self, key: SensorKey, value: Value, at: SimTime) {
+        self.mirror_sensor(&key, &value, at);
+        self.sensor_stamps.insert(key.clone(), at);
+        self.sensor_values.insert(key, value);
+    }
+
+    /// Every person with a known place, sorted by person.
+    pub(crate) fn presence_entries(&self) -> Vec<(PersonId, PlaceId)> {
+        let mut entries: Vec<_> = self
+            .presence
+            .iter()
+            .map(|(person, place)| (person.clone(), place.clone()))
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// Active transient events with their expiry instants, in fact order.
+    pub(crate) fn transient_event_entries(&self) -> Vec<(String, String, SimTime)> {
+        self.transient_events
+            .iter()
+            .map(|(fact, expiry)| (fact.channel.clone(), fact.name.clone(), *expiry))
+            .collect()
+    }
+
+    /// Restores a transient event under its original expiry (unlike
+    /// [`ContextStore::raise_event`], which restarts the event window).
+    pub(crate) fn restore_transient_event(&mut self, channel: &str, name: &str, expiry: SimTime) {
+        let fact = EventFact {
+            channel: channel.trim().to_ascii_lowercase(),
+            name: name.trim().to_ascii_lowercase(),
+        };
+        self.mirror_transient(&fact.channel, &fact.name, expiry);
+        self.transient_events.insert(fact, expiry);
+    }
+
+    /// Active persistent events, in fact order.
+    pub(crate) fn persistent_event_entries(&self) -> Vec<(String, String)> {
+        self.persistent_events
+            .iter()
+            .map(|fact| (fact.channel.clone(), fact.name.clone()))
+            .collect()
+    }
+
+    /// The transient-event window currently in force.
+    pub(crate) fn event_window(&self) -> SimDuration {
+        self.event_window
+    }
+
+    /// Drops all *dynamic* context (sensor readings, presence, events)
+    /// ahead of a checkpoint import, which restores a complete snapshot.
+    /// Registry-derived device places survive: they come from the world,
+    /// not from the checkpoint. The IR boards are cleared and marked for
+    /// a full rebuild on the next [`ContextStore::sync_ir`].
+    pub(crate) fn clear_dynamic_state(&mut self) {
+        self.sensor_values.clear();
+        self.sensor_stamps.clear();
+        self.presence.clear();
+        self.place_occupants.clear();
+        self.transient_events.clear();
+        self.persistent_events.clear();
+        if let Some(mirror) = &mut self.ir {
+            mirror.seen_revision = None;
+            mirror.sensor_board.clear();
+            mirror.stamp_board.clear();
+            mirror.transient_board.clear();
+            mirror.persistent_board.clear();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,11 +8,17 @@ use crate::index::TriggerIndex;
 use crate::resilience::{ActuationError, Resilience, ResilienceConfig, RetryKind};
 use cadel_conflict::{PriorityOrder, PriorityStore, Resolution};
 use cadel_obs::{Event as ObsEvent, LazyCounter, LazyGauge, LazyHistogram, Level, Span, Stopwatch};
-use cadel_rule::{ActionSpec, Rule, RuleDb, Verb};
+use cadel_rule::{ActionSpec, Rule, RuleDb, RuleError, Verb};
 use cadel_types::{DeviceId, RuleId, SimTime, Value};
 use cadel_upnp::{ControlPoint, Subscription, UpnpError};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+
+/// Runtime-state checkpoint export/import. A child of this module so it
+/// can reach the engine's private runtime fields without widening their
+/// visibility.
+#[path = "persist.rs"]
+pub mod persist;
 
 /// Engine steps executed.
 static STEPS: LazyCounter = LazyCounter::new("engine_steps_total");
@@ -322,6 +328,38 @@ impl Engine {
     pub fn remove_rule(&mut self, id: RuleId) -> Result<(), EngineError> {
         let rule = self.rules.remove(id)?;
         self.index.remove_rule(&rule);
+        self.last_state.remove(&id);
+        self.holders.retain(|_, h| h.rule != id);
+        self.latched.remove(&id);
+        self.suppress_noted.remove(&id);
+        self.fallback_noted.remove(&id);
+        self.defer_noted.remove(&id);
+        self.resilience.purge_rule(id);
+        for set in self.contenders.values_mut() {
+            set.remove(&id);
+        }
+        Ok(())
+    }
+
+    /// Replaces a rule in place under its existing id (customization:
+    /// edit or enable/disable). The replacement is recompiled with a
+    /// fresh revision — invalidating memoized conflict verdicts — and the
+    /// old rule's runtime state (holds, contention, retries) is purged,
+    /// exactly as a remove-then-add would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Rule`] for unknown ids.
+    pub fn update_rule(&mut self, rule: Rule) -> Result<(), EngineError> {
+        let id = rule.id();
+        let old = self
+            .rules
+            .get(id)
+            .ok_or(EngineError::Rule(RuleError::UnknownRule(id)))?
+            .clone();
+        self.index.remove_rule(&old);
+        self.index.add_rule(&rule);
+        self.rules.replace(rule)?;
         self.last_state.remove(&id);
         self.holders.retain(|_, h| h.rule != id);
         self.latched.remove(&id);
@@ -1520,6 +1558,133 @@ mod tests {
                 reports_ast.push(ast.step(mins(m)));
             }
             assert_eq!(reports_compiled, reports_ast, "mode {mode}");
+        }
+    }
+
+    /// A reading whose age is *exactly* `max_age` is still fresh — the
+    /// staleness predicate is `age > max_age`, not `>=` — and every mode
+    /// agrees, in both the compiled-IR and AST paths. One millisecond
+    /// later the reading is stale, and the modes diverge on the next
+    /// condition edge: only `FailClosed` drops the condition to false,
+    /// so only it re-fires when a fresh hot reading arrives.
+    #[test]
+    fn freshness_boundary_age_equal_to_max_age_is_fresh() {
+        for mode in [
+            FreshnessMode::FailClosed,
+            FreshnessMode::FailOpen,
+            FreshnessMode::HoldLastValue,
+        ] {
+            let (mut compiled, home_a) = setup();
+            let (mut ast, home_b) = setup();
+            ast.set_use_compiled(false);
+            for engine in [&mut compiled, &mut ast] {
+                engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+                engine
+                    .context_mut()
+                    .set_freshness_policy(FreshnessPolicy::new(
+                        mode,
+                        SimDuration::from_minutes(10),
+                    ));
+            }
+            for home in [&home_a, &home_b] {
+                home.thermometer
+                    .set_reading(Rational::from_integer(28), SimTime::EPOCH)
+                    .unwrap();
+            }
+
+            // First evaluation at exactly max_age: fresh on the nose, so
+            // the rule fires in every mode.
+            let at_boundary = mins(10);
+            let rc = compiled.step(at_boundary);
+            let ra = ast.step(at_boundary);
+            assert_eq!(rc, ra, "mode {mode}: boundary step diverges");
+            assert_eq!(
+                rc.firings.len(),
+                1,
+                "mode {mode}: age == max_age must count as fresh"
+            );
+
+            // One millisecond past the boundary the reading is stale.
+            // Sensor changes keep their *own* timestamp for staleness, so
+            // a still-hot reading stamped back at the epoch forces a
+            // re-evaluation over stale data. FailClosed drops the
+            // condition to false; a fresh hot reading then produces a
+            // new rising edge and a re-fire. FailOpen and HoldLastValue
+            // both keep the condition true (stale-true and held-true
+            // respectively), so no edge.
+            let past = at_boundary + SimDuration::from_millis(1);
+            for home in [&home_a, &home_b] {
+                home.thermometer
+                    .set_reading(Rational::from_integer(27), SimTime::EPOCH)
+                    .unwrap();
+            }
+            let rc = compiled.step(past);
+            let ra = ast.step(past);
+            assert_eq!(rc, ra, "mode {mode}: past-boundary step diverges");
+            assert!(rc.firings.is_empty(), "mode {mode}: stale data never fires");
+
+            let refresh = past + SimDuration::from_millis(1);
+            for home in [&home_a, &home_b] {
+                home.thermometer
+                    .set_reading(Rational::from_integer(28), refresh)
+                    .unwrap();
+            }
+            let rc = compiled.step(refresh);
+            let ra = ast.step(refresh);
+            assert_eq!(rc, ra, "mode {mode}: refresh step diverges");
+            let expected = usize::from(mode == FreshnessMode::FailClosed);
+            assert_eq!(rc.firings.len(), expected, "mode {mode}: re-fire count");
+        }
+    }
+
+    /// After a sensor device drops out permanently, `HoldLastValue`
+    /// keeps evaluating the last reading indefinitely: the rule's
+    /// condition never goes false, the device hold survives, and the
+    /// compiled-IR and AST paths agree at every step. `FailClosed` over
+    /// the same dropout lets the condition lapse once the reading ages
+    /// out.
+    #[test]
+    fn hold_last_value_survives_permanent_device_dropout() {
+        let plan = FaultPlan::new().fail_from(mins(2));
+        let (mut compiled, home_a) = faulty_setup("thermo-lr", plan.clone());
+        let (mut ast, home_b) = faulty_setup("thermo-lr", plan);
+        ast.set_use_compiled(false);
+        for engine in [&mut compiled, &mut ast] {
+            engine.add_rule(hot_rule("tom", 1, 26, 25)).unwrap();
+            engine
+                .context_mut()
+                .set_freshness_policy(FreshnessPolicy::new(
+                    FreshnessMode::HoldLastValue,
+                    SimDuration::from_minutes(10),
+                ));
+        }
+        // Last reading before the device dies at minute 2.
+        for home in [&home_a, &home_b] {
+            home.thermometer
+                .set_reading(Rational::from_integer(28), mins(1))
+                .unwrap();
+        }
+        let rc = compiled.step(mins(1));
+        let ra = ast.step(mins(1));
+        assert_eq!(rc, ra);
+        assert_eq!(rc.firings.len(), 1);
+
+        // Hours past the dropout: the reading is long stale but held, so
+        // the condition stays true — no release, no re-fire, the hold
+        // survives.
+        for m in [20u64, 60, 180, 600] {
+            let rc = compiled.step(mins(m));
+            let ra = ast.step(mins(m));
+            assert_eq!(rc, ra, "dropout step at minute {m} diverges");
+            assert!(rc.firings.is_empty(), "minute {m}: held value re-fired");
+            assert!(rc.releases.is_empty(), "minute {m}: held value released");
+        }
+        for engine in [&compiled, &ast] {
+            assert_eq!(
+                engine.holder(&DeviceId::new("aircon-lr")),
+                Some(RuleId::new(1)),
+                "hold must survive the dropout"
+            );
         }
     }
 }

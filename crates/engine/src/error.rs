@@ -16,6 +16,9 @@ pub enum EngineError {
     Rule(RuleError),
     /// Conflict checking failed.
     Conflict(ConflictError),
+    /// A runtime-state checkpoint could not be imported (out-of-schema
+    /// document). The message names the offending field.
+    Persist(String),
 }
 
 impl fmt::Display for EngineError {
@@ -24,6 +27,7 @@ impl fmt::Display for EngineError {
             EngineError::Upnp(e) => write!(f, "device error: {e}"),
             EngineError::Rule(e) => write!(f, "rule error: {e}"),
             EngineError::Conflict(e) => write!(f, "conflict error: {e}"),
+            EngineError::Persist(message) => write!(f, "persist error: {message}"),
         }
     }
 }
@@ -34,6 +38,7 @@ impl Error for EngineError {
             EngineError::Upnp(e) => Some(e),
             EngineError::Rule(e) => Some(e),
             EngineError::Conflict(e) => Some(e),
+            EngineError::Persist(_) => None,
         }
     }
 }

@@ -41,6 +41,23 @@ impl HeldTracker {
     pub fn tracked(&self) -> usize {
         self.since.len()
     }
+
+    /// Every tracked `(fingerprint, since)` pair, sorted by fingerprint
+    /// so checkpoint export is byte-stable.
+    pub(crate) fn entries(&self) -> Vec<(String, SimTime)> {
+        let mut entries: Vec<_> = self
+            .since
+            .iter()
+            .map(|(fingerprint, since)| (fingerprint.clone(), *since))
+            .collect();
+        entries.sort();
+        entries
+    }
+
+    /// Restores a tracked atom under its original start-of-truth instant.
+    pub(crate) fn restore(&mut self, fingerprint: String, since: SimTime) {
+        self.since.insert(fingerprint, since);
+    }
 }
 
 /// Compiled programs and the AST interpreter share one tracker: lowering

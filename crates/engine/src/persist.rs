@@ -1,0 +1,749 @@
+//! Runtime-state checkpointing: export the engine's mid-flight state as
+//! a deterministic JSON document and import it into a fresh engine.
+//!
+//! Rules and priority orders are *not* in here — they are durable
+//! mutations with their own WAL records, and compiled IR programs are
+//! always rebuilt on replay (`RuleDb` recompiles on insert). What this
+//! module captures is everything else a restart would otherwise forget:
+//!
+//! * the context store's dynamic state (sensor readings **with their
+//!   original freshness stamps**, presence, transient events with their
+//!   original expiries, persistent events, clock, event window,
+//!   freshness policy);
+//! * `held_for` trackers (since-instants of duration-qualified atoms);
+//! * edge-detection state, device holds, contenders, latches and
+//!   notation sets;
+//! * the fault-tolerance layer: breaker machines (including grown
+//!   cooldowns), the retry queue, the dead-letter queue and the
+//!   sequence counter.
+//!
+//! Export is byte-stable: every hash-map is emitted in sorted order, so
+//! two engines in identical states serialize identically — the property
+//! the crash-matrix test leans on.
+//!
+//! This is a child module of `engine` so it can reach the engine's
+//! private runtime fields without widening their visibility.
+
+use super::{ActiveHolder, Engine};
+use crate::context::{FreshnessMode, FreshnessPolicy};
+use crate::error::EngineError;
+use crate::resilience::{
+    BreakerState, DeadLetter, Resilience, ResilienceConfig, RetryEntry, RetryKind,
+};
+use cadel_rule::codec::{action_from_json, action_to_json, value_from_json, value_to_json};
+use cadel_types::json::Json;
+use cadel_types::{DeviceId, PersonId, PlaceId, RuleId, SensorKey, SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// Schema version of the runtime checkpoint document.
+const RUNTIME_VERSION: i64 = 1;
+
+/// Serializes a freshness policy (mode + optional max age).
+pub fn freshness_policy_to_json(policy: &FreshnessPolicy) -> Json {
+    let mut members = vec![("mode", Json::str(mode_name(policy.mode)))];
+    if let Some(max_age) = policy.max_age {
+        members.push(("max_age_ms", Json::Int(max_age.as_millis() as i64)));
+    }
+    Json::obj(members)
+}
+
+/// Parses a freshness policy serialized by [`freshness_policy_to_json`].
+///
+/// # Errors
+///
+/// Returns [`EngineError::Persist`] on an out-of-schema value.
+pub fn freshness_policy_from_json(doc: &Json) -> Result<FreshnessPolicy, EngineError> {
+    let mode = match get_str(doc, "mode")? {
+        "fail-closed" => FreshnessMode::FailClosed,
+        "fail-open" => FreshnessMode::FailOpen,
+        "hold-last-value" => FreshnessMode::HoldLastValue,
+        other => return Err(bad(format!("unknown freshness mode '{other}'"))),
+    };
+    let max_age = match doc.get("max_age_ms") {
+        Some(ms) => Some(SimDuration::from_millis(int_of(ms, "max_age_ms")? as u64)),
+        None => None,
+    };
+    Ok(FreshnessPolicy { mode, max_age })
+}
+
+fn mode_name(mode: FreshnessMode) -> &'static str {
+    match mode {
+        FreshnessMode::FailClosed => "fail-closed",
+        FreshnessMode::FailOpen => "fail-open",
+        FreshnessMode::HoldLastValue => "hold-last-value",
+    }
+}
+
+impl Engine {
+    /// Exports the engine's runtime state as a deterministic JSON
+    /// document (see the module docs for exactly what is covered).
+    /// Identical engine states always produce identical documents.
+    pub fn export_runtime_json(&self) -> Json {
+        let ctx = &self.ctx;
+        let sensors = Json::Arr(
+            ctx.sensor_entries()
+                .into_iter()
+                .map(|(key, value, at)| {
+                    Json::obj(vec![
+                        ("device", Json::str(key.device().as_str())),
+                        ("variable", Json::str(key.variable())),
+                        ("value", value_to_json(&value)),
+                        ("at", Json::Int(at.as_millis() as i64)),
+                    ])
+                })
+                .collect(),
+        );
+        let presence = Json::Arr(
+            ctx.presence_entries()
+                .into_iter()
+                .map(|(person, place)| {
+                    Json::obj(vec![
+                        ("person", Json::str(person.as_str())),
+                        ("place", Json::str(place.as_str())),
+                    ])
+                })
+                .collect(),
+        );
+        let transient = Json::Arr(
+            ctx.transient_event_entries()
+                .into_iter()
+                .map(|(channel, name, expiry)| {
+                    Json::obj(vec![
+                        ("channel", Json::str(&channel)),
+                        ("name", Json::str(&name)),
+                        ("expires_at", Json::Int(expiry.as_millis() as i64)),
+                    ])
+                })
+                .collect(),
+        );
+        let persistent = Json::Arr(
+            ctx.persistent_event_entries()
+                .into_iter()
+                .map(|(channel, name)| {
+                    Json::obj(vec![
+                        ("channel", Json::str(&channel)),
+                        ("name", Json::str(&name)),
+                    ])
+                })
+                .collect(),
+        );
+        let held = Json::Arr(
+            self.held
+                .entries()
+                .into_iter()
+                .map(|(fingerprint, since)| {
+                    Json::obj(vec![
+                        ("fingerprint", Json::str(&fingerprint)),
+                        ("since", Json::Int(since.as_millis() as i64)),
+                    ])
+                })
+                .collect(),
+        );
+
+        let mut last_state: Vec<_> = self.last_state.iter().collect();
+        last_state.sort_by_key(|(id, _)| **id);
+        let last_state = Json::Arr(
+            last_state
+                .into_iter()
+                .map(|(id, state)| {
+                    Json::obj(vec![
+                        ("rule", Json::Int(id.raw() as i64)),
+                        ("state", Json::Bool(*state)),
+                    ])
+                })
+                .collect(),
+        );
+
+        let mut holders: Vec<_> = self.holders.iter().collect();
+        holders.sort_by_key(|(device, _)| (*device).clone());
+        let holders = Json::Arr(
+            holders
+                .into_iter()
+                .map(|(device, holder)| {
+                    Json::obj(vec![
+                        ("device", Json::str(device.as_str())),
+                        ("rule", Json::Int(holder.rule.raw() as i64)),
+                    ])
+                })
+                .collect(),
+        );
+
+        let mut contenders: Vec<_> = self
+            .contenders
+            .iter()
+            .filter(|(_, rules)| !rules.is_empty())
+            .collect();
+        contenders.sort_by_key(|(device, _)| (*device).clone());
+        let contenders = Json::Arr(
+            contenders
+                .into_iter()
+                .map(|(device, rules)| {
+                    Json::obj(vec![
+                        ("device", Json::str(device.as_str())),
+                        (
+                            "rules",
+                            Json::Arr(rules.iter().map(|id| Json::Int(id.raw() as i64)).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+
+        let resilience = resilience_to_json(&self.resilience);
+
+        Json::obj(vec![
+            ("version", Json::Int(RUNTIME_VERSION)),
+            ("now", Json::Int(ctx.now().as_millis() as i64)),
+            (
+                "event_window_ms",
+                Json::Int(ctx.event_window().as_millis() as i64),
+            ),
+            (
+                "freshness",
+                freshness_policy_to_json(&ctx.freshness_policy()),
+            ),
+            ("sensors", sensors),
+            ("presence", presence),
+            ("transient_events", transient),
+            ("persistent_events", persistent),
+            ("held", held),
+            ("last_state", last_state),
+            ("holders", holders),
+            ("contenders", contenders),
+            ("latched", rule_set_to_json(&self.latched)),
+            ("suppress_noted", rule_set_to_json(&self.suppress_noted)),
+            ("fallback_noted", rule_set_to_json(&self.fallback_noted)),
+            ("defer_noted", rule_set_to_json(&self.defer_noted)),
+            (
+                "deferred_devices",
+                Json::Arr(
+                    self.deferred_devices
+                        .iter()
+                        .map(|d| Json::str(d.as_str()))
+                        .collect(),
+                ),
+            ),
+            ("resilience", resilience),
+        ])
+    }
+
+    /// Imports a checkpoint produced by [`Engine::export_runtime_json`],
+    /// replacing the engine's entire runtime state. Rules and priorities
+    /// must already be in place (they replay from their own records);
+    /// sensor stamps, event expiries, holds and breaker machines come
+    /// back exactly as exported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Persist`] on an out-of-schema document.
+    /// The engine's runtime state is unspecified after an error — import
+    /// into a fresh engine (the recovery path always does).
+    pub fn import_runtime_json(&mut self, doc: &Json) -> Result<(), EngineError> {
+        let version = get_int(doc, "version")?;
+        if version != RUNTIME_VERSION {
+            return Err(bad(format!(
+                "runtime checkpoint version {version} unsupported (expected {RUNTIME_VERSION})"
+            )));
+        }
+
+        // Clock first: restores below must not be expired by a later
+        // set_now, and set_now itself expires nothing when the maps are
+        // already clear.
+        self.ctx.clear_dynamic_state();
+        self.ctx
+            .set_now(SimTime::from_millis(get_int(doc, "now")? as u64));
+        self.ctx.set_event_window(SimDuration::from_millis(
+            get_int(doc, "event_window_ms")? as u64
+        ));
+        self.ctx
+            .set_freshness_policy(freshness_policy_from_json(require(doc, "freshness")?)?);
+
+        for entry in arr_of(doc, "sensors")? {
+            let key = SensorKey::new(
+                DeviceId::new(get_str(entry, "device")?),
+                get_str(entry, "variable")?,
+            );
+            let value = value_from_json(require(entry, "value")?)
+                .map_err(|e| bad(format!("sensor value: {e}")))?;
+            let at = SimTime::from_millis(get_int(entry, "at")? as u64);
+            self.ctx.restore_sensor(key, value, at);
+        }
+        for entry in arr_of(doc, "presence")? {
+            self.ctx.set_presence(
+                PersonId::new(get_str(entry, "person")?),
+                Some(PlaceId::new(get_str(entry, "place")?)),
+            );
+        }
+        for entry in arr_of(doc, "persistent_events")? {
+            self.ctx
+                .set_persistent_event(get_str(entry, "channel")?, get_str(entry, "name")?);
+        }
+        for entry in arr_of(doc, "transient_events")? {
+            self.ctx.restore_transient_event(
+                get_str(entry, "channel")?,
+                get_str(entry, "name")?,
+                SimTime::from_millis(get_int(entry, "expires_at")? as u64),
+            );
+        }
+
+        self.held = crate::eval::HeldTracker::new();
+        for entry in arr_of(doc, "held")? {
+            self.held.restore(
+                get_str(entry, "fingerprint")?.to_owned(),
+                SimTime::from_millis(get_int(entry, "since")? as u64),
+            );
+        }
+
+        self.last_state.clear();
+        for entry in arr_of(doc, "last_state")? {
+            let state = require(entry, "state")?
+                .as_bool()
+                .ok_or_else(|| bad("'state' must be a boolean"))?;
+            self.last_state.insert(rule_of(entry, "rule")?, state);
+        }
+        self.holders.clear();
+        for entry in arr_of(doc, "holders")? {
+            self.holders.insert(
+                DeviceId::new(get_str(entry, "device")?),
+                ActiveHolder {
+                    rule: rule_of(entry, "rule")?,
+                },
+            );
+        }
+        self.contenders.clear();
+        for entry in arr_of(doc, "contenders")? {
+            let device = DeviceId::new(get_str(entry, "device")?);
+            let mut rules = BTreeSet::new();
+            for id in arr_of(entry, "rules")? {
+                rules.insert(RuleId::new(
+                    id.as_int()
+                        .ok_or_else(|| bad("contender rule ids must be integers"))?
+                        as u64,
+                ));
+            }
+            self.contenders.insert(device, rules);
+        }
+        self.latched = rule_set_from_json(doc, "latched")?;
+        self.suppress_noted = rule_set_from_json(doc, "suppress_noted")?;
+        self.fallback_noted = rule_set_from_json(doc, "fallback_noted")?;
+        self.defer_noted = rule_set_from_json(doc, "defer_noted")?;
+        self.deferred_devices = arr_of(doc, "deferred_devices")?
+            .iter()
+            .map(|d| {
+                d.as_str()
+                    .map(DeviceId::new)
+                    .ok_or_else(|| bad("deferred device ids must be strings"))
+            })
+            .collect::<Result<_, _>>()?;
+
+        self.resilience = resilience_from_json(require(doc, "resilience")?)?;
+        Ok(())
+    }
+}
+
+fn resilience_to_json(resilience: &Resilience) -> Json {
+    let config = resilience.config();
+    let config_doc = Json::obj(vec![
+        (
+            "failure_threshold",
+            Json::Int(config.failure_threshold as i64),
+        ),
+        ("cooldown_ms", Json::Int(config.cooldown.as_millis() as i64)),
+        (
+            "max_cooldown_ms",
+            Json::Int(config.max_cooldown.as_millis() as i64),
+        ),
+        (
+            "retry_base_ms",
+            Json::Int(config.retry_base.as_millis() as i64),
+        ),
+        (
+            "retry_cap_ms",
+            Json::Int(config.retry_cap.as_millis() as i64),
+        ),
+        ("max_attempts", Json::Int(config.max_attempts as i64)),
+        ("device_budget", Json::Int(config.device_budget as i64)),
+        ("jitter_seed", Json::Int(config.jitter_seed as i64)),
+    ]);
+    let breakers = Json::Arr(
+        resilience
+            .breaker_entries()
+            .map(|(device, breaker)| {
+                Json::obj(vec![
+                    ("device", Json::str(device.as_str())),
+                    ("state", Json::str(breaker_state_name(breaker.state()))),
+                    ("failures", Json::Int(breaker.consecutive_failures() as i64)),
+                    (
+                        "cooldown_ms",
+                        Json::Int(breaker.cooldown().as_millis() as i64),
+                    ),
+                    (
+                        "reopen_at",
+                        Json::Int(breaker.reopen_at().as_millis() as i64),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let queue = Json::Arr(
+        resilience
+            .queue_entries()
+            .iter()
+            .map(|entry| {
+                Json::obj(vec![
+                    ("seq", Json::Int(entry.seq as i64)),
+                    ("rule", Json::Int(entry.rule.raw() as i64)),
+                    ("device", Json::str(entry.device.as_str())),
+                    ("action", action_to_json(&entry.action)),
+                    ("kind", Json::str(kind_name(entry.kind))),
+                    ("attempt", Json::Int(entry.attempt as i64)),
+                    ("next_at", Json::Int(entry.next_at.as_millis() as i64)),
+                ])
+            })
+            .collect(),
+    );
+    let dlq = Json::Arr(
+        resilience
+            .dead_letters()
+            .iter()
+            .map(|letter| {
+                Json::obj(vec![
+                    ("rule", Json::Int(letter.rule.raw() as i64)),
+                    ("device", Json::str(letter.device.as_str())),
+                    ("action", action_to_json(&letter.action)),
+                    ("kind", Json::str(kind_name(letter.kind))),
+                    ("attempts", Json::Int(letter.attempts as i64)),
+                    ("reason", Json::str(&letter.reason)),
+                    ("at", Json::Int(letter.at.as_millis() as i64)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("config", config_doc),
+        ("next_seq", Json::Int(resilience.next_seq() as i64)),
+        ("breakers", breakers),
+        ("queue", queue),
+        ("dlq", dlq),
+    ])
+}
+
+fn resilience_from_json(doc: &Json) -> Result<Resilience, EngineError> {
+    let config_doc = require(doc, "config")?;
+    let config = ResilienceConfig {
+        failure_threshold: get_int(config_doc, "failure_threshold")? as u32,
+        cooldown: SimDuration::from_millis(get_int(config_doc, "cooldown_ms")? as u64),
+        max_cooldown: SimDuration::from_millis(get_int(config_doc, "max_cooldown_ms")? as u64),
+        retry_base: SimDuration::from_millis(get_int(config_doc, "retry_base_ms")? as u64),
+        retry_cap: SimDuration::from_millis(get_int(config_doc, "retry_cap_ms")? as u64),
+        max_attempts: get_int(config_doc, "max_attempts")? as u32,
+        device_budget: get_int(config_doc, "device_budget")? as usize,
+        jitter_seed: get_int(config_doc, "jitter_seed")? as u64,
+    };
+    let mut resilience = Resilience::new(config);
+    for entry in arr_of(doc, "breakers")? {
+        let state = match get_str(entry, "state")? {
+            "closed" => BreakerState::Closed,
+            "open" => BreakerState::Open,
+            "half-open" => BreakerState::HalfOpen,
+            other => return Err(bad(format!("unknown breaker state '{other}'"))),
+        };
+        resilience.restore_breaker(
+            DeviceId::new(get_str(entry, "device")?),
+            state,
+            get_int(entry, "failures")? as u32,
+            SimDuration::from_millis(get_int(entry, "cooldown_ms")? as u64),
+            SimTime::from_millis(get_int(entry, "reopen_at")? as u64),
+        );
+    }
+    for entry in arr_of(doc, "queue")? {
+        resilience.restore_retry(RetryEntry {
+            seq: get_int(entry, "seq")? as u64,
+            rule: rule_of(entry, "rule")?,
+            device: DeviceId::new(get_str(entry, "device")?),
+            action: action_from_json(require(entry, "action")?)
+                .map_err(|e| bad(format!("retry action: {e}")))?,
+            kind: kind_from_name(get_str(entry, "kind")?)?,
+            attempt: get_int(entry, "attempt")? as u32,
+            next_at: SimTime::from_millis(get_int(entry, "next_at")? as u64),
+        });
+    }
+    for entry in arr_of(doc, "dlq")? {
+        resilience.restore_dead_letter(DeadLetter {
+            rule: rule_of(entry, "rule")?,
+            device: DeviceId::new(get_str(entry, "device")?),
+            action: action_from_json(require(entry, "action")?)
+                .map_err(|e| bad(format!("dead-letter action: {e}")))?,
+            kind: kind_from_name(get_str(entry, "kind")?)?,
+            attempts: get_int(entry, "attempts")? as u32,
+            reason: get_str(entry, "reason")?.to_owned(),
+            at: SimTime::from_millis(get_int(entry, "at")? as u64),
+        });
+    }
+    resilience.restore_next_seq(get_int(doc, "next_seq")? as u64);
+    Ok(resilience)
+}
+
+fn breaker_state_name(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half-open",
+    }
+}
+
+fn kind_name(kind: RetryKind) -> &'static str {
+    match kind {
+        RetryKind::Fire => "fire",
+        RetryKind::Release => "release",
+    }
+}
+
+fn kind_from_name(name: &str) -> Result<RetryKind, EngineError> {
+    match name {
+        "fire" => Ok(RetryKind::Fire),
+        "release" => Ok(RetryKind::Release),
+        other => Err(bad(format!("unknown retry kind '{other}'"))),
+    }
+}
+
+fn rule_set_to_json(set: &BTreeSet<RuleId>) -> Json {
+    Json::Arr(set.iter().map(|id| Json::Int(id.raw() as i64)).collect())
+}
+
+fn rule_set_from_json(doc: &Json, key: &str) -> Result<BTreeSet<RuleId>, EngineError> {
+    arr_of(doc, key)?
+        .iter()
+        .map(|id| {
+            id.as_int()
+                .map(|raw| RuleId::new(raw as u64))
+                .ok_or_else(|| bad(format!("'{key}' entries must be integer rule ids")))
+        })
+        .collect()
+}
+
+fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, EngineError> {
+    doc.get(key)
+        .ok_or_else(|| bad(format!("missing field '{key}'")))
+}
+
+fn arr_of<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], EngineError> {
+    require(doc, key)?
+        .as_arr()
+        .ok_or_else(|| bad(format!("'{key}' must be an array")))
+}
+
+fn get_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, EngineError> {
+    require(doc, key)?
+        .as_str()
+        .ok_or_else(|| bad(format!("'{key}' must be a string")))
+}
+
+fn get_int(doc: &Json, key: &str) -> Result<i64, EngineError> {
+    int_of(require(doc, key)?, key)
+}
+
+fn int_of(doc: &Json, key: &str) -> Result<i64, EngineError> {
+    doc.as_int()
+        .ok_or_else(|| bad(format!("'{key}' must be an integer")))
+}
+
+fn rule_of(doc: &Json, key: &str) -> Result<RuleId, EngineError> {
+    Ok(RuleId::new(get_int(doc, key)? as u64))
+}
+
+fn bad(message: impl Into<String>) -> EngineError {
+    EngineError::Persist(message.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_devices::LivingRoomHome;
+    use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, Rule, Verb};
+    use cadel_simplex::RelOp;
+    use cadel_types::{Quantity, Rational, SensorKey, Unit};
+    use cadel_upnp::{ControlPoint, FaultPlan, FaultyDevice, Registry};
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_minutes(m)
+    }
+
+    fn hot_rule(owner: &str, id: u64, threshold: i64) -> Rule {
+        let cond = Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            RelOp::Gt,
+            Quantity::from_integer(threshold, Unit::Celsius),
+        )));
+        Rule::builder(PersonId::new(owner))
+            .condition(cond)
+            .action(ActionSpec::new(DeviceId::new("aircon-lr"), Verb::TurnOn))
+            .until(Condition::Atom(Atom::Event(EventAtom::new(
+                "home",
+                "goodnight",
+            ))))
+            .build(RuleId::new(id))
+            .unwrap()
+    }
+
+    fn held_rule(owner: &str, id: u64) -> Rule {
+        let inner = Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo-lr"), "temperature"),
+            RelOp::Gt,
+            Quantity::from_integer(20, Unit::Celsius),
+        ));
+        let cond = Condition::Atom(Atom::held_for(inner, SimDuration::from_minutes(30)));
+        Rule::builder(PersonId::new(owner))
+            .condition(cond)
+            .action(ActionSpec::new(DeviceId::new("lamp-lr"), Verb::TurnOn))
+            .build(RuleId::new(id))
+            .unwrap()
+    }
+
+    /// Builds a mid-scenario engine: a breaker tripped on the aircon, a
+    /// retry queued, a `held_for` window half-elapsed, presence and
+    /// events in the context store.
+    fn busy_engine() -> (Engine, LivingRoomHome) {
+        let registry = Registry::new();
+        let home = LivingRoomHome::install(&registry);
+        FaultyDevice::wrap(
+            &registry,
+            &DeviceId::new("aircon-lr"),
+            FaultPlan::new().fail_between(SimTime::EPOCH, mins(45)),
+        )
+        .unwrap();
+        let mut engine = Engine::new(ControlPoint::new(registry));
+        engine.add_rule(hot_rule("tom", 1, 26)).unwrap();
+        engine.add_rule(held_rule("alan", 2)).unwrap();
+        engine
+            .context_mut()
+            .set_presence(PersonId::new("tom"), Some(PlaceId::new("living-room")));
+        engine
+            .context_mut()
+            .set_persistent_event("home", "vacation");
+        engine.context_mut().raise_event("home", "doorbell");
+        home.thermometer
+            .set_reading(Rational::from_integer(28), mins(1))
+            .unwrap();
+        for m in 1..6 {
+            engine.step(mins(m));
+        }
+        (engine, home)
+    }
+
+    #[test]
+    fn export_import_export_is_a_fixpoint() {
+        let (engine, _home) = busy_engine();
+        let doc = engine.export_runtime_json();
+
+        // The checkpoint actually captured the interesting state.
+        let resilience = doc.get("resilience").unwrap();
+        assert!(!resilience
+            .get("breakers")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+        assert!(!doc.get("held").unwrap().as_arr().unwrap().is_empty());
+        assert!(!doc.get("sensors").unwrap().as_arr().unwrap().is_empty());
+
+        // Import into a *fresh* engine over an identical (fresh) home.
+        let registry = Registry::new();
+        LivingRoomHome::install(&registry);
+        FaultyDevice::wrap(
+            &registry,
+            &DeviceId::new("aircon-lr"),
+            FaultPlan::new().fail_between(SimTime::EPOCH, mins(45)),
+        )
+        .unwrap();
+        let mut restored = Engine::new(ControlPoint::new(registry));
+        restored.add_rule(hot_rule("tom", 1, 26)).unwrap();
+        restored.add_rule(held_rule("alan", 2)).unwrap();
+        restored.import_runtime_json(&doc).unwrap();
+
+        assert_eq!(restored.export_runtime_json(), doc);
+    }
+
+    #[test]
+    fn restored_engine_resumes_in_lockstep() {
+        let (mut original, home_a) = busy_engine();
+        let doc = original.export_runtime_json();
+
+        let registry = Registry::new();
+        let home_b = LivingRoomHome::install(&registry);
+        FaultyDevice::wrap(
+            &registry,
+            &DeviceId::new("aircon-lr"),
+            FaultPlan::new().fail_between(SimTime::EPOCH, mins(45)),
+        )
+        .unwrap();
+        let mut restored = Engine::new(ControlPoint::new(registry));
+        restored.add_rule(hot_rule("tom", 1, 26)).unwrap();
+        restored.add_rule(held_rule("alan", 2)).unwrap();
+        restored.import_runtime_json(&doc).unwrap();
+        // The restored home's devices must mirror the original's live
+        // state (a real recovery re-reads the world; here the world is
+        // fresh, so replay the one reading that matters).
+        home_b
+            .thermometer
+            .set_reading(Rational::from_integer(28), mins(1))
+            .unwrap();
+        restored.step(mins(5));
+        let _ = home_a; // scenario state beyond the thermometer is idle
+
+        // Drive both engines forward: the held_for window elapses at
+        // minute 31, the breaker cooldown and queued retries play out.
+        for m in 6..60 {
+            let ra = original.step(mins(m));
+            let rb = restored.step(mins(m));
+            assert_eq!(
+                ra.to_string(),
+                rb.to_string(),
+                "step reports diverge at minute {m}"
+            );
+        }
+        assert_eq!(
+            original.export_runtime_json(),
+            restored.export_runtime_json()
+        );
+    }
+
+    #[test]
+    fn freshness_policy_round_trips() {
+        let policies = [
+            FreshnessPolicy::default(),
+            FreshnessPolicy {
+                mode: FreshnessMode::FailClosed,
+                max_age: Some(SimDuration::from_minutes(5)),
+            },
+            FreshnessPolicy {
+                mode: FreshnessMode::FailOpen,
+                max_age: Some(SimDuration::from_millis(1)),
+            },
+            FreshnessPolicy {
+                mode: FreshnessMode::HoldLastValue,
+                max_age: None,
+            },
+        ];
+        for policy in policies {
+            let doc = freshness_policy_to_json(&policy);
+            assert_eq!(freshness_policy_from_json(&doc).unwrap(), policy);
+        }
+    }
+
+    #[test]
+    fn import_rejects_out_of_schema_documents() {
+        let (mut engine, _home) = busy_engine();
+        let err = engine
+            .import_runtime_json(&Json::obj(vec![("version", Json::Int(99))]))
+            .unwrap_err();
+        assert!(err.to_string().contains("version 99"));
+
+        let mut doc = engine.export_runtime_json();
+        if let Json::Obj(members) = &mut doc {
+            members.retain(|(key, _)| key != "resilience");
+        }
+        let err = engine.import_runtime_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("resilience"));
+    }
+}

@@ -177,6 +177,11 @@ impl CircuitBreaker {
         self.reopen_at
     }
 
+    /// The current (possibly doubled) cooldown — persistence export.
+    pub(crate) fn cooldown(&self) -> SimDuration {
+        self.cooldown
+    }
+
     /// Whether an invocation may proceed at `now`; promotes an open
     /// breaker whose cooldown elapsed to half-open (the probe).
     pub fn allows(&mut self, now: SimTime) -> bool {
@@ -699,6 +704,61 @@ impl Resilience {
     /// Queued retries targeting a device.
     pub fn queued_for(&self, device: &DeviceId) -> usize {
         self.queue.iter().filter(|e| &e.device == device).count()
+    }
+
+    /// Every breaker with its device, in device order (persistence
+    /// export; `BTreeMap` iteration is already deterministic).
+    pub(crate) fn breaker_entries(&self) -> impl Iterator<Item = (&DeviceId, &CircuitBreaker)> {
+        self.breakers.iter()
+    }
+
+    /// The retry queue in insertion order (persistence export).
+    pub(crate) fn queue_entries(&self) -> &[RetryEntry] {
+        &self.queue
+    }
+
+    /// The sequence counter the next scheduled retry would take.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Reinstates a breaker exactly as checkpointed — state machine
+    /// position, failure streak, grown cooldown, and reopen deadline.
+    pub(crate) fn restore_breaker(
+        &mut self,
+        device: DeviceId,
+        state: BreakerState,
+        consecutive_failures: u32,
+        cooldown: SimDuration,
+        reopen_at: SimTime,
+    ) {
+        self.breakers.insert(
+            device,
+            CircuitBreaker {
+                state,
+                consecutive_failures,
+                cooldown,
+                reopen_at,
+            },
+        );
+    }
+
+    /// Reinstates a queued retry verbatim, keeping the sequence counter
+    /// ahead of every restored entry.
+    pub(crate) fn restore_retry(&mut self, entry: RetryEntry) {
+        self.next_seq = self.next_seq.max(entry.seq + 1);
+        self.queue.push(entry);
+    }
+
+    /// Reinstates a dead letter verbatim.
+    pub(crate) fn restore_dead_letter(&mut self, letter: DeadLetter) {
+        self.dlq.push(letter);
+    }
+
+    /// Fast-forwards the sequence counter (persistence import; never
+    /// moves it backwards).
+    pub(crate) fn restore_next_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
     }
 
     /// A point-in-time status snapshot.

@@ -5,6 +5,12 @@
 //! build (no `serde`). The schema round-trips every construct of the rule
 //! language: nested conditions, all atom kinds, `until` clauses, duration
 //! qualifiers and unit-carrying thresholds (exact rationals, no floats).
+//!
+//! This schema doubles as the payload format of the durable store's
+//! write-ahead log (see `docs/PERSISTENCE.md`), so parse errors carry the
+//! JSON path of the offending field (e.g. `at $[3].condition.all[1]:
+//! missing field 'type'`) — when a half-replayed log rejects a record,
+//! the diagnostic points at the byte that broke, not just "bad JSON".
 
 use crate::action::{ActionSpec, Setting, Verb};
 use crate::atom::{Atom, ConstraintAtom, EventAtom, PresenceAtom, StateAtom, Subject};
@@ -28,13 +34,18 @@ pub fn rules_to_json<'a>(rules: impl IntoIterator<Item = &'a Rule>) -> String {
 /// # Errors
 ///
 /// Returns [`RuleError::Serialization`] on malformed JSON or an
-/// out-of-schema document.
+/// out-of-schema document. The message names the JSON path that failed
+/// (`at $[2].action.verb: …`).
 pub fn rules_from_json(text: &str) -> Result<Vec<Rule>, RuleError> {
     let doc = json::parse(text).map_err(|e| RuleError::Serialization(e.to_string()))?;
     let items = doc
         .as_arr()
-        .ok_or_else(|| bad("top-level document must be an array of rules"))?;
-    items.iter().map(rule_from_json).collect()
+        .ok_or_else(|| bad("$", "top-level document must be an array of rules"))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| rule_from_json_at(item, &format!("$[{i}]")))
+        .collect()
 }
 
 /// Serializes one rule to a JSON value.
@@ -59,30 +70,46 @@ pub fn rule_to_json(rule: &Rule) -> Json {
 ///
 /// # Errors
 ///
-/// Returns [`RuleError::Serialization`] on an out-of-schema value.
+/// Returns [`RuleError::Serialization`] on an out-of-schema value, with
+/// the failing JSON path in the message.
 pub fn rule_from_json(doc: &Json) -> Result<Rule, RuleError> {
-    let id = RuleId::new(get_int(doc, "id")? as u64);
-    let owner = PersonId::new(get_str(doc, "owner")?);
+    rule_from_json_at(doc, "$")
+}
+
+fn rule_from_json_at(doc: &Json, path: &str) -> Result<Rule, RuleError> {
+    let id = RuleId::new(get_int(doc, "id", path)? as u64);
+    let owner = PersonId::new(get_str(doc, "owner", path)?);
     let mut builder = Rule::builder(owner)
-        .condition(condition_from_json(require(doc, "condition")?)?)
-        .action(action_from_json(require(doc, "action")?)?);
+        .condition(condition_from_json_at(
+            require(doc, "condition", path)?,
+            &child(path, "condition"),
+        )?)
+        .action(action_from_json_at(
+            require(doc, "action", path)?,
+            &child(path, "action"),
+        )?);
     if let Some(label) = doc.get("label") {
-        builder = builder.label(str_of(label, "label")?);
+        builder = builder.label(str_of(label, &child(path, "label"))?);
     }
     if let Some(until) = doc.get("until") {
-        builder = builder.until(condition_from_json(until)?);
+        builder = builder.until(condition_from_json_at(until, &child(path, "until"))?);
     }
     if let Some(enabled) = doc.get("enabled") {
         builder = builder.enabled(
             enabled
                 .as_bool()
-                .ok_or_else(|| bad("'enabled' must be a boolean"))?,
+                .ok_or_else(|| bad(&child(path, "enabled"), "must be a boolean"))?,
         );
     }
     builder.build(id)
 }
 
-fn condition_to_json(condition: &Condition) -> Json {
+/// Serializes a condition tree to a JSON value.
+///
+/// Exposed (alongside [`condition_from_json`]) so other layers — e.g.
+/// the durable store's priority-order records — can reuse the rule
+/// schema instead of inventing a second condition encoding.
+pub fn condition_to_json(condition: &Condition) -> Json {
     match condition {
         Condition::True => Json::Bool(true),
         Condition::Atom(atom) => atom_to_json(atom),
@@ -97,25 +124,42 @@ fn condition_to_json(condition: &Condition) -> Json {
     }
 }
 
-fn condition_from_json(doc: &Json) -> Result<Condition, RuleError> {
+/// Parses a condition tree from a JSON value.
+///
+/// # Errors
+///
+/// Returns [`RuleError::Serialization`] on an out-of-schema value.
+pub fn condition_from_json(doc: &Json) -> Result<Condition, RuleError> {
+    condition_from_json_at(doc, "$")
+}
+
+fn condition_from_json_at(doc: &Json, path: &str) -> Result<Condition, RuleError> {
     if doc.as_bool() == Some(true) {
         return Ok(Condition::True);
     }
     if let Some(parts) = doc.get("all") {
         let parts = parts
             .as_arr()
-            .ok_or_else(|| bad("'all' must be an array"))?;
-        let conditions: Result<Vec<_>, _> = parts.iter().map(condition_from_json).collect();
+            .ok_or_else(|| bad(&child(path, "all"), "must be an array"))?;
+        let conditions: Result<Vec<_>, _> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, part)| condition_from_json_at(part, &format!("{path}.all[{i}]")))
+            .collect();
         return Ok(Condition::And(conditions?));
     }
     if let Some(parts) = doc.get("any") {
         let parts = parts
             .as_arr()
-            .ok_or_else(|| bad("'any' must be an array"))?;
-        let conditions: Result<Vec<_>, _> = parts.iter().map(condition_from_json).collect();
+            .ok_or_else(|| bad(&child(path, "any"), "must be an array"))?;
+        let conditions: Result<Vec<_>, _> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, part)| condition_from_json_at(part, &format!("{path}.any[{i}]")))
+            .collect();
         return Ok(Condition::Or(conditions?));
     }
-    Ok(Condition::Atom(atom_from_json(doc)?))
+    Ok(Condition::Atom(atom_from_json_at(doc, path)?))
 }
 
 fn atom_to_json(atom: &Atom) -> Json {
@@ -174,16 +218,16 @@ fn atom_to_json(atom: &Atom) -> Json {
     }
 }
 
-fn atom_from_json(doc: &Json) -> Result<Atom, RuleError> {
-    match get_str(doc, "type")? {
+fn atom_from_json_at(doc: &Json, path: &str) -> Result<Atom, RuleError> {
+    match get_str(doc, "type", path)? {
         "constraint" => {
             let sensor = SensorKey::new(
-                DeviceId::new(get_str(doc, "device")?),
-                get_str(doc, "variable")?,
+                DeviceId::new(get_str(doc, "device", path)?),
+                get_str(doc, "variable", path)?,
             );
-            let op = op_from_symbol(get_str(doc, "op")?)?;
-            let value = rational_from_json(require(doc, "value")?)?;
-            let unit = unit_from_name(get_str(doc, "unit")?)?;
+            let op = op_from_symbol(get_str(doc, "op", path)?, &child(path, "op"))?;
+            let value = rational_from_json_at(require(doc, "value", path)?, &child(path, "value"))?;
+            let unit = unit_from_name(get_str(doc, "unit", path)?, &child(path, "unit"))?;
             Ok(Atom::Constraint(ConstraintAtom::new(
                 sensor,
                 op,
@@ -191,60 +235,64 @@ fn atom_from_json(doc: &Json) -> Result<Atom, RuleError> {
             )))
         }
         "presence" => {
-            let subject = match get_str(doc, "subject")? {
+            let subject = match get_str(doc, "subject", path)? {
                 "@somebody" => Subject::Somebody,
                 "@nobody" => Subject::Nobody,
                 person => Subject::Person(PersonId::new(person)),
             };
             Ok(Atom::Presence(PresenceAtom::new(
                 subject,
-                PlaceId::new(get_str(doc, "place")?),
+                PlaceId::new(get_str(doc, "place", path)?),
             )))
         }
         "state" => Ok(Atom::State(StateAtom::new(
-            DeviceId::new(get_str(doc, "device")?),
-            get_str(doc, "variable")?,
-            value_from_json(require(doc, "value")?)?,
+            DeviceId::new(get_str(doc, "device", path)?),
+            get_str(doc, "variable", path)?,
+            value_from_json_at(require(doc, "value", path)?, &child(path, "value"))?,
         ))),
         "event" => Ok(Atom::Event(EventAtom::new(
-            get_str(doc, "channel")?,
-            get_str(doc, "name")?,
+            get_str(doc, "channel", path)?,
+            get_str(doc, "name", path)?,
         ))),
         "time" => {
-            let start = minutes_of(get_int(doc, "start")?)?;
-            let end = minutes_of(get_int(doc, "end")?)?;
+            let start = minutes_of(get_int(doc, "start", path)?, &child(path, "start"))?;
+            let end = minutes_of(get_int(doc, "end", path)?, &child(path, "end"))?;
             Ok(Atom::Time(TimeWindow::new(start, end)))
         }
         "weekday" => {
-            let index = get_int(doc, "day")?;
+            let index = get_int(doc, "day", path)?;
             let day = Weekday::ALL
                 .get(usize::try_from(index).unwrap_or(usize::MAX))
                 .copied()
-                .ok_or_else(|| bad("weekday index out of range"))?;
+                .ok_or_else(|| bad(&child(path, "day"), "weekday index out of range"))?;
             Ok(Atom::Weekday(day))
         }
         "date" => {
-            let year =
-                i32::try_from(get_int(doc, "year")?).map_err(|_| bad("date year out of range"))?;
-            let month =
-                u8::try_from(get_int(doc, "month")?).map_err(|_| bad("date month out of range"))?;
-            let day =
-                u8::try_from(get_int(doc, "day")?).map_err(|_| bad("date day out of range"))?;
+            let year = i32::try_from(get_int(doc, "year", path)?)
+                .map_err(|_| bad(&child(path, "year"), "date year out of range"))?;
+            let month = u8::try_from(get_int(doc, "month", path)?)
+                .map_err(|_| bad(&child(path, "month"), "date month out of range"))?;
+            let day = u8::try_from(get_int(doc, "day", path)?)
+                .map_err(|_| bad(&child(path, "day"), "date day out of range"))?;
             Ok(Atom::Date(
-                Date::new(year, month, day).ok_or_else(|| bad("invalid calendar date"))?,
+                Date::new(year, month, day).ok_or_else(|| bad(path, "invalid calendar date"))?,
             ))
         }
         "held_for" => {
-            let inner = atom_from_json(require(doc, "inner")?)?;
-            let ms = u64::try_from(get_int(doc, "duration_ms")?)
-                .map_err(|_| bad("duration must be non-negative"))?;
+            let inner = atom_from_json_at(require(doc, "inner", path)?, &child(path, "inner"))?;
+            let ms = u64::try_from(get_int(doc, "duration_ms", path)?)
+                .map_err(|_| bad(&child(path, "duration_ms"), "duration must be non-negative"))?;
             Ok(Atom::held_for(inner, SimDuration::from_millis(ms)))
         }
-        other => Err(bad(format!("unknown atom type '{other}'"))),
+        other => Err(bad(
+            &child(path, "type"),
+            format!("unknown atom type '{other}'"),
+        )),
     }
 }
 
-fn action_to_json(action: &ActionSpec) -> Json {
+/// Serializes an action (device, verb, settings) to a JSON value.
+pub fn action_to_json(action: &ActionSpec) -> Json {
     let verb = match action.verb() {
         Verb::Custom(word) => Json::obj(vec![("custom", Json::str(word))]),
         verb => Json::str(verb.phrase()),
@@ -262,22 +310,37 @@ fn action_to_json(action: &ActionSpec) -> Json {
     Json::obj(members)
 }
 
-fn action_from_json(doc: &Json) -> Result<ActionSpec, RuleError> {
-    let device = DeviceId::new(get_str(doc, "device")?);
-    let verb_doc = require(doc, "verb")?;
+/// Parses an action from a JSON value.
+///
+/// # Errors
+///
+/// Returns [`RuleError::Serialization`] on an out-of-schema value.
+pub fn action_from_json(doc: &Json) -> Result<ActionSpec, RuleError> {
+    action_from_json_at(doc, "$")
+}
+
+fn action_from_json_at(doc: &Json, path: &str) -> Result<ActionSpec, RuleError> {
+    let device = DeviceId::new(get_str(doc, "device", path)?);
+    let verb_doc = require(doc, "verb", path)?;
+    let verb_path = child(path, "verb");
     let verb = if let Some(word) = verb_doc.get("custom") {
-        Verb::Custom(str_of(word, "custom verb")?.to_owned())
+        Verb::Custom(str_of(word, &child(&verb_path, "custom"))?.to_owned())
     } else {
-        Verb::from_phrase(str_of(verb_doc, "verb")?)
+        Verb::from_phrase(str_of(verb_doc, &verb_path)?)
     };
     let mut action = ActionSpec::new(device, verb);
     if let Some(settings) = doc.get("settings") {
+        let settings_path = child(path, "settings");
         let settings = settings
             .as_arr()
-            .ok_or_else(|| bad("'settings' must be an array"))?;
-        for setting in settings {
-            let parameter = get_str(setting, "parameter")?;
-            let value = value_from_json(require(setting, "value")?)?;
+            .ok_or_else(|| bad(&settings_path, "must be an array"))?;
+        for (i, setting) in settings.iter().enumerate() {
+            let setting_path = format!("{settings_path}[{i}]");
+            let parameter = get_str(setting, "parameter", &setting_path)?;
+            let value = value_from_json_at(
+                require(setting, "value", &setting_path)?,
+                &child(&setting_path, "value"),
+            )?;
             action = action.with_setting(parameter, value);
         }
     }
@@ -291,7 +354,8 @@ fn setting_to_json(setting: &Setting) -> Json {
     ])
 }
 
-fn value_to_json(value: &Value) -> Json {
+/// Serializes a typed value (settings, state atoms) to a JSON value.
+pub fn value_to_json(value: &Value) -> Json {
     match value {
         Value::Number(q) => Json::obj(vec![
             ("number", rational_to_json(q.value())),
@@ -305,7 +369,16 @@ fn value_to_json(value: &Value) -> Json {
     }
 }
 
-fn value_from_json(doc: &Json) -> Result<Value, RuleError> {
+/// Parses a typed value from a JSON value.
+///
+/// # Errors
+///
+/// Returns [`RuleError::Serialization`] on an out-of-schema value.
+pub fn value_from_json(doc: &Json) -> Result<Value, RuleError> {
+    value_from_json_at(doc, "$")
+}
+
+fn value_from_json_at(doc: &Json, path: &str) -> Result<Value, RuleError> {
     if let Some(b) = doc.as_bool() {
         return Ok(Value::Bool(b));
     }
@@ -313,20 +386,23 @@ fn value_from_json(doc: &Json) -> Result<Value, RuleError> {
         return Ok(Value::Text(s.to_owned()));
     }
     if let Some(number) = doc.get("number") {
-        let value = rational_from_json(number)?;
-        let unit = unit_from_name(get_str(doc, "unit")?)?;
+        let value = rational_from_json_at(number, &child(path, "number"))?;
+        let unit = unit_from_name(get_str(doc, "unit", path)?, &child(path, "unit"))?;
         return Ok(Value::Number(Quantity::new(value, unit)));
     }
     if let Some(place) = doc.get("place") {
-        return Ok(Value::Place(PlaceId::new(str_of(place, "place")?)));
+        return Ok(Value::Place(PlaceId::new(str_of(
+            place,
+            &child(path, "place"),
+        )?)));
     }
     if let Some(time) = doc.get("time") {
         let minutes = time
             .as_int()
-            .ok_or_else(|| bad("'time' must be minutes since midnight"))?;
-        return Ok(Value::Time(minutes_of(minutes)?));
+            .ok_or_else(|| bad(&child(path, "time"), "must be minutes since midnight"))?;
+        return Ok(Value::Time(minutes_of(minutes, &child(path, "time"))?));
     }
-    Err(bad("unrecognized value"))
+    Err(bad(path, "unrecognized value"))
 }
 
 fn rational_to_json(r: Rational) -> Json {
@@ -338,7 +414,7 @@ fn rational_to_json(r: Rational) -> Json {
     Json::Str(format!("{}/{}", r.numer(), r.denom()))
 }
 
-fn rational_from_json(doc: &Json) -> Result<Rational, RuleError> {
+fn rational_from_json_at(doc: &Json, path: &str) -> Result<Rational, RuleError> {
     if let Some(n) = doc.as_int() {
         return Ok(Rational::from_integer(n));
     }
@@ -350,17 +426,17 @@ fn rational_from_json(doc: &Json) -> Result<Rational, RuleError> {
         let numer: i128 = numer
             .trim()
             .parse()
-            .map_err(|_| bad("invalid rational numerator"))?;
+            .map_err(|_| bad(path, "invalid rational numerator"))?;
         let denom: i128 = denom
             .trim()
             .parse()
-            .map_err(|_| bad("invalid rational denominator"))?;
+            .map_err(|_| bad(path, "invalid rational denominator"))?;
         if denom == 0 {
-            return Err(bad("rational denominator must be non-zero"));
+            return Err(bad(path, "rational denominator must be non-zero"));
         }
         return Ok(Rational::new(numer, denom));
     }
-    Err(bad("expected an integer or \"n/d\" rational"))
+    Err(bad(path, "expected an integer or \"n/d\" rational"))
 }
 
 fn op_symbol(op: RelOp) -> &'static str {
@@ -373,14 +449,14 @@ fn op_symbol(op: RelOp) -> &'static str {
     }
 }
 
-fn op_from_symbol(symbol: &str) -> Result<RelOp, RuleError> {
+fn op_from_symbol(symbol: &str, path: &str) -> Result<RelOp, RuleError> {
     match symbol {
         "<=" => Ok(RelOp::Le),
         "<" => Ok(RelOp::Lt),
         ">=" => Ok(RelOp::Ge),
         ">" => Ok(RelOp::Gt),
         "=" | "==" => Ok(RelOp::Eq),
-        other => Err(bad(format!("unknown comparison operator '{other}'"))),
+        other => Err(bad(path, format!("unknown comparison operator '{other}'"))),
     }
 }
 
@@ -397,7 +473,7 @@ fn unit_name(unit: Unit) -> &'static str {
     }
 }
 
-fn unit_from_name(name: &str) -> Result<Unit, RuleError> {
+fn unit_from_name(name: &str, path: &str) -> Result<Unit, RuleError> {
     match name {
         "celsius" => Ok(Unit::Celsius),
         "fahrenheit" => Ok(Unit::Fahrenheit),
@@ -407,40 +483,45 @@ fn unit_from_name(name: &str) -> Result<Unit, RuleError> {
         "seconds" => Ok(Unit::Seconds),
         "count" => Ok(Unit::Count),
         "unitless" => Ok(Unit::Unitless),
-        other => Err(bad(format!("unknown unit '{other}'"))),
+        other => Err(bad(path, format!("unknown unit '{other}'"))),
     }
 }
 
-fn minutes_of(minutes: i64) -> Result<TimeOfDay, RuleError> {
-    let minutes = u32::try_from(minutes).map_err(|_| bad("minutes-of-day must be non-negative"))?;
+fn minutes_of(minutes: i64, path: &str) -> Result<TimeOfDay, RuleError> {
+    let minutes =
+        u32::try_from(minutes).map_err(|_| bad(path, "minutes-of-day must be non-negative"))?;
     if minutes >= 24 * 60 {
-        return Err(bad("minutes-of-day must be below 1440"));
+        return Err(bad(path, "minutes-of-day must be below 1440"));
     }
     Ok(TimeOfDay::from_minutes(minutes))
 }
 
-fn require<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, RuleError> {
+/// Extends a JSON path with an object member.
+fn child(path: &str, key: &str) -> String {
+    format!("{path}.{key}")
+}
+
+fn require<'a>(doc: &'a Json, key: &str, path: &str) -> Result<&'a Json, RuleError> {
     doc.get(key)
-        .ok_or_else(|| bad(format!("missing field '{key}'")))
+        .ok_or_else(|| bad(path, format!("missing field '{key}'")))
 }
 
-fn get_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, RuleError> {
-    str_of(require(doc, key)?, key)
+fn get_str<'a>(doc: &'a Json, key: &str, path: &str) -> Result<&'a str, RuleError> {
+    str_of(require(doc, key, path)?, &child(path, key))
 }
 
-fn str_of<'a>(doc: &'a Json, what: &str) -> Result<&'a str, RuleError> {
-    doc.as_str()
-        .ok_or_else(|| bad(format!("'{what}' must be a string")))
+fn str_of<'a>(doc: &'a Json, path: &str) -> Result<&'a str, RuleError> {
+    doc.as_str().ok_or_else(|| bad(path, "must be a string"))
 }
 
-fn get_int(doc: &Json, key: &str) -> Result<i64, RuleError> {
-    require(doc, key)?
+fn get_int(doc: &Json, key: &str, path: &str) -> Result<i64, RuleError> {
+    require(doc, key, path)?
         .as_int()
-        .ok_or_else(|| bad(format!("'{key}' must be an integer")))
+        .ok_or_else(|| bad(&child(path, key), "must be an integer"))
 }
 
-fn bad(message: impl Into<String>) -> RuleError {
-    RuleError::Serialization(message.into())
+fn bad(path: &str, message: impl AsRef<str>) -> RuleError {
+    RuleError::Serialization(format!("at {path}: {}", message.as_ref()))
 }
 
 #[cfg(test)]
@@ -523,7 +604,7 @@ mod tests {
         ];
         for atom in atoms {
             let doc = atom_to_json(&atom);
-            assert_eq!(atom_from_json(&doc).unwrap(), atom, "{atom:?}");
+            assert_eq!(atom_from_json_at(&doc, "$").unwrap(), atom, "{atom:?}");
         }
     }
 
@@ -531,7 +612,10 @@ mod tests {
     fn non_integer_thresholds_stay_exact() {
         let doc = rational_to_json(Rational::new(-7, 3));
         assert_eq!(doc, Json::Str("-7/3".to_owned()));
-        assert_eq!(rational_from_json(&doc).unwrap(), Rational::new(-7, 3));
+        assert_eq!(
+            rational_from_json_at(&doc, "$").unwrap(),
+            Rational::new(-7, 3)
+        );
     }
 
     #[test]
@@ -552,5 +636,37 @@ mod tests {
             )
             .is_err()
         );
+    }
+
+    /// Parse failures name the JSON path of the offending field, so a
+    /// rejected WAL record or import points at what actually broke.
+    #[test]
+    fn parse_errors_carry_the_json_path() {
+        let err = |text: &str| match rules_from_json(text) {
+            Err(RuleError::Serialization(message)) => message,
+            other => panic!("expected a serialization error, got {other:?}"),
+        };
+
+        let message = err(r#"[{"id": 1}]"#);
+        assert!(message.contains("at $[0]"), "{message}");
+        assert!(message.contains("missing field 'owner'"), "{message}");
+
+        let message = err(
+            r#"[{"id":1,"owner":"t","condition":{"type":"warp"},"action":{"device":"tv","verb":"turn on"}}]"#,
+        );
+        assert!(message.contains("at $[0].condition.type"), "{message}");
+        assert!(message.contains("unknown atom type 'warp'"), "{message}");
+
+        let message = err(
+            r#"[{"id":1,"owner":"t","condition":{"all":[true,{"type":"event","channel":"c"}]},"action":{"device":"tv","verb":"turn on"}}]"#,
+        );
+        assert!(message.contains("at $[0].condition.all[1]"), "{message}");
+        assert!(message.contains("missing field 'name'"), "{message}");
+
+        let message = err(
+            r#"[{"id":1,"owner":"t","condition":true,"action":{"device":"tv","verb":{"custom":7}}}]"#,
+        );
+        assert!(message.contains("at $[0].action.verb.custom"), "{message}");
+        assert!(message.contains("must be a string"), "{message}");
     }
 }

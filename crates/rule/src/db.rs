@@ -129,6 +129,47 @@ impl RuleDb {
         Ok(())
     }
 
+    /// Inserts an already-built rule, allocating a fresh id if the rule's
+    /// own id is already taken (restore/merge path). Returns the id the
+    /// rule ended up under and whether it was remapped.
+    ///
+    /// Unlike [`RuleDb::insert`], a collision is not an error — but it is
+    /// never a silent overwrite either: the incumbent rule keeps its id
+    /// and the newcomer moves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuleBuilder::build`] errors from re-stamping the rule
+    /// under its new id.
+    pub fn insert_remapped(&mut self, rule: Rule) -> Result<(RuleId, bool), RuleError> {
+        if !self.rules.contains_key(&rule.id()) {
+            let id = rule.id();
+            self.insert(rule)?;
+            return Ok((id, false));
+        }
+        let id = self.allocate_id();
+        let owner = rule.owner().clone();
+        let rule = rule.reassigned(id, owner);
+        self.insert(rule)?;
+        Ok((id, true))
+    }
+
+    /// Replaces an existing rule in place (customization path), keeping
+    /// its id. The replacement is recompiled and stamped with a **fresh
+    /// revision**, so anything memoized against the old `(id, revision)`
+    /// pair — notably pairwise conflict verdicts — is invalidated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuleError::UnknownRule`] if no rule holds this id.
+    pub fn replace(&mut self, rule: Rule) -> Result<(), RuleError> {
+        if !self.rules.contains_key(&rule.id()) {
+            return Err(RuleError::UnknownRule(rule.id()));
+        }
+        self.remove(rule.id())?;
+        self.insert(rule)
+    }
+
     /// Compiles a rule and stamps it with a fresh revision. Compilation
     /// failure (a dimension clash) is not a storage error: the source rule
     /// stays usable and consumers interpret it directly.
@@ -162,6 +203,22 @@ impl RuleDb {
         let id = self.next_id;
         self.next_id = self.next_id.next();
         id
+    }
+
+    /// The id the next allocation would hand out, without allocating.
+    ///
+    /// Persisted in snapshots so a recovered database resumes the same
+    /// allocation sequence even when ids were burned on rejected rules.
+    pub fn next_id(&self) -> RuleId {
+        self.next_id
+    }
+
+    /// Advances the allocator so the next id is at least `at_least`.
+    /// Never moves it backwards (restore path).
+    pub fn ensure_next_id(&mut self, at_least: RuleId) {
+        if at_least > self.next_id {
+            self.next_id = at_least;
+        }
     }
 
     fn index(&mut self, rule: &Rule) {
@@ -427,6 +484,61 @@ mod tests {
         // Fresh registrations continue past the imported id.
         let next = db.register(builder("tom", "tv", "b")).unwrap();
         assert!(next.raw() > 41);
+    }
+
+    #[test]
+    fn insert_remapped_moves_the_newcomer_not_the_incumbent() {
+        let mut db = RuleDb::new();
+        let incumbent = builder("tom", "tv", "a").build(RuleId::new(5)).unwrap();
+        db.insert(incumbent).unwrap();
+
+        let newcomer = builder("emily", "stereo", "b")
+            .build(RuleId::new(5))
+            .unwrap();
+        let (id, remapped) = db.insert_remapped(newcomer).unwrap();
+        assert!(remapped);
+        assert_ne!(id, RuleId::new(5));
+        // The incumbent is untouched; the newcomer landed whole.
+        assert_eq!(db.get(RuleId::new(5)).unwrap().owner().as_str(), "tom");
+        assert_eq!(db.get(id).unwrap().owner().as_str(), "emily");
+        assert!(db.program(id).is_some());
+
+        // No collision → no remap.
+        let free = builder("tom", "tv", "c").build(RuleId::new(90)).unwrap();
+        assert_eq!(db.insert_remapped(free).unwrap(), (RuleId::new(90), false));
+    }
+
+    #[test]
+    fn replace_bumps_the_revision_so_memoized_verdicts_die() {
+        let mut db = RuleDb::new();
+        let id = db.register(builder("tom", "tv", "a")).unwrap();
+        let before = db.revision(id).unwrap();
+
+        // A conflict memo keyed on (id, revision) would now be stale:
+        // the replacement carries different behaviour under the same id.
+        let replacement = builder("tom", "tv", "b").build(id).unwrap();
+        db.replace(replacement).unwrap();
+        let after = db.revision(id).unwrap();
+        assert_ne!(before, after, "replacement must re-stamp the revision");
+        assert!(after > before);
+        // Indices track the replacement, and it is recompiled.
+        assert_eq!(db.rules_for_device(&DeviceId::new("tv")).len(), 1);
+        assert!(db.program(id).is_some());
+        // Replacing a missing id is an error, not an insert.
+        let ghost = builder("tom", "tv", "c").build(RuleId::new(77)).unwrap();
+        assert!(matches!(db.replace(ghost), Err(RuleError::UnknownRule(_))));
+    }
+
+    #[test]
+    fn next_id_survives_ensure_and_never_regresses() {
+        let mut db = RuleDb::new();
+        db.register(builder("tom", "tv", "a")).unwrap();
+        let next = db.next_id();
+        db.ensure_next_id(RuleId::new(100));
+        assert_eq!(db.next_id(), RuleId::new(100));
+        db.ensure_next_id(next); // lower: no-op
+        assert_eq!(db.next_id(), RuleId::new(100));
+        assert_eq!(db.allocate_id(), RuleId::new(100));
     }
 
     #[test]

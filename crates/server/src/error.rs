@@ -32,6 +32,10 @@ pub enum ServerError {
     UnknownPending(RuleId),
     /// The access-control policy denied the operation.
     AccessDenied(AccessDenied),
+    /// The durable store failed (WAL append/recovery/snapshot I/O, or a
+    /// malformed persisted record). Carries the rendered store error so
+    /// this enum stays cheaply clonable and comparable.
+    Store(String),
 }
 
 impl fmt::Display for ServerError {
@@ -48,6 +52,7 @@ impl fmt::Display for ServerError {
                 write!(f, "no pending registration for {id}")
             }
             ServerError::AccessDenied(d) => write!(f, "access denied: {d}"),
+            ServerError::Store(message) => write!(f, "store error: {message}"),
         }
     }
 }
@@ -99,6 +104,12 @@ impl From<UpnpError> for ServerError {
 impl From<AccessDenied> for ServerError {
     fn from(e: AccessDenied) -> Self {
         ServerError::AccessDenied(e)
+    }
+}
+
+impl From<cadel_store::StoreError> for ServerError {
+    fn from(e: cadel_store::StoreError) -> Self {
+        ServerError::Store(e.to_string())
     }
 }
 

@@ -32,6 +32,7 @@
 pub mod access;
 pub mod error;
 pub mod guidance;
+mod persist;
 pub mod resolver;
 pub mod server;
 pub mod users;
@@ -48,3 +49,9 @@ pub use users::{UserProfile, UserRegistry};
 /// records into.
 pub use cadel_obs as obs;
 pub use cadel_obs::{HistogramSummary, MetricsSnapshot};
+
+/// The durable store (re-export of `cadel-store`): the write-ahead log
+/// and snapshot machinery behind [`HomeServer::open_at`]
+/// (`server::HomeServer::open_at`). See `docs/PERSISTENCE.md`.
+pub use cadel_store as store;
+pub use cadel_store::{RecoveryReport, Store, StoreError};

@@ -18,6 +18,7 @@
 use crate::access::{AccessControl, Privilege};
 use crate::error::ServerError;
 use crate::guidance::GuidanceService;
+use crate::persist;
 use crate::resolver::RegistryResolver;
 use crate::users::UserRegistry;
 use cadel_conflict::{
@@ -28,9 +29,12 @@ use cadel_lang::ast::Command;
 use cadel_lang::{parse_command, Compiler, Lexicon};
 use cadel_obs::{Event, LazyCounter, LazyHistogram, Level, MetricsSnapshot, Stopwatch};
 use cadel_rule::{Condition, Rule};
+use cadel_store::{RecoveryReport, Store};
+use cadel_types::json::Json;
 use cadel_types::{PersonId, RuleId, SimTime, Topology};
 use cadel_upnp::ControlPoint;
 use std::collections::HashMap;
+use std::path::Path;
 
 /// Sentences submitted through [`HomeServer::submit`].
 static SUBMITS: LazyCounter = LazyCounter::new("server_submits_total");
@@ -104,11 +108,23 @@ pub struct HomeServer {
     pending: HashMap<RuleId, PendingRule>,
     access: AccessControl,
     checker: ConflictChecker,
+    /// The durable store, when the server was opened with one
+    /// ([`HomeServer::open_at`]). A plain [`HomeServer::new`] server is
+    /// ephemeral and logs nothing.
+    store: Option<Store>,
+    /// True while recovery replays records: suppresses re-logging so a
+    /// replayed mutation is not appended a second time.
+    replaying: bool,
+    /// Word-definition sentences in submission order, per user — the
+    /// replayable source of the private dictionaries (a `Dictionary` has
+    /// no codec; the original sentences do).
+    word_log: Vec<(PersonId, String)>,
 }
 
 impl HomeServer {
-    /// Creates a server over a control point with the given home topology
-    /// and the English lexicon.
+    /// Creates an **ephemeral** server over a control point with the
+    /// given home topology and the English lexicon. Nothing is persisted;
+    /// see [`HomeServer::open_at`] for the durable variant.
     pub fn new(control: ControlPoint, topology: Topology) -> HomeServer {
         let engine = Engine::new(control);
         let mut access = AccessControl::new();
@@ -123,7 +139,345 @@ impl HomeServer {
             pending: HashMap::new(),
             access,
             checker: ConflictChecker::new(),
+            store: None,
+            replaying: false,
+            word_log: Vec::new(),
         }
+    }
+
+    /// Opens a **durable** server backed by a write-ahead log and
+    /// snapshot in `dir` (created if absent), recovering any state a
+    /// previous incarnation persisted there: the snapshot is applied
+    /// first (if present and intact), then every surviving WAL record is
+    /// replayed in order. Torn or corrupt log tails are truncated at the
+    /// last good record boundary — see the [`RecoveryReport`].
+    ///
+    /// Replay is *post-decision*: rules, priorities and customizations
+    /// re-enter the engine directly (their consistency/conflict checks
+    /// already ran before they were logged), compiled rule programs are
+    /// rebuilt from source rather than read from disk, and word
+    /// definitions re-run their original sentences through the submit
+    /// pipeline. A record that no longer applies (e.g. its device left
+    /// the registry) is skipped with a warning, never a failed recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Store`] when the directory cannot be
+    /// opened or written.
+    pub fn open_at(
+        control: ControlPoint,
+        topology: Topology,
+        dir: impl AsRef<Path>,
+    ) -> Result<(HomeServer, RecoveryReport), ServerError> {
+        let (store, recovered) = Store::open(dir)?;
+        let mut server = HomeServer::new(control, topology);
+        server.replaying = true;
+        if let Some(snapshot) = &recovered.snapshot {
+            server.apply_snapshot(snapshot);
+        }
+        for record in &recovered.records {
+            server.apply_record(record);
+        }
+        server.replaying = false;
+        server.store = Some(store);
+        if cadel_obs::enabled() {
+            cadel_obs::emit(
+                Event::new("server.recovered", Level::Info)
+                    .with_field("records", recovered.report.records_replayed)
+                    .with_field("bytes_truncated", recovered.report.bytes_truncated)
+                    .with_field("snapshot_used", recovered.report.snapshot_used),
+            );
+        }
+        Ok((server, recovered.report))
+    }
+
+    /// Alias for [`HomeServer::open_at`]: recovery *is* opening the
+    /// store — a fresh directory simply recovers to the empty state.
+    ///
+    /// # Errors
+    ///
+    /// See [`HomeServer::open_at`].
+    pub fn recover(
+        control: ControlPoint,
+        topology: Topology,
+        dir: impl AsRef<Path>,
+    ) -> Result<(HomeServer, RecoveryReport), ServerError> {
+        HomeServer::open_at(control, topology, dir)
+    }
+
+    /// The durable store, when this server was opened with one.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Flushes the WAL to stable storage (fsync). No-op on ephemeral
+    /// servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Store`] on I/O failure.
+    pub fn sync(&mut self) -> Result<(), ServerError> {
+        match &mut self.store {
+            Some(store) => Ok(store.sync()?),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends one record for a durable mutation, *before* the mutation
+    /// is applied. No-op on ephemeral servers and during replay.
+    fn log_record(&mut self, record: &Json) -> Result<(), ServerError> {
+        if self.replaying {
+            return Ok(());
+        }
+        match &mut self.store {
+            Some(store) => Ok(store.append(record)?),
+            None => Ok(()),
+        }
+    }
+
+    /// Applies one replayed WAL record. Failures are warned and skipped:
+    /// recovery always produces a running server.
+    fn apply_record(&mut self, record: &Json) {
+        let kind = record.get("type").and_then(Json::as_str).unwrap_or("");
+        let result: Result<(), ServerError> = match kind {
+            "user_added" => {
+                persist::get_str(record, "name").and_then(|name| self.add_user(name).map(|_| ()))
+            }
+            "word_defined" => {
+                let user = persist::get_str(record, "user").map(PersonId::new);
+                let sentence = persist::get_str(record, "sentence");
+                match (user, sentence) {
+                    (Ok(user), Ok(sentence)) => self.submit_inner(&user, sentence).map(|_| ()),
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                }
+            }
+            "rule_registered" => persist::rule_of(record, "rule")
+                .and_then(|rule| Ok(self.engine.add_rule(rule).map(|_| ())?)),
+            "rule_arbitrated" => {
+                let rule = persist::rule_of(record, "rule");
+                let priority =
+                    persist::get_field(record, "priority").and_then(persist::priority_from_json);
+                match (rule, priority) {
+                    (Ok(rule), Ok(priority)) => {
+                        self.engine.add_priority(priority);
+                        self.engine.add_rule(rule).map(|_| ()).map_err(Into::into)
+                    }
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                }
+            }
+            "rule_removed" => record
+                .get("id")
+                .and_then(Json::as_int)
+                .ok_or_else(|| persist::bad("rule_removed record: 'id' must be an integer"))
+                .and_then(|raw| Ok(self.engine.remove_rule(RuleId::new(raw as u64))?)),
+            "rule_customized" => persist::rule_of(record, "rule")
+                .and_then(|rule| Ok(self.engine.update_rule(rule)?)),
+            "priority_added" => persist::get_field(record, "priority")
+                .and_then(persist::priority_from_json)
+                .map(|priority| {
+                    self.engine.add_priority(priority);
+                }),
+            "freshness" => persist::get_field(record, "policy").and_then(|doc| {
+                let policy =
+                    cadel_engine::freshness_policy_from_json(doc).map_err(ServerError::Engine)?;
+                self.engine.context_mut().set_freshness_policy(policy);
+                Ok(())
+            }),
+            "runtime" => persist::get_field(record, "state")
+                .and_then(|state| Ok(self.engine.import_runtime_json(state)?)),
+            other => Err(persist::bad(format!("unknown record type '{other}'"))),
+        };
+        if let Err(error) = result {
+            if cadel_obs::enabled() {
+                cadel_obs::emit(
+                    Event::new("server.replay_record_skipped", Level::Warn)
+                        .with_field("kind", kind.to_owned())
+                        .with_field("error", error.to_string()),
+                );
+            }
+        }
+    }
+
+    /// The full durable state as one JSON document: users and their word
+    /// sentences, rules, priorities, the freshness policy, the rule-id
+    /// allocator, and the engine runtime checkpoint. This is the snapshot
+    /// payload [`HomeServer::checkpoint`] writes, and — being
+    /// deterministically ordered — a byte-stable fingerprint of the
+    /// server's durable state for equivalence tests.
+    pub fn snapshot_json(&self) -> Json {
+        let users = Json::Arr(
+            self.users
+                .ids()
+                .into_iter()
+                .map(|id| {
+                    let display = self
+                        .users
+                        .user(id)
+                        .map(|p| p.display_name().to_owned())
+                        .unwrap_or_else(|_| id.as_str().to_owned());
+                    let words = Json::Arr(
+                        self.word_log
+                            .iter()
+                            .filter(|(owner, _)| owner == id)
+                            .map(|(_, sentence)| Json::str(sentence))
+                            .collect(),
+                    );
+                    Json::obj(vec![("name", Json::str(&display)), ("words", words)])
+                })
+                .collect(),
+        );
+        let mut rules: Vec<&Rule> = self.engine.rules().iter().collect();
+        rules.sort_by_key(|r| r.id());
+        let rules = Json::Arr(
+            rules
+                .into_iter()
+                .map(cadel_rule::codec::rule_to_json)
+                .collect(),
+        );
+        let priorities = Json::Arr(
+            self.engine
+                .priorities()
+                .orders()
+                .iter()
+                .map(persist::priority_to_json)
+                .collect(),
+        );
+        Json::obj(vec![
+            ("users", users),
+            ("rules", rules),
+            ("priorities", priorities),
+            (
+                "freshness",
+                cadel_engine::freshness_policy_to_json(&self.engine.context().freshness_policy()),
+            ),
+            (
+                "next_rule_id",
+                Json::Int(self.engine.rules().next_id().raw() as i64),
+            ),
+            ("runtime", self.engine.export_runtime_json()),
+        ])
+    }
+
+    /// Applies a recovered snapshot. Like record replay, failures are
+    /// warned and skipped.
+    fn apply_snapshot(&mut self, snapshot: &Json) {
+        let warn = |stage: &'static str, error: String| {
+            if cadel_obs::enabled() {
+                cadel_obs::emit(
+                    Event::new("server.snapshot_item_skipped", Level::Warn)
+                        .with_field("stage", stage)
+                        .with_field("error", error),
+                );
+            }
+        };
+        for entry in snapshot
+            .get("users")
+            .and_then(Json::as_arr)
+            .into_iter()
+            .flatten()
+        {
+            let Some(name) = entry.get("name").and_then(Json::as_str) else {
+                warn("user", "missing name".to_owned());
+                continue;
+            };
+            let user = match self.add_user(name) {
+                Ok(user) => user,
+                Err(e) => {
+                    warn("user", e.to_string());
+                    continue;
+                }
+            };
+            for word in entry
+                .get("words")
+                .and_then(Json::as_arr)
+                .into_iter()
+                .flatten()
+            {
+                let Some(sentence) = word.as_str() else {
+                    warn("word", "sentence must be a string".to_owned());
+                    continue;
+                };
+                if let Err(e) = self.submit_inner(&user, sentence) {
+                    warn("word", e.to_string());
+                }
+            }
+        }
+        for entry in snapshot
+            .get("rules")
+            .and_then(Json::as_arr)
+            .into_iter()
+            .flatten()
+        {
+            match cadel_rule::codec::rule_from_json(entry) {
+                Ok(rule) => {
+                    if let Err(e) = self.engine.add_rule(rule) {
+                        warn("rule", e.to_string());
+                    }
+                }
+                Err(e) => warn("rule", e.to_string()),
+            }
+        }
+        for entry in snapshot
+            .get("priorities")
+            .and_then(Json::as_arr)
+            .into_iter()
+            .flatten()
+        {
+            match persist::priority_from_json(entry) {
+                Ok(order) => {
+                    self.engine.add_priority(order);
+                }
+                Err(e) => warn("priority", e.to_string()),
+            }
+        }
+        if let Some(doc) = snapshot.get("freshness") {
+            match cadel_engine::freshness_policy_from_json(doc) {
+                Ok(policy) => self.engine.context_mut().set_freshness_policy(policy),
+                Err(e) => warn("freshness", e.to_string()),
+            }
+        }
+        if let Some(next) = snapshot.get("next_rule_id").and_then(Json::as_int) {
+            self.engine
+                .rules_mut()
+                .ensure_next_id(RuleId::new(next as u64));
+        }
+        if let Some(runtime) = snapshot.get("runtime") {
+            if let Err(e) = self.engine.import_runtime_json(runtime) {
+                warn("runtime", e.to_string());
+            }
+        }
+    }
+
+    /// Compacts the durable state: writes a snapshot of everything —
+    /// rules, priorities, users and their words, freshness policy, the
+    /// rule-id allocator, and the engine's runtime state — then truncates
+    /// the WAL. Recovery cost drops to one snapshot read. No-op on
+    /// ephemeral servers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Store`] on I/O failure.
+    pub fn checkpoint(&mut self) -> Result<(), ServerError> {
+        let snapshot = self.snapshot_json();
+        match &mut self.store {
+            Some(store) => Ok(store.compact(&snapshot)?),
+            None => Ok(()),
+        }
+    }
+
+    /// Logs a `runtime` record carrying the engine's full runtime
+    /// checkpoint (held `until` releases, retry queue, dead letters,
+    /// breaker states, context store). Cheaper than a full
+    /// [`HomeServer::checkpoint`]; call it at scenario-relevant points so
+    /// a recovered server resumes mid-flight rather than from the last
+    /// compaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Store`] on I/O failure.
+    pub fn checkpoint_runtime(&mut self) -> Result<(), ServerError> {
+        let record = persist::runtime(self.engine.export_runtime_json());
+        self.log_record(&record)
     }
 
     /// The access-control policy (paper §6 future work). Permissive until
@@ -148,6 +502,11 @@ impl HomeServer {
     ///
     /// Returns [`ServerError::DuplicateUser`] when the name is taken.
     pub fn add_user(&mut self, name: &str) -> Result<PersonId, ServerError> {
+        let id = PersonId::new(name.to_ascii_lowercase());
+        if self.users.contains(&id) {
+            return Err(ServerError::DuplicateUser(id));
+        }
+        self.log_record(&persist::user_added(name))?;
         self.users.add_user(name)
     }
 
@@ -189,8 +548,80 @@ impl HomeServer {
 
     /// Sets the sensor-staleness policy applied when rule conditions
     /// read sensor values (see [`cadel_engine::FreshnessPolicy`]).
-    pub fn set_freshness_policy(&mut self, policy: FreshnessPolicy) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Store`] when logging the change fails (the
+    /// policy is then left unchanged).
+    pub fn set_freshness_policy(&mut self, policy: FreshnessPolicy) -> Result<(), ServerError> {
+        self.log_record(&persist::freshness(&policy))?;
         self.engine.context_mut().set_freshness_policy(policy);
+        Ok(())
+    }
+
+    /// Removes a registered rule, durably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Engine`] for unknown rules and
+    /// [`ServerError::Store`] when logging fails (the rule then stays).
+    pub fn remove_rule(&mut self, id: RuleId) -> Result<(), ServerError> {
+        if self.engine.rules().get(id).is_none() {
+            return Err(ServerError::Engine(cadel_engine::EngineError::Rule(
+                cadel_rule::RuleError::UnknownRule(id),
+            )));
+        }
+        self.log_record(&persist::rule_removed(id))?;
+        Ok(self.engine.remove_rule(id)?)
+    }
+
+    /// Customizes a registered rule in place (same id, new definition),
+    /// durably. The replacement is re-stamped with a fresh revision so
+    /// memoized conflict verdicts against the old definition die.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Engine`] for unknown rules and
+    /// [`ServerError::Store`] when logging fails (no change applied).
+    pub fn customize_rule(&mut self, rule: Rule) -> Result<(), ServerError> {
+        if self.engine.rules().get(rule.id()).is_none() {
+            return Err(ServerError::Engine(cadel_engine::EngineError::Rule(
+                cadel_rule::RuleError::UnknownRule(rule.id()),
+            )));
+        }
+        self.log_record(&persist::rule_customized(&rule))?;
+        Ok(self.engine.update_rule(rule)?)
+    }
+
+    /// Enables or disables a registered rule, durably (a customization
+    /// that changes only the enabled flag).
+    ///
+    /// # Errors
+    ///
+    /// See [`HomeServer::customize_rule`].
+    pub fn set_rule_enabled(&mut self, id: RuleId, enabled: bool) -> Result<(), ServerError> {
+        let rule = self
+            .engine
+            .rules()
+            .get(id)
+            .ok_or(ServerError::Engine(cadel_engine::EngineError::Rule(
+                cadel_rule::RuleError::UnknownRule(id),
+            )))?
+            .clone()
+            .with_enabled(enabled);
+        self.customize_rule(rule)
+    }
+
+    /// Adds a priority order outside the conflict dialog (e.g. a
+    /// household pre-arrangement), durably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Store`] when logging fails (no change
+    /// applied).
+    pub fn add_priority(&mut self, order: PriorityOrder) -> Result<usize, ServerError> {
+        self.log_record(&persist::priority_added(&order))?;
+        Ok(self.engine.add_priority(order))
     }
 
     /// Advances the engine one step.
@@ -246,17 +677,21 @@ impl HomeServer {
                         .compile_cond_expr(&def.expr)
                         .map_err(cadel_lang::LangError::from)?;
                 }
+                self.log_record(&persist::word_defined(user, sentence))?;
                 self.users
                     .user_mut(user)?
                     .dictionary_mut()
                     .define_condition(&def.word, def.expr);
+                self.word_log.push((user.clone(), sentence.to_owned()));
                 Ok(SubmitOutcome::ConditionWordDefined { word: def.word })
             }
             Command::ConfDef(def) => {
+                self.log_record(&persist::word_defined(user, sentence))?;
                 self.users
                     .user_mut(user)?
                     .dictionary_mut()
                     .define_configuration(&def.word, def.settings);
+                self.word_log.push((user.clone(), sentence.to_owned()));
                 Ok(SubmitOutcome::ConfigurationWordDefined { word: def.word })
             }
             Command::Rule(sentence_ast) => {
@@ -302,6 +737,7 @@ impl HomeServer {
         if conflicts.is_empty() {
             let id = rule.id();
             let owner = rule.owner().clone();
+            self.log_record(&persist::rule_registered(&rule))?;
             self.engine.add_rule(rule)?;
             RULES_REGISTERED.inc();
             if cadel_obs::enabled() {
@@ -363,6 +799,9 @@ impl HomeServer {
             order = order.with_label(label);
         }
         let owner = pending.rule.owner().clone();
+        // One record for the whole arbitration: the rule and its priority
+        // order commit (and replay) atomically.
+        self.log_record(&persist::rule_arbitrated(&pending.rule, &order))?;
         self.engine.add_priority(order);
         self.engine.add_rule(pending.rule)?;
         RULES_REGISTERED.inc();
@@ -418,6 +857,7 @@ impl HomeServer {
             .remove(&ticket)
             .ok_or(ServerError::UnknownPending(ticket))?;
         let owner = pending.rule.owner().clone();
+        self.log_record(&persist::rule_registered(&pending.rule))?;
         self.engine.add_rule(pending.rule)?;
         RULES_REGISTERED.inc();
         if cadel_obs::enabled() {
@@ -783,6 +1223,178 @@ mod tests {
         assert!(report.imported.is_empty());
         assert_eq!(report.skipped.len(), 1);
         assert!(report.skipped[0].1.contains("conflict"));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cadel-server-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fresh_world() -> (ControlPoint, Topology, LivingRoomHome) {
+        let registry = Registry::new();
+        let home = LivingRoomHome::install(&registry);
+        (ControlPoint::new(registry), standard_topology(), home)
+    }
+
+    #[test]
+    fn durable_server_recovers_everything_across_restarts() {
+        let dir = temp_dir("recover");
+        let tom = PersonId::new("tom");
+        let alan = PersonId::new("alan");
+
+        // Incarnation 1: users, a private word, two rules (one via the
+        // conflict dialog with a context-scoped priority), a freshness
+        // policy, and some runtime state.
+        {
+            let (control, topology, home) = fresh_world();
+            let (mut server, report) = HomeServer::open_at(control, topology, &dir).unwrap();
+            assert_eq!(report, cadel_store::RecoveryReport::default());
+            server.add_user("Tom").unwrap();
+            server.add_user("Alan").unwrap();
+            server
+                .submit(
+                    &tom,
+                    "Let's call the condition that temperature is higher than 26 degrees \
+                     too hot",
+                )
+                .unwrap();
+            server
+                .submit(
+                    &tom,
+                    "If too hot, turn on the air conditioner with 25 degrees of \
+                     temperature setting.",
+                )
+                .unwrap();
+            let outcome = server
+                .submit(
+                    &alan,
+                    "If temperature is higher than 25 degrees, turn on the air \
+                     conditioner with 24 degrees of temperature setting.",
+                )
+                .unwrap();
+            let SubmitOutcome::ConflictDetected { ticket, conflicts } = outcome else {
+                panic!("expected conflict");
+            };
+            let loser = conflicts[0].rule_b();
+            server
+                .confirm_with_priority(
+                    ticket,
+                    vec![ticket, loser],
+                    None,
+                    Some("Alan first".to_owned()),
+                )
+                .unwrap();
+            server
+                .set_freshness_policy(FreshnessPolicy::new(
+                    cadel_engine::FreshnessMode::FailClosed,
+                    cadel_types::SimDuration::from_minutes(10),
+                ))
+                .unwrap();
+            // Drive the engine so runtime state exists, then checkpoint it.
+            home.thermometer
+                .set_reading(Rational::from_integer(28), SimTime::from_millis(1))
+                .unwrap();
+            server.step(SimTime::from_millis(2));
+            server.checkpoint_runtime().unwrap();
+            server.sync().unwrap();
+        }
+
+        // Incarnation 2: everything is back.
+        let runtime_before;
+        {
+            let (control, topology, _home) = fresh_world();
+            let (mut server, report) = HomeServer::open_at(control, topology, &dir).unwrap();
+            assert!(report.records_replayed >= 6);
+            assert!(!report.snapshot_used);
+            assert_eq!(report.bytes_truncated, 0);
+            assert_eq!(server.engine().rules().len(), 2);
+            assert_eq!(server.engine().priorities().orders().len(), 1);
+            assert_eq!(
+                server.engine().priorities().orders()[0].label(),
+                Some("Alan first")
+            );
+            assert_eq!(
+                server.engine().context().freshness_policy().mode,
+                cadel_engine::FreshnessMode::FailClosed
+            );
+            // Tom's private word survived (it re-parses).
+            assert!(matches!(
+                server.submit(&tom, "If too hot, turn on the TV.").unwrap(),
+                SubmitOutcome::Registered { .. }
+            ));
+            runtime_before = server.engine().export_runtime_json();
+
+            // Compact, then restart once more: recovery now comes from
+            // the snapshot alone.
+            server.checkpoint().unwrap();
+        }
+        {
+            let (control, topology, _home) = fresh_world();
+            let (server, report) = HomeServer::open_at(control, topology, &dir).unwrap();
+            assert!(report.snapshot_used);
+            assert_eq!(report.records_replayed, 0);
+            assert_eq!(server.engine().rules().len(), 3);
+            assert_eq!(server.engine().export_runtime_json(), runtime_before);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_mutations_recover_removal_customization_and_priorities() {
+        let dir = temp_dir("mutations");
+        let tom = PersonId::new("tom");
+        let id_keep;
+        {
+            let (control, topology, _home) = fresh_world();
+            let (mut server, _) = HomeServer::open_at(control, topology, &dir).unwrap();
+            server.add_user("tom").unwrap();
+            let SubmitOutcome::Registered { id: id_drop, .. } = server
+                .submit(&tom, "When a movie is on air, turn on the TV.")
+                .unwrap()
+            else {
+                panic!("expected registration");
+            };
+            let SubmitOutcome::Registered { id, .. } = server
+                .submit(&tom, "When I'm in the living room, turn on the floor lamp.")
+                .unwrap()
+            else {
+                panic!("expected registration");
+            };
+            id_keep = id;
+            server.remove_rule(id_drop).unwrap();
+            server.set_rule_enabled(id_keep, false).unwrap();
+            server
+                .add_priority(PriorityOrder::new(
+                    cadel_types::DeviceId::new("lamp-lr"),
+                    vec![id_keep],
+                ))
+                .unwrap();
+            server.sync().unwrap();
+        }
+        {
+            let (control, topology, _home) = fresh_world();
+            let (server, _) = HomeServer::open_at(control, topology, &dir).unwrap();
+            assert_eq!(server.engine().rules().len(), 1);
+            let rule = server.engine().rules().get(id_keep).unwrap();
+            assert!(!rule.is_enabled());
+            assert_eq!(server.engine().priorities().orders().len(), 1);
+            // The allocator does not reuse the removed rule's id.
+            assert!(server.engine().rules().next_id() > id_keep);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ephemeral_server_still_works_without_a_store() {
+        let (mut server, _home) = setup();
+        assert!(server.store().is_none());
+        // Durable-only entry points degrade to no-ops / plain mutations.
+        server.checkpoint().unwrap();
+        server.checkpoint_runtime().unwrap();
+        server
+            .set_freshness_policy(FreshnessPolicy::default())
+            .unwrap();
     }
 
     #[test]

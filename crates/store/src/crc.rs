@@ -1,0 +1,34 @@
+//! CRC-32 (IEEE 802.3) with a compile-time lookup table.
+//!
+//! Hand-rolled because the workspace builds fully offline; the table is
+//! produced by a `const fn` so there is no init cost or `OnceLock`.
+
+/// Reflected polynomial for CRC-32/ISO-HDLC (zlib, PNG, Ethernet).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 (IEEE) of `data`, matching zlib's `crc32(0, data)`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
