@@ -11,6 +11,14 @@
 //!   raise a *transient* event fact that stays active for a configurable
 //!   window; changes of the TV guide's `on-air` variable maintain a
 //!   *persistent* broadcast fact that lasts until the program ends.
+//!
+//! Transient-event windows are **inclusive at both ends**: an event raised
+//! at `t` with window `W` is active on every step whose clock satisfies
+//! `t <= now <= t + W`, and expires strictly after `t + W`. This mirrors
+//! the freshness rule (a reading aged exactly `max_age` is still fresh)
+//! and is honored identically by the string-keyed path
+//! ([`ContextStore::event_active`]) and the compiled-IR slot path
+//! ([`ContextView::event_active_slot`]).
 //! * **Clock/calendar** — the current [`SimTime`] plus the weekday/date of
 //!   day zero, so time-window, weekday and date atoms can be decided.
 //!
@@ -290,10 +298,12 @@ impl ContextStore {
         self.now
     }
 
-    /// Advances the clock and expires transient events.
+    /// Advances the clock and expires transient events. An event whose
+    /// window ends exactly at `now` is still active this step (inclusive
+    /// boundary) and is dropped on the next advance past it.
     pub fn set_now(&mut self, now: SimTime) {
         self.now = now;
-        self.transient_events.retain(|_, expiry| *expiry > now);
+        self.transient_events.retain(|_, expiry| *expiry >= now);
     }
 
     /// The weekday at the current instant.
@@ -443,7 +453,9 @@ impl ContextStore {
         }
     }
 
-    /// Whether an event is currently active (case-insensitive).
+    /// Whether an event is currently active (case-insensitive). Transient
+    /// events are active through the end of their window inclusive: raised
+    /// at `t` with window `W`, the last active instant is exactly `t + W`.
     pub fn event_active(&self, channel: &str, name: &str) -> bool {
         let fact = EventFact {
             channel: channel.trim().to_ascii_lowercase(),
@@ -453,7 +465,7 @@ impl ContextStore {
             || self
                 .transient_events
                 .get(&fact)
-                .map(|expiry| *expiry > self.now)
+                .map(|expiry| *expiry >= self.now)
                 .unwrap_or(false)
     }
 
@@ -567,7 +579,7 @@ impl ContextView for ContextStore {
             .get(slot.index())
             .copied()
             .flatten()
-            .map(|expiry| expiry > self.now)
+            .map(|expiry| expiry >= self.now)
             .unwrap_or(false)
     }
 
@@ -877,6 +889,32 @@ mod tests {
         ctx.set_now(SimTime::EPOCH + SimDuration::from_secs(29));
         assert!(ctx.event_active("person", "arrives"));
         ctx.set_now(SimTime::EPOCH + SimDuration::from_secs(31));
+        assert!(!ctx.event_active("person", "arrives"));
+    }
+
+    #[test]
+    fn event_window_boundary_is_inclusive() {
+        // An event raised at t with window W is active at exactly t + W
+        // (mirroring the `age == max_age` freshness rule) and gone one
+        // millisecond later — whether the clock lands on the boundary
+        // directly or arrives there via `set_now` expiry.
+        let window = SimDuration::from_secs(30);
+        let boundary = SimTime::EPOCH + window;
+
+        let mut ctx = ContextStore::default();
+        ctx.set_event_window(window);
+        ctx.raise_event("person", "arrives");
+        ctx.set_now(boundary);
+        assert!(ctx.event_active("person", "arrives"));
+        ctx.set_now(boundary + SimDuration::from_millis(1));
+        assert!(!ctx.event_active("person", "arrives"));
+
+        // Same verdicts when `now` was already past raise time before the
+        // query (no intermediate set_now at the boundary).
+        let mut ctx = ContextStore::default();
+        ctx.set_event_window(window);
+        ctx.raise_event("person", "arrives");
+        ctx.set_now(boundary + SimDuration::from_millis(1));
         assert!(!ctx.event_active("person", "arrives"));
     }
 }

@@ -1,7 +1,14 @@
 //! The rule execution module (paper §4.1): event ingestion, condition
 //! evaluation, runtime conflict arbitration and device dispatch.
+//!
+//! [`Engine::step`] runs as a three-phase pipeline — batched ingest with
+//! per-sensor coalescing, read-only (optionally parallel) rule
+//! evaluation, and a serial commit in ascending `RuleId` order — so
+//! serial and parallel runs produce byte-identical [`StepReport`]s. See
+//! `docs/CONCURRENCY.md`.
 
-use crate::context::ContextStore;
+use self::shard::{EvalContext, EvalVerdict};
+use crate::context::{ContextStore, ARRIVAL_VARIABLE, OCCUPANTS_VARIABLE, ON_AIR_VARIABLE};
 use crate::error::EngineError;
 use crate::eval::{Evaluator, HeldTracker};
 use crate::index::TriggerIndex;
@@ -20,10 +27,25 @@ use std::fmt;
 #[path = "persist.rs"]
 pub mod persist;
 
+/// The read-only parallel evaluation phase. A child of this module for
+/// the same reason: workers borrow the engine's private runtime state.
+#[path = "shard.rs"]
+mod shard;
+
 /// Engine steps executed.
 static STEPS: LazyCounter = LazyCounter::new("engine_steps_total");
 /// Device property-change events ingested across all steps.
 static EVENTS_INGESTED: LazyCounter = LazyCounter::new("engine_events_ingested_total");
+/// Ingested events dropped by batch coalescing (a later reading of the
+/// same sensor superseded them within one step).
+static EVENTS_COALESCED: LazyCounter = LazyCounter::new("engine_events_coalesced_total");
+/// Worker threads used by the most recent evaluation phase.
+static EVAL_THREADS: LazyGauge = LazyGauge::new("engine_eval_threads");
+/// Candidate rules per evaluation shard.
+static SHARD_RULES: LazyHistogram = LazyHistogram::new("engine_eval_shard_rules");
+/// Spread between the slowest and fastest shard of one parallel
+/// evaluation pass, in nanoseconds (shard imbalance).
+static SHARD_IMBALANCE_NS: LazyHistogram = LazyHistogram::new("engine_eval_shard_imbalance_ns");
 /// Rule conditions evaluated across all steps.
 static RULES_EVALUATED: LazyCounter = LazyCounter::new("engine_rules_evaluated_total");
 /// Evaluations served by a compiled program.
@@ -179,6 +201,13 @@ pub struct Engine {
     index: TriggerIndex,
     use_trigger_index: bool,
     use_compiled: bool,
+    /// Worker threads for the evaluation phase; 1 = serial. Both paths
+    /// run the same snapshot/evaluate/commit pipeline and produce
+    /// byte-identical reports.
+    eval_threads: usize,
+    /// Whether ingest coalesces redundant same-sensor readings within a
+    /// batch (last-write-wins). Off only for the P-series ablation.
+    coalesce_events: bool,
     last_state: HashMap<RuleId, bool>,
     holders: HashMap<DeviceId, ActiveHolder>,
     /// Rules whose condition currently holds, per target device. Losers
@@ -230,6 +259,8 @@ impl Engine {
             index: TriggerIndex::new(),
             use_trigger_index: true,
             use_compiled: true,
+            eval_threads: 1,
+            coalesce_events: true,
             last_state: HashMap::new(),
             holders: HashMap::new(),
             contenders: HashMap::new(),
@@ -254,6 +285,27 @@ impl Engine {
     /// [`StepReport`]s.
     pub fn set_use_compiled(&mut self, enabled: bool) {
         self.use_compiled = enabled;
+    }
+
+    /// Sets how many worker threads the evaluation phase may use (clamped
+    /// to at least 1; 1 means serial). Parallel evaluation is
+    /// deterministic: any thread count produces byte-identical
+    /// [`StepReport`]s, activity timelines and checkpoints. A runtime
+    /// tuning knob, deliberately not persisted in the WAL.
+    pub fn set_eval_threads(&mut self, threads: usize) {
+        self.eval_threads = threads.max(1);
+    }
+
+    /// The configured evaluation-phase thread count.
+    pub fn eval_threads(&self) -> usize {
+        self.eval_threads
+    }
+
+    /// Disables ingest coalescing: every drained property change is
+    /// applied and fanned out individually. Exists for the P-series
+    /// coalescing ablation; verdicts are identical either way.
+    pub fn set_coalesce_events(&mut self, enabled: bool) {
+        self.coalesce_events = enabled;
     }
 
     /// The control point.
@@ -378,213 +430,50 @@ impl Engine {
     pub fn step(&mut self, now: SimTime) -> StepReport {
         let sw = Stopwatch::start();
         let mut span = Span::new("engine.step");
-        let mut evaluated: u64 = 0;
-        let mut eval_compiled: u64 = 0;
-        let mut eval_ast: u64 = 0;
 
-        // 1. Ingest events.
-        let changes = self.subscription.drain();
-        self.ctx.set_now(now);
-        // Catch the slot boards up with names interned since the last step
-        // (mutators keep them current otherwise).
-        if self.use_compiled {
-            self.ctx.sync_ir();
-        }
-        let mut affected: BTreeSet<RuleId> = BTreeSet::new();
-        for change in &changes {
-            self.ctx.apply_property_change(change);
-            if self.use_trigger_index {
-                self.index
-                    .affected_by_change(change, &self.ctx, &mut affected);
-            }
-        }
+        // Phase 1 — batched ingest: drain the subscription, advance the
+        // clock, apply the batch with per-sensor coalescing, and collect
+        // the affected-rule fanout.
+        let (ingested, coalesced, affected) = self.ingest(now);
 
-        // 1b. Service due retries before evaluation, so a successful
-        //     retry re-acquires its device ahead of this step's
-        //     arbitration.
+        // Phase 1b — service due retries before evaluation, so a
+        // successful retry re-acquires its device ahead of this step's
+        // arbitration.
         let mut firings = Vec::new();
         self.process_retries(now, &mut firings);
 
-        // 2. Candidate set. A freshness window makes verdicts
-        //    time-dependent — a reading goes stale without any property
-        //    change, an edge the trigger index cannot see — so every
-        //    rule is scanned while one is configured.
-        let scan_all = !self.use_trigger_index || self.ctx.freshness_policy().max_age.is_some();
-        let candidates: Vec<RuleId> = if !scan_all {
-            // Affected rules + time-sensitive rules + everything currently
-            // true (for falling edges / until releases) + unevaluated.
-            let mut set = affected;
-            set.extend(self.index.temporal_rules());
-            for (id, state) in &self.last_state {
-                if *state {
-                    set.insert(*id);
-                }
-            }
-            for rule in self.rules.iter() {
-                if !self.last_state.contains_key(&rule.id()) {
-                    set.insert(rule.id());
-                }
-            }
-            set.into_iter().collect()
-        } else {
-            self.rules.iter().map(|r| r.id()).collect()
-        };
+        // Phase 2 — candidate set.
+        let candidates = self.candidate_rules(affected);
 
-        // 3. Evaluate candidates: refresh last_state, the per-device
-        //    contender sets, and collect fresh edges plus until-releases.
+        // Phase 3 — read-only evaluation over the now-immutable context,
+        // sharded across scoped worker threads (serial at 1). Workers
+        // return per-rule verdicts plus observed held-for transitions;
+        // nothing shared is mutated until commit.
+        let ec = EvalContext {
+            rules: &self.rules,
+            ctx: &self.ctx,
+            held: &self.held,
+            holders: &self.holders,
+            use_compiled: self.use_compiled,
+        };
+        let (verdicts, eval_stats) = shard::evaluate(&ec, &candidates, self.eval_threads);
+
+        // Phase 4 — serial commit in ascending RuleId order: held-for
+        // transitions, state edges, until releases, contender pools.
         let mut newly_true: BTreeSet<RuleId> = BTreeSet::new();
         let mut releases: Vec<(RuleId, DeviceId)> = Vec::new();
         // Devices whose current holder's condition just lapsed: suppressed
         // contenders must get a chance to take over.
         let mut holder_lapsed: BTreeSet<DeviceId> = BTreeSet::new();
-        for id in candidates {
-            // Evaluation borrows the stored rule (and its compiled
-            // program) in place — no per-candidate clone.
-            let Some(rule) = self.rules.get(id) else {
-                continue;
-            };
-            if !rule.is_enabled() {
-                continue;
-            }
-            // Borrowed, not cloned: a candidate that stays false (the
-            // common case) must not pay for an owned device id.
-            let device = rule.action().device();
-            let program = if self.use_compiled {
-                let program = self.rules.program(id);
-                if program.is_none() {
-                    // Wanted the compiled path, ended up interpreting: a
-                    // degradation worth a counter tick per occurrence and
-                    // one structured event per rule.
-                    AST_FALLBACKS.inc();
-                    if self.fallback_noted.insert(id) && cadel_obs::enabled() {
-                        cadel_obs::emit(
-                            ObsEvent::new("engine.ast_fallback", Level::Warn)
-                                .with_field("rule", id.raw())
-                                .with_field("owner", rule.owner().as_str())
-                                .with_field("device", device.as_str()),
-                        );
-                    }
-                }
-                program
-            } else {
-                None
-            };
-            evaluated += 1;
-            let now_true = match program {
-                Some(program) => {
-                    eval_compiled += 1;
-                    cadel_ir::condition_holds(program.as_ref(), &self.ctx, &mut self.held)
-                }
-                None => {
-                    eval_ast += 1;
-                    Evaluator::new(&self.ctx, &mut self.held).condition_holds(rule.condition())
-                }
-            };
-            let prev = self.last_state.insert(id, now_true).unwrap_or(false);
+        let (evaluated, eval_compiled, eval_ast) = self.commit_verdicts(
+            verdicts,
+            now,
+            &mut newly_true,
+            &mut releases,
+            &mut holder_lapsed,
+        );
 
-            // `until` releases apply to the active holder even after its
-            // trigger condition has passed ("turn on … until 10 pm" turns
-            // the light off at 10 pm however long ago the arrival was).
-            if let Some(until) = rule.until() {
-                let holder_here = self
-                    .holders
-                    .get(device)
-                    .map(|h| h.rule == id)
-                    .unwrap_or(false);
-                if holder_here {
-                    let until_true = match program {
-                        Some(program) => {
-                            cadel_ir::until_holds(program.as_ref(), &self.ctx, &mut self.held)
-                                .unwrap_or(false)
-                        }
-                        None => Evaluator::new(&self.ctx, &mut self.held).condition_holds(until),
-                    };
-                    if until_true {
-                        // Inlined `release`: invoke the inverse action and
-                        // free the device (a method call would require
-                        // `&mut self` while `rule` is borrowed). Inverse
-                        // failures are not swallowed: they are counted,
-                        // reported, and — for transient faults — retried,
-                        // so a flaky device does not stay stuck on.
-                        if let Some(inverse) = rule.action().verb().inverse() {
-                            let inverse_action = ActionSpec::new(device.clone(), inverse);
-                            let blocked = self.resilience.breaker_blocks(device, now);
-                            let result = if blocked {
-                                Err(UpnpError::DeviceFault("circuit open".into()))
-                            } else {
-                                self.invoke_action(&inverse_action)
-                            };
-                            if let Err(err) = result {
-                                RELEASE_FAILED.inc();
-                                if cadel_obs::enabled() {
-                                    cadel_obs::emit(
-                                        ObsEvent::new("engine.release_failed", Level::Warn)
-                                            .with_field("rule", id.raw())
-                                            .with_field("device", device.as_str())
-                                            .with_field("error", err.to_string()),
-                                    );
-                                }
-                                if matches!(err, UpnpError::DeviceFault(_)) {
-                                    if !blocked {
-                                        self.resilience.note_failure(device, now);
-                                    }
-                                    self.resilience.schedule(
-                                        id,
-                                        device.clone(),
-                                        inverse_action,
-                                        RetryKind::Release,
-                                        1,
-                                        now,
-                                    );
-                                }
-                            }
-                        }
-                        self.holders.remove(device);
-                        releases.push((id, device.clone()));
-                        // Latch until the condition goes false so the rule
-                        // does not immediately re-acquire the device.
-                        if now_true {
-                            self.latched.insert(id);
-                        }
-                        if let Some(set) = self.contenders.get_mut(device) {
-                            set.remove(&id);
-                        }
-                    }
-                }
-            }
-
-            if !now_true {
-                // A false condition clears the latch and any suppression
-                // or deferral note, and leaves the contender pool.
-                self.latched.remove(&id);
-                self.suppress_noted.remove(&id);
-                self.defer_noted.remove(&id);
-                if let Some(set) = self.contenders.get_mut(device) {
-                    set.remove(&id);
-                }
-                if self.holders.get(device).map(|h| h.rule) == Some(id) {
-                    holder_lapsed.insert(device.clone());
-                }
-                continue;
-            }
-            if !prev {
-                newly_true.insert(id);
-            }
-            if !self.latched.contains(&id) {
-                // Clone the key only when this device has no contender set
-                // yet.
-                match self.contenders.get_mut(device) {
-                    Some(set) => {
-                        set.insert(id);
-                    }
-                    None => {
-                        self.contenders.insert(device.clone(), BTreeSet::from([id]));
-                    }
-                }
-            }
-        }
-
-        // 4. Re-arbitrate every device whose outcome could have changed:
+        // Phase 5 — re-arbitrate every device whose outcome could have changed:
         //    any device with a fresh edge, and any device with several
         //    live contenders (a context change alone can flip priorities).
         let mut devices: BTreeSet<DeviceId> = BTreeSet::new();
@@ -702,7 +591,8 @@ impl Engine {
         }
 
         STEPS.inc();
-        EVENTS_INGESTED.add(changes.len() as u64);
+        EVENTS_INGESTED.add(ingested as u64);
+        EVENTS_COALESCED.add(coalesced as u64);
         RULES_EVALUATED.add(evaluated);
         EVAL_COMPILED.add(eval_compiled);
         EVAL_AST.add(eval_ast);
@@ -717,8 +607,17 @@ impl Engine {
                     FiringOutcome::Failed(_) => FIRINGS_FAILED.inc(),
                 }
             }
+            EVAL_THREADS.set(eval_stats.threads as i64);
+            for size in &eval_stats.shard_sizes {
+                SHARD_RULES.observe(*size as u64);
+            }
+            if eval_stats.shard_ns.len() > 1 {
+                let max = eval_stats.shard_ns.iter().copied().max().unwrap_or(0);
+                let min = eval_stats.shard_ns.iter().copied().min().unwrap_or(0);
+                SHARD_IMBALANCE_NS.observe(max - min);
+            }
             HELDFOR_TRACKED.set(self.held.tracked() as i64);
-            span.add_field("events", changes.len() as u64);
+            span.add_field("events", ingested as u64);
             span.add_field("evaluated", evaluated);
             span.add_field("firings", firings.len() as u64);
             span.add_field("releases", releases.len() as u64);
@@ -727,6 +626,222 @@ impl Engine {
         drop(span);
 
         StepReport { firings, releases }
+    }
+
+    /// Phase 1 of [`step`](Self::step): drains the subscription, advances
+    /// the context clock and applies the batch, coalescing redundant
+    /// same-sensor readings last-write-wins. Returns the raw drained
+    /// count, the number of changes coalesced away, and the affected-rule
+    /// fanout from the trigger index.
+    fn ingest(&mut self, now: SimTime) -> (usize, usize, BTreeSet<RuleId>) {
+        let changes = self.subscription.drain();
+        self.ctx.set_now(now);
+        // Catch the slot boards up with names interned since the last step
+        // (mutators keep them current otherwise).
+        if self.use_compiled {
+            self.ctx.sync_ir();
+        }
+        // Index of the last write per (device, variable) within this
+        // batch; earlier writes to the same sensor are invisible to every
+        // observer (evaluation only sees post-batch state) and are
+        // skipped. Event-bearing and stateful variables are exempt — see
+        // `coalescible`.
+        let mut last_write: HashMap<(&DeviceId, &str), usize> = HashMap::new();
+        if self.coalesce_events {
+            for (i, change) in changes.iter().enumerate() {
+                if coalescible(&change.variable) {
+                    last_write.insert((&change.device, change.variable.as_str()), i);
+                }
+            }
+        }
+        let mut affected: BTreeSet<RuleId> = BTreeSet::new();
+        let mut coalesced = 0usize;
+        for (i, change) in changes.iter().enumerate() {
+            if self.coalesce_events
+                && coalescible(&change.variable)
+                && last_write.get(&(&change.device, change.variable.as_str())) != Some(&i)
+            {
+                coalesced += 1;
+                continue;
+            }
+            self.ctx.apply_property_change(change);
+            if self.use_trigger_index {
+                self.index
+                    .affected_by_change(change, &self.ctx, &mut affected);
+            }
+        }
+        (changes.len(), coalesced, affected)
+    }
+
+    /// Phase 2 of [`step`](Self::step): the candidate set. A freshness
+    /// window makes verdicts time-dependent — a reading goes stale
+    /// without any property change, an edge the trigger index cannot
+    /// see — so every rule is scanned while one is configured.
+    fn candidate_rules(&self, affected: BTreeSet<RuleId>) -> Vec<RuleId> {
+        let scan_all = !self.use_trigger_index || self.ctx.freshness_policy().max_age.is_some();
+        if scan_all {
+            return self.rules.iter().map(|r| r.id()).collect();
+        }
+        // Affected rules + time-sensitive rules + everything currently
+        // true (for falling edges / until releases) + unevaluated.
+        let mut set = affected;
+        set.extend(self.index.temporal_rules());
+        for (id, state) in &self.last_state {
+            if *state {
+                set.insert(*id);
+            }
+        }
+        for rule in self.rules.iter() {
+            if !self.last_state.contains_key(&rule.id()) {
+                set.insert(rule.id());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Phase 4 of [`step`](Self::step): applies evaluation verdicts
+    /// serially in ascending `RuleId` order — held-for transitions,
+    /// fallback accounting, state edges, `until` releases and
+    /// contender-pool maintenance. This is the old evaluation loop minus
+    /// the evaluation: given the same verdicts it performs the same
+    /// mutations in the same order no matter how many threads produced
+    /// them. Returns (evaluated, compiled, ast) counts.
+    fn commit_verdicts(
+        &mut self,
+        verdicts: Vec<EvalVerdict>,
+        now: SimTime,
+        newly_true: &mut BTreeSet<RuleId>,
+        releases: &mut Vec<(RuleId, DeviceId)>,
+        holder_lapsed: &mut BTreeSet<DeviceId>,
+    ) -> (u64, u64, u64) {
+        let mut evaluated: u64 = 0;
+        let mut eval_compiled: u64 = 0;
+        let mut eval_ast: u64 = 0;
+        for verdict in verdicts {
+            let id = verdict.rule;
+            // Apply observed held-for transitions before this rule's
+            // bookkeeping: in the serial engine the tracker was mutated
+            // *during* this rule's evaluation, i.e. before anything
+            // below ran.
+            for (fingerprint, change) in verdict.held {
+                self.held.apply(fingerprint, change);
+            }
+            evaluated += 1;
+            if verdict.compiled {
+                eval_compiled += 1;
+            } else {
+                eval_ast += 1;
+            }
+            let Some(rule) = self.rules.get(id) else {
+                continue;
+            };
+            let device = rule.action().device();
+            if verdict.fallback {
+                // Wanted the compiled path, ended up interpreting: a
+                // degradation worth a counter tick per occurrence and
+                // one structured event per rule.
+                AST_FALLBACKS.inc();
+                if self.fallback_noted.insert(id) && cadel_obs::enabled() {
+                    cadel_obs::emit(
+                        ObsEvent::new("engine.ast_fallback", Level::Warn)
+                            .with_field("rule", id.raw())
+                            .with_field("owner", rule.owner().as_str())
+                            .with_field("device", device.as_str()),
+                    );
+                }
+            }
+            let now_true = verdict.now_true;
+            let prev = self.last_state.insert(id, now_true).unwrap_or(false);
+
+            // `until` releases apply to the active holder even after its
+            // trigger condition has passed ("turn on … until 10 pm" turns
+            // the light off at 10 pm however long ago the arrival was).
+            // The verdict already folds in the holder check — see
+            // `EvalContext::eval_rule` for why the holder table cannot
+            // have changed since the snapshot.
+            if verdict.until_release {
+                // Inlined `release`: invoke the inverse action and
+                // free the device (a method call would require
+                // `&mut self` while `rule` is borrowed). Inverse
+                // failures are not swallowed: they are counted,
+                // reported, and — for transient faults — retried,
+                // so a flaky device does not stay stuck on.
+                if let Some(inverse) = rule.action().verb().inverse() {
+                    let inverse_action = ActionSpec::new(device.clone(), inverse);
+                    let blocked = self.resilience.breaker_blocks(device, now);
+                    let result = if blocked {
+                        Err(UpnpError::DeviceFault("circuit open".into()))
+                    } else {
+                        self.invoke_action(&inverse_action)
+                    };
+                    if let Err(err) = result {
+                        RELEASE_FAILED.inc();
+                        if cadel_obs::enabled() {
+                            cadel_obs::emit(
+                                ObsEvent::new("engine.release_failed", Level::Warn)
+                                    .with_field("rule", id.raw())
+                                    .with_field("device", device.as_str())
+                                    .with_field("error", err.to_string()),
+                            );
+                        }
+                        if matches!(err, UpnpError::DeviceFault(_)) {
+                            if !blocked {
+                                self.resilience.note_failure(device, now);
+                            }
+                            self.resilience.schedule(
+                                id,
+                                device.clone(),
+                                inverse_action,
+                                RetryKind::Release,
+                                1,
+                                now,
+                            );
+                        }
+                    }
+                }
+                self.holders.remove(device);
+                releases.push((id, device.clone()));
+                // Latch until the condition goes false so the rule
+                // does not immediately re-acquire the device.
+                if now_true {
+                    self.latched.insert(id);
+                }
+                if let Some(set) = self.contenders.get_mut(device) {
+                    set.remove(&id);
+                }
+            }
+
+            if !now_true {
+                // A false condition clears the latch and any suppression
+                // or deferral note, and leaves the contender pool.
+                self.latched.remove(&id);
+                self.suppress_noted.remove(&id);
+                self.defer_noted.remove(&id);
+                if let Some(set) = self.contenders.get_mut(device) {
+                    set.remove(&id);
+                }
+                if self.holders.get(device).map(|h| h.rule) == Some(id) {
+                    holder_lapsed.insert(device.clone());
+                }
+                continue;
+            }
+            if !prev {
+                newly_true.insert(id);
+            }
+            if !self.latched.contains(&id) {
+                // Clone the key only when this device has no contender set
+                // yet.
+                match self.contenders.get_mut(device) {
+                    Some(set) => {
+                        set.insert(id);
+                    }
+                    None => {
+                        self.contenders.insert(device.clone(), BTreeSet::from([id]));
+                    }
+                }
+            }
+        }
+        (evaluated, eval_compiled, eval_ast)
     }
 
     /// Raises the conflict-channel event for a suppressed/displaced rule
@@ -930,6 +1045,20 @@ impl Engine {
     pub fn holder(&self, device: &DeviceId) -> Option<RuleId> {
         self.holders.get(device).map(|h| h.rule)
     }
+}
+
+/// Whether a variable's readings may be coalesced last-write-wins within
+/// one ingest batch. Event-bearing variables carry a distinct fact per
+/// payload (`arrival` raises a transient event per person, `on-air`
+/// rewrites the broadcast channel per program) and `occupants` updates
+/// presence by *diffing* against the previous occupant set — dropping an
+/// intermediate payload of any of them would change observable state, so
+/// they always apply individually.
+fn coalescible(variable: &str) -> bool {
+    !matches!(
+        variable,
+        ARRIVAL_VARIABLE | ON_AIR_VARIABLE | OCCUPANTS_VARIABLE
+    )
 }
 
 fn capitalize(word: &str) -> String {

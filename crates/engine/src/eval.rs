@@ -2,10 +2,22 @@
 //! state needed for "held for" atoms.
 
 use crate::context::ContextStore;
-use cadel_ir::SensorRead;
+use cadel_ir::{HeldObserver, SensorRead};
 use cadel_rule::{Atom, Condition, PresenceAtom, Subject};
 use cadel_types::{SimTime, Value};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::fmt::Write as _;
+
+thread_local! {
+    /// Reusable buffer for AST `HeldFor` fingerprints. The compiled path
+    /// bakes fingerprints into its programs at lowering time; the
+    /// interpreter used to allocate a fresh `String` per evaluation of
+    /// every `HeldFor` atom — the hot-path allocation this scratch removes.
+    /// The buffer is only borrowed *after* the inner atom has been fully
+    /// evaluated, so nested `HeldFor` atoms cannot re-enter the borrow.
+    static FINGERPRINT_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
 
 /// Tracks since when each duration-qualified atom's inner fact has been
 /// continuously true, so `door unlocked for 1 hour` can be decided.
@@ -58,6 +70,87 @@ impl HeldTracker {
     pub(crate) fn restore(&mut self, fingerprint: String, since: SimTime) {
         self.since.insert(fingerprint, since);
     }
+
+    /// Since when a fingerprint's inner fact has been continuously true,
+    /// without observing (read-only; the [`HeldOverlay`] base lookup).
+    pub(crate) fn held_since(&self, fingerprint: &str) -> Option<SimTime> {
+        self.since.get(fingerprint).copied()
+    }
+
+    /// Applies one transition recorded by a [`HeldOverlay`] during
+    /// read-only evaluation: `Some(since)` starts tracking, `None` stops.
+    pub(crate) fn apply(&mut self, fingerprint: String, change: Option<SimTime>) {
+        match change {
+            Some(since) => {
+                self.since.insert(fingerprint, since);
+            }
+            None => {
+                self.since.remove(&fingerprint);
+            }
+        }
+    }
+}
+
+/// Held-for observation against an *immutable* [`HeldTracker`], recording
+/// transitions instead of applying them — the observer handed to parallel
+/// evaluation workers, whose phase must not mutate shared state.
+///
+/// Within one rule the overlay gives the same read-your-writes visibility
+/// the mutable tracker would (an `until` clause sees its trigger's
+/// observations). Across rules every worker sees the step-start snapshot;
+/// that matches the serial engine because fingerprints are pure functions
+/// of the atom, so two rules sharing a fingerprint evaluate its inner fact
+/// identically against the same immutable context and can never record
+/// conflicting transitions. The serial commit phase drains the recorded
+/// transitions and applies them in ascending `RuleId` order.
+#[derive(Debug)]
+pub(crate) struct HeldOverlay<'a> {
+    base: &'a HeldTracker,
+    overlay: HashMap<String, Option<SimTime>>,
+}
+
+impl<'a> HeldOverlay<'a> {
+    /// An empty overlay over the step-start tracker snapshot.
+    pub(crate) fn new(base: &'a HeldTracker) -> HeldOverlay<'a> {
+        HeldOverlay {
+            base,
+            overlay: HashMap::new(),
+        }
+    }
+
+    /// Drains the recorded transitions, sorted by fingerprint so commit
+    /// application (and anything derived from it) is byte-stable.
+    pub(crate) fn take_transitions(&mut self) -> Vec<(String, Option<SimTime>)> {
+        if self.overlay.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<_> = self.overlay.drain().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+impl HeldObserver for HeldOverlay<'_> {
+    fn observe(&mut self, fingerprint: &str, inner_true: bool, now: SimTime) -> Option<SimTime> {
+        let current = match self.overlay.get(fingerprint) {
+            Some(entry) => *entry,
+            None => self.base.held_since(fingerprint),
+        };
+        if inner_true {
+            if let Some(since) = current {
+                return Some(since);
+            }
+            self.overlay.insert(fingerprint.to_owned(), Some(now));
+            Some(now)
+        } else {
+            // Record the removal only when there is something to remove,
+            // mirroring `HeldTracker::observe`'s no-op remove.
+            if current.is_some() {
+                self.overlay.insert(fingerprint.to_owned(), None);
+            }
+            None
+        }
+    }
 }
 
 /// Compiled programs and the AST interpreter share one tracker: lowering
@@ -70,14 +163,18 @@ impl cadel_ir::HeldObserver for HeldTracker {
 }
 
 /// Evaluates conditions against a [`ContextStore`].
-pub struct Evaluator<'a> {
+///
+/// Generic over the held-for observer so the same interpreter serves the
+/// serial engine (mutable [`HeldTracker`]) and the parallel evaluation
+/// workers (read-only [`HeldOverlay`]).
+pub struct Evaluator<'a, H = HeldTracker> {
     ctx: &'a ContextStore,
-    held: &'a mut HeldTracker,
+    held: &'a mut H,
 }
 
-impl<'a> Evaluator<'a> {
+impl<'a, H: HeldObserver> Evaluator<'a, H> {
     /// Creates an evaluator borrowing the context and the held-for state.
-    pub fn new(ctx: &'a ContextStore, held: &'a mut HeldTracker) -> Evaluator<'a> {
+    pub fn new(ctx: &'a ContextStore, held: &'a mut H) -> Evaluator<'a, H> {
         Evaluator { ctx, held }
     }
 
@@ -98,8 +195,19 @@ impl<'a> Evaluator<'a> {
             // same one the compiled path applies in `ir::eval_pred` —
             // degraded verdicts must agree between the two evaluators.
             Atom::Constraint(c) => match self.ctx.sensor_read_key(c.sensor()) {
-                SensorRead::Value(Value::Number(q)) => c.holds_for(q),
-                SensorRead::Value(_) | SensorRead::AssumeFalse => false,
+                SensorRead::Value(Value::Number(q)) => {
+                    if !q.is_comparable_to(&c.threshold()) {
+                        cadel_ir::note_type_mismatch("ast", c.sensor(), q);
+                    }
+                    c.holds_for(q)
+                }
+                SensorRead::Value(other) => {
+                    // Present but non-numeric: false, but no longer
+                    // silently — the mismatch is counted and reported.
+                    cadel_ir::note_type_mismatch("ast", c.sensor(), other);
+                    false
+                }
+                SensorRead::AssumeFalse => false,
                 SensorRead::AssumeTrue => true,
             },
             Atom::State(s) => match self.ctx.sensor_read_key(&s.sensor_key()) {
@@ -114,11 +222,17 @@ impl<'a> Evaluator<'a> {
             Atom::Date(d) => self.ctx.date() == *d,
             Atom::HeldFor { inner, duration } => {
                 let inner_true = self.atom_holds(inner);
-                let fingerprint = format!("{inner}~{}", duration.as_millis());
-                match self.held.observe(&fingerprint, inner_true, self.ctx.now()) {
-                    Some(since) => self.ctx.now().since(since) >= *duration,
-                    None => false,
-                }
+                let now = self.ctx.now();
+                FINGERPRINT_SCRATCH.with(|scratch| {
+                    let mut fingerprint = scratch.borrow_mut();
+                    fingerprint.clear();
+                    write!(fingerprint, "{inner}~{}", duration.as_millis())
+                        .expect("formatting into a String cannot fail");
+                    match self.held.observe(&fingerprint, inner_true, now) {
+                        Some(since) => now.since(since) >= *duration,
+                        None => false,
+                    }
+                })
             }
             // `Atom` is non-exhaustive: future atom kinds default to false
             // (fail closed) until evaluation support is added.

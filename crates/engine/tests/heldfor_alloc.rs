@@ -1,0 +1,105 @@
+//! The `held for` hot path must not allocate in steady state.
+//!
+//! Evaluating a `HeldFor` atom identifies the tracked condition by a
+//! textual fingerprint. Naively that means one `format!` String per
+//! evaluation per step — a permanent allocation tax on every rule with a
+//! dwell clause. The interpreter instead renders the fingerprint into a
+//! thread-local scratch buffer (and the compiled path precomputes it at
+//! lowering time), so steady-state evaluation allocates nothing.
+//!
+//! This test pins that with a counting global allocator: after a warm-up
+//! evaluation (which may grow the scratch buffer and insert the tracker
+//! entry), repeated evaluations of a held-for condition perform zero
+//! heap allocations. Lives in its own integration binary because the
+//! global allocator is process-wide.
+
+use cadel_engine::{ContextStore, Evaluator, HeldTracker};
+use cadel_rule::{Atom, Condition, ConstraintAtom};
+use cadel_simplex::RelOp;
+use cadel_types::{Date, DeviceId, Quantity, SensorKey, SimDuration, SimTime, Unit, Value};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_heldfor_evaluation_does_not_allocate() {
+    let sensor = SensorKey::new(DeviceId::new("thermo"), "temperature");
+    // Two dwell clauses under an Or: while both are pending, neither
+    // short-circuits away, so every evaluation renders both fingerprints.
+    let condition = Condition::Atom(Atom::held_for(
+        Atom::Constraint(ConstraintAtom::new(
+            sensor.clone(),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        )),
+        SimDuration::from_minutes(5),
+    ))
+    .or(Condition::Atom(Atom::held_for(
+        Atom::Constraint(ConstraintAtom::new(
+            sensor.clone(),
+            RelOp::Gt,
+            Quantity::from_integer(28, Unit::Celsius),
+        )),
+        SimDuration::from_minutes(7),
+    )));
+
+    let mut ctx = ContextStore::new(Date::new(2005, 6, 6).expect("static date"));
+    ctx.set_now(SimTime::EPOCH);
+    ctx.set_value(
+        sensor,
+        Value::Number(Quantity::from_integer(30, Unit::Celsius)),
+    );
+    let mut held = HeldTracker::new();
+
+    // Warm-up: grows the thread-local scratch buffer and inserts both
+    // tracker entries (the only transitions this workload ever makes).
+    for _ in 0..3 {
+        Evaluator::new(&ctx, &mut held).condition_holds(&condition);
+    }
+    assert_eq!(held.tracked(), 2, "both dwell clauses are tracked");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut holds = 0u32;
+    for _ in 0..1_000 {
+        if Evaluator::new(&ctx, &mut held).condition_holds(&condition) {
+            holds += 1;
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(holds, 0, "the 5-minute dwell has not elapsed at EPOCH");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state held-for evaluation must not allocate \
+         ({} allocations across 1000 evaluations)",
+        after - before
+    );
+
+    // And once the dwell elapses the condition actually holds — the
+    // scratch-buffer fingerprint still matches the tracked entry.
+    ctx.set_now(SimTime::EPOCH + SimDuration::from_minutes(6));
+    assert!(Evaluator::new(&ctx, &mut held).condition_holds(&condition));
+}

@@ -1,0 +1,87 @@
+//! A numeric constraint reading a present-but-non-numeric value used to
+//! evaluate to a silent `false` — indistinguishable from "the room is
+//! cold" when a flaky sensor starts reporting `"offline"`. Both
+//! evaluation paths now report it: `engine_type_mismatch_total` ticks on
+//! every occurrence and a rate-limited `engine.type_mismatch` warning
+//! event carries the sensor and the offending value.
+//!
+//! Lives in its own integration binary because it flips the
+//! process-global observability switch.
+
+use cadel_engine::Engine;
+use cadel_obs::RingCollector;
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_simplex::RelOp;
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value};
+use cadel_upnp::{ControlPoint, Registry};
+use std::sync::Arc;
+
+fn mismatch_engine(compiled: bool, rule_id: u64) -> Engine {
+    let rule = Rule::builder(PersonId::new("tom"))
+        .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+            SensorKey::new(DeviceId::new("thermo"), "reading"),
+            RelOp::Gt,
+            Quantity::from_integer(26, Unit::Celsius),
+        ))))
+        .action(ActionSpec::new(DeviceId::new("fan"), Verb::TurnOn))
+        .build(RuleId::new(rule_id))
+        .unwrap();
+    let mut engine = Engine::new(ControlPoint::new(Registry::new()));
+    engine.set_use_compiled(compiled);
+    engine.add_rule(rule).unwrap();
+    engine
+}
+
+#[test]
+fn non_numeric_reading_is_counted_and_reported_on_both_paths() {
+    let ring = Arc::new(RingCollector::new(64));
+    cadel_obs::install(ring.clone());
+
+    let counter = || {
+        cadel_obs::metrics_snapshot()
+            .counter("engine_type_mismatch_total")
+            .unwrap_or(0)
+    };
+    let key = SensorKey::new(DeviceId::new("thermo"), "reading");
+
+    for (compiled, path) in [(true, "compiled"), (false, "ast")] {
+        let mut engine = mismatch_engine(compiled, 1);
+        engine
+            .context_mut()
+            .set_value(key.clone(), Value::Text("offline".to_owned()));
+
+        let before = counter();
+        let report = engine.step(SimTime::from_millis(1));
+        assert!(
+            report.firings.is_empty(),
+            "{path}: a non-numeric reading must not satisfy the constraint"
+        );
+        assert_eq!(
+            counter() - before,
+            1,
+            "{path}: one evaluation, one mismatch tick"
+        );
+    }
+
+    // Incomparable dimensions (a humidity reading against a temperature
+    // threshold) are the same defect and tick the same counter.
+    let mut engine = mismatch_engine(true, 1);
+    engine.context_mut().set_value(
+        key,
+        Value::Number(Quantity::from_integer(60, Unit::Percent)),
+    );
+    let before = counter();
+    engine.step(SimTime::from_millis(1));
+    assert_eq!(counter() - before, 1, "dimension clash ticks the counter");
+
+    // The warning event names the offending value.
+    let warnings = ring.events_named("engine.type_mismatch");
+    assert!(
+        !warnings.is_empty(),
+        "mismatches must surface as engine.type_mismatch events"
+    );
+    let rendered = cadel_obs::format_logfmt(&warnings[0].event);
+    assert!(rendered.contains("offline"), "logfmt: {rendered}");
+
+    cadel_obs::shutdown();
+}

@@ -1,0 +1,362 @@
+//! Lockstep determinism for the sharded step: a serial engine
+//! (`eval_threads = 1`) and a parallel one must produce byte-identical
+//! [`StepReport`]s on every step, over the same randomized workload the
+//! compiled/interpreted parity suite uses — numeric constraints, device
+//! state, events, presence, time windows and `held for` dwell clauses
+//! under nested And/Or with optional `until` releases.
+//!
+//! The thread count under test defaults to 4 and is overridden with
+//! `CADEL_EVAL_THREADS` so CI can sweep the matrix (2, 8, …).
+//!
+//! Also pinned here, because they ride the same ingest/evaluate/commit
+//! pipeline:
+//!
+//! * batch coalescing is invisible — an engine that coalesces redundant
+//!   same-sensor readings reports identically to one that applies every
+//!   payload;
+//! * coalescing never drops event-bearing payloads — every `arrival` in
+//!   a batch raises its event even when the same sensor repeats;
+//! * the transient-event expiry boundary (inclusive at `t + W`) agrees
+//!   between the compiled and interpreted paths.
+
+use cadel_engine::{Engine, StepReport};
+use cadel_rule::{
+    ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Rule, StateAtom, Subject,
+    Verb,
+};
+use cadel_simplex::RelOp;
+use cadel_types::{
+    DayPart, DeviceId, PersonId, PlaceId, Quantity, Rng, RuleId, SensorKey, SimDuration, SimTime,
+    Unit, Value,
+};
+use cadel_upnp::{ControlPoint, EventBus, Registry};
+
+const PEOPLE: [&str; 2] = ["tom", "alan"];
+const PLACES: [&str; 2] = ["living room", "hall"];
+const OPS: [RelOp; 5] = [RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge, RelOp::Eq];
+
+fn threads_under_test() -> usize {
+    std::env::var("CADEL_EVAL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4)
+}
+
+fn sensor(i: u64) -> SensorKey {
+    SensorKey::new(DeviceId::new(format!("sensor-{i}")), "reading")
+}
+
+fn constraint_atom(rng: &mut Rng) -> Atom {
+    Atom::Constraint(ConstraintAtom::new(
+        sensor(rng.below(3)),
+        *rng.pick(&OPS),
+        Quantity::from_integer(rng.range_i64(-5, 15), Unit::Celsius),
+    ))
+}
+
+fn arb_atom(rng: &mut Rng) -> Atom {
+    match rng.below(8) {
+        0 | 1 => constraint_atom(rng),
+        2 => Atom::Event(EventAtom::new("chan", format!("event-{}", rng.below(3)))),
+        3 => Atom::State(StateAtom::new(
+            DeviceId::new("tv-0"),
+            "power",
+            Value::Bool(rng.chance(1, 2)),
+        )),
+        4 => Atom::Presence(PresenceAtom::person_at(
+            *rng.pick(&PEOPLE),
+            *rng.pick(&PLACES),
+        )),
+        5 => {
+            let subject = if rng.chance(1, 2) {
+                Subject::Somebody
+            } else {
+                Subject::Nobody
+            };
+            Atom::Presence(PresenceAtom::new(subject, PlaceId::new(*rng.pick(&PLACES))))
+        }
+        6 => Atom::Time(
+            rng.pick(&[DayPart::Morning, DayPart::Afternoon, DayPart::Evening])
+                .window(),
+        ),
+        _ => Atom::held_for(
+            constraint_atom(rng),
+            SimDuration::from_minutes(rng.range_i64(1, 3) as u64),
+        ),
+    }
+}
+
+fn arb_condition(rng: &mut Rng, depth: u32) -> Condition {
+    if depth == 0 || rng.chance(2, 5) {
+        return Condition::Atom(arb_atom(rng));
+    }
+    let children: Vec<Condition> = (0..rng.range_i64(1, 3))
+        .map(|_| arb_condition(rng, depth - 1))
+        .collect();
+    if rng.chance(1, 2) {
+        Condition::And(children)
+    } else {
+        Condition::Or(children)
+    }
+}
+
+fn arb_rule(rng: &mut Rng, id: u64) -> Option<Rule> {
+    let device = DeviceId::new(format!("dev-{}", rng.below(3)));
+    let verb = if rng.chance(1, 2) {
+        Verb::TurnOn
+    } else {
+        Verb::TurnOff
+    };
+    let mut builder = Rule::builder(PersonId::new(*rng.pick(&PEOPLE)))
+        .condition(arb_condition(rng, 2))
+        .action(ActionSpec::new(device, verb));
+    if rng.chance(3, 10) {
+        builder = builder.until(arb_condition(rng, 1));
+    }
+    builder.build(RuleId::new(id)).ok()
+}
+
+/// One batch of UPnP property changes, generated once and published to
+/// both engines' buses. Publishing (rather than mutating the context
+/// directly) routes everything through the batched-ingest phase.
+fn arb_batch(rng: &mut Rng) -> Vec<(u64, Value)> {
+    let mut batch = Vec::new();
+    for s in 0..3u64 {
+        // Redundant same-sensor readings exercise the coalescer.
+        for _ in 0..rng.range_i64(0, 3) {
+            let value = if rng.chance(1, 10) {
+                Value::Text("offline".to_owned())
+            } else {
+                Value::Number(Quantity::from_integer(rng.range_i64(-5, 15), Unit::Celsius))
+            };
+            batch.push((s, value));
+        }
+    }
+    batch
+}
+
+fn fresh_engine(rules: &[Rule], compiled: bool, threads: usize) -> (Engine, EventBus) {
+    let registry = Registry::new();
+    let bus = registry.event_bus().clone();
+    let mut engine = Engine::new(ControlPoint::new(registry));
+    engine.set_use_compiled(compiled);
+    engine.set_eval_threads(threads);
+    for rule in rules {
+        engine.add_rule(rule.clone()).unwrap();
+    }
+    (engine, bus)
+}
+
+/// Runs a serial and a parallel engine in lockstep over the same random
+/// tape of published batches and asserts identical reports every step.
+fn run_lockstep(seed: u64, compiled: bool, threads: usize) -> Vec<StepReport> {
+    let mut rng = Rng::new(seed);
+    let rules: Vec<Rule> = (0..40).filter_map(|i| arb_rule(&mut rng, 1 + i)).collect();
+    assert!(rules.len() >= 30, "seed {seed} generated too few rules");
+
+    let (mut serial, serial_bus) = fresh_engine(&rules, compiled, 1);
+    let (mut parallel, parallel_bus) = fresh_engine(&rules, compiled, threads);
+
+    let mut reports = Vec::new();
+    for step in 1..=80u64 {
+        let now = SimTime::EPOCH + SimDuration::from_minutes(step * 7);
+        for (s, value) in arb_batch(&mut rng) {
+            for bus in [&serial_bus, &parallel_bus] {
+                bus.publish_change(
+                    DeviceId::new(format!("sensor-{s}")),
+                    "reading".to_owned(),
+                    value.clone(),
+                    now,
+                );
+            }
+        }
+        if rng.chance(1, 3) {
+            let event = format!("event-{}", rng.below(3));
+            serial.context_mut().raise_event("chan", &event);
+            parallel.context_mut().raise_event("chan", &event);
+        }
+        if rng.chance(1, 3) {
+            let person = PersonId::new(*rng.pick(&PEOPLE));
+            let place = if rng.chance(1, 3) {
+                None
+            } else {
+                Some(PlaceId::new(*rng.pick(&PLACES)))
+            };
+            serial
+                .context_mut()
+                .set_presence(person.clone(), place.clone());
+            parallel.context_mut().set_presence(person, place);
+        }
+        let a = serial.step(now);
+        let b = parallel.step(now);
+        assert_eq!(
+            a, b,
+            "serial and {threads}-thread reports diverged at step {step} \
+             (seed {seed}, compiled {compiled})"
+        );
+        reports.push(a);
+    }
+    for d in 0..3 {
+        let device = DeviceId::new(format!("dev-{d}"));
+        assert_eq!(
+            serial.holder(&device),
+            parallel.holder(&device),
+            "holder tables diverged (seed {seed})"
+        );
+    }
+    reports
+}
+
+#[test]
+fn parallel_and_serial_agree_compiled() {
+    let threads = threads_under_test();
+    for seed in [1, 42, 4242] {
+        let reports = run_lockstep(seed, true, threads);
+        assert!(
+            reports.iter().any(|r| !r.is_empty()),
+            "seed {seed} was inert"
+        );
+    }
+}
+
+#[test]
+fn parallel_and_serial_agree_interpreted() {
+    let threads = threads_under_test();
+    for seed in [7, 1337] {
+        let reports = run_lockstep(seed, false, threads);
+        assert!(
+            reports.iter().any(|r| !r.is_empty()),
+            "seed {seed} was inert"
+        );
+    }
+}
+
+#[test]
+fn more_threads_than_candidates_is_fine() {
+    // Thread counts far beyond the rule count must clamp, not panic or
+    // change results.
+    let reports = run_lockstep(42, true, 64);
+    assert!(reports.iter().any(|r| !r.is_empty()));
+}
+
+/// Coalescing is an ingest optimization, never a semantic change: an
+/// engine that applies every payload and one that coalesces redundant
+/// same-sensor readings report identically.
+#[test]
+fn coalescing_does_not_change_reports() {
+    let mut rng = Rng::new(99);
+    let rules: Vec<Rule> = (0..40).filter_map(|i| arb_rule(&mut rng, 1 + i)).collect();
+
+    let (mut coalesced, bus_a) = fresh_engine(&rules, true, 1);
+    let (mut verbatim, bus_b) = fresh_engine(&rules, true, 1);
+    coalesced.set_coalesce_events(true);
+    verbatim.set_coalesce_events(false);
+
+    for step in 1..=60u64 {
+        let now = SimTime::EPOCH + SimDuration::from_minutes(step * 7);
+        for (s, value) in arb_batch(&mut rng) {
+            for bus in [&bus_a, &bus_b] {
+                bus.publish_change(
+                    DeviceId::new(format!("sensor-{s}")),
+                    "reading".to_owned(),
+                    value.clone(),
+                    now,
+                );
+            }
+        }
+        let a = coalesced.step(now);
+        let b = verbatim.step(now);
+        assert_eq!(a, b, "coalescing changed the report at step {step}");
+    }
+}
+
+/// Event-bearing variables are exempt from coalescing: when one batch
+/// carries several `arrival` payloads from the same presence sensor,
+/// every one of them must raise its transient event.
+#[test]
+fn coalescing_never_drops_arrival_payloads() {
+    let registry = Registry::new();
+    let bus = registry.event_bus().clone();
+    let mut engine = Engine::new(ControlPoint::new(registry));
+    engine.set_coalesce_events(true);
+
+    let now = SimTime::from_millis(1_000);
+    for (i, name) in ["got home", "came back", "dropped by"].iter().enumerate() {
+        bus.publish_change(
+            DeviceId::new("door-sensor"),
+            "arrival".to_owned(),
+            Value::Text(format!("person:p{i}|{name}")),
+            now,
+        );
+    }
+    // An interleaved plain sensor reading repeated three times: the
+    // repeats coalesce, the arrivals must not.
+    for v in [1, 2, 3] {
+        bus.publish_change(
+            DeviceId::new("door-sensor"),
+            "reading".to_owned(),
+            Value::Number(Quantity::from_integer(v, Unit::Celsius)),
+            now,
+        );
+    }
+    engine.step(now);
+
+    let ctx = engine.context();
+    for (i, name) in ["got home", "came back", "dropped by"].iter().enumerate() {
+        assert!(
+            ctx.event_active(&format!("person:p{i}"), name),
+            "arrival {i} ({name}) was dropped by coalescing"
+        );
+    }
+    // The plain reading coalesced to its final value.
+    assert_eq!(
+        ctx.value(&SensorKey::new(DeviceId::new("door-sensor"), "reading")),
+        Some(&Value::Number(Quantity::from_integer(3, Unit::Celsius)))
+    );
+}
+
+/// The transient-event expiry boundary is inclusive (`t + W` still
+/// active, strictly after expired) and the compiled path agrees with the
+/// interpreter exactly at the boundary.
+#[test]
+fn event_expiry_boundary_compiled_and_interpreted_agree() {
+    let window = SimDuration::from_minutes(10);
+    let raise_at = SimTime::from_millis(5_000);
+    let boundary = raise_at + window;
+
+    let build = |compiled: bool| {
+        let rule = Rule::builder(PersonId::new("tom"))
+            .condition(Condition::Atom(Atom::Event(EventAtom::new("chan", "ding"))))
+            .action(ActionSpec::new(DeviceId::new("bell"), Verb::TurnOn))
+            .build(RuleId::new(1))
+            .unwrap();
+        let mut engine = Engine::new(ControlPoint::new(Registry::new()));
+        engine.set_use_compiled(compiled);
+        engine.context_mut().set_event_window(window);
+        engine.add_rule(rule).unwrap();
+        engine
+    };
+
+    for compiled in [true, false] {
+        let mut engine = build(compiled);
+        engine.context_mut().set_now(raise_at);
+        engine.context_mut().raise_event("chan", "ding");
+
+        let at_boundary = engine.step(boundary);
+        assert_eq!(
+            at_boundary.firings.len(),
+            1,
+            "compiled={compiled}: the event must still be active at exactly t + W"
+        );
+
+        let past = engine.step(boundary + SimDuration::from_millis(1));
+        // One millisecond later the event is gone and the rule's state
+        // falls back to false — no new firing either way.
+        assert!(
+            past.firings.is_empty(),
+            "compiled={compiled}: the event must expire strictly after t + W"
+        );
+        assert!(!engine.context().event_active("chan", "ding"));
+    }
+}

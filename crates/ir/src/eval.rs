@@ -14,7 +14,59 @@
 //! a semantic fact, not an optimization.
 
 use crate::program::{CondCode, Op, Pred, RuleProgram};
+use cadel_obs::{Event as ObsEvent, LazyCounter, Level};
 use cadel_types::{Date, PersonId, PlaceId, SimTime, Value, Weekday};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Numeric predicates that saw a present but unusable reading (wrong value
+/// type, or a quantity of the wrong dimension). Counts every occurrence;
+/// the structured event is rate-limited.
+static TYPE_MISMATCHES: LazyCounter = LazyCounter::new("engine_type_mismatch_total");
+/// Occurrence count backing the event rate limit (separate from the
+/// counter so the limit works even with metrics disabled).
+static TYPE_MISMATCH_SEEN: AtomicU64 = AtomicU64::new(0);
+
+/// Records a unit/type mismatch: a sensor reading was present but could
+/// not satisfy a numeric predicate (non-numeric value, or a quantity of a
+/// different dimension). The predicate still evaluates false — this makes
+/// the degradation diagnosable instead of invisible.
+///
+/// Every occurrence ticks `engine_type_mismatch_total`; the structured
+/// `engine.type_mismatch` event is rate-limited (the first 8 occurrences,
+/// then every 1024th) so one mis-wired sensor in a hot loop cannot flood
+/// the collector. Shared by the compiled evaluator and the engine's AST
+/// interpreter so both paths report identically.
+pub fn note_type_mismatch(
+    path: &'static str,
+    subject: &dyn fmt::Display,
+    found: &dyn fmt::Display,
+) {
+    TYPE_MISMATCHES.inc();
+    if !cadel_obs::enabled() {
+        return;
+    }
+    let occurrence = TYPE_MISMATCH_SEEN.fetch_add(1, Ordering::Relaxed) + 1;
+    if occurrence <= 8 || occurrence.is_multiple_of(1024) {
+        cadel_obs::emit(
+            ObsEvent::new("engine.type_mismatch", Level::Warn)
+                .with_field("path", path)
+                .with_field("subject", subject.to_string())
+                .with_field("found", found.to_string())
+                .with_field("occurrences", occurrence),
+        );
+    }
+}
+
+/// Display label for a sensor slot in mismatch events (the compiled path
+/// has no string key at hand; the slot index is stable per interner).
+struct SlotLabel(crate::SensorSlot);
+
+impl fmt::Display for SlotLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sensor-slot {}", self.0.index())
+    }
+}
 
 /// A policy-mediated sensor read: either a usable value or a forced
 /// verdict when the host's freshness policy overrides the raw reading.
@@ -158,9 +210,18 @@ fn eval_pred(
             dim,
         } => match view.sensor_read(*slot) {
             SensorRead::Value(Value::Number(q)) => {
-                q.dimension() == *dim && op.holds(q.canonical_value(), *threshold)
+                if q.dimension() == *dim {
+                    op.holds(q.canonical_value(), *threshold)
+                } else {
+                    note_type_mismatch("compiled", &SlotLabel(*slot), q);
+                    false
+                }
             }
-            SensorRead::Value(_) | SensorRead::AssumeFalse => false,
+            SensorRead::Value(other) => {
+                note_type_mismatch("compiled", &SlotLabel(*slot), other);
+                false
+            }
+            SensorRead::AssumeFalse => false,
             SensorRead::AssumeTrue => true,
         },
         Pred::StateEq { slot, expected } => match view.sensor_read(*slot) {

@@ -31,6 +31,9 @@ pub mod interner;
 pub mod program;
 
 pub use error::IrError;
-pub use eval::{condition_holds, eval_code, until_holds, ContextView, HeldObserver, SensorRead};
+pub use eval::{
+    condition_holds, eval_code, note_type_mismatch, until_holds, ContextView, HeldObserver,
+    SensorRead,
+};
 pub use interner::{EventSlot, Interner, SensorSlot, SharedInterner};
 pub use program::{merge_conjuncts, CompiledConjunct, CondCode, Op, Pred, RuleProgram};

@@ -1,18 +1,21 @@
 //! Discrete-event simulation for the CADEL framework: a virtual clock and
 //! event queue ([`Simulation`]), a Fig.-1-style time-chart recorder
 //! ([`TimeChart`]), a per-step engine activity recorder
-//! ([`ActivityTimeline`]), and the paper's living-room control scenario
-//! ([`LivingRoomScenario`]).
+//! ([`ActivityTimeline`]), the paper's living-room control scenario
+//! ([`LivingRoomScenario`]), and a multi-unit load scenario
+//! ([`ApartmentBlockScenario`]) for the sharded engine step.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod activity;
+pub mod apartment;
 pub mod scenario;
 pub mod schedule;
 pub mod timechart;
 
 pub use activity::{ActivityRow, ActivityTimeline};
+pub use apartment::{ApartmentBlockScenario, ApartmentWorld};
 pub use scenario::{LivingRoomScenario, ScenarioRules, ScenarioWorld};
 pub use schedule::Simulation;
 pub use timechart::TimeChart;

@@ -478,6 +478,12 @@ impl LivingRoomScenario {
         self.rules
     }
 
+    /// Mutable access to the home server before the run — e.g. to set
+    /// the engine's evaluation thread count for determinism soaks.
+    pub fn server_mut(&mut self) -> &mut HomeServer {
+        &mut self.sim.world_mut().server
+    }
+
     /// Runs the scenario to 20:00 with one-minute engine steps and returns
     /// the world (chart, log, server, devices).
     pub fn run(mut self) -> ScenarioWorld {

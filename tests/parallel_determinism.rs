@@ -1,0 +1,108 @@
+//! Parallel evaluation must be invisible: the same seeded workload run
+//! serially (`eval_threads = 1`) and sharded across worker threads must
+//! produce byte-identical activity timelines and server snapshots.
+//!
+//! Two workloads, both deterministic:
+//!
+//! * the Fig. 1 living-room scenario under the fault-injection plan from
+//!   the resilience soak — faults, retries, breakers and releases all
+//!   flow through the serial commit phase, so none of it may diverge;
+//! * the apartment-block load scenario — many units, same-device
+//!   contention, `held for` dwell clauses and batched redundant sensor
+//!   readings through the ingest coalescer.
+//!
+//! The thread count defaults to 4 and is overridden with
+//! `CADEL_EVAL_THREADS` so CI can sweep the matrix (2, 8, …).
+
+use cadel::sim::{ApartmentBlockScenario, LivingRoomScenario, ScenarioWorld};
+use cadel::types::{DeviceId, SimDuration, SimTime};
+use cadel::upnp::FaultPlan;
+
+fn threads_under_test() -> usize {
+    std::env::var("CADEL_EVAL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(4)
+}
+
+fn hm(h: u64, m: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_hours(h) + SimDuration::from_minutes(m)
+}
+
+/// The resilience soak's fault plan: transient aircon faults, a hard TV
+/// outage, stereo event latency and a thermometer dropout.
+fn faulty_world(eval_threads: usize) -> ScenarioWorld {
+    let faults = vec![
+        (
+            DeviceId::new("aircon-lr"),
+            FaultPlan::random_transient(
+                7,
+                hm(17, 0),
+                hm(19, 15),
+                SimDuration::from_minutes(1),
+                350,
+            ),
+        ),
+        (
+            DeviceId::new("tv-lr"),
+            FaultPlan::new().fail_between(hm(18, 0), hm(18, 8)),
+        ),
+        (
+            DeviceId::new("stereo-lr"),
+            FaultPlan::new().delay_between(hm(17, 0), hm(17, 2), SimDuration::from_secs(30)),
+        ),
+        (
+            DeviceId::new("thermo-lr"),
+            FaultPlan::new().drop_sensors_between(hm(18, 54), hm(18, 56)),
+        ),
+    ];
+    let mut scenario = LivingRoomScenario::build_with_faults(faults);
+    scenario.server_mut().set_eval_threads(eval_threads);
+    scenario.run()
+}
+
+#[test]
+fn living_room_fault_soak_is_thread_count_invariant() {
+    let threads = threads_under_test();
+    let serial = faulty_world(1);
+    let parallel = faulty_world(threads);
+
+    assert_eq!(
+        serial.activity.render(),
+        parallel.activity.render(),
+        "activity timelines diverged between 1 and {threads} threads"
+    );
+    assert_eq!(
+        serial.server.snapshot_json().to_compact(),
+        parallel.server.snapshot_json().to_compact(),
+        "server snapshots diverged between 1 and {threads} threads"
+    );
+    // Sanity: the workload was not inert.
+    assert!(serial.activity.rows().iter().any(|r| r.firings() > 0));
+}
+
+#[test]
+fn apartment_block_is_thread_count_invariant() {
+    let threads = threads_under_test();
+    let run = |eval_threads: usize| {
+        let mut scenario = ApartmentBlockScenario::build(12, 23);
+        scenario.server_mut().set_eval_threads(eval_threads);
+        scenario.run(120)
+    };
+    let serial = run(1);
+    let parallel = run(threads);
+
+    assert_eq!(
+        serial.activity.render(),
+        parallel.activity.render(),
+        "apartment activity diverged between 1 and {threads} threads"
+    );
+    assert_eq!(
+        serial.server.snapshot_json().to_compact(),
+        parallel.server.snapshot_json().to_compact(),
+        "apartment snapshots diverged between 1 and {threads} threads"
+    );
+    let dispatched: usize = serial.activity.rows().iter().map(|r| r.dispatched).sum();
+    assert!(dispatched > 0, "apartment workload was inert");
+}
