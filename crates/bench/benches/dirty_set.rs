@@ -1,0 +1,110 @@
+//! P-series continued: dirty-set incremental evaluation.
+//!
+//! * **P3** — dirty-set scaling: one step over fleets of 10k/100k/1M
+//!   rules where each rule watches its own sensor, swept across dirty
+//!   sets of 1/16/256 sensors. With the slot-keyed trigger index a
+//!   step's cost tracks the dirty set, not the fleet size — the
+//!   100k-rule/1-sensor step should sit within a small factor of the
+//!   1k-rule one.
+//! * **P4** — the ablation: the same fleet and dirty set with the
+//!   trigger index on vs off (`set_use_trigger_index(false)` scans every
+//!   rule), swept across `eval_threads` — full scans get faster with
+//!   more threads, the dirty-set step barely notices because there is
+//!   almost nothing left to shard.
+//!
+//! `CADEL_BENCH_SMOKE=1` shrinks the fleets to CI-smoke size.
+
+use cadel_bench::timing::{run, section};
+use cadel_engine::Engine;
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_simplex::RelOp;
+use cadel_types::{DeviceId, PersonId, Quantity, RuleId, SensorKey, SimTime, Unit, Value};
+use cadel_upnp::{ControlPoint, EventBus, Registry};
+use std::hint::black_box;
+
+/// One rule per sensor: `sensor-i > 50 → turn on device-i`. A reading
+/// for sensor `i` dirties exactly one rule.
+fn fleet(n: u64) -> Engine {
+    let mut engine = Engine::new(ControlPoint::new(Registry::new()));
+    for i in 0..n {
+        let sensor = SensorKey::new(DeviceId::new(format!("sensor-{i}")), "reading");
+        let rule = Rule::builder(PersonId::new("bench"))
+            .condition(Condition::Atom(Atom::Constraint(ConstraintAtom::new(
+                sensor,
+                RelOp::Gt,
+                Quantity::from_integer(50, Unit::Celsius),
+            ))))
+            .action(ActionSpec::new(
+                DeviceId::new(format!("device-{i}")),
+                Verb::TurnOn,
+            ))
+            .build(RuleId::new(i))
+            .unwrap();
+        engine.add_rule(rule).unwrap();
+    }
+    // Settle the pending set: every rule commits its first verdict here.
+    engine.step(SimTime::from_millis(1));
+    engine
+}
+
+fn publish_reading(bus: &EventBus, sensor: u64, seq: u64, value: i64) {
+    bus.publish_change(
+        DeviceId::new(format!("sensor-{sensor}")),
+        "reading".to_owned(),
+        Value::Number(Quantity::from_integer(value, Unit::Celsius)),
+        SimTime::from_millis(seq),
+    );
+}
+
+/// One benchmark case: publish `dirty` readings (alternating above/below
+/// the threshold so the touched rules genuinely flip) and take one step.
+fn step_case(engine: &mut Engine, label: &str, dirty: u64) {
+    let bus = engine.control().registry().event_bus().clone();
+    let mut seq = 2u64;
+    run(label, || {
+        seq += 1;
+        let value = if seq.is_multiple_of(2) { 30 } else { 70 };
+        for s in 0..dirty {
+            publish_reading(&bus, s, seq, value);
+        }
+        black_box(engine.step(SimTime::from_millis(seq)).firings.len())
+    });
+}
+
+fn main() {
+    let smoke = std::env::var("CADEL_BENCH_SMOKE").is_ok();
+    let fleet_sizes: &[u64] = if smoke {
+        &[1_000, 5_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let dirty_sizes: &[u64] = if smoke { &[1, 16] } else { &[1, 16, 256] };
+
+    section("p3_dirty_set_scaling (per-step cost vs fleet size and dirty set)");
+    for &n in fleet_sizes {
+        let mut engine = fleet(n);
+        for &dirty in dirty_sizes {
+            step_case(
+                &mut engine,
+                &format!("p3_step/rules-{n}/dirty-{dirty}"),
+                dirty,
+            );
+        }
+    }
+
+    let (p4_rules, p4_dirty) = if smoke { (5_000, 16) } else { (100_000, 16) };
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 8] };
+    section("p4_full_scan_ablation (trigger index on vs off, eval_threads sweep)");
+    for (label, trigger) in [("dirty", true), ("fullscan", false)] {
+        for &threads in thread_counts {
+            let mut engine = fleet(p4_rules);
+            engine.set_use_trigger_index(trigger);
+            engine.set_eval_threads(threads);
+            step_case(
+                &mut engine,
+                &format!("p4_step/{label}/threads-{threads}/rules-{p4_rules}"),
+                p4_dirty,
+            );
+        }
+    }
+}

@@ -6,10 +6,10 @@
 //!   builds a fresh world and replays the whole window, so the number
 //!   includes retry scheduling, backoff bookkeeping, breaker trips, and
 //!   dead-letter handling that faults drag in.
-//! * **R2 (freshness-scan overhead)** — the cost a `max_age` freshness
-//!   policy adds to an idle step: with a bound set, staleness can flip a
-//!   rule without any sensor event, so the engine falls back from the
-//!   trigger index to a full candidate scan.
+//! * **R2 (freshness-bound overhead)** — the cost a `max_age` freshness
+//!   policy adds to an idle step: staleness can flip a rule without any
+//!   sensor event, so each write arms a per-sensor deadline in the
+//!   trigger index's freshness heap (no more full-scan fallback).
 
 use cadel_bench::timing::{run, section};
 use cadel_devices::LivingRoomHome;
@@ -121,7 +121,7 @@ fn main() {
         );
     }
 
-    section("r2_idle_step_with_freshness_policy (indexed vs forced full scan)");
+    section("r2_idle_step_with_freshness_policy (deadline heap vs no bound)");
     for n in [1_000u64, 10_000] {
         for (label, max_age) in [
             ("no-max-age", None),

@@ -29,7 +29,9 @@
 //! and the AST interpreter via [`ContextStore::sensor_read_key`] — share
 //! one policy implementation, preserving lockstep parity.
 
-use cadel_ir::{ContextView, EventSlot, SensorRead, SensorSlot, SharedInterner};
+use cadel_ir::{
+    ChannelSlot, ContextView, EventSlot, PlaceSlot, SensorRead, SensorSlot, SharedInterner,
+};
 use cadel_obs::{Event as ObsEvent, LazyCounter, Level};
 use cadel_types::{
     Date, DeviceId, PersonId, PlaceId, SensorKey, SimDuration, SimTime, Value, Weekday,
@@ -150,6 +152,16 @@ pub struct ContextStore {
     persistent_events: BTreeSet<EventFact>,
     event_window: SimDuration,
     ir: Option<IrMirror>,
+    /// Dirt log: interned slots mutated since the engine last drained it.
+    /// Every mutator — property-change ingest *and* direct scenario writes
+    /// like [`ContextStore::set_value`] or [`ContextStore::raise_event`] —
+    /// records the slots it touched, so the trigger index never misses a
+    /// change regardless of which door it came through. Names the interner
+    /// does not know have no slot, and correctly produce no dirt: no rule
+    /// can mention them. Entries may repeat; marking is idempotent.
+    dirty_sensors: Vec<(SensorSlot, SimTime)>,
+    dirty_places: Vec<PlaceSlot>,
+    dirty_channels: Vec<ChannelSlot>,
 }
 
 impl ContextStore {
@@ -169,6 +181,9 @@ impl ContextStore {
             persistent_events: BTreeSet::new(),
             event_window: DEFAULT_EVENT_WINDOW,
             ir: None,
+            dirty_sensors: Vec::new(),
+            dirty_places: Vec::new(),
+            dirty_channels: Vec::new(),
         }
     }
 
@@ -244,6 +259,29 @@ impl ContextStore {
                 }
                 mirror.sensor_board[slot.index()] = Some(value.clone());
                 mirror.stamp_board[slot.index()] = Some(at);
+                self.dirty_sensors.push((slot, at));
+            }
+        }
+    }
+
+    /// Logs dirt for a place whose occupancy (or a person's presence at
+    /// it) changed.
+    fn log_place_dirt(&mut self, place: &PlaceId) {
+        if let Some(mirror) = &self.ir {
+            let interner = mirror.interner.read().expect("interner lock poisoned");
+            if let Some(slot) = interner.lookup_place(place) {
+                self.dirty_places.push(slot);
+            }
+        }
+    }
+
+    /// Logs dirt for an event channel. `channel` must already be
+    /// normalized (trimmed, lowercase) — this is the alloc-free path.
+    fn log_channel_dirt(&mut self, channel: &str) {
+        if let Some(mirror) = &self.ir {
+            let interner = mirror.interner.read().expect("interner lock poisoned");
+            if let Some(slot) = interner.lookup_channel_normalized(channel) {
+                self.dirty_channels.push(slot);
             }
         }
     }
@@ -399,13 +437,15 @@ impl ContextStore {
 
     /// Directly sets a person's location (`None` removes them).
     pub fn set_presence(&mut self, person: PersonId, place: Option<PlaceId>) {
-        if let Some(previous) = self.presence.get(&person) {
-            if let Some(set) = self.place_occupants.get_mut(previous) {
+        if let Some(previous) = self.presence.get(&person).cloned() {
+            self.log_place_dirt(&previous);
+            if let Some(set) = self.place_occupants.get_mut(&previous) {
                 set.remove(&person);
             }
         }
         match place {
             Some(p) => {
+                self.log_place_dirt(&p);
                 self.place_occupants
                     .entry(p.clone())
                     .or_default()
@@ -426,6 +466,7 @@ impl ContextStore {
         };
         let expiry = self.now + self.event_window;
         self.mirror_transient(&fact.channel, &fact.name, expiry);
+        self.log_channel_dirt(&fact.channel);
         self.transient_events.insert(fact, expiry);
     }
 
@@ -436,12 +477,14 @@ impl ContextStore {
             name: name.trim().to_ascii_lowercase(),
         };
         self.mirror_persistent(&fact.channel, &fact.name, true);
+        self.log_channel_dirt(&fact.channel);
         self.persistent_events.insert(fact);
     }
 
     /// Clears every persistent event on a channel.
     pub fn clear_persistent_channel(&mut self, channel: &str) {
         let channel = channel.trim().to_ascii_lowercase();
+        self.log_channel_dirt(&channel);
         self.persistent_events.retain(|f| f.channel != channel);
         if let Some(mirror) = &mut self.ir {
             let interner = mirror.interner.read().expect("interner lock poisoned");
@@ -489,6 +532,9 @@ impl ContextStore {
                         .get(&place)
                         .cloned()
                         .unwrap_or_default();
+                    // Departures below bypass `set_presence`, so dirty the
+                    // reader's place here once up front.
+                    self.log_place_dirt(&place);
                     for gone in old_set.difference(&new_set) {
                         if self.presence.get(gone) == Some(&place) {
                             self.presence.remove(gone);
@@ -532,6 +578,43 @@ impl ContextStore {
         self.mirror_sensor(&key, &change.value, change.at);
         self.sensor_stamps.insert(key.clone(), change.at);
         self.sensor_values.insert(key, change.value.clone());
+    }
+
+    /// Sensor slots written since the last [`ContextStore::clear_dirt`],
+    /// with the stamp of each write.
+    pub(crate) fn dirty_sensors(&self) -> &[(SensorSlot, SimTime)] {
+        &self.dirty_sensors
+    }
+
+    /// Places whose occupancy changed since the last clear.
+    pub(crate) fn dirty_places(&self) -> &[PlaceSlot] {
+        &self.dirty_places
+    }
+
+    /// Event channels with raised/cleared facts since the last clear.
+    pub(crate) fn dirty_channels(&self) -> &[ChannelSlot] {
+        &self.dirty_channels
+    }
+
+    /// Empties the dirt log (capacity is retained, so a steady-state step
+    /// with no traffic performs no allocation).
+    pub(crate) fn clear_dirt(&mut self) {
+        self.dirty_sensors.clear();
+        self.dirty_places.clear();
+        self.dirty_channels.clear();
+    }
+
+    /// Every interned sensor slot that has a recorded update stamp. Used
+    /// to rebuild the freshness deadline heap when the policy changes.
+    pub(crate) fn stamped_sensor_slots(&self) -> Vec<(SensorSlot, SimTime)> {
+        let Some(mirror) = &self.ir else {
+            return Vec::new();
+        };
+        let interner = mirror.interner.read().expect("interner lock poisoned");
+        self.sensor_stamps
+            .iter()
+            .filter_map(|(key, at)| interner.lookup_sensor(key).map(|slot| (slot, *at)))
+            .collect()
     }
 
     fn place_has_occupants(&self, place: &PlaceId) -> bool {
@@ -670,6 +753,7 @@ impl ContextStore {
             name: name.trim().to_ascii_lowercase(),
         };
         self.mirror_transient(&fact.channel, &fact.name, expiry);
+        self.log_channel_dirt(&fact.channel);
         self.transient_events.insert(fact, expiry);
     }
 
@@ -705,6 +789,7 @@ impl ContextStore {
             mirror.transient_board.clear();
             mirror.persistent_board.clear();
         }
+        self.clear_dirt();
     }
 }
 

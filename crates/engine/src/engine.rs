@@ -8,9 +8,11 @@
 //! `docs/CONCURRENCY.md`.
 
 use self::shard::{EvalContext, EvalVerdict};
-use crate::context::{ContextStore, ARRIVAL_VARIABLE, OCCUPANTS_VARIABLE, ON_AIR_VARIABLE};
+use crate::context::{
+    ContextStore, FreshnessPolicy, ARRIVAL_VARIABLE, OCCUPANTS_VARIABLE, ON_AIR_VARIABLE,
+};
 use crate::error::EngineError;
-use crate::eval::{Evaluator, HeldTracker};
+use crate::eval::{Evaluator, HeldOverlay, HeldTracker};
 use crate::index::TriggerIndex;
 use crate::resilience::{ActuationError, Resilience, ResilienceConfig, RetryKind};
 use cadel_conflict::{PriorityOrder, PriorityStore, Resolution};
@@ -200,6 +202,14 @@ pub struct Engine {
     held: HeldTracker,
     index: TriggerIndex,
     use_trigger_index: bool,
+    /// The freshness policy the index deadlines were armed under;
+    /// compared each step so `context_mut()` policy edits re-arm them.
+    last_freshness: FreshnessPolicy,
+    /// Reusable candidate-id buffer: collected into each step, capacity
+    /// retained so the steady-state candidate path allocates nothing.
+    candidate_buf: Vec<RuleId>,
+    /// Reusable evaluation-stats buffers, recycled for the same reason.
+    eval_stats: shard::EvalStats,
     use_compiled: bool,
     /// Worker threads for the evaluation phase; 1 = serial. Both paths
     /// run the same snapshot/evaluate/commit pipeline and produce
@@ -249,6 +259,8 @@ impl Engine {
         }
         let rules = RuleDb::new();
         ctx.attach_interner(rules.interner().clone());
+        let index = TriggerIndex::new(rules.interner().clone());
+        let last_freshness = ctx.freshness_policy();
         Engine {
             control,
             subscription,
@@ -256,8 +268,11 @@ impl Engine {
             priorities: PriorityStore::new(),
             ctx,
             held: HeldTracker::new(),
-            index: TriggerIndex::new(),
+            index,
             use_trigger_index: true,
+            last_freshness,
+            candidate_buf: Vec::new(),
+            eval_stats: shard::EvalStats::default(),
             use_compiled: true,
             eval_threads: 1,
             coalesce_events: true,
@@ -367,8 +382,10 @@ impl Engine {
     /// Returns [`EngineError::Rule`] on id collisions.
     pub fn add_rule(&mut self, rule: Rule) -> Result<RuleId, EngineError> {
         let id = rule.id();
-        self.index.add_rule(&rule);
+        // Insert first: a rejected duplicate must not touch the index,
+        // and indexing reads the compiled footprint out of the database.
         self.rules.insert(rule)?;
+        self.index.insert(id, &self.rules, &self.ctx, &self.held);
         Ok(id)
     }
 
@@ -378,8 +395,12 @@ impl Engine {
     ///
     /// Returns [`EngineError::Rule`] for unknown ids.
     pub fn remove_rule(&mut self, id: RuleId) -> Result<(), EngineError> {
-        let rule = self.rules.remove(id)?;
-        self.index.remove_rule(&rule);
+        if self.rules.get(id).is_none() {
+            return Err(EngineError::Rule(RuleError::UnknownRule(id)));
+        }
+        // De-index while the compiled footprint is still in the database.
+        self.index.remove(id, &self.rules);
+        self.rules.remove(id)?;
         self.last_state.remove(&id);
         self.holders.retain(|_, h| h.rule != id);
         self.latched.remove(&id);
@@ -404,14 +425,14 @@ impl Engine {
     /// Returns [`EngineError::Rule`] for unknown ids.
     pub fn update_rule(&mut self, rule: Rule) -> Result<(), EngineError> {
         let id = rule.id();
-        let old = self
-            .rules
-            .get(id)
-            .ok_or(EngineError::Rule(RuleError::UnknownRule(id)))?
-            .clone();
-        self.index.remove_rule(&old);
-        self.index.add_rule(&rule);
+        if self.rules.get(id).is_none() {
+            return Err(EngineError::Rule(RuleError::UnknownRule(id)));
+        }
+        // De-index the old footprint before the replacement overwrites
+        // it, then index the replacement's.
+        self.index.remove(id, &self.rules);
         self.rules.replace(rule)?;
+        self.index.insert(id, &self.rules, &self.ctx, &self.held);
         self.last_state.remove(&id);
         self.holders.retain(|_, h| h.rule != id);
         self.latched.remove(&id);
@@ -432,9 +453,9 @@ impl Engine {
         let mut span = Span::new("engine.step");
 
         // Phase 1 — batched ingest: drain the subscription, advance the
-        // clock, apply the batch with per-sensor coalescing, and collect
-        // the affected-rule fanout.
-        let (ingested, coalesced, affected) = self.ingest(now);
+        // clock and apply the batch with per-sensor coalescing. Every
+        // context mutation logs interned-slot dirt for phase 2.
+        let (ingested, coalesced) = self.ingest(now);
 
         // Phase 1b — service due retries before evaluation, so a
         // successful retry re-acquires its device ahead of this step's
@@ -442,13 +463,19 @@ impl Engine {
         let mut firings = Vec::new();
         self.process_retries(now, &mut firings);
 
-        // Phase 2 — candidate set.
-        let candidates = self.candidate_rules(affected);
+        // Phase 2 — candidate set: drain the context dirt log and the
+        // due deadline heaps into the trigger index and collect the
+        // dirty ∪ temporal ∪ true ∪ pending rules (ascending). The
+        // buffer round-trips through the field so its capacity is
+        // reused across steps.
+        let mut candidates = std::mem::take(&mut self.candidate_buf);
+        self.refresh_candidates(now, &mut candidates);
 
         // Phase 3 — read-only evaluation over the now-immutable context,
         // sharded across scoped worker threads (serial at 1). Workers
         // return per-rule verdicts plus observed held-for transitions;
         // nothing shared is mutated until commit.
+        let mut eval_stats = std::mem::take(&mut self.eval_stats);
         let ec = EvalContext {
             rules: &self.rules,
             ctx: &self.ctx,
@@ -456,7 +483,8 @@ impl Engine {
             holders: &self.holders,
             use_compiled: self.use_compiled,
         };
-        let (verdicts, eval_stats) = shard::evaluate(&ec, &candidates, self.eval_threads);
+        let verdicts = shard::evaluate(&ec, &candidates, self.eval_threads, &mut eval_stats);
+        self.candidate_buf = candidates;
 
         // Phase 4 — serial commit in ascending RuleId order: held-for
         // transitions, state edges, until releases, contender pools.
@@ -547,6 +575,7 @@ impl Engine {
                             set.remove(&winner);
                         }
                         self.last_state.insert(winner, false);
+                        self.index.force_false(winner);
                     }
                     _ => {
                         self.suppress_noted.remove(&winner);
@@ -622,6 +651,9 @@ impl Engine {
             span.add_field("firings", firings.len() as u64);
             span.add_field("releases", releases.len() as u64);
         }
+        // Return the stats buffers to the engine so the next step reuses
+        // their capacity instead of allocating.
+        self.eval_stats = eval_stats;
         STEP_NS.record(&sw);
         drop(span);
 
@@ -631,9 +663,9 @@ impl Engine {
     /// Phase 1 of [`step`](Self::step): drains the subscription, advances
     /// the context clock and applies the batch, coalescing redundant
     /// same-sensor readings last-write-wins. Returns the raw drained
-    /// count, the number of changes coalesced away, and the affected-rule
-    /// fanout from the trigger index.
-    fn ingest(&mut self, now: SimTime) -> (usize, usize, BTreeSet<RuleId>) {
+    /// count and the number of changes coalesced away; affected-rule
+    /// fanout happens in phase 2 off the context's dirt log.
+    fn ingest(&mut self, now: SimTime) -> (usize, usize) {
         let changes = self.subscription.drain();
         self.ctx.set_now(now);
         // Catch the slot boards up with names interned since the last step
@@ -654,7 +686,6 @@ impl Engine {
                 }
             }
         }
-        let mut affected: BTreeSet<RuleId> = BTreeSet::new();
         let mut coalesced = 0usize;
         for (i, change) in changes.iter().enumerate() {
             if self.coalesce_events
@@ -665,38 +696,42 @@ impl Engine {
                 continue;
             }
             self.ctx.apply_property_change(change);
-            if self.use_trigger_index {
-                self.index
-                    .affected_by_change(change, &self.ctx, &mut affected);
-            }
         }
-        (changes.len(), coalesced, affected)
+        (changes.len(), coalesced)
     }
 
-    /// Phase 2 of [`step`](Self::step): the candidate set. A freshness
-    /// window makes verdicts time-dependent — a reading goes stale
-    /// without any property change, an edge the trigger index cannot
-    /// see — so every rule is scanned while one is configured.
-    fn candidate_rules(&self, affected: BTreeSet<RuleId>) -> Vec<RuleId> {
-        let scan_all = !self.use_trigger_index || self.ctx.freshness_policy().max_age.is_some();
-        if scan_all {
-            return self.rules.iter().map(|r| r.id()).collect();
+    /// Phase 2 of [`step`](Self::step): the candidate set. Forwards the
+    /// context's dirt log (sensor, place and channel slots touched by
+    /// any mutation path since the last drain — including direct
+    /// `context_mut()` writes) into the trigger index, re-arms the
+    /// freshness deadlines when the policy changed, and collects
+    /// dirty ∪ temporal ∪ true ∪ pending into `out`, ascending. With
+    /// the index ablated the dirt and heaps are still drained (so they
+    /// stay bounded) but the candidate set is every rule.
+    fn refresh_candidates(&mut self, now: SimTime, out: &mut Vec<RuleId>) {
+        let policy = self.ctx.freshness_policy();
+        if policy != self.last_freshness {
+            self.index
+                .on_policy_changed(&self.ctx.stamped_sensor_slots(), policy.max_age);
+            self.last_freshness = policy;
         }
-        // Affected rules + time-sensitive rules + everything currently
-        // true (for falling edges / until releases) + unevaluated.
-        let mut set = affected;
-        set.extend(self.index.temporal_rules());
-        for (id, state) in &self.last_state {
-            if *state {
-                set.insert(*id);
-            }
+        for &(slot, stamp) in self.ctx.dirty_sensors() {
+            self.index.note_sensor_dirt(slot, stamp, policy.max_age);
         }
-        for rule in self.rules.iter() {
-            if !self.last_state.contains_key(&rule.id()) {
-                set.insert(rule.id());
-            }
+        for &slot in self.ctx.dirty_places() {
+            self.index.mark_place(slot);
         }
-        set.into_iter().collect()
+        for &slot in self.ctx.dirty_channels() {
+            self.index.mark_channel(slot);
+        }
+        self.ctx.clear_dirt();
+        self.index.collect_candidates(now, out);
+        if !self.use_trigger_index {
+            out.clear();
+            // `RuleDb` iterates its BTree map in ascending id order, the
+            // same order `collect_candidates` guarantees.
+            out.extend(self.rules.iter().map(|r| r.id()));
+        }
     }
 
     /// Phase 4 of [`step`](Self::step): applies evaluation verdicts
@@ -724,6 +759,9 @@ impl Engine {
             // *during* this rule's evaluation, i.e. before anything
             // below ran.
             for (fingerprint, change) in verdict.held {
+                // Arm the dwell deadline before `apply` consumes the
+                // fingerprint string.
+                self.index.on_held_transition(&fingerprint, change);
                 self.held.apply(fingerprint, change);
             }
             evaluated += 1;
@@ -752,6 +790,7 @@ impl Engine {
             }
             let now_true = verdict.now_true;
             let prev = self.last_state.insert(id, now_true).unwrap_or(false);
+            self.index.on_committed(id, now_true);
 
             // `until` releases apply to the active holder even after its
             // trigger condition has passed ("turn on … until 10 pm" turns
@@ -862,10 +901,17 @@ impl Engine {
     fn arbitrate(&mut self, device: &DeviceId, contenders: &[RuleId]) -> RuleId {
         debug_assert!(!contenders.is_empty());
         let ctx = &self.ctx;
-        let held = &mut self.held;
+        // Priority-store context conditions may contain `held for`:
+        // observe them through an overlay so the committed transitions
+        // also arm the index's dwell deadlines.
+        let mut overlay = HeldOverlay::new(&self.held);
         let resolution = self.priorities.resolve(device, contenders, |condition| {
-            Evaluator::new(ctx, held).condition_holds(condition)
+            Evaluator::new(ctx, &mut overlay).condition_holds(condition)
         });
+        for (fingerprint, change) in overlay.take_transitions() {
+            self.index.on_held_transition(&fingerprint, change);
+            self.held.apply(fingerprint, change);
+        }
         match resolution {
             Resolution::Winner(id) => id,
             Resolution::Unresolved(mut ids) => {

@@ -166,7 +166,7 @@ impl cadel_ir::HeldObserver for HeldTracker {
 ///
 /// Generic over the held-for observer so the same interpreter serves the
 /// serial engine (mutable [`HeldTracker`]) and the parallel evaluation
-/// workers (read-only [`HeldOverlay`]).
+/// workers (read-only `HeldOverlay`).
 pub struct Evaluator<'a, H = HeldTracker> {
     ctx: &'a ContextStore,
     held: &'a mut H,

@@ -12,8 +12,10 @@
 //!   property-change events.
 //! * [`Evaluator`] / [`HeldTracker`] — condition evaluation, including the
 //!   temporal bookkeeping behind "door unlocked **for 1 hour**".
-//! * [`TriggerIndex`] — maps changes to affected rules so a step touches
-//!   only what matters (ablation A3 measures the win).
+//! * [`TriggerIndex`] — slot-keyed inverted indexes over the compiled
+//!   program arena plus dwell/freshness deadline heaps, so a step's cost
+//!   scales with the dirty set, not the rule count (benchmarks P3/P4
+//!   measure the win and verify the full-scan ablation agrees).
 //! * [`Engine`] — the step loop: drain events → evaluate → arbitrate
 //!   simultaneous firings per device via the context-scoped
 //!   [`PriorityStore`](cadel_conflict::PriorityStore) → dispatch actions

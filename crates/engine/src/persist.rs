@@ -337,6 +337,13 @@ impl Engine {
             .collect::<Result<_, _>>()?;
 
         self.resilience = resilience_from_json(require(doc, "resilience")?)?;
+
+        // Re-arm the trigger index's runtime-derived state (dwell and
+        // freshness deadlines, true/pending membership) from the restored
+        // snapshot, and remember which policy the deadlines cover.
+        self.last_freshness = self.ctx.freshness_policy();
+        self.index
+            .rearm_after_import(&self.ctx, &self.held, &self.last_state);
         Ok(())
     }
 }

@@ -55,6 +55,9 @@ pub(crate) struct EvalContext<'a> {
 }
 
 /// Timing evidence from one evaluation pass, for the shard metrics.
+/// Owned by the engine and recycled across steps so the idle hot path
+/// performs no per-step allocations.
+#[derive(Default)]
 pub(crate) struct EvalStats {
     /// Worker threads actually used (1 = serial path).
     pub threads: usize,
@@ -62,6 +65,14 @@ pub(crate) struct EvalStats {
     pub shard_sizes: Vec<usize>,
     /// Wall-clock nanoseconds each shard spent evaluating.
     pub shard_ns: Vec<u64>,
+}
+
+impl EvalStats {
+    fn reset(&mut self, threads: usize) {
+        self.threads = threads;
+        self.shard_sizes.clear();
+        self.shard_ns.clear();
+    }
 }
 
 impl EvalContext<'_> {
@@ -75,14 +86,18 @@ impl EvalContext<'_> {
             return None;
         }
         let device = rule.action().device();
+        // Compiled evaluation runs over the rule's span in the shared
+        // program arena (contiguous predicate/opcode tables) rather than
+        // a per-rule allocation.
+        let arena = self.rules.arena();
         let program = if self.use_compiled {
-            self.rules.program(id)
+            self.rules.program_ref(id).copied()
         } else {
             None
         };
         let fallback = self.use_compiled && program.is_none();
-        let now_true = match program {
-            Some(program) => cadel_ir::condition_holds(program.as_ref(), self.ctx, overlay),
+        let now_true = match &program {
+            Some(r) => arena.condition_holds(r, self.ctx, overlay),
             None => Evaluator::new(self.ctx, overlay).condition_holds(rule.condition()),
         };
         // The `until` clause is evaluated only while the rule holds its
@@ -99,10 +114,8 @@ impl EvalContext<'_> {
                 .map(|h| h.rule == id)
                 .unwrap_or(false);
             if holder_here {
-                until_release = match program {
-                    Some(program) => {
-                        cadel_ir::until_holds(program.as_ref(), self.ctx, overlay).unwrap_or(false)
-                    }
+                until_release = match &program {
+                    Some(r) => arena.until_holds(r, self.ctx, overlay).unwrap_or(false),
                     None => Evaluator::new(self.ctx, overlay).condition_holds(until),
                 };
             }
@@ -126,7 +139,8 @@ pub(crate) fn evaluate(
     ec: &EvalContext<'_>,
     candidates: &[RuleId],
     threads: usize,
-) -> (Vec<EvalVerdict>, EvalStats) {
+    stats: &mut EvalStats,
+) -> Vec<EvalVerdict> {
     let threads = threads.clamp(1, candidates.len().max(1));
     if threads == 1 {
         let start = Instant::now();
@@ -135,21 +149,16 @@ pub(crate) fn evaluate(
             .iter()
             .filter_map(|&id| ec.eval_rule(id, &mut overlay))
             .collect();
-        let stats = EvalStats {
-            threads: 1,
-            shard_sizes: vec![candidates.len()],
-            shard_ns: vec![start.elapsed().as_nanos() as u64],
-        };
-        return (verdicts, stats);
+        stats.reset(1);
+        stats.shard_sizes.push(candidates.len());
+        stats.shard_ns.push(start.elapsed().as_nanos() as u64);
+        return verdicts;
     }
 
     let shard_size = candidates.len().div_ceil(threads);
     let shards: Vec<&[RuleId]> = candidates.chunks(shard_size).collect();
-    let mut stats = EvalStats {
-        threads: shards.len(),
-        shard_sizes: shards.iter().map(|s| s.len()).collect(),
-        shard_ns: Vec::with_capacity(shards.len()),
-    };
+    stats.reset(shards.len());
+    stats.shard_sizes.extend(shards.iter().map(|s| s.len()));
     let mut verdicts = Vec::with_capacity(candidates.len());
     std::thread::scope(|scope| {
         let handles: Vec<_> = shards
@@ -172,7 +181,7 @@ pub(crate) fn evaluate(
             stats.shard_ns.push(ns);
         }
     });
-    (verdicts, stats)
+    verdicts
 }
 
 #[cfg(test)]
@@ -187,6 +196,7 @@ mod tests {
         assert_sync::<crate::context::ContextStore>();
         assert_sync::<crate::eval::HeldTracker>();
         assert_sync::<cadel_ir::RuleProgram>();
+        assert_sync::<cadel_ir::ProgramArena>();
         assert_sync::<super::EvalContext<'_>>();
     }
 }

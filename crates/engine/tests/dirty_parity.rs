@@ -1,0 +1,358 @@
+//! Acceptance parity for dirty-set incremental evaluation: an engine on
+//! the slot-keyed trigger index must be observationally identical to the
+//! full-scan ablation — byte-identical [`StepReport`]s *and*
+//! byte-identical runtime checkpoints (`export_runtime_json`) after
+//! every step — at every evaluation thread count, under an active
+//! [`FreshnessPolicy`], pending `held for` windows, direct
+//! `context_mut()` writes, and randomized rule churn
+//! (add/remove/update/enable-disable) mid-run.
+//!
+//! The workload tape is deterministic (SplitMix64 seeds) and applied to
+//! both engines identically; any divergence pinpoints an
+//! under-approximated candidate set.
+
+use cadel_engine::{ContextStore, Engine, FreshnessMode, FreshnessPolicy};
+use cadel_rule::{
+    ActionSpec, Atom, Condition, ConstraintAtom, EventAtom, PresenceAtom, Rule, StateAtom, Subject,
+    Verb,
+};
+use cadel_simplex::RelOp;
+use cadel_types::{
+    DayPart, DeviceId, PersonId, PlaceId, Quantity, Rng, RuleId, SensorKey, SimDuration, SimTime,
+    Unit, Value,
+};
+use cadel_upnp::{ControlPoint, Registry};
+
+const PEOPLE: [&str; 2] = ["tom", "alan"];
+const PLACES: [&str; 2] = ["living room", "hall"];
+const OPS: [RelOp; 5] = [RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge, RelOp::Eq];
+
+fn sensor(i: u64) -> SensorKey {
+    SensorKey::new(DeviceId::new(format!("sensor-{i}")), "reading")
+}
+
+fn constraint_atom(rng: &mut Rng) -> Atom {
+    Atom::Constraint(ConstraintAtom::new(
+        sensor(rng.below(4)),
+        *rng.pick(&OPS),
+        Quantity::from_integer(rng.range_i64(-5, 15), Unit::Celsius),
+    ))
+}
+
+fn arb_atom(rng: &mut Rng) -> Atom {
+    match rng.below(9) {
+        0 | 1 => constraint_atom(rng),
+        2 => Atom::Event(EventAtom::new("chan", format!("event-{}", rng.below(3)))),
+        3 => Atom::State(StateAtom::new(
+            DeviceId::new("tv-0"),
+            "power",
+            Value::Bool(rng.chance(1, 2)),
+        )),
+        4 => Atom::Presence(PresenceAtom::person_at(
+            *rng.pick(&PEOPLE),
+            *rng.pick(&PLACES),
+        )),
+        5 => {
+            let subject = if rng.chance(1, 2) {
+                Subject::Somebody
+            } else {
+                Subject::Nobody
+            };
+            Atom::Presence(PresenceAtom::new(subject, PlaceId::new(*rng.pick(&PLACES))))
+        }
+        6 => Atom::Time(
+            rng.pick(&[DayPart::Morning, DayPart::Afternoon, DayPart::Evening])
+                .window(),
+        ),
+        7 => Atom::held_for(
+            constraint_atom(rng),
+            SimDuration::from_minutes(rng.range_i64(1, 3) as u64),
+        ),
+        // Nested dwell: exercises chained deadline arming.
+        _ => Atom::held_for(
+            Atom::held_for(constraint_atom(rng), SimDuration::from_minutes(1)),
+            SimDuration::from_minutes(rng.range_i64(1, 2) as u64),
+        ),
+    }
+}
+
+fn arb_condition(rng: &mut Rng, depth: u32) -> Condition {
+    if depth == 0 || rng.chance(2, 5) {
+        return Condition::Atom(arb_atom(rng));
+    }
+    let children: Vec<Condition> = (0..rng.range_i64(1, 3))
+        .map(|_| arb_condition(rng, depth - 1))
+        .collect();
+    if rng.chance(1, 2) {
+        Condition::And(children)
+    } else {
+        Condition::Or(children)
+    }
+}
+
+fn arb_rule(rng: &mut Rng, id: u64) -> Option<Rule> {
+    let device = DeviceId::new(format!("dev-{}", rng.below(3)));
+    let verb = if rng.chance(1, 2) {
+        Verb::TurnOn
+    } else {
+        Verb::TurnOff
+    };
+    let mut builder = Rule::builder(PersonId::new(*rng.pick(&PEOPLE)))
+        .condition(arb_condition(rng, 2))
+        .action(ActionSpec::new(device, verb));
+    if rng.chance(3, 10) {
+        builder = builder.until(arb_condition(rng, 1));
+    }
+    builder.build(RuleId::new(id)).ok()
+}
+
+enum Mutation {
+    Sensor(u64, i64),
+    TvPower(bool),
+    Event(u64),
+    PersistentEvent(u64),
+    ClearChannel,
+    Presence(usize, Option<usize>),
+}
+
+fn arb_mutations(rng: &mut Rng) -> Vec<Mutation> {
+    let mut muts = Vec::new();
+    for s in 0..4 {
+        if rng.chance(1, 2) {
+            muts.push(Mutation::Sensor(s, rng.range_i64(-5, 15)));
+        }
+    }
+    if rng.chance(1, 3) {
+        muts.push(Mutation::TvPower(rng.chance(1, 2)));
+    }
+    if rng.chance(1, 3) {
+        muts.push(Mutation::Event(rng.below(3)));
+    }
+    if rng.chance(1, 6) {
+        muts.push(Mutation::PersistentEvent(rng.below(3)));
+    }
+    if rng.chance(1, 12) {
+        muts.push(Mutation::ClearChannel);
+    }
+    if rng.chance(1, 3) {
+        muts.push(Mutation::Presence(
+            rng.below(2) as usize,
+            match rng.below(3) {
+                0 => None,
+                p => Some((p - 1) as usize),
+            },
+        ));
+    }
+    muts
+}
+
+/// Direct `context_mut()` writes — the paths that bypass ingest and are
+/// covered only by the context's dirt log.
+fn apply(ctx: &mut ContextStore, mutation: &Mutation) {
+    match mutation {
+        Mutation::Sensor(s, v) => ctx.set_value(
+            sensor(*s),
+            Value::Number(Quantity::from_integer(*v, Unit::Celsius)),
+        ),
+        Mutation::TvPower(on) => ctx.set_value(
+            SensorKey::new(DeviceId::new("tv-0"), "power"),
+            Value::Bool(*on),
+        ),
+        Mutation::Event(e) => ctx.raise_event("chan", &format!("event-{e}")),
+        Mutation::PersistentEvent(e) => ctx.set_persistent_event("chan", &format!("event-{e}")),
+        Mutation::ClearChannel => ctx.clear_persistent_channel("chan"),
+        Mutation::Presence(person, place) => ctx.set_presence(
+            PersonId::new(PEOPLE[*person]),
+            place.map(|p| PlaceId::new(PLACES[p])),
+        ),
+    }
+}
+
+/// One rule-set mutation, applied identically to both engines.
+enum Churn {
+    Add(Rule),
+    Remove(RuleId),
+    Replace(Rule),
+    Toggle(RuleId, bool),
+}
+
+fn arb_churn(rng: &mut Rng, live: &mut Vec<u64>, next_id: &mut u64) -> Option<Churn> {
+    match rng.below(4) {
+        0 => {
+            let id = *next_id;
+            *next_id += 1;
+            let rule = arb_rule(rng, id)?;
+            live.push(id);
+            Some(Churn::Add(rule))
+        }
+        1 if live.len() > 10 => {
+            let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+            Some(Churn::Remove(RuleId::new(victim)))
+        }
+        2 if !live.is_empty() => {
+            let id = live[rng.below(live.len() as u64) as usize];
+            let rule = arb_rule(rng, id)?;
+            Some(Churn::Replace(rule))
+        }
+        3 if !live.is_empty() => {
+            let id = live[rng.below(live.len() as u64) as usize];
+            Some(Churn::Toggle(RuleId::new(id), rng.chance(1, 2)))
+        }
+        _ => None,
+    }
+}
+
+fn apply_churn(engine: &mut Engine, churn: &Churn) {
+    match churn {
+        Churn::Add(rule) => {
+            engine.add_rule(rule.clone()).unwrap();
+        }
+        Churn::Remove(id) => engine.remove_rule(*id).unwrap(),
+        Churn::Replace(rule) => engine.update_rule(rule.clone()).unwrap(),
+        Churn::Toggle(id, enabled) => {
+            let rule = engine.rules().get(*id).unwrap().clone();
+            engine.update_rule(rule.with_enabled(*enabled)).unwrap();
+        }
+    }
+}
+
+fn fresh_engine(rules: &[Rule], trigger_index: bool, threads: usize) -> Engine {
+    let mut engine = Engine::new(ControlPoint::new(Registry::new()));
+    engine.set_use_trigger_index(trigger_index);
+    engine.set_eval_threads(threads);
+    for rule in rules {
+        engine.add_rule(rule.clone()).unwrap();
+    }
+    engine
+}
+
+/// Drives the dirty-set engine and the full-scan ablation in lockstep
+/// over the same tape and asserts byte-identical step reports and
+/// runtime checkpoints after every step.
+fn run_lockstep(seed: u64, threads: usize) {
+    let mut rng = Rng::new(seed);
+    let rules: Vec<Rule> = (0..40).filter_map(|i| arb_rule(&mut rng, 1 + i)).collect();
+    assert!(rules.len() >= 30, "seed {seed} generated too few rules");
+    let mut live: Vec<u64> = rules.iter().map(|r| r.id().raw()).collect();
+    let mut next_id = 1000u64;
+
+    let mut dirty = fresh_engine(&rules, true, threads);
+    let mut full = fresh_engine(&rules, false, threads);
+
+    let mut fired = false;
+    for step in 1..=90u64 {
+        // Mid-run policy changes: activate a freshness window, later
+        // tighten it, later drop it — each transition must re-arm the
+        // index without a divergence.
+        let policy = match step {
+            25 => Some(FreshnessPolicy::new(
+                FreshnessMode::FailClosed,
+                SimDuration::from_minutes(30),
+            )),
+            50 => Some(FreshnessPolicy::new(
+                FreshnessMode::FailOpen,
+                SimDuration::from_minutes(10),
+            )),
+            75 => Some(FreshnessPolicy::default()),
+            _ => None,
+        };
+        if let Some(policy) = policy {
+            dirty.context_mut().set_freshness_policy(policy);
+            full.context_mut().set_freshness_policy(policy);
+        }
+        if step % 6 == 0 {
+            if let Some(churn) = arb_churn(&mut rng, &mut live, &mut next_id) {
+                apply_churn(&mut dirty, &churn);
+                apply_churn(&mut full, &churn);
+            }
+        }
+        for mutation in arb_mutations(&mut rng) {
+            apply(dirty.context_mut(), &mutation);
+            apply(full.context_mut(), &mutation);
+        }
+        let now = SimTime::EPOCH + SimDuration::from_minutes(step * 7);
+        let a = dirty.step(now);
+        let b = full.step(now);
+        assert_eq!(
+            a, b,
+            "dirty-set and full-scan reports diverged at step {step} (seed {seed}, \
+             threads {threads})"
+        );
+        fired |= !a.is_empty();
+        // Checkpoints must agree byte-for-byte: same held-for windows,
+        // same last-state map, same holders, same context.
+        let ca = dirty.export_runtime_json().to_compact();
+        let cb = full.export_runtime_json().to_compact();
+        assert_eq!(
+            ca, cb,
+            "runtime checkpoints diverged at step {step} (seed {seed}, threads {threads})"
+        );
+    }
+    assert!(fired, "seed {seed} was inert");
+}
+
+#[test]
+fn dirty_set_matches_full_scan_serial() {
+    for seed in [3, 99, 2718] {
+        run_lockstep(seed, 1);
+    }
+}
+
+#[test]
+fn dirty_set_matches_full_scan_two_threads() {
+    for seed in [3, 314] {
+        run_lockstep(seed, 2);
+    }
+}
+
+#[test]
+fn dirty_set_matches_full_scan_eight_threads() {
+    for seed in [3, 161] {
+        run_lockstep(seed, 8);
+    }
+}
+
+/// A restored engine on the dirty-set path resumes in lockstep with a
+/// restored full-scan engine: import re-arms dwell and freshness
+/// deadlines from the checkpoint, not from live observation.
+#[test]
+fn restored_engines_stay_in_parity() {
+    let seed = 77u64;
+    let mut rng = Rng::new(seed);
+    let rules: Vec<Rule> = (0..40).filter_map(|i| arb_rule(&mut rng, 1 + i)).collect();
+    let mut dirty = fresh_engine(&rules, true, 1);
+    let mut full = fresh_engine(&rules, false, 1);
+    for step in 1..=30u64 {
+        for mutation in arb_mutations(&mut rng) {
+            apply(dirty.context_mut(), &mutation);
+            apply(full.context_mut(), &mutation);
+        }
+        let now = SimTime::EPOCH + SimDuration::from_minutes(step * 7);
+        assert_eq!(dirty.step(now), full.step(now));
+    }
+    let checkpoint = dirty.export_runtime_json();
+    assert_eq!(checkpoint, full.export_runtime_json());
+
+    // Restore BOTH paths from the same checkpoint into fresh engines and
+    // keep going: deadlines must come back armed.
+    let mut dirty2 = fresh_engine(&rules, true, 1);
+    let mut full2 = fresh_engine(&rules, false, 1);
+    dirty2.import_runtime_json(&checkpoint).unwrap();
+    full2.import_runtime_json(&checkpoint).unwrap();
+    for step in 31..=60u64 {
+        for mutation in arb_mutations(&mut rng) {
+            apply(dirty2.context_mut(), &mutation);
+            apply(full2.context_mut(), &mutation);
+        }
+        let now = SimTime::EPOCH + SimDuration::from_minutes(step * 7);
+        assert_eq!(
+            dirty2.step(now),
+            full2.step(now),
+            "restored engines diverged at step {step}"
+        );
+        assert_eq!(
+            dirty2.export_runtime_json().to_compact(),
+            full2.export_runtime_json().to_compact()
+        );
+    }
+}

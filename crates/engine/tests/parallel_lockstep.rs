@@ -6,7 +6,9 @@
 //! under nested And/Or with optional `until` releases.
 //!
 //! The thread count under test defaults to 4 and is overridden with
-//! `CADEL_EVAL_THREADS` so CI can sweep the matrix (2, 8, …).
+//! `CADEL_EVAL_THREADS` so CI can sweep the matrix (2, 8, …);
+//! `CADEL_TRIGGER_INDEX=0` additionally ablates the dirty-set trigger
+//! index so both candidate paths get the same sweep.
 //!
 //! Also pinned here, because they ride the same ingest/evaluate/commit
 //! pipeline:
@@ -41,6 +43,13 @@ fn threads_under_test() -> usize {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n >= 2)
         .unwrap_or(4)
+}
+
+/// `CADEL_TRIGGER_INDEX=0` re-runs the whole suite with the dirty-set
+/// trigger index ablated (every rule re-evaluated every step), so the CI
+/// determinism matrix covers both candidate paths.
+fn trigger_index_under_test() -> bool {
+    std::env::var("CADEL_TRIGGER_INDEX").map_or(true, |v| v != "0")
 }
 
 fn sensor(i: u64) -> SensorKey {
@@ -142,6 +151,7 @@ fn fresh_engine(rules: &[Rule], compiled: bool, threads: usize) -> (Engine, Even
     let mut engine = Engine::new(ControlPoint::new(registry));
     engine.set_use_compiled(compiled);
     engine.set_eval_threads(threads);
+    engine.set_use_trigger_index(trigger_index_under_test());
     for rule in rules {
         engine.add_rule(rule.clone()).unwrap();
     }

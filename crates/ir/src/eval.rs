@@ -13,7 +13,7 @@
 //! exactly: `HeldFor` observation is side-effectful, so a skipped child is
 //! a semantic fact, not an optimization.
 
-use crate::program::{CondCode, Op, Pred, RuleProgram};
+use crate::program::{Op, Pred, RuleProgram};
 use cadel_obs::{Event as ObsEvent, LazyCounter, Level};
 use cadel_types::{Date, PersonId, PlaceId, SimTime, Value, Weekday};
 use std::fmt;
@@ -142,8 +142,13 @@ pub fn until_holds(
 }
 
 /// Evaluates flattened condition bytecode over a predicate table.
+///
+/// The code may be a whole [`crate::CondCode`] or an arena span: `And`/`Or`
+/// `end` offsets are local to the slice, while `Op::Pred` indexes are
+/// interpreted against whatever predicate table is passed alongside (a
+/// program's own table, or the arena's global one with rebased indexes).
 pub fn eval_code(
-    code: &CondCode,
+    code: &[Op],
     preds: &[Pred],
     view: &impl ContextView,
     held: &mut impl HeldObserver,
@@ -326,8 +331,8 @@ mod tests {
     fn empty_code_is_true() {
         let view = TestView::default();
         let mut held = TestHeld::default();
-        assert!(eval_code(&vec![], &[], &view, &mut held));
-        assert!(eval_code(&vec![Op::True], &[], &view, &mut held));
+        assert!(eval_code(&[], &[], &view, &mut held));
+        assert!(eval_code(&[Op::True], &[], &view, &mut held));
     }
 
     #[test]
@@ -414,18 +419,8 @@ mod tests {
         ];
         assert!(eval_code(&code, &preds, &view, &mut held));
         // Empty And is true, empty Or is false (matches all()/any()).
-        assert!(eval_code(
-            &vec![Op::And { end: 1 }],
-            &preds,
-            &view,
-            &mut held
-        ));
-        assert!(!eval_code(
-            &vec![Op::Or { end: 1 }],
-            &preds,
-            &view,
-            &mut held
-        ));
+        assert!(eval_code(&[Op::And { end: 1 }], &preds, &view, &mut held));
+        assert!(!eval_code(&[Op::Or { end: 1 }], &preds, &view, &mut held));
     }
 
     #[test]
@@ -491,14 +486,14 @@ mod tests {
             verdict: true,
         };
         for i in 0..3 {
-            assert!(eval_code(&vec![Op::Pred(i)], &preds, &open, &mut held));
+            assert!(eval_code(&[Op::Pred(i)], &preds, &open, &mut held));
         }
         let closed = StaleView {
             inner: open.inner,
             verdict: false,
         };
         for i in 0..3 {
-            assert!(!eval_code(&vec![Op::Pred(i)], &preds, &closed, &mut held));
+            assert!(!eval_code(&[Op::Pred(i)], &preds, &closed, &mut held));
         }
     }
 

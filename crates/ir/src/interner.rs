@@ -6,7 +6,7 @@
 //! string-keyed maps onto dense boards indexed by these slots.
 
 use cadel_obs::LazyGauge;
-use cadel_types::SensorKey;
+use cadel_types::{PlaceId, SensorKey};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
@@ -16,6 +16,10 @@ use std::sync::{Arc, RwLock};
 static SENSOR_SLOTS: LazyGauge = LazyGauge::new("ir_interner_sensor_slots");
 /// Size of the event-slot table; same caveat as `ir_interner_sensor_slots`.
 static EVENT_SLOTS: LazyGauge = LazyGauge::new("ir_interner_event_slots");
+/// Size of the place-slot table; same caveat as `ir_interner_sensor_slots`.
+static PLACE_SLOTS: LazyGauge = LazyGauge::new("ir_interner_place_slots");
+/// Size of the channel-slot table; same caveat as `ir_interner_sensor_slots`.
+static CHANNEL_SLOTS: LazyGauge = LazyGauge::new("ir_interner_channel_slots");
 
 /// A dense index for a [`SensorKey`] (a `(device, variable)` pair).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -49,6 +53,38 @@ impl EventSlot {
     }
 }
 
+/// A dense index for a [`PlaceId`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceSlot(u32);
+
+impl PlaceSlot {
+    /// Creates a slot from its raw index.
+    pub const fn new(index: u32) -> PlaceSlot {
+        PlaceSlot(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense index for a normalized event channel name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelSlot(u32);
+
+impl ChannelSlot {
+    /// Creates a slot from its raw index.
+    pub const fn new(index: u32) -> ChannelSlot {
+        ChannelSlot(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Maps sensor keys and event patterns to dense slots.
 ///
 /// The interner is append-only: slots are never reused, so a compiled
@@ -65,6 +101,13 @@ pub struct Interner {
     event_keys: Vec<(String, String)>,
     /// channel → slots on that channel (serves bulk channel clears).
     by_channel: HashMap<String, Vec<EventSlot>>,
+    places: HashMap<PlaceId, PlaceSlot>,
+    place_keys: Vec<PlaceId>,
+    /// Normalized channel name → slot.
+    channels: HashMap<String, ChannelSlot>,
+    channel_keys: Vec<String>,
+    /// Channel slot of each event slot, parallel to `event_keys`.
+    event_channels: Vec<ChannelSlot>,
     revision: u64,
 }
 
@@ -125,6 +168,11 @@ impl Interner {
             .entry(channel.clone())
             .or_default()
             .push(slot);
+        // The channel is interned alongside the pattern, so the engine's
+        // inverted indexes key event dirt by dense channel slot instead of
+        // cloning channel strings per lookup.
+        let channel_slot = self.intern_normalized_channel(&channel);
+        self.event_channels.push(channel_slot);
         self.event_keys.push((channel, name));
         self.revision += 1;
         EVENT_SLOTS.set(self.event_keys.len() as i64);
@@ -157,6 +205,74 @@ impl Interner {
     /// Number of interned event slots.
     pub fn event_count(&self) -> usize {
         self.event_keys.len()
+    }
+
+    /// The channel slot of an event slot.
+    pub fn event_channel_of(&self, slot: EventSlot) -> Option<ChannelSlot> {
+        self.event_channels.get(slot.index()).copied()
+    }
+
+    /// The slot of a place, interning it on first use.
+    pub fn place_slot(&mut self, place: &PlaceId) -> PlaceSlot {
+        if let Some(slot) = self.places.get(place) {
+            return *slot;
+        }
+        let slot = PlaceSlot::new(self.place_keys.len() as u32);
+        self.places.insert(place.clone(), slot);
+        self.place_keys.push(place.clone());
+        self.revision += 1;
+        PLACE_SLOTS.set(self.place_keys.len() as i64);
+        slot
+    }
+
+    /// The slot of an already-interned place.
+    pub fn lookup_place(&self, place: &PlaceId) -> Option<PlaceSlot> {
+        self.places.get(place).copied()
+    }
+
+    /// The place behind a slot.
+    pub fn place_key(&self, slot: PlaceSlot) -> Option<&PlaceId> {
+        self.place_keys.get(slot.index())
+    }
+
+    /// Number of interned place slots.
+    pub fn place_count(&self) -> usize {
+        self.place_keys.len()
+    }
+
+    /// The slot of an event channel, interning it on first use. The name
+    /// is normalized (trimmed, ASCII-lowercased) like event patterns.
+    pub fn channel_slot(&mut self, channel: &str) -> ChannelSlot {
+        let channel = channel.trim().to_ascii_lowercase();
+        self.intern_normalized_channel(&channel)
+    }
+
+    fn intern_normalized_channel(&mut self, channel: &str) -> ChannelSlot {
+        if let Some(slot) = self.channels.get(channel) {
+            return *slot;
+        }
+        let slot = ChannelSlot::new(self.channel_keys.len() as u32);
+        self.channels.insert(channel.to_owned(), slot);
+        self.channel_keys.push(channel.to_owned());
+        self.revision += 1;
+        CHANNEL_SLOTS.set(self.channel_keys.len() as i64);
+        slot
+    }
+
+    /// The slot of an already-interned channel. The input must already be
+    /// normalized (trimmed, lowercase); this path never allocates.
+    pub fn lookup_channel_normalized(&self, channel: &str) -> Option<ChannelSlot> {
+        self.channels.get(channel).copied()
+    }
+
+    /// The normalized name behind a channel slot.
+    pub fn channel_key(&self, slot: ChannelSlot) -> Option<&str> {
+        self.channel_keys.get(slot.index()).map(String::as_str)
+    }
+
+    /// Number of interned channel slots.
+    pub fn channel_count(&self) -> usize {
+        self.channel_keys.len()
     }
 }
 
@@ -209,6 +325,27 @@ mod tests {
         );
         assert_eq!(i.lookup_event_normalized("tv-guide", "movie"), None);
         assert_eq!(i.event_key(a), Some(("tv-guide", "baseball game")));
+    }
+
+    #[test]
+    fn places_and_channels_intern_densely() {
+        let mut i = Interner::new();
+        let lr = i.place_slot(&PlaceId::new("living room"));
+        let hall = i.place_slot(&PlaceId::new("hall"));
+        assert_ne!(lr, hall);
+        assert_eq!(i.place_slot(&PlaceId::new("living room")), lr);
+        assert_eq!(i.lookup_place(&PlaceId::new("hall")), Some(hall));
+        assert_eq!(i.place_key(lr), Some(&PlaceId::new("living room")));
+        assert_eq!(i.place_count(), 2);
+
+        // Interning an event pattern interns its channel as a side effect.
+        let ding = i.event_slot(" Home ", "Ding");
+        let chan = i.lookup_channel_normalized("home").expect("interned");
+        assert_eq!(i.event_channel_of(ding), Some(chan));
+        assert_eq!(i.channel_slot("HOME"), chan);
+        assert_eq!(i.channel_key(chan), Some("home"));
+        assert_eq!(i.channel_count(), 1);
+        assert_eq!(i.lookup_channel_normalized("tv-guide"), None);
     }
 
     #[test]

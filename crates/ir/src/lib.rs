@@ -25,15 +25,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod error;
 pub mod eval;
 pub mod interner;
 pub mod program;
 
+pub use arena::{HeldKey, ProgramArena, ProgramRef};
 pub use error::IrError;
 pub use eval::{
     condition_holds, eval_code, note_type_mismatch, until_holds, ContextView, HeldObserver,
     SensorRead,
 };
-pub use interner::{EventSlot, Interner, SensorSlot, SharedInterner};
+pub use interner::{ChannelSlot, EventSlot, Interner, PlaceSlot, SensorSlot, SharedInterner};
 pub use program::{merge_conjuncts, CompiledConjunct, CondCode, Op, Pred, RuleProgram};

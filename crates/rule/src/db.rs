@@ -16,7 +16,7 @@
 use crate::compile::compile_rule;
 use crate::error::RuleError;
 use crate::rule::{Rule, RuleBuilder};
-use cadel_ir::{RuleProgram, SharedInterner};
+use cadel_ir::{ProgramArena, ProgramRef, RuleProgram, SharedInterner};
 use cadel_obs::{Event, LazyCounter, LazyHistogram, Level, Stopwatch};
 use cadel_types::{DeviceId, PersonId, RuleId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -70,6 +70,11 @@ pub struct RuleDb {
     next_id: RuleId,
     interner: SharedInterner,
     next_revision: u64,
+    /// Compiled programs in contiguous SoA layout, appended alongside the
+    /// per-rule `Arc<RuleProgram>` at compile time. The engine's hot path
+    /// and inverted indexes read rules through the arena; the `Arc`s stay
+    /// for the conflict checker and public API.
+    arena: ProgramArena,
 }
 
 impl RuleDb {
@@ -177,6 +182,11 @@ impl RuleDb {
         let sw = Stopwatch::start();
         let mut interner = self.interner.write().expect("interner lock poisoned");
         let program = compile_rule(&rule, &mut interner).ok().map(Arc::new);
+        if let Some(program) = &program {
+            // Appended under the same lock the program was compiled under,
+            // so the arena's interned footprint matches the program's slots.
+            self.arena.insert(rule.id(), program, &mut interner);
+        }
         drop(interner);
         LOWER_NS.record(&sw);
         LOWERED.inc();
@@ -239,6 +249,7 @@ impl RuleDb {
     /// Returns [`RuleError::UnknownRule`] if absent.
     pub fn remove(&mut self, id: RuleId) -> Result<Rule, RuleError> {
         let stored = self.rules.remove(&id).ok_or(RuleError::UnknownRule(id))?;
+        self.arena.remove(id);
         let rule = stored.rule;
         if let Some(set) = self.by_device.get_mut(rule.action().device()) {
             set.remove(&id);
@@ -263,6 +274,17 @@ impl RuleDb {
     /// The compiled program of a rule, when compilation succeeded.
     pub fn program(&self, id: RuleId) -> Option<&Arc<RuleProgram>> {
         self.rules.get(&id).and_then(|s| s.program.as_ref())
+    }
+
+    /// The arena holding every compiled program in contiguous SoA layout.
+    pub fn arena(&self) -> &ProgramArena {
+        &self.arena
+    }
+
+    /// A rule's span record in the arena, when compilation succeeded.
+    /// Invalidated by the next database mutation.
+    pub fn program_ref(&self, id: RuleId) -> Option<&ProgramRef> {
+        self.arena.program_ref(id)
     }
 
     /// The revision stamp of a rule: unique per stored artifact, so a
@@ -539,6 +561,30 @@ mod tests {
         db.ensure_next_id(next); // lower: no-op
         assert_eq!(db.next_id(), RuleId::new(100));
         assert_eq!(db.allocate_id(), RuleId::new(100));
+    }
+
+    #[test]
+    fn arena_tracks_insert_replace_remove() {
+        let mut db = RuleDb::new();
+        let a = db.register(builder("tom", "tv", "a")).unwrap();
+        let b = db.register(builder("tom", "stereo", "b")).unwrap();
+        assert_eq!(db.arena().len(), 2);
+        assert!(db.program_ref(a).is_some());
+
+        // The arena footprint reflects the compiled predicates.
+        let r = *db.program_ref(a).unwrap();
+        assert_eq!(db.arena().channel_slots(&r).len(), 1);
+        assert!(db.arena().sensor_slots(&r).is_empty());
+
+        db.remove(a).unwrap();
+        assert!(db.program_ref(a).is_none());
+        assert_eq!(db.arena().len(), 1);
+
+        // Replace rebuilds the span under the same id.
+        let replacement = builder("tom", "stereo", "c").build(b).unwrap();
+        db.replace(replacement).unwrap();
+        assert!(db.program_ref(b).is_some());
+        assert_eq!(db.arena().len(), 1);
     }
 
     #[test]
