@@ -20,6 +20,7 @@
 //! | [`engine`] | `cadel-engine` | the rule execution module |
 //! | [`server`] | `cadel-server` | the home server: registration workflow, guidance, users |
 //! | [`store`] | `cadel-store` | durable state: write-ahead log, snapshots, crash recovery |
+//! | [`fleet`] | `cadel-fleet` | supervised multi-tenant fleet: panic isolation, quarantine, shedding |
 //! | [`sim`] | `cadel-sim` | discrete-event simulation and the Fig. 1 scenario |
 //!
 //! # Quickstart
@@ -57,6 +58,7 @@
 pub use cadel_conflict as conflict;
 pub use cadel_devices as devices;
 pub use cadel_engine as engine;
+pub use cadel_fleet as fleet;
 pub use cadel_ir as ir;
 pub use cadel_lang as lang;
 pub use cadel_obs as obs;

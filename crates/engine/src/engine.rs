@@ -244,6 +244,11 @@ pub struct Engine {
     /// report (avoids one `Deferred` row per step while a breaker
     /// stays open).
     defer_noted: BTreeSet<RuleId>,
+    /// Chaos hook invoked for every committed verdict (serial phase, so
+    /// deterministic at any thread count). Fleet soaks install a
+    /// panicking hook here to prove the supervisor contains a poisoned
+    /// rule set; `None` in production.
+    eval_hook: Option<Box<dyn FnMut(RuleId, SimTime) + Send>>,
 }
 
 impl Engine {
@@ -285,7 +290,16 @@ impl Engine {
             resilience: Resilience::default(),
             deferred_devices: BTreeSet::new(),
             defer_noted: BTreeSet::new(),
+            eval_hook: None,
         }
+    }
+
+    /// Installs (or clears) the per-verdict chaos hook. The hook runs in
+    /// the serial commit phase for every evaluated rule; a panic inside
+    /// it unwinds out of [`Engine::step`] exactly like a panic in rule
+    /// bookkeeping would, which is what fleet soak tests rely on.
+    pub fn set_eval_hook(&mut self, hook: Option<Box<dyn FnMut(RuleId, SimTime) + Send>>) {
+        self.eval_hook = hook;
     }
 
     /// Disables the sensor-trigger index: every step re-evaluates every
@@ -754,6 +768,9 @@ impl Engine {
         let mut eval_ast: u64 = 0;
         for verdict in verdicts {
             let id = verdict.rule;
+            if let Some(hook) = &mut self.eval_hook {
+                hook(id, now);
+            }
             // Apply observed held-for transitions before this rule's
             // bookkeeping: in the serial engine the tracker was mutated
             // *during* this rule's evaluation, i.e. before anything
@@ -1100,7 +1117,10 @@ impl Engine {
 /// presence by *diffing* against the previous occupant set — dropping an
 /// intermediate payload of any of them would change observable state, so
 /// they always apply individually.
-fn coalescible(variable: &str) -> bool {
+///
+/// Public so admission-control layers (the fleet's bounded inboxes)
+/// shed by the same rules the engine coalesces by.
+pub fn coalescible(variable: &str) -> bool {
     !matches!(
         variable,
         ARRIVAL_VARIABLE | ON_AIR_VARIABLE | OCCUPANTS_VARIABLE

@@ -40,7 +40,7 @@ pub mod resilience;
 
 pub use context::{ContextStore, FreshnessMode, FreshnessPolicy};
 pub use engine::persist::{freshness_policy_from_json, freshness_policy_to_json};
-pub use engine::{Engine, Firing, FiringOutcome, StepReport, CONFLICT_CHANNEL};
+pub use engine::{coalescible, Engine, Firing, FiringOutcome, StepReport, CONFLICT_CHANNEL};
 pub use error::EngineError;
 pub use eval::{Evaluator, HeldTracker};
 pub use index::TriggerIndex;

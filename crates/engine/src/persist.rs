@@ -371,6 +371,7 @@ fn resilience_to_json(resilience: &Resilience) -> Json {
         ("max_attempts", Json::Int(config.max_attempts as i64)),
         ("device_budget", Json::Int(config.device_budget as i64)),
         ("jitter_seed", Json::Int(config.jitter_seed as i64)),
+        ("dlq_cap", Json::Int(config.dlq_cap as i64)),
     ]);
     let breakers = Json::Arr(
         resilience
@@ -446,6 +447,11 @@ fn resilience_from_json(doc: &Json) -> Result<Resilience, EngineError> {
         max_attempts: get_int(config_doc, "max_attempts")? as u32,
         device_budget: get_int(config_doc, "device_budget")? as usize,
         jitter_seed: get_int(config_doc, "jitter_seed")? as u64,
+        // Absent in checkpoints written before the cap existed.
+        dlq_cap: match config_doc.get("dlq_cap").and_then(Json::as_int) {
+            Some(cap) => cap as usize,
+            None => ResilienceConfig::default().dlq_cap,
+        },
     };
     let mut resilience = Resilience::new(config);
     for entry in arr_of(doc, "breakers")? {

@@ -41,6 +41,7 @@ static RETRY_QUEUE_DEPTH: LazyGauge = LazyGauge::new("engine_retry_queue_depth")
 static DEAD_LETTERS: LazyCounter = LazyCounter::new("engine_dead_letters_total");
 static DLQ_DEPTH: LazyGauge = LazyGauge::new("engine_dead_letter_queue_depth");
 static DLQ_REPLAYED: LazyCounter = LazyCounter::new("engine_dlq_replayed_total");
+static DLQ_EVICTED: LazyCounter = LazyCounter::new("engine_dlq_evicted_total");
 
 /// Why an actuation did not take effect: the device failed, or an
 /// engine-side invariant broke. Only device faults are retryable.
@@ -99,6 +100,12 @@ pub struct ResilienceConfig {
     pub device_budget: usize,
     /// Seed for the deterministic backoff jitter.
     pub jitter_seed: u64,
+    /// Maximum dead letters retained; the queue is a bounded ring and
+    /// the oldest letter is evicted (counted in
+    /// `engine_dlq_evicted_total`) when a new one would overflow it, so
+    /// a permanently failing device cannot grow memory without bound
+    /// during long soaks.
+    pub dlq_cap: usize,
 }
 
 impl Default for ResilienceConfig {
@@ -112,6 +119,7 @@ impl Default for ResilienceConfig {
             max_attempts: 4,
             device_budget: 8,
             jitter_seed: 0xCADE1,
+            dlq_cap: 256,
         }
     }
 }
@@ -645,7 +653,24 @@ impl Resilience {
             reason: reason.to_owned(),
             at: now,
         });
+        self.enforce_dlq_cap();
         DLQ_DEPTH.set(self.dlq.len() as i64);
+    }
+
+    /// Evicts the oldest dead letters past [`ResilienceConfig::dlq_cap`].
+    fn enforce_dlq_cap(&mut self) {
+        while self.dlq.len() > self.config.dlq_cap.max(1) {
+            let evicted = self.dlq.remove(0);
+            DLQ_EVICTED.inc();
+            if cadel_obs::enabled() {
+                cadel_obs::emit(
+                    ObsEvent::new("engine.dlq_evicted", Level::Warn)
+                        .with_field("rule", evicted.rule.raw())
+                        .with_field("device", evicted.device.as_str())
+                        .with_field("reason", evicted.reason),
+                );
+            }
+        }
     }
 
     /// Replays every dead letter of a recovered device into the retry
@@ -750,9 +775,13 @@ impl Resilience {
         self.queue.push(entry);
     }
 
-    /// Reinstates a dead letter verbatim.
+    /// Reinstates a dead letter verbatim. The cap still applies: a
+    /// checkpoint written under a larger `dlq_cap` is trimmed to the
+    /// current one, oldest first.
     pub(crate) fn restore_dead_letter(&mut self, letter: DeadLetter) {
         self.dlq.push(letter);
+        self.enforce_dlq_cap();
+        DLQ_DEPTH.set(self.dlq.len() as i64);
     }
 
     /// Fast-forwards the sequence counter (persistence import; never
@@ -926,6 +955,29 @@ mod tests {
         assert_eq!(r.queue_len(), 2);
         assert_eq!(r.dead_letters().len(), 2);
         assert!(r.dead_letters()[0].reason.contains("budget"));
+    }
+
+    #[test]
+    fn dlq_is_a_bounded_ring_evicting_oldest() {
+        let mut r = Resilience::new(ResilienceConfig {
+            device_budget: 0,
+            dlq_cap: 3,
+            ..cfg()
+        });
+        let dev = DeviceId::new("lamp");
+        // Budget 0: every schedule dead-letters immediately.
+        for i in 0..5 {
+            r.schedule(
+                RuleId::new(i + 1),
+                dev.clone(),
+                action("lamp"),
+                RetryKind::Fire,
+                1,
+                m(i),
+            );
+        }
+        let rules: Vec<u64> = r.dead_letters().iter().map(|d| d.rule.raw()).collect();
+        assert_eq!(rules, vec![3, 4, 5], "oldest letters evicted first");
     }
 
     #[test]

@@ -18,15 +18,30 @@ use cadel_rule::{Atom, Condition, ConstraintAtom};
 use cadel_simplex::RelOp;
 use cadel_types::{Date, DeviceId, Quantity, SensorKey, SimDuration, SimTime, Unit, Value};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// Only allocations made while the current thread has armed the counter
+// are recorded — libtest's harness threads (timers, stdout capture)
+// allocate concurrently and must not pollute the measurement.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    // try_with: the allocator can be called during TLS teardown.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -35,7 +50,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -80,6 +97,7 @@ fn steady_state_heldfor_evaluation_does_not_allocate() {
     }
     assert_eq!(held.tracked(), 2, "both dwell clauses are tracked");
 
+    COUNTING.with(|c| c.set(true));
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let mut holds = 0u32;
     for _ in 0..1_000 {
@@ -88,6 +106,7 @@ fn steady_state_heldfor_evaluation_does_not_allocate() {
         }
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(false));
 
     assert_eq!(holds, 0, "the 5-minute dwell has not elapsed at EPOCH");
     assert_eq!(

@@ -19,15 +19,30 @@ use cadel_types::{
 };
 use cadel_upnp::{ControlPoint, Registry};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// Only allocations made while the current thread has armed the counter
+// are recorded — libtest's harness threads (timers, stdout capture)
+// allocate concurrently and must not pollute the measurement.
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    // try_with: the allocator can be called during TLS teardown.
+    COUNTING.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -36,7 +51,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -88,12 +105,14 @@ fn idle_steps_do_not_allocate() {
         assert!(report.is_empty(), "no rule can fire in this workload");
     }
 
+    COUNTING.with(|c| c.set(true));
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for s in 10..1_010u64 {
         let report = engine.step(SimTime::EPOCH + SimDuration::from_secs(s));
         assert!(report.is_empty());
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(false));
 
     assert_eq!(
         after - before,

@@ -1,0 +1,126 @@
+//! One supervised tenant: a durable [`HomeServer`], its device world,
+//! its bounded inbox, and its supervision bookkeeping.
+
+use cadel_server::{HomeServer, ServerError};
+use cadel_store::RecoveryReport;
+use cadel_types::{DeviceId, SimTime, Value};
+use std::collections::VecDeque;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One queued unit of tenant input: a sensor reading headed for one of
+/// the tenant's devices. Delivery publishes it through the tenant's own
+/// UPnP event bus (via its [`TenantWorld`]), so the engine ingests it
+/// exactly like a live device change.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ingress {
+    /// The tenant-local device the reading belongs to.
+    pub device: DeviceId,
+    /// The state variable name.
+    pub variable: String,
+    /// The new value.
+    pub value: Value,
+    /// Simulated timestamp of the reading.
+    pub at: SimTime,
+}
+
+impl Ingress {
+    /// Whether admission control may coalesce or shed this entry — the
+    /// engine's own classification ([`cadel_engine::coalescible`]):
+    /// superseded readings of ordinary sensor variables are safe to
+    /// drop, event-bearing payloads (`arrival`, `on-air`, `occupants`)
+    /// are not.
+    pub fn coalescible(&self) -> bool {
+        cadel_engine::coalescible(&self.variable)
+    }
+}
+
+/// A tenant's device world: whatever handles are needed to turn queued
+/// [`Ingress`] into real device publishes on the tenant's event bus.
+/// Built (and rebuilt, after quarantine) by the tenant's builder.
+pub trait TenantWorld: Send {
+    /// Applies one ingress entry to the world's devices. Readings for
+    /// unknown devices or variables are the world's call to drop or
+    /// panic on; the supervisor contains either choice.
+    fn deliver(&mut self, ingress: &Ingress);
+}
+
+/// What a tenant builder produces: the recovered server, its recovery
+/// report, and the device world the server's control point watches.
+pub struct TenantParts {
+    /// The durable server, recovered from the tenant's WAL segment.
+    pub server: HomeServer,
+    /// What recovery found (replays, truncation, skipped records).
+    pub report: RecoveryReport,
+    /// The device world backing the server's registry.
+    pub world: Box<dyn TenantWorld>,
+}
+
+/// Builds (and rebuilds) one tenant from its WAL segment directory. The
+/// builder must recreate the tenant's device world from scratch and open
+/// the server with [`HomeServer::open_at`] on the given directory; it
+/// can tell a fresh boot from a restart by the recovery report (a fresh
+/// directory replays zero records) and only then seed initial state.
+pub type TenantBuilder = Arc<dyn Fn(&Path) -> Result<TenantParts, ServerError> + Send + Sync>;
+
+/// Supervision state of one tenant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenantState {
+    /// Stepping normally.
+    Healthy,
+    /// Removed from scheduling after a panic, deadline overrun, or
+    /// store fault. Restarted from its WAL on the next wave while its
+    /// strike count is within the panic budget; past the budget it
+    /// stays here until revived.
+    Quarantined,
+    /// Being rebuilt from its WAL segment right now.
+    Restarting,
+}
+
+impl fmt::Display for TenantState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TenantState::Healthy => "healthy",
+            TenantState::Quarantined => "quarantined",
+            TenantState::Restarting => "restarting",
+        })
+    }
+}
+
+/// One supervised tenant. Owned by the [`Fleet`]; a step wave hands each
+/// ready tenant to exactly one worker thread, so the struct must be
+/// [`Send`] end to end (asserted at compile time in the crate root).
+///
+/// [`Fleet`]: crate::Fleet
+pub(crate) struct Tenant {
+    pub(crate) name: String,
+    pub(crate) dir: PathBuf,
+    pub(crate) build: TenantBuilder,
+    /// `None` while quarantined: a panicked step may have left the
+    /// in-memory state inconsistent, so it is discarded outright and
+    /// the WAL is the only truth a restart trusts.
+    pub(crate) server: Option<HomeServer>,
+    pub(crate) world: Option<Box<dyn TenantWorld>>,
+    pub(crate) state: TenantState,
+    pub(crate) strikes: u32,
+    pub(crate) inbox: VecDeque<Ingress>,
+    /// Successful steps since boot (drives the checkpoint cadence).
+    pub(crate) steps: u64,
+    pub(crate) restarts: u64,
+    pub(crate) shed: u64,
+    pub(crate) last_recovery: Option<RecoveryReport>,
+    pub(crate) last_fault: Option<String>,
+}
+
+impl Tenant {
+    /// Quarantines the tenant, dropping its (possibly poisoned)
+    /// in-memory state.
+    pub(crate) fn quarantine(&mut self, fault: String) {
+        self.server = None;
+        self.world = None;
+        self.state = TenantState::Quarantined;
+        self.strikes += 1;
+        self.last_fault = Some(fault);
+    }
+}

@@ -53,6 +53,7 @@
 pub mod collect;
 pub mod event;
 pub mod metrics;
+pub mod rollup;
 
 pub use collect::{Fanout, RingCollector, TextFormat, TextSink, TimedEvent};
 pub use event::{format_json, format_logfmt, Collector, Event, FieldValue, Level, Span};
@@ -60,6 +61,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSummary, LazyCounter, LazyGauge, LazyHistogram,
     MetricsRegistry, MetricsSnapshot, Stopwatch,
 };
+pub use rollup::{NoisyNeighbourRollup, TenantLoad};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};

@@ -1,0 +1,190 @@
+//! Fleet rollups: per-tenant load accounting and noisy-neighbour ranking.
+//!
+//! A fleet host multiplexes thousands of tenants over one worker pool, so
+//! fleet-level aggregates (p99 step latency, total sheds) can hide one
+//! tenant consuming the pool. This module accumulates per-tenant
+//! contributions — step wall time, firings, sheds, panics — and ranks the
+//! heaviest tenants deterministically, for the `fleet` crate's health
+//! report and for operators asking "who is eating my workers?".
+//!
+//! The rollup is plain data, not a global: the owner (one `Fleet`) feeds
+//! it and reads it, so no locking or atomics are needed and resets are
+//! explicit. Global counters/gauges stay in [`crate::metrics`].
+
+use std::collections::BTreeMap;
+
+/// Accumulated load attributed to one tenant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantLoad {
+    /// Steps executed.
+    pub steps: u64,
+    /// Host wall time spent inside this tenant's steps, in nanoseconds.
+    pub step_nanos: u64,
+    /// Rule firings dispatched.
+    pub firings: u64,
+    /// Inbox entries shed by admission control.
+    pub shed: u64,
+    /// Panics caught by the supervisor.
+    pub panics: u64,
+}
+
+impl TenantLoad {
+    /// A blame score for noisy-neighbour ranking: wall time dominates,
+    /// but a tenant that panics or forces shedding is noisy even when
+    /// each of its steps is cheap (the disruption lands on *other*
+    /// tenants' latency). Panics and sheds are weighted as fixed time
+    /// equivalents — 1 ms per panic, 10 µs per shed entry.
+    pub fn score(&self) -> u64 {
+        self.step_nanos
+            .saturating_add(self.panics.saturating_mul(1_000_000))
+            .saturating_add(self.shed.saturating_mul(10_000))
+    }
+}
+
+/// Per-tenant accumulator with deterministic top-K ranking.
+#[derive(Clone, Debug, Default)]
+pub struct NoisyNeighbourRollup {
+    loads: BTreeMap<String, TenantLoad>,
+}
+
+impl NoisyNeighbourRollup {
+    /// An empty rollup.
+    pub fn new() -> NoisyNeighbourRollup {
+        NoisyNeighbourRollup::default()
+    }
+
+    /// Records one completed step for `tenant`.
+    pub fn note_step(&mut self, tenant: &str, nanos: u64, firings: u64) {
+        let load = self.entry(tenant);
+        load.steps += 1;
+        load.step_nanos = load.step_nanos.saturating_add(nanos);
+        load.firings += firings;
+    }
+
+    /// Records `count` inbox entries shed for `tenant`.
+    pub fn note_shed(&mut self, tenant: &str, count: u64) {
+        self.entry(tenant).shed += count;
+    }
+
+    /// Records one caught panic for `tenant`.
+    pub fn note_panic(&mut self, tenant: &str) {
+        self.entry(tenant).panics += 1;
+    }
+
+    fn entry(&mut self, tenant: &str) -> &mut TenantLoad {
+        if !self.loads.contains_key(tenant) {
+            self.loads.insert(tenant.to_owned(), TenantLoad::default());
+        }
+        self.loads.get_mut(tenant).expect("inserted above")
+    }
+
+    /// The accumulated load of one tenant.
+    pub fn load(&self, tenant: &str) -> TenantLoad {
+        self.loads.get(tenant).copied().unwrap_or_default()
+    }
+
+    /// Number of tenants with any recorded load.
+    pub fn tenant_count(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Total step wall time across all tenants, in nanoseconds.
+    pub fn total_step_nanos(&self) -> u64 {
+        self.loads
+            .values()
+            .fold(0u64, |acc, l| acc.saturating_add(l.step_nanos))
+    }
+
+    /// The `k` noisiest tenants by [`TenantLoad::score`], descending;
+    /// ties break by tenant name ascending so the ranking is
+    /// deterministic across runs.
+    pub fn top(&self, k: usize) -> Vec<(String, TenantLoad)> {
+        let mut ranked: Vec<(String, TenantLoad)> = self
+            .loads
+            .iter()
+            .map(|(name, load)| (name.clone(), *load))
+            .collect();
+        ranked.sort_by(|a, b| b.1.score().cmp(&a.1.score()).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Renders the top-`k` ranking as one logfmt-ish line per tenant,
+    /// with each tenant's share of total step time.
+    pub fn render_top(&self, k: usize) -> String {
+        let total = self.total_step_nanos().max(1);
+        let mut out = String::new();
+        for (name, load) in self.top(k) {
+            let share = (load.step_nanos as f64 / total as f64) * 100.0;
+            out.push_str(&format!(
+                "tenant={name} share={share:.1}% steps={} firings={} shed={} panics={}\n",
+                load.steps, load.firings, load.shed, load.panics
+            ));
+        }
+        out
+    }
+
+    /// Clears all accumulated load (start of a new reporting window).
+    pub fn reset(&mut self) {
+        self.loads.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_tenant() {
+        let mut r = NoisyNeighbourRollup::new();
+        r.note_step("t0", 100, 2);
+        r.note_step("t0", 50, 0);
+        r.note_shed("t0", 3);
+        r.note_panic("t1");
+        assert_eq!(
+            r.load("t0"),
+            TenantLoad {
+                steps: 2,
+                step_nanos: 150,
+                firings: 2,
+                shed: 3,
+                panics: 0,
+            }
+        );
+        assert_eq!(r.load("t1").panics, 1);
+        assert_eq!(r.load("missing"), TenantLoad::default());
+        assert_eq!(r.tenant_count(), 2);
+        assert_eq!(r.total_step_nanos(), 150);
+    }
+
+    #[test]
+    fn top_ranks_by_score_with_deterministic_ties() {
+        let mut r = NoisyNeighbourRollup::new();
+        r.note_step("cheap", 10, 0);
+        r.note_step("hog", 1_000_000, 1);
+        // Panicky tenant: little wall time, but each panic scores 1 ms.
+        r.note_step("panicky", 20, 0);
+        r.note_panic("panicky");
+        r.note_panic("panicky");
+        // Tie pair: identical loads rank alphabetically.
+        r.note_step("tie-b", 500, 0);
+        r.note_step("tie-a", 500, 0);
+
+        let names: Vec<String> = r.top(10).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["panicky", "hog", "tie-a", "tie-b", "cheap"]);
+        assert_eq!(r.top(2).len(), 2);
+
+        let rendered = r.render_top(1);
+        assert!(rendered.starts_with("tenant=panicky "));
+        assert!(rendered.contains("panics=2"));
+    }
+
+    #[test]
+    fn reset_clears_the_window() {
+        let mut r = NoisyNeighbourRollup::new();
+        r.note_step("t0", 100, 0);
+        r.reset();
+        assert_eq!(r.tenant_count(), 0);
+        assert!(r.top(5).is_empty());
+    }
+}

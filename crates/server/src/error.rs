@@ -36,6 +36,11 @@ pub enum ServerError {
     /// malformed persisted record). Carries the rendered store error so
     /// this enum stays cheaply clonable and comparable.
     Store(String),
+    /// The server is read-only: a WAL append failed (disk full or other
+    /// append I/O error) and durable mutations are rejected until the
+    /// tenant is restarted against a healthy store. In-memory state is
+    /// still consistent — the failed mutation was never applied.
+    ReadOnly,
 }
 
 impl fmt::Display for ServerError {
@@ -53,6 +58,9 @@ impl fmt::Display for ServerError {
             }
             ServerError::AccessDenied(d) => write!(f, "access denied: {d}"),
             ServerError::Store(message) => write!(f, "store error: {message}"),
+            ServerError::ReadOnly => {
+                write!(f, "server is read-only after a failed wal append")
+            }
         }
     }
 }

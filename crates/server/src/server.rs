@@ -29,7 +29,7 @@ use cadel_lang::ast::Command;
 use cadel_lang::{parse_command, Compiler, Lexicon};
 use cadel_obs::{Event, LazyCounter, LazyHistogram, Level, MetricsSnapshot, Stopwatch};
 use cadel_rule::{Condition, Rule};
-use cadel_store::{RecoveryReport, Store};
+use cadel_store::{RecoveryReport, Store, StoreError};
 use cadel_types::json::Json;
 use cadel_types::{PersonId, RuleId, SimTime, Topology};
 use cadel_upnp::ControlPoint;
@@ -115,6 +115,11 @@ pub struct HomeServer {
     /// True while recovery replays records: suppresses re-logging so a
     /// replayed mutation is not appended a second time.
     replaying: bool,
+    /// True once a WAL append has failed (disk full or other append
+    /// I/O): every later durable mutation is rejected up front with
+    /// [`ServerError::ReadOnly`] instead of retrying the sick disk
+    /// mid-step. Reads and non-durable stepping stay available.
+    read_only: bool,
     /// Word-definition sentences in submission order, per user — the
     /// replayable source of the private dictionaries (a `Dictionary` has
     /// no codec; the original sentences do).
@@ -141,6 +146,7 @@ impl HomeServer {
             checker: ConflictChecker::new(),
             store: None,
             replaying: false,
+            read_only: false,
             word_log: Vec::new(),
         }
     }
@@ -175,20 +181,29 @@ impl HomeServer {
         if let Some(snapshot) = &recovered.snapshot {
             server.apply_snapshot(snapshot);
         }
+        let mut skipped = 0u64;
         for record in &recovered.records {
-            server.apply_record(record);
+            if !server.apply_record(record) {
+                skipped += 1;
+            }
         }
         server.replaying = false;
         server.store = Some(store);
+        let mut report = recovered.report;
+        report.records_skipped = skipped;
+        if skipped > 0 {
+            cadel_store::note_replay_skipped(skipped);
+        }
         if cadel_obs::enabled() {
             cadel_obs::emit(
                 Event::new("server.recovered", Level::Info)
-                    .with_field("records", recovered.report.records_replayed)
-                    .with_field("bytes_truncated", recovered.report.bytes_truncated)
-                    .with_field("snapshot_used", recovered.report.snapshot_used),
+                    .with_field("records", report.records_replayed)
+                    .with_field("records_skipped", report.records_skipped)
+                    .with_field("bytes_truncated", report.bytes_truncated)
+                    .with_field("snapshot_used", report.snapshot_used),
             );
         }
-        Ok((server, recovered.report))
+        Ok((server, report))
     }
 
     /// Alias for [`HomeServer::open_at`]: recovery *is* opening the
@@ -223,21 +238,59 @@ impl HomeServer {
         }
     }
 
+    /// True once a WAL append has failed and durable mutations are
+    /// rejected; see [`ServerError::ReadOnly`]. A restart via
+    /// [`HomeServer::open_at`] against a healthy store clears the
+    /// condition (the failed mutation was never applied or logged).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Toggles injected WAL append failures (simulated `ENOSPC`) on the
+    /// backing store. No-op on ephemeral servers. Fault injection for
+    /// soak tests, the sibling of `FaultPlan` at the device layer.
+    pub fn inject_append_faults(&mut self, on: bool) {
+        if let Some(store) = &mut self.store {
+            store.set_fail_appends(on);
+        }
+    }
+
     /// Appends one record for a durable mutation, *before* the mutation
     /// is applied. No-op on ephemeral servers and during replay.
+    ///
+    /// A failed append flips the server read-only: the mutation was not
+    /// persisted and must not be applied, and later durable mutations
+    /// are rejected up front rather than retrying a failing disk.
     fn log_record(&mut self, record: &Json) -> Result<(), ServerError> {
         if self.replaying {
             return Ok(());
         }
-        match &mut self.store {
-            Some(store) => Ok(store.append(record)?),
-            None => Ok(()),
+        if self.read_only {
+            return Err(ServerError::ReadOnly);
+        }
+        let Some(store) = &mut self.store else {
+            return Ok(());
+        };
+        match store.append(record) {
+            Ok(()) => Ok(()),
+            Err(error @ StoreError::Append { .. }) => {
+                self.read_only = true;
+                if cadel_obs::enabled() {
+                    cadel_obs::emit(
+                        Event::new("server.read_only", Level::Warn)
+                            .with_field("error", error.to_string()),
+                    );
+                }
+                Err(ServerError::ReadOnly)
+            }
+            Err(error) => Err(error.into()),
         }
     }
 
     /// Applies one replayed WAL record. Failures are warned and skipped:
-    /// recovery always produces a running server.
-    fn apply_record(&mut self, record: &Json) {
+    /// recovery always produces a running server. Returns `false` when
+    /// the record was skipped.
+    fn apply_record(&mut self, record: &Json) -> bool {
         let kind = record.get("type").and_then(Json::as_str).unwrap_or("");
         let result: Result<(), ServerError> = match kind {
             "user_added" => {
@@ -287,13 +340,17 @@ impl HomeServer {
                 .and_then(|state| Ok(self.engine.import_runtime_json(state)?)),
             other => Err(persist::bad(format!("unknown record type '{other}'"))),
         };
-        if let Err(error) = result {
-            if cadel_obs::enabled() {
-                cadel_obs::emit(
-                    Event::new("server.replay_record_skipped", Level::Warn)
-                        .with_field("kind", kind.to_owned())
-                        .with_field("error", error.to_string()),
-                );
+        match result {
+            Ok(()) => true,
+            Err(error) => {
+                if cadel_obs::enabled() {
+                    cadel_obs::emit(
+                        Event::new("server.replay_record_skipped", Level::Warn)
+                            .with_field("kind", kind.to_owned())
+                            .with_field("error", error.to_string()),
+                    );
+                }
+                false
             }
         }
     }
@@ -971,6 +1028,41 @@ mod tests {
             server.add_user(name).unwrap();
         }
         (server, home)
+    }
+
+    #[test]
+    fn failed_wal_append_flips_the_server_read_only() {
+        let dir = std::env::temp_dir().join(format!("cadel-server-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = Registry::new();
+        let _home = LivingRoomHome::install(&registry);
+        let (mut server, _) =
+            HomeServer::open_at(ControlPoint::new(registry), standard_topology(), &dir).unwrap();
+        server.add_user("Tom").unwrap();
+        assert!(!server.is_read_only());
+
+        server.inject_append_faults(true);
+        assert_eq!(server.add_user("Alan"), Err(ServerError::ReadOnly));
+        assert!(server.is_read_only());
+        // The rejected mutation was never applied in memory...
+        assert!(server.users().user(&PersonId::new("alan")).is_err());
+        // ...and later durable mutations are rejected up front, even
+        // after the disk recovers.
+        server.inject_append_faults(false);
+        assert_eq!(server.add_user("Emily"), Err(ServerError::ReadOnly));
+
+        // A restart against the (healthy) store clears the condition and
+        // sees exactly the state that was durably logged.
+        drop(server);
+        let registry = Registry::new();
+        let _home = LivingRoomHome::install(&registry);
+        let (mut reopened, report) =
+            HomeServer::open_at(ControlPoint::new(registry), standard_topology(), &dir).unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(report.records_skipped, 0);
+        assert!(!reopened.is_read_only());
+        reopened.add_user("Alan").unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn unit_place(u: usize) -> String {
     format!("unit-{u}")
 }
 
-fn temp_above(u: usize, degrees: i64) -> Condition {
+pub(crate) fn temp_above(u: usize, degrees: i64) -> Condition {
     Condition::Atom(Atom::Constraint(ConstraintAtom::new(
         SensorKey::new(DeviceId::new(format!("thermo-{u}")), "temperature"),
         RelOp::Gt,
@@ -94,7 +94,7 @@ fn temp_above(u: usize, degrees: i64) -> Condition {
     )))
 }
 
-fn temp_below(u: usize, degrees: i64) -> Condition {
+pub(crate) fn temp_below(u: usize, degrees: i64) -> Condition {
     Condition::Atom(Atom::Constraint(ConstraintAtom::new(
         SensorKey::new(DeviceId::new(format!("thermo-{u}")), "temperature"),
         RelOp::Lt,
@@ -102,7 +102,7 @@ fn temp_below(u: usize, degrees: i64) -> Condition {
     )))
 }
 
-fn humidity_above(u: usize, percent: i64) -> Condition {
+pub(crate) fn humidity_above(u: usize, percent: i64) -> Condition {
     Condition::Atom(Atom::Constraint(ConstraintAtom::new(
         SensorKey::new(DeviceId::new(format!("hygro-{u}")), "humidity"),
         RelOp::Gt,

@@ -1,0 +1,297 @@
+//! Fleet traffic generation: one apartment unit per tenant.
+//!
+//! Where [`crate::apartment`] scales the Fig. 1 scenario *within* one
+//! engine (one server, many units), this module scales it *across*
+//! engines: every tenant is an independent durable [`HomeServer`] with
+//! its own registry, WAL segment, and the same three unit rules (cool
+//! with release, dry contention, heat-warning dwell). It provides the
+//! two halves a fleet soak needs:
+//!
+//! * [`unit_tenant_builder`] — a [`TenantBuilder`] that builds (and,
+//!   after quarantine, rebuilds) one unit tenant, seeding users and
+//!   rules only on a fresh directory so restarts recover them from the
+//!   WAL; optionally with a seeded fault plan on the unit's air
+//!   conditioner (actuator faults exercise engine resilience without
+//!   tripping the supervisor).
+//! * [`FleetTraffic`] — seeded per-tenant sensor walks emitting
+//!   [`Ingress`] batches. Each tenant's stream is derived from its own
+//!   index-keyed generator, **independent of fleet composition and of
+//!   other tenants**, which is what lets a soak assert that tenants far
+//!   from an injected fault stay byte-identical to a fault-free run.
+//!
+//! [`HomeServer`]: cadel_server::HomeServer
+
+use crate::apartment::{humidity_above, temp_above, temp_below};
+use cadel_devices::{AirConditioner, EnvironmentSensor, Hygrometer, Light, LightKind, Thermometer};
+use cadel_fleet::{Ingress, TenantBuilder, TenantParts, TenantWorld};
+use cadel_rule::{ActionSpec, Atom, Condition, ConstraintAtom, Rule, Verb};
+use cadel_server::HomeServer;
+use cadel_simplex::RelOp;
+use cadel_types::{
+    DeviceId, PersonId, Quantity, Rational, Rng, RuleId, SensorKey, SimDuration, SimTime, Topology,
+    Unit, Value,
+};
+use cadel_upnp::{ControlPoint, FaultPlan, FaultyDevice, Registry};
+use std::sync::Arc;
+
+/// Canonical tenant name for unit `index` (zero-padded so fleet
+/// listings and segment directories sort naturally).
+pub fn tenant_name(index: usize) -> String {
+    format!("unit-{index:04}")
+}
+
+/// The tenant-local device world: readings land on the unit's own
+/// thermometer and hygrometer; anything else is dropped.
+struct UnitWorld {
+    thermometer: Arc<EnvironmentSensor>,
+    hygrometer: Arc<EnvironmentSensor>,
+}
+
+impl TenantWorld for UnitWorld {
+    fn deliver(&mut self, ingress: &Ingress) {
+        let Value::Number(quantity) = &ingress.value else {
+            return;
+        };
+        match ingress.variable.as_str() {
+            "temperature" => {
+                let _ = self.thermometer.set_reading(quantity.value(), ingress.at);
+            }
+            "humidity" => {
+                let _ = self.hygrometer.set_reading(quantity.value(), ingress.at);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builds a [`TenantBuilder`] for one apartment-unit tenant: a
+/// thermometer, hygrometer, floor lamp and air conditioner, plus the
+/// apartment block's three rules (cool-with-release, dry, heat-warning
+/// dwell) registered durably so a quarantine restart recovers them from
+/// the tenant's WAL.
+///
+/// With `fault`, the unit's air conditioner is wrapped in a
+/// [`FaultyDevice`] following the plan — actuator invocations fail on
+/// the plan's schedule and flow into the engine's retry/dead-letter
+/// resilience, *not* the fleet supervisor. The plan is re-applied on
+/// every rebuild, so a fault-injected tenant stays fault-injected
+/// across restarts.
+pub fn unit_tenant_builder(fault: Option<FaultPlan>) -> TenantBuilder {
+    Arc::new(move |dir| {
+        let registry = Registry::new();
+        let mut topology = Topology::new("unit");
+        topology.add_floor("ground").expect("fresh topology");
+        topology
+            .add_room("unit-0", "ground")
+            .expect("fresh topology");
+
+        let thermometer = Thermometer::new("thermo-0", "Thermometer", "unit-0", 22);
+        let hygrometer = Hygrometer::new("hygro-0", "Hygrometer", "unit-0", 50);
+        registry.register(thermometer.clone()).expect("unique UDN");
+        registry.register(hygrometer.clone()).expect("unique UDN");
+        registry
+            .register(Light::new("lamp-0", "Lamp", "unit-0", LightKind::FloorLamp))
+            .expect("unique UDN");
+        registry
+            .register(AirConditioner::new("aircon-0", "Air Conditioner", "unit-0"))
+            .expect("unique UDN");
+        if let Some(plan) = &fault {
+            FaultyDevice::wrap(&registry, &DeviceId::new("aircon-0"), plan.clone())
+                .expect("aircon-0 registered above");
+        }
+
+        let (mut server, report) = HomeServer::open_at(ControlPoint::new(registry), topology, dir)?;
+        if report.records_replayed == 0 && !report.snapshot_used {
+            server.add_user("Resident")?;
+            let resident = PersonId::new("resident");
+            let aircon = DeviceId::new("aircon-0");
+            let cool = Rule::builder(resident.clone())
+                .condition(temp_above(0, 26))
+                .action(ActionSpec::new(aircon.clone(), Verb::TurnOn))
+                .until(temp_below(0, 24))
+                .build(RuleId::new(1))
+                .expect("cool rule builds");
+            let dry = Rule::builder(resident.clone())
+                .condition(humidity_above(0, 70))
+                .action(ActionSpec::new(aircon, Verb::TurnOn))
+                .build(RuleId::new(2))
+                .expect("dry rule builds");
+            let warn = Rule::builder(resident)
+                .condition(Condition::Atom(Atom::held_for(
+                    Atom::Constraint(ConstraintAtom::new(
+                        SensorKey::new(DeviceId::new("thermo-0"), "temperature"),
+                        RelOp::Gt,
+                        Quantity::from_integer(25, Unit::Celsius),
+                    )),
+                    SimDuration::from_minutes(3),
+                )))
+                .action(ActionSpec::new(DeviceId::new("lamp-0"), Verb::TurnOn))
+                .build(RuleId::new(3))
+                .expect("warn rule builds");
+            server.register_rule(cool)?;
+            server.register_rule(dry)?;
+            server.register_rule(warn)?;
+        }
+
+        Ok(TenantParts {
+            server,
+            report,
+            world: Box::new(UnitWorld {
+                thermometer,
+                hygrometer,
+            }),
+        })
+    })
+}
+
+/// Seeded per-tenant sensor traffic for a fleet soak.
+///
+/// Each tenant owns a generator keyed by `(seed, index)`, so tenant
+/// `i`'s reading stream is the same whatever the fleet size and
+/// whatever happens to other tenants — the property that lets a soak
+/// compare per-tenant behaviour between a faulted and a fault-free run.
+/// The walk is the apartment block's phased compressed day (warming,
+/// drifting, cooling) so every tenant sweeps through the 26 °C trigger
+/// and 24 °C release; roughly a third of ticks also emit a transient
+/// reading that the fleet inbox coalesces away, exercising admission
+/// control.
+pub struct FleetTraffic {
+    rngs: Vec<Rng>,
+    temps: Vec<i64>,
+    humids: Vec<i64>,
+    tick: u64,
+}
+
+impl FleetTraffic {
+    /// Traffic for `tenants` tenants derived from `seed`.
+    pub fn new(tenants: usize, seed: u64) -> FleetTraffic {
+        FleetTraffic {
+            rngs: (0..tenants)
+                .map(|i| Rng::new(seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .collect(),
+            temps: vec![22; tenants],
+            humids: vec![50; tenants],
+            tick: 0,
+        }
+    }
+
+    /// Number of tenant streams.
+    pub fn tenants(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// Advances every tenant's walk one simulated minute and returns
+    /// one ingress batch per tenant.
+    pub fn tick(&mut self, at: SimTime) -> Vec<Vec<Ingress>> {
+        let drift: fn(&mut Rng) -> i64 = match (self.tick / 30) % 3 {
+            0 => |rng| rng.range_i64(0, 3),
+            1 => |rng| rng.range_i64(-1, 2),
+            _ => |rng| rng.range_i64(-2, 1),
+        };
+        self.tick += 1;
+        let mut batches = Vec::with_capacity(self.rngs.len());
+        for i in 0..self.rngs.len() {
+            let rng = &mut self.rngs[i];
+            let mut batch = Vec::with_capacity(3);
+            self.temps[i] = (self.temps[i] + drift(rng)).clamp(18, 32);
+            if rng.chance(1, 3) {
+                let transient = self.temps[i] + rng.range_i64(-2, 3);
+                batch.push(reading(
+                    "thermo-0",
+                    "temperature",
+                    transient,
+                    Unit::Celsius,
+                    at,
+                ));
+            }
+            batch.push(reading(
+                "thermo-0",
+                "temperature",
+                self.temps[i],
+                Unit::Celsius,
+                at,
+            ));
+            self.humids[i] = (self.humids[i] + rng.range_i64(-2, 3)).clamp(35, 85);
+            batch.push(reading(
+                "hygro-0",
+                "humidity",
+                self.humids[i],
+                Unit::Percent,
+                at,
+            ));
+            batches.push(batch);
+        }
+        batches
+    }
+}
+
+fn reading(device: &str, variable: &str, value: i64, unit: Unit, at: SimTime) -> Ingress {
+    Ingress {
+        device: DeviceId::new(device),
+        variable: variable.to_owned(),
+        value: Value::Number(Quantity::new(Rational::from_integer(value), unit)),
+        at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_fleet::{Fleet, FleetConfig};
+    use std::path::PathBuf;
+
+    fn mins(m: u64) -> SimTime {
+        SimTime::EPOCH + SimDuration::from_minutes(m)
+    }
+
+    fn fleet_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cadel-simfleet-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tenant_streams_are_independent_of_fleet_composition() {
+        let mut small = FleetTraffic::new(2, 42);
+        let mut large = FleetTraffic::new(8, 42);
+        for tick in 0..40u64 {
+            let a = small.tick(mins(tick));
+            let b = large.tick(mins(tick));
+            assert_eq!(a[0], b[0], "tenant 0 diverged at tick {tick}");
+            assert_eq!(a[1], b[1], "tenant 1 diverged at tick {tick}");
+        }
+    }
+
+    #[test]
+    fn unit_fleet_generates_load_and_stays_healthy() {
+        let root = fleet_root("smoke");
+        let mut fleet = Fleet::new(&root, FleetConfig::default());
+        let builder = unit_tenant_builder(None);
+        for i in 0..4 {
+            fleet
+                .add_tenant_arc(tenant_name(i), builder.clone())
+                .unwrap();
+        }
+        let mut traffic = FleetTraffic::new(4, 7);
+        let mut dispatched = 0usize;
+        for tick in 0..60u64 {
+            let at = mins(tick);
+            for (i, batch) in traffic.tick(at).into_iter().enumerate() {
+                for ingress in batch {
+                    fleet.offer(&tenant_name(i), ingress).unwrap();
+                }
+            }
+            let wave = fleet.step_ready(at);
+            assert_eq!(wave.faults(), 0);
+            dispatched += wave
+                .outcomes
+                .iter()
+                .filter_map(|o| o.report.as_ref())
+                .map(|r| r.dispatched().len())
+                .sum::<usize>();
+        }
+        assert!(dispatched > 0, "no tenant ever fired a rule");
+        assert_eq!(fleet.health().healthy, 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

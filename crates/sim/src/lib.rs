@@ -10,12 +10,14 @@
 
 pub mod activity;
 pub mod apartment;
+pub mod fleet;
 pub mod scenario;
 pub mod schedule;
 pub mod timechart;
 
 pub use activity::{ActivityRow, ActivityTimeline};
 pub use apartment::{ApartmentBlockScenario, ApartmentWorld};
+pub use fleet::{tenant_name, unit_tenant_builder, FleetTraffic};
 pub use scenario::{LivingRoomScenario, ScenarioRules, ScenarioWorld};
 pub use schedule::Simulation;
 pub use timechart::TimeChart;

@@ -58,6 +58,17 @@ static SNAPSHOTS_WRITTEN: LazyCounter = LazyCounter::new("store_snapshots_total"
 static SNAPSHOTS_USED: LazyCounter = LazyCounter::new("store_snapshots_used_total");
 static SNAPSHOTS_CORRUPT: LazyCounter = LazyCounter::new("store_snapshots_corrupt_total");
 static RECOVER_NS: LazyHistogram = LazyHistogram::new("store_recover_duration_ns");
+static REPLAY_SKIPPED: LazyCounter = LazyCounter::new("store_replay_skipped_total");
+static APPEND_FAILURES: LazyCounter = LazyCounter::new("store_append_failures_total");
+
+/// Counts WAL records that decoded cleanly but could not be re-applied by
+/// the replaying layer (warn-and-skip recovery). The store frames and
+/// checksums records but cannot interpret them, so the layer that owns
+/// the record schema reports its skips here — one shared counter keeps
+/// "lossy recovery" a single alarmable number fleet-wide.
+pub fn note_replay_skipped(count: u64) {
+    REPLAY_SKIPPED.add(count);
+}
 
 /// Magic bytes opening the write-ahead log file.
 const WAL_MAGIC: &[u8; 8] = b"CADELWAL";
@@ -99,6 +110,15 @@ pub enum StoreError {
         /// The version found on disk.
         found: u32,
     },
+    /// Appending a record to the WAL failed — disk full (`ENOSPC`),
+    /// quota, a yanked volume. Distinguished from [`StoreError::Io`] so
+    /// callers can degrade (flip read-only, quarantine the tenant)
+    /// instead of treating it like an unreadable store: everything
+    /// already on disk is still intact and recoverable.
+    Append {
+        /// The operating-system error (or an injected fault).
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -111,6 +131,9 @@ impl fmt::Display for StoreError {
                 f,
                 "{file} declares format version {found}, this build reads version {FORMAT_VERSION}"
             ),
+            StoreError::Append { source } => {
+                write!(f, "wal append failed: {source}")
+            }
         }
     }
 }
@@ -120,6 +143,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io { source, .. } => Some(source),
             StoreError::UnsupportedVersion { .. } => None,
+            StoreError::Append { source } => Some(source),
         }
     }
 }
@@ -139,6 +163,21 @@ pub struct RecoveryReport {
     pub bytes_truncated: u64,
     /// Whether a valid snapshot was loaded before the log records.
     pub snapshot_used: bool,
+    /// Records that decoded cleanly but were skipped (warn-and-skip) by
+    /// the replaying layer. The store itself always leaves this 0 — the
+    /// layer interpreting the records (e.g. the home server) fills it in
+    /// and reports the same number via [`note_replay_skipped`], so a
+    /// quarantine-restart can alarm on lossy recovery instead of
+    /// silently dropping records.
+    pub records_skipped: u64,
+}
+
+impl RecoveryReport {
+    /// Whether recovery dropped anything: torn-tail bytes or records the
+    /// replaying layer could not re-apply.
+    pub fn is_lossy(&self) -> bool {
+        self.bytes_truncated > 0 || self.records_skipped > 0
+    }
 }
 
 /// Everything recovered by [`Store::open`]: the snapshot (if any), the
@@ -162,6 +201,24 @@ pub struct Store {
     wal: File,
     wal_len: u64,
     sync_on_append: bool,
+    /// Fault injection: when set, every append fails as if the disk were
+    /// full. See [`Store::set_fail_appends`].
+    fail_appends: bool,
+}
+
+/// Name of the per-tenant segment directory inside a shared fleet store
+/// root. See [`segment_dir`].
+pub const SEGMENTS_DIR: &str = "tenants";
+
+/// The canonical per-tenant segment directory under a shared fleet store
+/// root: `<root>/tenants/<name>/`. Each segment is a complete,
+/// self-contained [`Store`] (its own `wal.log` + `snapshot.bin`), so one
+/// tenant's corruption, disk-full state, or recovery never touches its
+/// neighbours, and a single tenant can be recovered (or discarded) by
+/// pointing [`Store::open`] at its segment alone. The layout is pinned by
+/// the crash-matrix tests; changing it is a format change.
+pub fn segment_dir(root: impl AsRef<Path>, name: &str) -> PathBuf {
+    root.as_ref().join(SEGMENTS_DIR).join(name)
 }
 
 impl Store {
@@ -209,6 +266,7 @@ impl Store {
             records_replayed: scan.records.len() as u64,
             bytes_truncated: scan.bytes_truncated,
             snapshot_used: snapshot.is_some(),
+            records_skipped: 0,
         };
         RECOVERIES.inc();
         RECORDS_REPLAYED.add(report.records_replayed);
@@ -231,6 +289,7 @@ impl Store {
             wal,
             wal_len: valid_len.max(HEADER_LEN),
             sync_on_append: false,
+            fail_appends: false,
         };
         let recovered = Recovered {
             snapshot,
@@ -259,22 +318,51 @@ impl Store {
         self.sync_on_append = on;
     }
 
+    /// Fault injection: when enabled, every [`Store::append`] fails with
+    /// [`StoreError::Append`] as if the disk were full (`ENOSPC`). The
+    /// store stays otherwise healthy — reads, syncs of already-buffered
+    /// data and recovery keep working — which is exactly the shape of a
+    /// real out-of-space condition. Used by the fleet soak and the
+    /// read-only-flip tests; a sibling of `cadel-upnp`'s `FaultPlan`.
+    pub fn set_fail_appends(&mut self, on: bool) {
+        self.fail_appends = on;
+    }
+
     /// Appends one record to the log. The payload is the compact JSON
     /// encoding of `record`; framing and checksum are added here.
+    ///
+    /// # Errors
+    ///
+    /// A failed write (disk full, quota, injected fault) returns the
+    /// typed [`StoreError::Append`] so callers can degrade to read-only
+    /// instead of treating the store as lost.
     pub fn append(&mut self, record: &Json) -> Result<(), StoreError> {
+        if self.fail_appends {
+            APPEND_FAILURES.inc();
+            return Err(StoreError::Append {
+                source: std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "injected append fault (simulated ENOSPC)",
+                ),
+            });
+        }
         let payload = record.to_compact();
         let bytes = payload.as_bytes();
         let mut frame = Vec::with_capacity(8 + bytes.len());
         frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(bytes).to_le_bytes());
         frame.extend_from_slice(bytes);
-        self.wal
-            .write_all(&frame)
-            .map_err(io_err("appending log record"))?;
-        if self.sync_on_append {
-            self.wal
-                .sync_data()
-                .map_err(io_err("syncing appended record"))?;
+        if let Err(source) = self.wal.write_all(&frame) {
+            APPEND_FAILURES.inc();
+            return Err(StoreError::Append { source });
+        }
+        if let Err(source) = self
+            .sync_on_append
+            .then(|| self.wal.sync_data())
+            .transpose()
+        {
+            APPEND_FAILURES.inc();
+            return Err(StoreError::Append { source });
         }
         self.wal_len += frame.len() as u64;
         APPENDS.inc();
@@ -630,6 +718,64 @@ mod tests {
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_fault_is_typed_and_leaves_the_store_recoverable() {
+        let dir = temp_dir("enospc");
+        {
+            let (mut store, _) = Store::open(&dir).unwrap();
+            store.append(&rec(1)).unwrap();
+            store.set_fail_appends(true);
+            match store.append(&rec(2)) {
+                Err(StoreError::Append { source }) => {
+                    assert_eq!(source.kind(), std::io::ErrorKind::StorageFull);
+                }
+                other => panic!("expected StoreError::Append, got {other:?}"),
+            }
+            // The store is not poisoned: syncing buffered data still works
+            // and clearing the fault resumes appends.
+            store.sync().unwrap();
+            store.set_fail_appends(false);
+            store.append(&rec(3)).unwrap();
+        }
+        let (_store, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.report.records_replayed, 2);
+        assert_eq!(recovered.report.bytes_truncated, 0);
+        let ns: Vec<i64> = recovered
+            .records
+            .iter()
+            .map(|r| r.get("n").and_then(Json::as_int).unwrap())
+            .collect();
+        assert_eq!(ns, vec![1, 3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_dirs_are_disjoint_stores_under_one_root() {
+        let root = temp_dir("segments");
+        let a_dir = segment_dir(&root, "t0");
+        let b_dir = segment_dir(&root, "t1");
+        assert_eq!(a_dir, root.join("tenants").join("t0"));
+        {
+            let (mut a, _) = Store::open(&a_dir).unwrap();
+            let (mut b, _) = Store::open(&b_dir).unwrap();
+            a.append(&rec(10)).unwrap();
+            b.append(&rec(20)).unwrap();
+            b.append(&rec(21)).unwrap();
+        }
+        // Corrupting one segment's log leaves the neighbour untouched.
+        let a_wal = a_dir.join(WAL_FILE);
+        let bytes = fs::read(&a_wal).unwrap();
+        fs::write(&a_wal, &bytes[..bytes.len() - 2]).unwrap();
+        let (_sa, ra) = Store::open(&a_dir).unwrap();
+        let (_sb, rb) = Store::open(&b_dir).unwrap();
+        assert_eq!(ra.report.records_replayed, 0);
+        assert!(ra.report.bytes_truncated > 0);
+        assert!(ra.report.is_lossy());
+        assert_eq!(rb.report.records_replayed, 2);
+        assert!(!rb.report.is_lossy());
+        fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -458,3 +458,45 @@ fn thousand_rule_log_recovers_completely() {
     assert_eq!(server.engine().rules().next_id(), RuleId::new(RULES + 1));
     println!("recovered {RULES}-rule log in {elapsed:?} (S2 in docs/EXPERIMENTS.md)");
 }
+
+/// The fleet keeps every tenant's WAL in its own segment directory
+/// (`<root>/tenants/<name>/`, [`cadel::store::segment_dir`]). The crash
+/// guarantees must hold unchanged there: recovery inside one segment
+/// behaves exactly like a flat store directory, and a torn-tail crash in
+/// one tenant's segment cannot leak into a healthy sibling's.
+#[test]
+fn crash_matrix_holds_in_fleet_segment_layout() {
+    let ops = scripted_ops();
+    let root = temp_dir("fleet-seg");
+    let healthy_dir = cadel::store::segment_dir(&root, "unit-0");
+
+    // Reference run inside unit-0's segment.
+    let final_fingerprint = {
+        let (control, topology, home) = fresh_world();
+        let (mut server, _) = HomeServer::open_at(control, topology, &healthy_dir).unwrap();
+        for (_, op) in &ops {
+            op(&mut server, &home);
+        }
+        server.sync().unwrap();
+        server.snapshot_json().to_pretty()
+    };
+    let wal = std::fs::read(healthy_dir.join(WAL_FILE)).unwrap();
+
+    // Plant a torn-tail crash in a sibling segment: recovery truncates
+    // to the last record boundary and reproduces the full state.
+    let torn_dir = cadel::store::segment_dir(&root, "unit-1");
+    plant_wal(&torn_dir, &wal, wal.len() as u64, b"\x7fgarbage tail", None);
+    let (fingerprint, report) = recover_fingerprint(&torn_dir);
+    assert_eq!(fingerprint, final_fingerprint);
+    assert!(report.bytes_truncated > 0);
+
+    // The healthy sibling's bytes and recovery are untouched by the
+    // sibling's crash and repair.
+    assert_eq!(std::fs::read(healthy_dir.join(WAL_FILE)).unwrap(), wal);
+    let (fingerprint, report) = recover_fingerprint(&healthy_dir);
+    assert_eq!(fingerprint, final_fingerprint);
+    assert_eq!(report.bytes_truncated, 0);
+    assert_eq!(report.records_replayed, ops.len() as u64);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
