@@ -1,0 +1,384 @@
+//! A small blocking client for the frontend's wire protocol.
+//!
+//! Exists so tests, benches and examples exercise the server over a
+//! real socket without hand-rolling HTTP each time. It is deliberately
+//! minimal: one request at a time, `Content-Length` framing only,
+//! bounded reads with socket deadlines.
+
+use cadel_types::json::{self, Json};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Response cap: a client-side guard against a misbehaving server, not
+/// a protocol limit.
+const MAX_RESPONSE_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct ApiResponse {
+    /// Status code.
+    pub status: u16,
+    /// Lowercased header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ApiResponse {
+    /// A header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The advertised `Retry-After`, when present and numeric.
+    pub fn retry_after(&self) -> Option<u64> {
+        self.header("retry-after")?.trim().parse().ok()
+    }
+
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body parsed as JSON, when it is JSON.
+    pub fn json(&self) -> Option<Json> {
+        json::parse(std::str::from_utf8(&self.body).ok()?).ok()
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A blocking keep-alive client connection.
+#[derive(Debug)]
+pub struct ApiClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl ApiClient {
+    /// Connects (lazily — the socket opens on the first request).
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution errors; connection errors surface on the
+    /// first request.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ApiClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        Ok(ApiClient {
+            addr,
+            stream: None,
+            timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// Overrides the socket read/write deadline (default 5s).
+    pub fn with_timeout(mut self, timeout: Duration) -> ApiClient {
+        self.timeout = timeout;
+        self
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// Sends one request and reads the response. Retries once on a
+    /// stale keep-alive socket (server rotated the connection).
+    ///
+    /// # Errors
+    ///
+    /// Returns socket and framing errors.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> io::Result<ApiResponse> {
+        let payload = body.map(Json::to_compact);
+        match self.request_once(method, path, payload.as_deref()) {
+            Ok(response) => {
+                if response
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    self.stream = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                // One reconnect: the server may have rotated the
+                // connection between requests.
+                self.stream = None;
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::BrokenPipe
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::UnexpectedEof
+                        | io::ErrorKind::ConnectionAborted
+                ) {
+                    self.request_once(method, path, payload.as_deref())
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        payload: Option<&str>,
+    ) -> io::Result<ApiResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: cadel\r\n");
+        let body = payload.unwrap_or("").as_bytes();
+        if !body.is_empty() {
+            head.push_str("Content-Type: application/json\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        let stream = self.stream()?;
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        read_response(stream)
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ApiClient::request`].
+    pub fn get(&mut self, path: &str) -> io::Result<ApiResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`ApiClient::request`].
+    pub fn post(&mut self, path: &str, body: &Json) -> io::Result<ApiResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// `DELETE path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ApiClient::request`].
+    pub fn delete(&mut self, path: &str) -> io::Result<ApiResponse> {
+        self.request("DELETE", path, None)
+    }
+}
+
+/// Opens an event-stream subscription against `addr`.
+///
+/// # Errors
+///
+/// Returns connection/handshake errors, and `InvalidData` when the
+/// server refuses the subscription.
+pub fn subscribe(
+    addr: impl ToSocketAddrs,
+    tenant: Option<&str>,
+    timeout: Duration,
+) -> io::Result<EventStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let path = match tenant {
+        Some(tenant) => format!("/events?tenant={tenant}"),
+        None => "/events".to_owned(),
+    };
+    let head = format!("SUBSCRIBE {path} HTTP/1.1\r\nHost: cadel\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    // Read the header block.
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed during subscription handshake",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > 64 * 1024 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized subscription header",
+            ));
+        }
+    };
+    let head_text = String::from_utf8_lossy(&buf[..head_end]);
+    if !head_text.starts_with("HTTP/1.1 200") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "subscription refused: {}",
+                head_text.lines().next().unwrap_or("")
+            ),
+        ));
+    }
+    let sid = head_text
+        .lines()
+        .find_map(|line| line.strip_prefix("SID: "))
+        .unwrap_or("")
+        .to_owned();
+    let leftover = buf[head_end + 4..].to_vec();
+    Ok(EventStream {
+        stream,
+        buf: leftover,
+        sid,
+    })
+}
+
+/// A live event stream: `\r\n`-framed lines (`NOTIFY`, `ALERT`,
+/// `PING`, `GOODBYE`).
+#[derive(Debug)]
+pub struct EventStream {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    sid: String,
+}
+
+impl EventStream {
+    /// The subscription id the server assigned.
+    pub fn sid(&self) -> &str {
+        &self.sid
+    }
+
+    /// Reads the next frame. `Ok(None)` means the stream ended.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket errors, including timeouts when no frame arrives
+    /// within the socket read deadline.
+    pub fn next_frame(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                let frame = String::from_utf8_lossy(&self.buf[..pos]).into_owned();
+                self.buf.drain(..pos + 2);
+                return Ok(Some(frame));
+            }
+            let mut chunk = [0u8; 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Reads frames until one that is not `PING`, or the stream ends.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventStream::next_frame`].
+    pub fn next_event(&mut self) -> io::Result<Option<String>> {
+        loop {
+            match self.next_frame()? {
+                Some(frame) if frame == "PING" => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<ApiResponse> {
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        let mut chunk = [0u8; 2048];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > MAX_RESPONSE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized response head",
+            ));
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+            headers.push((name, value));
+        }
+    }
+    if content_length > MAX_RESPONSE_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "oversized response body",
+        ));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(ApiResponse {
+        status,
+        headers,
+        body,
+    })
+}

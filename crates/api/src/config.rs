@@ -1,0 +1,86 @@
+//! Frontend tunables: deadlines, caps, shed and rate-limit knobs.
+
+use std::time::Duration;
+
+/// Per-client token-bucket rate limiting (keyed by peer IP).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateLimitConfig {
+    /// Bucket capacity: the burst a client may spend at once.
+    pub burst: u32,
+    /// Sustained refill rate in requests per second.
+    pub per_second: f64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> RateLimitConfig {
+        RateLimitConfig {
+            burst: 200,
+            per_second: 100.0,
+        }
+    }
+}
+
+/// Frontend configuration. Every knob is a robustness boundary; the
+/// defaults are sized for a LAN home-server deployment and tests shrink
+/// them to provoke the failure paths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApiConfig {
+    /// Concurrently open connections. Connection `max_connections + 1`
+    /// is answered `503` with `Retry-After` and closed.
+    pub max_connections: usize,
+    /// Socket read deadline: one `read` may block at most this long.
+    pub read_timeout: Duration,
+    /// Socket write deadline: a stalled reader cannot hold a write
+    /// longer than this.
+    pub write_timeout: Duration,
+    /// The slow-loris budget: wall time one request may take from first
+    /// byte to complete frame, and the keep-alive idle window between
+    /// requests.
+    pub idle_timeout: Duration,
+    /// Cap on request line + headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Cap on a request body; larger declared lengths are refused
+    /// before buffering.
+    pub max_body_bytes: usize,
+    /// Requests served over one keep-alive connection before the
+    /// frontend closes it (resource rotation; 0 = unlimited).
+    pub max_requests_per_connection: u64,
+    /// Pause after a failed `accept` before retrying, so an fd-exhausted
+    /// process degrades to slow acceptance instead of a spin loop.
+    pub accept_backoff: Duration,
+    /// `Retry-After` seconds advertised on shed (overload, cap, drain)
+    /// responses.
+    pub retry_after_secs: u64,
+    /// Per-client token-bucket rate limit; `None` disables it.
+    pub rate_limit: Option<RateLimitConfig>,
+    /// Bounded frames queued per event-stream subscriber; a full queue
+    /// drops frames (counted) rather than blocking the publisher.
+    pub subscriber_queue: usize,
+    /// Heartbeat interval on idle event streams (also how often a
+    /// subscription notices a draining server).
+    pub heartbeat: Duration,
+    /// Whether `POST /step` (driving a fleet wave over the wire) is
+    /// served. On for simulations, benches and tests; off for
+    /// deployments where a scheduler owns the clock.
+    pub allow_admin_step: bool,
+}
+
+impl Default for ApiConfig {
+    fn default() -> ApiConfig {
+        ApiConfig {
+            max_connections: 256,
+            read_timeout: Duration::from_millis(2_000),
+            write_timeout: Duration::from_millis(2_000),
+            idle_timeout: Duration::from_millis(10_000),
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+            max_requests_per_connection: 100_000,
+            accept_backoff: Duration::from_millis(50),
+            retry_after_secs: 1,
+            rate_limit: Some(RateLimitConfig::default()),
+            subscriber_queue: 256,
+            heartbeat: Duration::from_millis(1_000),
+            allow_admin_step: true,
+        }
+    }
+}

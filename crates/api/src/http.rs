@@ -1,0 +1,661 @@
+//! Bounded HTTP/1.1 wire parsing with typed errors.
+//!
+//! The frontend's first robustness line: every byte a client sends goes
+//! through [`WireReader::read_request`], which enforces hard caps on the
+//! header section and body *before* buffering them, distinguishes a
+//! clean keep-alive close from a torn frame, maps socket deadlines to
+//! [`ParseError::TimedOut`], and never panics on hostile input — the
+//! property pinned by the `hostile_parse` fuzz tests. The grammar is a
+//! deliberate HTTP/1.1 subset: one request line, CRLF-separated
+//! headers, an optional `Content-Length` body. No chunked transfer, no
+//! continuation lines, no percent-decoding.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Instant;
+
+/// Request methods the frontend understands. `SUBSCRIBE` is the
+/// GENA-flavoured spelling of an event-stream subscription (a `GET` on
+/// the events path works too).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Read-only retrieval.
+    Get,
+    /// State-changing submission.
+    Post,
+    /// Resource removal.
+    Delete,
+    /// GENA-like event-stream subscription.
+    Subscribe,
+}
+
+impl Method {
+    fn from_token(token: &str) -> Option<Method> {
+        match token {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            "SUBSCRIBE" => Some(Method::Subscribe),
+            _ => None,
+        }
+    }
+
+    /// The wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+            Method::Subscribe => "SUBSCRIBE",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Hard caps applied while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct WireLimits {
+    /// Maximum bytes of request line + headers (terminator included).
+    pub max_head_bytes: usize,
+    /// Maximum `Content-Length` accepted; larger bodies are refused
+    /// before a single body byte is buffered.
+    pub max_body_bytes: usize,
+}
+
+impl Default for WireLimits {
+    fn default() -> WireLimits {
+        WireLimits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method.
+    pub method: Method,
+    /// The path component of the target (before any `?`).
+    pub path: String,
+    /// The raw query string (after `?`, empty when absent).
+    pub query: String,
+    /// Headers with lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a `key=value` query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The body as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::BodyNotUtf8`] when the body is not valid UTF-8.
+    pub fn body_utf8(&self) -> Result<&str, ParseError> {
+        std::str::from_utf8(&self.body).map_err(|_| ParseError::BodyNotUtf8)
+    }
+
+    /// The path split into its `/`-separated segments (no empties).
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Everything that can go wrong turning bytes into a [`Request`]. Typed,
+/// total, and panic-free by contract: hostile input maps here, never to
+/// an abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The peer closed cleanly at a request boundary (keep-alive end).
+    ConnectionClosed,
+    /// The peer closed mid-request: a torn frame.
+    TornFrame {
+        /// Which part of the request was cut off.
+        context: &'static str,
+    },
+    /// The header section exceeded [`WireLimits::max_head_bytes`].
+    HeadTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The request line is not `METHOD SP target SP HTTP/1.x`.
+    RequestLineMalformed {
+        /// Why.
+        reason: &'static str,
+    },
+    /// The method token is not one the frontend accepts.
+    UnsupportedMethod(String),
+    /// The version token is not `HTTP/1.x`.
+    UnsupportedVersion(String),
+    /// A header line has no `:` separator or an empty/invalid name.
+    HeaderMalformed,
+    /// `Transfer-Encoding` is not supported (no chunked bodies).
+    UnsupportedTransferEncoding,
+    /// `Content-Length` is absent on a method that requires a body
+    /// frame, repeated, or not a decimal number.
+    InvalidContentLength,
+    /// The declared body length exceeds [`WireLimits::max_body_bytes`].
+    BodyTooLarge {
+        /// The declared length.
+        length: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The body is not valid UTF-8 (raised by [`Request::body_utf8`]).
+    BodyNotUtf8,
+    /// A socket deadline expired (read/write timeout or the slow-loris
+    /// idle budget).
+    TimedOut,
+    /// Any other I/O failure.
+    Io(io::ErrorKind),
+}
+
+impl ParseError {
+    /// The HTTP status this error maps to when it can still be answered.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            ParseError::ConnectionClosed | ParseError::TornFrame { .. } | ParseError::Io(_) => {
+                (400, "Bad Request")
+            }
+            ParseError::HeadTooLarge { .. } => (431, "Request Header Fields Too Large"),
+            ParseError::RequestLineMalformed { .. }
+            | ParseError::HeaderMalformed
+            | ParseError::InvalidContentLength
+            | ParseError::BodyNotUtf8 => (400, "Bad Request"),
+            ParseError::UnsupportedMethod(_) => (405, "Method Not Allowed"),
+            ParseError::UnsupportedVersion(_) => (505, "HTTP Version Not Supported"),
+            ParseError::UnsupportedTransferEncoding => (501, "Not Implemented"),
+            ParseError::BodyTooLarge { .. } => (413, "Payload Too Large"),
+            ParseError::TimedOut => (408, "Request Timeout"),
+        }
+    }
+
+    /// A short machine-readable code for error bodies and logs.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ParseError::ConnectionClosed => "connection_closed",
+            ParseError::TornFrame { .. } => "torn_frame",
+            ParseError::HeadTooLarge { .. } => "head_too_large",
+            ParseError::RequestLineMalformed { .. } => "request_line_malformed",
+            ParseError::UnsupportedMethod(_) => "unsupported_method",
+            ParseError::UnsupportedVersion(_) => "unsupported_version",
+            ParseError::HeaderMalformed => "header_malformed",
+            ParseError::UnsupportedTransferEncoding => "unsupported_transfer_encoding",
+            ParseError::InvalidContentLength => "invalid_content_length",
+            ParseError::BodyTooLarge { .. } => "body_too_large",
+            ParseError::BodyNotUtf8 => "body_not_utf8",
+            ParseError::TimedOut => "timed_out",
+            ParseError::Io(_) => "io_error",
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::TornFrame { context } => write!(f, "torn frame while reading {context}"),
+            ParseError::HeadTooLarge { limit } => {
+                write!(f, "header section exceeds {limit} bytes")
+            }
+            ParseError::RequestLineMalformed { reason } => {
+                write!(f, "malformed request line: {reason}")
+            }
+            ParseError::UnsupportedMethod(m) => write!(f, "unsupported method '{m}'"),
+            ParseError::UnsupportedVersion(v) => write!(f, "unsupported version '{v}'"),
+            ParseError::HeaderMalformed => write!(f, "malformed header line"),
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding is not supported")
+            }
+            ParseError::InvalidContentLength => write!(f, "invalid content-length"),
+            ParseError::BodyTooLarge { length, limit } => {
+                write!(
+                    f,
+                    "declared body of {length} bytes exceeds the {limit}-byte cap"
+                )
+            }
+            ParseError::BodyNotUtf8 => write!(f, "body is not valid UTF-8"),
+            ParseError::TimedOut => write!(f, "read deadline expired"),
+            ParseError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn classify_io(error: &io::Error) -> ParseError {
+    match error.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ParseError::TimedOut,
+        kind => ParseError::Io(kind),
+    }
+}
+
+/// An incremental, bounded request reader over one connection. Bytes
+/// read past the current request stay buffered for the next keep-alive
+/// request.
+#[derive(Debug)]
+pub struct WireReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+/// Read chunk size. Small enough that a hostile peer cannot make one
+/// `read` call blow past the caps by much; large enough to amortize
+/// syscalls for ordinary requests.
+const CHUNK: usize = 2048;
+
+impl<R: Read> WireReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> WireReader<R> {
+        WireReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Consumes the reader, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request. Zero at
+    /// a clean keep-alive boundary — which is how a connection loop
+    /// tells an idle timeout (close quietly) from a mid-request stall
+    /// (answer 408).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pulls more bytes into the buffer. `Ok(0)` signals EOF. A socket
+    /// read deadline (`WouldBlock`/`TimedOut`) only fails the read once
+    /// the caller's wall-clock `deadline` has passed — the socket
+    /// timeout is the polling granularity, the deadline is the budget.
+    fn fill(&mut self, deadline: Option<Instant>) -> Result<usize, ParseError> {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err(ParseError::TimedOut);
+            }
+        }
+        let mut chunk = [0u8; CHUNK];
+        loop {
+            match self.inner.read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    match deadline {
+                        Some(d) if Instant::now() < d => continue,
+                        _ => return Err(ParseError::TimedOut),
+                    }
+                }
+                Err(e) => return Err(classify_io(&e)),
+            }
+        }
+    }
+
+    /// Reads one complete request, enforcing `limits` and the optional
+    /// wall-clock `deadline` (the slow-loris budget: a peer trickling
+    /// bytes cannot hold the connection past it).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::ConnectionClosed`] on a clean close between
+    /// requests; every other variant for the corresponding wire fault.
+    pub fn read_request(
+        &mut self,
+        limits: &WireLimits,
+        deadline: Option<Instant>,
+    ) -> Result<Request, ParseError> {
+        // 1. Accumulate until the header terminator, under the head cap.
+        let head_end = loop {
+            if let Some(pos) = find_terminator(&self.buf) {
+                if pos + 4 > limits.max_head_bytes {
+                    return Err(ParseError::HeadTooLarge {
+                        limit: limits.max_head_bytes,
+                    });
+                }
+                break pos;
+            }
+            if self.buf.len() > limits.max_head_bytes {
+                return Err(ParseError::HeadTooLarge {
+                    limit: limits.max_head_bytes,
+                });
+            }
+            if self.fill(deadline)? == 0 {
+                return if self.buf.is_empty() {
+                    Err(ParseError::ConnectionClosed)
+                } else {
+                    Err(ParseError::TornFrame { context: "headers" })
+                };
+            }
+        };
+
+        // 2. Parse request line + headers (ASCII-safe: reject stray bytes).
+        let head: Vec<u8> = self.buf.drain(..head_end + 4).collect();
+        let head = std::str::from_utf8(&head[..head_end]).map_err(|_| {
+            ParseError::RequestLineMalformed {
+                reason: "non-UTF-8 bytes in header section",
+            }
+        })?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split(' ');
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+                _ => {
+                    return Err(ParseError::RequestLineMalformed {
+                        reason: "expected 'METHOD target HTTP/1.x'",
+                    })
+                }
+            };
+        let method = Method::from_token(method)
+            .ok_or_else(|| ParseError::UnsupportedMethod(method.into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::UnsupportedVersion(version.into()));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        if !path.starts_with('/') {
+            return Err(ParseError::RequestLineMalformed {
+                reason: "target must start with '/'",
+            });
+        }
+
+        let mut headers: Vec<(String, String)> = Vec::new();
+        for line in lines {
+            let (name, value) = line.split_once(':').ok_or(ParseError::HeaderMalformed)?;
+            if name.is_empty() || name.contains(' ') || name.contains('\t') {
+                return Err(ParseError::HeaderMalformed);
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+        }
+
+        // 3. Frame the body. Length is validated against the cap before
+        // any body byte is buffered.
+        if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(ParseError::UnsupportedTransferEncoding);
+        }
+        let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+        let body_len = match (lengths.next(), lengths.next()) {
+            (None, _) => 0usize,
+            (Some((_, v)), None) => v.parse().map_err(|_| ParseError::InvalidContentLength)?,
+            (Some(_), Some(_)) => return Err(ParseError::InvalidContentLength),
+        };
+        if body_len > limits.max_body_bytes {
+            return Err(ParseError::BodyTooLarge {
+                length: body_len,
+                limit: limits.max_body_bytes,
+            });
+        }
+        while self.buf.len() < body_len {
+            if self.fill(deadline)? == 0 {
+                return Err(ParseError::TornFrame { context: "body" });
+            }
+        }
+        let body: Vec<u8> = self.buf.drain(..body_len).collect();
+
+        Ok(Request {
+            method,
+            path: path.to_owned(),
+            query: query.to_owned(),
+            headers,
+            body,
+        })
+    }
+}
+
+/// The position of the `\r\n\r\n` header terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response, rendered with `Content-Length` framing so keep-alive
+/// clients can parse it back out of the stream.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// Advertised `Retry-After` seconds (shed and rate-limit answers).
+    pub retry_after: Option<u64>,
+    /// Whether to close the connection after this response.
+    pub close: bool,
+    /// Extra verbatim headers (e.g. the subscription `SID`).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, reason: &'static str, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            retry_after: None,
+            close: false,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, reason: &'static str, body: &cadel_types::json::Json) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            body: body.to_compact().into_bytes(),
+            retry_after: None,
+            close: false,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": code, "message": ...}`.
+    pub fn error(status: u16, reason: &'static str, code: &str, message: &str) -> Response {
+        use cadel_types::json::Json;
+        Response::json(
+            status,
+            reason,
+            &Json::obj(vec![
+                ("error", Json::str(code)),
+                ("message", Json::str(message)),
+            ]),
+        )
+    }
+
+    /// Marks the response as connection-closing.
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    /// Attaches a `Retry-After` header.
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Serializes status line, headers and body onto `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (including write-deadline expiry).
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        );
+        if let Some(seconds) = self.retry_after {
+            head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        }
+        for (name, value) in &self.extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(if self.close {
+            "Connection: close\r\n\r\n"
+        } else {
+            "Connection: keep-alive\r\n\r\n"
+        });
+        out.write_all(head.as_bytes())?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        WireReader::new(bytes).read_request(&WireLimits::default(), None)
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse(b"GET /events?tenant=unit-0001&x HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/events");
+        assert_eq!(req.query_param("tenant"), Some("unit-0001"));
+        assert_eq!(req.query_param("x"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("host"), Some("h"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_keeps_leftover() {
+        let wire = b"POST /t HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET / HTTP/1.1\r\n\r\n";
+        let mut reader = WireReader::new(&wire[..]);
+        let req = reader.read_request(&WireLimits::default(), None).unwrap();
+        assert_eq!(req.body, b"abcd");
+        let next = reader.read_request(&WireLimits::default(), None).unwrap();
+        assert_eq!(next.method, Method::Get);
+        assert!(matches!(
+            reader.read_request(&WireLimits::default(), None),
+            Err(ParseError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn typed_errors_for_the_classic_faults() {
+        assert!(matches!(parse(b""), Err(ParseError::ConnectionClosed)));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nHost: h"),
+            Err(ParseError::TornFrame { context: "headers" })
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc"),
+            Err(ParseError::TornFrame { context: "body" })
+        ));
+        assert!(matches!(
+            parse(b"BREW / HTTP/1.1\r\n\r\n"),
+            Err(ParseError::UnsupportedMethod(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/3\r\n\r\n"),
+            Err(ParseError::UnsupportedVersion(_))
+        ));
+        assert!(matches!(
+            parse(b"GET no-slash HTTP/1.1\r\n\r\n"),
+            Err(ParseError::RequestLineMalformed { .. })
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(ParseError::HeaderMalformed)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::InvalidContentLength)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ParseError::UnsupportedTransferEncoding)
+        ));
+    }
+
+    #[test]
+    fn caps_are_enforced_before_buffering() {
+        let limits = WireLimits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+        };
+        let long_header = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(256));
+        assert!(matches!(
+            WireReader::new(long_header.as_bytes()).read_request(&limits, None),
+            Err(ParseError::HeadTooLarge { limit: 64 })
+        ));
+        // A huge declared length is refused without reading the body.
+        let huge = b"POST / HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert!(matches!(
+            WireReader::new(&huge[..]).read_request(&limits, None),
+            Err(ParseError::BodyTooLarge {
+                length: 999_999_999,
+                limit: 8
+            })
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_headers() {
+        let mut out = Vec::new();
+        Response::error(503, "Service Unavailable", "overloaded", "try later")
+            .with_retry_after(2)
+            .closing()
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("\"error\":\"overloaded\""));
+    }
+}

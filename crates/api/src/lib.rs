@@ -1,0 +1,61 @@
+//! Hardened network frontend for a CADEL fleet.
+//!
+//! The paper's home server faces the network: residents submit rules,
+//! appliances report readings, and interested parties subscribe to
+//! events (its device layer is already GENA-flavoured). This crate is
+//! that face, grown for the fleet era and built std-only over
+//! `TcpListener`: an HTTP/1.1-subset endpoint that admits rule
+//! submissions, sensor-reading batches and event-stream subscriptions
+//! into a running [`cadel_fleet::Fleet`].
+//!
+//! *Robustness is the headline.* Every boundary between the open
+//! network and the rule engines is governed:
+//!
+//! - **Deadlines everywhere.** Socket read/write timeouts bound each
+//!   syscall; a wall-clock budget ([`ApiConfig::idle_timeout`]) bounds
+//!   each request end to end, so a slow-loris drip answers `408` and
+//!   frees the worker.
+//! - **Bounded frames.** Head and body caps are enforced *before*
+//!   buffering; a hostile or truncated frame maps to a typed
+//!   [`ParseError`] and a 4xx — never a panic, never unbounded memory.
+//! - **Explicit shed.** Past the fleet's backpressure watermark (or the
+//!   connection cap, or while draining) the frontend answers `503` with
+//!   `Retry-After` instead of queueing invisible work. Per-client
+//!   token buckets ([`RateLimitConfig`]) keep one chatty client from
+//!   starving the rest.
+//! - **Contained faults.** Route dispatch and the whole connection loop
+//!   run under `catch_unwind`; a handler defect answers `500`, counts
+//!   itself, and the accept loop keeps accepting.
+//! - **Graceful drain.** [`ApiServer::shutdown`] stops accepting, lets
+//!   in-flight requests finish, says `GOODBYE` to subscribers, then
+//!   flushes fleet inboxes and checkpoints every tenant durably.
+//!
+//! ```no_run
+//! use cadel_api::{ApiClient, ApiConfig, ApiServer};
+//! use cadel_fleet::{Fleet, FleetConfig};
+//! use cadel_types::SimTime;
+//!
+//! let fleet = Fleet::new(std::env::temp_dir().join("api-doc"), FleetConfig::default());
+//! let server = ApiServer::bind("127.0.0.1:0", fleet, ApiConfig::default()).unwrap();
+//! let mut client = ApiClient::connect(server.addr()).unwrap();
+//! assert!(client.get("/healthz").unwrap().is_success());
+//! let outcome = server.shutdown(std::time::Duration::from_secs(2), SimTime::EPOCH);
+//! assert!(outcome.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod http;
+pub mod limit;
+pub mod proto;
+pub mod server;
+
+pub use client::{subscribe, ApiClient, ApiResponse, EventStream};
+pub use config::{ApiConfig, RateLimitConfig};
+pub use http::{Method, ParseError, Request, Response, WireLimits, WireReader};
+pub use limit::RateLimiter;
+pub use proto::BadRequest;
+pub use server::{ApiServer, DrainOutcome};

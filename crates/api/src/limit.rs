@@ -1,0 +1,117 @@
+//! Per-client token-bucket rate limiting.
+
+use crate::config::RateLimitConfig;
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One client's bucket.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// A token-bucket limiter keyed by peer IP. `burst` tokens capacity,
+/// refilled at `per_second`; each admitted request spends one token.
+/// The map is bounded: when it outgrows `MAX_CLIENTS` (4096), buckets
+/// at full capacity (i.e. idle clients) are pruned.
+#[derive(Debug)]
+pub struct RateLimiter {
+    config: RateLimitConfig,
+    buckets: Mutex<HashMap<IpAddr, Bucket>>,
+}
+
+/// Bound on tracked clients before idle buckets are pruned.
+const MAX_CLIENTS: usize = 4096;
+
+impl RateLimiter {
+    /// Creates a limiter for the given knobs.
+    pub fn new(config: RateLimitConfig) -> RateLimiter {
+        RateLimiter {
+            config,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Tries to spend one token for `client`. On refusal, returns the
+    /// whole seconds to advertise as `Retry-After` (at least 1).
+    pub fn try_admit(&self, client: IpAddr) -> Result<(), u64> {
+        self.try_admit_at(client, Instant::now())
+    }
+
+    fn try_admit_at(&self, client: IpAddr, now: Instant) -> Result<(), u64> {
+        let capacity = f64::from(self.config.burst.max(1));
+        let rate = self.config.per_second.max(f64::MIN_POSITIVE);
+        let mut buckets = self.buckets.lock().expect("rate limiter lock");
+        if buckets.len() >= MAX_CLIENTS && !buckets.contains_key(&client) {
+            buckets.retain(|_, b| {
+                let refilled =
+                    (b.tokens + now.duration_since(b.last).as_secs_f64() * rate).min(capacity);
+                refilled < capacity
+            });
+        }
+        let bucket = buckets.entry(client).or_insert(Bucket {
+            tokens: capacity,
+            last: now,
+        });
+        bucket.tokens =
+            (bucket.tokens + now.duration_since(bucket.last).as_secs_f64() * rate).min(capacity);
+        bucket.last = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - bucket.tokens;
+            Err((deficit / rate).ceil().max(1.0) as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::time::Duration;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(127, 0, 0, last))
+    }
+
+    #[test]
+    fn burst_then_refusal_then_refill() {
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 3,
+            per_second: 2.0,
+        });
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(limiter.try_admit_at(ip(1), t0).is_ok());
+        }
+        let retry = limiter.try_admit_at(ip(1), t0).unwrap_err();
+        assert!(retry >= 1);
+        // Another client has its own bucket.
+        assert!(limiter.try_admit_at(ip(2), t0).is_ok());
+        // After a second at 2 rps, two more tokens are available.
+        let t1 = t0 + Duration::from_secs(1);
+        assert!(limiter.try_admit_at(ip(1), t1).is_ok());
+        assert!(limiter.try_admit_at(ip(1), t1).is_ok());
+        assert!(limiter.try_admit_at(ip(1), t1).is_err());
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let limiter = RateLimiter::new(RateLimitConfig {
+            burst: 2,
+            per_second: 1000.0,
+        });
+        let t0 = Instant::now();
+        let t1 = t0 + Duration::from_secs(60);
+        assert!(limiter.try_admit_at(ip(3), t0).is_ok());
+        // A long idle refills to capacity, not beyond.
+        assert!(limiter.try_admit_at(ip(3), t1).is_ok());
+        assert!(limiter.try_admit_at(ip(3), t1).is_ok());
+        assert!(limiter.try_admit_at(ip(3), t1).is_err());
+    }
+}

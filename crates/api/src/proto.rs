@@ -1,0 +1,249 @@
+//! Request/response payload schemas: JSON bodies in, JSON documents out.
+//!
+//! Parsing is strict and typed — an unknown shape maps to a
+//! [`BadRequest`] with a machine-readable code, never a panic — and
+//! rendering reuses the workspace's own [`Json`] document model, so the
+//! frontend stays std-only.
+
+use cadel_fleet::{Admission, FleetHealth, Ingress};
+use cadel_server::SubmitOutcome;
+use cadel_types::json::Json;
+use cadel_types::{DeviceId, PersonId, Quantity, Rational, SimTime, Unit, Value};
+
+/// A typed payload rejection: rendered as `422 Unprocessable Entity`
+/// with `{"error": code, "message": ...}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BadRequest {
+    /// Machine-readable code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(code: &'static str, message: impl Into<String>) -> BadRequest {
+        BadRequest {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+fn field<'a>(doc: &'a Json, key: &'static str) -> Result<&'a Json, BadRequest> {
+    doc.get(key)
+        .ok_or_else(|| BadRequest::new("missing_field", format!("missing field '{key}'")))
+}
+
+fn str_field(doc: &Json, key: &'static str) -> Result<String, BadRequest> {
+    field(doc, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| BadRequest::new("wrong_type", format!("field '{key}' must be a string")))
+}
+
+fn u64_field(doc: &Json, key: &'static str) -> Result<u64, BadRequest> {
+    match field(doc, key)?.as_int() {
+        Some(n) if n >= 0 => Ok(n as u64),
+        _ => Err(BadRequest::new(
+            "wrong_type",
+            format!("field '{key}' must be a non-negative integer"),
+        )),
+    }
+}
+
+/// Parses one reading object into an [`Ingress`] entry.
+///
+/// Shape: `{"device": "...", "variable": "...", "value": <int|bool|str>,
+/// "unit": "celsius"?, "at_ms": <millis since epoch>}`. Values are
+/// integers (with an optional CADEL unit word), booleans, or text;
+/// floats are rejected — the engine's quantities are exact rationals
+/// and the wire format does not guess a denominator.
+pub fn parse_reading(doc: &Json) -> Result<Ingress, BadRequest> {
+    let device = str_field(doc, "device")?;
+    let variable = str_field(doc, "variable")?;
+    let at = SimTime::from_millis(u64_field(doc, "at_ms")?);
+    let unit = match doc.get("unit") {
+        None => Unit::Unitless,
+        Some(u) => {
+            let word = u
+                .as_str()
+                .ok_or_else(|| BadRequest::new("wrong_type", "field 'unit' must be a string"))?;
+            Unit::from_word(word)
+                .ok_or_else(|| BadRequest::new("unknown_unit", format!("unknown unit '{word}'")))?
+        }
+    };
+    let value = match field(doc, "value")? {
+        Json::Int(n) => Value::Number(Quantity::new(Rational::from_integer(*n), unit)),
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Str(s) => Value::Text(s.clone()),
+        Json::Float(_) => {
+            return Err(BadRequest::new(
+                "float_value",
+                "float values are not accepted; send integers in the smallest unit",
+            ))
+        }
+        _ => {
+            return Err(BadRequest::new(
+                "wrong_type",
+                "field 'value' must be an integer, boolean or string",
+            ))
+        }
+    };
+    Ok(Ingress {
+        device: DeviceId::new(device),
+        variable,
+        value,
+        at,
+    })
+}
+
+/// Parses a `POST /tenants/{t}/readings` body:
+/// `{"readings": [<reading>, ...]}`.
+pub fn parse_readings(doc: &Json) -> Result<Vec<Ingress>, BadRequest> {
+    let items = field(doc, "readings")?
+        .as_arr()
+        .ok_or_else(|| BadRequest::new("wrong_type", "field 'readings' must be an array"))?;
+    if items.is_empty() {
+        return Err(BadRequest::new("empty_batch", "readings array is empty"));
+    }
+    items.iter().map(parse_reading).collect()
+}
+
+/// Parses a `POST /tenants/{t}/rules` body:
+/// `{"user": "...", "sentence": "If ..."}`.
+pub fn parse_rule_submit(doc: &Json) -> Result<(PersonId, String), BadRequest> {
+    Ok((
+        PersonId::new(str_field(doc, "user")?),
+        str_field(doc, "sentence")?,
+    ))
+}
+
+/// Renders a registration outcome.
+pub fn render_outcome(outcome: &SubmitOutcome) -> Json {
+    match outcome {
+        SubmitOutcome::Registered { id, dead_conjuncts } => Json::obj(vec![
+            ("outcome", Json::str("registered")),
+            ("rule", Json::Int(id.raw() as i64)),
+            (
+                "dead_conjuncts",
+                Json::Arr(
+                    dead_conjuncts
+                        .iter()
+                        .map(|i| Json::Int(*i as i64))
+                        .collect(),
+                ),
+            ),
+        ]),
+        SubmitOutcome::RejectedInconsistent { report } => Json::obj(vec![
+            ("outcome", Json::str("rejected_inconsistent")),
+            ("report", Json::str(report.to_string())),
+        ]),
+        SubmitOutcome::ConflictDetected { ticket, conflicts } => Json::obj(vec![
+            ("outcome", Json::str("conflict_detected")),
+            ("ticket", Json::Int(ticket.raw() as i64)),
+            (
+                "conflicts",
+                Json::Arr(conflicts.iter().map(|c| Json::str(c.to_string())).collect()),
+            ),
+        ]),
+        SubmitOutcome::ConditionWordDefined { word } => Json::obj(vec![
+            ("outcome", Json::str("condition_word_defined")),
+            ("word", Json::str(word.clone())),
+        ]),
+        SubmitOutcome::ConfigurationWordDefined { word } => Json::obj(vec![
+            ("outcome", Json::str("configuration_word_defined")),
+            ("word", Json::str(word.clone())),
+        ]),
+        // `SubmitOutcome` is non-exhaustive: render future variants
+        // opaquely rather than failing to compile against them.
+        other => Json::obj(vec![
+            ("outcome", Json::str("other")),
+            ("detail", Json::str(format!("{other:?}"))),
+        ]),
+    }
+}
+
+/// Renders an ingest admission summary.
+pub fn render_admissions(admissions: &[Admission], rejected: usize) -> Json {
+    let mut enqueued = 0i64;
+    let mut coalesced = 0i64;
+    let mut after_shed = 0i64;
+    for a in admissions {
+        match a {
+            Admission::Enqueued => enqueued += 1,
+            Admission::Coalesced => coalesced += 1,
+            Admission::AdmittedAfterShed => after_shed += 1,
+        }
+    }
+    Json::obj(vec![
+        ("accepted", Json::Int(enqueued + coalesced + after_shed)),
+        ("enqueued", Json::Int(enqueued)),
+        ("coalesced", Json::Int(coalesced)),
+        ("admitted_after_shed", Json::Int(after_shed)),
+        ("rejected", Json::Int(rejected as i64)),
+    ])
+}
+
+/// Renders the fleet health summary.
+pub fn render_fleet_health(health: &FleetHealth) -> Json {
+    Json::obj(vec![
+        ("healthy", Json::Int(health.healthy as i64)),
+        ("quarantined", Json::Int(health.quarantined as i64)),
+        ("restarting", Json::Int(health.restarting as i64)),
+        ("backlog", Json::Int(health.backlog as i64)),
+        ("backpressure", Json::Float(health.backpressure)),
+        ("panics", Json::Int(health.panics as i64)),
+        ("overruns", Json::Int(health.overruns as i64)),
+        ("store_faults", Json::Int(health.store_faults as i64)),
+        ("restarts", Json::Int(health.restarts as i64)),
+        ("shed", Json::Int(health.shed as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadel_types::json::parse;
+
+    #[test]
+    fn reading_parses_units_and_values() {
+        let doc = parse(
+            r#"{"readings":[
+                {"device":"thermo-0","variable":"temperature","value":26,"unit":"celsius","at_ms":60000},
+                {"device":"door","variable":"locked","value":true,"at_ms":0},
+                {"device":"tv","variable":"program","value":"news","at_ms":1}
+            ]}"#,
+        )
+        .unwrap();
+        let readings = parse_readings(&doc).unwrap();
+        assert_eq!(readings.len(), 3);
+        assert_eq!(readings[0].device, DeviceId::new("thermo-0"));
+        assert_eq!(readings[0].at, SimTime::from_millis(60_000));
+        assert!(matches!(readings[1].value, Value::Bool(true)));
+        assert!(matches!(readings[2].value, Value::Text(_)));
+    }
+
+    #[test]
+    fn reading_rejections_are_typed() {
+        let cases = [
+            (r#"{"readings":[]}"#, "empty_batch"),
+            (r#"{"nope":1}"#, "missing_field"),
+            (
+                r#"{"readings":[{"device":"d","variable":"v","value":1.5,"at_ms":0}]}"#,
+                "float_value",
+            ),
+            (
+                r#"{"readings":[{"device":"d","variable":"v","value":1,"unit":"furlongs","at_ms":0}]}"#,
+                "unknown_unit",
+            ),
+            (
+                r#"{"readings":[{"device":"d","variable":"v","value":1,"at_ms":-4}]}"#,
+                "wrong_type",
+            ),
+        ];
+        for (body, code) in cases {
+            let doc = parse(body).unwrap();
+            assert_eq!(parse_readings(&doc).unwrap_err().code, code, "{body}");
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! L-series: the hardened network frontend over a live TCP socket.
+//!
+//! * **L1** — wire admission throughput and latency: a keep-alive
+//!   client posts sensor-reading batches into a unit-tenant fleet
+//!   through `cadel-api` and drives fleet waves over the wire. Reports
+//!   per-batch admission latency, the admission→firing round trip
+//!   (post a triggering reading, then a wave, both over TCP), and a
+//!   sustained readings/sec figure from a timed soak.
+//! * **L2** — overload shedding under chaos: a saturated fleet (tiny
+//!   inboxes, low watermark) sheds with `503` + `Retry-After` while a
+//!   background chaos thread throws torn frames, garbage and
+//!   slow-loris drips at the same listener. Reports the shed-path and
+//!   health-probe latency under bombardment plus the end-of-run
+//!   frontend counters for `EXPERIMENTS.md`.
+//!
+//! `CADEL_BENCH_SMOKE=1` shrinks scale for CI.
+
+use cadel::api::{ApiClient, ApiConfig, ApiServer};
+use cadel::fleet::{Fleet, FleetConfig};
+use cadel::sim::netchaos::{inject, NetChaos};
+use cadel::sim::{tenant_name, unit_tenant_builder};
+use cadel::types::json::Json;
+use cadel::types::{SimDuration, SimTime};
+use cadel_bench::timing::{run, section};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn mins(m: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_minutes(m)
+}
+
+fn bench_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cadel-bench-api-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bind_server(tag: &str, tenants: usize, fleet_config: FleetConfig) -> ApiServer {
+    let mut fleet = Fleet::new(bench_root(tag), fleet_config);
+    let builder = unit_tenant_builder(None);
+    for i in 0..tenants {
+        fleet
+            .add_tenant_arc(tenant_name(i), builder.clone())
+            .expect("fresh fleet");
+    }
+    ApiServer::bind(
+        "127.0.0.1:0",
+        fleet,
+        ApiConfig {
+            // One local client; per-IP limiting would throttle the
+            // bench itself. A tight idle budget makes slow-loris and
+            // garbage connections churn in ~150ms instead of squatting
+            // on their worker for seconds.
+            rate_limit: None,
+            read_timeout: Duration::from_millis(50),
+            idle_timeout: Duration::from_millis(150),
+            ..ApiConfig::default()
+        },
+    )
+    .expect("bind")
+}
+
+/// A batch of `size` readings with distinct variables, so every entry
+/// enqueues on first sight; repeated batches coalesce onto the same
+/// slots, which keeps inboxes bounded across long measurement loops.
+fn batch_body(size: usize, base: i64, at: SimTime) -> Json {
+    Json::obj(vec![(
+        "readings",
+        Json::Arr(
+            (0..size)
+                .map(|i| {
+                    Json::obj(vec![
+                        ("device", Json::str("thermo-0")),
+                        ("variable", Json::str(format!("aux-{i}"))),
+                        ("value", Json::Int(base + i as i64)),
+                        ("unit", Json::str("celsius")),
+                        ("at_ms", Json::Int(at.as_millis() as i64)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+fn temperature_body(value: i64, at: SimTime) -> Json {
+    Json::obj(vec![(
+        "readings",
+        Json::Arr(vec![Json::obj(vec![
+            ("device", Json::str("thermo-0")),
+            ("variable", Json::str("temperature")),
+            ("value", Json::Int(value)),
+            ("unit", Json::str("celsius")),
+            ("at_ms", Json::Int(at.as_millis() as i64)),
+        ])]),
+    )])
+}
+
+fn step_body(at: SimTime) -> Json {
+    Json::obj(vec![("at_ms", Json::Int(at.as_millis() as i64))])
+}
+
+fn main() {
+    cadel::obs::enable_metrics_only();
+    let smoke = std::env::var("CADEL_BENCH_SMOKE").is_ok();
+    let tenants: usize = if smoke { 4 } else { 16 };
+
+    // ---------------------------------------------------------------- L1
+    section("l1_wire_admission (live TCP, keep-alive client)");
+    {
+        let server = bind_server("l1", tenants, FleetConfig::default());
+        let mut client = ApiClient::connect(server.addr()).expect("connect");
+        let mut tick = 0u64;
+
+        // Per-batch admission latency (10 readings per POST), with a
+        // wire-driven wave every 64 posts so inboxes never pile up.
+        let batch = 10usize;
+        let mut posts = 0u64;
+        let m = run(&format!("l1_post/batch-{batch}"), || {
+            posts += 1;
+            if posts.is_multiple_of(64) {
+                tick += 1;
+                let stepped = client.post("/step", &step_body(mins(tick))).expect("step");
+                assert_eq!(stepped.status, 200);
+            }
+            let tenant = tenant_name((posts % tenants as u64) as usize);
+            let response = client
+                .post(
+                    &format!("/tenants/{tenant}/readings"),
+                    &batch_body(batch, 20, mins(tick + 1)),
+                )
+                .expect("post");
+            assert_eq!(response.status, 202, "{}", response.text());
+            black_box(response.status)
+        });
+        println!(
+            "  l1 admission rate: {:.0} readings/sec (batch of {batch} per POST)",
+            batch as f64 / (m.median_ns() / 1e9)
+        );
+
+        // Admission→firing round trip: one triggering reading, one wave,
+        // both over the wire; alternating trigger/release so the cool
+        // rule genuinely re-fires.
+        let mut hot = true;
+        let m = run("l1_admit_to_fire (POST reading + POST /step)", || {
+            tick += 1;
+            let value = if hot { 30 } else { 20 };
+            hot = !hot;
+            let posted = client
+                .post(
+                    &format!("/tenants/{}/readings", tenant_name(0)),
+                    &temperature_body(value, mins(tick)),
+                )
+                .expect("post");
+            assert_eq!(posted.status, 202);
+            let stepped = client.post("/step", &step_body(mins(tick))).expect("step");
+            assert_eq!(stepped.status, 200);
+            black_box(stepped.status)
+        });
+        println!(
+            "  l1 admission→firing round trip: {:.1} µs median",
+            m.median_ns() / 1e3
+        );
+
+        // Sustained throughput soak: post as fast as the wire allows for
+        // a fixed window, waving every 32 posts.
+        let window = if smoke {
+            Duration::from_millis(200)
+        } else {
+            Duration::from_secs(2)
+        };
+        let started = Instant::now();
+        let mut readings_posted = 0u64;
+        let mut posts = 0u64;
+        while started.elapsed() < window {
+            posts += 1;
+            if posts.is_multiple_of(32) {
+                tick += 1;
+                let _ = client.post("/step", &step_body(mins(tick)));
+            }
+            let tenant = tenant_name((posts % tenants as u64) as usize);
+            let response = client
+                .post(
+                    &format!("/tenants/{tenant}/readings"),
+                    &batch_body(16, 20, mins(tick + 1)),
+                )
+                .expect("post");
+            assert_eq!(response.status, 202);
+            readings_posted += 16;
+        }
+        let rate = readings_posted as f64 / started.elapsed().as_secs_f64();
+        println!(
+            "  l1 sustained: {readings_posted} readings in {:.2}s = {rate:.0} readings/sec",
+            started.elapsed().as_secs_f64()
+        );
+
+        drop(client);
+        let outcome = server.shutdown(Duration::from_secs(10), mins(tick + 2));
+        assert!(outcome.is_clean(), "{outcome:?}");
+    }
+
+    // ---------------------------------------------------------------- L2
+    section("l2_overload_shedding (chaos bombardment in the background)");
+    {
+        let server = bind_server(
+            "l2",
+            tenants,
+            FleetConfig {
+                inbox_capacity: 8,
+                backpressure_watermark: 0.5,
+                ..FleetConfig::default()
+            },
+        );
+        let addr = server.addr();
+        let mut client = ApiClient::connect(addr).expect("connect");
+
+        // Saturate the fleet past its watermark.
+        for i in 0..tenants {
+            let response = client
+                .post(
+                    &format!("/tenants/{}/readings", tenant_name(i)),
+                    &batch_body(8, 20, mins(1)),
+                )
+                .expect("fill");
+            assert!(
+                response.status == 202 || response.status == 503,
+                "{}",
+                response.text()
+            );
+        }
+
+        // Background chaos: a small pool of hostile clients against the
+        // same listener for the whole measurement, aimed at a ghost
+        // tenant so even a completed parse cannot mutate state. Several
+        // threads because each fault occupies its victim worker for up
+        // to the idle budget.
+        let stop = Arc::new(AtomicBool::new(false));
+        let chaos_pool: Vec<_> = (0..4u64)
+            .map(|worker| {
+                let chaos_stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut netchaos = NetChaos::new(0x4c32_4c32 + worker);
+                    let request = b"POST /tenants/chaos-ghost/readings HTTP/1.1\r\n\
+                        Content-Length: 17\r\n\r\n{\"readings\":[{}]}"
+                        .to_vec();
+                    let mut injected = 0usize;
+                    while !chaos_stop.load(Ordering::Relaxed) {
+                        let fault = netchaos.pick(request.len());
+                        if inject(&mut netchaos, addr, &request, &fault).is_err() {
+                            break;
+                        }
+                        injected += 1;
+                    }
+                    injected
+                })
+            })
+            .collect();
+
+        // Shed-path latency: refused with Retry-After, measured while
+        // the chaos thread hammers the listener.
+        let m = run("l2_shed_503 (overloaded POST, chaos in background)", || {
+            let response = client
+                .post(
+                    &format!("/tenants/{}/readings", tenant_name(0)),
+                    &batch_body(4, 20, mins(2)),
+                )
+                .expect("shed post");
+            assert_eq!(response.status, 503, "{}", response.text());
+            assert!(
+                response.retry_after().is_some(),
+                "shed must advertise Retry-After"
+            );
+            black_box(response.status)
+        });
+        println!("  l2 shed path: {:.1} µs median", m.median_ns() / 1e3);
+
+        // Health probes stay fast for healthy clients during the
+        // bombardment: hostile connections do not starve the service.
+        let m = run("l2_healthz_under_chaos", || {
+            let response = client.get("/healthz").expect("healthz");
+            assert_eq!(response.status, 200);
+            black_box(response.status)
+        });
+        println!(
+            "  l2 health probe under chaos: {:.1} µs median",
+            m.median_ns() / 1e3
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        let injected: usize = chaos_pool
+            .into_iter()
+            .map(|t| t.join().expect("chaos thread"))
+            .sum();
+        println!("  l2 hostile connections injected: {injected}");
+
+        // One wave drains the backlog; admission recovers immediately.
+        server.step_fleet(mins(3));
+        let recovered = client
+            .post(
+                &format!("/tenants/{}/readings", tenant_name(0)),
+                &batch_body(4, 20, mins(4)),
+            )
+            .expect("recovered post");
+        assert_eq!(recovered.status, 202, "{}", recovered.text());
+
+        let metrics = cadel::obs::metrics_snapshot();
+        println!(
+            "  l2 counters: requests={} shed={} parse_errors={} timeouts={} worker_panics={}",
+            metrics.counter("api_requests_total").unwrap_or(0),
+            metrics.counter("api_shed_total").unwrap_or(0),
+            metrics.counter("api_parse_errors_total").unwrap_or(0),
+            metrics.counter("api_timeouts_total").unwrap_or(0),
+            metrics.counter("api_worker_panics_total").unwrap_or(0),
+        );
+
+        drop(client);
+        let outcome = server.shutdown(Duration::from_secs(10), mins(5));
+        assert!(outcome.is_clean(), "{outcome:?}");
+    }
+}

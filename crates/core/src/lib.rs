@@ -21,6 +21,7 @@
 //! | [`server`] | `cadel-server` | the home server: registration workflow, guidance, users |
 //! | [`store`] | `cadel-store` | durable state: write-ahead log, snapshots, crash recovery |
 //! | [`fleet`] | `cadel-fleet` | supervised multi-tenant fleet: panic isolation, quarantine, shedding |
+//! | [`api`] | `cadel-api` | hardened TCP/HTTP frontend: governed admission, shedding, event streams |
 //! | [`sim`] | `cadel-sim` | discrete-event simulation and the Fig. 1 scenario |
 //!
 //! # Quickstart
@@ -55,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cadel_api as api;
 pub use cadel_conflict as conflict;
 pub use cadel_devices as devices;
 pub use cadel_engine as engine;

@@ -172,6 +172,43 @@ pub struct FleetHealth {
     pub shed: u64,
 }
 
+/// What a graceful [`Fleet::shutdown`] accomplished before the deadline.
+#[derive(Debug, Default)]
+pub struct ShutdownReport {
+    /// Drain waves run (each a full [`Fleet::step_ready`]).
+    pub waves: usize,
+    /// Whether every inbox emptied before the deadline.
+    pub drained: bool,
+    /// Ingress entries still queued when draining stopped (quarantined
+    /// tenants past their restart budget keep theirs; they are replayed
+    /// after a [`Fleet::revive`] + restart, not lost).
+    pub remaining_backlog: usize,
+    /// Per-tenant checkpoint/sync failures from the final
+    /// [`Fleet::checkpoint_all`] flush.
+    pub flush_failures: Vec<(String, ServerError)>,
+}
+
+impl ShutdownReport {
+    /// Whether the shutdown was fully clean: everything drained and
+    /// every tenant's WAL flushed.
+    pub fn is_clean(&self) -> bool {
+        self.drained && self.flush_failures.is_empty()
+    }
+}
+
+impl fmt::Display for ShutdownReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shutdown: {} waves, drained={}, backlog={}, flush failures={}",
+            self.waves,
+            self.drained,
+            self.remaining_backlog,
+            self.flush_failures.len()
+        )
+    }
+}
+
 /// A supervised multi-tenant fleet: thousands of independent
 /// [`HomeServer`]s multiplexed over a fixed worker pool.
 ///
@@ -557,6 +594,49 @@ impl Fleet {
         }
         self.refresh_gauges();
         failures
+    }
+
+    /// Gracefully drains the fleet for shutdown: runs [`Fleet::step_ready`]
+    /// waves (which also restart quarantined tenants still within
+    /// budget) until every inbox is empty, draining stalls, or `deadline`
+    /// of host wall time elapses — then flushes every healthy tenant's
+    /// runtime to its WAL via [`Fleet::checkpoint_all`] and syncs.
+    ///
+    /// The caller (typically a network frontend) is expected to stop
+    /// offering ingress first; entries admitted while draining still
+    /// count toward the backlog and may keep the drain running until the
+    /// deadline. `now` stamps the drain waves' engine steps.
+    pub fn shutdown(&mut self, deadline: Duration, now: SimTime) -> ShutdownReport {
+        let started = Instant::now();
+        let mut waves = 0;
+        while self.backlog() > 0 && started.elapsed() < deadline {
+            let before = self.backlog();
+            self.step_ready(now);
+            waves += 1;
+            if self.backlog() >= before {
+                // Stalled: remaining entries sit in inboxes of tenants
+                // that cannot come back (budget-exhausted quarantine).
+                break;
+            }
+        }
+        let flush_failures = self.checkpoint_all();
+        let remaining_backlog = self.backlog();
+        let report = ShutdownReport {
+            waves,
+            drained: remaining_backlog == 0,
+            remaining_backlog,
+            flush_failures,
+        };
+        if cadel_obs::enabled() {
+            cadel_obs::emit(
+                Event::new("fleet.shutdown", Level::Info)
+                    .with_field("waves", report.waves as u64)
+                    .with_field("drained", report.drained)
+                    .with_field("backlog", report.remaining_backlog as u64)
+                    .with_field("flush_failures", report.flush_failures.len() as u64),
+            );
+        }
+        report
     }
 
     /// Resets a permanently quarantined tenant's strike budget so the

@@ -47,7 +47,8 @@ pub mod tenant;
 
 pub use config::{FleetConfig, ShedPolicy};
 pub use fleet::{
-    Admission, Fleet, FleetError, FleetHealth, FleetStepReport, StepStatus, TenantStepOutcome,
+    Admission, Fleet, FleetError, FleetHealth, FleetStepReport, ShutdownReport, StepStatus,
+    TenantStepOutcome,
 };
 pub use tenant::{Ingress, TenantBuilder, TenantParts, TenantState, TenantWorld};
 

@@ -434,3 +434,87 @@ fn duplicate_tenants_are_rejected_and_idle_tenants_cost_nothing() {
 
     let _ = std::fs::remove_dir_all(&root);
 }
+
+#[test]
+fn shutdown_drains_backlog_and_checkpoints() {
+    let root = fleet_root("shutdown");
+    let mut fleet = Fleet::new(&root, FleetConfig::default());
+    fleet.add_tenant("t0", lr_tenant).unwrap();
+    fleet.add_tenant("t1", lr_tenant).unwrap();
+    fleet.offer("t0", temp_reading(30, mins(1))).unwrap();
+    fleet.offer("t1", temp_reading(30, mins(1))).unwrap();
+    fleet.offer("t1", arrival("tom", mins(1))).unwrap();
+    assert_eq!(fleet.backlog(), 3);
+
+    let report = fleet.shutdown(Duration::from_secs(5), mins(1));
+    assert!(report.is_clean(), "{report}");
+    assert!(report.drained);
+    assert_eq!(report.remaining_backlog, 0);
+    assert!(report.waves >= 1);
+    assert!(report.flush_failures.is_empty());
+    assert_eq!(fleet.backlog(), 0);
+
+    // The drain actually stepped the engines: the queued 30 °C reading
+    // fired the cool rule before the checkpoint.
+    let snapshot = fleet.server_of("t0").unwrap().snapshot_json().to_compact();
+    assert!(snapshot.contains("aircon-lr"), "{snapshot}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shutdown_reports_per_tenant_flush_failures() {
+    let root = fleet_root("shutdown-flush");
+    let mut fleet = Fleet::new(&root, FleetConfig::default());
+    fleet.add_tenant("t0", lr_tenant).unwrap();
+    fleet.add_tenant("t1", lr_tenant).unwrap();
+
+    // t0's disk "fills up" right before shutdown: its checkpoint
+    // flush fails and must be reported, while t1 flushes cleanly.
+    fleet
+        .server_mut_of("t0")
+        .unwrap()
+        .inject_append_faults(true);
+    let report = fleet.shutdown(Duration::from_secs(5), mins(1));
+    assert!(!report.is_clean(), "{report}");
+    assert!(report.drained, "an empty backlog still counts as drained");
+    assert_eq!(report.flush_failures.len(), 1, "{report}");
+    assert_eq!(report.flush_failures[0].0, "t0");
+    assert_eq!(fleet.state_of("t0"), Some(TenantState::Quarantined));
+    assert_eq!(fleet.state_of("t1"), Some(TenantState::Healthy));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shutdown_stalls_on_unrevivable_backlog_instead_of_spinning() {
+    let root = fleet_root("shutdown-stall");
+    let mut fleet = Fleet::new(
+        &root,
+        FleetConfig {
+            panic_budget: 0,
+            checkpoint_every: 1,
+            ..FleetConfig::default()
+        },
+    );
+    fleet.add_tenant("t0", lr_tenant).unwrap();
+    // Park the tenant past its (zero) strike budget.
+    fleet
+        .server_mut_of("t0")
+        .unwrap()
+        .inject_append_faults(true);
+    fleet.offer("t0", temp_reading(30, mins(1))).unwrap();
+    let _ = fleet.step_ready(mins(1));
+    assert_eq!(fleet.state_of("t0"), Some(TenantState::Quarantined));
+    fleet.offer("t0", temp_reading(31, mins(2))).unwrap();
+
+    // The drain cannot make progress; it must detect the stall and
+    // return promptly rather than spinning to the deadline.
+    let started = std::time::Instant::now();
+    let report = fleet.shutdown(Duration::from_secs(30), mins(2));
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "stall detection"
+    );
+    assert!(!report.drained, "{report}");
+    assert!(report.remaining_backlog > 0);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -53,6 +53,7 @@
 pub mod collect;
 pub mod event;
 pub mod metrics;
+pub mod net;
 pub mod rollup;
 
 pub use collect::{Fanout, RingCollector, TextFormat, TextSink, TimedEvent};

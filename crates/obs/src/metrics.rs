@@ -471,6 +471,17 @@ impl LazyGauge {
             .set(v);
     }
 
+    /// Adds `delta` (may be negative) when enabled; no-op otherwise.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell
+            .get_or_init(|| crate::metrics().gauge(self.name))
+            .add(delta);
+    }
+
     /// Whether the handle has ever bound into the registry.
     pub fn is_bound(&self) -> bool {
         self.cell.get().is_some()

@@ -1,0 +1,52 @@
+//! The network-frontend metric family.
+//!
+//! A socket frontend (`cadel-api`, or any future transport) reports its
+//! health through one shared, centrally-declared family so dashboards
+//! and tests can rely on the names regardless of which frontend serves
+//! the traffic. All handles are the usual gated statics: one relaxed
+//! load and a no-op branch while observability is off.
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `api_connections_open` | gauge | currently accepted TCP connections |
+//! | `api_connections_total` | counter | connections accepted since boot |
+//! | `api_requests_total` | counter | requests parsed and routed |
+//! | `api_shed_total` | counter | requests refused for overload (watermark, connection cap, drain) |
+//! | `api_rate_limited_total` | counter | requests refused by the per-client token bucket |
+//! | `api_parse_errors_total` | counter | connections that produced a typed wire/body parse error |
+//! | `api_timeouts_total` | counter | connections dropped by read/write/idle deadlines |
+//! | `api_worker_panics_total` | counter | request-handler panics caught by the connection supervisor |
+//! | `api_subscribers_open` | gauge | live event-stream subscriptions |
+//! | `api_events_dropped_total` | counter | event-stream frames dropped on slow subscribers |
+//! | `api_request_ns` | histogram | wall time from request fully parsed to response queued |
+
+use crate::{LazyCounter, LazyGauge, LazyHistogram};
+
+/// Currently open (accepted, not yet closed) connections.
+pub static API_CONNECTIONS_OPEN: LazyGauge = LazyGauge::new("api_connections_open");
+/// Connections accepted since boot.
+pub static API_CONNECTIONS_TOTAL: LazyCounter = LazyCounter::new("api_connections_total");
+/// Requests parsed and routed to a handler.
+pub static API_REQUESTS_TOTAL: LazyCounter = LazyCounter::new("api_requests_total");
+/// Requests refused for overload: fleet backpressure watermark, the
+/// connection cap, or a draining server.
+pub static API_SHED_TOTAL: LazyCounter = LazyCounter::new("api_shed_total");
+/// Requests refused by the per-client token bucket.
+pub static API_RATE_LIMITED_TOTAL: LazyCounter = LazyCounter::new("api_rate_limited_total");
+/// Connections whose byte stream produced a typed parse error (torn
+/// frame, oversized line/body, malformed header or JSON payload).
+pub static API_PARSE_ERRORS_TOTAL: LazyCounter = LazyCounter::new("api_parse_errors_total");
+/// Connections dropped by a read/write deadline or the slow-loris idle
+/// timeout.
+pub static API_TIMEOUTS_TOTAL: LazyCounter = LazyCounter::new("api_timeouts_total");
+/// Request-handler panics contained by the per-connection supervisor
+/// (the connection answers 500 and lives on; nothing escapes).
+pub static API_WORKER_PANICS_TOTAL: LazyCounter = LazyCounter::new("api_worker_panics_total");
+/// Live event-stream (GENA-like) subscriptions.
+pub static API_SUBSCRIBERS_OPEN: LazyGauge = LazyGauge::new("api_subscribers_open");
+/// Event-stream frames dropped because a subscriber's bounded queue was
+/// full (slow consumer); the subscriber is marked lagged, never the
+/// publisher blocked.
+pub static API_EVENTS_DROPPED_TOTAL: LazyCounter = LazyCounter::new("api_events_dropped_total");
+/// Wall time from request fully parsed to response queued on the socket.
+pub static API_REQUEST_NS: LazyHistogram = LazyHistogram::new("api_request_ns");

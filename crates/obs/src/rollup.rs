@@ -9,7 +9,7 @@
 //!
 //! The rollup is plain data, not a global: the owner (one `Fleet`) feeds
 //! it and reads it, so no locking or atomics are needed and resets are
-//! explicit. Global counters/gauges stay in [`crate::metrics`].
+//! explicit. Global counters/gauges stay in [`crate::metrics()`].
 
 use std::collections::BTreeMap;
 

@@ -3,7 +3,10 @@
 //! ([`TimeChart`]), a per-step engine activity recorder
 //! ([`ActivityTimeline`]), the paper's living-room control scenario
 //! ([`LivingRoomScenario`]), and a multi-unit load scenario
-//! ([`ApartmentBlockScenario`]) for the sharded engine step.
+//! ([`ApartmentBlockScenario`]) for the sharded engine step. For the
+//! network frontend there is a seeded wire-level fault injector
+//! ([`netchaos`]) that throws torn frames, garbage bytes, slow-loris
+//! drips and half-closed sockets at a live listener.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -11,6 +14,7 @@
 pub mod activity;
 pub mod apartment;
 pub mod fleet;
+pub mod netchaos;
 pub mod scenario;
 pub mod schedule;
 pub mod timechart;
@@ -18,6 +22,7 @@ pub mod timechart;
 pub use activity::{ActivityRow, ActivityTimeline};
 pub use apartment::{ApartmentBlockScenario, ApartmentWorld};
 pub use fleet::{tenant_name, unit_tenant_builder, FleetTraffic};
+pub use netchaos::{inject, NetChaos, WireFault};
 pub use scenario::{LivingRoomScenario, ScenarioRules, ScenarioWorld};
 pub use schedule::Simulation;
 pub use timechart::TimeChart;

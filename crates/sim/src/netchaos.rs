@@ -1,0 +1,200 @@
+//! Wire-level fault injection: hostile and unlucky TCP clients.
+//!
+//! The frontend's robustness claims ("no panic on hostile input", "a
+//! stalled client cannot hold a worker", "faulty connections never
+//! corrupt tenant state") are only claims until something actually
+//! sends torn frames, garbage bytes, and half-closed sockets at a live
+//! listener. This module is that something. It is deliberately
+//! API-agnostic — it takes raw request bytes and a socket address, so
+//! it can torment any line-oriented TCP server — and fully seeded, so a
+//! chaos soak replays byte-for-byte.
+//!
+//! Faults model the classic network failure menagerie:
+//!
+//! | fault | models |
+//! |---|---|
+//! | [`WireFault::Torn`] | a frame cut mid-head by a dying peer/NAT |
+//! | [`WireFault::Garbage`] | a non-HTTP client or fuzzing scanner |
+//! | [`WireFault::DisconnectMidBody`] | a client crash after the head |
+//! | [`WireFault::StalledWriter`] | a slow-loris drip feed |
+//! | [`WireFault::StalledReader`] | a client that requests, then never reads |
+
+use cadel_types::Rng;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One wire-level fault to inflict on a fresh connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireFault {
+    /// Send only the first `keep` bytes of the request, then close.
+    Torn {
+        /// Bytes actually sent before the cut.
+        keep: usize,
+    },
+    /// Send `len` seeded garbage bytes (never a valid request line),
+    /// then close.
+    Garbage {
+        /// Garbage length in bytes.
+        len: usize,
+    },
+    /// Send the head and roughly half the declared body, then close.
+    DisconnectMidBody,
+    /// Drip the request `chunk` bytes at a time with `pause` between
+    /// chunks — the slow-loris shape. The server's idle budget should
+    /// cut this off; the injector stops on the first write error.
+    StalledWriter {
+        /// Bytes per drip.
+        chunk: usize,
+        /// Pause between drips.
+        pause: Duration,
+    },
+    /// Send the whole request, then hold the socket open without
+    /// reading the response for `hold` before closing.
+    StalledReader {
+        /// How long to sit on the unread response.
+        hold: Duration,
+    },
+}
+
+/// A seeded generator of wire faults.
+#[derive(Debug)]
+pub struct NetChaos {
+    rng: Rng,
+}
+
+impl NetChaos {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> NetChaos {
+        NetChaos {
+            rng: Rng::new(seed ^ 0x6e65_7463_6861_6f73), // "netchaos"
+        }
+    }
+
+    /// Picks the next fault, sized against a request of `request_len`
+    /// bytes. Pauses stay short (≤50ms) so chaos soaks remain fast;
+    /// scale them up via [`WireFault`] directly when provoking timeout
+    /// paths.
+    pub fn pick(&mut self, request_len: usize) -> WireFault {
+        match self.rng.below(5) {
+            0 => WireFault::Torn {
+                keep: self.rng.below(request_len.max(2) as u64) as usize,
+            },
+            1 => WireFault::Garbage {
+                len: 1 + self.rng.below(512) as usize,
+            },
+            2 => WireFault::DisconnectMidBody,
+            3 => WireFault::StalledWriter {
+                chunk: 1 + self.rng.below(7) as usize,
+                pause: Duration::from_millis(1 + self.rng.below(5)),
+            },
+            _ => WireFault::StalledReader {
+                hold: Duration::from_millis(self.rng.below(50)),
+            },
+        }
+    }
+
+    /// Seeded garbage bytes that can never start a valid request line
+    /// (first byte is forced outside the ASCII uppercase range).
+    pub fn garbage(&mut self, len: usize) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(len);
+        for i in 0..len {
+            let b = (self.rng.next_u64() & 0xff) as u8;
+            if i == 0 {
+                bytes.push(b | 0x80);
+            } else {
+                bytes.push(b);
+            }
+        }
+        bytes
+    }
+}
+
+/// Opens a connection to `addr` and inflicts `fault` using `request`
+/// as the raw bytes a healthy client would have sent.
+///
+/// Returns `Ok` whether or not the server cut us off — a refused write
+/// *is* the server behaving correctly. Only connect errors surface,
+/// so a soak can distinguish "server died" from "server defended".
+///
+/// # Errors
+///
+/// Returns the error when the initial connect fails.
+pub fn inject(
+    chaos: &mut NetChaos,
+    addr: SocketAddr,
+    request: &[u8],
+    fault: &WireFault,
+) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    match fault {
+        WireFault::Torn { keep } => {
+            let keep = (*keep).min(request.len().saturating_sub(1));
+            let _ = stream.write_all(&request[..keep]);
+        }
+        WireFault::Garbage { len } => {
+            let garbage = chaos.garbage(*len);
+            let _ = stream.write_all(&garbage);
+            // Some servers answer with a typed error; drain it so the
+            // close is clean rather than a reset.
+            let mut sink = [0u8; 256];
+            let _ = stream.read(&mut sink);
+        }
+        WireFault::DisconnectMidBody => {
+            let cut = match find_blank_line(request) {
+                // Head plus half the body.
+                Some(head_end) => head_end + 4 + (request.len() - head_end - 4) / 2,
+                None => request.len() / 2,
+            };
+            let cut = cut.min(request.len().saturating_sub(1));
+            let _ = stream.write_all(&request[..cut]);
+        }
+        WireFault::StalledWriter { chunk, pause } => {
+            let chunk = (*chunk).max(1);
+            for piece in request.chunks(chunk) {
+                if stream.write_all(piece).is_err() {
+                    break; // server cut the drip: the defence worked
+                }
+                std::thread::sleep(*pause);
+            }
+        }
+        WireFault::StalledReader { hold } => {
+            let _ = stream.write_all(request);
+            std::thread::sleep(*hold);
+        }
+    }
+    Ok(())
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_are_seeded_and_replayable() {
+        let mut a = NetChaos::new(7);
+        let mut b = NetChaos::new(7);
+        for _ in 0..32 {
+            assert_eq!(a.pick(100), b.pick(100));
+        }
+        let mut c = NetChaos::new(8);
+        let differs = (0..32).any(|_| NetChaos::new(7).pick(100) != c.pick(100));
+        assert!(differs, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn garbage_never_starts_like_a_request_line() {
+        let mut chaos = NetChaos::new(11);
+        for _ in 0..64 {
+            let g = chaos.garbage(16);
+            assert_eq!(g.len(), 16);
+            assert!(g[0] & 0x80 != 0, "first byte must be non-ASCII");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Network chaos soak for the hardened frontend: healthy clients and
+//! hostile connections share one live listener, and the hostile ones
+//! must change *nothing*.
+//!
+//! Two runs drive identical healthy traffic (seeded per-tenant sensor
+//! walks posted over real TCP, one fleet wave per simulated minute):
+//!
+//! * a **reference** run with only healthy clients;
+//! * a **chaos** run where roughly one connection in ten is faulty —
+//!   torn frames, seeded garbage bytes, mid-body disconnects,
+//!   slow-loris drips, and stalled readers ([`cadel::sim::netchaos`]),
+//!   all aimed at a mutating endpoint (a ghost tenant's readings).
+//!
+//! The assertions are the tentpole's acceptance criteria:
+//!
+//! 1. **Every healthy submission lands** — each batch is admitted in
+//!    full (202, zero rejects) in both runs.
+//! 2. **Byte-identical tenant state** — every tenant's final snapshot
+//!    in the chaos run equals the reference run exactly. Hostile
+//!    connections never corrupt tenant state or starve healthy
+//!    clients.
+//! 3. **No panic escapes** — `api_worker_panics_total` stays zero and
+//!    the service still answers after the bombardment, while the
+//!    parse-error counter proves the faults really hit the parser.
+//! 4. **Graceful drain stays clean** — both runs shut down with
+//!    drained inboxes and successful checkpoints.
+//!
+//! Scale is tunable for CI smoke via `CADEL_API_SOAK_TENANTS` /
+//! `CADEL_API_SOAK_TICKS` (defaults: 6 tenants, 25 ticks).
+
+use cadel::api::{ApiClient, ApiConfig, ApiServer};
+use cadel::fleet::{Fleet, FleetConfig, Ingress};
+use cadel::sim::netchaos::{inject, NetChaos};
+use cadel::sim::{tenant_name, unit_tenant_builder, FleetTraffic};
+use cadel::types::json::Json;
+use cadel::types::{SimDuration, SimTime, Value};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn mins(m: u64) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_minutes(m)
+}
+
+fn soak_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cadel-api-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn env_scale(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Serializes one ingress entry into the wire reading shape.
+fn wire_reading(ingress: &Ingress) -> Json {
+    let mut members = vec![
+        ("device", Json::str(ingress.device.to_string())),
+        ("variable", Json::str(ingress.variable.clone())),
+    ];
+    match ingress.value.clone() {
+        Value::Number(q) => {
+            assert!(q.value().is_integer(), "traffic readings are integers");
+            members.push(("value", Json::Int(q.value().numer() as i64)));
+            members.push(("unit", Json::str(q.unit().to_string())));
+        }
+        Value::Bool(b) => members.push(("value", Json::Bool(b))),
+        Value::Text(t) => members.push(("value", Json::str(t))),
+        other => panic!("traffic never emits {other:?}"),
+    }
+    members.push(("at_ms", Json::Int(ingress.at.as_millis() as i64)));
+    Json::obj(members)
+}
+
+/// The raw bytes of a healthy-shaped mutating request aimed at a tenant
+/// that does not exist — even a fault that accidentally completes can
+/// only ever earn a 404.
+fn ghost_request(at: SimTime) -> Vec<u8> {
+    let body = Json::obj(vec![(
+        "readings",
+        Json::Arr(vec![wire_reading(&Ingress {
+            device: cadel::types::DeviceId::new("thermo-0"),
+            variable: "temperature".into(),
+            value: Value::Number(cadel::types::Quantity::from_integer(
+                99,
+                cadel::types::Unit::Celsius,
+            )),
+            at,
+        })]),
+    )])
+    .to_compact();
+    format!(
+        "POST /tenants/chaos-ghost/readings HTTP/1.1\r\nHost: cadel\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+struct SoakOutcome {
+    /// Per-tenant final snapshots, in tenant order.
+    snapshots: Vec<(String, String)>,
+    /// Hostile connections injected.
+    faults_injected: usize,
+}
+
+fn run_soak(tag: &str, tenants: usize, ticks: usize, chaos: bool) -> SoakOutcome {
+    let mut fleet = Fleet::new(
+        soak_root(tag),
+        FleetConfig {
+            inbox_capacity: 64,
+            ..FleetConfig::default()
+        },
+    );
+    let builder = unit_tenant_builder(None);
+    for i in 0..tenants {
+        fleet
+            .add_tenant_arc(tenant_name(i), builder.clone())
+            .expect("tenant builds");
+    }
+    let server = ApiServer::bind(
+        "127.0.0.1:0",
+        fleet,
+        ApiConfig {
+            // All soak clients share 127.0.0.1: per-IP limiting would
+            // throttle the soak itself, so it is off here (it has its
+            // own dedicated test).
+            rate_limit: None,
+            read_timeout: Duration::from_millis(100),
+            idle_timeout: Duration::from_millis(500),
+            ..ApiConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut traffic = FleetTraffic::new(tenants, 0xC4DE1);
+    let mut netchaos = NetChaos::new(0x5EED);
+    let mut client = ApiClient::connect(addr).expect("connect");
+    let mut faults_injected = 0usize;
+
+    for tick in 0..ticks {
+        let at = mins(tick as u64 + 1);
+        let batches = traffic.tick(at);
+        for (i, batch) in batches.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            // Interleave hostile connections between healthy posts:
+            // roughly one faulty connection per ten healthy ones.
+            if chaos && (tick * tenants + i).is_multiple_of(10) {
+                let request = ghost_request(at);
+                let fault = netchaos.pick(request.len());
+                inject(&mut netchaos, addr, &request, &fault).expect("listener reachable");
+                faults_injected += 1;
+            }
+            let body = Json::obj(vec![(
+                "readings",
+                Json::Arr(batch.iter().map(wire_reading).collect()),
+            )]);
+            let response = client
+                .post(&format!("/tenants/{}/readings", tenant_name(i)), &body)
+                .expect("healthy post");
+            assert_eq!(
+                response.status,
+                202,
+                "tick {tick} tenant {i}: healthy batch must be admitted: {}",
+                response.text()
+            );
+            let doc = response.json().expect("admission json");
+            assert_eq!(
+                doc.get("accepted").and_then(Json::as_int),
+                Some(batch.len() as i64),
+                "tick {tick} tenant {i}: every healthy reading must land"
+            );
+            assert_eq!(
+                doc.get("rejected").and_then(Json::as_int),
+                Some(0),
+                "tick {tick} tenant {i}: healthy readings must not be shed"
+            );
+        }
+        // Drive the wave over the wire, like a scheduler would.
+        let stepped = client
+            .post(
+                "/step",
+                &Json::obj(vec![("at_ms", Json::Int(at.as_millis() as i64))]),
+            )
+            .expect("step");
+        assert_eq!(stepped.status, 200, "{}", stepped.text());
+    }
+
+    // The service must still answer after the bombardment.
+    let health = client.get("/healthz").expect("healthz after soak");
+    assert_eq!(health.status, 200);
+
+    let snapshots = server.with_fleet(|fleet| {
+        (0..tenants)
+            .map(|i| {
+                let name = tenant_name(i);
+                let snapshot = fleet
+                    .server_of(&name)
+                    .unwrap_or_else(|| panic!("tenant {name} must end healthy"))
+                    .snapshot_json()
+                    .to_compact();
+                (name, snapshot)
+            })
+            .collect()
+    });
+
+    let outcome = server.shutdown(Duration::from_secs(10), mins(ticks as u64 + 1));
+    assert!(
+        outcome.is_clean(),
+        "{tag}: drain must be clean: {outcome:?}"
+    );
+
+    SoakOutcome {
+        snapshots,
+        faults_injected,
+    }
+}
+
+#[test]
+fn hostile_connections_never_corrupt_tenant_state() {
+    cadel::obs::enable_metrics_only();
+    let tenants = env_scale("CADEL_API_SOAK_TENANTS", 6);
+    let ticks = env_scale("CADEL_API_SOAK_TICKS", 25);
+
+    let reference = run_soak("reference", tenants, ticks, false);
+    assert_eq!(reference.faults_injected, 0);
+
+    let chaos = run_soak("chaos", tenants, ticks, true);
+    assert!(
+        chaos.faults_injected * 8 >= tenants * ticks / 2,
+        "chaos run should inject roughly one fault per ten healthy posts \
+         ({} faults for {} tenant-ticks)",
+        chaos.faults_injected,
+        tenants * ticks
+    );
+
+    // Acceptance criterion: byte-identical tenant state.
+    for ((name_a, snap_a), (name_b, snap_b)) in
+        reference.snapshots.iter().zip(chaos.snapshots.iter())
+    {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            snap_a, snap_b,
+            "tenant {name_a}: chaos run diverged from reference"
+        );
+    }
+
+    // Acceptance criterion: no panic escaped a worker, and the faults
+    // genuinely exercised the parser.
+    let metrics = cadel::obs::metrics_snapshot();
+    assert_eq!(
+        metrics.counter("api_worker_panics_total").unwrap_or(0),
+        0,
+        "no handler or connection-loop panic may escape"
+    );
+    assert!(
+        metrics.counter("api_parse_errors_total").unwrap_or(0) > 0,
+        "the chaos run should have produced typed parse errors"
+    );
+    assert!(
+        metrics.counter("api_requests_total").unwrap_or(0) as usize >= tenants * ticks,
+        "healthy traffic should dominate the request count"
+    );
+}
